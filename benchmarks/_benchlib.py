@@ -1,0 +1,27 @@
+"""Helpers shared by the benchmark/experiment modules."""
+
+import numpy as np
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a small aligned table to stdout (visible with pytest -s and
+    in captured output on failure)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(header)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def fit_loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) on log(x): the empirical growth
+    exponent (1 ≈ linear, 2 ≈ quadratic)."""
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)

@@ -1,0 +1,81 @@
+"""E8 — mod-3 BFS (Section 4.3, Algorithm 4.1).
+
+Shape: labels equal distance mod 3; the originator learns found/failed
+within O(eccentricity) rounds; found propagates along shortest paths only.
+"""
+
+from repro.algorithms import bfs
+from repro.network import generators
+from repro.runtime.simulator import SynchronousSimulator
+
+from _benchlib import print_table
+
+
+def test_search_outcome_series(benchmark):
+    def compute():
+        rows = []
+        cases = [
+            ("path(24), far target", lambda: generators.path_graph(24), 0, [23]),
+            ("path(24), no target", lambda: generators.path_graph(24), 0, []),
+            ("grid(6x6)", lambda: generators.grid_graph(6, 6), 0, [35]),
+            ("petersen", generators.petersen_graph, 0, [7]),
+            ("cycle(15)", lambda: generators.cycle_graph(15), 0, [8]),
+        ]
+        for name, net_fn, origin, targets in cases:
+            net = net_fn()
+            aut, init = bfs.build(net, origin, targets)
+            sim = SynchronousSimulator(net, aut, init)
+            steps = sim.run_until_stable(max_steps=400)
+            status = bfs.originator_status(sim.state, origin)
+            ok_labels = bfs.labels_match_distance(net, sim.state, origin)
+            ecc = net.eccentricity(origin)
+            rows.append((name, status, steps, ecc, ok_labels))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E8: BFS verdicts, stabilization rounds vs eccentricity",
+        ["case", "status", "rounds", "ecc", "labels ok"],
+        rows,
+    )
+    assert all(r[4] for r in rows)
+    for name, status, steps, ecc, _ in rows:
+        expected = "found" if "no target" not in name else "failed"
+        assert status == expected
+        assert steps <= 3 * ecc + 5
+
+
+def test_found_time_linear_in_distance(benchmark):
+    def compute():
+        rows = []
+        for d in (5, 10, 20, 40):
+            net = generators.path_graph(d + 1)
+            aut, init = bfs.build(net, 0, [d])
+            sim = SynchronousSimulator(net, aut, init)
+            steps = sim.run_until(
+                lambda st: bfs.originator_status(st, 0) == bfs.FOUND,
+                max_steps=4 * d + 10,
+            )
+            rows.append((d, steps, f"{steps / d:.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E8b: rounds until the originator reports found vs distance d",
+        ["d", "rounds", "rounds/d"],
+        rows,
+    )
+    # found travels out (d rounds) and back (d rounds): ratio ≈ 2
+    for d, steps, ratio in rows:
+        assert 1.5 <= float(ratio) <= 2.5
+
+
+def test_bfs_step_benchmark(benchmark):
+    net = generators.grid_graph(15, 15)
+    aut, init = bfs.build(net, 0, [224])
+
+    def run():
+        sim = SynchronousSimulator(net, aut, init.copy())
+        sim.run(10)
+
+    benchmark(run)

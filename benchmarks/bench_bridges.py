@@ -1,0 +1,129 @@
+"""E2 — random-walk bridge finding (Section 2.1, Claim 2.1).
+
+Paper claims: bridges never exceed ±1; non-bridges exceed ±1 in expected
+O(mn) steps (proof bound 2(3m+1)(3n)); with an O(c·m·n·log n) walk all
+non-bridges are identified whp; the algorithm is 1-sensitive.
+"""
+
+import numpy as np
+
+from repro.agents.walks import theoretical_hitting_bound
+from repro.algorithms.bridges import BridgeFinder
+from repro.network import generators
+from repro.network.properties import bridges as true_bridges
+
+from _benchlib import fit_loglog_slope, print_table
+
+
+def _mean_detection_steps(net_fn, trials=12):
+    steps = []
+    for seed in range(trials):
+        net = net_fn()
+        f = BridgeFinder(net, next(iter(net)), rng=seed)
+        f.run_until_all_nonbridges_found(true_bridges(net))
+        steps.append(f.steps)
+    return float(np.mean(steps))
+
+
+def test_detection_time_scaling(benchmark):
+    """Mean steps to flag all non-bridges vs the O(mn) bound, on cycles
+    (m = n, so the bound is O(n^2))."""
+
+    def compute():
+        rows = []
+        sizes = (6, 12, 24, 48)
+        means = []
+        for n in sizes:
+            mean = _mean_detection_steps(lambda n=n: generators.cycle_graph(n))
+            bound = theoretical_hitting_bound(n, n)
+            means.append(mean)
+            rows.append((n, n, round(mean), bound, f"{mean / bound:.3f}"))
+        slope = fit_loglog_slope(sizes, means)
+        return rows, slope
+
+    rows, slope = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E2: steps until every non-bridge exceeds ±1 (cycles, 12 seeds)",
+        ["n", "m", "mean steps", "2(3m+1)(3n)", "ratio"],
+        rows,
+    )
+    print(f"empirical growth exponent: {slope:.2f} (O(mn) on cycles = 2)")
+    # shape: within the proof bound, and growth ≈ quadratic (mn with m=n)
+    assert all(float(r[4]) < 1.0 for r in rows)
+    assert 1.3 < slope < 2.7
+
+
+def test_bridges_never_flagged(benchmark):
+    def compute():
+        rows = []
+        for name, net_fn in [
+            ("barbell(5,3)", lambda: generators.barbell_graph(5, 3)),
+            ("lollipop(5,4)", lambda: generators.lollipop_graph(5, 4)),
+            ("tree(20)", lambda: generators.random_tree(20, 1)),
+        ]:
+            net = net_fn()
+            tb = true_bridges(net)
+            f = BridgeFinder(net, next(iter(net)), rng=3)
+            f.run(20_000)
+            flagged_bridges = f.exceeded_edges() & tb
+            rows.append((name, len(tb), len(f.exceeded_edges()), len(flagged_bridges)))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E2b: bridges are never flagged (20k-step walks)",
+        ["graph", "#bridges", "#flagged", "#bridges flagged (must be 0)"],
+        rows,
+    )
+    assert all(r[3] == 0 for r in rows)
+
+
+def test_claim21_exact_hitting_vs_bound(benchmark):
+    """The proof, numerically: exact expected hitting time to EXCEEDED on
+    the lifted graph (linear solve) vs the 2(3m+1)(3n) bound vs the
+    measured detection time of the actual agent."""
+
+    def compute():
+        from repro.agents.analysis import exact_hitting_times
+        from repro.agents.lifted_graph import EXCEEDED, build_lifted_graph, lifted_node
+        from repro.network import generators as g
+
+        rows = []
+        for name, net_fn in [
+            ("cycle(6)", lambda: g.cycle_graph(6)),
+            ("cycle(10)", lambda: g.cycle_graph(10)),
+            ("theta(2,3,3)", lambda: g.theta_graph(2, 3, 3)),
+            ("K5", lambda: g.complete_graph(5)),
+        ]:
+            net = net_fn()
+            edge = net.edges()[0]
+            lifted = build_lifted_graph(net, edge)
+            exact = exact_hitting_times(lifted, EXCEEDED)[lifted_node(edge[0], 0)]
+            bound = theoretical_hitting_bound(net.num_nodes, net.num_edges)
+            # measured: steps for THIS edge's counter to exceed ±1
+            measured = []
+            for seed in range(15):
+                f = BridgeFinder(net_fn(), edge[0], rng=seed)
+                while not f._records[edge].exceeded:
+                    f.step()
+                measured.append(f.steps)
+            rows.append(
+                (name, round(exact, 1), round(float(np.mean(measured)), 1), bound)
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E2c: Claim 2.1 — exact lifted-graph hitting time vs measured vs bound",
+        ["graph", "exact E[T]", "measured mean (15 seeds)", "2(3m+1)(3n)"],
+        rows,
+    )
+    for _name, exact, measured, bound in rows:
+        assert exact <= bound
+        assert measured < 4 * exact + 50  # empirical tracks the exact value
+
+
+def test_walk_step_benchmark(benchmark):
+    net = generators.connected_gnp_graph(100, 0.08, 2)
+    f = BridgeFinder(net, 0, rng=2)
+    benchmark(lambda: f.run(1000))

@@ -1,0 +1,146 @@
+"""E12 — randomized leader election (Section 4.7, Algorithm 4.4).
+
+Paper claims: Claim 4.1 (per-phase elimination probability >= 1/4 with
+>= 2 remaining); Claim 4.2 (multi-cluster inconsistency detected in O(n)
+steps w.p. >= 1 - 2^{-n/2}); Θ(log n) phases whp; O(n log n) total time;
+exactly one leader at termination.
+
+The scaling series run on the phase-level reference model (mirroring the
+paper's analysis); the full local-rule automaton is validated end-to-end
+at smaller sizes.
+"""
+
+import math
+
+import numpy as np
+
+from repro.algorithms import election, election_reference as er
+from repro.network import generators
+
+from _benchlib import fit_loglog_slope, print_table
+
+
+def test_claim41_elimination_probability(benchmark):
+    def compute():
+        net = generators.connected_gnp_graph(24, 0.2, 1)
+        rows = []
+        for remaining in (2, 4, 8, 16):
+            for detection in ("optimistic", "nearest"):
+                p = er.phase_elimination_probability(
+                    net, remaining, trials=4000, rng=1, detection=detection
+                )
+                rows.append((remaining, detection, f"{p:.3f}"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E12: Claim 4.1 — per-phase elimination probability (bound: 0.25)",
+        ["remaining", "detection", "P[eliminated]"],
+        rows,
+    )
+    assert all(float(r[2]) >= 0.22 for r in rows)
+
+
+def test_phase_count_logarithmic(benchmark):
+    def compute():
+        sizes = (16, 64, 256, 1024)
+        rows = []
+        means = []
+        for n in sizes:
+            net = generators.cycle_graph(n)
+            phases = [er.run_election(net, rng=s).phases for s in range(25)]
+            mean = float(np.mean(phases))
+            means.append(mean)
+            rows.append((n, f"{mean:.1f}", f"{math.log2(n):.1f}"))
+        return rows, means, sizes
+
+    rows, means, sizes = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E12b: phases to elect vs log2 n (25 seeds, reference model)",
+        ["n", "mean phases", "log2 n"],
+        rows,
+    )
+    # additive growth per 4x size increase — logarithmic shape
+    increments = [b - a for a, b in zip(means, means[1:])]
+    assert all(inc < 5 for inc in increments)
+    assert means[-1] < 3 * math.log2(sizes[-1])
+
+
+def test_total_time_n_log_n(benchmark):
+    def compute():
+        sizes = (32, 128, 512)
+        times = []
+        rows = []
+        for n in sizes:
+            net = generators.cycle_graph(n)
+            t = float(
+                np.mean([er.run_election(net, rng=s).simulated_time for s in range(10)])
+            )
+            times.append(t)
+            rows.append((n, round(t), f"{t / (n * math.log2(n)):.2f}"))
+        slope = fit_loglog_slope(sizes, times)
+        return rows, slope
+
+    rows, slope = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E12c: simulated election time vs n log2 n",
+        ["n", "mean time", "time / (n log2 n)"],
+        rows,
+    )
+    print(f"empirical growth exponent: {slope:.2f} (n log n ≈ 1.0-1.2)")
+    assert 0.9 < slope < 1.5
+
+
+def test_local_automaton_end_to_end(benchmark):
+    def compute():
+        rows = []
+        for name, net_fn in [
+            ("path(6)", lambda: generators.path_graph(6)),
+            ("cycle(8)", lambda: generators.cycle_graph(8)),
+            ("grid(3x3)", lambda: generators.grid_graph(3, 3)),
+            ("K5", lambda: generators.complete_graph(5)),
+        ]:
+            net = net_fn()
+            res = election.run_until_elected(net, rng=13)
+            rows.append((name, net.num_nodes, res.leader, res.steps))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E12d: full local-rule FSSGA election (unique leader, steps)",
+        ["graph", "n", "leader", "sync steps"],
+        rows,
+    )
+    assert all(r[2] is not None for r in rows)
+
+
+def test_local_automaton_step_scaling(benchmark):
+    """Synchronous steps of the full local-rule automaton at small n:
+    near-linear-with-log growth (constants are larger than the reference
+    model's because every cluster/colour/traversal round is simulated)."""
+
+    def compute():
+        rows = []
+        for n in (8, 16, 32, 64):
+            net = generators.connected_gnp_graph(n, min(0.9, 6.0 / n), 7)
+            steps = [
+                election.run_until_elected(net, rng=s).steps for s in range(3)
+            ]
+            mean = float(np.mean(steps))
+            rows.append((n, round(mean), f"{mean / (n * math.log2(n)):.1f}"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E12e: local-rule election steps vs n log2 n (3 seeds)",
+        ["n", "mean steps", "steps / (n log2 n)"],
+        rows,
+    )
+    # the normalized constant must not blow up with n (no quadratic drift)
+    ratios = [float(r[2]) for r in rows]
+    assert ratios[-1] < 4 * ratios[0] + 10
+
+
+def test_reference_election_benchmark(benchmark):
+    net = generators.cycle_graph(128)
+    benchmark(lambda: er.run_election(net, rng=3))

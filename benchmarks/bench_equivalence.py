@@ -1,0 +1,159 @@
+"""E4 — the Theorem 3.7 conversion cycle and its complexity blowup.
+
+Paper: sequential, parallel and mod-thresh SM programs are the same class
+(Lemmas 3.5/3.8/3.9), and "the constructions of Lemmas 3.8 and 3.9 can
+entail an exponential increase in program complexity".  We measure the
+clause/state growth as the orbit structure scales.
+"""
+
+from repro.core.convert import (
+    modthresh_to_parallel,
+    parallel_to_sequential,
+    sequential_to_modthresh,
+)
+from repro.core.multiset import iter_multisets
+from repro.core.sequential import SequentialProgram
+
+from _benchlib import print_table
+
+
+def threshold_program(t, alphabet_size):
+    """Counts 'x0' inputs, saturating at t, over an alphabet of the given
+    size — per-state orbits have tail t, so Lemma 3.9 emits ~(t+1) clauses
+    per counted state."""
+    states = [f"x{i}" for i in range(alphabet_size)]
+
+    def p(w, q):
+        return tuple(
+            min(w[i] + (1 if q == states[i] else 0), t) for i in range(len(states))
+        )
+
+    import itertools
+
+    working = frozenset(itertools.product(range(t + 1), repeat=len(states)))
+    return (
+        SequentialProgram(
+            working,
+            tuple([0] * len(states)),
+            p,
+            lambda w: sum(w),
+            name=f"thr{t}x{alphabet_size}",
+        ),
+        states,
+    )
+
+
+def test_lemma39_clause_blowup(benchmark):
+    """Clause count of the Lemma 3.9 construction = ∏_j (t_j + m_j): grows
+    as (t+1)^|Q| — exponential in the alphabet size."""
+
+    def compute():
+        rows = []
+        for a in (1, 2, 3):
+            for t in (1, 2, 3):
+                sp, states = threshold_program(t, a)
+                mt = sequential_to_modthresh(sp, states)
+                rows.append((a, t, (t + 1) ** a, len(mt.clauses) + 1))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E4: Lemma 3.9 clause count vs ∏(t_j + m_j)",
+        ["|Q|", "t", "(t+1)^|Q|", "clauses (incl default)"],
+        rows,
+    )
+    for a, t, expect, got in rows:
+        assert got <= expect
+        assert got >= expect // 2  # same order: the blowup is real
+
+
+def test_lemma38_state_blowup(benchmark):
+    """Working-state count of Lemma 3.8 = ∏_i M_i (T_i + 1)."""
+
+    def compute():
+        rows = []
+        for a in (1, 2, 3):
+            sp, states = threshold_program(2, a)
+            mt = sequential_to_modthresh(sp, states)
+            pp = modthresh_to_parallel(mt, states)
+            rows.append((a, len(pp.working_states)))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E4b: Lemma 3.8 working-state count vs alphabet size",
+        ["|Q|", "|W|"],
+        rows,
+    )
+    # exponential growth: each extra alphabet state multiplies |W|
+    assert rows[1][1] >= 3 * rows[0][1]
+    assert rows[2][1] >= 3 * rows[1][1]
+
+
+def test_cycle_semantics_preserved(benchmark):
+    def compute():
+        sp, states = threshold_program(2, 2)
+        mt = sequential_to_modthresh(sp, states)
+        pp = modthresh_to_parallel(mt, states)
+        sp2 = parallel_to_sequential(pp)
+        mismatches = 0
+        checked = 0
+        for ms in iter_multisets(states, 6):
+            checked += 1
+            if sp2.evaluate(ms) != sp.evaluate(ms):
+                mismatches += 1
+        return checked, mismatches
+
+    checked, mismatches = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E4c: full cycle seq→mt→par→seq pointwise agreement",
+        ["multisets checked", "mismatches"],
+        [(checked, mismatches)],
+    )
+    assert mismatches == 0
+
+
+def test_pruning_shrinks_lemma39_output(benchmark):
+    """Ablation: cascade pruning vs the raw Lemma 3.9 construction."""
+
+    def compute():
+        from repro.core.simplify import programs_equivalent, prune_cascade
+
+        rows = []
+        for a, t in [(1, 3), (2, 2), (2, 3)]:
+            sp, states = threshold_program(t, a)
+            # boolean output: many multiplicity classes share a result, so
+            # Lemma 3.9's one-clause-per-class cascade is redundant.
+            sp_bool = SequentialProgram(
+                sp.working_states,
+                sp.start,
+                sp.process,
+                lambda w, _t=t: sum(w) >= _t,
+                name=f"any-{t}",
+            )
+            mt = sequential_to_modthresh(sp_bool, states)
+            pruned = prune_cascade(mt, states)
+            assert programs_equivalent(mt, pruned, states)
+            rows.append(
+                (
+                    a,
+                    t,
+                    len(mt.clauses) + 1,
+                    len(pruned.clauses) + 1,
+                    f"{(len(pruned.clauses) + 1) / (len(mt.clauses) + 1):.2f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E4d: ablation — cascade size before/after pruning",
+        ["|Q|", "t", "raw clauses", "pruned", "ratio"],
+        rows,
+    )
+    assert all(r[3] <= r[2] for r in rows)
+
+
+def test_conversion_time_benchmark(benchmark):
+    sp, states = threshold_program(3, 2)
+    benchmark(lambda: sequential_to_modthresh(sp, states))

@@ -1,0 +1,49 @@
+"""Extension — firing squad synchronization on paths (Section 5.2).
+
+The paper poses the FSSGA firing squad for general graphs as open and
+cites path-graph solutions; this harness exercises our Minsky-style path
+CA: simultaneous firing for every n, at time ≈ 3n.
+"""
+
+from repro.algorithms.firing_squad import run_firing_squad, space_time_diagram
+
+from _benchlib import fit_loglog_slope, print_table
+
+
+def test_firing_time_series(benchmark):
+    def compute():
+        rows = []
+        sizes = (8, 16, 32, 64, 128, 256)
+        times = []
+        for n in sizes:
+            t, simultaneous = run_firing_squad(n)
+            times.append(t)
+            rows.append((n, t, f"{t / n:.2f}", simultaneous))
+        slope = fit_loglog_slope(sizes, times)
+        return rows, slope
+
+    rows, slope = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "EXT: firing squad — synchronization time vs n",
+        ["n", "firing time", "t/n", "simultaneous"],
+        rows,
+    )
+    print(f"empirical growth exponent: {slope:.2f} (linear = 1.0)")
+    assert all(r[3] for r in rows)
+    assert all(2.0 <= float(r[2]) <= 3.2 for r in rows)
+    assert 0.95 < slope < 1.1
+
+
+def test_space_time_artifact(benchmark):
+    def compute():
+        return space_time_diagram(10)
+
+    frames = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n== EXT-b: space-time diagram, n = 10 ==")
+    for t, fr in enumerate(frames):
+        print(f"  t={t:3d}  {fr}")
+    assert frames[-1] == "F" * 10
+
+
+def test_firing_squad_benchmark(benchmark):
+    benchmark(lambda: run_firing_squad(64))

@@ -1,0 +1,98 @@
+"""E11 — the greedy tourist vs Milgram (Section 4.6).
+
+Paper claims: the greedy tourist traverses in O(n log n) agent steps
+([20]) and O(n log² n) FSSGA time, and its sensitivity is 1 (2 async) —
+against Milgram's exactly-2n-2 moves but Θ(n) sensitivity.
+"""
+
+import math
+
+import numpy as np
+
+from repro.algorithms.greedy_traversal import run_greedy_traversal
+from repro.algorithms.traversal import run_traversal
+from repro.network import generators
+from repro.sensitivity.critical import chi_agent, chi_arm
+
+from _benchlib import print_table
+
+
+def test_agent_steps_scaling(benchmark):
+    def compute():
+        rows = []
+        for n in (16, 32, 64, 128):
+            net = generators.connected_gnp_graph(n, min(0.9, 6.0 / n), 4)
+            t = run_greedy_traversal(net, 0, rng=4)
+            bound = n * math.log2(n)
+            rows.append(
+                (n, t.agent_steps, round(bound), f"{t.agent_steps / bound:.2f}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E11: greedy tourist agent steps vs n log2 n",
+        ["n", "agent steps", "n log2 n", "ratio"],
+        rows,
+    )
+    assert all(float(r[3]) < 2.0 for r in rows)
+
+
+def test_greedy_vs_milgram_tradeoff(benchmark):
+    """The paper's trade-off table: moves vs criticality."""
+
+    def compute():
+        rows = []
+        for n in (12, 24, 48):
+            net = generators.connected_gnp_graph(n, min(0.9, 5.0 / n), 8)
+            milgram = run_traversal(net.copy(), 0, rng=8)
+            greedy = run_greedy_traversal(net.copy(), 0, rng=8)
+            # criticality: greedy = 1 (agent); Milgram = max arm length,
+            # measured as the longest run of consecutive itinerary
+            # extensions (lower bound on max |χ|) — we report n as the
+            # worst case per the paper, and 1 for the agent.
+            rows.append(
+                (
+                    n,
+                    milgram.hand_moves,
+                    greedy.agent_steps,
+                    "Θ(n)",
+                    len(chi_agent(greedy.itinerary[-1])),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E11b: who wins on which axis (moves vs sensitivity)",
+        ["n", "milgram moves", "greedy moves", "milgram χ", "greedy |χ|"],
+        rows,
+    )
+    for n, mil, gre, _chi_m, chi_g in rows:
+        assert mil == 2 * n - 2          # Milgram wins on move count
+        assert gre >= n - 1              # greedy pays extra moves...
+        assert chi_g == 1                # ...but keeps one critical node
+
+
+def test_fssga_time_n_log_squared(benchmark):
+    def compute():
+        rows = []
+        for n in (16, 32, 64):
+            net = generators.connected_gnp_graph(n, min(0.9, 6.0 / n), 5)
+            t = run_greedy_traversal(net, 0, rng=5)
+            bound = n * math.log2(n) ** 2
+            rows.append((n, t.fssga_time, round(bound), f"{t.fssga_time / bound:.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E11c: modeled FSSGA time vs n log2² n",
+        ["n", "fssga time", "n log² n", "ratio"],
+        rows,
+    )
+    assert all(float(r[3]) < 2.0 for r in rows)
+
+
+def test_greedy_benchmark(benchmark):
+    net = generators.connected_gnp_graph(40, 0.15, 6)
+    benchmark(lambda: run_greedy_traversal(net, 0, rng=6))

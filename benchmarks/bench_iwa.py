@@ -1,0 +1,97 @@
+"""E13 — IWA ↔ FSSGA mutual simulation slowdowns (Section 5.1).
+
+Paper claims: an IWA computes one synchronous FSSGA round in O(m) time
+(Milgram traversal + Lemma 3.8 neighbour counting); an FSSGA simulates an
+IWA with O(log Δ) delay per step (local symmetry breaking).
+"""
+
+import math
+
+import numpy as np
+
+from repro.algorithms import two_coloring as tc
+from repro.iwa import IWA, IWARule, FssgaIwaSimulator, IwaRoundSimulator
+from repro.network import NetworkState, generators
+
+from _benchlib import fit_loglog_slope, print_table
+
+
+def test_iwa_round_cost_linear_in_m(benchmark):
+    def compute():
+        rows = []
+        ms = []
+        costs = []
+        for n in (10, 20, 40, 80):
+            net = generators.cycle_graph(n)  # m = n
+            progs = tc.sticky_programs()
+            init = NetworkState.from_function(
+                net, lambda v: tc.RED if v == 0 else tc.BLANK
+            )
+            sim = IwaRoundSimulator(net, progs, init)
+            sim.run_round()
+            ms.append(net.num_edges)
+            costs.append(sim.primitive_steps)
+            rows.append((n, net.num_edges, sim.primitive_steps,
+                         f"{sim.primitive_steps / net.num_edges:.1f}"))
+        slope = fit_loglog_slope(ms, costs)
+        return rows, slope
+
+    rows, slope = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E13: IWA primitives per synchronous FSSGA round vs m",
+        ["n", "m", "primitives", "primitives/m"],
+        rows,
+    )
+    print(f"empirical growth exponent: {slope:.2f} (Θ(m) = 1.0)")
+    assert 0.85 < slope < 1.15
+
+
+def _marker_iwa():
+    return IWA(
+        [
+            IWARule("go", "white", "black", "go", "white", True, "white"),
+            IWARule("go", "white", "black", "done"),
+        ],
+        "go",
+    )
+
+
+def test_fssga_delay_log_delta(benchmark):
+    def compute():
+        rows = []
+        degrees = (4, 16, 64, 256)
+        means = []
+        for d in degrees:
+            rounds = []
+            for seed in range(25):
+                net = generators.star_graph(d)
+                labels = {v: "white" for v in net}
+                sim = FssgaIwaSimulator(_marker_iwa(), net, labels, 0, rng=seed)
+                sim.step()
+                rounds.append(sim.fssga_rounds)
+            mean = float(np.mean(rounds))
+            means.append(mean)
+            rows.append((d, f"{mean:.1f}", f"{math.log2(d):.0f}"))
+        return rows, means
+
+    rows, means = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E13b: FSSGA rounds per IWA step vs degree Δ (25 seeds)",
+        ["Δ", "mean rounds", "log2 Δ"],
+        rows,
+    )
+    # logarithmic: each 4x in degree adds a ~constant number of rounds
+    increments = [b - a for a, b in zip(means, means[1:])]
+    assert all(inc < 6 for inc in increments)
+
+
+def test_iwa_round_benchmark(benchmark):
+    net = generators.grid_graph(8, 8)
+    progs = tc.sticky_programs()
+    init = NetworkState.from_function(net, lambda v: tc.RED if v == 0 else tc.BLANK)
+
+    def run():
+        sim = IwaRoundSimulator(net, progs, init)
+        sim.run(3)
+
+    benchmark(run)

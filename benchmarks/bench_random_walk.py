@@ -1,0 +1,126 @@
+"""E9 — the emergent random walk (Section 4.4, Algorithm 4.2).
+
+Paper claims: the protocol realizes a uniform random walk (each neighbour
+equally likely to win the hand-off), and the expected number of rounds per
+move at a degree-d node is Θ(log d).
+"""
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.algorithms import random_walk as rw
+from repro.network import generators
+
+from _benchlib import print_table
+
+
+def test_rounds_per_move_logarithmic(benchmark):
+    def compute():
+        rows = []
+        for d in (2, 4, 8, 16, 32, 64):
+            net = generators.star_graph(d)
+            steps = []
+            for seed in range(30):
+                obs = rw.run_walk(net, 0, moves=1, rng=seed)
+                steps.append(obs.steps_per_move[0])
+            rows.append(
+                (d, f"{np.mean(steps):.1f}", f"{math.log2(d):.1f}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E9: synchronous steps per walker move vs degree (30 seeds)",
+        ["degree d", "mean steps", "log2 d"],
+        rows,
+    )
+    # Θ(log d): each doubling of d adds a ~constant number of steps
+    means = [float(r[1]) for r in rows]
+    increments = [b - a for a, b in zip(means, means[1:])]
+    assert max(increments) < 8  # additive, not multiplicative growth
+    assert means[-1] < 12 * math.log2(64)
+
+
+def test_move_distribution_uniform(benchmark):
+    def compute():
+        net = generators.star_graph(5)
+        wins = Counter()
+        trials = 150
+        for seed in range(trials):
+            obs = rw.run_walk(net, 0, moves=1, rng=seed)
+            wins[obs.positions[1]] += 1
+        return [(leaf, wins[leaf], f"{wins[leaf] / trials:.2f}") for leaf in range(1, 6)]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E9b: hand-off winner distribution on a 5-leaf star (uniform = .20)",
+        ["leaf", "wins", "fraction"],
+        rows,
+    )
+    assert all(0.08 <= float(r[2]) <= 0.35 for r in rows)
+
+
+def test_stationary_occupancy_tracks_degree(benchmark):
+    def compute():
+        net = generators.lollipop_graph(5, 3)
+        obs = rw.run_walk(net, 0, moves=1200, rng=3)
+        occupancy = Counter(obs.positions)
+        deg_sum = sum(net.degree(v) for v in net)
+        rows = []
+        for v in sorted(net.nodes()):
+            expected = net.degree(v) / deg_sum
+            actual = occupancy[v] / len(obs.positions)
+            rows.append((v, net.degree(v), f"{expected:.3f}", f"{actual:.3f}"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E9c: stationary occupancy vs degree/2m (1200 moves)",
+        ["node", "degree", "expected", "observed"],
+        rows,
+    )
+    assert all(abs(float(r[2]) - float(r[3])) < 0.09 for r in rows)
+
+
+def test_cover_time_scaling(benchmark):
+    """Cover time of the emergent walk on cycles: Θ(n²) positions visited
+    — matching the simple-random-walk cover time, since the emergent walk
+    IS a uniform walk."""
+
+    def compute():
+        from repro.runtime.simulator import SynchronousSimulator
+
+        rows = []
+        sizes = (6, 12, 24)
+        for n in sizes:
+            moves_needed = []
+            for seed in range(8):
+                net = generators.cycle_graph(n)
+                automaton, init = rw.build(net, 0, rng=seed)
+                sim = SynchronousSimulator(net, automaton, init, rng=seed)
+                obs = rw.WalkObserver(0)
+                visited = {0}
+                while len(visited) < n:
+                    sim.step()
+                    obs.observe(sim.state)
+                    visited.add(obs.positions[-1])
+                moves_needed.append(obs.moves)
+            mean = float(np.mean(moves_needed))
+            rows.append((n, round(mean), f"{mean / (n * n):.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E9d: cover time (in walker moves) on cycles vs n²",
+        ["n", "mean moves to cover", "moves / n²"],
+        rows,
+    )
+    # cycle cover time is n(n-1)/2: the ratio sits near 0.5
+    assert all(0.2 <= float(r[2]) <= 1.2 for r in rows)
+
+
+def test_walk_step_benchmark(benchmark):
+    net = generators.connected_gnp_graph(60, 0.1, 4)
+    benchmark(lambda: rw.run_walk(net, 0, moves=10, rng=4))

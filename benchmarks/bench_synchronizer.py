@@ -1,0 +1,111 @@
+"""E7 — the α synchronizer (Section 4.2).
+
+Paper claims: adjacent clocks differ by at most 1 (so mod 3 suffices);
+with every node activating at least once per unit time, each clock
+advances at least once per unit time; no communication overhead relative
+to the synchronous algorithm; the synchronized asynchronous execution
+reproduces the synchronous one.
+"""
+
+from collections import Counter
+
+from repro.algorithms import synchronizer as alpha
+from repro.core.automaton import FSSGA
+from repro.network import NetworkState, generators
+from repro.runtime.simulator import AsynchronousSimulator, SynchronousSimulator
+
+from _benchlib import print_table
+
+
+def epidemic():
+    return FSSGA(
+        {0, 1}, lambda own, view: 1 if own == 1 or view.at_least(1, 1) else 0
+    )
+
+
+def test_clock_progress_per_unit_time(benchmark):
+    def compute():
+        rows = []
+        for name, net_fn in [
+            ("path(20)", lambda: generators.path_graph(20)),
+            ("grid(5x5)", lambda: generators.grid_graph(5, 5)),
+            ("gnp(30,.15)", lambda: generators.connected_gnp_graph(30, 0.15, 1)),
+        ]:
+            net = net_fn()
+            inner = epidemic()
+            init = NetworkState.uniform(net, 0)
+            init[next(iter(net))] = 1
+            comp = alpha.wrap(inner)
+            asim = AsynchronousSimulator(net, comp, alpha.initial_state(init), rng=5)
+            clocks = {v: 0 for v in net}
+            rounds = 12
+            for _ in range(rounds):
+                order = net.nodes()
+                asim.rng.shuffle(order)
+                for v in order:
+                    before = asim.state[v][2]
+                    new = comp.transition(
+                        asim.state[v],
+                        Counter(asim.state[u] for u in net.neighbors(v)),
+                    )
+                    asim.state.set(v, new)
+                    if new[2] != before:
+                        clocks[v] += 1
+            rows.append((name, rounds, min(clocks.values()), max(clocks.values())))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E7: clock advancement over k fair units of time",
+        ["graph", "units k", "min clock", "max clock"],
+        rows,
+    )
+    for _name, k, lo, _hi in rows:
+        assert lo >= k  # each clock advanced at least k times
+
+
+def test_async_reproduces_sync(benchmark):
+    def compute():
+        net = generators.grid_graph(4, 5)
+        inner = epidemic()
+        init = NetworkState.uniform(net, 0)
+        init[0] = 1
+        sync = SynchronousSimulator(net.copy(), inner, init.copy())
+        sync.run_until_stable()
+        comp = alpha.wrap(inner)
+        matches = 0
+        for seed in range(6):
+            asim = AsynchronousSimulator(
+                net.copy(), comp, alpha.initial_state(init), rng=seed
+            )
+            asim.run_fair_rounds(25)
+            final = {v: asim.state[v][0] for v in net}
+            if final == dict(sync.state.items()):
+                matches += 1
+        return matches
+
+    matches = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E7b: synchronized async runs matching the sync fixed point",
+        ["matching runs (of 6)"],
+        [(matches,)],
+    )
+    assert matches == 6
+
+
+def test_wrapped_step_overhead_benchmark(benchmark):
+    """The 'no complexity increase' claim, measured: one fair round of the
+    wrapped automaton."""
+    net = generators.grid_graph(10, 10)
+    inner = epidemic()
+    init = NetworkState.uniform(net, 0)
+    init[0] = 1
+    comp = alpha.wrap(inner)
+
+    def run():
+        asim = AsynchronousSimulator(
+            net, comp, alpha.initial_state(init), rng=1
+        )
+        asim.run_fair_rounds(3)
+
+    benchmark(run)

@@ -1,0 +1,89 @@
+"""E16 — the Section 5 tape generalization.
+
+Paper: the sequential→parallel construction extends to tape automata with
+working-state size w'(N) = O(2^{q(N)} · w(N)); whether O(w(N)) always
+suffices is posed as open.  We instantiate families and measure the
+constructed parallel working-state bit count against the bound.
+"""
+
+from repro.core.multiset import iter_multisets
+from repro.core.tape import (
+    TapeProgramFamily,
+    all_bitstrings,
+    instantiate,
+    parallel_working_bits,
+    tape_sequential_to_parallel,
+)
+
+from _benchlib import print_table
+
+
+def bitor_family():
+    return TapeProgramFamily(
+        input_bits=lambda n: n,
+        working_bits=lambda n: n,
+        start=lambda n: "0" * n,
+        process=lambda n, w, q: "".join(
+            "1" if a == "1" or b == "1" else "0" for a, b in zip(w, q)
+        ),
+        output=lambda n, w: w,
+        name="bitor",
+    )
+
+
+def counter_family():
+    return TapeProgramFamily(
+        input_bits=lambda n: n,
+        working_bits=lambda n: 3,
+        start=lambda n: "000",
+        process=lambda n, w, q: format(min(int(w, 2) + q.count("1"), 7), "03b"),
+        output=lambda n, w: int(w, 2),
+        name="popcount-sat7",
+    )
+
+
+def test_working_bits_vs_bound(benchmark):
+    def compute():
+        rows = []
+        for fam in (bitor_family(), counter_family()):
+            for n in (1, 2, 3):
+                measured = parallel_working_bits(fam, n)
+                bound = (2 ** fam.input_bits(n)) * max(fam.working_bits(n), 1)
+                rows.append((fam.name, n, fam.working_bits(n), measured, 4 * bound))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E16: parallel working bits vs the O(2^q · w) bound",
+        ["family", "N", "w(N)", "measured bits", "4·2^q·w"],
+        rows,
+    )
+    assert all(r[3] <= r[4] for r in rows)
+
+
+def test_construction_correctness(benchmark):
+    def compute():
+        mismatches = 0
+        checked = 0
+        for fam in (bitor_family(), counter_family()):
+            for n in (1, 2):
+                sp = instantiate(fam, n)
+                pp = tape_sequential_to_parallel(fam, n)
+                for ms in iter_multisets(all_bitstrings(fam.input_bits(n)), 3):
+                    checked += 1
+                    if pp.evaluate(ms) != sp.evaluate(ms):
+                        mismatches += 1
+        return checked, mismatches
+
+    checked, mismatches = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E16b: uniform construction pointwise agreement",
+        ["multisets checked", "mismatches"],
+        [(checked, mismatches)],
+    )
+    assert mismatches == 0
+
+
+def test_tape_instantiation_benchmark(benchmark):
+    fam = bitor_family()
+    benchmark(lambda: tape_sequential_to_parallel(fam, 3))

@@ -1,0 +1,87 @@
+"""E5 — Figure 1 / Definitions 3.3-3.4: tree-combination invariance.
+
+The paper's Figure 1 visualizes a parallel SM automaton as a tree process;
+Definition 3.4 demands the result be independent of the reduction tree and
+the leaf permutation.  We quantify: for a valid parallel program, every
+tree shape (all Catalan(k-1) of them) and every permutation agree; for an
+invalid combiner they scatter.
+"""
+
+import itertools
+
+from repro.core.parallel import ParallelProgram
+from repro.core.trees import all_trees, balanced_tree, left_comb, render_tree, tree_combine
+
+from _benchlib import print_table
+
+
+def sat_sum():
+    return ParallelProgram(
+        frozenset(range(4)), lambda q: min(q, 3), lambda a, b: min(a + b, 3),
+        lambda w: w, name="satsum",
+    )
+
+
+def test_tree_invariance_census(benchmark):
+    def compute():
+        pp = sat_sum()
+        rows = []
+        for k in (3, 4, 5, 6, 7):
+            vals = [1, 0, 1, 1, 0, 1, 0][:k]
+            trees = list(all_trees(k))
+            results = set()
+            evals = 0
+            for perm in set(itertools.permutations(vals)):
+                for t in trees:
+                    results.add(pp.evaluate(list(perm), tree=t))
+                    evals += 1
+            rows.append((k, len(trees), evals, len(results)))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E5: results over all trees x permutations (valid program)",
+        ["k", "Catalan(k-1) trees", "evaluations", "distinct results (must be 1)"],
+        rows,
+    )
+    assert all(r[3] == 1 for r in rows)
+
+
+def test_invalid_combiner_scatters(benchmark):
+    def compute():
+        bad = ParallelProgram(
+            frozenset(range(-40, 41)), lambda q: q,
+            lambda a, b: max(-40, min(40, a - b)), lambda w: w,
+        )
+        vals = [7, 3, 2, 1]
+        results = {
+            bad.evaluate(vals, tree=t) for t in all_trees(4)
+        }
+        return len(results)
+
+    distinct = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E5b: non-associative combiner over all 4-leaf trees",
+        ["distinct results (must be > 1)"],
+        [(distinct,)],
+    )
+    assert distinct > 1
+
+
+def test_figure1_rendering(benchmark):
+    """Reproduce the Figure 1 artefact: a rendered combination tree."""
+
+    def compute():
+        t = balanced_tree(5)
+        return render_tree(t, labels="abcde")
+
+    art = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("E5c: Figure 1 (balanced 5-leaf combination tree)", ["render"], [(art,)])
+    assert art.count("(") == 4  # k-1 internal nodes
+
+
+def test_deep_comb_combine_benchmark(benchmark):
+    k = 20_000
+    tree = left_comb(k)
+    vals = [1] * k
+    benchmark(lambda: tree_combine(lambda a, b: a + b, tree, vals))

@@ -1,0 +1,17 @@
+"""Pytest fixtures for the benchmark/experiment harness.
+
+Each ``bench_*.py`` module reproduces one experiment from EXPERIMENTS.md
+(the paper is a theory paper with no tables/figures of its own, so the
+experiments validate its quantitative *claims*).  Benchmarks both time a
+representative workload via pytest-benchmark and print the series each
+claim predicts, in paper-style rows.
+"""
+
+import pytest
+
+from _benchlib import print_table
+
+
+@pytest.fixture
+def table():
+    return print_table

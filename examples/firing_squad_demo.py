@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Firing squad synchronization on a path (Section 5.2 extension).
+
+Prints the full space-time diagram of the Minsky-style divide-and-conquer
+solution: the general (cell 0) launches a fast signal (>) and a slow
+signal (s); the reflected fast signal (<) meets the slow one mid-segment,
+spawning new generals (G); the recursion halves segments until every cell
+is a general and all fire (F) simultaneously at time ≈ 3n.
+
+Run:  python examples/firing_squad_demo.py [n]
+"""
+
+import sys
+
+from repro.algorithms.firing_squad import run_firing_squad, space_time_diagram
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    print(f"firing squad on a path of {n} cells "
+          f"(legend: G general, >/< fast, s slow, * both, F fired)\n")
+    for t, frame in enumerate(space_time_diagram(n)):
+        print(f"  t={t:3d}  {frame}")
+
+    print("\nfiring time vs 3n:")
+    for m in (8, 16, 32, 64, 128):
+        t, simultaneous = run_firing_squad(m)
+        print(f"  n={m:4d}: t={t:4d}  t/n={t / m:.2f}  simultaneous={simultaneous}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — Finite-State Symmetric Graph Automata (FSSGA).
+
+A full reproduction of David Pritchard and Santosh Vempala, *Symmetric
+Network Computation*, SPAA 2006: the three equivalent formulations of
+symmetric multi-input finite-state (FSM) functions and their constructive
+conversions (Theorem 3.7), the FSSGA distributed-computing model, the
+paper's algorithm suite (2-colouring, α-synchronizer, BFS, random walk,
+Milgram and greedy traversals, randomized leader election), the
+k-sensitivity fault-tolerance framework, and the isotonic-web-automaton
+equivalence.
+
+Quickstart::
+
+    from repro import SynchronousSimulator
+    from repro.network import generators
+    from repro.algorithms import two_coloring
+
+    net = generators.cycle_graph(8)
+    automaton, init = two_coloring.build(net, origin=0)
+    sim = SynchronousSimulator(net, automaton, init)
+    sim.run_until_stable()
+    print(sim.state.counts())
+"""
+
+from repro.core import (
+    FSSGA,
+    ProbabilisticFSSGA,
+    NeighborhoodView,
+    SequentialProgram,
+    ParallelProgram,
+    ModThreshProgram,
+    Multiset,
+)
+from repro.network import Network, NetworkState
+from repro.runtime import (
+    SynchronousSimulator,
+    AsynchronousSimulator,
+    FaultPlan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FSSGA",
+    "ProbabilisticFSSGA",
+    "NeighborhoodView",
+    "SequentialProgram",
+    "ParallelProgram",
+    "ModThreshProgram",
+    "Multiset",
+    "Network",
+    "NetworkState",
+    "SynchronousSimulator",
+    "AsynchronousSimulator",
+    "FaultPlan",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Single-agent-on-a-graph substrate (paper, Sections 2.1, 4.5, 4.6).
+
+An *agent* inhabits one node at a time and may move along edges.  This
+subpackage provides the walk machinery used by the bridge-finding algorithm
+(random walks with oriented edge counters), the greedy tourist, and the
+Claim 2.1 lifted-graph construction used in the paper's hitting-time proof.
+"""
+
+from repro.agents.agent import Agent, RandomWalkAgent
+from repro.agents.analysis import (
+    exact_hitting_times,
+    mixing_time_bound,
+    spectral_gap,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.agents.walks import (
+    cover_time,
+    empirical_hitting_time,
+    walk_until,
+)
+from repro.agents.lifted_graph import build_lifted_graph, EXCEEDED
+
+__all__ = [
+    "Agent",
+    "RandomWalkAgent",
+    "cover_time",
+    "empirical_hitting_time",
+    "walk_until",
+    "build_lifted_graph",
+    "EXCEEDED",
+    "exact_hitting_times",
+    "mixing_time_bound",
+    "spectral_gap",
+    "stationary_distribution",
+    "transition_matrix",
+]

@@ -1,0 +1,106 @@
+"""Agents: entities inhabiting one node of a network at a time.
+
+The paper (Section 2.1): "An agent is an entity that inhabits one node of
+the network at a time.  An agent at v can move to w in one step if and only
+if v and w are adjacent."  Agent algorithms typically have sensitivity
+Θ(1): the only critical node is the agent's position.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.network.graph import Network, Node
+
+__all__ = ["Agent", "RandomWalkAgent"]
+
+
+class Agent:
+    """A movable token on a network.
+
+    Tracks its position and the number of steps taken.  Movement is only
+    allowed along live edges; if the current node dies, the agent is lost
+    (position becomes ``None``) — this is the critical failure of a
+    1-sensitive agent algorithm.
+    """
+
+    def __init__(self, net: Network, start: Node) -> None:
+        if start not in net:
+            raise KeyError(f"start node {start!r} not in network")
+        self.net = net
+        self.position: Optional[Node] = start
+        self.steps_taken = 0
+        self.visited: set[Node] = {start}
+
+    @property
+    def alive(self) -> bool:
+        """False once the agent's node has been deleted."""
+        if self.position is None or self.position not in self.net:
+            self.position = None
+            return False
+        return True
+
+    def move_to(self, target: Node) -> None:
+        """Step to an adjacent node."""
+        if not self.alive:
+            raise RuntimeError("agent has been lost to a node fault")
+        if not self.net.has_edge(self.position, target):
+            raise ValueError(
+                f"cannot move from {self.position!r} to non-adjacent {target!r}"
+            )
+        self.position = target
+        self.steps_taken += 1
+        self.visited.add(target)
+
+    def neighbors(self) -> list[Node]:
+        """Live neighbours of the current position (stable order)."""
+        if not self.alive:
+            return []
+        return sorted(self.net.neighbors(self.position), key=repr)
+
+
+class RandomWalkAgent(Agent):
+    """An agent taking uniformly random steps.
+
+    At each step the next position is drawn uniformly from the current
+    neighbours (the Section 2.1 walk).  A stuck agent (isolated node) stays
+    put and the step still counts — matching the convention that the walk's
+    clock keeps ticking.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        start: Node,
+        rng: Union[int, np.random.Generator, None] = None,
+    ) -> None:
+        super().__init__(net, start)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    def random_step(self) -> Optional[tuple[Node, Node]]:
+        """Take one random step; returns the (from, to) pair or ``None`` if
+        the agent is stuck or lost."""
+        if not self.alive:
+            return None
+        nbrs = self.neighbors()
+        if not nbrs:
+            self.steps_taken += 1
+            return None
+        src = self.position
+        dst = nbrs[int(self.rng.integers(len(nbrs)))]
+        self.move_to(dst)
+        return (src, dst)
+
+    def walk(
+        self,
+        steps: int,
+        on_step: Optional[Callable[[Node, Node], None]] = None,
+    ) -> None:
+        """Take ``steps`` random steps, invoking ``on_step(src, dst)`` after
+        each actual move."""
+        for _ in range(steps):
+            mv = self.random_step()
+            if mv is not None and on_step is not None:
+                on_step(*mv)

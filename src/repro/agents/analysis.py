@@ -1,0 +1,102 @@
+"""Spectral analysis of random walks on networks.
+
+Numerical companions to the Section 2.1 / 4.4 walk arguments: the
+transition matrix of the simple random walk, its stationary distribution
+(∝ degree), the spectral gap, and mixing/hitting quantities — computed
+with numpy/scipy so the emergent FSSGA walk (Algorithm 4.2) can be
+cross-validated against exact linear-algebra ground truth.
+
+Everything here is *analysis* of the substrate, not part of the FSSGA
+model itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.network.graph import Network, Node
+
+__all__ = [
+    "transition_matrix",
+    "stationary_distribution",
+    "spectral_gap",
+    "mixing_time_bound",
+    "exact_hitting_times",
+    "occupancy_distribution",
+]
+
+
+def transition_matrix(net: Network) -> tuple[np.ndarray, list[Node]]:
+    """The row-stochastic simple-random-walk matrix P and node order.
+
+    Requires minimum degree >= 1 (isolated nodes have no walk step).
+    """
+    adj, order = net.to_csr()
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    if (degrees == 0).any():
+        raise ValueError("transition matrix undefined with isolated nodes")
+    inv_deg = sparse.diags(1.0 / degrees)
+    return np.asarray((inv_deg @ adj).todense(), dtype=float), order
+
+
+def stationary_distribution(net: Network) -> dict[Node, float]:
+    """π(v) = deg(v) / 2m — the reversible walk's stationary law."""
+    two_m = 2.0 * net.num_edges
+    if two_m == 0:
+        raise ValueError("stationary distribution undefined without edges")
+    return {v: net.degree(v) / two_m for v in net}
+
+
+def spectral_gap(net: Network) -> float:
+    """1 - λ₂ where λ₂ is the second-largest eigenvalue modulus of P.
+
+    Zero gap signals disconnection or bipartite periodicity.
+    """
+    p, _ = transition_matrix(net)
+    eigvals = np.linalg.eigvals(p)
+    mods = np.sort(np.abs(eigvals))[::-1]
+    # the largest is 1 (stochastic); the gap uses the runner-up modulus.
+    return float(1.0 - mods[1]) if len(mods) > 1 else 1.0
+
+
+def mixing_time_bound(net: Network, epsilon: float = 0.25) -> float:
+    """The standard reversible-chain bound
+    ``t_mix(ε) <= (1/gap) · ln(1 / (ε · π_min))``.
+
+    Infinite (numpy inf) when the gap vanishes (disconnected or exactly
+    bipartite networks, where the lazy walk would be needed).
+    """
+    gap = spectral_gap(net)
+    if gap <= 1e-12:
+        return float("inf")
+    pi_min = min(stationary_distribution(net).values())
+    return float(np.log(1.0 / (epsilon * pi_min)) / gap)
+
+
+def exact_hitting_times(net: Network, target: Node) -> dict[Node, float]:
+    """Expected steps to reach ``target`` from every node, by solving the
+    linear system ``h(v) = 1 + mean_{u ~ v} h(u)``, ``h(target) = 0``."""
+    if target not in net:
+        raise KeyError(f"target {target!r} not in network")
+    p, order = transition_matrix(net)
+    index = {v: i for i, v in enumerate(order)}
+    t = index[target]
+    n = len(order)
+    keep = [i for i in range(n) if i != t]
+    a = np.eye(n - 1) - p[np.ix_(keep, keep)]
+    b = np.ones(n - 1)
+    h = np.linalg.solve(a, b)
+    out = {target: 0.0}
+    for pos, i in enumerate(keep):
+        out[order[i]] = float(h[pos])
+    return out
+
+
+def occupancy_distribution(positions: list[Node]) -> dict[Node, float]:
+    """Empirical occupancy of a recorded walk (for comparisons with π)."""
+    from collections import Counter
+
+    counts = Counter(positions)
+    total = len(positions)
+    return {v: c / total for v, c in counts.items()}

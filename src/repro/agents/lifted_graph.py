@@ -1,0 +1,62 @@
+"""The Claim 2.1 lifted-graph construction.
+
+To bound the time for a non-bridge edge's counter to exceed ±1, the paper
+builds a (3n+1)-node graph: three copies ``v^-1, v^0, v^1`` of each node —
+copy ``r`` meaning "the walk is at v and the counter equals r" — plus a
+special ``EXCEEDED`` node for counter value ±2.  Edges within each layer
+mirror the original graph minus the tracked edge; the tracked edge
+``(v1, v2)`` becomes the four "spiral" edges
+
+    (v1^-1, v2^0), (v1^0, v2^1), (v1^1, EXCEEDED), (EXCEEDED, v2^-1).
+
+A random walk on the lifted graph corresponds exactly to the original
+process (walk + counter), so the hitting time to EXCEEDED bounds the
+detection time.  :func:`build_lifted_graph` constructs this object, and the
+tests verify the stated node/edge counts and the process correspondence.
+"""
+
+from __future__ import annotations
+
+from repro.network.graph import Network, Node
+
+__all__ = ["EXCEEDED", "build_lifted_graph", "lifted_node"]
+
+#: The distinguished absorbing-ish node representing counter value ±2.
+EXCEEDED = "EXCEEDED"
+
+
+def lifted_node(v: Node, counter: int) -> tuple:
+    """The lifted copy ``v^counter`` for counter in {-1, 0, 1}."""
+    if counter not in (-1, 0, 1):
+        raise ValueError("layer counter must be -1, 0 or 1")
+    return (v, counter)
+
+
+def build_lifted_graph(net: Network, edge: tuple[Node, Node]) -> Network:
+    """Build the Claim 2.1 lifted graph for the oriented ``edge = (v1, v2)``.
+
+    The result has ``3n + 1`` nodes and ``3m + 1`` edges: ``3(m-1)`` layer
+    copies of the untracked edges plus the four spiral edges (which count as
+    ``3 + 1`` relative to the three removed copies of the tracked edge).
+    """
+    v1, v2 = edge
+    if not net.has_edge(v1, v2):
+        raise ValueError(f"edge ({v1!r}, {v2!r}) not in network")
+    lifted = Network()
+    for v in net:
+        for r in (-1, 0, 1):
+            lifted.add_node(lifted_node(v, r))
+    lifted.add_node(EXCEEDED)
+    # layer copies of every edge except the tracked one
+    for u, w in net.edges():
+        if {u, w} == {v1, v2}:
+            continue
+        for r in (-1, 0, 1):
+            lifted.add_edge(lifted_node(u, r), lifted_node(w, r))
+    # the spiral: traversing (v1 -> v2) increments the counter, and
+    # (v2 -> v1) decrements it; ±2 lands on EXCEEDED.
+    lifted.add_edge(lifted_node(v1, -1), lifted_node(v2, 0))
+    lifted.add_edge(lifted_node(v1, 0), lifted_node(v2, 1))
+    lifted.add_edge(lifted_node(v1, 1), EXCEEDED)
+    lifted.add_edge(EXCEEDED, lifted_node(v2, -1))
+    return lifted

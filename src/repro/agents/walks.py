@@ -1,0 +1,75 @@
+"""Random-walk statistics: hitting times, cover times, stopping rules.
+
+Used by the Claim 2.1 experiments: the expected number of steps for a
+non-bridge's counter to exceed ±1 is O(mn), established in the paper by a
+hitting-time argument on the lifted graph (see
+:mod:`repro.agents.lifted_graph`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.agents.agent import RandomWalkAgent
+from repro.network.graph import Network, Node
+
+__all__ = ["walk_until", "empirical_hitting_time", "cover_time", "theoretical_hitting_bound"]
+
+
+def walk_until(
+    agent: RandomWalkAgent,
+    stop: Callable[[RandomWalkAgent], bool],
+    max_steps: int = 10_000_000,
+) -> int:
+    """Walk until ``stop(agent)`` holds; returns the number of steps taken.
+
+    Raises :class:`RuntimeError` if the budget is exhausted — a walk on a
+    connected graph hits any target in finite expected time, so a generous
+    budget catches only genuine bugs or disconnection.
+    """
+    steps = 0
+    while not stop(agent):
+        if steps >= max_steps:
+            raise RuntimeError(f"walk did not meet the stop condition in {max_steps} steps")
+        agent.random_step()
+        steps += 1
+    return steps
+
+
+def empirical_hitting_time(
+    net: Network,
+    source: Node,
+    target: Node,
+    trials: int = 20,
+    rng: Union[int, np.random.Generator, None] = None,
+    max_steps: int = 10_000_000,
+) -> float:
+    """Mean number of random-walk steps from ``source`` to hit ``target``."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    total = 0
+    for _ in range(trials):
+        agent = RandomWalkAgent(net, source, rng=gen)
+        total += walk_until(agent, lambda a: a.position == target, max_steps)
+    return total / trials
+
+
+def cover_time(
+    net: Network,
+    start: Node,
+    rng: Union[int, np.random.Generator, None] = None,
+    max_steps: int = 10_000_000,
+) -> int:
+    """Steps for one random walk to visit every node of the component."""
+    agent = RandomWalkAgent(net, start, rng=rng)
+    n = len(net.component_of(start))
+    return walk_until(agent, lambda a: len(a.visited) >= n, max_steps)
+
+
+def theoretical_hitting_bound(n: int, m: int) -> int:
+    """The undirected-graph hitting-time bound the paper cites
+    ([Motwani-Raghavan, p.137]): at most 2·m'·n' steps between any pair in a
+    connected graph with n' nodes and m' edges — instantiated for the lifted
+    graph of Claim 2.1 this is ``2(3m+1)(3n) = O(mn)``."""
+    return 2 * (3 * m + 1) * (3 * n)

@@ -1,0 +1,60 @@
+"""The paper's algorithm suite.
+
+Section 1/2 exemplars:
+
+* :mod:`repro.algorithms.census` — Flajolet–Martin approximate counting
+  (0-sensitive).
+* :mod:`repro.algorithms.bridges` — random-walk bridge finding
+  (1-sensitive).
+* :mod:`repro.algorithms.shortest_paths` — decentralized distance labels
+  (0-sensitive).
+* :mod:`repro.algorithms.beta_synchronizer` — the tree-based Θ(n)-sensitive
+  baseline the paper contrasts against.
+
+Section 4 FSSGA algorithms:
+
+* :mod:`repro.algorithms.two_coloring` — bipartiteness (4.1).
+* :mod:`repro.algorithms.synchronizer` — the α-synchronizer program
+  transformer (4.2).
+* :mod:`repro.algorithms.bfs` — mod-3 breadth-first search (4.3).
+* :mod:`repro.algorithms.random_walk` — emergent random walk (4.4).
+* :mod:`repro.algorithms.traversal` — Milgram arm/hand traversal (4.5).
+* :mod:`repro.algorithms.greedy_traversal` — the greedy tourist (4.6).
+* :mod:`repro.algorithms.election` — randomized leader election (4.7).
+* :mod:`repro.algorithms.election_reference` — phase-level reference model
+  mirroring the Claims 4.1/4.2 analysis.
+* :mod:`repro.algorithms.firing_squad` — the Section 5.2 open problem, on
+  path graphs.
+"""
+
+from repro.algorithms import (
+    beta_synchronizer,
+    bfs,
+    bridges,
+    census,
+    election,
+    election_reference,
+    firing_squad,
+    greedy_traversal,
+    random_walk,
+    shortest_paths,
+    synchronizer,
+    traversal,
+    two_coloring,
+)
+
+__all__ = [
+    "beta_synchronizer",
+    "bfs",
+    "bridges",
+    "census",
+    "election",
+    "election_reference",
+    "firing_squad",
+    "greedy_traversal",
+    "random_walk",
+    "shortest_paths",
+    "synchronizer",
+    "traversal",
+    "two_coloring",
+]

@@ -1,0 +1,87 @@
+"""The tree-based β synchronizer — the paper's fragile baseline.
+
+Awerbuch's β synchronizer runs on a rooted spanning tree: the root
+broadcasts a pulse down the tree; safety acknowledgements convect back up;
+when the root has heard from every subtree it releases the next pulse.
+The paper's Section 1/2 point: "a spanning tree-based algorithm (like the
+β synchronizer) fails if one of the tree edges dies, since then not all
+nodes can communicate along the remainder of the tree", giving sensitivity
+Θ(n) — a spanning tree may have n/2 internal nodes and the failure of any
+one (or of any tree edge) disconnects the tree.
+
+This implementation models the pulse/ack cycle directly on the tree edges
+and is used by the sensitivity experiments (E14) as the high-sensitivity
+contrast to the FSSGA α synchronizer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.graph import Network, Node, canonical_edge
+from repro.network.properties import bfs_tree
+
+__all__ = ["BetaSynchronizer"]
+
+
+class BetaSynchronizer:
+    """Pulse generation over a BFS spanning tree of the initial network.
+
+    The tree is fixed at construction (as the real β synchronizer's setup
+    phase would).  Each :meth:`pulse` performs a broadcast/ack cycle; it
+    fails — permanently — as soon as any tree node or tree edge has died,
+    because the remaining tree no longer spans the survivors.
+    """
+
+    def __init__(self, net: Network, root: Optional[Node] = None) -> None:
+        if not net.is_connected():
+            raise ValueError("the β synchronizer needs an initially connected network")
+        self.net = net
+        self.root = root if root is not None else next(iter(net))
+        self._parent = bfs_tree(net, self.root)
+        self._tree_nodes = set(net.nodes())
+        self._tree_edges = {canonical_edge(c, p) for c, p in self._parent.items()}
+        self.pulses_completed = 0
+        self.broken = False
+
+    # ------------------------------------------------------------------
+    def critical_nodes(self) -> set[Node]:
+        """χ(σ): the internal (non-leaf) tree nodes plus the root.
+
+        The failure of any of these — or any tree-edge failure — stalls the
+        pulse cycle; the sensitivity is Θ(n).
+        """
+        internal = set(self._parent.values())
+        internal.add(self.root)
+        return internal
+
+    def tree_intact(self) -> bool:
+        """True iff every tree node and tree edge is still alive."""
+        if any(v not in self.net for v in self._tree_nodes):
+            return False
+        return all(self.net.has_edge(u, v) for u, v in self._tree_edges)
+
+    def pulse(self) -> bool:
+        """One broadcast/ack cycle; returns True on success.
+
+        Walks the pulse down the tree and the acks back up.  If any tree
+        component is missing, the cycle cannot complete; the synchronizer is
+        then broken for good (no self-repair — that is the point of the
+        baseline).
+        """
+        if self.broken or not self.tree_intact():
+            self.broken = True
+            return False
+        # broadcast + convergecast both succeed iff the tree is intact,
+        # which we already verified; count the round.
+        self.pulses_completed += 1
+        return True
+
+    def run(self, pulses: int) -> int:
+        """Attempt ``pulses`` cycles; returns how many succeeded."""
+        done = 0
+        for _ in range(pulses):
+            if not self.pulse():
+                break
+            done += 1
+        return done

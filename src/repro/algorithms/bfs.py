@@ -1,0 +1,160 @@
+"""Mod-3 breadth-first search (paper, Section 4.3, Algorithm 4.1).
+
+Each node carries booleans ``originator`` / ``target``, a label in
+``{0, 1, 2, ⋆}`` and a status in ``{waiting, found, failed}``.  Labels
+flood outward from the unique originator as the distance mod 3: if x is
+adjacent to y and y's label is (mod 3) one more than x's, y is a
+*successor* of x.  A labelled target reports ``found``, which propagates
+back along predecessor edges (skipping nodes that already have a found
+predecessor, to avoid reporting non-shortest paths); a node whose
+successors have all failed — and which has no unlabelled neighbour left —
+reports ``failed``.
+
+The state alphabet is the cartesian product
+``{T,F}² × {0,1,2,⋆} × {waiting,found,failed}`` (48 states), the paper's
+"variables as state components" trick.
+
+Engineering note (documented deviation): the paper's failure clause "all
+successors have status failed" is vacuously true for a node whose deeper
+neighbours are still unlabelled (they are not successors *yet*), which
+would declare failure prematurely in a synchronous run.  We add the guard
+"and no neighbour is unlabelled", a thresh-atom condition, restoring the
+intended semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.network.graph import Network, Node
+from repro.network.state import NetworkState
+
+__all__ = [
+    "STAR",
+    "WAITING",
+    "FOUND",
+    "FAILED",
+    "ALPHABET",
+    "BFSState",
+    "build",
+    "rule",
+    "label_of",
+    "status_of",
+    "originator_status",
+    "labels_match_distance",
+]
+
+STAR = "*"
+WAITING = "waiting"
+FOUND = "found"
+FAILED = "failed"
+
+LABELS = (0, 1, 2, STAR)
+STATUSES = (WAITING, FOUND, FAILED)
+
+#: Q = {originator} × {target} × label × status, as 4-tuples.
+ALPHABET = frozenset(
+    itertools.product((False, True), (False, True), LABELS, STATUSES)
+)
+
+# Precomputed state groups for the thresh queries below.
+_WITH_LABEL = {
+    lab: tuple(q for q in ALPHABET if q[2] == lab) for lab in LABELS
+}
+_WITH_LABEL_STATUS = {
+    (lab, st): tuple(q for q in ALPHABET if q[2] == lab and q[3] == st)
+    for lab in (0, 1, 2)
+    for st in STATUSES
+}
+
+
+def label_of(q: tuple) -> object:
+    return q[2]
+
+
+def status_of(q: tuple) -> str:
+    return q[3]
+
+
+class BFSState:
+    """Constructor helpers for the composite 4-tuple states."""
+
+    @staticmethod
+    def initial(originator: bool, target: bool) -> tuple:
+        return (originator, target, STAR, WAITING)
+
+
+def rule(own: tuple, view: NeighborhoodView) -> tuple:
+    """Algorithm 4.1, one activation."""
+    orig, targ, label, status = own
+
+    if orig and label == STAR:
+        return (orig, targ, 0, status)
+
+    if label == STAR:
+        for x in (0, 1, 2):
+            if view.any(*_WITH_LABEL[x]):
+                new_status = FOUND if targ else status
+                return (orig, targ, (x + 1) % 3, new_status)
+        return own
+
+    succ = (label + 1) % 3
+    pred = (label - 1) % 3
+    if status == WAITING:
+        # "any predecessor has status found -> do nothing" (avoid
+        # reporting non-shortest paths).
+        if view.any(*_WITH_LABEL_STATUS[(pred, FOUND)]):
+            return own
+        if view.any(*_WITH_LABEL_STATUS[(succ, FOUND)]):
+            return (orig, targ, label, FOUND)
+        # all successors failed — with the no-unlabelled-neighbour guard.
+        no_star = view.none(*_WITH_LABEL[STAR])
+        no_live_succ = view.none(
+            *_WITH_LABEL_STATUS[(succ, WAITING)],
+            *_WITH_LABEL_STATUS[(succ, FOUND)],
+        )
+        if no_star and no_live_succ:
+            return (orig, targ, label, FAILED)
+    return own
+
+
+def build(
+    net: Network,
+    originator: Node,
+    targets: Iterable[Node] = (),
+) -> tuple[FSSGA, NetworkState]:
+    """The BFS automaton with the given originator and target set."""
+    if originator not in net:
+        raise KeyError(f"originator {originator!r} not in network")
+    target_set = set(targets)
+    missing = target_set - set(net.nodes())
+    if missing:
+        raise KeyError(f"targets not in network: {sorted(map(repr, missing))}")
+    automaton = FSSGA(ALPHABET, rule, name="bfs")
+    init = NetworkState.from_function(
+        net, lambda v: BFSState.initial(v == originator, v in target_set)
+    )
+    return automaton, init
+
+
+def originator_status(state: NetworkState, originator: Node) -> str:
+    """The search verdict at the originator."""
+    return status_of(state[originator])
+
+
+def labels_match_distance(
+    net: Network, state: NetworkState, originator: Node
+) -> bool:
+    """True iff every reachable node's label equals its distance mod 3 and
+    unreachable nodes are unlabelled."""
+    dist = net.bfs_distances([originator]) if originator in net else {}
+    for v in net:
+        lab = label_of(state[v])
+        if v in dist:
+            if lab != dist[v] % 3:
+                return False
+        elif lab != STAR:
+            return False
+    return True

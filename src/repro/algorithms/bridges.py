@@ -1,0 +1,138 @@
+"""Random-walk bridge finding (paper, Section 2.1).
+
+Fix an arbitrary orientation on every edge and give each edge an integer
+counter starting at 0.  A single agent takes a random walk; traversing an
+edge with its orientation increments the counter, against it decrements.
+A bridge's counter provably stays in {-1, 0, 1} forever, while every
+non-bridge's counter eventually exceeds ±1 — in expected O(mn) steps
+(Claim 2.1).  Edges remember whether their counter ever hit ±2; after
+``O(c·m·n·log n)`` steps all non-bridges are identified with probability
+``1 - n^(1-c)``.
+
+Sensitivity: the only critical node is the agent's position, so the
+algorithm is 1-sensitive (2-sensitive in a fully asynchronous adaptation,
+as the paper notes for the "in transit" moments).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.agents.agent import RandomWalkAgent
+from repro.network.graph import Edge, Network, Node, canonical_edge
+
+__all__ = ["BridgeFinder", "recommended_steps"]
+
+
+def recommended_steps(n: int, m: int, confidence: float = 2.0) -> int:
+    """The paper's ``O(c·m·n·log n)`` walk budget for success probability
+    ``1 - n^(1-c)``."""
+    return max(1, int(confidence * m * n * math.log(max(n, 2))))
+
+
+@dataclass
+class _EdgeRecord:
+    counter: int = 0
+    exceeded: bool = False
+    first_exceed_step: Optional[int] = None
+
+
+class BridgeFinder:
+    """The Section 2.1 agent algorithm with oriented edge counters.
+
+    Parameters
+    ----------
+    net:
+        The network (may suffer faults while the walk runs; dead edges keep
+        their records but stop being updated).
+    start:
+        The agent's initial node.
+    rng:
+        Seed or generator for the walk.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        start: Node,
+        rng: Union[int, np.random.Generator, None] = None,
+    ) -> None:
+        self.net = net
+        self.agent = RandomWalkAgent(net, start, rng=rng)
+        # orientation: the canonical tuple (u, v) means "u -> v increments".
+        self._records: dict[Edge, _EdgeRecord] = {
+            e: _EdgeRecord() for e in net.edges()
+        }
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def _on_traverse(self, src: Node, dst: Node) -> None:
+        e = canonical_edge(src, dst)
+        rec = self._records.get(e)
+        if rec is None:  # edge added?  cannot happen under decreasing faults
+            rec = self._records[e] = _EdgeRecord()
+        if (src, dst) == e:
+            rec.counter += 1
+        else:
+            rec.counter -= 1
+        if abs(rec.counter) >= 2 and not rec.exceeded:
+            rec.exceeded = True
+            rec.first_exceed_step = self.steps
+
+    def step(self) -> bool:
+        """One random-walk step; returns False if the agent is lost/stuck."""
+        mv = self.agent.random_step()
+        self.steps += 1
+        if mv is None:
+            return self.agent.alive
+        self._on_traverse(*mv)
+        return True
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            if not self.step():
+                break
+
+    def run_until_all_nonbridges_found(
+        self, true_bridges: set[Edge], max_steps: int = 50_000_000
+    ) -> int:
+        """Walk until every non-bridge has exceeded ±1 (test harness hook);
+        returns the number of steps used."""
+        remaining = {
+            e for e in self._records if e not in true_bridges
+        }
+        while remaining:
+            if self.steps >= max_steps:
+                raise RuntimeError("walk budget exhausted before all non-bridges found")
+            if not self.step():
+                raise RuntimeError("agent lost before all non-bridges found")
+            remaining = {e for e in remaining if not self._records[e].exceeded}
+        return self.steps
+
+    # ------------------------------------------------------------------
+    def counter(self, u: Node, v: Node) -> int:
+        return self._records[canonical_edge(u, v)].counter
+
+    def exceeded_edges(self) -> set[Edge]:
+        """Edges identified as non-bridges so far."""
+        return {e for e, r in self._records.items() if r.exceeded}
+
+    def presumed_bridges(self) -> set[Edge]:
+        """Edges whose counter never left {-1, 0, 1}.
+
+        After a sufficient walk this equals the true bridge set whp; early
+        in the walk it may still contain undetected non-bridges.
+        """
+        return {e for e, r in self._records.items() if not r.exceeded}
+
+    def first_detection_times(self) -> dict[Edge, int]:
+        """Edge → step at which it was first seen to exceed ±1."""
+        return {
+            e: r.first_exceed_step
+            for e, r in self._records.items()
+            if r.first_exceed_step is not None
+        }

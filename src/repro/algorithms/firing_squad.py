@@ -1,0 +1,276 @@
+"""Firing squad synchronization on path graphs (paper, Section 5.2).
+
+The paper poses the firing squad problem for general FSSGA networks as
+*open*, noting that on path graphs "there is a long history of solutions,
+some symmetric [22]".  As the executable companion of that discussion we
+implement the classical Minsky–McCarthy divide-and-conquer solution on a
+path of n cells: the general emits a fast signal (speed 1) and a slow
+signal (speed 1/3); the fast signal reflects off the far wall and meets
+the slow signal in the middle of the segment, where new generals are born
+(one at the exact midpoint when the interior length D is odd — the
+signals *cross* between cells — or two adjacent middle cells when D is
+even — the signals meet *on* a cell); the recursion halves the segment
+until every cell is a general, at which point all cells fire
+simultaneously, at time ≈ 3n.
+
+Simultaneity argument (verified empirically in the tests for n ≤ 200):
+both children of a segment have equal interior lengths ((D-1)/2 for odd
+D, (D-2)/2 for even D) and are created at the same instant, so all
+segments at each recursion level share one length and one start time; the
+final level turns the last quiescent cells into generals everywhere at
+once, and a general fires exactly when both neighbours are generals/walls
+and it carries no signals.
+
+Substrate note (documented deviation): this is a *directed* path cellular
+automaton — each cell reads its left and right neighbours separately.
+The direction-free locally-symmetric variant is exactly the [22]
+(Szwerinski) construction the paper cites; the open problem (general
+graphs) remains open.
+
+Signal conventions (derived so the meet lands exactly mid-segment):
+
+* a general is born holding its outgoing ``fast`` and ``slow`` signals;
+  neighbours pick them up the next step and the general's copies clear;
+* fast signals advance one cell per step and reflect off walls
+  (generals/boundaries) in place, reversing direction;
+* slow signals sit on a cell for phases 0, 1, 2 and hop at phase 2;
+* a quiescent cell holding a slow signal that *receives* the reflected
+  fast signal is a same-cell meet (even D): it and its right neighbour
+  become generals serving left/right respectively;
+* a quiescent cell receiving the fast signal while its left neighbour's
+  slow signal is at phase 2 is a crossing meet (odd D): it alone becomes
+  a general serving both sides.
+
+(The mirrored rules apply to leftward-growing segments.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FiringSquadLine", "run_firing_squad", "space_time_diagram"]
+
+Q = "quiescent"
+G = "general"
+FIRED = "fired"
+
+L = "L"
+R = "R"
+
+
+@dataclass(frozen=True)
+class Cell:
+    role: str = Q
+    fast: frozenset = frozenset()  # subset of {L, R}
+    # slow signals: mapping direction -> phase 0..2, stored as a frozenset
+    # of (dir, phase) pairs with at most one entry per direction.
+    slow: frozenset = frozenset()
+
+    def slow_phase(self, direction: str) -> Optional[int]:
+        for d, ph in self.slow:
+            if d == direction:
+                return ph
+        return None
+
+    def quiet_general(self) -> bool:
+        return self.role == G and not self.fast and not self.slow
+
+
+_BOUNDARY = Cell(role=G)
+
+
+def _wallish(c: Cell) -> bool:
+    return c.role in (G, FIRED)
+
+
+class FiringSquadLine:
+    """A path of n cells with the general initially at cell 0."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("need at least one cell")
+        self.n = n
+        self.time = 0
+        self.cells = [Cell() for _ in range(n)]
+        self.cells[0] = self._birth(emit_left=False, emit_right=n > 1)
+
+    @staticmethod
+    def _birth(emit_left: bool, emit_right: bool) -> Cell:
+        fast = set()
+        slow = set()
+        if emit_left:
+            fast.add(L)
+            slow.add((L, 0))
+        if emit_right:
+            fast.add(R)
+            slow.add((R, 0))
+        return Cell(role=G, fast=frozenset(fast), slow=frozenset(slow))
+
+    # ------------------------------------------------------------------
+    def _at(self, i: int) -> Cell:
+        if 0 <= i < self.n:
+            return self.cells[i]
+        return _BOUNDARY
+
+    @property
+    def all_fired(self) -> bool:
+        return all(c.role == FIRED for c in self.cells)
+
+    def fired_count(self) -> int:
+        return sum(1 for c in self.cells if c.role == FIRED)
+
+    def step(self) -> None:
+        old = self.cells
+        self.cells = [
+            self._next(self._at(i - 1), old[i], self._at(i + 1), i)
+            for i in range(self.n)
+        ]
+        self.time += 1
+
+    # ------------------------------------------------------------------
+    def _next(self, left: Cell, me: Cell, right: Cell, i: int) -> Cell:
+        if me.role == FIRED:
+            return me
+
+        if me.role == G:
+            # fire when the whole line has synchronized locally
+            if _wallish(left) and _wallish(right) and me.quiet_general():
+                return Cell(role=FIRED)
+            # outgoing signals: fast clears (neighbours picked it up),
+            # slow advances its phase and hops/dies at phase 2.
+            slow = set()
+            for d, ph in me.slow:
+                if ph < 2:
+                    slow.add((d, ph + 1))
+                # at phase 2 the neighbour accepts it next step (or it
+                # dies at a wall); either way it leaves this cell.
+            return Cell(role=G, fast=frozenset(), slow=frozenset(slow))
+
+        # ---------- quiescent cell: births first -------------------------
+        # same-cell meet (even D): I hold a slow signal and the reflected
+        # fast signal reaches me.
+        if me.slow_phase(R) is not None and L in me.fast:
+            return self._birth(emit_left=not _wallish(left), emit_right=False)
+        if me.slow_phase(L) is not None and R in me.fast:
+            return self._birth(emit_left=False, emit_right=not _wallish(right))
+        # partner of a same-cell meet: my neighbour is the meet cell; I
+        # become the general serving the other side.
+        if left.role == Q and left.slow_phase(R) is not None and L in left.fast:
+            return self._birth(emit_left=False, emit_right=not _wallish(right))
+        if right.role == Q and right.slow_phase(L) is not None and R in right.fast:
+            return self._birth(emit_left=not _wallish(left), emit_right=False)
+        # crossing meet (odd D): the fast signal arrives while my
+        # neighbour's slow signal (travelling toward me) is at phase 2.
+        if L in me.fast and left.slow_phase(R) == 2:
+            return self._birth(
+                emit_left=not _wallish(left), emit_right=not _wallish(right)
+            )
+        if R in me.fast and right.slow_phase(L) == 2:
+            return self._birth(
+                emit_left=not _wallish(left), emit_right=not _wallish(right)
+            )
+
+        # ---------- signal propagation ----------------------------------
+        fast = set()
+        # accept fast from the left (travelling right), unless the sender
+        # is a meet cell absorbing it — senders absorb only leftward fast,
+        # so a rightward fast always arrives.
+        if R in left.fast:
+            fast.add(R)
+        if L in right.fast:
+            # suppress if the sender is itself a same-cell meet (its slow
+            # and fast die into the new general), or if I am handing my
+            # slow into it (crossing: both signals die into the general).
+            sender_meets = right.role == Q and right.slow_phase(R) is not None
+            crossing = me.slow_phase(R) == 2
+            if not sender_meets and not crossing:
+                fast.add(L)
+        if R in left.fast and left.role == Q and left.slow_phase(L) is not None:
+            # mirrored same-cell suppression for leftward segments
+            fast.discard(R)
+        if R in me.fast and me.slow_phase(L) == 2:
+            pass  # mirrored crossing: handled below by not accepting
+        # mirrored crossing suppression: my leftward slow dies into the
+        # general being born on my left.
+        if R in left.fast and me.slow_phase(L) == 2:
+            fast.discard(R)
+
+        # reflection off walls
+        if R in me.fast and _wallish(right):
+            fast.add(L)
+        if L in me.fast and _wallish(left):
+            fast.add(R)
+
+        # slow signals
+        slow = set()
+        for d, ph in me.slow:
+            if ph < 2:
+                slow.add((d, ph + 1))
+            # phase 2: hop (next cell accepts below) or die at wall /
+            # crossing — nothing kept here either way.
+        if left.slow_phase(R) == 2 and not (L in me.fast):
+            slow.add((R, 0))
+        if right.slow_phase(L) == 2 and not (R in me.fast):
+            slow.add((L, 0))
+
+        return Cell(role=Q, fast=frozenset(fast), slow=frozenset(slow))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        out = []
+        for c in self.cells:
+            if c.role == FIRED:
+                out.append("F")
+            elif c.role == G:
+                out.append("G")
+            elif c.fast and c.slow:
+                out.append("*")
+            elif c.fast:
+                if c.fast == frozenset({R}):
+                    out.append(">")
+                elif c.fast == frozenset({L}):
+                    out.append("<")
+                else:
+                    out.append("X")
+            elif c.slow:
+                out.append("s")
+            else:
+                out.append(".")
+        return "".join(out)
+
+
+def run_firing_squad(n: int, max_steps: Optional[int] = None) -> tuple[int, bool]:
+    """Run to completion; returns ``(firing time, simultaneous?)``.
+
+    ``simultaneous`` is True iff no cell fired before the step at which
+    every cell fired.
+    """
+    line = FiringSquadLine(n)
+    if max_steps is None:
+        max_steps = 8 * n + 60
+    first_partial: Optional[int] = None
+    while not line.all_fired:
+        if line.time >= max_steps:
+            raise RuntimeError(
+                f"squad not synchronized after {max_steps} steps "
+                f"(state: {line.render()})"
+            )
+        line.step()
+        k = line.fired_count()
+        if 0 < k < line.n and first_partial is None:
+            first_partial = line.time
+    return line.time, first_partial is None
+
+
+def space_time_diagram(n: int, max_steps: Optional[int] = None) -> list[str]:
+    """The full execution as one rendered line per step (for debugging
+    and for the docs)."""
+    line = FiringSquadLine(n)
+    if max_steps is None:
+        max_steps = 8 * n + 60
+    frames = [line.render()]
+    while not line.all_fired and line.time < max_steps:
+        line.step()
+        frames.append(line.render())
+    return frames

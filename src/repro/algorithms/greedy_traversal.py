@@ -1,0 +1,148 @@
+"""The greedy tourist (paper, Section 4.6).
+
+Let T be the set of unvisited nodes (initially all of V).  The agent always
+follows a shortest path to T; visiting a node removes it from T.  By the
+nearest-neighbour TSP analysis ([20] Rosenkrantz–Stearns–Lewis) the whole
+graph is traversed in O(n log n) agent steps.  Realized over the FSSGA
+substrate, each step costs a shortest-path BFS (Section 4.3) plus an
+O(log Δ) local symmetry-breaking election (Section 4.4), giving
+O(n log² n) total time.
+
+Sensitivity: 1 — the only critical node is the agent's position (2 in an
+asynchronous adaptation, while the tourist is "in transit").  Contrast with
+Milgram's traversal, whose arm makes Θ(n) nodes critical (E11/E14).
+
+The implementation keeps the agent explicit and recomputes the distance
+field with the *decentralized* min+1 relaxation of Section 2.2 after every
+topology change, counting the rounds that relaxation takes; the per-move
+neighbour election runs the real coin-flip subroutine so the measured
+"FSSGA time" includes the Θ(log d) symmetry-breaking cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.network.graph import Network, Node
+
+__all__ = ["GreedyTourist", "run_greedy_traversal"]
+
+
+class GreedyTourist:
+    """The Section 4.6 agent with cost accounting.
+
+    Attributes
+    ----------
+    agent_steps:
+        Edge traversals by the tourist (paper: O(n log n) total).
+    fssga_time:
+        Modeled synchronous rounds: per agent step, the coin-flip election
+        rounds actually used to break symmetry among equally-good
+        neighbours, plus one round for the move itself.  BFS label
+        maintenance is pipelined in the FSSGA realization, contributing the
+        extra O(log n) factor the paper cites; we also track the relaxation
+        rounds separately in :attr:`relaxation_rounds`.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        start: Node,
+        rng: Union[int, np.random.Generator, None] = None,
+    ) -> None:
+        if start not in net:
+            raise KeyError(f"start node {start!r} not in network")
+        self.net = net
+        self.position = start
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.unvisited: set[Node] = set(net.nodes()) - {start}
+        self.itinerary: list[Node] = [start]
+        self.agent_steps = 0
+        self.fssga_time = 0
+        self.relaxation_rounds = 0
+
+    @property
+    def done(self) -> bool:
+        return not self.unvisited
+
+    def _distance_field(self) -> dict[Node, int]:
+        """Distances to the unvisited set via synchronous min+1 relaxation
+        (the Section 2.2 algorithm), counting rounds until stable."""
+        cap = self.net.num_nodes
+        label = {v: 0 if v in self.unvisited else cap for v in self.net}
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            new = {}
+            for v in self.net:
+                if v in self.unvisited:
+                    new[v] = 0
+                    continue
+                best = min((label[u] for u in self.net.neighbors(v)), default=cap)
+                new[v] = min(best + 1, cap)
+                if new[v] != label[v]:
+                    changed = True
+            label = new
+            rounds += 1
+        self.relaxation_rounds += rounds
+        return label
+
+    def _elect(self, candidates: list[Node]) -> tuple[Node, int]:
+        """Coin-flip elimination among the candidates (Section 4.4 style);
+        returns (winner, rounds used)."""
+        rounds = 0
+        pool = list(candidates)
+        while len(pool) > 1:
+            rounds += 1
+            flips = self.rng.integers(0, 2, size=len(pool))
+            tails = [v for v, f in zip(pool, flips) if f == 1]
+            if len(tails) == 0:
+                continue  # notails: re-run without elimination
+            pool = tails  # heads eliminated
+        return pool[0], max(rounds, 1)
+
+    def step(self) -> Node:
+        """One tourist move toward the nearest unvisited node."""
+        if self.done:
+            raise RuntimeError("traversal already complete")
+        dist = self._distance_field()
+        nbrs = sorted(self.net.neighbors(self.position), key=repr)
+        if not nbrs:
+            raise RuntimeError(f"tourist stranded at {self.position!r}")
+        best = min(dist[u] for u in nbrs)
+        if best >= self.net.num_nodes:
+            raise RuntimeError("no unvisited node reachable (network disconnected)")
+        candidates = [u for u in nbrs if dist[u] == best]
+        target, rounds = self._elect(candidates)
+        self.position = target
+        self.agent_steps += 1
+        self.fssga_time += rounds + 1
+        self.itinerary.append(target)
+        self.unvisited.discard(target)
+        return target
+
+    def run(self, max_steps: Optional[int] = None) -> None:
+        """Walk until every reachable node is visited."""
+        if max_steps is None:
+            n = self.net.num_nodes
+            max_steps = max(64, 8 * n * max(1, math.ceil(math.log2(max(n, 2)))))
+        while not self.done:
+            if self.agent_steps >= max_steps:
+                raise RuntimeError(f"traversal incomplete after {max_steps} agent steps")
+            self.step()
+
+
+def run_greedy_traversal(
+    net: Network,
+    start: Node,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> GreedyTourist:
+    """Run a complete greedy traversal and return the tourist with its
+    accounting fields populated."""
+    tourist = GreedyTourist(net, start, rng)
+    tourist.run()
+    return tourist

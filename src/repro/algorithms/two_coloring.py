@@ -1,0 +1,181 @@
+"""FSSGA 2-colouring / bipartiteness (paper, Section 4.1).
+
+Q = {BLANK, RED, BLUE, FAILED}.  One node starts RED, the rest BLANK; the
+cascade (verbatim from the paper) is::
+
+    if    μ_FAILED >= 1                  then FAILED
+    elif  μ_RED >= 1 and μ_BLUE >= 1     then FAILED
+    elif  μ_RED >= 1                     then BLUE
+    elif  μ_BLUE >= 1                    then RED
+    else                                       BLANK
+
+Two implementations are provided:
+
+* :func:`rule` — the paper's cascade verbatim.  Note that it never consults
+  the node's *own* state, so under the synchronous schedule the colouring
+  re-derives from scratch each round and the network *oscillates* with
+  period 2 instead of stabilizing (e.g. an odd cycle alternates all-RED /
+  all-BLUE without ever detecting failure).  The tests document this
+  behaviour; the paper's prose describes the algorithm only abstractly.
+* :func:`sticky_rule` — a converging variant that uses the own-state
+  dependence the FSSGA model explicitly grants ("the node reads its own
+  state a priori, and this determines exactly which FSM function is
+  used"): coloured nodes keep their colour and watch for conflicts.  On
+  bipartite components it reaches a proper 2-colouring (a fixed point) in
+  ≤ diameter+1 synchronous steps; on non-bipartite components FAILED
+  appears and floods.  A network state is a fixed point iff it is a proper
+  2-colouring, under both synchronous and fair asynchronous schedules.
+
+The cascade is also given as explicit formal
+:class:`~repro.core.modthresh.ModThreshProgram` objects (cross-checked in
+the tests; they drive the vectorized engine).
+"""
+
+from __future__ import annotations
+
+from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.core.modthresh import ModThreshProgram, at_least
+from repro.network.graph import Network, Node
+from repro.network.state import NetworkState
+
+__all__ = [
+    "BLANK",
+    "RED",
+    "BLUE",
+    "FAILED",
+    "ALPHABET",
+    "rule",
+    "sticky_rule",
+    "programs",
+    "sticky_programs",
+    "build",
+    "succeeded",
+    "failed",
+    "coloring",
+]
+
+BLANK = "blank"
+RED = "red"
+BLUE = "blue"
+FAILED = "failed"
+ALPHABET = frozenset({BLANK, RED, BLUE, FAILED})
+
+_OPPOSITE = {RED: BLUE, BLUE: RED}
+
+
+def rule(own: str, view: NeighborhoodView) -> str:
+    """The Section 4.1 cascade, verbatim (own state is never used)."""
+    if view.at_least(FAILED, 1):
+        return FAILED
+    if view.at_least(RED, 1) and view.at_least(BLUE, 1):
+        return FAILED
+    if view.at_least(RED, 1):
+        return BLUE
+    if view.at_least(BLUE, 1):
+        return RED
+    return BLANK
+
+
+def sticky_rule(own: str, view: NeighborhoodView) -> str:
+    """Converging variant: coloured nodes keep their colour and detect
+    conflicts; BLANK nodes colour themselves opposite to a coloured
+    neighbour."""
+    if own == FAILED or view.at_least(FAILED, 1):
+        return FAILED
+    if own in (RED, BLUE):
+        # conflict: a neighbour shares my colour -> not bipartite.
+        return FAILED if view.at_least(own, 1) else own
+    # own == BLANK
+    if view.at_least(RED, 1) and view.at_least(BLUE, 1):
+        return FAILED
+    if view.at_least(RED, 1):
+        return BLUE
+    if view.at_least(BLUE, 1):
+        return RED
+    return BLANK
+
+
+def programs() -> dict[str, ModThreshProgram]:
+    """The paper's cascade as formal mod-thresh programs, one per own state
+    (all four identical, matching the paper's presentation)."""
+    cascade = ModThreshProgram(
+        clauses=(
+            (at_least(FAILED, 1), FAILED),
+            (at_least(RED, 1) & at_least(BLUE, 1), FAILED),
+            (at_least(RED, 1), BLUE),
+            (at_least(BLUE, 1), RED),
+        ),
+        default=BLANK,
+        name="two-coloring",
+    )
+    return {q: cascade for q in ALPHABET}
+
+
+def sticky_programs() -> dict[str, ModThreshProgram]:
+    """The sticky variant as formal mod-thresh programs (f[q] differs by q)."""
+    fail_seen = at_least(FAILED, 1)
+    out: dict[str, ModThreshProgram] = {}
+    for colour in (RED, BLUE):
+        out[colour] = ModThreshProgram(
+            clauses=(
+                (fail_seen, FAILED),
+                (at_least(colour, 1), FAILED),
+            ),
+            default=colour,
+            name=f"two-coloring-sticky[{colour}]",
+        )
+    out[BLANK] = ModThreshProgram(
+        clauses=(
+            (fail_seen, FAILED),
+            (at_least(RED, 1) & at_least(BLUE, 1), FAILED),
+            (at_least(RED, 1), BLUE),
+            (at_least(BLUE, 1), RED),
+        ),
+        default=BLANK,
+        name="two-coloring-sticky[blank]",
+    )
+    out[FAILED] = ModThreshProgram(
+        clauses=(), default=FAILED, name="two-coloring-sticky[failed]"
+    )
+    return out
+
+
+def build(
+    net: Network, origin: Node, sticky: bool = True
+) -> tuple[FSSGA, NetworkState]:
+    """The 2-colouring automaton with ``origin`` initially RED.
+
+    ``sticky=True`` (default) selects the converging variant; pass False
+    for the paper-verbatim oscillating cascade.
+    """
+    if origin not in net:
+        raise KeyError(f"origin {origin!r} not in network")
+    automaton = FSSGA(
+        ALPHABET, sticky_rule if sticky else rule, name="two-coloring"
+    )
+    init = NetworkState.from_function(
+        net, lambda v: RED if v == origin else BLANK
+    )
+    return automaton, init
+
+
+def failed(state: NetworkState) -> bool:
+    """True iff any node has detected non-bipartiteness."""
+    return any(q == FAILED for q in state.values())
+
+
+def succeeded(net: Network, state: NetworkState) -> bool:
+    """True iff the current colours form a proper 2-colouring with no BLANK
+    or FAILED nodes remaining."""
+    for v in net:
+        if state[v] not in (RED, BLUE):
+            return False
+        for u in net.neighbors(v):
+            if state[u] == state[v]:
+                return False
+    return True
+
+
+def coloring(state: NetworkState) -> dict[Node, str]:
+    """The colour assignment (only meaningful after success)."""
+    return dict(state.items())

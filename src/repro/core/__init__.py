@@ -1,0 +1,108 @@
+"""The paper's core contribution (Section 3): symmetric multi-input
+finite-state functions in three equivalent formulations, and the FSSGA
+distributed-computing model built on them.
+
+Public surface:
+
+* :mod:`repro.core.multiset` — the ``Q^+`` input domain as multisets.
+* :mod:`repro.core.trees` — rooted binary combination trees (Figure 1).
+* :mod:`repro.core.sequential` — Definition 3.2 sequential programs.
+* :mod:`repro.core.parallel` — Definitions 3.3/3.4 parallel programs.
+* :mod:`repro.core.modthresh` — Definition 3.6 mod-thresh programs.
+* :mod:`repro.core.convert` — Lemmas 3.5/3.8/3.9, Theorem 3.7.
+* :mod:`repro.core.automaton` — Definitions 3.10/3.11 (FSSGA).
+* :mod:`repro.core.compile` — rule → formal mod-thresh compilation.
+* :mod:`repro.core.simplify` — cascade pruning and exact program
+  equivalence over bounded verification domains.
+* :mod:`repro.core.bounded_degree` — the Section 3.1 ε-padding automata
+  and their FSSGA embedding.
+* :mod:`repro.core.tape` — the Section 5 tape generalization.
+"""
+
+from repro.core.multiset import Multiset, iter_multisets, iter_sequences
+from repro.core.trees import (
+    Leaf,
+    Branch,
+    all_trees,
+    balanced_tree,
+    left_comb,
+    right_comb,
+    random_tree_shape,
+    tree_combine,
+    num_leaves,
+    render_tree,
+)
+from repro.core.sequential import SequentialProgram
+from repro.core.parallel import ParallelProgram
+from repro.core.modthresh import (
+    ModAtom,
+    ThreshAtom,
+    Proposition,
+    TRUE,
+    FALSE,
+    ModThreshProgram,
+    at_least,
+    fewer_than,
+    exactly,
+    count_is_mod,
+)
+from repro.core.convert import (
+    parallel_to_sequential,
+    modthresh_to_parallel,
+    sequential_to_modthresh,
+    sequential_to_parallel,
+    modthresh_to_sequential,
+)
+from repro.core.automaton import (
+    NeighborhoodView,
+    FSSGA,
+    ProbabilisticFSSGA,
+)
+from repro.core.compile import compile_rule
+from repro.core.simplify import (
+    programs_equivalent,
+    propositions_equivalent,
+    prune_cascade,
+    verification_bound,
+)
+
+__all__ = [
+    "Multiset",
+    "iter_multisets",
+    "iter_sequences",
+    "Leaf",
+    "Branch",
+    "all_trees",
+    "balanced_tree",
+    "left_comb",
+    "right_comb",
+    "random_tree_shape",
+    "tree_combine",
+    "num_leaves",
+    "render_tree",
+    "SequentialProgram",
+    "ParallelProgram",
+    "ModAtom",
+    "ThreshAtom",
+    "Proposition",
+    "TRUE",
+    "FALSE",
+    "ModThreshProgram",
+    "at_least",
+    "fewer_than",
+    "exactly",
+    "count_is_mod",
+    "parallel_to_sequential",
+    "modthresh_to_parallel",
+    "sequential_to_modthresh",
+    "sequential_to_parallel",
+    "modthresh_to_sequential",
+    "NeighborhoodView",
+    "FSSGA",
+    "ProbabilisticFSSGA",
+    "compile_rule",
+    "programs_equivalent",
+    "propositions_equivalent",
+    "prune_cascade",
+    "verification_bound",
+]

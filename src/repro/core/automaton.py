@@ -1,0 +1,373 @@
+"""Finite-state symmetric graph automata (paper, Definitions 3.10/3.11).
+
+An FSSGA is a pair ``(Q, f)`` where ``f[q]`` is an FSM function for each own
+state ``q``: when a node activates it reads its own state (asymmetrically)
+and the *multiset* of its neighbours' states (symmetrically) and moves to
+``f[own](neighbours)``.  The probabilistic variant (Def. 3.11) additionally
+draws ``i`` uniformly from ``{0, …, r-1}`` and applies ``f[own, i]``.
+
+Rules here are written against :class:`NeighborhoodView`, which exposes the
+neighbour multiset *only* through thresh queries (``at_least``/``fewer_than``)
+and mod queries (``count_mod``).  Any rule expressible through this API is
+automatically
+
+* symmetric — it never sees an ordering of the neighbours — and
+* finite-state — every query it can make is a mod or thresh atom, so by
+  Theorem 3.7 the induced function is an FSM function.
+
+The view records every atom a rule touches (:attr:`NeighborhoodView.trace`),
+which :mod:`repro.core.compile` uses to build formal
+:class:`~repro.core.modthresh.ModThreshProgram` equivalents for small
+alphabets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Callable, Optional, Union
+
+from repro.core.modthresh import ModThreshProgram
+from repro.core.multiset import Multiset, as_multiset
+
+State = Hashable
+
+__all__ = ["NeighborhoodView", "FSSGA", "ProbabilisticFSSGA", "Rule", "ProbabilisticRule"]
+
+#: A deterministic FSSGA rule: (own state, neighbourhood view) → new state.
+Rule = Callable[[State, "NeighborhoodView"], State]
+
+#: A probabilistic rule: (own state, view, random draw i) → new state.
+ProbabilisticRule = Callable[[State, "NeighborhoodView", int], State]
+
+
+class NeighborhoodView:
+    """Read-only, symmetry-enforcing view of a node's neighbour multiset.
+
+    Only mod-atom and thresh-atom queries are exposed; every query is traced
+    as ``("thresh", state, t)`` or ``("mod", state, m)`` so callers can audit
+    the finite-state footprint of a rule.
+    """
+
+    __slots__ = ("_counts", "trace")
+
+    def __init__(self, counts: Union[Counter, Mapping, Iterable]) -> None:
+        if isinstance(counts, Counter):
+            self._counts = counts
+        elif isinstance(counts, Mapping):
+            self._counts = Counter(dict(counts))
+        else:
+            self._counts = Counter(counts)
+        #: atoms queried so far: set of ("thresh", q, t) / ("mod", q, m).
+        self.trace: set[tuple] = set()
+
+    # -- thresh atoms -----------------------------------------------------
+    def fewer_than(self, state: State, t: int) -> bool:
+        """The thresh atom ``μ_state < t`` (t >= 1)."""
+        if t < 1:
+            raise ValueError("thresh atoms require t >= 1")
+        self.trace.add(("thresh", state, t))
+        return self._counts.get(state, 0) < t
+
+    def at_least(self, state: State, t: int) -> bool:
+        """``μ_state >= t`` — negation of a thresh atom (TRUE for t <= 0)."""
+        if t <= 0:
+            return True
+        return not self.fewer_than(state, t)
+
+    def any(self, *states: State) -> bool:
+        """True iff any neighbour is in one of ``states``."""
+        return any(self.at_least(q, 1) for q in states)
+
+    def none(self, *states: State) -> bool:
+        """True iff no neighbour is in any of ``states``."""
+        return not self.any(*states)
+
+    def exactly(self, state: State, k: int) -> bool:
+        """``μ_state == k`` via two thresh atoms."""
+        if k < 0:
+            return False
+        if k == 0:
+            return self.fewer_than(state, 1)
+        return self.at_least(state, k) and self.fewer_than(state, k + 1)
+
+    def all_neighbors_in(self, states: Iterable[State], alphabet: Iterable[State]) -> bool:
+        """True iff every neighbour state lies in ``states``.
+
+        Needs the full alphabet so the complement can be queried with thresh
+        atoms (a node cannot count its neighbours, but it can check that no
+        neighbour is in a forbidden state).
+        """
+        allowed = set(states)
+        return self.none(*(q for q in alphabet if q not in allowed))
+
+    def any_matching(self, predicate: Callable[[State], bool]) -> bool:
+        """True iff some neighbour's state satisfies ``predicate``.
+
+        Over a finite alphabet this is the finite disjunction
+        ``∨_{q : predicate(q)} (μ_q >= 1)`` — mod-thresh expressible — but
+        it is implemented by scanning the distinct present states (O(deg)
+        instead of O(|Q|)) and is not traced, so rules using it cannot be
+        compiled.  Intended for large composite alphabets (e.g. the leader
+        election automaton).
+        """
+        return any(
+            predicate(q) for q, c in self._counts.items() if c > 0
+        )
+
+    def count_matching_at_least(
+        self, predicate: Callable[[State], bool], t: int
+    ) -> bool:
+        """``Σ_{q : predicate(q)} μ_q >= t`` — the predicate form of
+        :meth:`group_at_least` (untraced, not compilable)."""
+        if t <= 0:
+            return True
+        total = 0
+        for q, c in self._counts.items():
+            if c > 0 and predicate(q):
+                total += c
+                if total >= t:
+                    return True
+        return False
+
+    def group_at_least(self, states: Iterable[State], t: int) -> bool:
+        """``Σ_{q ∈ states} μ_q >= t`` for a finite state group.
+
+        A threshold on a finite sum expands to a finite disjunction over
+        compositions of per-state thresh atoms (e.g. ``μ_a + μ_b >= 2`` is
+        ``μ_a >= 2 ∨ μ_b >= 2 ∨ (μ_a >= 1 ∧ μ_b >= 1)``), so this stays
+        mod-thresh expressible.  Traced as ``("group", states, t)``; not
+        supported by the clause compiler.
+        """
+        group = tuple(states)
+        if t <= 0:
+            return True
+        self.trace.add(("group", frozenset(group), t))
+        total = 0
+        for q in group:
+            total += self._counts.get(q, 0)
+            if total >= t:
+                return True
+        return False
+
+    def group_fewer_than(self, states: Iterable[State], t: int) -> bool:
+        """``Σ_{q ∈ states} μ_q < t`` — negated :meth:`group_at_least`."""
+        return not self.group_at_least(states, t)
+
+    def support(self) -> frozenset:
+        """The set of states with at least one neighbour in them.
+
+        Equivalent to the finite atom family ``{μ_q >= 1 : q ∈ Q}`` — still
+        mod-thresh expressible, but traced as a single ``("support",)``
+        marker, so rules using it cannot be compiled by
+        :mod:`repro.core.compile` (they would need one clause per subset).
+        Intended for semi-lattice rules over large alphabets, e.g. the
+        bitwise-OR diffusion of the Flajolet–Martin census.
+        """
+        self.trace.add(("support",))
+        return frozenset(q for q, c in self._counts.items() if c > 0)
+
+    # -- mod atoms ----------------------------------------------------------
+    def count_mod(self, state: State, modulus: int) -> int:
+        """``μ_state mod modulus`` — a family of ``modulus`` mod atoms."""
+        if modulus < 1:
+            raise ValueError("mod atoms require modulus >= 1")
+        self.trace.add(("mod", state, modulus))
+        return self._counts.get(state, 0) % modulus
+
+    def parity(self, state: State) -> int:
+        """``μ_state mod 2``."""
+        return self.count_mod(state, 2)
+
+    # -- internals ----------------------------------------------------------
+    def _multiset(self) -> Multiset:
+        """Escape hatch for engines and validators (not for rules)."""
+        return Multiset(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NeighborhoodView({dict(self._counts)!r})"
+
+
+def _make_view(neighbors: Union[Counter, Mapping, Iterable]) -> NeighborhoodView:
+    return NeighborhoodView(neighbors)
+
+
+class FSSGA:
+    """A deterministic finite-state symmetric graph automaton ``(Q, f)``.
+
+    Parameters
+    ----------
+    alphabet:
+        The finite state set ``Q``.  Transitions must stay inside it.
+    rule:
+        Either a :data:`Rule` callable, or a mapping ``q → FSM function``
+        (anything with ``.evaluate(multiset)`` such as a
+        :class:`~repro.core.modthresh.ModThreshProgram`,
+        :class:`~repro.core.sequential.SequentialProgram` or
+        :class:`~repro.core.parallel.ParallelProgram`).
+    name:
+        Optional label.
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[State],
+        rule: Union[Rule, Mapping[State, object]],
+        name: str = "",
+    ) -> None:
+        # Accept either an iterable (materialized to a frozenset) or a
+        # lazy set-like object with __contains__ — large composite
+        # alphabets (e.g. leader election's product state) need the latter.
+        if isinstance(alphabet, (set, frozenset)):
+            self.alphabet: object = frozenset(alphabet)
+            if not self.alphabet:
+                raise ValueError("the state alphabet Q must be nonempty")
+        elif hasattr(alphabet, "__contains__") and not isinstance(
+            alphabet, (list, tuple, str)
+        ):
+            self.alphabet = alphabet
+        else:
+            self.alphabet = frozenset(alphabet)
+            if not self.alphabet:
+                raise ValueError("the state alphabet Q must be nonempty")
+        self.name = name
+        if isinstance(rule, Mapping):
+            programs = dict(rule)
+            missing = [q for q in programs if q not in self.alphabet]
+            if missing:
+                raise ValueError(
+                    f"program keys outside Q: {sorted(map(repr, missing))[:5]}"
+                )
+            if isinstance(self.alphabet, frozenset):
+                absent = self.alphabet - set(programs)
+                if absent:
+                    raise ValueError(
+                        f"no FSM function for states {sorted(map(repr, absent))[:5]}"
+                    )
+            self._programs: Optional[dict] = programs
+            self._rule: Optional[Rule] = None
+        else:
+            self._programs = None
+            self._rule = rule
+
+    @classmethod
+    def from_programs(
+        cls, programs: Mapping[State, object], name: str = ""
+    ) -> "FSSGA":
+        """Build from an explicit ``q → FSM program`` mapping (Def. 3.10)."""
+        return cls(alphabet=frozenset(programs.keys()), rule=programs, name=name)
+
+    def transition(
+        self, own: State, neighbors: Union[Counter, Mapping, Iterable]
+    ) -> State:
+        """One activation: the successor state of a node.
+
+        ``neighbors`` is the multiset of neighbour states (Counter, mapping,
+        or iterable).  Nodes with no neighbours keep their state — the paper
+        assumes connected networks with >= 2 nodes, but faults can isolate a
+        node mid-run, and an SM function has no value on the empty input.
+        """
+        if own not in self.alphabet:
+            raise ValueError(f"own state {own!r} not in Q")
+        view = _make_view(neighbors)
+        if not view._counts:
+            return own
+        if self._programs is not None:
+            out = self._programs[own].evaluate(view._multiset())
+        else:
+            out = self._rule(own, view)
+        if out not in self.alphabet:
+            raise ValueError(f"transition produced {out!r} outside Q")
+        return out
+
+    @property
+    def is_rule_based(self) -> bool:
+        return self._rule is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "FSSGA"
+        try:
+            size = len(self.alphabet)  # type: ignore[arg-type]
+        except TypeError:
+            size = "?"
+        return f"{label}(|Q|={size})"
+
+
+class ProbabilisticFSSGA:
+    """A probabilistic FSSGA ``(Q, r, f)`` (Definition 3.11).
+
+    On each activation a node draws ``i`` uniformly from ``{0, …, r-1}`` and
+    applies the FSM function ``f[own, i]``.
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[State],
+        randomness: int,
+        rule: Union[ProbabilisticRule, Mapping[tuple, object]],
+        name: str = "",
+    ) -> None:
+        if isinstance(alphabet, (set, frozenset)):
+            self.alphabet: object = frozenset(alphabet)
+            if not self.alphabet:
+                raise ValueError("the state alphabet Q must be nonempty")
+        elif hasattr(alphabet, "__contains__") and not isinstance(
+            alphabet, (list, tuple, str)
+        ):
+            self.alphabet = alphabet
+        else:
+            self.alphabet = frozenset(alphabet)
+            if not self.alphabet:
+                raise ValueError("the state alphabet Q must be nonempty")
+        if randomness < 1:
+            raise ValueError("randomness r must be a positive integer")
+        self.randomness = randomness
+        self.name = name
+        if isinstance(rule, Mapping):
+            programs = dict(rule)
+            if isinstance(self.alphabet, frozenset):
+                missing = {
+                    (q, i)
+                    for q in self.alphabet
+                    for i in range(randomness)
+                    if (q, i) not in programs
+                }
+                if missing:
+                    raise ValueError(
+                        f"missing FSM functions for {len(missing)} (q, i) pairs"
+                    )
+            self._programs: Optional[dict] = programs
+            self._rule: Optional[ProbabilisticRule] = None
+        else:
+            self._programs = None
+            self._rule = rule
+
+    def transition(
+        self,
+        own: State,
+        neighbors: Union[Counter, Mapping, Iterable],
+        draw: int,
+    ) -> State:
+        """One activation with the random draw ``i = draw``."""
+        if own not in self.alphabet:
+            raise ValueError(f"own state {own!r} not in Q")
+        if not 0 <= draw < self.randomness:
+            raise ValueError(f"draw {draw} outside [0, {self.randomness})")
+        view = _make_view(neighbors)
+        if not view._counts:
+            return own
+        if self._programs is not None:
+            out = self._programs[(own, draw)].evaluate(view._multiset())
+        else:
+            out = self._rule(own, view, draw)
+        if out not in self.alphabet:
+            raise ValueError(f"transition produced {out!r} outside Q")
+        return out
+
+    @property
+    def is_rule_based(self) -> bool:
+        return self._rule is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "ProbabilisticFSSGA"
+        return f"{label}(|Q|={len(self.alphabet)}, r={self.randomness})"

@@ -1,0 +1,147 @@
+"""Compile a Pythonic FSSGA rule into formal mod-thresh programs.
+
+Rules written against :class:`~repro.core.automaton.NeighborhoodView` are
+finite-state by construction, but they are Python functions, not
+Definition 3.6 objects.  :func:`compile_rule` recovers an explicit
+:class:`~repro.core.modthresh.ModThreshProgram` for one own-state ``q`` by
+enumerating the multiplicity equivalence classes induced by declared bounds
+(a threshold bound ``T`` and a modulus ``M`` per alphabet state) and
+evaluating the rule on one representative per class — the same enumeration
+as the Lemma 3.9 construction.
+
+The compilation is *checked*: the atoms each evaluation traces must respect
+the declared bounds (every thresh atom ``t <= T``, every mod modulus
+dividing ``M``); otherwise distinct inputs in one class could disagree and a
+:class:`CompilationError` is raised.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from collections.abc import Hashable, Mapping, Sequence
+from typing import Optional
+
+from repro.core.automaton import NeighborhoodView, Rule
+from repro.core.convert import _class_predicate, _class_representative
+from repro.core.modthresh import And, ModThreshProgram, Proposition, TRUE
+
+State = Hashable
+
+__all__ = ["compile_rule", "CompilationError"]
+
+
+class CompilationError(ValueError):
+    """The rule queried an atom outside the declared bounds."""
+
+
+def compile_rule(
+    rule: Rule,
+    alphabet: Sequence[State],
+    own_state: State,
+    max_threshold: int = 2,
+    modulus: int = 1,
+    per_state_bounds: Optional[Mapping[State, tuple[int, int]]] = None,
+) -> ModThreshProgram:
+    """Compile ``rule`` restricted to ``own_state`` into a mod-thresh program.
+
+    Parameters
+    ----------
+    rule:
+        A deterministic FSSGA rule ``(own, view) → state``.
+    alphabet:
+        The full state alphabet Q.
+    own_state:
+        The own state whose FSM function ``f[own_state]`` is being compiled.
+    max_threshold:
+        Default threshold bound T: the rule may only ask ``fewer_than(q, t)``
+        with ``t <= T``.
+    modulus:
+        Default modulus bound M: the rule may only ask ``count_mod(q, m)``
+        with ``m`` dividing ``M``.
+    per_state_bounds:
+        Optional overrides ``q → (T_q, M_q)``.
+
+    Returns
+    -------
+    ModThreshProgram
+        A cascade with one clause per multiplicity-class combination (the
+        last class becomes the default), agreeing with the rule on every
+        neighbour multiset.
+    """
+    states = list(alphabet)
+    bounds: dict[State, tuple[int, int]] = {}
+    for q in states:
+        if per_state_bounds and q in per_state_bounds:
+            t, m = per_state_bounds[q]
+        else:
+            t, m = max_threshold, modulus
+        if t < 1 or m < 1:
+            raise ValueError("bounds must be positive")
+        bounds[q] = (t, m)
+
+    def classes_for(q: State) -> list[tuple]:
+        t, m = bounds[q]
+        return [("exact", i) for i in range(t)] + [
+            ("residue", i, t, m) for i in range(m)
+        ]
+
+    clauses: list[tuple[Proposition, object]] = []
+    for combo in itertools.product(*(classes_for(q) for q in states)):
+        reps = {q: _class_representative(cls) for q, cls in zip(states, combo)}
+        if sum(reps.values()) == 0:
+            continue  # empty neighbourhood is outside Q^+
+        view = NeighborhoodView(Counter({q: c for q, c in reps.items() if c}))
+        result = rule(own_state, view)
+        _check_trace(view.trace, bounds, own_state)
+        parts = [_class_predicate(q, cls) for q, cls in zip(states, combo)]
+        non_trivial = [p for p in parts if p is not TRUE]
+        prop: Proposition
+        if not non_trivial:
+            prop = TRUE
+        elif len(non_trivial) == 1:
+            prop = non_trivial[0]
+        else:
+            prop = And(tuple(non_trivial))
+        clauses.append((prop, result))
+
+    *head, (_last_prop, last_result) = clauses
+    return ModThreshProgram(
+        clauses=tuple(head),
+        default=last_result,
+        name=f"compiled[{own_state!r}]",
+    )
+
+
+def _check_trace(
+    trace: set[tuple], bounds: Mapping[State, tuple[int, int]], own: State
+) -> None:
+    for atom in trace:
+        if atom == ("support",):
+            raise CompilationError(
+                f"rule for own={own!r} used NeighborhoodView.support(); "
+                f"support-based rules are not compilable"
+            )
+        kind, q, param = atom
+        if kind == "group":
+            raise CompilationError(
+                f"rule for own={own!r} used a group_at_least query; "
+                f"group thresholds are not compilable (expand them manually)"
+            )
+        if q not in bounds:
+            raise CompilationError(
+                f"rule for own={own!r} queried unknown state {q!r}"
+            )
+        t_bound, m_bound = bounds[q]
+        if kind == "thresh" and param > t_bound:
+            raise CompilationError(
+                f"rule for own={own!r} used thresh atom t={param} on {q!r} "
+                f"but the declared bound is {t_bound}; raise max_threshold"
+            )
+        if kind == "mod" and m_bound % param != 0:
+            raise CompilationError(
+                f"rule for own={own!r} used mod atom m={param} on {q!r} "
+                f"but the declared modulus {m_bound} is not a multiple; "
+                f"set modulus to a common multiple"
+            )

@@ -1,0 +1,384 @@
+"""Constructive conversions between SM program formulations.
+
+This module implements the three containments of Theorem 3.7:
+
+* :func:`parallel_to_sequential` — Lemma 3.5: conquer one input at a time.
+* :func:`modthresh_to_parallel` — Lemma 3.8: evaluate the multiplicity
+  counters mod ``M_i`` and saturating at ``T_i`` in divide-and-conquer
+  fashion.
+* :func:`sequential_to_modthresh` — Lemma 3.9: the value of a sequential SM
+  function depends on each multiplicity only through the eventually-periodic
+  orbit of ``g_j : w ↦ p(w, j)``, which mod-thresh propositions can
+  distinguish.
+
+Composition closes the cycle (:func:`sequential_to_parallel`,
+:func:`modthresh_to_sequential`), demonstrating that the three classes are
+one and the same — the *FSM functions*.  As the paper notes, the
+constructions "can entail an exponential increase in program complexity";
+benchmarks/bench_equivalence.py measures this blowup.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Hashable, Sequence
+from typing import Union
+
+from repro.core.modthresh import (
+    And,
+    ModAtom,
+    ModThreshProgram,
+    Not,
+    Proposition,
+    ThreshAtom,
+    TRUE,
+)
+from repro.core.multiset import Multiset
+from repro.core.parallel import ParallelProgram
+from repro.core.sequential import SequentialProgram
+
+State = Hashable
+
+__all__ = [
+    "parallel_to_sequential",
+    "modthresh_to_parallel",
+    "sequential_to_modthresh",
+    "sequential_to_parallel",
+    "modthresh_to_sequential",
+    "orbit_tail_and_period",
+    "INFINITY",
+]
+
+#: Sentinel for the saturated ("∞") value of a threshold counter (Lemma 3.8).
+INFINITY = "∞"
+
+#: Sentinel for the Lemma 3.5 construction's empty working state.
+_NIL = ("NIL",)
+
+
+class _CounterSpace:
+    """The Lemma 3.8 working-state space, membership-checked lazily.
+
+    An element is a tuple of ``(a_i, b_i)`` pairs, one per alphabet state,
+    with ``a_i ∈ [0, M_i)`` and ``b_i ∈ [0, T_i) ∪ {INFINITY}``.  Supports
+    ``in``, ``len`` and iteration without materializing the product.
+    """
+
+    def __init__(self, moduli: Sequence[int], thresholds: Sequence[int]) -> None:
+        self._moduli = list(moduli)
+        self._thresholds = list(thresholds)
+
+    def __contains__(self, w: object) -> bool:
+        if not isinstance(w, tuple) or len(w) != len(self._moduli):
+            return False
+        for (a, b), m, t in zip(w, self._moduli, self._thresholds):
+            if not (isinstance(a, int) and 0 <= a < m):
+                return False
+            if b != INFINITY and not (isinstance(b, int) and 0 <= b < t):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        out = 1
+        for m, t in zip(self._moduli, self._thresholds):
+            out *= m * (t + 1)
+        return out
+
+    def __iter__(self):
+        ranges = [
+            [(a, b) for a in range(m) for b in list(range(t)) + [INFINITY]]
+            for m, t in zip(self._moduli, self._thresholds)
+        ]
+        return itertools.product(*ranges)
+
+    def __or__(self, other):
+        # Needed by parallel_to_sequential, which adds the NIL state.
+        return _AugmentedSpace(self, frozenset(other))
+
+
+class _AugmentedSpace:
+    """A lazily-checked state space plus finitely many extra elements."""
+
+    def __init__(self, base, extra: frozenset) -> None:
+        self._base = base
+        self._extra = extra
+
+    def __contains__(self, w: object) -> bool:
+        return w in self._extra or w in self._base
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._extra)
+
+    def __iter__(self):
+        yield from self._extra
+        yield from self._base
+
+    def __or__(self, other):
+        return _AugmentedSpace(self._base, self._extra | frozenset(other))
+
+
+def parallel_to_sequential(pp: ParallelProgram) -> SequentialProgram:
+    """Lemma 3.5: fold inputs one at a time through the parallel combiner.
+
+    The sequential program starts at a fresh ``NIL`` state; the first input
+    is lifted with ``α``, and each later input ``q`` is folded as
+    ``p(α(q), w)``.
+    """
+
+    if isinstance(pp.working_states, (set, frozenset)):
+        working = frozenset(pp.working_states) | {_NIL}
+    else:
+        working = pp.working_states | {_NIL}
+
+    def process(w, q):
+        if w == _NIL:
+            return pp.lift(q)
+        return pp.combine(pp.lift(q), w)
+
+    def output(w):
+        if w == _NIL:
+            raise ValueError("SM functions are defined on Q^+ (length >= 1)")
+        return pp.output(w)
+
+    return SequentialProgram(
+        working_states=working,
+        start=_NIL,
+        process=process,
+        output=output,
+        name=f"seq({pp.name})" if pp.name else "seq(parallel)",
+    )
+
+
+def modthresh_to_parallel(
+    mt: ModThreshProgram, alphabet: Sequence[State]
+) -> ParallelProgram:
+    """Lemma 3.8: count multiplicities with finite counters, in parallel.
+
+    For each state ``i`` in the alphabet, the working state carries a pair
+    ``(a_i, b_i)``: ``a_i`` counts mod ``M_i`` (the lcm of all moduli of mod
+    atoms over ``i``) and ``b_i`` counts up to ``T_i`` (the max threshold of
+    thresh atoms over ``i``) then saturates at :data:`INFINITY`.  Pairwise
+    combination adds componentwise; β replays the cascade using the counter
+    values in place of true multiplicities.
+    """
+    states = list(alphabet)
+    index = {q: k for k, q in enumerate(states)}
+
+    big_m = {
+        q: math.lcm(1, *mt.moduli(q)) for q in states
+    }
+    big_t = {
+        q: max([1, *mt.thresholds(q)]) for q in states
+    }
+
+    # Working states: one (mod, sat) pair per alphabet state, as a tuple.
+    # The product space has ∏_i M_i·(T_i+1) elements — exponential in |Q|
+    # (the paper's noted blowup) — so we expose it lazily rather than
+    # materializing a frozenset.
+    working = _CounterSpace(
+        [big_m[q] for q in states], [big_t[q] for q in states]
+    )
+
+    def lift(q):
+        if q not in index:
+            raise ValueError(f"input state {q!r} not in the declared alphabet")
+        out = []
+        for s in states:
+            if s == q:
+                a = 1 % big_m[s]
+                b: Union[int, str] = 1 if 1 < big_t[s] else INFINITY
+            else:
+                a, b = 0, 0
+            out.append((a, b))
+        return tuple(out)
+
+    def combine(w1, w2):
+        out = []
+        for (a1, b1), (a2, b2), q in zip(w1, w2, states):
+            a = (a1 + a2) % big_m[q]
+            if b1 == INFINITY or b2 == INFINITY or b1 + b2 >= big_t[q]:
+                b: Union[int, str] = INFINITY
+            else:
+                b = b1 + b2
+            out.append((a, b))
+        return tuple(out)
+
+    def _atom_value(atom: Proposition, w) -> bool:
+        if isinstance(atom, ModAtom):
+            a, _b = w[index[atom.state]]
+            # a holds the true multiplicity mod M_state; atom.modulus | M.
+            return a % atom.modulus == atom.residue
+        if isinstance(atom, ThreshAtom):
+            _a, b = w[index[atom.state]]
+            if b == INFINITY:
+                return False  # multiplicity >= T >= threshold
+            return b < atom.threshold
+        raise TypeError(f"unexpected atom {atom!r}")
+
+    def _prop_value(prop: Proposition, w) -> bool:
+        if isinstance(prop, (ModAtom, ThreshAtom)):
+            return _atom_value(prop, w)
+        if isinstance(prop, And):
+            return all(_prop_value(c, w) for c in prop.children)
+        from repro.core.modthresh import Or, _Const
+
+        if isinstance(prop, Or):
+            return any(_prop_value(c, w) for c in prop.children)
+        if isinstance(prop, Not):
+            return not _prop_value(prop.child, w)
+        if isinstance(prop, _Const):
+            return prop.evaluate(Multiset({states[0]: 1}))
+        raise TypeError(f"unexpected proposition {prop!r}")
+
+    def output(w):
+        for prop, result in mt.clauses:
+            if _prop_value(prop, w):
+                return result
+        return mt.default
+
+    return ParallelProgram(
+        working_states=working,
+        lift=lift,
+        combine=combine,
+        output=output,
+        name=f"par({mt.name})" if mt.name else "par(modthresh)",
+    )
+
+
+def orbit_tail_and_period(step, start, limit: int = 1_000_000) -> tuple[int, int]:
+    """Tail length t and period m of the eventually-periodic orbit of
+    ``start`` under ``step`` (over a finite set).
+
+    Returns the least ``(t, m)`` such that for all z1, z2 >= t with
+    z1 ≡ z2 (mod m), ``step^(z1)(start) == step^(z2)(start)``.
+    """
+    seen: dict = {start: 0}
+    w = start
+    for i in range(1, limit + 1):
+        w = step(w)
+        if w in seen:
+            tail = seen[w]
+            period = i - tail
+            return tail, period
+        seen[w] = i
+    raise RuntimeError("orbit did not close within the iteration limit")
+
+
+def _class_predicate(state: State, cls: tuple) -> Proposition:
+    """A mod-thresh proposition asserting μ_state lies in the given class.
+
+    ``cls`` is either ``("exact", i)`` — the singleton {i} — or
+    ``("residue", i, t, m)`` — the class {n >= t : n ≡ i (mod m)}.
+    These are Equations (4) and (5) of the paper, with care at the
+    boundaries where a ``μ < 0`` atom would be ill-formed.
+    """
+    if cls[0] == "exact":
+        i = cls[1]
+        if i == 0:
+            return ThreshAtom(state, 1)
+        return And((ThreshAtom(state, i + 1), Not(ThreshAtom(state, i))))
+    _kind, i, t, m = cls
+    conj: list[Proposition] = []
+    if t > 0:
+        conj.append(Not(ThreshAtom(state, t)))
+    if m > 1:
+        conj.append(ModAtom(state, i % m, m))
+    if not conj:
+        return TRUE
+    if len(conj) == 1:
+        return conj[0]
+    return And(tuple(conj))
+
+
+def _class_representative(cls: tuple) -> int:
+    """The least multiplicity in the class."""
+    if cls[0] == "exact":
+        return cls[1]
+    _kind, i, t, m = cls
+    rep = t + ((i - t) % m)
+    return rep
+
+
+def sequential_to_modthresh(
+    sp: SequentialProgram, alphabet: Sequence[State]
+) -> ModThreshProgram:
+    """Lemma 3.9: compile a sequential SM program to a mod-thresh cascade.
+
+    For each input state ``j`` compute the tail ``t_j`` and period ``m_j``
+    of the orbit of ``w0`` under ``g_j : w ↦ p(w, j)``.  The function value
+    depends on ``μ_j`` only through its ``~_j`` equivalence class; we
+    enumerate one clause per combination of classes (``∏_j (t_j + m_j)``
+    clauses — the paper's exponential blowup) and evaluate the sequential
+    program on a representative multiset to find each clause's result.
+
+    The input ``sp`` must be a *valid* sequential SM program over
+    ``alphabet``; validity is not re-checked here.
+    """
+    states = list(alphabet)
+    tails: dict[State, int] = {}
+    periods: dict[State, int] = {}
+    for j in states:
+        tails[j], periods[j] = orbit_tail_and_period(
+            lambda w, _j=j: sp.process(w, _j), sp.start
+        )
+
+    def classes_for(j: State) -> list[tuple]:
+        t, m = tails[j], periods[j]
+        exact = [("exact", i) for i in range(t)]
+        residue = [("residue", i, t, m) for i in range(m)]
+        return exact + residue
+
+    clauses: list[tuple[Proposition, object]] = []
+    for combo in itertools.product(*(classes_for(j) for j in states)):
+        reps = {j: _class_representative(cls) for j, cls in zip(states, combo)}
+        if sum(reps.values()) == 0:
+            # The all-zero representative vector is outside Q^+.  If every
+            # class is the exact singleton {0} the combo only contains the
+            # empty input and is unreachable; otherwise some class is a
+            # residue class containing positive counts — bump that state's
+            # representative by one period to get a valid witness.
+            bumpable = [
+                (j, cls) for j, cls in zip(states, combo) if cls[0] == "residue"
+            ]
+            if not bumpable:
+                continue
+            j0, cls0 = bumpable[0]
+            reps[j0] = _class_representative(cls0) + cls0[3]
+        predicate_parts = [
+            _class_predicate(j, cls) for j, cls in zip(states, combo)
+        ]
+        non_trivial = [p for p in predicate_parts if p is not TRUE]
+        if not non_trivial:
+            prop: Proposition = TRUE
+        elif len(non_trivial) == 1:
+            prop = non_trivial[0]
+        else:
+            prop = And(tuple(non_trivial))
+        result = sp.evaluate(Multiset(reps))
+        clauses.append((prop, result))
+
+    if not clauses:
+        raise ValueError("empty alphabet produces no mod-thresh clauses")
+    *head, (last_prop, last_result) = clauses
+    # The final clause becomes the 'else' branch: on valid inputs exactly one
+    # clause predicate holds, so dropping the last predicate is sound.
+    return ModThreshProgram(
+        clauses=tuple(head),
+        default=last_result,
+        name=f"mt({sp.name})" if sp.name else "mt(sequential)",
+    )
+
+
+def sequential_to_parallel(
+    sp: SequentialProgram, alphabet: Sequence[State]
+) -> ParallelProgram:
+    """The composite Lemma 3.9 ∘ Lemma 3.8 conversion."""
+    return modthresh_to_parallel(sequential_to_modthresh(sp, alphabet), alphabet)
+
+
+def modthresh_to_sequential(
+    mt: ModThreshProgram, alphabet: Sequence[State]
+) -> SequentialProgram:
+    """The composite Lemma 3.8 ∘ Lemma 3.5 conversion."""
+    return parallel_to_sequential(modthresh_to_parallel(mt, alphabet))

@@ -1,0 +1,287 @@
+"""Mod-thresh SM programs (paper, Section 3.3, Definition 3.6).
+
+A *mod atom* asserts ``μ_i(q̄) ≡ r (mod m)``; a *thresh atom* asserts
+``μ_i(q̄) < t``.  Propositions are the closure of atoms under finite
+conjunction, disjunction, and negation.  A mod-thresh program is an
+``if/elif/.../else`` cascade of propositions returning results — the
+paper's "programming language" formulation of FSM functions.
+
+Propositions depend on the input only through multiplicities, so every
+mod-thresh program is automatically symmetric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.multiset import Multiset, as_multiset
+
+State = Hashable
+Result = Hashable
+
+__all__ = [
+    "Proposition",
+    "ModAtom",
+    "ThreshAtom",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "FALSE",
+    "ModThreshProgram",
+    "at_least",
+    "fewer_than",
+    "exactly",
+    "count_is_mod",
+]
+
+
+class Proposition:
+    """Base class for mod-thresh propositions.
+
+    Subclasses implement :meth:`evaluate` over a multiset and enumerate
+    their :meth:`atoms`.  Propositions compose with ``&``, ``|`` and ``~``.
+    """
+
+    def evaluate(self, counts: Multiset) -> bool:
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Proposition"]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Proposition") -> "Proposition":
+        return And((self, other))
+
+    def __or__(self, other: "Proposition") -> "Proposition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Proposition":
+        return Not(self)
+
+    def __call__(self, counts) -> bool:
+        return self.evaluate(as_multiset(counts))
+
+
+@dataclass(frozen=True)
+class ModAtom(Proposition):
+    """The mod atom ``μ_state(q̄) ≡ residue (mod modulus)``."""
+
+    state: State
+    residue: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus < 1:
+            raise ValueError("modulus must be >= 1")
+        if not 0 <= self.residue < self.modulus:
+            raise ValueError("residue must lie in [0, modulus)")
+
+    def evaluate(self, counts: Multiset) -> bool:
+        return counts.multiplicity(self.state) % self.modulus == self.residue
+
+    def atoms(self) -> Iterator[Proposition]:
+        yield self
+
+    def __repr__(self) -> str:
+        return f"(μ[{self.state!r}] ≡ {self.residue} mod {self.modulus})"
+
+
+@dataclass(frozen=True)
+class ThreshAtom(Proposition):
+    """The thresh atom ``μ_state(q̄) < threshold`` (threshold >= 1)."""
+
+    state: State
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("threshold must be a positive integer")
+
+    def evaluate(self, counts: Multiset) -> bool:
+        return counts.multiplicity(self.state) < self.threshold
+
+    def atoms(self) -> Iterator[Proposition]:
+        yield self
+
+    def __repr__(self) -> str:
+        return f"(μ[{self.state!r}] < {self.threshold})"
+
+
+@dataclass(frozen=True)
+class And(Proposition):
+    """Finite conjunction."""
+
+    children: tuple
+
+    def evaluate(self, counts: Multiset) -> bool:
+        return all(c.evaluate(counts) for c in self.children)
+
+    def atoms(self) -> Iterator[Proposition]:
+        for c in self.children:
+            yield from c.atoms()
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(map(repr, self.children)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Proposition):
+    """Finite disjunction."""
+
+    children: tuple
+
+    def evaluate(self, counts: Multiset) -> bool:
+        return any(c.evaluate(counts) for c in self.children)
+
+    def atoms(self) -> Iterator[Proposition]:
+        for c in self.children:
+            yield from c.atoms()
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(map(repr, self.children)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Proposition):
+    """Negation."""
+
+    child: Proposition
+
+    def evaluate(self, counts: Multiset) -> bool:
+        return not self.child.evaluate(counts)
+
+    def atoms(self) -> Iterator[Proposition]:
+        yield from self.child.atoms()
+
+    def __repr__(self) -> str:
+        return f"¬{self.child!r}"
+
+
+class _Const(Proposition):
+    def __init__(self, value: bool) -> None:
+        self._value = value
+
+    def evaluate(self, counts: Multiset) -> bool:
+        return self._value
+
+    def atoms(self) -> Iterator[Proposition]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "TRUE" if self._value else "FALSE"
+
+
+TRUE = _Const(True)
+FALSE = _Const(False)
+
+
+# ----------------------------------------------------------------------
+# sugar used heavily by the algorithm implementations
+# ----------------------------------------------------------------------
+def fewer_than(state: State, t: int) -> Proposition:
+    """``μ_state < t`` — a raw thresh atom."""
+    return ThreshAtom(state, t)
+
+
+def at_least(state: State, t: int) -> Proposition:
+    """``μ_state >= t``; for t=0 this is TRUE, else ``¬(μ_state < t)``."""
+    if t <= 0:
+        return TRUE
+    return Not(ThreshAtom(state, t))
+
+
+def exactly(state: State, k: int) -> Proposition:
+    """``μ_state == k``, expressed with thresh atoms only."""
+    if k < 0:
+        return FALSE
+    if k == 0:
+        return ThreshAtom(state, 1)
+    return And((Not(ThreshAtom(state, k)), ThreshAtom(state, k + 1)))
+
+
+def count_is_mod(state: State, residue: int, modulus: int) -> Proposition:
+    """``μ_state ≡ residue (mod modulus)`` — a raw mod atom."""
+    return ModAtom(state, residue % modulus, modulus)
+
+
+@dataclass(frozen=True)
+class ModThreshProgram:
+    """The cascade ``(P_1, …, P_{c-1}; r_1, …, r_c)`` of Definition 3.6.
+
+    ``clauses`` is a sequence of ``(proposition, result)`` pairs tried in
+    order; ``default`` is the final ``else`` result ``r_c``.
+    """
+
+    clauses: tuple
+    default: Result
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for i, clause in enumerate(self.clauses):
+            if len(clause) != 2 or not isinstance(clause[0], Proposition):
+                raise TypeError(f"clause {i} must be a (Proposition, result) pair")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Union[Sequence[State], Multiset]) -> Result:
+        """Run the cascade on the multiset of ``inputs``."""
+        ms = as_multiset(inputs)
+        if ms.size == 0:
+            raise ValueError("SM functions are defined on Q^+ (length >= 1)")
+        for prop, result in self.clauses:
+            if prop.evaluate(ms):
+                return result
+        return self.default
+
+    def __call__(self, inputs: Union[Sequence[State], Multiset]) -> Result:
+        return self.evaluate(inputs)
+
+    # ------------------------------------------------------------------
+    def atoms(self) -> list[Proposition]:
+        """All atoms occurring in any clause (with duplicates removed)."""
+        seen: list[Proposition] = []
+        seen_set: set = set()
+        for prop, _result in self.clauses:
+            for atom in prop.atoms():
+                if atom not in seen_set:
+                    seen_set.add(atom)
+                    seen.append(atom)
+        return seen
+
+    def moduli(self, state: State) -> list[int]:
+        """All moduli of mod atoms over ``state`` (for Lemma 3.8's M_i)."""
+        return [a.modulus for a in self.atoms() if isinstance(a, ModAtom) and a.state == state]
+
+    def thresholds(self, state: State) -> list[int]:
+        """All thresholds of thresh atoms over ``state`` (Lemma 3.8's T_i)."""
+        return [
+            a.threshold
+            for a in self.atoms()
+            if isinstance(a, ThreshAtom) and a.state == state
+        ]
+
+    def results(self) -> set:
+        """The result set R actually used by this program."""
+        out = {r for _p, r in self.clauses}
+        out.add(self.default)
+        return out
+
+    def agrees_with(
+        self,
+        other,
+        alphabet: Sequence[State],
+        max_len: int = 5,
+    ) -> bool:
+        """True iff this program and ``other`` agree on all multisets up to
+        ``max_len``."""
+        from repro.core.multiset import iter_multisets
+
+        for ms in iter_multisets(list(alphabet), max_len):
+            if self.evaluate(ms) != other(ms):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "ModThreshProgram"
+        return f"{label}({len(self.clauses)} clauses, default={self.default!r})"

@@ -1,0 +1,132 @@
+"""Multisets over a finite alphabet: the input domain ``Q^+``.
+
+An SM function (paper, Definition 3.1) is symmetric, so its value depends on
+the input sequence only through the multiplicity vector ``μ``.  We therefore
+normalise all inputs to :class:`Multiset` — a frozen Counter-like mapping —
+and provide enumerators over small sequences/multisets for exhaustive
+SM-validity checking and for the Lemma 3.9 construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Union
+
+State = Hashable
+
+__all__ = ["Multiset", "as_multiset", "iter_multisets", "iter_sequences"]
+
+
+class Multiset(Mapping):
+    """An immutable multiset of states with positive multiplicities.
+
+    Hashable, so usable as a memo key.  ``Multiset({'a': 2})`` has size 2.
+    Zero-multiplicity entries are dropped on construction.
+    """
+
+    __slots__ = ("_counts", "_size", "_hash")
+
+    def __init__(self, counts: Union[Mapping, Iterable, None] = None) -> None:
+        if counts is None:
+            c: Counter = Counter()
+        elif isinstance(counts, Mapping):
+            c = Counter({k: int(v) for k, v in counts.items() if v})
+        else:
+            c = Counter(counts)
+        for k, v in c.items():
+            if v < 0:
+                raise ValueError(f"negative multiplicity for {k!r}")
+        self._counts: dict = dict(c)
+        self._size = sum(self._counts.values())
+        self._hash = hash(frozenset(self._counts.items()))
+
+    # -- mapping protocol -------------------------------------------------
+    def __getitem__(self, q: State) -> int:
+        return self._counts.get(q, 0)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, q: State) -> bool:
+        return self._counts.get(q, 0) > 0
+
+    # -- multiset ops -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of elements counted with multiplicity (``|q̄|``)."""
+        return self._size
+
+    def multiplicity(self, q: State) -> int:
+        """``μ_q(q̄)``, the paper's multiplicity function."""
+        return self._counts.get(q, 0)
+
+    def add(self, q: State, k: int = 1) -> "Multiset":
+        """A new multiset with ``k`` extra copies of ``q``."""
+        c = dict(self._counts)
+        c[q] = c.get(q, 0) + k
+        return Multiset(c)
+
+    def union(self, other: "Multiset") -> "Multiset":
+        """Multiset sum (concatenation of the underlying sequences)."""
+        c = Counter(self._counts)
+        c.update(other._counts)
+        return Multiset(c)
+
+    def elements(self) -> list[State]:
+        """A canonical flat sequence realisation (sorted by repr)."""
+        out: list[State] = []
+        for q in sorted(self._counts, key=repr):
+            out.extend([q] * self._counts[q])
+        return out
+
+    def support(self) -> set[State]:
+        return set(self._counts)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self._counts == other._counts
+        if isinstance(other, Mapping):
+            return self._counts == {k: v for k, v in other.items() if v}
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{q!r}: {k}" for q, k in sorted(self._counts.items(), key=lambda t: repr(t[0])))
+        return f"Multiset({{{inner}}})"
+
+
+def as_multiset(arg: Union[Multiset, Mapping, Sequence, Counter]) -> Multiset:
+    """Coerce a sequence, Counter or mapping into a :class:`Multiset`."""
+    if isinstance(arg, Multiset):
+        return arg
+    if isinstance(arg, Mapping):
+        return Multiset(arg)
+    return Multiset(Counter(arg))
+
+
+def iter_sequences(alphabet: Sequence[State], length: int) -> Iterator[tuple]:
+    """All sequences of exactly ``length`` over ``alphabet``."""
+    return itertools.product(alphabet, repeat=length)
+
+
+def iter_multisets(
+    alphabet: Sequence[State], max_size: int, min_size: int = 1
+) -> Iterator[Multiset]:
+    """All multisets over ``alphabet`` with size in ``[min_size, max_size]``.
+
+    Enumerated smallest-first; useful for exhaustive SM checks, where testing
+    every multiset up to some size is equivalent to testing every sequence up
+    to the same length (by symmetry) at exponentially lower cost.
+    """
+    if min_size < 0:
+        raise ValueError("min_size must be >= 0")
+    for size in range(min_size, max_size + 1):
+        for combo in itertools.combinations_with_replacement(alphabet, size):
+            yield Multiset(Counter(combo))

@@ -1,0 +1,163 @@
+"""Parallel SM programs (paper, Definitions 3.3 and 3.4).
+
+A parallel program ``(W, α, p, β)`` lifts each input through ``α``, reduces
+the resulting working states pairwise via ``p`` along an arbitrary rooted
+binary tree, and maps the single survivor through ``β``.  Definition 3.4
+requires the result to be independent of both the leaf permutation and the
+tree shape; this holds whenever ``p`` is commutative and associative on the
+closure of ``α(Q)`` — the cheap sufficient check implemented in
+:meth:`ParallelProgram.check_assoc_comm`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from repro.core.multiset import Multiset, iter_multisets
+from repro.core.trees import Tree, all_trees, balanced_tree, tree_combine
+
+State = Hashable
+Working = Hashable
+Result = Hashable
+
+__all__ = ["ParallelProgram"]
+
+
+@dataclass(frozen=True)
+class ParallelProgram:
+    """The tuple ``(W, α, p, β)`` of Definition 3.4.
+
+    Parameters
+    ----------
+    working_states:
+        The finite set ``W``.
+    lift:
+        ``α : Q → W``, mapping each input to its own working state.
+    combine:
+        ``p : W × W → W``, the pairwise reduction.
+    output:
+        ``β : W → R``.
+    name:
+        Optional label for reprs and error messages.
+    """
+
+    working_states: frozenset
+    lift: Callable[[State], Working]
+    combine: Callable[[Working, Working], Working]
+    output: Callable[[Working], Result]
+    name: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        inputs: Union[Sequence[State], Multiset],
+        tree: Union[Tree, None] = None,
+    ) -> Result:
+        """``f(q̄)`` evaluated along ``tree`` (balanced by default).
+
+        For a *valid* parallel SM program the choice of tree is irrelevant;
+        passing an explicit tree is useful for validity tests and for the
+        Figure 1 demonstrations.
+        """
+        if isinstance(inputs, Multiset):
+            seq: Sequence[State] = inputs.elements()
+        else:
+            seq = list(inputs)
+        if not seq:
+            raise ValueError("SM functions are defined on Q^+ (length >= 1)")
+        leaves = [self.lift(q) for q in seq]
+        for w in leaves:
+            if w not in self.working_states:
+                raise ValueError(f"alpha produced {w!r} outside W")
+        if tree is None:
+            tree = balanced_tree(len(seq))
+        w = tree_combine(self.combine, tree, leaves)
+        if w not in self.working_states:
+            raise ValueError(f"combine produced {w!r} outside W")
+        return self.output(w)
+
+    def __call__(self, inputs: Union[Sequence[State], Multiset]) -> Result:
+        return self.evaluate(inputs)
+
+    # ------------------------------------------------------------------
+    # validity checking
+    # ------------------------------------------------------------------
+    def reachable_states(self, alphabet: Sequence[State]) -> set:
+        """Closure of ``α(alphabet)`` under ``p`` (all combinable values)."""
+        seen = set()
+        for q in alphabet:
+            w = self.lift(q)
+            if w not in self.working_states:
+                raise ValueError(f"alpha({q!r}) = {w!r} is not in W")
+            seen.add(w)
+        frontier = list(seen)
+        while frontier:
+            w1 = frontier.pop()
+            for w2 in list(seen):
+                for a, b in ((w1, w2), (w2, w1)):
+                    w3 = self.combine(a, b)
+                    if w3 not in self.working_states:
+                        raise ValueError(f"p({a!r}, {b!r}) = {w3!r} is not in W")
+                    if w3 not in seen:
+                        seen.add(w3)
+                        frontier.append(w3)
+        return seen
+
+    def check_assoc_comm(self, alphabet: Sequence[State]) -> bool:
+        """Sufficient condition for Definition 3.4 validity.
+
+        If ``p`` is commutative and associative on the closure of ``α(Q)``,
+        every tree shape and leaf order reduces to the same element, so the
+        program is a valid parallel SM program.
+        """
+        reach = self.reachable_states(alphabet)
+        for a, b in itertools.combinations_with_replacement(sorted(reach, key=repr), 2):
+            if self.combine(a, b) != self.combine(b, a):
+                return False
+        for a, b, c in itertools.product(sorted(reach, key=repr), repeat=3):
+            if self.combine(self.combine(a, b), c) != self.combine(
+                a, self.combine(b, c)
+            ):
+                return False
+        return True
+
+    def is_sm(self, alphabet: Sequence[State], max_len: int = 4) -> bool:
+        """Exhaustively verify tree- and permutation-invariance.
+
+        Quantifies over every multiset of size <= ``max_len``, every distinct
+        permutation of its elements, and every rooted binary tree shape.
+        Cost grows with Catalan numbers times factorials; keep ``max_len``
+        small (<= 5).
+        """
+        for ms in iter_multisets(list(alphabet), max_len):
+            elements = ms.elements()
+            k = len(elements)
+            trees = list(all_trees(k))
+            results = set()
+            for perm in set(itertools.permutations(elements)):
+                for tree in trees:
+                    results.add(self.evaluate(list(perm), tree=tree))
+                    if len(results) > 1:
+                        return False
+        return True
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def agrees_with(
+        self,
+        other: "Callable[[Multiset], Result]",
+        alphabet: Sequence[State],
+        max_len: int = 5,
+    ) -> bool:
+        """True iff this program and ``other`` agree on all multisets up to
+        ``max_len``."""
+        for ms in iter_multisets(list(alphabet), max_len):
+            if self.evaluate(ms) != other(ms):
+                return False
+        return True

@@ -1,0 +1,199 @@
+"""Sequential SM programs (paper, Definition 3.2).
+
+A sequential program ``(W, w0, p, β)`` folds its inputs one at a time
+through the processing function ``p`` and maps the final working state back
+through ``β``.  It defines an SM function exactly when the folded result is
+independent of the input order; :meth:`SequentialProgram.is_sm` checks this
+exhaustively up to a length bound, and
+:meth:`SequentialProgram.check_commutative` verifies the stronger (but
+cheaply checkable) sufficient condition that ``p`` commutes on every
+reachable working state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from repro.core.multiset import Multiset, as_multiset, iter_multisets
+
+State = Hashable
+Working = Hashable
+Result = Hashable
+
+__all__ = ["SequentialProgram"]
+
+
+@dataclass(frozen=True)
+class SequentialProgram:
+    """The tuple ``(W, w0, p, β)`` of Definition 3.2.
+
+    Parameters
+    ----------
+    working_states:
+        The finite set ``W``.  ``p`` must stay inside it (checked lazily on
+        every evaluation).
+    start:
+        The distinguished starting state ``w0 ∈ W``.
+    process:
+        ``p : W × Q → W``.
+    output:
+        ``β : W → R``.
+    name:
+        Optional label used in reprs and error messages.
+    """
+
+    working_states: frozenset
+    start: Working
+    process: Callable[[Working, State], Working]
+    output: Callable[[Working], Result]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.start not in self.working_states:
+            raise ValueError(f"start state {self.start!r} not in W")
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def fold(self, inputs: Sequence[State]) -> Working:
+        """Run ``p`` over ``inputs`` in the given order; return final w."""
+        w = self.start
+        for q in inputs:
+            w = self.process(w, q)
+            if w not in self.working_states:
+                raise ValueError(
+                    f"process left W: p({w!r} <- ..., {q!r}) not in working_states"
+                )
+        return w
+
+    def evaluate(self, inputs: Union[Sequence[State], Multiset]) -> Result:
+        """``f(q̄)`` = ``β`` of the fold.  Accepts a sequence or multiset.
+
+        Multisets are flattened in canonical order — legitimate only because
+        a *valid* sequential SM program is order-independent.
+        """
+        if isinstance(inputs, Multiset):
+            seq: Sequence[State] = inputs.elements()
+        else:
+            seq = list(inputs)
+        if not seq:
+            raise ValueError("SM functions are defined on Q^+ (length >= 1)")
+        return self.output(self.fold(seq))
+
+    def __call__(self, inputs: Union[Sequence[State], Multiset]) -> Result:
+        return self.evaluate(inputs)
+
+    # ------------------------------------------------------------------
+    # validity checking
+    # ------------------------------------------------------------------
+    def reachable_states(self, alphabet: Sequence[State]) -> set:
+        """All working states reachable from ``w0`` under any input word."""
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            w = frontier.pop()
+            for q in alphabet:
+                w2 = self.process(w, q)
+                if w2 not in self.working_states:
+                    raise ValueError(f"p({w!r}, {q!r}) = {w2!r} is not in W")
+                if w2 not in seen:
+                    seen.add(w2)
+                    frontier.append(w2)
+        return seen
+
+    def check_commutative(self, alphabet: Sequence[State]) -> bool:
+        """Sufficient condition for SM-validity.
+
+        If for every reachable ``w`` and all inputs ``a, b`` we have
+        ``p(p(w,a),b) == p(p(w,b),a)``, then adjacent transpositions never
+        change the fold, hence no permutation does, and the program is a
+        valid sequential SM program.  (Not necessary: programs may differ in
+        W yet agree after β.)
+        """
+        for w in self.reachable_states(alphabet):
+            for a, b in itertools.combinations_with_replacement(alphabet, 2):
+                if self.process(self.process(w, a), b) != self.process(
+                    self.process(w, b), a
+                ):
+                    return False
+        return True
+
+    def is_sm(self, alphabet: Sequence[State], max_len: int = 5) -> bool:
+        """Exhaustively verify order-independence for all |q̄| <= max_len.
+
+        For each multiset up to the size bound, evaluates every distinct
+        permutation and checks that β of the fold is constant.  Exponential
+        in ``max_len`` — intended for unit tests on small programs.
+        """
+        for ms in iter_multisets(list(alphabet), max_len):
+            results = {
+                self.output(self.fold(perm))
+                for perm in set(itertools.permutations(ms.elements()))
+            }
+            if len(results) != 1:
+                return False
+        return True
+
+    def counterexample(
+        self, alphabet: Sequence[State], max_len: int = 5
+    ) -> Union[tuple, None]:
+        """A pair of permutations of the same multiset with different values,
+        or ``None`` if none exists up to the bound."""
+        for ms in iter_multisets(list(alphabet), max_len):
+            perms = list(set(itertools.permutations(ms.elements())))
+            base = self.output(self.fold(perms[0]))
+            for perm in perms[1:]:
+                if self.output(self.fold(perm)) != base:
+                    return (perms[0], perm)
+        return None
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def agrees_with(
+        self,
+        other: "Callable[[Multiset], Result]",
+        alphabet: Sequence[State],
+        max_len: int = 5,
+    ) -> bool:
+        """True iff this program and ``other`` agree on all multisets up to
+        ``max_len``.  ``other`` may be any callable taking a Multiset."""
+        for ms in iter_multisets(list(alphabet), max_len):
+            if self.evaluate(ms) != other(ms):
+                return False
+        return True
+
+    @staticmethod
+    def from_tables(
+        transitions: dict,
+        start: Working,
+        outputs: dict,
+        name: str = "",
+    ) -> "SequentialProgram":
+        """Build a program from explicit lookup tables.
+
+        ``transitions`` maps ``(w, q) -> w'``; ``outputs`` maps ``w -> r``.
+        W is inferred from the tables.
+        """
+        working = set(outputs)
+        working.add(start)
+        for (w, _q), w2 in transitions.items():
+            working.add(w)
+            working.add(w2)
+
+        def p(w: Working, q: State) -> Working:
+            try:
+                return transitions[(w, q)]
+            except KeyError:
+                raise ValueError(f"no transition for ({w!r}, {q!r})") from None
+
+        def beta(w: Working) -> Result:
+            try:
+                return outputs[w]
+            except KeyError:
+                raise ValueError(f"no output defined for {w!r}") from None
+
+        return SequentialProgram(frozenset(working), start, p, beta, name=name)

@@ -1,0 +1,144 @@
+"""Minimization utilities for mod-thresh programs.
+
+The Lemma 3.9 construction emits one clause per multiplicity-class
+combination — ∏(t_j + m_j) of them — but many clauses share results and
+many predicates are unreachable.  Over a *bounded verification domain*
+(multiplicities up to each state's tail+period, which determine the
+program's behaviour everywhere), programs can be compared exactly and
+cascades pruned:
+
+* :func:`propositions_equivalent` — exact equivalence of two propositions
+  over the bounded domain;
+* :func:`prune_cascade` — drop clauses that can never fire (shadowed by
+  earlier clauses) and merge trailing clauses into the default;
+* :func:`programs_equivalent` — exact equivalence of two programs.
+
+The bound must dominate every threshold and the lcm of every modulus
+appearing in the inputs (checked); then agreement on the finite domain
+implies agreement on all of ``Q^+``, by the same periodicity argument as
+Lemma 3.9.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.core.modthresh import ModThreshProgram, Proposition, ModAtom, ThreshAtom
+from repro.core.multiset import Multiset
+
+__all__ = [
+    "verification_bound",
+    "propositions_equivalent",
+    "programs_equivalent",
+    "prune_cascade",
+]
+
+
+def _atom_bounds(props: list[Proposition]) -> tuple[int, int]:
+    """(max threshold, lcm of moduli) over all atoms of the propositions."""
+    t_max, m_lcm = 1, 1
+    for prop in props:
+        for atom in prop.atoms():
+            if isinstance(atom, ThreshAtom):
+                t_max = max(t_max, atom.threshold)
+            elif isinstance(atom, ModAtom):
+                m_lcm = math.lcm(m_lcm, atom.modulus)
+    return t_max, m_lcm
+
+
+def verification_bound(*programs: ModThreshProgram) -> int:
+    """A per-state multiplicity bound B such that agreement on all
+    multisets with every multiplicity <= B implies agreement everywhere.
+
+    B = (max threshold) + (lcm of all moduli): beyond the thresholds the
+    behaviour is periodic with the lcm period."""
+    t_max, m_lcm = _atom_bounds(
+        [p for prog in programs for p, _r in prog.clauses]
+    )
+    return t_max + m_lcm
+
+
+def _domain(alphabet: Sequence, bound: int):
+    for combo in itertools.product(range(bound + 1), repeat=len(alphabet)):
+        if sum(combo) == 0:
+            continue
+        yield Multiset({q: c for q, c in zip(alphabet, combo) if c})
+
+
+def propositions_equivalent(
+    a: Proposition,
+    b: Proposition,
+    alphabet: Sequence,
+    bound: Optional[int] = None,
+) -> bool:
+    """Exact equivalence of two propositions over ``Q^+``.
+
+    ``bound`` defaults to the joint verification bound of both."""
+    if bound is None:
+        t_max, m_lcm = _atom_bounds([a, b])
+        bound = t_max + m_lcm
+    return all(a.evaluate(ms) == b.evaluate(ms) for ms in _domain(alphabet, bound))
+
+
+def programs_equivalent(
+    a: ModThreshProgram,
+    b: ModThreshProgram,
+    alphabet: Sequence,
+    bound: Optional[int] = None,
+) -> bool:
+    """Exact program equivalence over ``Q^+``."""
+    if bound is None:
+        bound = max(verification_bound(a), verification_bound(b))
+    return all(a.evaluate(ms) == b.evaluate(ms) for ms in _domain(alphabet, bound))
+
+
+def prune_cascade(
+    program: ModThreshProgram, alphabet: Sequence
+) -> ModThreshProgram:
+    """An equivalent cascade with unreachable and redundant clauses removed.
+
+    Two passes over the bounded domain:
+
+    1. drop clauses that never fire (their predicate is shadowed by the
+       clauses above them);
+    2. drop trailing clauses whose result equals the default, and clauses
+       whose removal provably does not change the program.
+    """
+    bound = verification_bound(program)
+    domain = list(_domain(alphabet, bound))
+
+    # pass 1: find, for each input, the clause that fires.
+    clauses = list(program.clauses)
+    fired = [False] * len(clauses)
+    for ms in domain:
+        for idx, (prop, _r) in enumerate(clauses):
+            if prop.evaluate(ms):
+                fired[idx] = True
+                break
+    clauses = [cl for cl, hit in zip(clauses, fired) if hit]
+
+    # pass 2: greedily try removing each clause (a removal is safe iff the
+    # program still agrees on the whole bounded domain).
+    def evaluate_with(cls, ms):
+        for prop, result in cls:
+            if prop.evaluate(ms):
+                return result
+        return program.default
+
+    reference = [evaluate_with(clauses, ms) for ms in domain]
+    idx = 0
+    while idx < len(clauses):
+        candidate = clauses[:idx] + clauses[idx + 1 :]
+        if [evaluate_with(candidate, ms) for ms in domain] == reference:
+            clauses = candidate
+        else:
+            idx += 1
+
+    return ModThreshProgram(
+        clauses=tuple(clauses),
+        default=program.default,
+        name=f"pruned({program.name})" if program.name else "pruned",
+    )

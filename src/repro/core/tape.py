@@ -1,0 +1,200 @@
+"""The Section 5 tape generalization of SM programs.
+
+Instead of a finite state set, each node carries a binary tape: inputs are
+``q(N)``-bit strings and working states are ``w(N)``-bit strings, with
+``(W_N, w0N, p_N, β_N)`` uniformly computable in ``N``.  The paper sketches
+that the sequential→parallel construction extends, yielding a parallel
+program with working states of ``w'(N) = O(2^{q(N)} · w(N))`` bits, and asks
+whether ``w'(N) = O(w(N))`` is always achievable (open).
+
+:class:`TapeProgramFamily` represents such a family;
+:func:`tape_sequential_to_parallel` instantiates the construction at a given
+``N`` — per input string, a mod counter and a saturating counter sized by
+the orbit structure of ``g_q : w ↦ p(w, q)``, exactly as in Lemmas 3.8/3.9.
+:func:`parallel_working_bits` reports the bit-size of the resulting working
+state so the ``O(2^q · w)`` bound can be measured (benchmark E16).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.convert import orbit_tail_and_period
+from repro.core.multiset import Multiset
+from repro.core.parallel import ParallelProgram
+from repro.core.sequential import SequentialProgram
+
+__all__ = [
+    "TapeProgramFamily",
+    "instantiate",
+    "tape_sequential_to_parallel",
+    "parallel_working_bits",
+    "all_bitstrings",
+]
+
+
+def all_bitstrings(bits: int) -> list[str]:
+    """All ``2**bits`` binary strings of the given length."""
+    return ["".join(b) for b in itertools.product("01", repeat=bits)]
+
+
+@dataclass(frozen=True)
+class TapeProgramFamily:
+    """A uniformly-computable family of sequential tape programs.
+
+    Parameters
+    ----------
+    input_bits:
+        ``q : N → N``, the input-string length.
+    working_bits:
+        ``w : N → N``, the working-string length.
+    start:
+        ``N → {0,1}^{w(N)}``, the initial working string ``w0N``.
+    process:
+        ``(N, working, input) → working``; must preserve string length.
+    output:
+        ``(N, working) → result`` (any hashable result).
+    name:
+        Optional label.
+    """
+
+    input_bits: Callable[[int], int]
+    working_bits: Callable[[int], int]
+    start: Callable[[int], str]
+    process: Callable[[int, str, str], str]
+    output: Callable[[int, str], object]
+    name: str = ""
+
+
+def instantiate(family: TapeProgramFamily, n: int) -> SequentialProgram:
+    """The member of the family at parameter ``N = n`` as a concrete
+    :class:`~repro.core.sequential.SequentialProgram` over bit-string states."""
+    wbits = family.working_bits(n)
+    working = frozenset(all_bitstrings(wbits))
+    w0 = family.start(n)
+    if len(w0) != wbits:
+        raise ValueError(f"start string has {len(w0)} bits, expected {wbits}")
+
+    def p(w: str, q: str) -> str:
+        return family.process(n, w, q)
+
+    def beta(w: str):
+        return family.output(n, w)
+
+    return SequentialProgram(
+        working_states=working,
+        start=w0,
+        process=p,
+        output=beta,
+        name=f"{family.name or 'tape'}[N={n}]",
+    )
+
+
+def tape_sequential_to_parallel(
+    family: TapeProgramFamily,
+    n: int,
+    alphabet: Optional[Sequence[str]] = None,
+) -> ParallelProgram:
+    """The Section 5 uniform sequential→parallel construction at ``N = n``.
+
+    The parallel working state is a tuple of ``(mod_count, sat_count)``
+    pairs, one per input string ``q ∈ {0,1}^{q(N)}``, where the counters are
+    sized by the tail ``t_q`` and period ``m_q`` of the orbit of ``w0`` under
+    ``g_q``.  β reconstructs a representative multiset (``sat`` exact counts
+    below ``t_q``; above, ``t_q`` plus the stored residue offset) and folds
+    it through the original sequential program.
+    """
+    sp = instantiate(family, n)
+    states = list(alphabet) if alphabet is not None else all_bitstrings(
+        family.input_bits(n)
+    )
+    tails: dict[str, int] = {}
+    periods: dict[str, int] = {}
+    for q in states:
+        tails[q], periods[q] = orbit_tail_and_period(
+            lambda w, _q=q: sp.process(w, _q), sp.start
+        )
+
+    index = {q: i for i, q in enumerate(states)}
+    # Counter ceilings: sat counts saturate at max(t_q, 1) — at least 1 so
+    # "have we seen this input at all" survives even when the tail is empty —
+    # and the residue mod m_q keeps the exact orbit point recoverable.
+    sat_cap = {q: max(tails[q], 1) for q in states}
+    mod_cap = {q: periods[q] for q in states}
+
+    class _Space:
+        def __contains__(self, w: object) -> bool:
+            if not isinstance(w, tuple) or len(w) != len(states):
+                return False
+            for (a, b), q in zip(w, states):
+                if not (0 <= a < mod_cap[q]):
+                    return False
+                if not (0 <= b <= sat_cap[q]):
+                    return False
+            return True
+
+        def __len__(self) -> int:
+            out = 1
+            for q in states:
+                out *= mod_cap[q] * (sat_cap[q] + 1)
+            return out
+
+    def lift(q: str):
+        if q not in index:
+            raise ValueError(f"input {q!r} not a {family.input_bits(n)}-bit string")
+        return tuple(
+            (1 % mod_cap[s], min(1, sat_cap[s])) if s == q else (0, 0)
+            for s in states
+        )
+
+    def combine(w1, w2):
+        out = []
+        for (a1, b1), (a2, b2), q in zip(w1, w2, states):
+            out.append(
+                ((a1 + a2) % mod_cap[q], min(b1 + b2, sat_cap[q]))
+            )
+        return tuple(out)
+
+    def output(w):
+        reps: dict[str, int] = {}
+        for (a, b), q in zip(w, states):
+            t, m = tails[q], periods[q]
+            if b == 0:
+                continue  # this input never occurred
+            if b < sat_cap[q]:
+                count = b  # exact: saturation not yet reached
+            else:
+                # count >= sat_cap >= t: recover the orbit point mod m, and
+                # keep it positive (a count of 0 is already excluded).
+                count = t + ((a - t) % m)
+                if count == 0:
+                    count = m
+            reps[q] = count
+        if not reps:
+            raise ValueError("SM functions are defined on Q^+ (length >= 1)")
+        return sp.evaluate(Multiset(reps))
+
+    return ParallelProgram(
+        working_states=_Space(),
+        lift=lift,
+        combine=combine,
+        output=output,
+        name=f"par({sp.name})",
+    )
+
+
+def parallel_working_bits(family: TapeProgramFamily, n: int) -> int:
+    """Bit-size of the constructed parallel working state at ``N = n``.
+
+    Sums ``⌈log2 m_q⌉ + ⌈log2 (t_q + 1)⌉`` over all ``2^{q(N)}`` input
+    strings — the quantity the paper bounds by ``O(2^{q(N)} · w(N))``.
+    """
+    sp = instantiate(family, n)
+    total = 0
+    for q in all_bitstrings(family.input_bits(n)):
+        t, m = orbit_tail_and_period(lambda w, _q=q: sp.process(w, _q), sp.start)
+        total += max(1, math.ceil(math.log2(m))) + max(1, math.ceil(math.log2(t + 1)))
+    return total

@@ -1,0 +1,184 @@
+"""Rooted binary combination trees (paper, Definition 3.3 and Figure 1).
+
+A parallel SM program reduces its inputs pairwise; the order of reduction is
+described by a rooted binary tree whose k leaves, read left-to-right, are
+the k inputs.  Definition 3.4 requires the result to be independent of both
+the tree shape and the leaf permutation; the enumerators here let tests and
+validity checkers quantify over all shapes.
+
+Trees are immutable: :class:`Leaf` holds a leaf index, :class:`Branch` holds
+two subtrees.  The number of shapes with k leaves is the Catalan number
+C(k-1), so exhaustive enumeration is only for small k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Iterator, Sequence, TypeVar, Union
+
+import numpy as np
+
+W = TypeVar("W")
+
+__all__ = [
+    "Leaf",
+    "Branch",
+    "Tree",
+    "num_leaves",
+    "left_comb",
+    "right_comb",
+    "balanced_tree",
+    "all_trees",
+    "random_tree_shape",
+    "tree_combine",
+    "render_tree",
+]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A leaf holding the 0-based index of the input it consumes."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Branch:
+    """An internal node combining the results of two subtrees."""
+
+    left: "Tree"
+    right: "Tree"
+
+
+Tree = Union[Leaf, Branch]
+
+
+def num_leaves(tree: Tree) -> int:
+    """Number of leaves of ``tree`` (iterative; trees can be deep combs)."""
+    count = 0
+    stack = [tree]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Leaf):
+            count += 1
+        else:
+            stack.append(t.left)
+            stack.append(t.right)
+    return count
+
+
+def left_comb(k: int) -> Tree:
+    """The left-leaning comb: ((((0,1),2),3)...)  — sequential order."""
+    if k < 1:
+        raise ValueError("a tree needs at least one leaf")
+    t: Tree = Leaf(0)
+    for i in range(1, k):
+        t = Branch(t, Leaf(i))
+    return t
+
+
+def right_comb(k: int) -> Tree:
+    """The right-leaning comb: (0,(1,(2,...)))."""
+    if k < 1:
+        raise ValueError("a tree needs at least one leaf")
+    t: Tree = Leaf(k - 1)
+    for i in range(k - 2, -1, -1):
+        t = Branch(Leaf(i), t)
+    return t
+
+
+def balanced_tree(k: int) -> Tree:
+    """A balanced tree of depth ⌈log2 k⌉ — the parallel-evaluation order."""
+    if k < 1:
+        raise ValueError("a tree needs at least one leaf")
+
+    def build(lo: int, hi: int) -> Tree:
+        if hi - lo == 1:
+            return Leaf(lo)
+        mid = (lo + hi) // 2
+        return Branch(build(lo, mid), build(mid, hi))
+
+    return build(0, k)
+
+
+def all_trees(k: int) -> Iterator[Tree]:
+    """Every rooted binary tree shape with k leaves labelled 0..k-1 in order.
+
+    Yields Catalan(k-1) trees.  Only practical for k <= ~10.
+    """
+    if k < 1:
+        raise ValueError("a tree needs at least one leaf")
+
+    @lru_cache(maxsize=None)
+    def shapes(lo: int, hi: int) -> tuple:
+        if hi - lo == 1:
+            return (Leaf(lo),)
+        out = []
+        for mid in range(lo + 1, hi):
+            for lt in shapes(lo, mid):
+                for rt in shapes(mid, hi):
+                    out.append(Branch(lt, rt))
+        return tuple(out)
+
+    yield from shapes(0, k)
+    shapes.cache_clear()
+
+
+def random_tree_shape(k: int, rng: Union[int, np.random.Generator, None] = None) -> Tree:
+    """A random tree shape with k leaves (uniform split recursion).
+
+    Not uniform over shapes, but exercises a wide variety of reduction
+    orders; sufficient for property tests of tree-invariance.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if k < 1:
+        raise ValueError("a tree needs at least one leaf")
+
+    def build(lo: int, hi: int) -> Tree:
+        if hi - lo == 1:
+            return Leaf(lo)
+        mid = int(gen.integers(lo + 1, hi))
+        return Branch(build(lo, mid), build(mid, hi))
+
+    return build(0, k)
+
+
+def tree_combine(p: Callable[[W, W], W], tree: Tree, leaf_values: Sequence[W]) -> W:
+    """The tree-combination ``TC^(p,T)`` of Definition 3.3.
+
+    Evaluates the tree bottom-up with an explicit stack (post-order), so deep
+    combs (k in the thousands) do not overflow Python's recursion limit.
+    """
+    # post-order evaluation: (node, visited) stack
+    stack: list[tuple[Tree, bool]] = [(tree, False)]
+    values: list[W] = []
+    while stack:
+        node, visited = stack.pop()
+        if isinstance(node, Leaf):
+            values.append(leaf_values[node.index])
+        elif visited:
+            right = values.pop()
+            left = values.pop()
+            values.append(p(left, right))
+        else:
+            stack.append((node, True))
+            stack.append((node.right, False))
+            stack.append((node.left, False))
+    assert len(values) == 1
+    return values[0]
+
+
+def render_tree(tree: Tree, labels: Sequence | None = None) -> str:
+    """ASCII rendering of a combination tree (the paper's Figure 1).
+
+    Each internal node is drawn as ``(left right)``; leaves show their input
+    label (or index if no labels are given).
+    """
+
+    def rec(t: Tree) -> str:
+        if isinstance(t, Leaf):
+            return str(labels[t.index]) if labels is not None else str(t.index)
+        return f"({rec(t.left)} {rec(t.right)})"
+
+    return rec(tree)

@@ -1,0 +1,30 @@
+"""Isotonic web automata and the Section 5.1 mutual simulations.
+
+The IWA model (Milgram [14]): a single finite-state agent walks a graph
+whose nodes carry labels from a finite set.  Each rule is conditional on
+the agent's state, the current node's label, and the presence/absence of a
+particular label in the neighbourhood; firing a rule relabels the current
+node, moves the agent to a neighbour carrying a specified label, and
+changes the agent's state.
+
+The paper states (details omitted there) that the models simulate each
+other: an IWA computes one synchronous FSSGA round in O(m) primitive steps
+(Milgram traversal + the Lemma 3.8 finite-counter technique), and an FSSGA
+simulates an IWA with O(log Δ) delay per IWA step (local symmetry breaking
+to choose the agent's next destination).  This package supplies concrete
+constructions for both directions and measures the stated slowdowns (E13).
+"""
+
+from repro.iwa.model import IWA, IWARule, IWAExecution
+from repro.iwa.simulate import (
+    IwaRoundSimulator,
+    FssgaIwaSimulator,
+)
+
+__all__ = [
+    "IWA",
+    "IWARule",
+    "IWAExecution",
+    "IwaRoundSimulator",
+    "FssgaIwaSimulator",
+]

@@ -1,0 +1,144 @@
+"""The isotonic web automaton (IWA) machine.
+
+An :class:`IWA` is a finite rule table; an :class:`IWAExecution` runs it on
+a labelled network.  Rules fire in priority (list) order; a rule matches
+when the agent state and the current node's label agree and its
+neighbourhood guard (presence or absence of a given label among the
+neighbours) holds.  Its effect relabels the current node, optionally moves
+the agent to a neighbour carrying a specified label, and sets the next
+agent state — exactly the repertoire Section 5.1 describes.
+
+Movement targets are chosen deterministically (smallest by repr) by
+default; the FSSGA simulation replaces this choice with the randomized
+O(log Δ) election, which is the only capability gap between the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.network.graph import Network, Node
+
+__all__ = ["IWARule", "IWA", "IWAExecution"]
+
+
+@dataclass(frozen=True)
+class IWARule:
+    """One conditional rule of an IWA.
+
+    ``guard_label``/``guard_present``: the rule requires that some
+    neighbour carries ``guard_label`` (if present) or that none does (if
+    absent); ``None`` means unconditional.
+
+    ``move_to_label``: after relabelling, step to any neighbour carrying
+    this label; ``None`` means stay put.  If no such neighbour exists the
+    rule does not match.
+    """
+
+    agent_state: str
+    node_label: str
+    new_node_label: str
+    new_agent_state: str
+    guard_label: Optional[str] = None
+    guard_present: bool = True
+    move_to_label: Optional[str] = None
+
+
+class IWA:
+    """A finite-state agent program: an ordered rule list."""
+
+    def __init__(self, rules: list[IWARule], start_state: str) -> None:
+        if not rules:
+            raise ValueError("an IWA needs at least one rule")
+        self.rules = list(rules)
+        self.start_state = start_state
+
+    def states(self) -> set[str]:
+        out = {self.start_state}
+        for r in self.rules:
+            out.add(r.agent_state)
+            out.add(r.new_agent_state)
+        return out
+
+    def labels(self) -> set[str]:
+        out = set()
+        for r in self.rules:
+            out.add(r.node_label)
+            out.add(r.new_node_label)
+            if r.guard_label is not None:
+                out.add(r.guard_label)
+            if r.move_to_label is not None:
+                out.add(r.move_to_label)
+        return out
+
+
+class IWAExecution:
+    """Run an IWA on a labelled network."""
+
+    def __init__(
+        self,
+        iwa: IWA,
+        net: Network,
+        labels: dict[Node, str],
+        start: Node,
+        rng: Union[int, np.random.Generator, None] = None,
+    ) -> None:
+        missing = [v for v in net if v not in labels]
+        if missing:
+            raise ValueError(f"labels missing for {missing[:5]!r}")
+        self.iwa = iwa
+        self.net = net
+        self.labels = dict(labels)
+        self.position = start
+        self.agent_state = iwa.start_state
+        self.steps = 0
+        self.halted = False
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    def _matching_rule(self) -> Optional[tuple[IWARule, Optional[Node]]]:
+        here = self.labels[self.position]
+        nbrs = sorted(self.net.neighbors(self.position), key=repr)
+        nbr_labels = {self.labels[u] for u in nbrs}
+        for rule in self.iwa.rules:
+            if rule.agent_state != self.agent_state or rule.node_label != here:
+                continue
+            if rule.guard_label is not None:
+                present = rule.guard_label in nbr_labels
+                if present != rule.guard_present:
+                    continue
+            target: Optional[Node] = None
+            if rule.move_to_label is not None:
+                candidates = [
+                    u for u in nbrs if self.labels[u] == rule.move_to_label
+                ]
+                if not candidates:
+                    continue
+                target = candidates[0]
+            return rule, target
+        return None
+
+    def step(self) -> bool:
+        """Fire the first matching rule; returns False when halted."""
+        if self.halted:
+            return False
+        match = self._matching_rule()
+        if match is None:
+            self.halted = True
+            return False
+        rule, target = match
+        self.labels[self.position] = rule.new_node_label
+        self.agent_state = rule.new_agent_state
+        if target is not None:
+            self.position = target
+        self.steps += 1
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until halted; returns the number of steps taken."""
+        while self.step():
+            if self.steps >= max_steps:
+                raise RuntimeError(f"IWA did not halt within {max_steps} steps")
+        return self.steps

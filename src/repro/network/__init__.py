@@ -1,0 +1,14 @@
+"""Network substrate: mutable fault-prone graphs, generators, and states.
+
+This subpackage provides the graph model underlying every FSSGA execution
+(Pritchard & Vempala, SPAA 2006).  Networks are simple undirected graphs
+supporting *decreasing benign faults*: nodes and edges may be deleted at any
+time, but never added once an execution begins (paper, Section 1).
+"""
+
+from repro.network.graph import Network
+from repro.network.state import NetworkState
+from repro.network import generators
+from repro.network import properties
+
+__all__ = ["Network", "NetworkState", "generators", "properties"]

@@ -1,0 +1,301 @@
+"""Simple undirected graphs with fault (deletion) support.
+
+The :class:`Network` class is the substrate for every simulation in this
+package.  It is deliberately small and dependency-free: adjacency sets over
+hashable node identifiers, with O(1) amortised edge insertion/removal and
+O(deg) node removal.  Deletions model the paper's *decreasing benign faults*
+(Section 1): a node or edge may permanently disappear, but nothing ever
+joins the network.
+
+For vectorized engines, :meth:`Network.to_csr` exports a
+``scipy.sparse.csr_matrix`` adjacency plus a stable node ordering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+__all__ = ["Network", "Node", "Edge", "canonical_edge"]
+
+
+def canonical_edge(u: Node, v: Node) -> Edge:
+    """Return a canonical (sorted-by-repr) orientation of the edge ``{u, v}``.
+
+    Undirected edges are stored both ways in the adjacency structure; when a
+    single canonical tuple is needed (e.g. as a dictionary key for edge
+    counters) we order the endpoints deterministically.
+    """
+    a, b = sorted((u, v), key=repr)
+    return (a, b)
+
+
+class Network:
+    """A simple undirected graph with deletion faults.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial node identifiers (any hashable).
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints are added
+        automatically.
+
+    Notes
+    -----
+    Self-loops and parallel edges are rejected: the FSSGA model reads the
+    states of *neighbours*, and the paper's graphs are simple.
+    """
+
+    def __init__(
+        self,
+        nodes: Optional[Iterable[Node]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for v in nodes:
+                self.add_node(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node) -> None:
+        """Add an isolated node (no-op if already present)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise ValueError(f"self-loop {u!r} not allowed in a simple network")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    # ------------------------------------------------------------------
+    # faults (deletions)
+    # ------------------------------------------------------------------
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete the edge ``{u, v}`` (an edge fault)."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise KeyError(f"edge ({u!r}, {v!r}) not in network")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_node(self, v: Node) -> None:
+        """Delete node ``v`` and all incident edges (a node fault)."""
+        if v not in self._adj:
+            raise KeyError(f"node {v!r} not in network")
+        for u in list(self._adj[v]):
+            self.remove_edge(u, v)
+        del self._adj[v]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """``n = |V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """``m = |E|``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def nodes(self) -> list[Node]:
+        """All node identifiers, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> list[Edge]:
+        """Each undirected edge exactly once, canonically oriented."""
+        out: list[Edge] = []
+        seen: set[Edge] = set()
+        for u in self._adj:
+            for v in self._adj[u]:
+                e = canonical_edge(u, v)
+                if e not in seen:
+                    seen.add(e)
+                    out.append(e)
+        return out
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Node) -> set[Node]:
+        """The (live) neighbour set of ``v``.  Do not mutate the result."""
+        return self._adj[v]
+
+    def degree(self, v: Node) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Δ, the maximum degree (0 for an empty or edgeless network)."""
+        return max((len(s) for s in self._adj.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def component_of(self, v: Node) -> set[Node]:
+        """The node set of the connected component containing ``v``."""
+        seen = {v}
+        frontier = deque([v])
+        while frontier:
+            u = frontier.popleft()
+            for w in self._adj[u]:
+                if w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return seen
+
+    def connected_components(self) -> list[set[Node]]:
+        """All connected components, largest-first."""
+        remaining = set(self._adj)
+        comps: list[set[Node]] = []
+        while remaining:
+            v = next(iter(remaining))
+            comp = self.component_of(v)
+            comps.append(comp)
+            remaining -= comp
+        comps.sort(key=len, reverse=True)
+        return comps
+
+    def is_connected(self) -> bool:
+        """True iff the network is connected (the empty network is not)."""
+        if not self._adj:
+            return False
+        v = next(iter(self._adj))
+        return len(self.component_of(v)) == len(self._adj)
+
+    def bfs_distances(self, sources: Iterable[Node]) -> dict[Node, int]:
+        """Hop distance from the nearest source, for every reachable node."""
+        dist: dict[Node, int] = {}
+        frontier = deque()
+        for s in sources:
+            if s not in self._adj:
+                raise KeyError(f"source {s!r} not in network")
+            if s not in dist:
+                dist[s] = 0
+                frontier.append(s)
+        while frontier:
+            u = frontier.popleft()
+            for w in self._adj[u]:
+                if w not in dist:
+                    dist[w] = dist[u] + 1
+                    frontier.append(w)
+        return dist
+
+    def eccentricity(self, v: Node) -> int:
+        """Greatest hop distance from ``v`` within its component."""
+        return max(self.bfs_distances([v]).values())
+
+    def diameter(self) -> int:
+        """Diameter of a connected network (raises if disconnected)."""
+        if not self.is_connected():
+            raise ValueError("diameter undefined on a disconnected network")
+        return max(self.eccentricity(v) for v in self._adj)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def copy(self) -> "Network":
+        g = Network()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Network":
+        """The induced subgraph on ``nodes`` (all of which must exist)."""
+        keep = set(nodes)
+        missing = keep - set(self._adj)
+        if missing:
+            raise KeyError(f"nodes not in network: {sorted(map(repr, missing))}")
+        g = Network()
+        for v in self._adj:
+            if v in keep:
+                g.add_node(v)
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v)
+        return g
+
+    def is_subgraph_of(self, other: "Network") -> bool:
+        """True iff every node and edge of ``self`` exists in ``other``."""
+        for v in self._adj:
+            if v not in other:
+                return False
+        return all(other.has_edge(u, v) for u, v in self.edges())
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def node_index(self) -> dict[Node, int]:
+        """A stable node → row-index map (insertion order)."""
+        return {v: i for i, v in enumerate(self._adj)}
+
+    def to_csr(self) -> tuple[sparse.csr_matrix, list[Node]]:
+        """Adjacency matrix in CSR form plus the node ordering used.
+
+        The matrix is symmetric 0/1 with an empty diagonal.  Used by the
+        vectorized synchronous engine to count neighbour states via a single
+        sparse mat-mat product per step.
+        """
+        order = self.nodes()
+        index = {v: i for i, v in enumerate(order)}
+        rows: list[int] = []
+        cols: list[int] = []
+        for u, v in self.edges():
+            rows.append(index[u])
+            cols.append(index[v])
+            rows.append(index[v])
+            cols.append(index[u])
+        n = len(order)
+        data = np.ones(len(rows), dtype=np.int64)
+        mat = sparse.csr_matrix(
+            (data, (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64))),
+            shape=(n, n),
+        )
+        return mat, order
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` (for cross-validation only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "Network":
+        """Import a simple undirected :class:`networkx.Graph`."""
+        net = cls(nodes=g.nodes(), edges=((u, v) for u, v in g.edges() if u != v))
+        return net
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network(n={self.num_nodes}, m={self.num_edges})"

@@ -1,0 +1,110 @@
+"""Network and state serialization.
+
+Plain-text edge lists (one ``u v`` pair per line, ``#``-comments allowed,
+isolated nodes listed alone) and JSON round trips for networks and
+network states — enough to persist benchmark workloads and exchange
+topologies with other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.network.graph import Network
+from repro.network.state import NetworkState
+
+__all__ = [
+    "to_edge_list",
+    "from_edge_list",
+    "save_edge_list",
+    "load_edge_list",
+    "network_to_json",
+    "network_from_json",
+    "state_to_json",
+    "state_from_json",
+]
+
+
+def to_edge_list(net: Network) -> str:
+    """The network as an edge-list string (isolated nodes on their own
+    lines)."""
+    lines = [f"# n={net.num_nodes} m={net.num_edges}"]
+    covered = set()
+    for u, v in net.edges():
+        lines.append(f"{u} {v}")
+        covered.add(u)
+        covered.add(v)
+    for v in net.nodes():
+        if v not in covered:
+            lines.append(f"{v}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str) -> Network:
+    """Parse an edge-list string; integer tokens become int node ids."""
+
+    def parse(tok: str):
+        try:
+            return int(tok)
+        except ValueError:
+            return tok
+
+    net = Network()
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            net.add_node(parse(parts[0]))
+        elif len(parts) == 2:
+            net.add_edge(parse(parts[0]), parse(parts[1]))
+        else:
+            raise ValueError(f"malformed edge-list line: {raw!r}")
+    return net
+
+
+def save_edge_list(net: Network, path: Union[str, Path]) -> None:
+    Path(path).write_text(to_edge_list(net))
+
+
+def load_edge_list(path: Union[str, Path]) -> Network:
+    return from_edge_list(Path(path).read_text())
+
+
+def network_to_json(net: Network) -> str:
+    """JSON with explicit node and edge arrays (node ids must be JSON
+    scalars)."""
+    return json.dumps(
+        {
+            "nodes": net.nodes(),
+            "edges": [[u, v] for u, v in net.edges()],
+        }
+    )
+
+
+def network_from_json(text: str) -> Network:
+    data = json.loads(text)
+    net = Network(nodes=data["nodes"])
+    for u, v in data["edges"]:
+        net.add_edge(u, v)
+    return net
+
+
+def state_to_json(state: NetworkState) -> str:
+    """JSON for states whose values are JSON-serialisable (lists stand in
+    for tuples and are restored as tuples on load)."""
+    return json.dumps([[v, q] for v, q in state.items()])
+
+
+def _detuple(value):
+    if isinstance(value, list):
+        return tuple(_detuple(x) for x in value)
+    return value
+
+
+def state_from_json(text: str) -> NetworkState:
+    data = json.loads(text)
+    return NetworkState({v: _detuple(q) for v, q in data})

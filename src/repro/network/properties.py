@@ -1,0 +1,173 @@
+"""Ground-truth graph properties used to validate FSSGA algorithms.
+
+These are classical *centralized* algorithms (Tarjan bridges, BFS
+2-colouring, spanning trees).  FSSGA implementations in
+:mod:`repro.algorithms` are checked against the answers computed here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.network.graph import Edge, Network, Node, canonical_edge
+
+__all__ = [
+    "two_coloring",
+    "is_bipartite",
+    "bridges",
+    "articulation_points",
+    "spanning_tree",
+    "bfs_tree",
+    "bfs_layers",
+]
+
+
+def two_coloring(net: Network) -> Optional[dict[Node, int]]:
+    """A proper 2-colouring (values 0/1), or ``None`` if not bipartite.
+
+    Works per component; colour 0 is assigned to the first node seen in
+    each component.
+    """
+    colour: dict[Node, int] = {}
+    for start in net:
+        if start in colour:
+            continue
+        colour[start] = 0
+        frontier = deque([start])
+        while frontier:
+            u = frontier.popleft()
+            for w in net.neighbors(u):
+                if w not in colour:
+                    colour[w] = 1 - colour[u]
+                    frontier.append(w)
+                elif colour[w] == colour[u]:
+                    return None
+    return colour
+
+
+def is_bipartite(net: Network) -> bool:
+    """True iff the network admits a proper 2-colouring."""
+    return two_coloring(net) is not None
+
+
+def bridges(net: Network) -> set[Edge]:
+    """All bridges (cut edges), canonically oriented, via Tarjan low-links.
+
+    Iterative DFS so large path graphs do not hit the recursion limit.
+    """
+    disc: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Optional[Node]] = {}
+    out: set[Edge] = set()
+    timer = 0
+    for root in net:
+        if root in disc:
+            continue
+        parent[root] = None
+        stack: list[tuple[Node, iter]] = [(root, iter(net.neighbors(root)))]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for w in it:
+                if w not in disc:
+                    parent[w] = v
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    stack.append((w, iter(net.neighbors(w))))
+                    advanced = True
+                    break
+                elif w != parent[v]:
+                    low[v] = min(low[v], disc[w])
+            if not advanced:
+                stack.pop()
+                p = parent[v]
+                if p is not None:
+                    low[p] = min(low[p], low[v])
+                    if low[v] > disc[p]:
+                        out.add(canonical_edge(p, v))
+    return out
+
+
+def articulation_points(net: Network) -> set[Node]:
+    """All cut vertices, via the same low-link machinery (iterative)."""
+    disc: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Optional[Node]] = {}
+    child_count: dict[Node, int] = {}
+    out: set[Node] = set()
+    timer = 0
+    for root in net:
+        if root in disc:
+            continue
+        parent[root] = None
+        child_count[root] = 0
+        stack: list[tuple[Node, iter]] = [(root, iter(net.neighbors(root)))]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for w in it:
+                if w not in disc:
+                    parent[w] = v
+                    child_count[w] = 0
+                    child_count[v] = child_count.get(v, 0) + 1
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    stack.append((w, iter(net.neighbors(w))))
+                    advanced = True
+                    break
+                elif w != parent[v]:
+                    low[v] = min(low[v], disc[w])
+            if not advanced:
+                stack.pop()
+                p = parent[v]
+                if p is not None:
+                    low[p] = min(low[p], low[v])
+                    if parent[p] is not None and low[v] >= disc[p]:
+                        out.add(p)
+        if child_count[root] >= 2:
+            out.add(root)
+    return out
+
+
+def bfs_tree(net: Network, root: Node) -> dict[Node, Node]:
+    """BFS parent pointers (root excluded) for the component of ``root``."""
+    parent: dict[Node, Node] = {}
+    seen = {root}
+    frontier = deque([root])
+    while frontier:
+        u = frontier.popleft()
+        for w in net.neighbors(u):
+            if w not in seen:
+                seen.add(w)
+                parent[w] = u
+                frontier.append(w)
+    return parent
+
+
+def spanning_tree(net: Network, root: Optional[Node] = None) -> Network:
+    """A BFS spanning tree of a connected network, as a new Network."""
+    if not net.is_connected():
+        raise ValueError("spanning tree requires a connected network")
+    if root is None:
+        root = next(iter(net))
+    parent = bfs_tree(net, root)
+    tree = Network(nodes=net.nodes())
+    for child, par in parent.items():
+        tree.add_edge(child, par)
+    return tree
+
+
+def bfs_layers(net: Network, root: Node) -> list[set[Node]]:
+    """Nodes grouped by hop distance from ``root`` (layer 0 = {root})."""
+    dist = net.bfs_distances([root])
+    if not dist:
+        return []
+    layers: list[set[Node]] = [set() for _ in range(max(dist.values()) + 1)]
+    for v, d in dist.items():
+        layers[d].add(v)
+    return layers

@@ -1,0 +1,44 @@
+"""Execution engines for FSSGA systems.
+
+* :mod:`repro.runtime.simulator` — reference synchronous and asynchronous
+  interpreters (Section 3.4 evolution rules).
+* :mod:`repro.runtime.scheduler` — activation orders for the asynchronous
+  model (random, round-robin, scripted/adversarial).
+* :mod:`repro.runtime.faults` — decreasing benign fault plans (node/edge
+  deletions at scheduled times).
+* :mod:`repro.runtime.vectorized` — a numpy/scipy synchronous engine for
+  mod-thresh automata (one sparse mat-mat product per step).
+* :mod:`repro.runtime.trace` — execution traces for replay and assertions.
+* :mod:`repro.runtime.message_passing` — the Section 3 remark made
+  concrete: local-broadcast message passing simulated with outbox buffers.
+"""
+
+from repro.runtime.faults import FaultEvent, FaultPlan, random_fault_plan
+from repro.runtime.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    random_fair_rounds,
+)
+from repro.runtime.simulator import (
+    AsynchronousSimulator,
+    SynchronousSimulator,
+)
+from repro.runtime.message_passing import MessagePassingAlgorithm
+from repro.runtime.trace import Trace
+from repro.runtime.vectorized import VectorizedSynchronousEngine
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "random_fault_plan",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "random_fair_rounds",
+    "AsynchronousSimulator",
+    "SynchronousSimulator",
+    "MessagePassingAlgorithm",
+    "Trace",
+    "VectorizedSynchronousEngine",
+]

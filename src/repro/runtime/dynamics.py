@@ -1,0 +1,66 @@
+"""Orbit analysis of deterministic FSSGA dynamics.
+
+A deterministic synchronous FSSGA on a finite network is a function on a
+finite set of global states, so every execution is eventually periodic:
+a *transient* of length t followed by a *cycle* of length p (a fixed
+point iff p = 1).  :func:`find_orbit` measures (t, p) by Brent's
+algorithm over global states — the tool that turns observations like
+"the paper's verbatim 2-colouring oscillates with period 2" into a
+one-line assertion.
+
+Only meaningful for deterministic automata on fault-free networks (the
+dynamics must be a function of the state alone).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.network.graph import Network
+from repro.network.state import NetworkState
+from repro.runtime.simulator import SynchronousSimulator
+
+__all__ = ["Orbit", "find_orbit"]
+
+
+class Orbit(NamedTuple):
+    """The eventual periodicity of a synchronous execution."""
+
+    transient: int  # steps before entering the cycle
+    period: int  # cycle length (1 = fixed point)
+
+    @property
+    def reaches_fixed_point(self) -> bool:
+        return self.period == 1
+
+
+def _freeze(state: NetworkState) -> frozenset:
+    return frozenset(state.items())
+
+
+def find_orbit(
+    net: Network,
+    automaton: FSSGA,
+    init: NetworkState,
+    max_steps: int = 100_000,
+) -> Orbit:
+    """The (transient, period) of the synchronous orbit from ``init``.
+
+    Uses a hash-map cycle finder: every global state is recorded with its
+    first-visit time; the first revisit closes the cycle.  Memory is
+    O(transient + period) global states — fine for the small networks
+    where exhaustive dynamics questions arise.
+    """
+    if isinstance(automaton, ProbabilisticFSSGA):
+        raise TypeError("orbit analysis requires a deterministic automaton")
+    sim = SynchronousSimulator(net, automaton, init)
+    seen: dict[frozenset, int] = {_freeze(sim.state): 0}
+    for step in range(1, max_steps + 1):
+        sim.step()
+        key = _freeze(sim.state)
+        if key in seen:
+            first = seen[key]
+            return Orbit(transient=first, period=step - first)
+        seen[key] = step
+    raise RuntimeError(f"no cycle found within {max_steps} steps")

@@ -1,0 +1,144 @@
+"""Decreasing benign faults (paper, Section 1).
+
+A fault permanently deletes a node or an edge; nothing ever joins the
+network and there is no malicious behaviour.  A :class:`FaultPlan` is a
+time-ordered list of :class:`FaultEvent`; simulators apply all events due at
+time ``t`` *before* computing step ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional, Union
+
+import numpy as np
+
+from repro.network.graph import Network, Node
+from repro.network.state import NetworkState
+
+__all__ = ["FaultEvent", "FaultPlan", "random_fault_plan"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One deletion: ``kind`` is ``"node"`` or ``"edge"``.
+
+    For node faults ``target`` is the node id; for edge faults it is the
+    ``(u, v)`` pair.  ``time`` is the synchronous step (or asynchronous
+    activation index) at which the fault strikes.
+    """
+
+    time: int
+    kind: Literal["node", "edge"]
+    target: object
+
+    def applies_to(self, net: Network) -> bool:
+        """True iff the target still exists (faults can be preempted by
+        earlier faults, e.g. an edge fault after an endpoint died)."""
+        if self.kind == "node":
+            return self.target in net
+        u, v = self.target
+        return net.has_edge(u, v)
+
+    def apply(self, net: Network, state: Optional[NetworkState] = None) -> bool:
+        """Apply the deletion; returns False if the target was already gone."""
+        if not self.applies_to(net):
+            return False
+        if self.kind == "node":
+            net.remove_node(self.target)
+            if state is not None:
+                state.drop([self.target])
+        else:
+            u, v = self.target
+            net.remove_edge(u, v)
+        return True
+
+
+class FaultPlan:
+    """A time-ordered schedule of fault events."""
+
+    def __init__(self, events: Optional[list[FaultEvent]] = None) -> None:
+        self._events: list[FaultEvent] = sorted(
+            events or [], key=lambda e: e.time
+        )
+        self._cursor = 0
+        self.applied: list[FaultEvent] = []
+        self.skipped: list[FaultEvent] = []
+
+    @classmethod
+    def node_faults(cls, schedule: dict[int, Node]) -> "FaultPlan":
+        """Convenience: ``{time: node}`` → plan."""
+        return cls([FaultEvent(t, "node", v) for t, v in schedule.items()])
+
+    @classmethod
+    def edge_faults(cls, schedule: dict[int, tuple]) -> "FaultPlan":
+        """Convenience: ``{time: (u, v)}`` → plan."""
+        return cls([FaultEvent(t, "edge", e) for t, e in schedule.items()])
+
+    def events(self) -> list[FaultEvent]:
+        return list(self._events)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._events)
+
+    def apply_due(
+        self, net: Network, time: int, state: Optional[NetworkState] = None
+    ) -> list[FaultEvent]:
+        """Apply every not-yet-applied event with ``event.time <= time``.
+
+        Returns the events that actually deleted something.  Events whose
+        target already vanished are recorded in :attr:`skipped`.
+        """
+        fired: list[FaultEvent] = []
+        while self._cursor < len(self._events) and self._events[self._cursor].time <= time:
+            ev = self._events[self._cursor]
+            self._cursor += 1
+            if ev.apply(net, state):
+                fired.append(ev)
+                self.applied.append(ev)
+            else:
+                self.skipped.append(ev)
+        return fired
+
+    def reset(self) -> None:
+        """Rewind the plan for a fresh execution."""
+        self._cursor = 0
+        self.applied = []
+        self.skipped = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def random_fault_plan(
+    net: Network,
+    num_faults: int,
+    max_time: int,
+    rng: Union[int, np.random.Generator, None] = None,
+    kinds: tuple[str, ...] = ("node", "edge"),
+    protect: tuple = (),
+) -> FaultPlan:
+    """A random fault plan over the current topology.
+
+    ``protect`` lists nodes that may never be deleted (and whose incident
+    edges are also spared) — useful for keeping an algorithm's critical
+    nodes alive, per the Section 2 sensitivity definition.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    protected = set(protect)
+    node_pool = [v for v in net.nodes() if v not in protected]
+    edge_pool = [
+        (u, v) for u, v in net.edges() if u not in protected and v not in protected
+    ]
+    events: list[FaultEvent] = []
+    for _ in range(num_faults):
+        kind = kinds[int(gen.integers(len(kinds)))]
+        time = int(gen.integers(0, max_time + 1))
+        if kind == "node" and node_pool:
+            idx = int(gen.integers(len(node_pool)))
+            events.append(FaultEvent(time, "node", node_pool.pop(idx)))
+        elif kind == "edge" and edge_pool:
+            idx = int(gen.integers(len(edge_pool)))
+            events.append(FaultEvent(time, "edge", edge_pool.pop(idx)))
+    return FaultPlan(events)

@@ -1,0 +1,174 @@
+"""Message passing over read-all state communication (paper, Section 3).
+
+The paper's remark: "we note that this model can simulate the ubiquitous
+message-passing model, by using message buffers."  This module makes the
+construction concrete for *local-broadcast* message passing — the variant
+compatible with the model's symmetry: a node cannot address an individual
+neighbour (it cannot even distinguish them), but it can publish a message
+that all neighbours read.
+
+Encoding: each node's FSSGA state is the pair ``(algorithm state,
+outbox)`` where the outbox holds the multiset of messages published this
+round, drawn from a finite message alphabet with bounded multiplicity —
+so the composite alphabet stays finite.  One synchronous FSSGA step
+implements one message-passing round: every node reads the multiset union
+of its neighbours' outboxes (a symmetric read), runs its handler, and
+replaces its own outbox with the handler's sends.
+
+The handler interface mirrors a classic message-passing algorithm::
+
+    def handler(state, inbox: Counter) -> (new_state, messages_to_send)
+
+where ``inbox`` counts received messages and ``messages_to_send`` is an
+iterable of messages broadcast to all neighbours next round.
+
+Limits (inherent to the model, documented rather than hidden):
+
+* point-to-point sends need neighbour identity, which (S2) forbids; any
+  routing must be expressed through message *content* (as the paper's
+  algorithms do, e.g. BFS labels);
+* the outbox multiplicity is capped (default 1 per message type): a
+  finite-state node cannot count unboundedly many pending messages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, Iterable, Optional, Union
+
+import numpy as np
+
+from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.network.graph import Network
+from repro.network.state import NetworkState
+
+State = Hashable
+Message = Hashable
+
+#: handler(state, inbox) -> (new_state, iterable of messages)
+Handler = Callable[[State, Counter], tuple]
+
+__all__ = ["MessagePassingAlgorithm", "as_fssga", "run_rounds"]
+
+
+class MessagePassingAlgorithm:
+    """A local-broadcast message-passing algorithm.
+
+    Parameters
+    ----------
+    states:
+        The finite algorithm-state set.
+    messages:
+        The finite message alphabet.
+    handler:
+        The per-round transition (see module docstring).
+    outbox_cap:
+        Maximum multiplicity of each message type in an outbox (keeps the
+        composite FSSGA alphabet finite).  Extra copies are dropped.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        messages: Iterable[Message],
+        handler: Handler,
+        outbox_cap: int = 1,
+    ) -> None:
+        self.states = frozenset(states)
+        self.messages = frozenset(messages)
+        if not self.states:
+            raise ValueError("need at least one algorithm state")
+        if outbox_cap < 1:
+            raise ValueError("outbox_cap must be >= 1")
+        self.handler = handler
+        self.outbox_cap = outbox_cap
+
+    def encode(self, state: State, sends: Iterable[Message] = ()) -> tuple:
+        """The composite FSSGA state ``(state, outbox)``."""
+        counts = Counter(sends)
+        unknown = set(counts) - self.messages
+        if unknown:
+            raise ValueError(f"messages outside the alphabet: {sorted(map(repr, unknown))}")
+        outbox = tuple(
+            sorted(
+                ((m, min(c, self.outbox_cap)) for m, c in counts.items() if c),
+                key=repr,
+            )
+        )
+        if state not in self.states:
+            raise ValueError(f"state {state!r} not in the algorithm's state set")
+        return (state, outbox)
+
+
+def as_fssga(algo: MessagePassingAlgorithm, name: str = "") -> FSSGA:
+    """The FSSGA simulating one message-passing round per synchronous step.
+
+    The rule reconstructs each neighbour's published outbox from the
+    composite states (a symmetric read: only the multiset of neighbour
+    states is used) and feeds the merged inbox to the handler.
+    """
+
+    class _Space:
+        def __contains__(self, q: object) -> bool:
+            if not (isinstance(q, tuple) and len(q) == 2):
+                return False
+            state, outbox = q
+            if state not in algo.states or not isinstance(outbox, tuple):
+                return False
+            for item in outbox:
+                if not (isinstance(item, tuple) and len(item) == 2):
+                    return False
+                m, c = item
+                if m not in algo.messages or not 1 <= c <= algo.outbox_cap:
+                    return False
+            return True
+
+        def __len__(self) -> int:
+            return len(algo.states) * (algo.outbox_cap + 1) ** len(algo.messages)
+
+    def rule(own: tuple, view: NeighborhoodView) -> tuple:
+        state, _outbox = own
+        # Merge the neighbours' outboxes into the inbox.  The exact counts
+        # are engine-level bookkeeping: a *finite-state* handler must read
+        # the inbox only through bounded thresholds/mods (counts of each
+        # message are finite sums of composite-state multiplicities, so
+        # such queries expand to mod-thresh atoms, as in the synchronizer
+        # wrapper); handing the handler a Counter keeps its code natural.
+        inbox: Counter = Counter()
+        for (q_state, outbox), count in view._counts.items():
+            for m, c in outbox:
+                inbox[m] += c * count
+        new_state, sends = algo.handler(state, inbox)
+        return algo.encode(new_state, sends)
+
+    return FSSGA(_Space(), rule, name=name or "message-passing")
+
+
+def run_rounds(
+    net: Network,
+    algo: MessagePassingAlgorithm,
+    init: dict,
+    rounds: int,
+    rng: Union[int, np.random.Generator, None] = None,
+) -> NetworkState:
+    """Convenience: run ``rounds`` message-passing rounds.
+
+    ``init`` maps each node to its starting ``(state, sends)`` pair (or
+    just a state, meaning an empty outbox).
+    """
+    from repro.runtime.simulator import SynchronousSimulator
+
+    def lift(v):
+        val = init[v]
+        try:
+            if val in algo.states:
+                return algo.encode(val)
+        except TypeError:
+            pass  # unhashable -> must be a (state, sends) pair
+        state, sends = val
+        return algo.encode(state, sends)
+
+    start = NetworkState({v: lift(v) for v in net})
+    sim = SynchronousSimulator(net, as_fssga(algo), start, rng=rng)
+    sim.run(rounds)
+    return NetworkState({v: q for v, q in sim.state.items()})

@@ -1,0 +1,77 @@
+"""Execution traces: what happened, step by step.
+
+A :class:`Trace` records state deltas (which nodes changed, to what) plus
+fault events, so tests can assert on the *path* of an execution — e.g. "the
+walker occupied exactly one node at every step" — without storing full
+snapshots of large networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.state import NetworkState
+
+__all__ = ["Trace", "StepRecord"]
+
+
+@dataclass
+class StepRecord:
+    """One step: the time, the nodes whose state changed (old → new), and
+    any faults applied immediately before the step."""
+
+    time: int
+    changes: dict
+    faults: list = field(default_factory=list)
+
+    @property
+    def quiescent(self) -> bool:
+        """True iff nothing changed in this step."""
+        return not self.changes and not self.faults
+
+
+class Trace:
+    """An append-only log of :class:`StepRecord`.
+
+    With ``snapshots=True`` a full copy of the state is kept per step
+    (memory-heavy; meant for small-network debugging and visual demos).
+    """
+
+    def __init__(self, snapshots: bool = False) -> None:
+        self.steps: list[StepRecord] = []
+        self._snapshots_enabled = snapshots
+        self.snapshots: list[NetworkState] = []
+
+    def record(
+        self,
+        time: int,
+        changes: dict,
+        faults: Optional[list] = None,
+        state: Optional[NetworkState] = None,
+    ) -> None:
+        self.steps.append(StepRecord(time, dict(changes), list(faults or [])))
+        if self._snapshots_enabled and state is not None:
+            self.snapshots.append(state.copy())
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def changed_nodes(self) -> set:
+        """Every node that changed state at least once."""
+        out: set = set()
+        for rec in self.steps:
+            out.update(rec.changes)
+        return out
+
+    def history_of(self, node) -> list[tuple[int, object, object]]:
+        """All (time, old, new) transitions of one node."""
+        out = []
+        for rec in self.steps:
+            if node in rec.changes:
+                old, new = rec.changes[node]
+                out.append((rec.time, old, new))
+        return out
+
+    def total_state_changes(self) -> int:
+        return sum(len(rec.changes) for rec in self.steps)

@@ -1,0 +1,232 @@
+"""Vectorized synchronous engine for mod-thresh automata.
+
+The hot loop of a synchronous FSSGA step is, for every node, counting the
+multiplicity of each state among its neighbours.  With states encoded as
+integers ``0..s-1`` and the state vector one-hot encoded, the whole count
+table is a single sparse mat-mat product::
+
+    counts = A @ one_hot(σ)        # (n × s), counts[v, q] = μ_q(Γ(v))
+
+Mod-thresh propositions then evaluate as numpy boolean arrays over
+``counts`` columns, and each own-state's clause cascade resolves with
+``np.select``.  This follows the HPC guides' vectorize-the-hot-loop advice
+and is benchmarked against the reference interpreter in
+``benchmarks/bench_engines.py`` (experiment E15).
+
+The engine accepts deterministic automata given as ``{own_state:
+ModThreshProgram}`` (or an :class:`~repro.core.automaton.FSSGA` built from
+programs), and probabilistic automata given as ``{(own_state, draw):
+ModThreshProgram}`` with a draw count ``r``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Optional, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.modthresh import (
+    And,
+    ModAtom,
+    ModThreshProgram,
+    Not,
+    Or,
+    Proposition,
+    ThreshAtom,
+    _Const,
+)
+from repro.network.graph import Network
+from repro.network.state import NetworkState
+
+__all__ = ["VectorizedSynchronousEngine"]
+
+
+class VectorizedSynchronousEngine:
+    """Synchronous FSSGA evolution with numpy/scipy inner loops.
+
+    Parameters
+    ----------
+    net:
+        The (static) network.  The vectorized engine does not support mid-run
+        faults; use the reference simulator for fault experiments.
+    programs:
+        ``{q: ModThreshProgram}`` for deterministic automata, or
+        ``{(q, i): ModThreshProgram}`` for probabilistic ones (then
+        ``randomness`` must be given).  An :class:`FSSGA` built from programs
+        is also accepted.
+    init:
+        Initial :class:`~repro.network.state.NetworkState`.
+    randomness:
+        ``r`` of Definition 3.11 for probabilistic automata.
+    rng:
+        Seed or Generator for probabilistic draws.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
+        init: NetworkState,
+        randomness: Optional[int] = None,
+        rng: Union[int, np.random.Generator, None] = None,
+    ) -> None:
+        if isinstance(programs, FSSGA):
+            if programs.is_rule_based:
+                raise TypeError(
+                    "vectorized engine needs explicit ModThreshPrograms; "
+                    "compile rule-based automata with repro.core.compile first"
+                )
+            programs = programs._programs  # program dict
+        elif isinstance(programs, ProbabilisticFSSGA):
+            if programs.is_rule_based:
+                raise TypeError(
+                    "vectorized engine needs explicit ModThreshPrograms; "
+                    "compile rule-based automata with repro.core.compile first"
+                )
+            randomness = programs.randomness
+            programs = programs._programs
+
+        keys = list(programs.keys())
+        self._probabilistic = bool(keys) and isinstance(keys[0], tuple) and (
+            randomness is not None
+        )
+        if self._probabilistic:
+            if randomness is None or randomness < 1:
+                raise ValueError("probabilistic programs need randomness >= 1")
+            self.randomness = int(randomness)
+            own_states = sorted({k[0] for k in keys}, key=repr)
+        else:
+            self.randomness = 1
+            own_states = sorted(keys, key=repr)
+
+        # alphabet = own states plus anything programs can output
+        alphabet = set(own_states)
+        for prog in programs.values():
+            if not isinstance(prog, ModThreshProgram):
+                raise TypeError(f"expected ModThreshProgram, got {type(prog)!r}")
+            alphabet.update(prog.results())
+        self.alphabet: list = sorted(alphabet, key=repr)
+        self._code = {q: i for i, q in enumerate(self.alphabet)}
+        self._programs = dict(programs)
+
+        self.adjacency, self._order = net.to_csr()
+        self._n = len(self._order)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.time = 0
+
+        sigma = np.empty(self._n, dtype=np.int64)
+        for idx, v in enumerate(self._order):
+            sigma[idx] = self._code[init[v]]
+        self._sigma = sigma
+        self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    def _one_hot(self) -> sparse.csr_matrix:
+        n = self._n
+        data = np.ones(n, dtype=np.int64)
+        return sparse.csr_matrix(
+            (data, (np.arange(n), self._sigma)), shape=(n, len(self.alphabet))
+        )
+
+    def _prop_array(self, prop: Proposition, counts: np.ndarray) -> np.ndarray:
+        """Evaluate a proposition for all nodes at once → boolean vector."""
+        if isinstance(prop, ThreshAtom):
+            col = self._code.get(prop.state)
+            if col is None:
+                return np.ones(self._n, dtype=bool)  # state never occurs
+            return counts[:, col] < prop.threshold
+        if isinstance(prop, ModAtom):
+            col = self._code.get(prop.state)
+            if col is None:
+                return np.full(self._n, prop.residue == 0)
+            return counts[:, col] % prop.modulus == prop.residue
+        if isinstance(prop, And):
+            out = np.ones(self._n, dtype=bool)
+            for c in prop.children:
+                out &= self._prop_array(c, counts)
+            return out
+        if isinstance(prop, Or):
+            out = np.zeros(self._n, dtype=bool)
+            for c in prop.children:
+                out |= self._prop_array(c, counts)
+            return out
+        if isinstance(prop, Not):
+            return ~self._prop_array(prop.child, counts)
+        if isinstance(prop, _Const):
+            return np.full(self._n, prop.evaluate(None))  # constant
+        raise TypeError(f"unexpected proposition {prop!r}")
+
+    def _apply_program(
+        self,
+        prog: ModThreshProgram,
+        counts: np.ndarray,
+        mask: np.ndarray,
+        new_sigma: np.ndarray,
+    ) -> None:
+        """Resolve one cascade for the masked nodes into ``new_sigma``."""
+        undecided = mask.copy()
+        for prop, result in prog.clauses:
+            hit = undecided & self._prop_array(prop, counts)
+            if hit.any():
+                new_sigma[hit] = self._code[result]
+                undecided &= ~hit
+            if not undecided.any():
+                return
+        new_sigma[undecided] = self._code[prog.default]
+
+    def step(self) -> bool:
+        """One synchronous step; returns True iff any node changed."""
+        counts = np.asarray((self.adjacency @ self._one_hot()).todense())
+        new_sigma = self._sigma.copy()  # isolated nodes keep their state
+        live = self._degrees > 0
+        if self._probabilistic:
+            draws = self.rng.integers(self.randomness, size=self._n)
+            for q, code in self._code.items():
+                for i in range(self.randomness):
+                    key = (q, i)
+                    if key not in self._programs:
+                        continue
+                    mask = live & (self._sigma == code) & (draws == i)
+                    if mask.any():
+                        self._apply_program(self._programs[key], counts, mask, new_sigma)
+        else:
+            for q, prog in self._programs.items():
+                code = self._code[q]
+                mask = live & (self._sigma == code)
+                if mask.any():
+                    self._apply_program(prog, counts, mask, new_sigma)
+        changed = bool((new_sigma != self._sigma).any())
+        self._sigma = new_sigma
+        self.time += 1
+        return changed
+
+    def run(self, steps: int) -> None:
+        for _ in range(steps):
+            self.step()
+
+    def run_until_stable(self, max_steps: int = 100_000) -> int:
+        """Step to a fixed point; returns steps taken (deterministic only)."""
+        for steps in range(1, max_steps + 1):
+            if not self.step():
+                return steps
+        raise RuntimeError(f"no fixed point within {max_steps} steps")
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> NetworkState:
+        """Decode the current σ back to a :class:`NetworkState`."""
+        return NetworkState(
+            {v: self.alphabet[self._sigma[i]] for i, v in enumerate(self._order)}
+        )
+
+    def state_counts(self) -> dict:
+        """Multiplicity of each alphabet state over all nodes (vectorized)."""
+        binc = np.bincount(self._sigma, minlength=len(self.alphabet))
+        return {q: int(binc[i]) for i, q in enumerate(self.alphabet)}

@@ -1,0 +1,42 @@
+"""The k-sensitivity fault-tolerance framework (paper, Section 2).
+
+A deterministic map χ from network states to node subsets designates the
+*critical nodes*; an algorithm is k-sensitive if ``|χ(σ)| <= k`` always and
+every execution without critical failures stays *reasonably correct*:
+there is a graph G′ between the initial topology and the surviving one
+whose fault-free execution yields the same answer.
+
+:mod:`repro.sensitivity.critical` supplies χ maps for the paper's
+algorithms (∅ for decentralized, the agent position for agent algorithms,
+the spanning-tree internals for the β synchronizer);
+:mod:`repro.sensitivity.harness` runs fault-injected executions and checks
+reasonable correctness for the concrete experiments (E14).
+"""
+
+from repro.sensitivity.critical import (
+    chi_decentralized,
+    chi_agent,
+    chi_arm,
+    chi_beta_synchronizer,
+    max_criticality,
+)
+from repro.sensitivity.harness import (
+    census_under_faults,
+    shortest_paths_under_faults,
+    bridges_under_faults,
+    synchronizer_fault_comparison,
+    FaultExperimentResult,
+)
+
+__all__ = [
+    "chi_decentralized",
+    "chi_agent",
+    "chi_arm",
+    "chi_beta_synchronizer",
+    "max_criticality",
+    "census_under_faults",
+    "shortest_paths_under_faults",
+    "bridges_under_faults",
+    "synchronizer_fault_comparison",
+    "FaultExperimentResult",
+]

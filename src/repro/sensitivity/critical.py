@@ -1,0 +1,64 @@
+"""Critical-node maps χ for the paper's algorithm families.
+
+Section 2 defines sensitivity via a function χ(σ) from instantaneous
+descriptions to node subsets.  The paper's typical values:
+
+* decentralized algorithms (Flajolet–Martin census, shortest paths):
+  χ = ∅, sensitivity 0;
+* agent algorithms (bridge finding, greedy tourist): χ = {agent position},
+  sensitivity 1 (2 while asynchronously "in transit");
+* arm-based algorithms (Milgram traversal): χ = the arm, Θ(n) in the
+  worst case;
+* tree-based algorithms (β synchronizer): χ = the spanning tree's internal
+  nodes, Θ(n).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.graph import Network, Node
+from repro.network.state import NetworkState
+
+__all__ = [
+    "chi_decentralized",
+    "chi_agent",
+    "chi_arm",
+    "chi_beta_synchronizer",
+    "max_criticality",
+]
+
+
+def chi_decentralized(net: Network, state: Optional[NetworkState] = None) -> set[Node]:
+    """χ ≡ ∅: no node is critical (0-sensitive algorithms)."""
+    return set()
+
+
+def chi_agent(position: Optional[Node]) -> set[Node]:
+    """χ = the agent's current position (1-sensitive algorithms)."""
+    return set() if position is None else {position}
+
+
+def chi_arm(net: Network, state: NetworkState, arm_statuses: tuple = ("arm", "hand")) -> set[Node]:
+    """χ = the arm: every node whose (composite) state marks it as part of
+    the Milgram arm or hand.  Θ(n) in the worst case — a path graph's arm
+    spans the whole graph."""
+    out: set[Node] = set()
+    for v, q in state.items():
+        status = q[1] if isinstance(q, tuple) and len(q) >= 2 else q
+        if status in arm_statuses:
+            out.add(v)
+    return out
+
+
+def chi_beta_synchronizer(sync) -> set[Node]:
+    """χ = the spanning tree's internal nodes plus the root (Θ(n)).
+
+    ``sync`` is a :class:`repro.algorithms.beta_synchronizer.BetaSynchronizer`.
+    """
+    return sync.critical_nodes()
+
+
+def max_criticality(chi_values: list[set]) -> int:
+    """The observed sensitivity lower bound: max |χ(σ)| over an execution."""
+    return max((len(s) for s in chi_values), default=0)

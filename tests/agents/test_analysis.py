@@ -1,0 +1,122 @@
+"""Tests for repro.agents.analysis (spectral walk ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.analysis import (
+    exact_hitting_times,
+    mixing_time_bound,
+    occupancy_distribution,
+    spectral_gap,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.network import generators
+
+
+class TestTransitionMatrix:
+    def test_row_stochastic(self):
+        net = generators.petersen_graph()
+        p, order = transition_matrix(net)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p.shape == (10, 10)
+
+    def test_uniform_on_regular(self):
+        net = generators.cycle_graph(5)
+        p, order = transition_matrix(net)
+        nz = p[p > 0]
+        assert np.allclose(nz, 0.5)
+
+    def test_isolated_node_rejected(self):
+        from repro.network.graph import Network
+
+        with pytest.raises(ValueError):
+            transition_matrix(Network(nodes=[0]))
+
+
+class TestStationary:
+    def test_proportional_to_degree(self):
+        net = generators.star_graph(4)
+        pi = stationary_distribution(net)
+        assert pi[0] == pytest.approx(4 / 8)
+        assert pi[1] == pytest.approx(1 / 8)
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_is_left_eigenvector(self):
+        net = generators.lollipop_graph(4, 2)
+        p, order = transition_matrix(net)
+        pi = stationary_distribution(net)
+        vec = np.array([pi[v] for v in order])
+        assert np.allclose(vec @ p, vec)
+
+
+class TestSpectral:
+    def test_complete_graph_gap(self):
+        # K_n: eigenvalues 1 and -1/(n-1): gap = 1 - 1/(n-1)
+        net = generators.complete_graph(6)
+        assert spectral_gap(net) == pytest.approx(1 - 1 / 5, abs=1e-9)
+
+    def test_bipartite_gap_zero(self):
+        # even cycles are bipartite: the walk is periodic, |λ| = 1 twice
+        net = generators.cycle_graph(6)
+        assert spectral_gap(net) == pytest.approx(0.0, abs=1e-9)
+        assert mixing_time_bound(net) == float("inf")
+
+    def test_mixing_bound_finite_on_nonbipartite(self):
+        net = generators.petersen_graph()
+        bound = mixing_time_bound(net)
+        assert 0 < bound < 1000
+
+
+class TestHittingTimes:
+    def test_path_endpoint_formula(self):
+        """On a path of n nodes, h(0 -> n-1) = (n-1)^2."""
+        for n in (3, 5, 8):
+            net = generators.path_graph(n)
+            h = exact_hitting_times(net, n - 1)
+            assert h[0] == pytest.approx((n - 1) ** 2)
+
+    def test_complete_graph_formula(self):
+        """On K_n, the hitting time between distinct nodes is n-1."""
+        net = generators.complete_graph(7)
+        h = exact_hitting_times(net, 0)
+        for v in range(1, 7):
+            assert h[v] == pytest.approx(6.0)
+
+    def test_matches_empirical(self):
+        from repro.agents.walks import empirical_hitting_time
+
+        net = generators.cycle_graph(7)
+        exact = exact_hitting_times(net, 3)[0]
+        emp = empirical_hitting_time(net, 0, 3, trials=400, rng=1)
+        assert abs(emp - exact) / exact < 0.2
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            exact_hitting_times(generators.path_graph(2), 99)
+
+
+class TestCrossValidation:
+    def test_fssga_walk_matches_spectral_stationary(self):
+        """The emergent Algorithm 4.2 walk's occupancy converges to the
+        exact stationary law computed spectrally."""
+        from repro.algorithms.random_walk import run_walk
+
+        net = generators.lollipop_graph(4, 2)
+        obs = run_walk(net, 0, moves=1500, rng=9)
+        emp = occupancy_distribution(obs.positions)
+        pi = stationary_distribution(net)
+        for v in net:
+            assert abs(emp.get(v, 0.0) - pi[v]) < 0.08
+
+    def test_claim21_bound_dominates_exact_hitting(self):
+        """The paper's 2(3m+1)(3n) bound is valid for the lifted graph's
+        exact hitting time to EXCEEDED."""
+        from repro.agents.lifted_graph import EXCEEDED, build_lifted_graph, lifted_node
+        from repro.agents.walks import theoretical_hitting_bound
+
+        net = generators.cycle_graph(5)
+        lifted = build_lifted_graph(net, (0, 1))
+        h = exact_hitting_times(lifted, EXCEEDED)
+        start = lifted_node(0, 0)
+        assert h[start] <= theoretical_hitting_bound(net.num_nodes, net.num_edges)

@@ -1,0 +1,76 @@
+"""Tests for the β synchronizer baseline (sensitivity Θ(n), E14)."""
+
+import pytest
+
+from repro.algorithms.beta_synchronizer import BetaSynchronizer
+from repro.network import generators
+from repro.network.graph import canonical_edge
+
+
+class TestFaultFree:
+    def test_pulses_succeed(self):
+        sync = BetaSynchronizer(generators.grid_graph(3, 3))
+        assert sync.run(10) == 10
+        assert not sync.broken
+
+    def test_requires_connected(self):
+        from repro.network.graph import Network
+
+        with pytest.raises(ValueError):
+            BetaSynchronizer(Network(nodes=[0, 1]))
+
+
+class TestFragility:
+    def test_tree_edge_fault_breaks_it(self):
+        net = generators.grid_graph(3, 3)
+        sync = BetaSynchronizer(net, root=0)
+        sync.run(3)
+        # delete an actual tree edge
+        tree_edge = next(iter(sync._tree_edges))
+        net.remove_edge(*tree_edge)
+        assert sync.run(5) == 0
+        assert sync.broken
+
+    def test_nontree_edge_fault_harmless(self):
+        net = generators.cycle_graph(6)
+        sync = BetaSynchronizer(net, root=0)
+        non_tree = [
+            canonical_edge(u, v)
+            for u, v in net.edges()
+            if canonical_edge(u, v) not in sync._tree_edges
+        ]
+        assert non_tree
+        net.remove_edge(*non_tree[0])
+        assert sync.run(5) == 5
+
+    def test_internal_node_fault_breaks_it(self):
+        net = generators.path_graph(5)
+        sync = BetaSynchronizer(net, root=0)
+        net.remove_node(2)  # internal tree node
+        assert not sync.pulse()
+        assert sync.broken
+
+    def test_broken_is_permanent(self):
+        net = generators.path_graph(4)
+        sync = BetaSynchronizer(net, root=0)
+        net.remove_node(1)
+        sync.pulse()
+        # even restoring nothing: still broken forever
+        assert not sync.pulse()
+
+
+class TestCriticality:
+    def test_critical_nodes_are_internal_plus_root(self):
+        net = generators.path_graph(6)
+        sync = BetaSynchronizer(net, root=0)
+        crit = sync.critical_nodes()
+        # in a path rooted at 0, every node but the far leaf is internal
+        assert crit == {0, 1, 2, 3, 4}
+
+    def test_theta_n_criticality(self):
+        """The paper's point: a spanning tree may have ~n/2 internal
+        nodes, so sensitivity is Θ(n)."""
+        for n in (10, 20, 40):
+            net = generators.path_graph(n)
+            sync = BetaSynchronizer(net, root=0)
+            assert len(sync.critical_nodes()) >= n // 2

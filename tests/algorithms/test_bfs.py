@@ -1,0 +1,114 @@
+"""Tests for mod-3 BFS (Section 4.3, Algorithm 4.1, experiment E8)."""
+
+import pytest
+
+from repro.algorithms import bfs
+from repro.network import generators
+from repro.runtime.simulator import SynchronousSimulator
+
+
+def run_bfs(net, originator, targets, max_steps=500):
+    aut, init = bfs.build(net, originator, targets)
+    sim = SynchronousSimulator(net, aut, init)
+    sim.run_until_stable(max_steps=max_steps)
+    return sim
+
+
+class TestLabels:
+    def test_labels_are_distance_mod_3(self, small_connected_graph):
+        net = small_connected_graph
+        origin = next(iter(net))
+        sim = run_bfs(net, origin, [])
+        assert bfs.labels_match_distance(net, sim.state, origin)
+
+    def test_labelling_completes_in_eccentricity_steps(self):
+        net = generators.path_graph(9)
+        aut, init = bfs.build(net, 0, [8])
+        sim = SynchronousSimulator(net, aut, init)
+        dist = net.bfs_distances([0])
+        for t in range(1, 10):
+            sim.step()
+            for v in net:
+                if dist[v] < t:
+                    assert bfs.label_of(sim.state[v]) == dist[v] % 3
+
+    def test_unreachable_stays_unlabelled(self):
+        from repro.network.graph import Network
+
+        net = Network(edges=[(0, 1), (2, 3)])
+        aut, init = bfs.build(net, 0, [])
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run_until_stable(max_steps=100)
+        assert bfs.label_of(sim.state[2]) == bfs.STAR
+        assert bfs.label_of(sim.state[3]) == bfs.STAR
+
+
+class TestSearchOutcome:
+    def test_found_when_target_reachable(self):
+        net = generators.grid_graph(4, 4)
+        sim = run_bfs(net, 0, [15])
+        assert bfs.originator_status(sim.state, 0) == bfs.FOUND
+
+    def test_failed_when_no_target(self, small_connected_graph):
+        net = small_connected_graph
+        origin = next(iter(net))
+        sim = run_bfs(net, origin, [])
+        assert bfs.originator_status(sim.state, origin) == bfs.FAILED
+
+    def test_failed_when_target_unreachable(self):
+        from repro.network.graph import Network
+
+        net = Network(edges=[(0, 1), (2, 3)])
+        aut, init = bfs.build(net, 0, [3])
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run_until_stable(max_steps=100)
+        assert bfs.originator_status(sim.state, 0) == bfs.FAILED
+
+    @pytest.mark.parametrize("target", [1, 7, 15])
+    def test_found_regardless_of_distance(self, target):
+        net = generators.grid_graph(4, 4)
+        sim = run_bfs(net, 0, [target])
+        assert bfs.originator_status(sim.state, 0) == bfs.FOUND
+
+    def test_completion_time_linear_in_distance(self):
+        """found must reach the originator within ~2·dist steps."""
+        n = 12
+        net = generators.path_graph(n)
+        aut, init = bfs.build(net, 0, [n - 1])
+        sim = SynchronousSimulator(net, aut, init)
+        steps = sim.run_until(
+            lambda st: bfs.originator_status(st, 0) == bfs.FOUND,
+            max_steps=3 * n,
+        )
+        assert steps <= 2 * n + 2
+
+
+class TestShortestPathProperty:
+    def test_found_marks_shortest_paths_only(self):
+        """'do nothing if a predecessor is found' keeps FOUND off
+        non-shortest branches: in a lollipop, the tail beyond the target
+        never reports found."""
+        net = generators.path_graph(8)
+        sim = run_bfs(net, 0, [4])
+        # nodes past the target on the path: they lie beyond every shortest
+        # path; they must not be FOUND
+        for v in (6, 7):
+            assert bfs.status_of(sim.state[v]) != bfs.FOUND
+        # nodes on the unique shortest path 0..4 are found
+        for v in range(5):
+            assert bfs.status_of(sim.state[v]) == bfs.FOUND
+
+    def test_multiple_targets_nearest_found(self):
+        net = generators.path_graph(9)
+        sim = run_bfs(net, 4, [0, 8])
+        assert bfs.originator_status(sim.state, 4) == bfs.FOUND
+
+
+class TestValidation:
+    def test_unknown_originator(self):
+        with pytest.raises(KeyError):
+            bfs.build(generators.path_graph(2), 99)
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            bfs.build(generators.path_graph(2), 0, [99])

@@ -1,0 +1,73 @@
+"""Branch-level unit tests for the Algorithm 4.1 BFS rule."""
+
+from collections import Counter
+
+from repro.algorithms import bfs
+from repro.core.automaton import NeighborhoodView
+
+
+def view(counts: dict) -> NeighborhoodView:
+    return NeighborhoodView(Counter(counts))
+
+
+def q(label, status=bfs.WAITING, orig=False, targ=False):
+    return (orig, targ, label, status)
+
+
+class TestLabelling:
+    def test_originator_takes_label_zero(self):
+        own = q(bfs.STAR, orig=True)
+        out = bfs.rule(own, view({q(bfs.STAR): 1}))
+        assert bfs.label_of(out) == 0
+
+    def test_unlabelled_adopts_increment(self):
+        own = q(bfs.STAR)
+        out = bfs.rule(own, view({q(1): 1}))
+        assert bfs.label_of(out) == 2
+
+    def test_mod3_wraparound_adoption(self):
+        own = q(bfs.STAR)
+        out = bfs.rule(own, view({q(2): 1}))
+        assert bfs.label_of(out) == 0
+
+    def test_target_reports_found_on_labelling(self):
+        own = q(bfs.STAR, targ=True)
+        out = bfs.rule(own, view({q(0): 1}))
+        assert bfs.status_of(out) == bfs.FOUND
+
+    def test_no_labelled_neighbour_no_change(self):
+        own = q(bfs.STAR)
+        assert bfs.rule(own, view({q(bfs.STAR): 3})) == own
+
+
+class TestStatusPropagation:
+    def test_found_pulled_from_successor(self):
+        own = q(1)
+        out = bfs.rule(own, view({q(2, bfs.FOUND): 1}))
+        assert bfs.status_of(out) == bfs.FOUND
+
+    def test_found_predecessor_blocks_propagation(self):
+        """The 'do nothing' clause: a found predecessor means this node is
+        off the shortest path being reported."""
+        own = q(1)
+        nb = {q(0, bfs.FOUND): 1, q(2, bfs.FOUND): 1}
+        assert bfs.rule(own, view(nb)) == own
+
+    def test_failure_requires_no_unlabelled_neighbour(self):
+        own = q(1)
+        # all successors failed but a STAR neighbour remains: wait
+        nb = {q(2, bfs.FAILED): 1, q(bfs.STAR): 1}
+        assert bfs.rule(own, view(nb)) == own
+        # no STAR: fail
+        out = bfs.rule(own, view({q(2, bfs.FAILED): 1}))
+        assert bfs.status_of(out) == bfs.FAILED
+
+    def test_no_successors_at_all_fails(self):
+        own = q(1)
+        out = bfs.rule(own, view({q(0): 2}))
+        assert bfs.status_of(out) == bfs.FAILED
+
+    def test_found_and_failed_states_are_stable(self):
+        for status in (bfs.FOUND, bfs.FAILED):
+            own = q(1, status)
+            assert bfs.rule(own, view({q(2, bfs.FAILED): 1})) == own

@@ -1,0 +1,138 @@
+"""Tests for random-walk bridge finding (Section 2.1, Claim 2.1, E2)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bridges import BridgeFinder, recommended_steps
+from repro.agents.walks import theoretical_hitting_bound
+from repro.network import generators
+from repro.network.properties import bridges as true_bridges
+
+
+class TestCounterInvariant:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bridge_counters_bounded(self, seed):
+        """The paper's easy direction: a bridge counter stays in
+        {-1, 0, 1} forever."""
+        net = generators.barbell_graph(4, 2)
+        tb = true_bridges(net)
+        finder = BridgeFinder(net, 0, rng=seed)
+        for _ in range(4000):
+            finder.step()
+            for u, v in tb:
+                assert abs(finder.counter(u, v)) <= 1
+
+    def test_counter_tracks_signed_crossings(self):
+        net = generators.path_graph(3)
+        finder = BridgeFinder(net, 0, rng=0)
+        crossings = {e: 0 for e in net.edges()}
+        pos = 0
+        rng_check = finder.agent
+        for _ in range(200):
+            before = finder.agent.position
+            finder.step()
+            after = finder.agent.position
+            from repro.network.graph import canonical_edge
+
+            e = canonical_edge(before, after)
+            if (before, after) == e:
+                crossings[e] += 1
+            else:
+                crossings[e] -= 1
+            assert finder.counter(*e) == crossings[e]
+
+
+class TestDetection:
+    @pytest.mark.parametrize(
+        "net_fn",
+        [
+            lambda: generators.barbell_graph(4, 2),
+            lambda: generators.lollipop_graph(4, 3),
+            lambda: generators.theta_graph(2, 3, 3),
+            lambda: generators.petersen_graph(),
+        ],
+    )
+    def test_exact_bridge_recovery(self, net_fn):
+        net = net_fn()
+        tb = true_bridges(net)
+        finder = BridgeFinder(net, next(iter(net)), rng=7)
+        finder.run_until_all_nonbridges_found(tb)
+        assert finder.presumed_bridges() == tb
+        assert finder.exceeded_edges() == set(net.edges()) - tb
+
+    def test_tree_never_flags_anything(self):
+        net = generators.random_tree(12, 3)
+        finder = BridgeFinder(net, 0, rng=1)
+        finder.run(5000)
+        assert finder.exceeded_edges() == set()
+        assert finder.presumed_bridges() == set(net.edges())
+
+    def test_detection_times_recorded(self):
+        net = generators.cycle_graph(6)
+        finder = BridgeFinder(net, 0, rng=2)
+        finder.run_until_all_nonbridges_found(set())
+        times = finder.first_detection_times()
+        assert set(times) == set(net.edges())
+        assert all(t <= finder.steps for t in times.values())
+
+
+class TestClaim21:
+    def test_expected_detection_under_bound(self):
+        """Claim 2.1: expected steps for a non-bridge to exceed ±1 is
+        O(mn); the proof's bound is 2(3m+1)(3n)."""
+        net = generators.cycle_graph(8)
+        n, m = net.num_nodes, net.num_edges
+        bound = theoretical_hitting_bound(n, m)
+        times = []
+        for seed in range(30):
+            f = BridgeFinder(generators.cycle_graph(8), 0, rng=seed)
+            f.run_until_all_nonbridges_found(set())
+            times.append(f.steps)
+        assert np.mean(times) < bound
+
+    def test_recommended_steps_formula(self):
+        assert recommended_steps(10, 20, confidence=2.0) == int(
+            2.0 * 20 * 10 * np.log(10)
+        )
+
+    def test_high_probability_success(self):
+        """With an O(c·m·n·log n) budget (the O(·) hides the hitting-time
+        constant ~18 from the 2(3m+1)(3n) bound), all non-bridges are
+        found in nearly every trial."""
+        successes = 0
+        trials = 20
+        for seed in range(trials):
+            net = generators.lollipop_graph(4, 2)
+            tb = true_bridges(net)
+            budget = recommended_steps(net.num_nodes, net.num_edges, 18.0)
+            f = BridgeFinder(net, 0, rng=seed)
+            f.run(budget)
+            if f.presumed_bridges() == tb:
+                successes += 1
+        assert successes >= trials - 2
+
+
+class TestSensitivity:
+    def test_survives_non_critical_fault(self):
+        """1-sensitivity: faults away from the agent are harmless."""
+        net = generators.theta_graph(3, 3, 3)
+        finder = BridgeFinder(net, 0, rng=4)
+        finder.run(50)
+        # delete an edge the agent is not sitting on
+        pos = finder.agent.position
+        victim = next(
+            e for e in net.edges() if pos not in e
+        )
+        net.remove_edge(*victim)
+        finder.run(2000)
+        assert finder.agent.alive
+        # remaining flagged edges are consistent: bridges of the original
+        # graph are never flagged
+        for e in true_bridges(generators.theta_graph(3, 3, 3)):
+            assert e not in finder.exceeded_edges()
+
+    def test_agent_loss_is_critical(self):
+        net = generators.cycle_graph(5)
+        finder = BridgeFinder(net, 0, rng=5)
+        net.remove_node(finder.agent.position)
+        assert not finder.step()

@@ -1,0 +1,214 @@
+"""Unit tests for the leader election's internal rule machinery.
+
+These pin the local semantics of Algorithm 4.4's components — phase
+gating, NP evidence, cluster growth, colour propagation, the embedded
+traversal — on hand-constructed neighbourhoods, complementing the
+end-to-end tests in test_election.py.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.algorithms.election import (
+    ElectionState,
+    InnerState,
+    STAR,
+    _fresh_phase_state,
+    _np_evidence,
+    rule,
+)
+from repro.core.automaton import NeighborhoodView
+
+
+def mk(
+    phase=0,
+    remain=False,
+    label=0,
+    np=-1,
+    leader=False,
+    clock=0,
+    cdist=STAR,
+    clabel=0,
+    colour=0,
+    colour_prev=0,
+    colour_valid=0,
+    tstat="blank",
+    tsub="idle",
+) -> ElectionState:
+    inner = InnerState(cdist, clabel, colour, colour_prev, colour_valid, tstat, tsub)
+    return ElectionState(phase, remain, label, np, leader, clock, inner, inner)
+
+
+def view_of(*states: ElectionState) -> NeighborhoodView:
+    return NeighborhoodView(Counter(states))
+
+
+DRAW = 0  # label 0, colour 0, coin heads
+
+
+class TestPhaseGating:
+    def test_waits_for_straggler(self):
+        own = mk(phase=1, clock=2)
+        nb = mk(phase=0)
+        assert rule(own, view_of(nb), DRAW) == own
+
+    def test_advances_on_own_np(self):
+        own = mk(phase=0, remain=True, label=1, np=0)
+        out = rule(own, view_of(mk(phase=0)), DRAW)
+        assert out.phase == 1
+        assert out.np == -1
+        assert out.clock == 0
+        assert out.remain  # label 1 survives NP_0
+
+    def test_np1_eliminates_label_zero(self):
+        own = mk(phase=0, remain=True, label=0, np=1)
+        out = rule(own, view_of(mk(phase=0)), DRAW)
+        assert not out.remain
+        assert out.cur.cdist == STAR  # eliminated nodes start unclaimed
+
+    def test_np1_spares_label_one(self):
+        own = mk(phase=0, remain=True, label=1, np=1)
+        out = rule(own, view_of(mk(phase=0)), DRAW)
+        assert out.remain
+        assert out.cur.cdist == 0  # remaining nodes root a fresh cluster
+
+    def test_advances_on_ahead_neighbour(self):
+        own = mk(phase=0, remain=True, label=1)
+        nb = mk(phase=1)
+        out = rule(own, view_of(nb), DRAW)
+        assert out.phase == 1
+
+    def test_clock_gate_blocks_action(self):
+        own = mk(phase=0, clock=1, cdist=1, colour_valid=2)
+        behind = mk(phase=0, clock=0)
+        out = rule(own, view_of(behind), DRAW)
+        assert out == own  # waits: neighbour's round clock is behind
+
+
+class TestNPPropagation:
+    def test_neighbour_np_is_adopted(self):
+        own = mk(phase=0, remain=False)
+        nb = mk(phase=0, np=0)
+        out = rule(own, view_of(nb), DRAW)
+        assert out.np == 0
+
+    def test_np_level_escalates_with_label_one(self):
+        own = mk(phase=0, remain=True, label=1)
+        nb = mk(phase=0, np=0)
+        out = rule(own, view_of(nb), DRAW)
+        assert out.np == 1
+
+    def test_np_demotes_leader(self):
+        own = mk(phase=0, leader=True, cdist=0, remain=True)
+        nb = mk(phase=0, np=1)
+        out = rule(own, view_of(nb), DRAW)
+        assert not out.leader
+
+
+class TestEvidence:
+    def test_conflicting_cluster_labels(self):
+        own = mk(cdist=1, clabel=0)
+        eff = [
+            InnerState(1, 1, 0, 0, 0, "blank", "idle"),
+        ]
+        assert _np_evidence(own, eff)
+
+    def test_both_labels_among_neighbours(self):
+        own = mk(cdist=STAR)
+        eff = [
+            InnerState(0, 0, 0, 0, 2, "blank", "idle"),
+            InnerState(0, 1, 0, 0, 2, "blank", "idle"),
+        ]
+        assert _np_evidence(own, eff)
+
+    def test_root_with_pred_is_evidence(self):
+        own = mk(remain=True, cdist=0, clabel=0)
+        eff = [InnerState(2, 0, 0, 0, 0, "blank", "idle")]
+        assert _np_evidence(own, eff)
+
+    def test_colour_mismatch_with_pred(self):
+        own = mk(cdist=1, clabel=0, colour=1, colour_valid=2)
+        eff = [InnerState(0, 0, 0, 0, 2, "blank", "idle")]
+        # pred's colour_prev (0) != own colour (1)
+        assert _np_evidence(own, eff)
+
+    def test_consistent_cluster_is_silent(self):
+        own = mk(cdist=1, clabel=0, colour=1, colour_prev=0, colour_valid=2)
+        eff = [
+            # pred: colour_prev equals own colour
+            InnerState(0, 0, 0, 1, 2, "blank", "idle"),
+            # same-dist neighbour with the same colour
+            InnerState(1, 0, 1, 0, 2, "blank", "idle"),
+        ]
+        assert not _np_evidence(own, eff)
+
+    def test_immature_colours_not_compared(self):
+        own = mk(cdist=1, clabel=0, colour=1, colour_valid=1)
+        eff = [InnerState(0, 0, 0, 0, 2, "blank", "idle")]
+        assert not _np_evidence(own, eff)
+
+    def test_two_hands_collide(self):
+        own = mk(cdist=1, clabel=0)
+        eff = [
+            InnerState(0, 0, 0, 0, 2, "hand", "flip"),
+            InnerState(2, 0, 0, 0, 2, "hand", "wait"),
+        ]
+        assert _np_evidence(own, eff)
+
+
+class TestClusterGrowth:
+    def test_adopts_first_cluster(self):
+        own = mk(phase=0, cdist=STAR)
+        nb = mk(phase=0, cdist=0, clabel=1, colour_valid=2)
+        out = rule(own, view_of(nb), DRAW)
+        assert out.cur.cdist == 1
+        assert out.cur.clabel == 1
+        assert out.clock == 1  # the adoption consumed a round
+
+    def test_mod3_wraparound(self):
+        own = mk(phase=0, cdist=STAR)
+        nb = mk(phase=0, cdist=2, clabel=0, colour_valid=2)
+        out = rule(own, view_of(nb), DRAW)
+        assert out.cur.cdist == 0
+
+    def test_no_growth_without_labelled_neighbour(self):
+        own = mk(phase=0, cdist=STAR)
+        nb = mk(phase=0, cdist=STAR)
+        out = rule(own, view_of(nb), DRAW)
+        assert out.cur.cdist == STAR
+        assert out.clock == 1
+
+
+class TestColourPropagation:
+    def test_root_draws_fresh_colour(self):
+        own = mk(phase=0, remain=True, cdist=0, colour=0, colour_valid=2)
+        nb = mk(phase=0, cdist=1, colour_valid=0)
+        draw_colour_1 = 0b010  # colour bit set
+        out = rule(own, view_of(nb), draw_colour_1)
+        assert out.cur.colour == 1
+        assert out.cur.colour_prev == 0
+
+    def test_leader_root_freezes_colour(self):
+        own = mk(
+            phase=0, remain=True, cdist=0, colour=0, colour_valid=2, leader=True,
+            tstat="visited",
+        )
+        nb = mk(phase=0, cdist=1, colour=0, colour_valid=2, tstat="visited")
+        out = rule(own, view_of(nb), 0b010)
+        assert out.cur.colour == 0  # frozen despite the colour bit
+
+    def test_nonroot_copies_pred(self):
+        own = mk(phase=0, cdist=1, clabel=0, colour_valid=0)
+        pred = mk(phase=0, cdist=0, clabel=0, colour=1, colour_valid=2, remain=True)
+        out = rule(own, view_of(pred), DRAW)
+        assert out.cur.colour == 1
+        assert out.cur.colour_valid == 1
+
+    def test_validity_matures(self):
+        own = mk(phase=0, cdist=1, clabel=0, colour=1, colour_valid=1)
+        pred = mk(phase=0, cdist=0, clabel=0, colour=0, colour_prev=1, colour_valid=2, remain=True)
+        out = rule(own, view_of(pred), DRAW)
+        assert out.cur.colour_valid == 2
+        assert out.cur.colour_prev == 1
+        assert out.cur.colour == 0

@@ -1,0 +1,86 @@
+"""Tests for the phase-level election reference model (Claims 4.1/4.2, E12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import election_reference as er
+from repro.network import generators
+
+
+class TestRunElection:
+    @pytest.mark.parametrize("detection", ["optimistic", "nearest"])
+    def test_unique_leader(self, detection):
+        net = generators.connected_gnp_graph(30, 0.2, 1)
+        out = er.run_election(net, rng=1, detection=detection)
+        assert out.leader in net
+        assert out.remaining_per_phase[-1] == 1
+
+    def test_remaining_monotone_nonincreasing(self):
+        net = generators.grid_graph(5, 5)
+        out = er.run_election(net, rng=2)
+        hist = out.remaining_per_phase
+        assert all(a >= b for a, b in zip(hist, hist[1:]))
+        assert hist[0] == net.num_nodes
+
+    def test_disconnected_rejected(self):
+        from repro.network.graph import Network
+
+        with pytest.raises(ValueError):
+            er.run_election(Network(edges=[(0, 1), (2, 3)]))
+
+    def test_deterministic_with_seed(self):
+        net = generators.cycle_graph(20)
+        a = er.run_election(net, rng=7)
+        b = er.run_election(net, rng=7)
+        assert a.leader == b.leader and a.phases == b.phases
+
+
+class TestClaim41:
+    """Per-phase elimination probability >= 1/4 with >= 2 remaining."""
+
+    @pytest.mark.parametrize("detection", ["optimistic", "nearest"])
+    @pytest.mark.parametrize("remaining", [2, 5, 10])
+    def test_elimination_probability_bound(self, detection, remaining):
+        net = generators.connected_gnp_graph(20, 0.25, 3)
+        p = er.phase_elimination_probability(
+            net, remaining, trials=3000, rng=3, detection=detection
+        )
+        assert p >= 0.25 - 0.03  # Monte-Carlo tolerance
+
+    def test_two_remaining_exact_probability(self):
+        """With exactly two remaining nodes the optimistic elimination
+        probability is exactly 1/4 (label 0 and the other has 1)."""
+        net = generators.path_graph(6)
+        p = er.phase_elimination_probability(
+            net, 2, trials=6000, rng=5, detection="optimistic"
+        )
+        assert abs(p - 0.25) < 0.03
+
+    def test_requires_two_remaining(self):
+        with pytest.raises(ValueError):
+            er.phase_elimination_probability(generators.path_graph(4), 1)
+
+
+class TestPhaseCount:
+    def test_phases_logarithmic(self):
+        """Θ(log n) phases whp: mean phases across seeds must grow like
+        log n, and stay within a small constant of log2(n)."""
+        mean_phases = {}
+        for n in (8, 32, 128):
+            net = generators.cycle_graph(n)
+            phases = [
+                er.run_election(net, rng=s).phases for s in range(20)
+            ]
+            mean_phases[n] = float(np.mean(phases))
+        for n, mp in mean_phases.items():
+            assert mp <= 4 * math.log2(n) + 4, mean_phases
+        # growth between sizes is additive (log-like), not multiplicative
+        assert mean_phases[128] - mean_phases[8] < 12
+
+    def test_total_time_n_log_n(self):
+        for n in (16, 64):
+            net = generators.cycle_graph(n)
+            times = [er.run_election(net, rng=s).simulated_time for s in range(10)]
+            assert float(np.mean(times)) <= 30 * n * math.log2(n)

@@ -1,0 +1,78 @@
+"""Tests for the firing-squad extension (Section 5.2, path graphs)."""
+
+import pytest
+
+from repro.algorithms.firing_squad import (
+    FiringSquadLine,
+    run_firing_squad,
+    space_time_diagram,
+)
+
+
+class TestSynchronization:
+    @pytest.mark.parametrize("n", list(range(1, 33)))
+    def test_all_fire_simultaneously(self, n):
+        t, simultaneous = run_firing_squad(n)
+        assert simultaneous, f"partial firing at n={n}"
+
+    @pytest.mark.parametrize("n", [50, 75, 100, 137])
+    def test_larger_lines(self, n):
+        t, simultaneous = run_firing_squad(n)
+        assert simultaneous
+
+    def test_time_is_about_3n(self):
+        """Minsky's construction fires at ≈ 3n."""
+        for n in (10, 20, 50, 100):
+            t, _ = run_firing_squad(n)
+            assert 2 * n <= t <= 3 * n + 10, (n, t)
+
+    def test_time_monotone_in_n(self):
+        times = [run_firing_squad(n)[0] for n in range(4, 40)]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_single_cell(self):
+        assert run_firing_squad(1) == (1, True)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FiringSquadLine(0)
+
+
+class TestMechanics:
+    def test_fired_cells_stay_fired(self):
+        line = FiringSquadLine(6)
+        for _ in range(40):
+            line.step()
+        assert line.all_fired
+        snapshot = [c.role for c in line.cells]
+        line.step()
+        assert [c.role for c in line.cells] == snapshot
+
+    def test_exactly_one_fast_signal_per_segment(self):
+        """Between births, at most one fast signal exists per active
+        segment (here: the single root segment early on)."""
+        line = FiringSquadLine(12)
+        for _ in range(8):  # before the first meet
+            line.step()
+            fast_count = sum(len(c.fast) for c in line.cells if c.role == "quiescent")
+            assert fast_count <= 1
+
+    def test_space_time_diagram_shape(self):
+        frames = space_time_diagram(8)
+        assert frames[0].startswith("G")
+        assert frames[-1] == "F" * 8
+        assert all(len(f) == 8 for f in frames)
+
+    def test_generals_only_ever_increase(self):
+        line = FiringSquadLine(10)
+        prev_generals: set = set()
+        for _ in range(60):
+            line.step()
+            gens = {
+                i for i, c in enumerate(line.cells) if c.role in ("general", "fired")
+            }
+            assert prev_generals <= gens
+            prev_generals = gens
+            if line.all_fired:
+                break
+        assert line.all_fired

@@ -1,0 +1,104 @@
+"""Tests for the greedy tourist (Section 4.6, experiment E11)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy_traversal import GreedyTourist, run_greedy_traversal
+from repro.network import generators
+
+
+class TestCompleteness:
+    def test_visits_everything(self, small_connected_graph):
+        net = small_connected_graph
+        t = run_greedy_traversal(net, next(iter(net)), rng=1)
+        assert t.done
+        assert set(t.itinerary) == set(net.nodes())
+
+    def test_itinerary_walks_edges(self):
+        net = generators.grid_graph(3, 4)
+        t = run_greedy_traversal(net, 0, rng=2)
+        for a, b in zip(t.itinerary, t.itinerary[1:]):
+            assert net.has_edge(a, b)
+
+    def test_path_graph_is_linear_time(self):
+        net = generators.path_graph(10)
+        t = run_greedy_traversal(net, 0, rng=0)
+        assert t.agent_steps == 9  # straight down the line
+
+
+class TestComplexity:
+    def test_agent_steps_n_log_n(self):
+        """Paper: O(n log n) agent steps via [20]."""
+        for n in (16, 32, 64):
+            net = generators.connected_gnp_graph(n, min(0.9, 6.0 / n), 3)
+            t = run_greedy_traversal(net, 0, rng=3)
+            assert t.agent_steps <= 4 * n * max(1, math.log2(n)), (
+                n,
+                t.agent_steps,
+            )
+
+    def test_fssga_time_includes_election_cost(self):
+        net = generators.complete_graph(20)
+        t = run_greedy_traversal(net, 0, rng=1)
+        # every move has >= 1 election round + 1 move round
+        assert t.fssga_time >= 2 * t.agent_steps
+
+    def test_relaxation_rounds_accumulate(self):
+        net = generators.path_graph(8)
+        t = run_greedy_traversal(net, 0, rng=0)
+        assert t.relaxation_rounds >= t.agent_steps  # >= 1 round per move
+
+
+class TestSensitivity:
+    def test_survives_fault_away_from_agent(self):
+        """Sensitivity 1: any non-agent failure leaves the traversal able
+        to finish on the surviving graph."""
+        net = generators.theta_graph(3, 3, 4)
+        t = GreedyTourist(net, 0, rng=5)
+        for _ in range(3):
+            t.step()
+        # delete a node that is not the agent and keeps the graph connected
+        victim = None
+        from repro.network.properties import articulation_points
+
+        arts = articulation_points(net)
+        for v in net.nodes():
+            if v != t.position and v not in arts:
+                victim = v
+                break
+        assert victim is not None
+        net.remove_node(victim)
+        t.unvisited.discard(victim)
+        t.run()
+        assert t.done
+
+    def test_agent_loss_is_fatal(self):
+        net = generators.cycle_graph(5)
+        t = GreedyTourist(net, 0, rng=1)
+        net.remove_node(t.position)
+        with pytest.raises((RuntimeError, KeyError)):
+            t.step()
+
+    def test_stranded_detection(self):
+        net = generators.path_graph(4)
+        t = GreedyTourist(net, 0, rng=0)
+        t.step()
+        net.remove_edge(1, 2)  # disconnects the unvisited tail
+        with pytest.raises(RuntimeError):
+            t.run()
+
+
+class TestMilgramComparison:
+    def test_greedy_slower_but_lower_sensitivity(self):
+        """E11's shape: Milgram uses exactly 2n-2 moves; the greedy tourist
+        may use more agent steps, but its critical set is a single node
+        versus Milgram's Θ(n) arm."""
+        from repro.algorithms.traversal import run_traversal
+
+        net = generators.connected_gnp_graph(20, 0.25, 9)
+        milgram = run_traversal(net.copy(), 0, rng=9)
+        greedy = run_greedy_traversal(net.copy(), 0, rng=9)
+        assert milgram.hand_moves == 2 * net.num_nodes - 2
+        assert greedy.agent_steps >= net.num_nodes - 1

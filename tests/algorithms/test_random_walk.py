@@ -1,0 +1,119 @@
+"""Tests for the emergent random walk (Section 4.4, Algorithm 4.2, E9)."""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.algorithms import random_walk as rw
+from repro.network import generators
+from repro.runtime.simulator import SynchronousSimulator
+
+
+class TestProtocolInvariants:
+    def test_exactly_one_walker_at_all_times(self):
+        net = generators.petersen_graph()
+        aut, init = rw.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init, rng=1)
+        for _ in range(300):
+            sim.step()
+            holders = sim.state.nodes_in(rw.WALKER_STATES)
+            assert len(holders) == 1
+
+    def test_walker_moves_to_neighbours_only(self):
+        net = generators.cycle_graph(7)
+        obs = rw.run_walk(net, 0, moves=40, rng=2)
+        for a, b in zip(obs.positions, obs.positions[1:]):
+            assert net.has_edge(a, b)
+
+    def test_coins_cleared_between_moves(self):
+        """After a move completes, no heads/tails/eliminated linger
+        adjacent to the new walker when it starts its election."""
+        net = generators.star_graph(4)
+        aut, init = rw.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init, rng=3)
+        prev_holder = 0
+        for _ in range(200):
+            sim.step()
+            holder = rw.walker_position(sim.state)
+            if holder != prev_holder and sim.state[holder] == rw.FLIP:
+                # fresh walker: its neighbourhood must hold no stale coins
+                for u in net.neighbors(holder):
+                    assert sim.state[u] in (rw.BLANK, rw.ONETAILS), sim.state[u]
+                prev_holder = holder
+
+
+class TestUniformity:
+    def test_star_center_moves_uniformly(self):
+        """From the hub of a star, each leaf must win equally often."""
+        net = generators.star_graph(4)
+        wins: Counter = Counter()
+        for seed in range(120):
+            obs = rw.run_walk(net, 0, moves=1, rng=seed)
+            wins[obs.positions[1]] += 1
+        total = sum(wins.values())
+        for leaf in range(1, 5):
+            assert 0.15 < wins[leaf] / total < 0.35
+
+    def test_cycle_walk_is_symmetric(self):
+        net = generators.cycle_graph(5)
+        lefts = 0
+        trials = 100
+        for seed in range(trials):
+            obs = rw.run_walk(net, 0, moves=1, rng=seed)
+            if obs.positions[1] == 4:
+                lefts += 1
+        assert 30 <= lefts <= 70
+
+    def test_stationary_distribution_proportional_to_degree(self):
+        """Long-run occupancy of a random walk ∝ degree."""
+        net = generators.lollipop_graph(4, 2)
+        obs = rw.run_walk(net, 0, moves=1500, rng=5)
+        occupancy = Counter(obs.positions)
+        deg_sum = sum(net.degree(v) for v in net)
+        for v in net:
+            expected = net.degree(v) / deg_sum
+            actual = occupancy[v] / len(obs.positions)
+            assert abs(actual - expected) < 0.08, (v, actual, expected)
+
+
+class TestRoundComplexity:
+    def test_expected_rounds_logarithmic_in_degree(self):
+        """Paper: at a node of degree d the walker leaves after expected
+        Θ(log d) elimination rounds (≈ 2·log2 d + O(1) synchronous steps
+        in this encoding)."""
+        means = {}
+        for leaves in (2, 8, 32):
+            net = generators.star_graph(leaves)
+            steps = []
+            for seed in range(40):
+                obs = rw.run_walk(net, 0, moves=1, rng=seed)
+                steps.append(obs.steps_per_move[0])
+            means[leaves] = float(np.mean(steps))
+        # growth must be ~ additive per doubling (logarithmic), not linear
+        assert means[8] < means[2] + 4 * 2 + 3
+        assert means[32] < means[8] + 4 * 2 + 3
+        growth_8_32 = means[32] - means[8]
+        assert growth_8_32 < 4 * math.log2(32 / 8) + 4
+
+    def test_degree_one_move_constant_rounds(self):
+        net = generators.path_graph(2)
+        steps = []
+        for seed in range(60):
+            obs = rw.run_walk(net, 0, moves=1, rng=seed)
+            steps.append(obs.steps_per_move[0])
+        assert float(np.mean(steps)) < 10
+
+
+class TestBuild:
+    def test_unknown_start(self):
+        with pytest.raises(KeyError):
+            rw.build(generators.path_graph(2), 99)
+
+    def test_initial_state(self):
+        net = generators.path_graph(3)
+        aut, init = rw.build(net, 1)
+        assert init[1] == rw.FLIP
+        assert init[0] == init[2] == rw.BLANK
+        assert aut.randomness == 2

@@ -1,0 +1,164 @@
+"""Branch-level unit tests for the Algorithm 4.2 and 4.3 rule tables.
+
+The integration tests show the emergent behaviour; these pin each printed
+pseudocode branch on hand-constructed neighbourhoods, so a regression in
+any single clause is caught at the clause.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.algorithms import random_walk as rw
+from repro.algorithms import traversal as tr
+from repro.core.automaton import NeighborhoodView
+
+
+def view(counts: dict) -> NeighborhoodView:
+    return NeighborhoodView(Counter(counts))
+
+
+HEADS_DRAW = 0
+TAILS_DRAW = 1
+
+
+class TestRandomWalkClauses:
+    """Algorithm 4.2, clause by clause."""
+
+    def test_flip_eliminates_heads(self):
+        assert rw.rule(rw.HEADS, view({rw.FLIP: 1}), HEADS_DRAW) == rw.ELIMINATED
+
+    def test_flip_makes_blank_flip(self):
+        assert rw.rule(rw.BLANK, view({rw.FLIP: 1}), HEADS_DRAW) == rw.HEADS
+        assert rw.rule(rw.BLANK, view({rw.FLIP: 1}), TAILS_DRAW) == rw.TAILS
+
+    def test_flip_makes_tails_reflip(self):
+        assert rw.rule(rw.TAILS, view({rw.FLIP: 1}), TAILS_DRAW) == rw.TAILS
+        assert rw.rule(rw.TAILS, view({rw.FLIP: 1}), HEADS_DRAW) == rw.HEADS
+
+    def test_flip_leaves_eliminated(self):
+        assert rw.rule(rw.ELIMINATED, view({rw.FLIP: 1}), TAILS_DRAW) == rw.ELIMINATED
+
+    def test_notails_reflips_heads_only(self):
+        assert rw.rule(rw.HEADS, view({rw.NOTAILS: 1}), TAILS_DRAW) == rw.TAILS
+        assert rw.rule(rw.ELIMINATED, view({rw.NOTAILS: 1}), TAILS_DRAW) == rw.ELIMINATED
+        assert rw.rule(rw.BLANK, view({rw.NOTAILS: 1}), TAILS_DRAW) == rw.BLANK
+
+    def test_onetails_hands_walker_to_tails(self):
+        assert rw.rule(rw.TAILS, view({rw.ONETAILS: 1}), HEADS_DRAW) == rw.FLIP
+
+    def test_onetails_clears_everyone_else(self):
+        for own in (rw.BLANK, rw.HEADS, rw.ELIMINATED):
+            assert rw.rule(own, view({rw.ONETAILS: 1}), HEADS_DRAW) == rw.BLANK
+
+    def test_waiting_walker_holds_coins_still(self):
+        for own in (rw.HEADS, rw.TAILS, rw.ELIMINATED, rw.BLANK):
+            assert rw.rule(own, view({rw.WAITING_FOR_FLIPS: 1}), TAILS_DRAW) == own
+
+    def test_walker_reads_no_tails(self):
+        assert (
+            rw.rule(rw.WAITING_FOR_FLIPS, view({rw.HEADS: 3}), HEADS_DRAW)
+            == rw.NOTAILS
+        )
+
+    def test_walker_reads_exactly_one_tails(self):
+        assert (
+            rw.rule(
+                rw.WAITING_FOR_FLIPS,
+                view({rw.HEADS: 2, rw.TAILS: 1}),
+                HEADS_DRAW,
+            )
+            == rw.ONETAILS
+        )
+
+    def test_walker_reads_many_tails(self):
+        assert (
+            rw.rule(rw.WAITING_FOR_FLIPS, view({rw.TAILS: 2}), HEADS_DRAW)
+            == rw.FLIP
+        )
+
+    def test_walker_cycle_states(self):
+        assert rw.rule(rw.FLIP, view({rw.BLANK: 2}), HEADS_DRAW) == rw.WAITING_FOR_FLIPS
+        assert rw.rule(rw.NOTAILS, view({rw.HEADS: 2}), HEADS_DRAW) == rw.WAITING_FOR_FLIPS
+        assert rw.rule(rw.ONETAILS, view({rw.TAILS: 1}), HEADS_DRAW) == rw.BLANK
+
+
+class TestTraversalClauses:
+    """Algorithm 4.3's embedded clauses (status, sub) on constructed views."""
+
+    def b(self, status, sub, orig=False):
+        return (orig, status, sub)
+
+    def test_visited_is_absorbing(self):
+        own = self.b(tr.VISITED, tr.IDLE)
+        assert tr.rule(own, view({self.b(tr.HAND, tr.SUB_FLIP): 1}), 0) == own
+
+    def test_blank_elected_becomes_hand(self):
+        own = self.b(tr.BLANK, tr.TAILS)
+        out = tr.rule(own, view({self.b(tr.HAND, tr.SUB_ELECT): 1}), 0)
+        assert out[1] == tr.HAND
+
+    def test_blank_not_elected_clears(self):
+        own = self.b(tr.BLANK, tr.HEADS)
+        out = tr.rule(own, view({self.b(tr.HAND, tr.SUB_ELECT): 1}), 0)
+        assert out == self.b(tr.BLANK, tr.IDLE)
+
+    def test_blank_near_arm_is_ineligible(self):
+        own = self.b(tr.BLANK, tr.IDLE)
+        nb = {
+            self.b(tr.HAND, tr.SUB_FLIP): 1,
+            self.b(tr.ARM, tr.IDLE): 1,
+        }
+        assert tr.rule(own, view(nb), 1) == own  # refuses to flip
+
+    def test_blank_without_arm_flips(self):
+        own = self.b(tr.BLANK, tr.IDLE)
+        out = tr.rule(own, view({self.b(tr.HAND, tr.SUB_FLIP): 1}), 1)
+        assert out == self.b(tr.BLANK, tr.TAILS)
+
+    def test_hand_retracts_without_participants(self):
+        own = self.b(tr.HAND, tr.SUB_WAIT)
+        out = tr.rule(own, view({self.b(tr.VISITED, tr.IDLE): 2}), 0)
+        assert out[1] == tr.VISITED
+
+    def test_hand_elects_on_single_tails(self):
+        own = self.b(tr.HAND, tr.SUB_WAIT)
+        nb = {
+            self.b(tr.BLANK, tr.TAILS): 1,
+            self.b(tr.BLANK, tr.HEADS): 2,
+        }
+        out = tr.rule(own, view(nb), 0)
+        assert out[2] == tr.SUB_ELECT
+
+    def test_hand_reruns_on_no_tails(self):
+        own = self.b(tr.HAND, tr.SUB_WAIT)
+        out = tr.rule(own, view({self.b(tr.BLANK, tr.HEADS): 2}), 0)
+        assert out[2] == tr.SUB_NOTAILS
+
+    def test_hand_reflips_on_many_tails(self):
+        own = self.b(tr.HAND, tr.SUB_WAIT)
+        out = tr.rule(own, view({self.b(tr.BLANK, tr.TAILS): 2}), 0)
+        assert out[2] == tr.SUB_FLIP
+
+    def test_hand_becomes_arm_after_elect(self):
+        own = self.b(tr.HAND, tr.SUB_ELECT)
+        out = tr.rule(own, view({self.b(tr.BLANK, tr.IDLE): 1}), 0)
+        assert out[1] == tr.ARM
+
+    def test_arm_retraction_rule_nonoriginator(self):
+        own = self.b(tr.ARM, tr.IDLE)
+        # two arm/hand neighbours: hold
+        nb2 = {self.b(tr.ARM, tr.IDLE): 1, self.b(tr.HAND, tr.IDLE): 1}
+        assert tr.rule(own, view(nb2), 0) == own
+        # one arm neighbour: retract to hand
+        nb1 = {self.b(tr.ARM, tr.IDLE): 1, self.b(tr.VISITED, tr.IDLE): 1}
+        assert tr.rule(own, view(nb1), 0)[1] == tr.HAND
+
+    def test_arm_retraction_rule_originator(self):
+        own = self.b(tr.ARM, tr.IDLE, orig=True)
+        # any arm/hand neighbour: hold
+        nb = {self.b(tr.HAND, tr.IDLE): 1}
+        assert tr.rule(own, view(nb), 0) == own
+        # none: retract
+        out = tr.rule(own, view({self.b(tr.VISITED, tr.IDLE): 1}), 0)
+        assert out[1] == tr.HAND

@@ -1,0 +1,212 @@
+"""Tests for the α synchronizer (Section 4.2, experiment E7)."""
+
+import pytest
+
+from repro.algorithms import synchronizer as alpha
+from repro.algorithms import two_coloring as tc
+from repro.core.automaton import FSSGA
+from repro.core.sequential import SequentialProgram
+from repro.network import NetworkState, generators
+from repro.runtime.scheduler import ScriptedScheduler
+from repro.runtime.simulator import AsynchronousSimulator, SynchronousSimulator
+
+
+def epidemic_inner():
+    return FSSGA(
+        {0, 1}, lambda own, view: 1 if own == 1 or view.at_least(1, 1) else 0,
+        name="epidemic",
+    )
+
+
+def epidemic_init(net):
+    init = NetworkState.uniform(net, 0)
+    init[next(iter(net))] = 1
+    return init
+
+
+def track_unwrapped_clocks(sim, net, rounds, per_round_cb=None):
+    """Run fair rounds while tracking unwrapped (true) clock values."""
+    clocks = {v: 0 for v in net}
+    for r in range(rounds):
+        order = net.nodes()
+        sim.rng.shuffle(order)
+        for v in order:
+            before = sim.state[v][2]
+            old = sim.state[v]
+            new = sim.automaton.transition(
+                old,
+                __import__("collections").Counter(
+                    sim.state[u] for u in net.neighbors(v)
+                ),
+            )
+            if new != old:
+                sim.state.set(v, new)
+            if new[2] != before:
+                clocks[v] += 1
+        if per_round_cb:
+            per_round_cb(r, clocks)
+    return clocks
+
+
+class TestWrapDeterministic:
+    def test_async_equals_sync(self, small_connected_graph):
+        """The headline property: a synchronized asynchronous run passes
+        through exactly the synchronous execution's states."""
+        net = small_connected_graph
+        inner = epidemic_inner()
+        init = epidemic_init(net)
+
+        sync = SynchronousSimulator(net.copy(), inner, init.copy())
+        sync_states = [dict(sync.state.items())]
+        for _ in range(12):
+            sync.step()
+            sync_states.append(dict(sync.state.items()))
+
+        comp = alpha.wrap(inner)
+        asim = AsynchronousSimulator(net, comp, alpha.initial_state(init), rng=3)
+        # track that each node's (current, clock-unwrapped) trajectory
+        # matches the synchronous sequence
+        unwrapped = {v: 0 for v in net}
+        for _ in range(40):
+            order = net.nodes()
+            asim.rng.shuffle(order)
+            for v in order:
+                before_clock = asim.state[v][2]
+                from collections import Counter
+
+                new = comp.transition(
+                    asim.state[v],
+                    Counter(asim.state[u] for u in net.neighbors(v)),
+                )
+                asim.state.set(v, new)
+                if new[2] != before_clock:
+                    unwrapped[v] += 1
+                    t = unwrapped[v]
+                    if t < len(sync_states):
+                        assert new[0] == sync_states[t][v], (v, t)
+
+    def test_adjacent_clocks_within_one(self):
+        net = generators.cycle_graph(8)
+        inner = epidemic_inner()
+        comp = alpha.wrap(inner)
+        asim = AsynchronousSimulator(
+            net, comp, alpha.initial_state(epidemic_init(net)), rng=9
+        )
+        clocks = {v: 0 for v in net}
+        for _ in range(300):
+            v = net.nodes()[int(asim.rng.integers(net.num_nodes))]
+            from collections import Counter
+
+            before = asim.state[v][2]
+            new = comp.transition(
+                asim.state[v], Counter(asim.state[u] for u in net.neighbors(v))
+            )
+            asim.state.set(v, new)
+            if new[2] != before:
+                clocks[v] += 1
+            for a, b in net.edges():
+                assert abs(clocks[a] - clocks[b]) <= 1
+
+    def test_clock_advances_once_per_fair_round(self):
+        """Paper: in k units of time each clock advances at least k times."""
+        net = generators.grid_graph(3, 3)
+        inner = epidemic_inner()
+        comp = alpha.wrap(inner)
+        asim = AsynchronousSimulator(
+            net, comp, alpha.initial_state(epidemic_init(net)), rng=4
+        )
+        clocks = track_unwrapped_clocks(asim, net, rounds=10)
+        assert all(c >= 10 for c in clocks.values())
+
+    def test_adversarial_schedule_blocks_but_never_corrupts(self):
+        """A scheduler that hammers one node cannot push its clock more
+        than one ahead of a frozen neighbour."""
+        net = generators.path_graph(3)
+        inner = epidemic_inner()
+        comp = alpha.wrap(inner)
+        init = alpha.initial_state(epidemic_init(net))
+        sched = ScriptedScheduler([0] * 50)
+        asim = AsynchronousSimulator(net, comp, init, scheduler=sched, rng=0)
+        asim.run(50)
+        # node 0 advanced exactly once (to clock 1), then waits for node 1
+        assert asim.state[0][2] == 1
+        assert asim.state[1][2] == 0
+
+
+class TestWrapProbabilistic:
+    def test_composite_preserves_randomness(self):
+        from repro.core.automaton import ProbabilisticFSSGA
+
+        inner = ProbabilisticFSSGA({0, 1}, 2, lambda own, view, i: i)
+        comp = alpha.wrap_probabilistic(inner)
+        assert comp.randomness == 2
+        net = generators.complete_graph(4)
+        init = alpha.initial_state(NetworkState.uniform(net, 0))
+        asim = AsynchronousSimulator(net, comp, init, rng=8)
+        asim.run_fair_rounds(6)
+        currents = {asim.state[v][0] for v in net}
+        assert currents <= {0, 1}
+
+
+class TestFormalTransform:
+    def test_transform_matches_wrapper(self):
+        """The paper's formal sequential-program construction agrees with
+        the rule-level wrapper."""
+        # inner: OR of neighbours (ignores own state)
+        def or_p(w, q):
+            return w | q
+
+        programs = {
+            q: SequentialProgram(
+                frozenset({0, 1}), 0, or_p, lambda w: w, name=f"or[{q}]"
+            )
+            for q in (0, 1)
+        }
+        composite_programs = alpha.transform_programs(programs)
+        formal = FSSGA.from_programs(composite_programs)
+
+        inner_rule = FSSGA(
+            {0, 1}, lambda own, view: 1 if view.at_least(1, 1) else 0
+        )
+        wrapper = alpha.wrap(inner_rule)
+
+        from collections import Counter
+
+        import itertools
+
+        triples = list(itertools.product((0, 1), (0, 1), (0, 1, 2)))
+        rng_cases = [
+            Counter({triples[0]: 1}),
+            Counter({(1, 0, 0): 2, (0, 1, 1): 1}),
+            Counter({(0, 0, 2): 1, (1, 1, 0): 1}),
+            Counter({(1, 1, 1): 3}),
+        ]
+        for own in triples:
+            for counts in rng_cases:
+                assert formal.transition(own, counts) == wrapper.transition(
+                    own, counts
+                ), (own, counts)
+
+    def test_wait_sentinel_collision_rejected(self):
+        bad = {
+            0: SequentialProgram(
+                frozenset({0, alpha.WAIT}), 0, lambda w, q: w, lambda w: 0
+            )
+        }
+        with pytest.raises(ValueError):
+            alpha.transform_programs(bad)
+
+
+class TestSynchronizedAlgorithm:
+    def test_two_coloring_through_synchronizer(self):
+        """End-to-end: the sticky 2-colouring, designed for the synchronous
+        model, runs correctly asynchronously once wrapped."""
+        net = generators.grid_graph(3, 3)
+        inner, init = tc.build(net, 0)
+        comp = alpha.wrap(inner)
+        asim = AsynchronousSimulator(net, comp, alpha.initial_state(init), rng=6)
+        asim.run_fair_rounds(40)
+        final = {v: asim.state[v][0] for v in net}
+        ssim = SynchronousSimulator(net.copy(), inner, init.copy())
+        ssim.run_until_stable()
+        assert final == dict(ssim.state.items())

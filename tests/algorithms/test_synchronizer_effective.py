@@ -1,0 +1,72 @@
+"""Unit tests for the α synchronizer's effective-view mechanics."""
+
+from collections import Counter
+
+from repro.algorithms import synchronizer as alpha
+from repro.algorithms.synchronizer import _effective_counts
+from repro.core.automaton import FSSGA, NeighborhoodView
+
+
+def view(counts: dict) -> NeighborhoodView:
+    return NeighborhoodView(Counter(counts))
+
+
+class TestEffectiveCounts:
+    def test_behind_neighbour_forces_wait(self):
+        # node at clock 1; a neighbour at clock 0 is behind
+        v = view({("a", "b", 0): 1})
+        assert _effective_counts(v, 1) is None
+
+    def test_same_clock_uses_current(self):
+        v = view({("cur", "prev", 2): 3})
+        eff = _effective_counts(v, 2)
+        assert eff == Counter({"cur": 3})
+
+    def test_ahead_uses_previous(self):
+        v = view({("cur", "prev", 0): 2})
+        eff = _effective_counts(v, 2)  # 0 == (2+1) mod 3: ahead
+        assert eff == Counter({"prev": 2})
+
+    def test_mixed_clocks_merge(self):
+        v = view({("x", "y", 1): 1, ("u", "w", 2): 2})
+        eff = _effective_counts(v, 1)
+        assert eff == Counter({"x": 1, "w": 2})
+
+    def test_mod3_wraparound_behind(self):
+        # clock 0's "behind" is 2
+        v = view({("a", "b", 2): 1})
+        assert _effective_counts(v, 0) is None
+
+
+class TestWrapperSemantics:
+    def test_wait_preserves_whole_triple(self):
+        inner = FSSGA({0, 1}, lambda own, view: 1)
+        comp = alpha.wrap(inner)
+        own = (0, 0, 1)
+        out = comp.transition(own, Counter({(0, 0, 0): 1}))
+        assert out == own  # neighbour behind: full WAIT
+
+    def test_advance_shifts_current_to_previous(self):
+        inner = FSSGA({0, 1}, lambda own, view: 1 if view.at_least(1, 1) else 0)
+        comp = alpha.wrap(inner)
+        own = (0, 1, 1)
+        out = comp.transition(own, Counter({(1, 0, 1): 1}))
+        assert out == (1, 0, 2)  # new current, old current as previous, clock+1
+
+    def test_ahead_neighbour_read_as_previous(self):
+        inner = FSSGA({0, 1}, lambda own, view: 1 if view.at_least(1, 1) else 0)
+        comp = alpha.wrap(inner)
+        own = (0, 0, 1)
+        # the neighbour advanced to clock 2; its round-1 value is its
+        # PREVIOUS field (1), so the inner rule must see a 1.
+        out = comp.transition(own, Counter({(0, 1, 2): 1}))
+        assert out[0] == 1
+
+    def test_initial_state_lift(self):
+        from repro.network import NetworkState, generators
+
+        net = generators.path_graph(3)
+        init = alpha.initial_state(NetworkState({0: "a", 1: "b", 2: "c"}))
+        assert init[1] == ("b", "b", 0)
+        assert alpha.clock_of(init[0]) == 0
+        assert alpha.current_of(init[2]) == "c"

@@ -1,0 +1,180 @@
+"""Tests for Milgram's traversal (Section 4.5, Algorithm 4.3, E10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import traversal as tr
+from repro.network import generators
+from repro.runtime.simulator import SynchronousSimulator
+
+
+class TestCompleteness:
+    def test_visits_every_node(self, small_connected_graph):
+        net = small_connected_graph
+        run = tr.run_traversal(net, next(iter(net)), rng=1)
+        assert run.hand_moves == 2 * net.num_nodes - 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hand_moves_exactly_2n_minus_2(self, seed):
+        """Paper: the arm traces a scan-first-search spanning tree, so the
+        hand moves exactly 2n-2 times."""
+        net = generators.connected_gnp_graph(12, 0.25, seed)
+        run = tr.run_traversal(net, 0, rng=seed)
+        assert run.hand_moves == 2 * net.num_nodes - 2
+
+    def test_single_edge(self):
+        net = generators.path_graph(2)
+        run = tr.run_traversal(net, 0, rng=0)
+        assert run.hand_moves == 2
+
+
+class TestArmInvariant:
+    @pytest.mark.parametrize(
+        "net_fn",
+        [
+            lambda: generators.cycle_graph(8),
+            lambda: generators.grid_graph(3, 3),
+            lambda: generators.complete_graph(6),
+            lambda: generators.wheel_graph(6),
+        ],
+    )
+    def test_arm_is_induced_path_throughout(self, net_fn):
+        """Milgram's property 3: the arm never touches or crosses itself."""
+        net = net_fn()
+        tr.run_traversal(net, 0, rng=3, check_invariant=True)
+
+    def test_itinerary_is_tree_walk(self):
+        """The hand's moves traverse each tree edge twice (down + up)."""
+        net = generators.grid_graph(3, 4)
+        run = tr.run_traversal(net, 0, rng=2)
+        edge_uses = {}
+        for a, b in zip(run.hand_positions, run.hand_positions[1:]):
+            e = tuple(sorted((a, b), key=repr))
+            edge_uses[e] = edge_uses.get(e, 0) + 1
+        # every used edge appears exactly twice, and they form a tree
+        assert all(c == 2 for c in edge_uses.values())
+        assert len(edge_uses) == net.num_nodes - 1
+        from repro.network.graph import Network
+
+        tree = Network(edges=edge_uses.keys())
+        assert tree.is_connected()
+        assert tree.num_nodes == net.num_nodes
+
+    def test_ends_at_originator(self):
+        net = generators.petersen_graph()
+        run = tr.run_traversal(net, 0, rng=4)
+        assert run.hand_positions[0] == 0
+        assert run.hand_positions[-1] == 0
+
+
+class TestComplexity:
+    def test_total_time_n_log_n(self):
+        """Paper: 2n-2 moves at O(log n) expected rounds each gives
+        O(n log n) synchronous steps."""
+        times = {}
+        for n in (8, 16, 32):
+            net = generators.connected_gnp_graph(n, min(0.9, 4.0 / n + 0.2), 1)
+            steps = []
+            for seed in range(5):
+                run = tr.run_traversal(net, 0, rng=seed)
+                steps.append(run.steps)
+            times[n] = float(np.mean(steps))
+        for n in times:
+            assert times[n] < 40 * n * math.log2(n), times
+
+    def test_steps_scale_subquadratically(self):
+        n_small, n_big = 10, 40
+        t_small = float(
+            np.mean(
+                [
+                    tr.run_traversal(
+                        generators.cycle_graph(n_small), 0, rng=s
+                    ).steps
+                    for s in range(5)
+                ]
+            )
+        )
+        t_big = float(
+            np.mean(
+                [
+                    tr.run_traversal(generators.cycle_graph(n_big), 0, rng=s).steps
+                    for s in range(5)
+                ]
+            )
+        )
+        ratio = t_big / t_small
+        # linear-with-log growth: ratio ≈ 4·(log 40 / log 10) ≈ 6.4 « 16 (quadratic)
+        assert ratio < 10
+
+
+class TestSensitivity:
+    """Milgram's traversal is Θ(n)-sensitive: the whole arm is critical."""
+
+    def test_arm_node_failure_breaks_traversal(self):
+        """Killing an interior arm node mid-run severs the arm; the
+        traversal never completes (contrast with the greedy tourist's
+        1-sensitivity)."""
+        import numpy as np
+
+        net = generators.path_graph(8)  # the arm spans the path
+        aut, init = tr.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init, rng=3)
+        # run until the arm has at least 3 arm nodes
+        arm_nodes = []
+        for _ in range(3000):
+            sim.step()
+            arm_nodes = [v for v, q in sim.state.items() if q[1] == tr.ARM]
+            if len(arm_nodes) >= 3:
+                break
+        assert len(arm_nodes) >= 3
+        victim = sorted(arm_nodes)[1]  # an interior arm node
+        net.remove_node(victim)
+        sim.state.drop([victim])
+        # the traversal must not be able to visit everything any more
+        # (the victim is gone and the arm is severed); give it a generous
+        # budget and verify it never reaches all-visited.
+        for _ in range(4000):
+            sim.step()
+        statuses = {q[1] for q in sim.state.values()}
+        assert tr.VISITED not in statuses or any(
+            q[1] != tr.VISITED for q in sim.state.values()
+        )
+
+    def test_arm_grows_linear_on_paths(self):
+        """On a path the arm reaches Θ(n) nodes — the criticality bound."""
+        net = generators.path_graph(10)
+        aut, init = tr.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init, rng=1)
+        max_arm = 0
+        for _ in range(5000):
+            sim.step()
+            arm = sum(1 for q in sim.state.values() if q[1] in (tr.ARM, tr.HAND))
+            max_arm = max(max_arm, arm)
+            if tr.all_visited(sim.state):
+                break
+        assert max_arm >= net.num_nodes - 1
+
+
+class TestStates:
+    def test_all_states_in_alphabet(self):
+        net = generators.cycle_graph(5)
+        aut, init = tr.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init, rng=1)
+        for _ in range(100):
+            sim.step()
+            for v in net:
+                assert sim.state[v] in tr.ALPHABET
+
+    def test_unknown_originator(self):
+        with pytest.raises(KeyError):
+            tr.build(generators.path_graph(2), 99)
+
+    def test_hand_position_unique(self):
+        net = generators.grid_graph(3, 3)
+        aut, init = tr.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init, rng=7)
+        for _ in range(150):
+            sim.step()
+            tr.hand_position(sim.state)  # raises if duplicated

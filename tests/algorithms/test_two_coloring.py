@@ -1,0 +1,152 @@
+"""Tests for FSSGA 2-colouring (Section 4.1, experiment E6)."""
+
+import pytest
+
+from repro.algorithms import two_coloring as tc
+from repro.network import generators
+from repro.network.properties import is_bipartite
+from repro.runtime.simulator import AsynchronousSimulator, SynchronousSimulator
+
+
+class TestStickyVariant:
+    def test_bipartite_succeeds(self, bipartite_graph):
+        net = bipartite_graph
+        aut, init = tc.build(net, next(iter(net)))
+        sim = SynchronousSimulator(net, aut, init)
+        steps = sim.run_until_stable()
+        assert tc.succeeded(net, sim.state)
+        assert steps <= net.diameter() + 2
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_odd_cycle_fails(self, n):
+        net = generators.cycle_graph(n)
+        aut, init = tc.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run_until_stable()
+        assert tc.failed(sim.state)
+        # FAILED floods everywhere
+        assert all(sim.state[v] == tc.FAILED for v in net)
+
+    def test_petersen_fails(self):
+        net = generators.petersen_graph()
+        aut, init = tc.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run_until_stable()
+        assert tc.failed(sim.state)
+
+    def test_matches_ground_truth(self, small_connected_graph):
+        net = small_connected_graph
+        aut, init = tc.build(net, next(iter(net)))
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run_until_stable(max_steps=500)
+        assert tc.failed(sim.state) == (not is_bipartite(net))
+
+    def test_colours_match_bfs_parity(self):
+        net = generators.grid_graph(3, 4)
+        aut, init = tc.build(net, 0)
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run_until_stable()
+        dist = net.bfs_distances([0])
+        for v in net:
+            expected = tc.RED if dist[v] % 2 == 0 else tc.BLUE
+            assert sim.state[v] == expected
+
+    def test_asynchronous_equivalence(self):
+        """Fixed point ⟺ proper colouring, under any fair schedule."""
+        for seed in range(5):
+            net = generators.grid_graph(3, 3)
+            aut, init = tc.build(net, 0)
+            sim = AsynchronousSimulator(net, aut, init, rng=seed)
+            sim.run_fair_rounds(30)
+            assert tc.succeeded(net, sim.state)
+        for seed in range(5):
+            net = generators.cycle_graph(7)
+            aut, init = tc.build(net, 0)
+            sim = AsynchronousSimulator(net, aut, init, rng=seed)
+            sim.run_fair_rounds(60)
+            assert tc.failed(sim.state)
+
+
+class TestVerbatimVariant:
+    def test_oscillates_on_paths(self):
+        """The paper-verbatim cascade never consults a node's own state, so
+        synchronous executions oscillate with period 2 (documented)."""
+        net = generators.path_graph(4)
+        aut, init = tc.build(net, 0, sticky=False)
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run(2)
+        snapshot2 = dict(sim.state.items())
+        sim.run(2)
+        assert dict(sim.state.items()) == snapshot2
+
+    def test_odd_cycle_oscillates_without_detecting(self):
+        net = generators.cycle_graph(3)
+        aut, init = tc.build(net, 0, sticky=False)
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run(20)
+        assert not tc.failed(sim.state)  # the documented limitation
+
+    def test_all_blank_is_absorbing_async(self):
+        """A documented hazard of the verbatim cascade: asynchronously,
+        activating the origin while its neighbours are still blank resets
+        it, and the all-blank state is then absorbing."""
+        from repro.runtime.scheduler import ScriptedScheduler
+
+        net = generators.path_graph(4)
+        aut, init = tc.build(net, 0, sticky=False)
+        sched = ScriptedScheduler([0] + [0, 1, 2, 3] * 5)
+        sim = AsynchronousSimulator(net, aut, init, scheduler=sched)
+        sim.run(21)
+        assert all(sim.state[v] == tc.BLANK for v in net)
+
+    def test_formal_programs_match_rule(self):
+        """The published cascade's formal ModThreshPrograms agree with the
+        rule function on random neighbourhoods."""
+        from collections import Counter
+
+        import numpy as np
+
+        from repro.core.automaton import NeighborhoodView
+
+        progs = tc.programs()
+        rng = np.random.default_rng(0)
+        states = sorted(tc.ALPHABET)
+        for _ in range(200):
+            counts = Counter(
+                {q: int(rng.integers(0, 4)) for q in states}
+            )
+            counts = Counter({q: c for q, c in counts.items() if c})
+            if not counts:
+                continue
+            view = NeighborhoodView(counts)
+            for own in states:
+                assert progs[own].evaluate(
+                    view._multiset()
+                ) == tc.rule(own, view)
+
+
+class TestStickyPrograms:
+    def test_sticky_programs_match_sticky_rule(self):
+        from collections import Counter
+
+        import numpy as np
+
+        from repro.core.automaton import NeighborhoodView
+
+        progs = tc.sticky_programs()
+        rng = np.random.default_rng(1)
+        states = sorted(tc.ALPHABET)
+        for _ in range(200):
+            counts = Counter({q: int(rng.integers(0, 3)) for q in states})
+            counts = Counter({q: c for q, c in counts.items() if c})
+            if not counts:
+                continue
+            view = NeighborhoodView(counts)
+            for own in states:
+                assert progs[own].evaluate(
+                    view._multiset()
+                ) == tc.sticky_rule(own, view), (own, counts)
+
+    def test_unknown_origin_rejected(self):
+        with pytest.raises(KeyError):
+            tc.build(generators.path_graph(2), 99)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.network import generators
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20060730)  # SPAA 2006 dates
+
+
+@pytest.fixture(
+    params=[
+        "path",
+        "cycle_even",
+        "cycle_odd",
+        "grid",
+        "star",
+        "complete",
+        "petersen",
+        "tree",
+    ]
+)
+def small_connected_graph(request):
+    """A menagerie of small connected graphs for cross-algorithm tests."""
+    return {
+        "path": lambda: generators.path_graph(7),
+        "cycle_even": lambda: generators.cycle_graph(8),
+        "cycle_odd": lambda: generators.cycle_graph(7),
+        "grid": lambda: generators.grid_graph(3, 4),
+        "star": lambda: generators.star_graph(6),
+        "complete": lambda: generators.complete_graph(5),
+        "petersen": generators.petersen_graph,
+        "tree": lambda: generators.random_tree(9, 42),
+    }[request.param]()
+
+
+@pytest.fixture(params=["path", "grid", "cycle"])
+def bipartite_graph(request):
+    return {
+        "path": lambda: generators.path_graph(6),
+        "grid": lambda: generators.grid_graph(3, 3),
+        "cycle": lambda: generators.cycle_graph(8),
+    }[request.param]()

@@ -1,0 +1,165 @@
+"""Unit tests for repro.core.automaton (Definitions 3.10/3.11)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.automaton import FSSGA, NeighborhoodView, ProbabilisticFSSGA
+from repro.core.modthresh import ModThreshProgram, at_least
+
+
+class TestNeighborhoodView:
+    def test_thresh_queries(self):
+        v = NeighborhoodView(Counter({"a": 2, "b": 1}))
+        assert v.at_least("a", 2)
+        assert not v.at_least("a", 3)
+        assert v.fewer_than("b", 2)
+        assert v.any("a", "z")
+        assert v.none("z", "w")
+        assert v.exactly("a", 2)
+        assert not v.exactly("a", 1)
+        assert v.exactly("z", 0)
+
+    def test_mod_queries(self):
+        v = NeighborhoodView(Counter({"a": 5}))
+        assert v.count_mod("a", 3) == 2
+        assert v.parity("a") == 1
+        assert v.count_mod("missing", 4) == 0
+
+    def test_trace_records_atoms(self):
+        v = NeighborhoodView(Counter({"a": 1}))
+        v.at_least("a", 2)
+        v.count_mod("b", 3)
+        assert ("thresh", "a", 2) in v.trace
+        assert ("mod", "b", 3) in v.trace
+
+    def test_invalid_atoms_rejected(self):
+        v = NeighborhoodView(Counter())
+        with pytest.raises(ValueError):
+            v.fewer_than("a", 0)
+        with pytest.raises(ValueError):
+            v.count_mod("a", 0)
+
+    def test_support(self):
+        v = NeighborhoodView(Counter({"a": 1, "b": 0}))
+        assert v.support() == frozenset({"a"})
+        assert ("support",) in v.trace
+
+    def test_group_queries(self):
+        v = NeighborhoodView(Counter({"a": 1, "b": 1}))
+        assert v.group_at_least(["a", "b"], 2)
+        assert not v.group_at_least(["a", "b"], 3)
+        assert v.group_fewer_than(["a"], 2)
+        assert v.group_at_least([], 0)
+
+    def test_predicate_queries(self):
+        v = NeighborhoodView(Counter({("x", 1): 2, ("y", 2): 1}))
+        assert v.any_matching(lambda q: q[1] == 2)
+        assert not v.any_matching(lambda q: q[1] == 9)
+        assert v.count_matching_at_least(lambda q: True, 3)
+        assert not v.count_matching_at_least(lambda q: q[0] == "x", 3)
+
+    def test_all_neighbors_in(self):
+        v = NeighborhoodView(Counter({"a": 2}))
+        assert v.all_neighbors_in(["a"], ["a", "b", "c"])
+        assert not v.all_neighbors_in(["b"], ["a", "b", "c"])
+
+
+class TestFSSGA:
+    def epidemic(self):
+        return FSSGA(
+            {0, 1}, lambda own, view: 1 if own == 1 or view.at_least(1, 1) else 0
+        )
+
+    def test_rule_transition(self):
+        aut = self.epidemic()
+        assert aut.transition(0, Counter({1: 1})) == 1
+        assert aut.transition(0, Counter({0: 3})) == 0
+        assert aut.transition(1, Counter({0: 1})) == 1
+
+    def test_empty_neighbourhood_keeps_state(self):
+        assert self.epidemic().transition(0, Counter()) == 0
+
+    def test_own_state_outside_q_rejected(self):
+        with pytest.raises(ValueError):
+            self.epidemic().transition(7, Counter({0: 1}))
+
+    def test_output_outside_q_rejected(self):
+        bad = FSSGA({0, 1}, lambda own, view: 99)
+        with pytest.raises(ValueError):
+            bad.transition(0, Counter({1: 1}))
+
+    def test_from_programs(self):
+        prog = ModThreshProgram(
+            clauses=((at_least("on", 1), "on"),), default="off"
+        )
+        aut = FSSGA.from_programs({"on": prog, "off": prog})
+        assert aut.transition("off", Counter({"on": 1})) == "on"
+        assert not aut.is_rule_based
+
+    def test_from_programs_missing_state(self):
+        prog = ModThreshProgram(clauses=(), default="x")
+        with pytest.raises(ValueError):
+            FSSGA({"x", "y"}, {"x": prog})
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            FSSGA(set(), lambda own, view: own)
+
+    def test_lazy_alphabet(self):
+        class Space:
+            def __contains__(self, q):
+                return isinstance(q, int) and 0 <= q < 100
+
+        aut = FSSGA(Space(), lambda own, view: own + 1 if own < 99 else own)
+        assert aut.transition(5, Counter({1: 1})) == 6
+
+
+class TestProbabilisticFSSGA:
+    def coin(self):
+        return ProbabilisticFSSGA(
+            {"h", "t", "?"}, 2, lambda own, view, i: "h" if i == 0 else "t"
+        )
+
+    def test_draw_selects_function(self):
+        aut = self.coin()
+        assert aut.transition("?", Counter({"h": 1}), 0) == "h"
+        assert aut.transition("?", Counter({"h": 1}), 1) == "t"
+
+    def test_draw_range_validated(self):
+        with pytest.raises(ValueError):
+            self.coin().transition("?", Counter({"h": 1}), 2)
+
+    def test_randomness_validated(self):
+        with pytest.raises(ValueError):
+            ProbabilisticFSSGA({"a"}, 0, lambda own, view, i: own)
+
+    def test_program_mapping(self):
+        prog = ModThreshProgram(clauses=(), default="a")
+        progs = {("a", 0): prog, ("a", 1): prog}
+        aut = ProbabilisticFSSGA({"a"}, 2, progs)
+        assert aut.transition("a", Counter({"a": 1}), 1) == "a"
+
+    def test_program_mapping_missing(self):
+        prog = ModThreshProgram(clauses=(), default="a")
+        with pytest.raises(ValueError):
+            ProbabilisticFSSGA({"a"}, 2, {("a", 0): prog})
+
+    def test_empty_neighbourhood_keeps_state(self):
+        assert self.coin().transition("?", Counter(), 0) == "?"
+
+
+class TestSymmetryByConstruction:
+    """The API argument: rules only see multisets, so (S2) is automatic."""
+
+    def test_rule_sees_only_counts(self):
+        captured = []
+
+        def rule(own, view):
+            captured.append(dict(view._counts))
+            return own
+
+        aut = FSSGA({0, 1}, rule)
+        aut.transition(0, Counter({0: 2, 1: 1}))
+        aut.transition(0, Counter({1: 1, 0: 2}))
+        assert captured[0] == captured[1]

@@ -1,0 +1,116 @@
+"""Tests for the Section 3.1 bounded-degree ε-automaton."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.bounded_degree import EPSILON, BoundedDegreeAutomaton, as_fssga
+from repro.network import NetworkState, generators
+from repro.runtime.simulator import SynchronousSimulator
+
+
+def majority_automaton(delta=4):
+    """Adopt the majority neighbour state (ties keep own) — symmetric."""
+
+    def f(own, padded):
+        counts = Counter(q for q in padded if q != EPSILON)
+        if not counts:
+            return own
+        best = max(counts.values())
+        winners = sorted(q for q, c in counts.items() if c == best)
+        if len(winners) == 1:
+            return winners[0]
+        return own
+
+    return BoundedDegreeAutomaton({0, 1}, delta, f)
+
+
+def first_slot_automaton(delta=3):
+    """Copies the first slot — NOT symmetric."""
+
+    def f(own, padded):
+        return padded[0] if padded[0] != EPSILON else own
+
+    return BoundedDegreeAutomaton({0, 1}, delta, f)
+
+
+class TestPadding:
+    def test_pad_fills_epsilon(self):
+        bd = majority_automaton(4)
+        assert bd.pad([1, 0]) == (1, 0, EPSILON, EPSILON)
+
+    def test_pad_rejects_excess_degree(self):
+        bd = majority_automaton(2)
+        with pytest.raises(ValueError):
+            bd.pad([0, 0, 1])
+
+    def test_epsilon_not_allowed_in_alphabet(self):
+        with pytest.raises(ValueError):
+            BoundedDegreeAutomaton({EPSILON}, 2, lambda o, p: o)
+
+    def test_transition_validation(self):
+        bd = majority_automaton(3)
+        with pytest.raises(ValueError):
+            bd.transition(99, [0])
+        bad = BoundedDegreeAutomaton({0}, 2, lambda o, p: "junk")
+        with pytest.raises(ValueError):
+            bad.transition(0, [0])
+
+
+class TestSymmetryCheck:
+    def test_majority_is_symmetric(self):
+        assert majority_automaton().is_symmetric()
+
+    def test_first_slot_is_not(self):
+        assert not first_slot_automaton().is_symmetric()
+
+
+class TestNetworkBound:
+    def test_check_network(self):
+        bd = majority_automaton(2)
+        bd.check_network(generators.path_graph(5))
+        with pytest.raises(ValueError):
+            bd.check_network(generators.star_graph(5))
+
+
+class TestFssgaEmbedding:
+    def test_transitions_agree_pointwise(self):
+        bd = majority_automaton(4)
+        fssga = as_fssga(bd)
+        cases = [
+            [1, 1, 0],
+            [0],
+            [1, 0, 1, 0],
+            [1, 1, 1, 1],
+        ]
+        for ns in cases:
+            for own in (0, 1):
+                assert fssga.transition(own, Counter(ns)) == bd.transition(own, ns)
+
+    def test_execution_agrees_on_a_network(self):
+        net = generators.cycle_graph(8)  # degree 2 <= Δ
+        bd = majority_automaton(4)
+        fssga = as_fssga(bd)
+        init = NetworkState.from_function(net, lambda v: v % 3 == 0 and 1 or 0)
+
+        sim = SynchronousSimulator(net.copy(), fssga, init.copy())
+        sim.run(6)
+
+        # direct bounded-degree execution
+        state = dict(init.items())
+        for _ in range(6):
+            state = {
+                v: bd.transition(state[v], [state[u] for u in net.neighbors(v)])
+                for v in net
+            }
+        assert dict(sim.state.items()) == state
+
+    def test_fssga_handles_degrees_beyond_delta_gracefully(self):
+        """The embedding caps per-state counts at Δ; running on a graph
+        with larger degrees is exactly where the bounded-degree model
+        stops being faithful (the expressiveness gap)."""
+        bd = majority_automaton(2)
+        fssga = as_fssga(bd)
+        # a node with 3 same-state neighbours: counts cap at Δ=2, then the
+        # underlying transition still works (pads to Δ slots).
+        assert fssga.transition(0, Counter({1: 3})) == 1

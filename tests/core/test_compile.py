@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.compile (rule → mod-thresh compilation)."""
+
+import pytest
+
+from repro.core.automaton import NeighborhoodView
+from repro.core.compile import CompilationError, compile_rule
+from repro.core.multiset import Multiset, iter_multisets
+
+
+def coloring_rule(own, view):
+    if view.at_least("F", 1):
+        return "F"
+    if view.at_least("R", 1) and view.at_least("B", 1):
+        return "F"
+    if view.at_least("R", 1):
+        return "B"
+    if view.at_least("B", 1):
+        return "R"
+    return own
+
+
+ALPHABET = ["R", "B", "F", "_"]
+
+
+class TestCompileRule:
+    def test_agrees_with_rule_everywhere(self):
+        from collections import Counter
+
+        for own in ALPHABET:
+            prog = compile_rule(coloring_rule, ALPHABET, own, max_threshold=1)
+            for ms in iter_multisets(ALPHABET, 4):
+                view = NeighborhoodView(Counter(dict(ms.items())))
+                assert prog.evaluate(ms) == coloring_rule(own, view), (own, ms)
+
+    def test_compiled_is_own_state_specific(self):
+        prog_r = compile_rule(coloring_rule, ALPHABET, "R", max_threshold=1)
+        prog_b = compile_rule(coloring_rule, ALPHABET, "_", max_threshold=1)
+        # the only own-state dependence is the default (else) branch
+        assert prog_r.evaluate(Multiset({"_": 3})) == "R"
+        assert prog_b.evaluate(Multiset({"_": 3})) == "_"
+
+    def test_threshold_bound_enforced(self):
+        def needs_two(own, view):
+            return "x" if view.at_least("a", 2) else own
+
+        with pytest.raises(CompilationError):
+            compile_rule(needs_two, ["a", "x"], "a", max_threshold=1)
+        # with the right bound it compiles
+        prog = compile_rule(needs_two, ["a", "x"], "a", max_threshold=2)
+        assert prog.evaluate(Multiset({"a": 2})) == "x"
+        assert prog.evaluate(Multiset({"a": 1})) == "a"
+
+    def test_mod_bound_enforced(self):
+        def parity(own, view):
+            return "even" if view.count_mod("a", 2) == 0 else "odd"
+
+        with pytest.raises(CompilationError):
+            compile_rule(parity, ["a", "even", "odd"], "a", modulus=3)
+        prog = compile_rule(parity, ["a", "even", "odd"], "a", modulus=2)
+        assert prog.evaluate(Multiset({"a": 3})) == "odd"
+        assert prog.evaluate(Multiset({"a": 4})) == "even"
+
+    def test_mod_divisor_allowed(self):
+        def parity(own, view):
+            return "even" if view.count_mod("a", 2) == 0 else "odd"
+
+        # modulus 4 is a multiple of every queried modulus (2): fine
+        prog = compile_rule(parity, ["a", "even", "odd"], "a", modulus=4)
+        for k in range(1, 9):
+            assert prog.evaluate(Multiset({"a": k})) == ("even" if k % 2 == 0 else "odd")
+
+    def test_support_rejected(self):
+        def uses_support(own, view):
+            return own if not view.support() else "x"
+
+        with pytest.raises(CompilationError):
+            compile_rule(uses_support, ["a", "x"], "a")
+
+    def test_group_rejected(self):
+        def uses_group(own, view):
+            return "x" if view.group_at_least(["a", "b"], 2) else own
+
+        with pytest.raises(CompilationError):
+            compile_rule(uses_group, ["a", "b", "x"], "a", max_threshold=2)
+
+    def test_unknown_state_rejected(self):
+        def probes_alien(own, view):
+            return "x" if view.at_least("alien", 1) else own
+
+        with pytest.raises(CompilationError):
+            compile_rule(probes_alien, ["a", "x"], "a")
+
+    def test_per_state_bounds(self):
+        def rule(own, view):
+            if view.at_least("a", 3):
+                return "hi"
+            return own
+
+        prog = compile_rule(
+            rule, ["a", "hi"], "a", max_threshold=1,
+            per_state_bounds={"a": (3, 1)},
+        )
+        assert prog.evaluate(Multiset({"a": 3})) == "hi"
+        assert prog.evaluate(Multiset({"a": 2})) == "a"
+
+
+class TestCompiledVsFormalPrograms:
+    def test_two_coloring_module_cross_check(self):
+        """The hand-written programs in two_coloring must equal the
+        compiled versions of its rule."""
+        from collections import Counter
+
+        from repro.algorithms import two_coloring as tc
+
+        formal = tc.programs()
+        for own in tc.ALPHABET:
+            compiled = compile_rule(
+                tc.rule, sorted(tc.ALPHABET), own, max_threshold=1
+            )
+            for ms in iter_multisets(sorted(tc.ALPHABET), 3):
+                assert compiled.evaluate(ms) == formal[own].evaluate(ms)

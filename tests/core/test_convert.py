@@ -1,0 +1,286 @@
+"""Tests for the Theorem 3.7 conversion cycle (Lemmas 3.5, 3.8, 3.9).
+
+These are the paper's main technical results: sequential, parallel and
+mod-thresh SM programs compute exactly the same function class, with
+explicit constructions in each direction.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.convert import (
+    modthresh_to_parallel,
+    modthresh_to_sequential,
+    orbit_tail_and_period,
+    parallel_to_sequential,
+    sequential_to_modthresh,
+    sequential_to_parallel,
+)
+from repro.core.modthresh import (
+    ModThreshProgram,
+    at_least,
+    count_is_mod,
+    exactly,
+    fewer_than,
+)
+from repro.core.multiset import Multiset, iter_multisets
+from repro.core.parallel import ParallelProgram
+from repro.core.sequential import SequentialProgram
+
+# ----------------------------------------------------------------------
+# a small zoo of SM functions, in different native formulations
+# ----------------------------------------------------------------------
+
+
+def seq_or():
+    return SequentialProgram(
+        frozenset({0, 1}), 0, lambda w, q: w | q, lambda w: w, name="or"
+    )
+
+
+def seq_parity():
+    return SequentialProgram(
+        frozenset({0, 1}), 0, lambda w, q: w ^ (1 if q == "x" else 0),
+        lambda w: w, name="parity-of-x",
+    )
+
+
+def seq_threshold(t=3):
+    def p(w, q):
+        return min(w + (1 if q == "x" else 0), t)
+
+    return SequentialProgram(
+        frozenset(range(t + 1)), 0, p, lambda w: int(w >= t), name=f"thr{t}"
+    )
+
+
+def seq_constant():
+    return SequentialProgram(
+        frozenset({"w"}), "w", lambda w, q: w, lambda w: "const", name="const"
+    )
+
+
+def seq_mixed():
+    """Parity of 'a' AND at least two 'b's — exercises mod and thresh."""
+    def p(w, q):
+        par, cnt = w
+        if q == "a":
+            par ^= 1
+        if q == "b":
+            cnt = min(cnt + 1, 2)
+        return (par, cnt)
+
+    working = frozenset((x, y) for x in (0, 1) for y in (0, 1, 2))
+    return SequentialProgram(
+        working, (0, 0), p, lambda w: (w[0] == 1 and w[1] >= 2), name="mixed"
+    )
+
+
+def mt_two_coloring():
+    return ModThreshProgram(
+        clauses=(
+            (at_least("F", 1), "F"),
+            (at_least("R", 1) & at_least("B", 1), "F"),
+            (at_least("R", 1), "B"),
+            (at_least("B", 1), "R"),
+        ),
+        default="_",
+        name="2col",
+    )
+
+
+def mt_mod3():
+    return ModThreshProgram(
+        clauses=(
+            (count_is_mod("a", 0, 3), "zero"),
+            (count_is_mod("a", 1, 3), "one"),
+        ),
+        default="two",
+        name="mod3",
+    )
+
+
+def par_max():
+    return ParallelProgram(
+        frozenset({0, 1, 2}), lambda q: q, max, lambda w: w, name="max"
+    )
+
+
+# ----------------------------------------------------------------------
+# orbit detection (the Lemma 3.9 engine)
+# ----------------------------------------------------------------------
+class TestOrbit:
+    def test_fixed_point(self):
+        assert orbit_tail_and_period(lambda w: w, 0) == (0, 1)
+
+    def test_pure_cycle(self):
+        assert orbit_tail_and_period(lambda w: (w + 1) % 3, 0) == (0, 3)
+
+    def test_tail_then_cycle(self):
+        # 0 -> 1 -> 2 -> 3 -> 2 -> 3 ...
+        step = {0: 1, 1: 2, 2: 3, 3: 2}
+        assert orbit_tail_and_period(lambda w: step[w], 0) == (2, 2)
+
+    def test_saturating(self):
+        assert orbit_tail_and_period(lambda w: min(w + 1, 4), 0) == (4, 1)
+
+    def test_definition_property(self):
+        step = {0: 1, 1: 2, 2: 3, 3: 1}
+        t, m = orbit_tail_and_period(lambda w: step[w], 0)
+
+        def iterate(z):
+            w = 0
+            for _ in range(z):
+                w = step[w]
+            return w
+
+        for z1 in range(t, t + 8):
+            for z2 in range(t, t + 8):
+                if (z1 - z2) % m == 0:
+                    assert iterate(z1) == iterate(z2)
+
+
+# ----------------------------------------------------------------------
+# single-direction conversions
+# ----------------------------------------------------------------------
+class TestLemma35:
+    """parallel -> sequential."""
+
+    def test_max(self):
+        pp = par_max()
+        sp = parallel_to_sequential(pp)
+        assert sp.agrees_with(pp.evaluate, [0, 1, 2], max_len=4)
+        assert sp.is_sm([0, 1, 2], max_len=3)
+
+    def test_empty_still_rejected(self):
+        sp = parallel_to_sequential(par_max())
+        with pytest.raises(ValueError):
+            sp.evaluate([])
+
+
+class TestLemma38:
+    """mod-thresh -> parallel."""
+
+    @pytest.mark.parametrize(
+        "mt,alphabet",
+        [
+            (mt_two_coloring(), ["R", "B", "F", "_"]),
+            (mt_mod3(), ["a", "b"]),
+        ],
+    )
+    def test_agreement(self, mt, alphabet):
+        pp = modthresh_to_parallel(mt, alphabet)
+        assert pp.agrees_with(mt.evaluate, alphabet, max_len=4)
+
+    def test_validity_tree_invariance(self):
+        pp = modthresh_to_parallel(mt_mod3(), ["a", "b"])
+        assert pp.is_sm(["a", "b"], max_len=4)
+
+    def test_counters_sized_by_atoms(self):
+        mt = ModThreshProgram(
+            clauses=(
+                (count_is_mod("a", 0, 2) & count_is_mod("a", 0, 3), "x"),
+                (fewer_than("b", 4), "y"),
+            ),
+            default="z",
+        )
+        pp = modthresh_to_parallel(mt, ["a", "b"])
+        # M_a = lcm(2,3) = 6, T_a = 1; M_b = 1, T_b = 4
+        w = pp.lift("a")
+        assert w[0][0] == 1  # mod-6 counter
+        assert pp.agrees_with(mt.evaluate, ["a", "b"], max_len=6)
+
+    def test_unknown_input_rejected(self):
+        pp = modthresh_to_parallel(mt_mod3(), ["a", "b"])
+        with pytest.raises(ValueError):
+            pp.evaluate(["zzz"])
+
+
+class TestLemma39:
+    """sequential -> mod-thresh."""
+
+    @pytest.mark.parametrize(
+        "sp,alphabet,max_len",
+        [
+            (seq_or(), [0, 1], 5),
+            (seq_parity(), ["x", "y"], 6),
+            (seq_threshold(3), ["x", "y"], 6),
+            (seq_constant(), ["a", "b"], 4),
+            (seq_mixed(), ["a", "b", "c"], 5),
+        ],
+    )
+    def test_agreement(self, sp, alphabet, max_len):
+        mt = sequential_to_modthresh(sp, alphabet)
+        assert mt.agrees_with(sp.evaluate, alphabet, max_len=max_len)
+
+    def test_clause_count_is_product_of_orbit_sizes(self):
+        # threshold-3 over {x, y}: orbit of x has t=3, m=1 (4 classes);
+        # y is ignored (t=0, m=1: 1 class) -> 4 combos, minus nothing
+        # (all-zero repaired or skipped), one becomes the default.
+        mt = sequential_to_modthresh(seq_threshold(3), ["x", "y"])
+        assert len(mt.clauses) + 1 <= 4 * 1 + 1
+
+    def test_pure_mod_function_generates_mod_atoms(self):
+        mt = sequential_to_modthresh(seq_parity(), ["x", "y"])
+        from repro.core.modthresh import ModAtom
+
+        assert any(isinstance(a, ModAtom) for a in mt.atoms())
+
+
+# ----------------------------------------------------------------------
+# the full Theorem 3.7 cycle
+# ----------------------------------------------------------------------
+class TestTheorem37Cycle:
+    @pytest.mark.parametrize(
+        "sp,alphabet",
+        [
+            (seq_or(), [0, 1]),
+            (seq_parity(), ["x", "y"]),
+            (seq_threshold(2), ["x", "y"]),
+            (seq_mixed(), ["a", "b"]),
+        ],
+    )
+    def test_seq_to_mt_to_par_to_seq(self, sp, alphabet):
+        mt = sequential_to_modthresh(sp, alphabet)
+        pp = modthresh_to_parallel(mt, alphabet)
+        sp2 = parallel_to_sequential(pp)
+        assert sp2.agrees_with(sp.evaluate, alphabet, max_len=5)
+
+    def test_composites(self):
+        sp = seq_threshold(2)
+        pp = sequential_to_parallel(sp, ["x", "y"])
+        assert pp.agrees_with(sp.evaluate, ["x", "y"], max_len=5)
+
+        mt = mt_two_coloring()
+        sp2 = modthresh_to_sequential(mt, ["R", "B", "F", "_"])
+        assert sp2.agrees_with(mt.evaluate, ["R", "B", "F", "_"], max_len=4)
+
+    def test_converted_parallel_is_tree_invariant(self):
+        sp = seq_parity()
+        pp = sequential_to_parallel(sp, ["x", "y"])
+        assert pp.is_sm(["x", "y"], max_len=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["x", "y"]), min_size=1, max_size=10))
+def test_cycle_pointwise_on_random_inputs(seq):
+    sp = seq_threshold(2)
+    mt = sequential_to_modthresh(sp, ["x", "y"])
+    pp = modthresh_to_parallel(mt, ["x", "y"])
+    expected = sp.evaluate(seq)
+    assert mt.evaluate(seq) == expected
+    assert pp.evaluate(seq) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b"]), st.integers(min_value=0, max_value=9),
+        min_size=1,
+    ).filter(lambda d: sum(d.values()) > 0)
+)
+def test_mod3_conversion_on_random_multisets(counts):
+    mt = mt_mod3()
+    pp = modthresh_to_parallel(mt, ["a", "b"])
+    ms = Multiset(counts)
+    assert pp.evaluate(ms) == mt.evaluate(ms)

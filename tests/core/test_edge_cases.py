@@ -1,0 +1,108 @@
+"""Edge-case coverage across the core modules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.convert import _CounterSpace, modthresh_to_parallel
+from repro.core.modthresh import ModThreshProgram, at_least, count_is_mod
+from repro.core.multiset import Multiset
+from repro.core.sequential import SequentialProgram
+
+
+class TestCounterSpace:
+    def test_membership(self):
+        space = _CounterSpace([2, 3], [1, 2])
+        from repro.core.convert import INFINITY
+
+        assert ((0, 0), (2, 1)) in space
+        assert ((1, INFINITY), (0, 0)) in space
+        assert ((2, 0), (0, 0)) not in space  # mod value out of range
+        assert ((0, 5), (0, 0)) not in space  # sat value out of range
+        assert "junk" not in space
+        assert ((0, 0),) not in space  # wrong arity
+
+    def test_len_and_iter(self):
+        space = _CounterSpace([2], [1])
+        assert len(space) == 2 * 2  # M * (T + 1)
+        elems = list(space)
+        assert len(elems) == 4
+        assert all(e in space for e in elems)
+
+    def test_union_with_extra(self):
+        space = _CounterSpace([1], [1]) | {"NIL"}
+        assert "NIL" in space
+        from repro.core.convert import INFINITY
+
+        assert ((0, INFINITY),) in space
+        assert len(space) == 2 + 1
+        assert "NIL" in list(space)
+
+
+class TestSequentialEdges:
+    def test_reachable_states_detects_escape(self):
+        sp = SequentialProgram(
+            frozenset({0}), 0, lambda w, q: w + q, lambda w: w
+        )
+        with pytest.raises(ValueError):
+            sp.reachable_states([1])
+
+    def test_fold_empty_returns_start(self):
+        sp = SequentialProgram(frozenset({0, 1}), 0, lambda w, q: w | q, lambda w: w)
+        assert sp.fold([]) == 0
+
+
+class TestModthreshParallelEdges:
+    def test_or_and_const_propositions_convert(self):
+        from repro.core.modthresh import TRUE
+
+        mt = ModThreshProgram(
+            clauses=(
+                (at_least("a", 1) | count_is_mod("b", 1, 2), "x"),
+                (TRUE, "y"),
+            ),
+            default="z",
+        )
+        pp = modthresh_to_parallel(mt, ["a", "b"])
+        assert pp.evaluate(Multiset({"b": 1})) == "x"
+        assert pp.evaluate(Multiset({"b": 2})) == "y"
+
+    def test_negation_converts(self):
+        mt = ModThreshProgram(
+            clauses=((~at_least("a", 1), "none"),), default="some"
+        )
+        pp = modthresh_to_parallel(mt, ["a", "b"])
+        assert pp.evaluate(Multiset({"b": 3})) == "none"
+        assert pp.evaluate(Multiset({"a": 1})) == "some"
+
+
+class TestBoundedDegreeProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.sampled_from([0, 1]), min_size=1, max_size=4),
+        st.sampled_from([0, 1]),
+    )
+    def test_embedding_agrees_with_direct(self, neighbors, own):
+        """For any neighbour list within the bound, the FSSGA embedding of
+        a symmetric bounded-degree automaton matches direct execution."""
+        from collections import Counter
+
+        from repro.core.bounded_degree import (
+            EPSILON,
+            BoundedDegreeAutomaton,
+            as_fssga,
+        )
+
+        def f(o, padded):
+            ones = sum(1 for q in padded if q == 1)
+            zeros = sum(1 for q in padded if q == 0)
+            if ones > zeros:
+                return 1
+            if zeros > ones:
+                return 0
+            return o
+
+        bd = BoundedDegreeAutomaton({0, 1}, 4, f)
+        fssga = as_fssga(bd)
+        assert fssga.transition(own, Counter(neighbors)) == bd.transition(
+            own, neighbors
+        )

@@ -1,0 +1,158 @@
+"""Unit tests for repro.core.modthresh (Definition 3.6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.modthresh import (
+    FALSE,
+    TRUE,
+    And,
+    ModAtom,
+    ModThreshProgram,
+    Not,
+    Or,
+    ThreshAtom,
+    at_least,
+    count_is_mod,
+    exactly,
+    fewer_than,
+)
+from repro.core.multiset import Multiset
+
+
+class TestAtoms:
+    def test_thresh_atom_semantics(self):
+        atom = ThreshAtom("a", 2)
+        assert atom.evaluate(Multiset({"a": 1}))
+        assert not atom.evaluate(Multiset({"a": 2}))
+        assert atom.evaluate(Multiset({"b": 5}))
+
+    def test_thresh_atom_requires_positive_t(self):
+        with pytest.raises(ValueError):
+            ThreshAtom("a", 0)
+
+    def test_mod_atom_semantics(self):
+        atom = ModAtom("a", 1, 3)
+        assert atom.evaluate(Multiset({"a": 4}))
+        assert not atom.evaluate(Multiset({"a": 3}))
+
+    def test_mod_atom_validation(self):
+        with pytest.raises(ValueError):
+            ModAtom("a", 3, 3)
+        with pytest.raises(ValueError):
+            ModAtom("a", 0, 0)
+
+    def test_atoms_iteration(self):
+        prop = And((ThreshAtom("a", 1), Not(ModAtom("b", 0, 2))))
+        kinds = {type(a) for a in prop.atoms()}
+        assert kinds == {ThreshAtom, ModAtom}
+
+
+class TestPropositionAlgebra:
+    def test_operators(self):
+        p = at_least("a", 1) & fewer_than("b", 2)
+        assert p.evaluate(Multiset({"a": 1}))
+        assert not p.evaluate(Multiset({"a": 1, "b": 2}))
+
+        q = at_least("a", 3) | at_least("b", 1)
+        assert q.evaluate(Multiset({"b": 1}))
+        assert not q.evaluate(Multiset({"a": 2}))
+
+        r = ~at_least("a", 1)
+        assert r.evaluate(Multiset({"b": 1}))
+
+    def test_constants(self):
+        assert TRUE.evaluate(Multiset({"a": 1}))
+        assert not FALSE.evaluate(Multiset({"a": 1}))
+
+    def test_exactly_sugar(self):
+        p = exactly("a", 2)
+        assert p.evaluate(Multiset({"a": 2}))
+        assert not p.evaluate(Multiset({"a": 1}))
+        assert not p.evaluate(Multiset({"a": 3}))
+
+    def test_exactly_zero(self):
+        assert exactly("a", 0).evaluate(Multiset({"b": 1}))
+        assert not exactly("a", 0).evaluate(Multiset({"a": 1}))
+
+    def test_at_least_zero_is_true(self):
+        assert at_least("a", 0) is TRUE
+
+    def test_count_is_mod(self):
+        assert count_is_mod("a", 5, 3).evaluate(Multiset({"a": 2}))
+
+    def test_callable_protocol(self):
+        assert at_least("a", 1)(["a", "b"])
+
+
+class TestProgram:
+    def prog(self):
+        return ModThreshProgram(
+            clauses=(
+                (at_least("fail", 1), "fail"),
+                (at_least("red", 1) & at_least("blue", 1), "fail"),
+                (at_least("red", 1), "blue"),
+            ),
+            default="blank",
+            name="demo",
+        )
+
+    def test_cascade_order(self):
+        p = self.prog()
+        assert p.evaluate(Multiset({"fail": 1, "red": 1})) == "fail"
+        assert p.evaluate(Multiset({"red": 2})) == "blue"
+        assert p.evaluate(Multiset({"green": 1})) == "blank"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            self.prog().evaluate([])
+
+    def test_symmetry_automatic(self):
+        p = self.prog()
+        assert p.evaluate(["red", "blue"]) == p.evaluate(["blue", "red"])
+
+    def test_atoms_deduplicated(self):
+        p = self.prog()
+        atoms = p.atoms()
+        assert len(atoms) == len(set(atoms))
+        assert ThreshAtom("red", 1) in atoms
+
+    def test_moduli_and_thresholds(self):
+        p = ModThreshProgram(
+            clauses=(
+                (count_is_mod("a", 0, 2) & count_is_mod("a", 1, 3), "x"),
+                (fewer_than("a", 5), "y"),
+            ),
+            default="z",
+        )
+        assert sorted(p.moduli("a")) == [2, 3]
+        assert p.thresholds("a") == [5]
+        assert p.moduli("b") == []
+
+    def test_results_set(self):
+        assert self.prog().results() == {"fail", "blue", "blank"}
+
+    def test_invalid_clause_rejected(self):
+        with pytest.raises(TypeError):
+            ModThreshProgram(clauses=(("not a prop", "r"),), default="d")
+
+    def test_agrees_with(self):
+        p = self.prog()
+        assert p.agrees_with(p.evaluate, ["red", "blue", "fail"], max_len=3)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=12))
+def test_mod_atom_matches_python_mod(seq):
+    ms = Multiset(seq)
+    atom = ModAtom("a", 1, 2)
+    assert atom.evaluate(ms) == (seq.count("a") % 2 == 1)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=6),
+)
+def test_thresh_atom_matches_python_count(seq, t):
+    assert ThreshAtom("a", t).evaluate(Multiset(seq)) == (seq.count("a") < t)

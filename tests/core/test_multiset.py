@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.multiset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.multiset import Multiset, as_multiset, iter_multisets, iter_sequences
+
+
+class TestMultisetBasics:
+    def test_from_iterable(self):
+        ms = Multiset(["a", "b", "a"])
+        assert ms["a"] == 2
+        assert ms["b"] == 1
+        assert ms["c"] == 0
+        assert ms.size == 3
+
+    def test_from_mapping_drops_zeros(self):
+        ms = Multiset({"a": 2, "b": 0})
+        assert "b" not in ms
+        assert len(ms) == 1
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset({"a": -1})
+
+    def test_multiplicity_is_paper_mu(self):
+        ms = Multiset({"x": 3})
+        assert ms.multiplicity("x") == 3
+        assert ms.multiplicity("y") == 0
+
+    def test_equality_across_construction_paths(self):
+        assert Multiset(["a", "a", "b"]) == Multiset({"a": 2, "b": 1})
+
+    def test_hash_consistency(self):
+        assert hash(Multiset(["a", "b"])) == hash(Multiset(["b", "a"]))
+        d = {Multiset(["a"]): 1}
+        assert d[Multiset({"a": 1})] == 1
+
+    def test_add_returns_new(self):
+        ms = Multiset({"a": 1})
+        ms2 = ms.add("a")
+        assert ms["a"] == 1
+        assert ms2["a"] == 2
+
+    def test_union_is_multiset_sum(self):
+        a = Multiset({"x": 1, "y": 2})
+        b = Multiset({"y": 1, "z": 1})
+        assert a.union(b) == Multiset({"x": 1, "y": 3, "z": 1})
+
+    def test_elements_is_sorted_realisation(self):
+        ms = Multiset({"b": 1, "a": 2})
+        assert ms.elements() == ["a", "a", "b"]
+
+    def test_support(self):
+        assert Multiset({"a": 2, "b": 1}).support() == {"a", "b"}
+
+    def test_empty_multiset(self):
+        ms = Multiset()
+        assert ms.size == 0
+        assert list(ms) == []
+
+
+class TestCoercion:
+    def test_as_multiset_passthrough(self):
+        ms = Multiset({"a": 1})
+        assert as_multiset(ms) is ms
+
+    def test_as_multiset_from_sequence(self):
+        assert as_multiset(["a", "a"]) == Multiset({"a": 2})
+
+    def test_as_multiset_from_dict(self):
+        assert as_multiset({"a": 2}) == Multiset({"a": 2})
+
+
+class TestEnumerators:
+    def test_iter_sequences_count(self):
+        assert len(list(iter_sequences(["a", "b"], 3))) == 8
+
+    def test_iter_multisets_counts(self):
+        # multisets of size 1..3 over a 2-letter alphabet: 2 + 3 + 4 = 9
+        assert len(list(iter_multisets(["a", "b"], 3))) == 9
+
+    def test_iter_multisets_min_size(self):
+        out = list(iter_multisets(["a", "b"], 2, min_size=2))
+        assert all(ms.size == 2 for ms in out)
+        assert len(out) == 3
+
+    def test_iter_multisets_all_distinct(self):
+        out = list(iter_multisets(["a", "b", "c"], 4))
+        assert len(out) == len(set(out))
+
+
+@given(st.lists(st.sampled_from("abc"), min_size=0, max_size=12))
+def test_multiset_size_matches_list_length(items):
+    assert Multiset(items).size == len(items)
+
+
+@given(
+    st.lists(st.sampled_from("abc"), min_size=0, max_size=8),
+    st.lists(st.sampled_from("abc"), min_size=0, max_size=8),
+)
+def test_union_commutes(xs, ys):
+    a, b = Multiset(xs), Multiset(ys)
+    assert a.union(b) == b.union(a)
+
+
+@given(st.lists(st.sampled_from("ab"), min_size=1, max_size=10))
+def test_permutation_invariance_of_equality(items):
+    assert Multiset(items) == Multiset(list(reversed(items)))

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.parallel (Definitions 3.3/3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiset import Multiset
+from repro.core.parallel import ParallelProgram
+from repro.core.trees import all_trees, left_comb, right_comb
+
+
+def max_program():
+    return ParallelProgram(
+        frozenset({0, 1, 2}), lambda q: q, lambda a, b: max(a, b), lambda w: w,
+        name="max",
+    )
+
+
+def sat_sum_program(cap=3):
+    return ParallelProgram(
+        frozenset(range(cap + 1)),
+        lambda q: min(q, cap),
+        lambda a, b: min(a + b, cap),
+        lambda w: w,
+        name="satsum",
+    )
+
+
+def subtract_program():
+    """NOT a valid parallel SM program (subtraction is not associative)."""
+    return ParallelProgram(
+        frozenset(range(-50, 51)),
+        lambda q: q,
+        lambda a, b: max(-50, min(50, a - b)),
+        lambda w: w,
+    )
+
+
+class TestEvaluation:
+    def test_max_default_tree(self):
+        assert max_program().evaluate([0, 2, 1]) == 2
+
+    def test_explicit_trees_agree_for_valid(self):
+        pp = max_program()
+        vals = [1, 0, 2, 1]
+        assert pp.evaluate(vals, tree=left_comb(4)) == pp.evaluate(
+            vals, tree=right_comb(4)
+        )
+
+    def test_multiset_input(self):
+        assert max_program().evaluate(Multiset({0: 3, 2: 1})) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_program().evaluate([])
+
+    def test_lift_leaving_w_detected(self):
+        pp = ParallelProgram(frozenset({0}), lambda q: q, lambda a, b: 0, lambda w: w)
+        with pytest.raises(ValueError):
+            pp.evaluate([5])
+
+    def test_combine_leaving_w_detected(self):
+        pp = ParallelProgram(
+            frozenset({0, 1}), lambda q: q, lambda a, b: a + b, lambda w: w
+        )
+        with pytest.raises(ValueError):
+            pp.evaluate([1, 1])
+
+
+class TestValidity:
+    def test_max_is_sm(self):
+        assert max_program().is_sm([0, 1, 2], max_len=3)
+
+    def test_sat_sum_is_sm(self):
+        assert sat_sum_program().is_sm([0, 1, 2], max_len=3)
+
+    def test_subtract_not_sm(self):
+        assert not subtract_program().is_sm([1, 2, 3], max_len=3)
+
+    def test_assoc_comm_check(self):
+        assert max_program().check_assoc_comm([0, 1, 2])
+        assert sat_sum_program().check_assoc_comm([0, 1, 2, 3])
+        assert not subtract_program().check_assoc_comm([1, 2])
+
+    def test_reachable_closure(self):
+        pp = sat_sum_program(cap=2)
+        assert pp.reachable_states([1]) == {1, 2}
+
+
+class TestFigure1Semantics:
+    """Definition 3.4: the value must not depend on the reduction tree."""
+
+    def test_all_trees_all_orders(self):
+        pp = sat_sum_program()
+        elements = [1, 1, 0, 2]
+        import itertools
+
+        results = set()
+        for perm in set(itertools.permutations(elements)):
+            for tree in all_trees(4):
+                results.add(pp.evaluate(list(perm), tree=tree))
+        assert len(results) == 1
+
+
+@settings(max_examples=40)
+@given(st.lists(st.sampled_from([0, 1, 2]), min_size=1, max_size=8))
+def test_max_program_matches_builtin_max(vals):
+    assert max_program().evaluate(vals) == max(vals)
+
+
+@settings(max_examples=40)
+@given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=10))
+def test_sat_sum_matches_capped_sum(vals):
+    assert sat_sum_program().evaluate(vals) == min(sum(vals), 3)

@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.sequential (Definition 3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiset import Multiset
+from repro.core.sequential import SequentialProgram
+
+
+def or_program():
+    return SequentialProgram(
+        frozenset({0, 1}), 0, lambda w, q: w | q, lambda w: w, name="or"
+    )
+
+
+def parity_program():
+    return SequentialProgram(
+        frozenset({0, 1}), 0, lambda w, q: w ^ q, lambda w: w, name="parity"
+    )
+
+
+def threshold2_program():
+    """Counts inputs equal to 'x', saturating at 2."""
+    def p(w, q):
+        return min(w + (1 if q == "x" else 0), 2)
+
+    return SequentialProgram(frozenset({0, 1, 2}), 0, p, lambda w: w, name="thr2")
+
+
+def concat_program():
+    """NOT an SM function: remembers the first input."""
+    def p(w, q):
+        return q if w == "∅" else w
+
+    return SequentialProgram(
+        frozenset({"∅", "a", "b"}), "∅", p, lambda w: w, name="first"
+    )
+
+
+class TestEvaluation:
+    def test_or_on_sequences(self):
+        sp = or_program()
+        assert sp.evaluate([0, 0, 1]) == 1
+        assert sp.evaluate([0, 0]) == 0
+
+    def test_or_on_multisets(self):
+        sp = or_program()
+        assert sp.evaluate(Multiset({0: 5})) == 0
+        assert sp.evaluate(Multiset({0: 2, 1: 1})) == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            or_program().evaluate([])
+
+    def test_callable_protocol(self):
+        assert or_program()([1]) == 1
+
+    def test_process_leaving_w_detected(self):
+        sp = SequentialProgram(
+            frozenset({0}), 0, lambda w, q: w + q, lambda w: w
+        )
+        with pytest.raises(ValueError):
+            sp.evaluate([1])
+
+    def test_start_not_in_w_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialProgram(frozenset({1}), 0, lambda w, q: w, lambda w: w)
+
+
+class TestValidity:
+    def test_or_is_sm(self):
+        assert or_program().is_sm([0, 1], max_len=4)
+
+    def test_parity_is_sm(self):
+        assert parity_program().is_sm([0, 1], max_len=4)
+
+    def test_threshold_is_sm(self):
+        assert threshold2_program().is_sm(["x", "y"], max_len=4)
+
+    def test_first_input_is_not_sm(self):
+        sp = concat_program()
+        assert not sp.is_sm(["a", "b"], max_len=3)
+        cex = sp.counterexample(["a", "b"], max_len=3)
+        assert cex is not None
+        p1, p2 = cex
+        assert sorted(p1) == sorted(p2)
+        assert sp.output(sp.fold(p1)) != sp.output(sp.fold(p2))
+
+    def test_commutative_check_sufficient(self):
+        assert or_program().check_commutative([0, 1])
+        assert parity_program().check_commutative([0, 1])
+        assert not concat_program().check_commutative(["a", "b"])
+
+    def test_reachable_states(self):
+        sp = threshold2_program()
+        assert sp.reachable_states(["x", "y"]) == {0, 1, 2}
+
+    def test_counterexample_none_for_valid(self):
+        assert or_program().counterexample([0, 1], max_len=4) is None
+
+
+class TestTables:
+    def test_from_tables_roundtrip(self):
+        transitions = {
+            (0, "a"): 1,
+            (0, "b"): 0,
+            (1, "a"): 1,
+            (1, "b"): 1,
+        }
+        sp = SequentialProgram.from_tables(transitions, 0, {0: "no", 1: "yes"})
+        assert sp.evaluate(["b", "b"]) == "no"
+        assert sp.evaluate(["b", "a"]) == "yes"
+        assert sp.is_sm(["a", "b"], max_len=3)
+
+    def test_from_tables_missing_transition(self):
+        sp = SequentialProgram.from_tables({(0, "a"): 0}, 0, {0: 0})
+        with pytest.raises(ValueError):
+            sp.evaluate(["z"])
+
+    def test_from_tables_missing_output(self):
+        sp = SequentialProgram.from_tables({(0, "a"): 1, (1, "a"): 1}, 0, {0: 0})
+        with pytest.raises(ValueError):
+            sp.evaluate(["a"])
+
+
+class TestAgreement:
+    def test_agrees_with_itself(self):
+        sp = or_program()
+        assert sp.agrees_with(sp.evaluate, [0, 1], max_len=4)
+
+    def test_disagrees_with_other(self):
+        assert not or_program().agrees_with(
+            parity_program().evaluate, [0, 1], max_len=4
+        )
+
+
+@settings(max_examples=50)
+@given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=10))
+def test_or_fold_order_independent(seq):
+    sp = or_program()
+    assert sp.evaluate(seq) == sp.evaluate(list(reversed(seq))) == max(seq)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=10))
+def test_parity_fold_matches_sum_mod_2(seq):
+    assert parity_program().evaluate(seq) == sum(seq) % 2

@@ -1,0 +1,144 @@
+"""Tests for mod-thresh program minimization (repro.core.simplify)."""
+
+import pytest
+
+from repro.core.convert import sequential_to_modthresh
+from repro.core.modthresh import (
+    FALSE,
+    TRUE,
+    ModThreshProgram,
+    at_least,
+    count_is_mod,
+    exactly,
+    fewer_than,
+)
+from repro.core.multiset import iter_multisets
+from repro.core.sequential import SequentialProgram
+from repro.core.simplify import (
+    programs_equivalent,
+    propositions_equivalent,
+    prune_cascade,
+    verification_bound,
+)
+
+ALPHA = ["a", "b"]
+
+
+class TestVerificationBound:
+    def test_combines_thresholds_and_moduli(self):
+        prog = ModThreshProgram(
+            clauses=(
+                (fewer_than("a", 3), "x"),
+                (count_is_mod("b", 0, 4), "y"),
+            ),
+            default="z",
+        )
+        assert verification_bound(prog) == 3 + 4
+
+    def test_trivial_program(self):
+        prog = ModThreshProgram(clauses=(), default="z")
+        assert verification_bound(prog) == 2
+
+
+class TestPropositionEquivalence:
+    def test_demorgan(self):
+        a = ~(at_least("a", 1) | at_least("b", 1))
+        b = fewer_than("a", 1) & fewer_than("b", 1)
+        assert propositions_equivalent(a, b, ALPHA)
+
+    def test_exactly_expansion(self):
+        a = exactly("a", 2)
+        b = at_least("a", 2) & fewer_than("a", 3)
+        assert propositions_equivalent(a, b, ALPHA)
+
+    def test_inequivalent(self):
+        assert not propositions_equivalent(
+            at_least("a", 1), at_least("a", 2), ALPHA
+        )
+
+    def test_mod_wraparound(self):
+        a = count_is_mod("a", 0, 2)
+        b = count_is_mod("a", 0, 4) | count_is_mod("a", 2, 4)
+        assert propositions_equivalent(a, b, ALPHA)
+
+
+class TestProgramEquivalence:
+    def test_reordered_disjoint_clauses(self):
+        p1 = ModThreshProgram(
+            clauses=((exactly("a", 0), "none"), (exactly("a", 1), "one")),
+            default="many",
+        )
+        p2 = ModThreshProgram(
+            clauses=((exactly("a", 1), "one"), (exactly("a", 0), "none")),
+            default="many",
+        )
+        assert programs_equivalent(p1, p2, ALPHA)
+
+    def test_different_defaults(self):
+        p1 = ModThreshProgram(clauses=(), default="x")
+        p2 = ModThreshProgram(clauses=(), default="y")
+        assert not programs_equivalent(p1, p2, ALPHA)
+
+
+class TestPrune:
+    def test_drops_shadowed_clause(self):
+        prog = ModThreshProgram(
+            clauses=(
+                (at_least("a", 1), "r1"),
+                (at_least("a", 2), "r2"),  # shadowed by the first clause
+            ),
+            default="d",
+        )
+        pruned = prune_cascade(prog, ALPHA)
+        assert len(pruned.clauses) == 1
+        assert programs_equivalent(prog, pruned, ALPHA)
+
+    def test_drops_default_tail(self):
+        prog = ModThreshProgram(
+            clauses=(
+                (at_least("a", 1), "hit"),
+                (at_least("b", 1), "d"),  # returns the default anyway... but
+                # only when 'a' is absent — removal must be checked, and it
+                # IS safe because the default is also "d".
+            ),
+            default="d",
+        )
+        pruned = prune_cascade(prog, ALPHA)
+        assert len(pruned.clauses) == 1
+
+    def test_keeps_necessary_clauses(self):
+        prog = ModThreshProgram(
+            clauses=(
+                (at_least("a", 1) & at_least("b", 1), "both"),
+                (at_least("a", 1), "only-a"),
+            ),
+            default="rest",
+        )
+        pruned = prune_cascade(prog, ALPHA)
+        assert len(pruned.clauses) == 2
+        assert programs_equivalent(prog, pruned, ALPHA)
+
+    def test_false_clause_removed(self):
+        prog = ModThreshProgram(
+            clauses=((FALSE, "never"), (TRUE, "always")),
+            default="d",
+        )
+        pruned = prune_cascade(prog, ALPHA)
+        assert len(pruned.clauses) == 1
+        assert pruned.clauses[0][1] == "always"
+
+    def test_shrinks_lemma39_output(self):
+        """The Lemma 3.9 construction is clause-heavy; pruning must shrink
+        it without changing semantics."""
+        sp = SequentialProgram(
+            frozenset(range(3)),
+            0,
+            lambda w, q: min(w + (1 if q == "a" else 0), 2),
+            lambda w: w >= 2,
+            name="thr2",
+        )
+        mt = sequential_to_modthresh(sp, ALPHA)
+        pruned = prune_cascade(mt, ALPHA)
+        assert len(pruned.clauses) <= len(mt.clauses)
+        for ms in iter_multisets(ALPHA, 6):
+            assert pruned.evaluate(ms) == sp.evaluate(ms)

@@ -1,0 +1,125 @@
+"""Tests for the Section 5 tape generalization."""
+
+import pytest
+
+from repro.core.multiset import iter_multisets
+from repro.core.tape import (
+    TapeProgramFamily,
+    all_bitstrings,
+    instantiate,
+    parallel_working_bits,
+    tape_sequential_to_parallel,
+)
+
+
+def bitor_family():
+    return TapeProgramFamily(
+        input_bits=lambda n: n,
+        working_bits=lambda n: n,
+        start=lambda n: "0" * n,
+        process=lambda n, w, q: "".join(
+            "1" if a == "1" or b == "1" else "0" for a, b in zip(w, q)
+        ),
+        output=lambda n, w: w,
+        name="bitor",
+    )
+
+
+def parity_family():
+    """Sums inputs mod 2 per bit — purely periodic orbits (tail 0)."""
+    return TapeProgramFamily(
+        input_bits=lambda n: n,
+        working_bits=lambda n: n,
+        start=lambda n: "0" * n,
+        process=lambda n, w, q: "".join(
+            str(int(a) ^ int(b)) for a, b in zip(w, q)
+        ),
+        output=lambda n, w: w,
+        name="bitxor",
+    )
+
+
+def counter_family(cap=3):
+    """Counts inputs equal to all-ones, saturating at ``cap``."""
+    import math
+
+    bits = max(1, math.ceil(math.log2(cap + 1)))
+    return TapeProgramFamily(
+        input_bits=lambda n: n,
+        working_bits=lambda n: bits,
+        start=lambda n: "0" * bits,
+        process=lambda n, w, q: format(
+            min(int(w, 2) + (1 if q == "1" * n else 0), cap), f"0{bits}b"
+        ),
+        output=lambda n, w: int(w, 2),
+        name="count-ones",
+    )
+
+
+class TestAllBitstrings:
+    def test_counts(self):
+        assert all_bitstrings(0) == [""]
+        assert len(all_bitstrings(3)) == 8
+        assert all_bitstrings(1) == ["0", "1"]
+
+
+class TestInstantiate:
+    def test_member_is_sequential_program(self):
+        sp = instantiate(bitor_family(), 2)
+        assert sp.evaluate(["01", "10"]) == "11"
+        assert sp.is_sm(all_bitstrings(2), max_len=3)
+
+    def test_bad_start_length(self):
+        fam = TapeProgramFamily(
+            input_bits=lambda n: 1,
+            working_bits=lambda n: 2,
+            start=lambda n: "0",  # wrong length
+            process=lambda n, w, q: w,
+            output=lambda n, w: w,
+        )
+        with pytest.raises(ValueError):
+            instantiate(fam, 1)
+
+
+class TestUniformConstruction:
+    @pytest.mark.parametrize("fam_fn,n", [
+        (bitor_family, 1),
+        (bitor_family, 2),
+        (parity_family, 1),
+        (parity_family, 2),
+        (counter_family, 1),
+    ])
+    def test_parallel_agrees_with_sequential(self, fam_fn, n):
+        fam = fam_fn()
+        sp = instantiate(fam, n)
+        pp = tape_sequential_to_parallel(fam, n)
+        for ms in iter_multisets(all_bitstrings(fam.input_bits(n)), 3):
+            assert pp.evaluate(ms) == sp.evaluate(ms), ms
+
+    def test_parallel_tree_invariance(self):
+        fam = parity_family()
+        pp = tape_sequential_to_parallel(fam, 1)
+        assert pp.is_sm(all_bitstrings(1), max_len=4)
+
+    def test_working_bits_bound(self):
+        """w'(N) = O(2^{q(N)} · w(N)) — the Section 5 bound."""
+        fam = bitor_family()
+        for n in (1, 2, 3):
+            measured = parallel_working_bits(fam, n)
+            q_n, w_n = fam.input_bits(n), fam.working_bits(n)
+            # each per-input counter needs O(w) bits; constant here is small
+            assert measured <= 4 * (2 ** q_n) * max(w_n, 1)
+
+    def test_deep_multiplicities(self):
+        """Counters must stay correct far beyond the orbit period."""
+        fam = counter_family(cap=3)
+        sp = instantiate(fam, 1)
+        pp = tape_sequential_to_parallel(fam, 1)
+        for ones in range(0, 9):
+            for zeros in range(0, 3):
+                if ones + zeros == 0:
+                    continue
+                ms = {"1": ones, "0": zeros}
+                from repro.core.multiset import Multiset
+
+                assert pp.evaluate(Multiset(ms)) == sp.evaluate(Multiset(ms))

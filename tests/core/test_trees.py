@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.trees (Definition 3.3 / Figure 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.trees import (
+    Branch,
+    Leaf,
+    all_trees,
+    balanced_tree,
+    left_comb,
+    num_leaves,
+    random_tree_shape,
+    render_tree,
+    right_comb,
+    tree_combine,
+)
+
+
+def catalan(n: int) -> int:
+    return math.comb(2 * n, n) // (n + 1)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_comb_and_balanced_leaf_counts(self, k):
+        assert num_leaves(left_comb(k)) == k
+        assert num_leaves(right_comb(k)) == k
+        assert num_leaves(balanced_tree(k)) == k
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_all_trees_catalan_count(self, k):
+        assert len(list(all_trees(k))) == catalan(k - 1)
+
+    def test_all_trees_distinct(self):
+        trees = list(all_trees(5))
+        assert len(set(trees)) == len(trees)
+
+    def test_all_trees_leaf_order(self):
+        # leaves must read 0..k-1 left to right for every shape
+        def leaf_order(t):
+            if isinstance(t, Leaf):
+                return [t.index]
+            return leaf_order(t.left) + leaf_order(t.right)
+
+        for t in all_trees(5):
+            assert leaf_order(t) == [0, 1, 2, 3, 4]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            left_comb(0)
+        with pytest.raises(ValueError):
+            balanced_tree(0)
+
+    @pytest.mark.parametrize("k", [1, 2, 7, 20])
+    def test_random_tree_shape_leaves(self, k):
+        assert num_leaves(random_tree_shape(k, rng=1)) == k
+
+
+class TestCombine:
+    def test_left_comb_is_sequential_fold(self):
+        # p = string concat: left comb gives ((0+1)+2)+3
+        out = tree_combine(lambda a, b: f"({a}{b})", left_comb(4), "abcd")
+        assert out == "(((ab)c)d)"
+
+    def test_right_comb_order(self):
+        out = tree_combine(lambda a, b: f"({a}{b})", right_comb(4), "abcd")
+        assert out == "(a(b(cd)))"
+
+    def test_single_leaf(self):
+        assert tree_combine(lambda a, b: a + b, Leaf(0), [42]) == 42
+
+    def test_associative_op_tree_invariance(self):
+        vals = [3, 1, 4, 1, 5, 9]
+        results = {
+            tree_combine(lambda a, b: a + b, t, vals) for t in all_trees(6)
+        }
+        assert results == {sum(vals)}
+
+    def test_nonassociative_op_tree_sensitivity(self):
+        # subtraction is not associative: different trees differ
+        vals = [10, 3, 2]
+        results = {
+            tree_combine(lambda a, b: a - b, t, vals) for t in all_trees(3)
+        }
+        assert len(results) > 1
+
+    def test_deep_comb_no_recursion_error(self):
+        k = 50_000
+        out = tree_combine(lambda a, b: a + b, left_comb(k), [1] * k)
+        assert out == k
+
+
+class TestRender:
+    def test_render_figure1_style(self):
+        t = Branch(Branch(Leaf(0), Leaf(1)), Leaf(2))
+        assert render_tree(t) == "((0 1) 2)"
+        assert render_tree(t, labels="xyz") == "((x y) z)"
+
+
+@given(st.integers(min_value=1, max_value=9), st.integers(min_value=0, max_value=2**30))
+def test_balanced_tree_depth_bound(k, seed):
+    def depth(t):
+        if isinstance(t, Leaf):
+            return 0
+        return 1 + max(depth(t.left), depth(t.right))
+
+    assert depth(balanced_tree(k)) <= math.ceil(math.log2(k)) if k > 1 else True
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=7))
+def test_max_combine_invariant_under_all_trees(vals):
+    results = {tree_combine(max, t, vals) for t in all_trees(len(vals))}
+    assert results == {max(vals)}

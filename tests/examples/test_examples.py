@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples replace the paper's Java applet; breaking them silently
+would hollow out the demo surface, so they run (briefly) under pytest.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "sensor_census.py",
+        "traversal_demo.py",
+        "equivalence_tour.py",
+        "message_passing.py",
+    ],
+)
+def test_example_runs_clean(script):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_firing_squad_demo_small():
+    result = _run("firing_squad_demo.py", "8")
+    assert result.returncode == 0, result.stderr
+    assert "simultaneous=True" in result.stdout
+
+
+def test_election_demo():
+    result = _run("election_demo.py")
+    assert result.returncode == 0, result.stderr
+    assert "is the leader" in result.stdout

@@ -1,0 +1,176 @@
+"""Tests for the IWA model and the Section 5.1 mutual simulations (E13)."""
+
+import pytest
+
+from repro.algorithms import two_coloring as tc
+from repro.core.automaton import FSSGA
+from repro.iwa import (
+    IWA,
+    IWAExecution,
+    IWARule,
+    FssgaIwaSimulator,
+    IwaRoundSimulator,
+)
+from repro.network import NetworkState, generators
+from repro.runtime.simulator import SynchronousSimulator
+
+
+def marker_iwa():
+    """A tiny IWA: walk over 'white' nodes marking them 'black', halt when
+    no white neighbour remains."""
+    rules = [
+        IWARule(
+            agent_state="go",
+            node_label="white",
+            new_node_label="black",
+            new_agent_state="go",
+            guard_label="white",
+            guard_present=True,
+            move_to_label="white",
+        ),
+        IWARule(
+            agent_state="go",
+            node_label="white",
+            new_node_label="black",
+            new_agent_state="done",
+        ),
+    ]
+    return IWA(rules, start_state="go")
+
+
+class TestIWAModel:
+    def test_states_and_labels(self):
+        iwa = marker_iwa()
+        assert iwa.states() == {"go", "done"}
+        assert iwa.labels() == {"white", "black"}
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ValueError):
+            IWA([], "s")
+
+    def test_marks_a_path(self):
+        net = generators.path_graph(5)
+        labels = {v: "white" for v in net}
+        ex = IWAExecution(marker_iwa(), net, labels, start=0)
+        ex.run()
+        assert ex.agent_state == "done"
+        # the walk moved down the path, marking as it went
+        assert all(ex.labels[v] == "black" for v in range(ex.position + 1))
+
+    def test_missing_labels_rejected(self):
+        net = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            IWAExecution(marker_iwa(), net, {0: "white"}, start=0)
+
+    def test_halts_when_no_rule_matches(self):
+        net = generators.path_graph(2)
+        labels = {0: "black", 1: "black"}
+        ex = IWAExecution(marker_iwa(), net, labels, start=0)
+        assert ex.run() == 0
+        assert ex.halted
+
+    def test_guard_absent(self):
+        rules = [
+            IWARule("s", "a", "b", "s", guard_label="x", guard_present=False),
+        ]
+        iwa = IWA(rules, "s")
+        net = generators.path_graph(2)
+        ex = IWAExecution(iwa, net, {0: "a", 1: "x"}, start=0)
+        assert ex.run() == 0  # guard requires NO 'x' neighbour: blocked
+        ex2 = IWAExecution(iwa, net, {0: "a", 1: "a"}, start=0)
+        ex2.step()
+        assert ex2.labels[0] == "b"
+
+
+class TestIwaSimulatesFssga:
+    """Direction 1: one synchronous FSSGA round in O(m) IWA primitives."""
+
+    @pytest.mark.parametrize(
+        "net_fn",
+        [
+            lambda: generators.path_graph(8),
+            lambda: generators.cycle_graph(9),
+            lambda: generators.grid_graph(3, 4),
+            lambda: generators.petersen_graph(),
+        ],
+    )
+    def test_round_equivalence(self, net_fn):
+        net = net_fn()
+        progs = tc.sticky_programs()
+        init = NetworkState.from_function(
+            net, lambda v: tc.RED if v == next(iter(net)) else tc.BLANK
+        )
+        iwa_sim = IwaRoundSimulator(net, progs, init)
+        ref = SynchronousSimulator(
+            net.copy(), FSSGA.from_programs(progs), init.copy()
+        )
+        for _ in range(6):
+            iwa_sim.run_round()
+            ref.step()
+            assert iwa_sim.state == ref.state
+
+    def test_cost_linear_in_m(self):
+        """Primitive steps per round must scale as Θ(m)."""
+        costs = {}
+        for n in (10, 20, 40):
+            net = generators.cycle_graph(n)  # m = n
+            progs = tc.sticky_programs()
+            init = NetworkState.from_function(
+                net, lambda v: tc.RED if v == 0 else tc.BLANK
+            )
+            sim = IwaRoundSimulator(net, progs, init)
+            sim.run_round()
+            costs[n] = sim.primitive_steps
+        # doubling m should roughly double the cost
+        assert 1.5 < costs[20] / costs[10] < 2.5
+        assert 1.5 < costs[40] / costs[20] < 2.5
+
+    def test_rule_based_rejected(self):
+        net = generators.path_graph(3)
+        aut = FSSGA({0, 1}, lambda own, view: own)
+        with pytest.raises(TypeError):
+            IwaRoundSimulator(net, aut, NetworkState.uniform(net, 0))
+
+
+class TestFssgaSimulatesIwa:
+    """Direction 2: each IWA step costs O(log Δ) FSSGA rounds."""
+
+    def test_same_halting_labels_on_path(self):
+        net = generators.path_graph(6)
+        labels = {v: "white" for v in net}
+        fssga = FssgaIwaSimulator(marker_iwa(), net, dict(labels), start=0, rng=1)
+        fssga.run()
+        # all nodes the agent visited are black; it halted in state done
+        assert fssga.exec.agent_state == "done"
+        assert fssga.exec.labels[0] == "black"
+
+    def test_delay_logarithmic_in_degree(self):
+        """On stars of growing degree, rounds per IWA step grow like
+        log Δ, not Δ."""
+        import numpy as np
+
+        means = {}
+        for leaves in (4, 16, 64):
+            rounds = []
+            for seed in range(30):
+                net = generators.star_graph(leaves)
+                labels = {v: "white" for v in net}
+                sim = FssgaIwaSimulator(
+                    marker_iwa(), net, labels, start=0, rng=seed
+                )
+                sim.step()  # one IWA move from the hub
+                rounds.append(sim.fssga_rounds)
+            means[leaves] = float(np.mean(rounds))
+        assert means[16] <= means[4] + 3
+        assert means[64] <= means[16] + 3
+        assert means[64] < 64 / 4  # far below linear
+
+    def test_iwa_step_count_preserved(self):
+        net = generators.cycle_graph(6)
+        labels = {v: "white" for v in net}
+        ref = IWAExecution(marker_iwa(), net, dict(labels), start=0)
+        ref_steps = ref.run()
+        sim = FssgaIwaSimulator(marker_iwa(), net, dict(labels), start=0, rng=2)
+        sim_steps = sim.run()
+        assert sim_steps == ref_steps
+        assert sim.fssga_rounds >= sim_steps

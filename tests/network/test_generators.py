@@ -1,0 +1,159 @@
+"""Unit tests for repro.network.generators."""
+
+import numpy as np
+import pytest
+
+from repro.network import generators as g
+from repro.network.properties import bridges, is_bipartite
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        net = g.path_graph(5)
+        assert (net.num_nodes, net.num_edges) == (5, 4)
+        assert net.degree(0) == 1 and net.degree(2) == 2
+
+    def test_path_single(self):
+        assert g.path_graph(1).num_nodes == 1
+
+    def test_cycle(self):
+        net = g.cycle_graph(6)
+        assert (net.num_nodes, net.num_edges) == (6, 6)
+        assert all(net.degree(v) == 2 for v in net)
+
+    def test_cycle_minimum(self):
+        with pytest.raises(ValueError):
+            g.cycle_graph(2)
+
+    def test_complete(self):
+        net = g.complete_graph(6)
+        assert net.num_edges == 15
+        assert net.diameter() == 1
+
+    def test_star(self):
+        net = g.star_graph(7)
+        assert net.num_nodes == 8
+        assert net.degree(0) == 7
+
+    def test_wheel(self):
+        net = g.wheel_graph(5)
+        assert net.num_nodes == 6
+        assert net.degree(0) == 5
+        assert all(net.degree(v) == 3 for v in range(1, 6))
+
+    def test_grid(self):
+        net = g.grid_graph(3, 4)
+        assert net.num_nodes == 12
+        assert net.num_edges == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+        assert is_bipartite(net)
+
+    def test_torus(self):
+        net = g.torus_graph(3, 4)
+        assert net.num_nodes == 12
+        assert all(net.degree(v) == 4 for v in net)
+        assert bridges(net) == set()
+
+    def test_hypercube(self):
+        net = g.hypercube_graph(4)
+        assert net.num_nodes == 16
+        assert all(net.degree(v) == 4 for v in net)
+        assert is_bipartite(net)
+
+    def test_binary_tree(self):
+        net = g.binary_tree(3)
+        assert net.num_nodes == 15
+        assert net.num_edges == 14
+        assert len(bridges(net)) == 14
+
+    def test_complete_bipartite(self):
+        net = g.complete_bipartite_graph(2, 3)
+        assert net.num_edges == 6
+        assert is_bipartite(net)
+
+    def test_petersen(self):
+        net = g.petersen_graph()
+        assert (net.num_nodes, net.num_edges) == (10, 15)
+        assert all(net.degree(v) == 3 for v in net)
+        assert not is_bipartite(net)
+        assert bridges(net) == set()
+
+
+class TestCompositeFamilies:
+    def test_barbell(self):
+        net = g.barbell_graph(4, 3)
+        assert net.is_connected()
+        br = bridges(net)
+        assert len(br) == 3  # every path edge is a bridge
+
+    def test_lollipop(self):
+        net = g.lollipop_graph(4, 3)
+        assert len(bridges(net)) == 3
+
+    def test_theta(self):
+        net = g.theta_graph(2, 3, 4)
+        assert net.is_connected()
+        assert bridges(net) == set()
+        assert net.num_edges == 9
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            g.theta_graph(1, 1, 3)
+
+    def test_caterpillar(self):
+        net = g.caterpillar_graph(4, 2)
+        assert net.num_nodes == 4 + 8
+        assert len(bridges(net)) == net.num_edges  # a tree
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            net = g.random_tree(20, seed)
+            assert net.num_edges == 19
+            assert net.is_connected()
+
+    def test_random_tree_determinism(self):
+        a = g.random_tree(15, 7)
+        b = g.random_tree(15, 7)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_gnp_edge_probability(self):
+        rng = np.random.default_rng(0)
+        net = g.gnp_random_graph(40, 0.2, rng)
+        max_m = 40 * 39 // 2
+        assert 0.1 * max_m < net.num_edges < 0.3 * max_m
+
+    def test_gnp_extremes(self):
+        assert g.gnp_random_graph(10, 0.0, 1).num_edges == 0
+        assert g.gnp_random_graph(6, 1.0, 1).num_edges == 15
+
+    def test_gnp_validation(self):
+        with pytest.raises(ValueError):
+            g.gnp_random_graph(5, 1.5)
+
+    def test_gnm_exact_edges(self):
+        net = g.gnm_random_graph(12, 20, 3)
+        assert net.num_edges == 20
+
+    def test_gnm_too_many(self):
+        with pytest.raises(ValueError):
+            g.gnm_random_graph(4, 10)
+
+    def test_random_regular(self):
+        net = g.random_regular_graph(12, 3, 5)
+        assert all(net.degree(v) == 3 for v in net)
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ValueError):
+            g.random_regular_graph(5, 3)
+
+    def test_connected_gnp(self):
+        net = g.connected_gnp_graph(25, 0.2, 1)
+        assert net.is_connected()
+
+    def test_generator_object_reuse(self):
+        rng = np.random.default_rng(9)
+        a = g.gnp_random_graph(10, 0.5, rng)
+        b = g.gnp_random_graph(10, 0.5, rng)
+        # consuming the same generator gives different draws
+        assert set(a.edges()) != set(b.edges())

@@ -1,0 +1,186 @@
+"""Unit tests for repro.network.graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.graph import Network, canonical_edge
+from repro.network import generators
+
+
+class TestConstruction:
+    def test_empty(self):
+        net = Network()
+        assert net.num_nodes == 0
+        assert net.num_edges == 0
+        assert not net.is_connected()
+
+    def test_add_edge_creates_endpoints(self):
+        net = Network()
+        net.add_edge("a", "b")
+        assert "a" in net and "b" in net
+        assert net.num_edges == 1
+
+    def test_duplicate_edge_ignored(self):
+        net = Network(edges=[(0, 1), (0, 1), (1, 0)])
+        assert net.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Network(edges=[(0, 0)])
+
+    def test_canonical_edge(self):
+        assert canonical_edge(2, 1) == canonical_edge(1, 2)
+
+
+class TestFaults:
+    def test_remove_edge(self):
+        net = generators.path_graph(3)
+        net.remove_edge(0, 1)
+        assert not net.has_edge(0, 1)
+        assert net.num_edges == 1
+        assert 0 in net  # endpoints survive
+
+    def test_remove_missing_edge(self):
+        net = generators.path_graph(3)
+        with pytest.raises(KeyError):
+            net.remove_edge(0, 2)
+
+    def test_remove_node_drops_incident_edges(self):
+        net = generators.star_graph(4)
+        net.remove_node(0)
+        assert net.num_edges == 0
+        assert net.num_nodes == 4
+
+    def test_remove_missing_node(self):
+        with pytest.raises(KeyError):
+            Network().remove_node("x")
+
+    def test_edge_count_consistency_after_faults(self):
+        net = generators.complete_graph(5)
+        net.remove_node(0)
+        assert net.num_edges == 6  # K4
+        assert len(net.edges()) == 6
+
+
+class TestQueries:
+    def test_degrees(self):
+        net = generators.star_graph(5)
+        assert net.degree(0) == 5
+        assert net.max_degree() == 5
+        assert all(net.degree(i) == 1 for i in range(1, 6))
+
+    def test_neighbors(self):
+        net = generators.path_graph(3)
+        assert net.neighbors(1) == {0, 2}
+
+    def test_len_iter_contains(self):
+        net = generators.path_graph(4)
+        assert len(net) == 4
+        assert sorted(net) == [0, 1, 2, 3]
+        assert 2 in net and 9 not in net
+
+
+class TestConnectivity:
+    def test_component_of(self):
+        net = Network(edges=[(0, 1), (2, 3)])
+        assert net.component_of(0) == {0, 1}
+
+    def test_components_sorted_by_size(self):
+        net = Network(edges=[(0, 1), (2, 3), (3, 4)])
+        comps = net.connected_components()
+        assert len(comps[0]) == 3
+
+    def test_connected(self):
+        assert generators.cycle_graph(5).is_connected()
+        net = generators.path_graph(4)
+        net.remove_edge(1, 2)
+        assert not net.is_connected()
+
+    def test_bfs_distances_multi_source(self):
+        net = generators.path_graph(5)
+        d = net.bfs_distances([0, 4])
+        assert d == {0: 0, 4: 0, 1: 1, 3: 1, 2: 2}
+
+    def test_bfs_distances_unknown_source(self):
+        with pytest.raises(KeyError):
+            generators.path_graph(2).bfs_distances([99])
+
+    def test_diameter(self):
+        assert generators.path_graph(6).diameter() == 5
+        assert generators.cycle_graph(6).diameter() == 3
+        assert generators.complete_graph(4).diameter() == 1
+
+    def test_diameter_disconnected(self):
+        with pytest.raises(ValueError):
+            Network(nodes=[0, 1]).diameter()
+
+    def test_eccentricity(self):
+        assert generators.path_graph(5).eccentricity(2) == 2
+
+
+class TestDerivation:
+    def test_copy_is_independent(self):
+        net = generators.path_graph(4)
+        cp = net.copy()
+        cp.remove_node(0)
+        assert 0 in net and 0 not in cp
+
+    def test_subgraph(self):
+        net = generators.complete_graph(5)
+        sub = net.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3 and sub.num_edges == 3
+
+    def test_subgraph_unknown_node(self):
+        with pytest.raises(KeyError):
+            generators.path_graph(2).subgraph([5])
+
+    def test_is_subgraph_of(self):
+        net = generators.complete_graph(4)
+        sub = net.subgraph([0, 1, 2])
+        assert sub.is_subgraph_of(net)
+        assert not net.is_subgraph_of(sub)
+
+
+class TestExport:
+    def test_to_csr_shape_and_symmetry(self):
+        net = generators.cycle_graph(5)
+        mat, order = net.to_csr()
+        assert mat.shape == (5, 5)
+        assert (mat != mat.T).nnz == 0
+        assert mat.sum() == 2 * net.num_edges
+        assert mat.diagonal().sum() == 0
+
+    def test_csr_degrees(self):
+        net = generators.star_graph(4)
+        mat, order = net.to_csr()
+        idx = {v: i for i, v in enumerate(order)}
+        import numpy as np
+
+        degs = np.asarray(mat.sum(axis=1)).ravel()
+        assert degs[idx[0]] == 4
+
+    def test_networkx_roundtrip(self):
+        net = generators.petersen_graph()
+        back = Network.from_networkx(net.to_networkx())
+        assert back.num_nodes == net.num_nodes
+        assert back.num_edges == net.num_edges
+        assert set(back.edges()) == set(net.edges())
+
+
+@given(st.sets(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
+def test_edge_count_invariant(pairs):
+    net = Network()
+    expected = set()
+    for u, v in pairs:
+        if u == v:
+            continue
+        net.add_edge(u, v)
+        expected.add(canonical_edge(u, v))
+    assert net.num_edges == len(expected)
+    assert set(net.edges()) == expected
+
+
+@given(st.integers(min_value=2, max_value=30))
+def test_path_graph_distance_linear(n):
+    net = generators.path_graph(n)
+    assert net.bfs_distances([0])[n - 1] == n - 1

@@ -1,0 +1,85 @@
+"""Tests for network/state serialization (repro.network.io)."""
+
+import pytest
+
+from repro.network import NetworkState, generators
+from repro.network.graph import Network
+from repro.network.io import (
+    from_edge_list,
+    load_edge_list,
+    network_from_json,
+    network_to_json,
+    save_edge_list,
+    state_from_json,
+    state_to_json,
+    to_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        net = generators.petersen_graph()
+        back = from_edge_list(to_edge_list(net))
+        assert set(back.edges()) == set(net.edges())
+        assert back.num_nodes == net.num_nodes
+
+    def test_isolated_nodes_preserved(self):
+        net = Network(nodes=[0, 1, 2], edges=[(0, 1)])
+        back = from_edge_list(to_edge_list(net))
+        assert 2 in back
+        assert back.degree(2) == 0
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n0 1  # inline\n2\n"
+        net = from_edge_list(text)
+        assert net.has_edge(0, 1)
+        assert 2 in net
+
+    def test_string_node_ids(self):
+        net = from_edge_list("alpha beta\n")
+        assert net.has_edge("alpha", "beta")
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            from_edge_list("0 1 2\n")
+
+    def test_file_round_trip(self, tmp_path):
+        net = generators.grid_graph(3, 3)
+        p = tmp_path / "grid.edges"
+        save_edge_list(net, p)
+        back = load_edge_list(p)
+        assert set(back.edges()) == set(net.edges())
+
+
+class TestJson:
+    def test_network_round_trip(self):
+        net = generators.barbell_graph(4, 2)
+        back = network_from_json(network_to_json(net))
+        assert set(back.edges()) == set(net.edges())
+        assert sorted(back.nodes()) == sorted(net.nodes())
+
+    def test_state_round_trip_scalars(self):
+        st = NetworkState({0: "red", 1: "blue", 2: 7})
+        back = state_from_json(state_to_json(st))
+        assert back == st
+
+    def test_state_round_trip_tuples(self):
+        """Tuple states (the library's composite states) survive via the
+        list→tuple restoration."""
+        st = NetworkState({0: (True, "arm", "idle"), 1: (False, "blank", "idle")})
+        back = state_from_json(state_to_json(st))
+        assert back == st
+
+    def test_saved_workload_runs(self, tmp_path):
+        """End-to-end: persist a topology, reload it, run an algorithm."""
+        from repro.algorithms import two_coloring as tc
+        from repro.runtime.simulator import SynchronousSimulator
+
+        net = generators.grid_graph(3, 4)
+        p = tmp_path / "workload.edges"
+        save_edge_list(net, p)
+        loaded = load_edge_list(p)
+        aut, init = tc.build(loaded, next(iter(loaded)))
+        sim = SynchronousSimulator(loaded, aut, init)
+        sim.run_until_stable()
+        assert tc.succeeded(loaded, sim.state)

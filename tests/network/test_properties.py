@@ -1,0 +1,109 @@
+"""Unit tests for repro.network.properties against networkx ground truth."""
+
+import networkx as nx
+import pytest
+
+from repro.network import generators as g
+from repro.network.graph import canonical_edge
+from repro.network.properties import (
+    articulation_points,
+    bfs_layers,
+    bfs_tree,
+    bridges,
+    is_bipartite,
+    spanning_tree,
+    two_coloring,
+)
+
+
+class TestTwoColoring:
+    def test_even_cycle(self):
+        col = two_coloring(g.cycle_graph(8))
+        assert col is not None
+        net = g.cycle_graph(8)
+        assert all(col[u] != col[v] for u, v in net.edges())
+
+    def test_odd_cycle(self):
+        assert two_coloring(g.cycle_graph(7)) is None
+
+    def test_multi_component(self):
+        from repro.network.graph import Network
+
+        net = Network(edges=[(0, 1), (2, 3)])
+        col = two_coloring(net)
+        assert col is not None and len(col) == 4
+
+    def test_is_bipartite(self):
+        assert is_bipartite(g.grid_graph(4, 4))
+        assert not is_bipartite(g.petersen_graph())
+
+
+class TestBridges:
+    @pytest.mark.parametrize(
+        "net_fn",
+        [
+            lambda: g.path_graph(8),
+            lambda: g.barbell_graph(4, 3),
+            lambda: g.lollipop_graph(5, 4),
+            lambda: g.theta_graph(2, 3, 4),
+            lambda: g.petersen_graph(),
+            lambda: g.random_tree(15, 3),
+            lambda: g.connected_gnp_graph(20, 0.12, 5),
+        ],
+    )
+    def test_matches_networkx(self, net_fn):
+        net = net_fn()
+        ours = bridges(net)
+        theirs = {canonical_edge(u, v) for u, v in nx.bridges(net.to_networkx())}
+        assert ours == theirs
+
+    def test_deep_path_no_recursion_error(self):
+        net = g.path_graph(5000)
+        assert len(bridges(net)) == 4999
+
+
+class TestArticulationPoints:
+    @pytest.mark.parametrize(
+        "net_fn",
+        [
+            lambda: g.path_graph(6),
+            lambda: g.barbell_graph(4, 2),
+            lambda: g.star_graph(5),
+            lambda: g.cycle_graph(6),
+            lambda: g.connected_gnp_graph(18, 0.15, 7),
+        ],
+    )
+    def test_matches_networkx(self, net_fn):
+        net = net_fn()
+        assert articulation_points(net) == set(
+            nx.articulation_points(net.to_networkx())
+        )
+
+
+class TestTrees:
+    def test_bfs_tree_parents(self):
+        net = g.grid_graph(3, 3)
+        parent = bfs_tree(net, 0)
+        assert 0 not in parent
+        assert len(parent) == 8
+        dist = net.bfs_distances([0])
+        for child, par in parent.items():
+            assert dist[child] == dist[par] + 1
+
+    def test_spanning_tree(self):
+        net = g.connected_gnp_graph(15, 0.3, 1)
+        tree = spanning_tree(net)
+        assert tree.num_edges == net.num_nodes - 1
+        assert tree.is_connected()
+        assert tree.is_subgraph_of(net)
+
+    def test_spanning_tree_disconnected(self):
+        from repro.network.graph import Network
+
+        with pytest.raises(ValueError):
+            spanning_tree(Network(nodes=[0, 1]))
+
+    def test_bfs_layers(self):
+        net = g.path_graph(4)
+        layers = bfs_layers(net, 0)
+        assert layers == [{0}, {1}, {2}, {3}]

@@ -1,0 +1,60 @@
+"""Unit tests for repro.network.state."""
+
+from collections import Counter
+
+from repro.network import NetworkState, generators
+
+
+class TestConstruction:
+    def test_uniform(self):
+        net = generators.path_graph(4)
+        st = NetworkState.uniform(net, "q0")
+        assert all(st[v] == "q0" for v in net)
+        assert len(st) == 4
+
+    def test_from_function(self):
+        net = generators.path_graph(4)
+        st = NetworkState.from_function(net, lambda v: v % 2)
+        assert st[0] == 0 and st[1] == 1
+
+    def test_from_mapping(self):
+        st = NetworkState({0: "a", 1: "b"})
+        assert st[0] == "a"
+
+
+class TestMutation:
+    def test_set_and_item(self):
+        st = NetworkState({0: "a"})
+        st.set(0, "b")
+        st[1] = "c"
+        assert st[0] == "b" and st[1] == "c"
+
+    def test_drop(self):
+        st = NetworkState({0: "a", 1: "b"})
+        st.drop([0, 99])
+        assert 0 not in st and 1 in st
+
+    def test_copy_independent(self):
+        st = NetworkState({0: "a"})
+        cp = st.copy()
+        cp.set(0, "z")
+        assert st[0] == "a"
+
+
+class TestQueries:
+    def test_counts(self):
+        st = NetworkState({0: "a", 1: "a", 2: "b"})
+        assert st.counts() == Counter({"a": 2, "b": 1})
+
+    def test_nodes_in(self):
+        st = NetworkState({0: "a", 1: "b", 2: "a"})
+        assert st.nodes_in(["a"]) == [0, 2]
+
+    def test_restrict(self):
+        st = NetworkState({0: "a", 1: "b"})
+        assert dict(st.restrict([1]).items()) == {1: "b"}
+
+    def test_equality(self):
+        assert NetworkState({0: "a"}) == NetworkState({0: "a"})
+        assert NetworkState({0: "a"}) == {0: "a"}
+        assert NetworkState({0: "a"}) != NetworkState({0: "b"})

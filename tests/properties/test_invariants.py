@@ -1,0 +1,247 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+These go beyond the unit tests by sampling *random instances* — random
+commutative-monoid programs, random graphs, random fault sequences,
+random mod-thresh cascades — and checking the paper's structural
+guarantees on each.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.core.convert import (
+    modthresh_to_parallel,
+    parallel_to_sequential,
+    sequential_to_modthresh,
+)
+from repro.core.modthresh import (
+    And,
+    ModAtom,
+    ModThreshProgram,
+    Not,
+    Or,
+    Proposition,
+    ThreshAtom,
+)
+from repro.core.multiset import Multiset, iter_multisets
+from repro.core.sequential import SequentialProgram
+from repro.network import NetworkState, generators
+from repro.network.graph import Network, canonical_edge
+from repro.runtime.simulator import SynchronousSimulator
+from repro.runtime.vectorized import VectorizedSynchronousEngine
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+ALPHA = ["a", "b"]
+
+#: random commutative monoids on Z_m x saturating counters: guaranteed to
+#: induce valid sequential SM programs.
+monoid_params = st.tuples(
+    st.integers(min_value=1, max_value=4),  # modulus for 'a'
+    st.integers(min_value=1, max_value=3),  # saturation cap for 'b'
+)
+
+
+def make_monoid_program(modulus, cap):
+    def p(w, q):
+        mod_count, sat = w
+        if q == "a":
+            mod_count = (mod_count + 1) % modulus
+        else:
+            sat = min(sat + 1, cap)
+        return (mod_count, sat)
+
+    working = frozenset((x, y) for x in range(modulus) for y in range(cap + 1))
+    return SequentialProgram(working, (0, 0), p, lambda w: w, name="monoid")
+
+
+atoms = st.one_of(
+    st.builds(
+        ThreshAtom,
+        st.sampled_from(ALPHA),
+        st.integers(min_value=1, max_value=3),
+    ),
+    st.builds(
+        lambda q, m, r: ModAtom(q, r % m, m),
+        st.sampled_from(ALPHA),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2),
+    ),
+)
+
+
+def propositions(depth=2):
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=4,
+    )
+
+
+cascades = st.lists(
+    st.tuples(propositions(), st.sampled_from(["r1", "r2", "r3"])),
+    min_size=0,
+    max_size=3,
+).map(lambda cl: ModThreshProgram(clauses=tuple(cl), default="r0"))
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.7 on random instances
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(monoid_params)
+def test_random_monoid_programs_are_sm(params):
+    sp = make_monoid_program(*params)
+    assert sp.check_commutative(ALPHA)
+    assert sp.is_sm(ALPHA, max_len=4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(monoid_params)
+def test_random_monoid_conversion_cycle(params):
+    sp = make_monoid_program(*params)
+    mt = sequential_to_modthresh(sp, ALPHA)
+    pp = modthresh_to_parallel(mt, ALPHA)
+    sp2 = parallel_to_sequential(pp)
+    for ms in iter_multisets(ALPHA, 5):
+        expected = sp.evaluate(ms)
+        assert mt.evaluate(ms) == expected
+        assert pp.evaluate(ms) == expected
+        assert sp2.evaluate(ms) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(cascades)
+def test_random_cascade_to_parallel(mt):
+    pp = modthresh_to_parallel(mt, ALPHA)
+    for ms in iter_multisets(ALPHA, 4):
+        assert pp.evaluate(ms) == mt.evaluate(ms)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    propositions(),
+    st.dictionaries(
+        st.sampled_from(ALPHA), st.integers(min_value=0, max_value=8)
+    ).filter(lambda d: sum(d.values()) > 0),
+)
+def test_propositions_depend_only_on_multiplicities(prop, counts):
+    """Symmetry for free: a proposition's value is a function of μ."""
+    ms = Multiset(counts)
+    seq = ms.elements()
+    rev = list(reversed(seq))
+    assert prop.evaluate(Multiset(seq)) == prop.evaluate(Multiset(rev))
+
+
+# ----------------------------------------------------------------------
+# graphs and faults
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=40),
+    st.randoms(use_true_random=False),
+)
+def test_fault_sequences_keep_graph_consistent(n, fault_count, rnd):
+    """Any interleaving of node/edge deletions preserves the structural
+    invariants: m equals len(edges()), adjacency stays symmetric."""
+    net = generators.complete_graph(n)
+    for _ in range(fault_count):
+        if rnd.random() < 0.5 and net.num_edges > 0:
+            edges = net.edges()
+            u, v = edges[rnd.randrange(len(edges))]
+            net.remove_edge(u, v)
+        elif net.num_nodes > 0:
+            nodes = net.nodes()
+            net.remove_node(nodes[rnd.randrange(len(nodes))])
+        assert net.num_edges == len(net.edges())
+        for x in net:
+            for y in net.neighbors(x):
+                assert x in net.neighbors(y)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=2**31))
+def test_random_tree_bridges_are_all_edges(n, seed):
+    from repro.network.properties import bridges
+
+    net = generators.random_tree(n, seed)
+    assert bridges(net) == set(net.edges())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=25),
+    st.floats(min_value=0.2, max_value=0.9),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_gnp_components_partition_nodes(n, p, seed):
+    net = generators.gnp_random_graph(n, p, seed)
+    comps = net.connected_components()
+    all_nodes = [v for comp in comps for v in comp]
+    assert sorted(all_nodes) == sorted(net.nodes())
+
+
+# ----------------------------------------------------------------------
+# engine equivalence on random mod-thresh automata
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(propositions(), st.sampled_from(ALPHA)),
+        min_size=0,
+        max_size=2,
+    ),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_vectorized_matches_reference_on_random_automata(clauses, seed):
+    """For any total deterministic mod-thresh automaton, the vectorized
+    engine and the reference interpreter agree step for step."""
+    prog = ModThreshProgram(clauses=tuple(clauses), default="a")
+    programs = {"a": prog, "b": prog}
+    rng = np.random.default_rng(seed)
+    net = generators.connected_gnp_graph(12, 0.3, rng)
+    init = NetworkState.from_function(
+        net, lambda v: "a" if rng.random() < 0.5 else "b"
+    )
+    ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(programs), init.copy())
+    vec = VectorizedSynchronousEngine(net, programs, init)
+    for _ in range(4):
+        ref.step()
+        vec.step()
+        assert vec.state == ref.state
+
+
+# ----------------------------------------------------------------------
+# NeighborhoodView consistency
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["x", "y", "z"]), st.integers(min_value=0, max_value=9)
+    )
+)
+def test_view_queries_agree_with_counter(counts):
+    view = NeighborhoodView(Counter({k: v for k, v in counts.items() if v}))
+    for q in ("x", "y", "z"):
+        c = counts.get(q, 0)
+        for t in (1, 2, 5):
+            assert view.at_least(q, t) == (c >= t)
+            assert view.fewer_than(q, t) == (c < t)
+        for m in (1, 2, 3):
+            assert view.count_mod(q, m) == c % m
+        for k in (0, 1, 3):
+            assert view.exactly(q, k) == (c == k)
+    group_total = sum(counts.values())
+    for t in (0, 1, 4):
+        assert view.group_at_least(["x", "y", "z"], t) == (group_total >= t)

@@ -1,0 +1,116 @@
+"""A second round of property-based tests: conversions over 3-letter
+alphabets, graph metric consistency, and simulator determinism."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.convert import (
+    modthresh_to_parallel,
+    parallel_to_sequential,
+    sequential_to_modthresh,
+)
+from repro.core.multiset import iter_multisets
+from repro.core.sequential import SequentialProgram
+from repro.network import NetworkState, generators
+
+ALPHA3 = ["a", "b", "c"]
+
+
+# three independent per-state monoids: mod-m for 'a', saturating for 'b',
+# presence bit for 'c'
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=2),
+)
+def test_three_letter_conversion_cycle(modulus, cap):
+    def p(w, q):
+        m, s, pres = w
+        if q == "a":
+            m = (m + 1) % modulus
+        elif q == "b":
+            s = min(s + 1, cap)
+        else:
+            pres = 1
+        return (m, s, pres)
+
+    working = frozenset(
+        (x, y, z)
+        for x in range(modulus)
+        for y in range(cap + 1)
+        for z in (0, 1)
+    )
+    sp = SequentialProgram(working, (0, 0, 0), p, lambda w: w, name="tri")
+    mt = sequential_to_modthresh(sp, ALPHA3)
+    pp = modthresh_to_parallel(mt, ALPHA3)
+    sp2 = parallel_to_sequential(pp)
+    for ms in iter_multisets(ALPHA3, 3):
+        expected = sp.evaluate(ms)
+        assert mt.evaluate(ms) == expected
+        assert pp.evaluate(ms) == expected
+        assert sp2.evaluate(ms) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=25), st.integers(min_value=0, max_value=2**31))
+def test_eccentricity_diameter_consistency(n, seed):
+    net = generators.random_tree(n, seed)
+    diam = net.diameter()
+    eccs = [net.eccentricity(v) for v in net]
+    assert max(eccs) == diam
+    # the radius is at least half the diameter (rounded up)
+    assert min(eccs) >= (diam + 1) // 2
+    assert min(eccs) <= diam
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=15),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_bfs_distances_triangle_inequality(n, seed):
+    net = generators.connected_gnp_graph(n, 0.4, seed)
+    nodes = net.nodes()
+    d0 = net.bfs_distances([nodes[0]])
+    d1 = net.bfs_distances([nodes[1]])
+    base = d0[nodes[1]]
+    for v in nodes:
+        assert abs(d0[v] - d1[v]) <= base
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_probabilistic_simulation_replayable(seed):
+    """Same seed, same trajectory — full determinism of the randomized
+    engine."""
+    from repro.core.automaton import ProbabilisticFSSGA
+    from repro.runtime.simulator import SynchronousSimulator
+
+    aut = ProbabilisticFSSGA(
+        {0, 1}, 2, lambda own, view, i: i if view.at_least(1, 1) else own
+    )
+    net = generators.cycle_graph(8)
+    init = NetworkState.uniform(net, 0)
+    init[0] = 1
+
+    def run():
+        sim = SynchronousSimulator(net.copy(), aut, init.copy(), rng=seed)
+        sim.run(10)
+        return dict(sim.state.items())
+
+    assert run() == run()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=9),
+        st.sampled_from(["x", "y", ("t", 1)]),
+        min_size=1,
+    )
+)
+def test_state_json_round_trip(assignment):
+    from repro.network.io import state_from_json, state_to_json
+
+    st_ = NetworkState(assignment)
+    assert state_from_json(state_to_json(st_)) == st_

@@ -1,0 +1,66 @@
+"""Tests for repro.runtime.dynamics (orbit analysis)."""
+
+import pytest
+
+from repro.algorithms import two_coloring as tc
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.network import NetworkState, generators
+from repro.runtime.dynamics import Orbit, find_orbit
+
+
+def epidemic():
+    return FSSGA(
+        {0, 1}, lambda own, view: 1 if own == 1 or view.at_least(1, 1) else 0
+    )
+
+
+class TestFindOrbit:
+    def test_epidemic_reaches_fixed_point(self):
+        net = generators.path_graph(6)
+        init = NetworkState.uniform(net, 0)
+        init[0] = 1
+        orbit = find_orbit(net, epidemic(), init)
+        assert orbit.reaches_fixed_point
+        assert orbit.transient == 5  # one layer per step
+
+    def test_verbatim_two_coloring_has_period_two(self):
+        """The documented oscillation, as a measured orbit."""
+        net = generators.path_graph(5)
+        aut, init = tc.build(net, 0, sticky=False)
+        orbit = find_orbit(net, aut, init)
+        assert orbit.period == 2
+
+    def test_sticky_two_coloring_fixed_point(self):
+        net = generators.cycle_graph(8)
+        aut, init = tc.build(net, 0, sticky=True)
+        orbit = find_orbit(net, aut, init)
+        assert orbit.reaches_fixed_point
+        assert orbit.transient <= net.diameter() + 1
+
+    def test_odd_cycle_verbatim_oscillates_forever(self):
+        net = generators.cycle_graph(3)
+        aut, init = tc.build(net, 0, sticky=False)
+        orbit = find_orbit(net, aut, init)
+        assert orbit.period == 2  # all-RED <-> all-BLUE
+
+    def test_pure_rotation_period(self):
+        """A 3-state rotor on a single edge cycles with period 3."""
+        rot = {0: 1, 1: 2, 2: 0}
+        aut = FSSGA({0, 1, 2}, lambda own, view: rot[own])
+        net = generators.path_graph(2)
+        init = NetworkState({0: 0, 1: 0})
+        orbit = find_orbit(net, aut, init)
+        assert orbit == Orbit(transient=0, period=3)
+
+    def test_probabilistic_rejected(self):
+        aut = ProbabilisticFSSGA({0, 1}, 2, lambda own, view, i: i)
+        net = generators.path_graph(2)
+        with pytest.raises(TypeError):
+            find_orbit(net, aut, NetworkState.uniform(net, 0))
+
+    def test_budget_exhaustion(self):
+        net = generators.path_graph(12)
+        init = NetworkState.uniform(net, 0)
+        init[0] = 1
+        with pytest.raises(RuntimeError):
+            find_orbit(net, epidemic(), init, max_steps=3)

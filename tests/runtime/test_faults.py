@@ -1,0 +1,89 @@
+"""Unit tests for repro.runtime.faults."""
+
+import pytest
+
+from repro.network import NetworkState, generators
+from repro.runtime.faults import FaultEvent, FaultPlan, random_fault_plan
+
+
+class TestFaultEvent:
+    def test_node_fault(self):
+        net = generators.path_graph(3)
+        st = NetworkState.uniform(net, 0)
+        ev = FaultEvent(0, "node", 1)
+        assert ev.applies_to(net)
+        assert ev.apply(net, st)
+        assert 1 not in net and 1 not in st
+
+    def test_edge_fault(self):
+        net = generators.path_graph(3)
+        ev = FaultEvent(0, "edge", (0, 1))
+        assert ev.apply(net)
+        assert not net.has_edge(0, 1)
+
+    def test_preempted_fault(self):
+        net = generators.path_graph(3)
+        FaultEvent(0, "node", 1).apply(net)
+        ev = FaultEvent(1, "edge", (0, 1))
+        assert not ev.applies_to(net)
+        assert not ev.apply(net)
+
+
+class TestFaultPlan:
+    def test_apply_due_order(self):
+        net = generators.path_graph(5)
+        plan = FaultPlan(
+            [FaultEvent(3, "edge", (2, 3)), FaultEvent(1, "edge", (0, 1))]
+        )
+        assert plan.apply_due(net, 0) == []
+        fired = plan.apply_due(net, 1)
+        assert len(fired) == 1 and fired[0].target == (0, 1)
+        plan.apply_due(net, 10)
+        assert not net.has_edge(2, 3)
+        assert plan.exhausted
+
+    def test_skipped_recorded(self):
+        net = generators.path_graph(3)
+        plan = FaultPlan(
+            [FaultEvent(0, "node", 1), FaultEvent(1, "edge", (1, 2))]
+        )
+        plan.apply_due(net, 5)
+        assert len(plan.applied) == 1
+        assert len(plan.skipped) == 1
+
+    def test_reset(self):
+        net = generators.path_graph(3)
+        plan = FaultPlan([FaultEvent(0, "edge", (0, 1))])
+        plan.apply_due(net, 0)
+        plan.reset()
+        assert not plan.exhausted
+        assert plan.applied == []
+
+    def test_convenience_constructors(self):
+        plan = FaultPlan.node_faults({2: "a", 5: "b"})
+        assert len(plan) == 2
+        plan = FaultPlan.edge_faults({1: (0, 1)})
+        assert plan.events()[0].kind == "edge"
+
+
+class TestRandomFaultPlan:
+    def test_respects_protection(self):
+        net = generators.complete_graph(6)
+        plan = random_fault_plan(net, 10, max_time=5, rng=1, protect=(0,))
+        for ev in plan.events():
+            if ev.kind == "node":
+                assert ev.target != 0
+            else:
+                assert 0 not in ev.target
+
+    def test_deterministic_with_seed(self):
+        net = generators.complete_graph(6)
+        a = random_fault_plan(net, 5, 10, rng=42)
+        b = random_fault_plan(net, 5, 10, rng=42)
+        assert [e.target for e in a.events()] == [e.target for e in b.events()]
+
+    def test_no_duplicate_targets(self):
+        net = generators.complete_graph(5)
+        plan = random_fault_plan(net, 8, 10, rng=0)
+        targets = [e.target for e in plan.events()]
+        assert len(targets) == len(set(targets))

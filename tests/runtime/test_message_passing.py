@@ -1,0 +1,142 @@
+"""Tests for the Section 3 message-passing simulation layer."""
+
+from collections import Counter
+
+import pytest
+
+from repro.network import generators
+from repro.runtime.message_passing import (
+    MessagePassingAlgorithm,
+    as_fssga,
+    run_rounds,
+)
+
+
+def broadcast_algo():
+    """Classic flooding broadcast: informed nodes keep announcing."""
+
+    def handler(state, inbox):
+        if state == "informed" or inbox["token"] > 0:
+            return "informed", ["token"]
+        return "idle", []
+
+    return MessagePassingAlgorithm(
+        states=["idle", "informed"], messages=["token"], handler=handler
+    )
+
+
+def echo_counter_algo(threshold=2):
+    """A node turns 'hot' once it hears >= threshold pings in one round
+    (exercises inbox multiplicities)."""
+
+    def handler(state, inbox):
+        if state == "hot":
+            return "hot", ["ping"]
+        if inbox["ping"] >= threshold:
+            return "hot", ["ping"]
+        if state == "seed":
+            return "seed", ["ping"]
+        return "cold", []
+
+    return MessagePassingAlgorithm(
+        states=["cold", "hot", "seed"], messages=["ping"], handler=handler
+    )
+
+
+class TestEncoding:
+    def test_encode_caps_multiplicity(self):
+        algo = broadcast_algo()
+        q = algo.encode("idle", ["token", "token", "token"])
+        assert q == ("idle", (("token", 1),))
+
+    def test_encode_rejects_unknown(self):
+        algo = broadcast_algo()
+        with pytest.raises(ValueError):
+            algo.encode("idle", ["alien"])
+        with pytest.raises(ValueError):
+            algo.encode("alien-state")
+
+    def test_space_membership(self):
+        algo = broadcast_algo()
+        aut = as_fssga(algo)
+        assert algo.encode("idle") in aut.alphabet
+        assert ("idle", (("token", 5),)) not in aut.alphabet
+        assert "garbage" not in aut.alphabet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessagePassingAlgorithm([], ["m"], lambda s, i: (s, []))
+        with pytest.raises(ValueError):
+            MessagePassingAlgorithm(["s"], ["m"], lambda s, i: (s, []), outbox_cap=0)
+
+
+class TestBroadcast:
+    def test_flooding_reaches_everyone_in_ecc_rounds(self):
+        net = generators.path_graph(8)
+        algo = broadcast_algo()
+        init = {v: ("informed", ["token"]) if v == 0 else "idle" for v in net}
+        final = run_rounds(net, algo, init, rounds=8)
+        assert all(final[v][0] == "informed" for v in net)
+
+    def test_one_round_reaches_exactly_neighbours(self):
+        net = generators.star_graph(5)
+        algo = broadcast_algo()
+        init = {v: ("informed", ["token"]) if v == 0 else "idle" for v in net}
+        final = run_rounds(net, algo, init, rounds=1)
+        assert all(final[v][0] == "informed" for v in net)  # hub reaches all
+
+        net2 = generators.path_graph(5)
+        final2 = run_rounds(net2, algo, {v: ("informed", ["token"]) if v == 0 else "idle" for v in net2}, rounds=1)
+        assert final2[1][0] == "informed"
+        assert final2[2][0] == "idle"
+
+
+class TestInboxMultiplicity:
+    def test_threshold_needs_two_senders(self):
+        # path seed-x-seed: the middle node hears 2 pings -> hot;
+        # a single seed's neighbour hears only 1 -> stays cold.
+        from repro.network.graph import Network
+
+        net = Network(edges=[(0, 1), (1, 2), (2, 3)])
+        algo = echo_counter_algo(threshold=2)
+        init = {
+            0: ("seed", ["ping"]),
+            1: "cold",
+            2: ("seed", ["ping"]),
+            3: "cold",
+        }
+        final = run_rounds(net, algo, init, rounds=1)
+        assert final[1][0] == "hot"   # heard 0 and 2
+        assert final[3][0] == "cold"  # heard only 2
+
+    def test_symmetry_of_reads(self):
+        """The inbox depends only on the multiset of neighbour states."""
+        algo = echo_counter_algo()
+        aut = as_fssga(algo)
+        a = algo.encode("seed", ["ping"])
+        b = algo.encode("cold")
+        own = algo.encode("cold")
+        inbox_order_1 = aut.transition(own, Counter({a: 2, b: 1}))
+        inbox_order_2 = aut.transition(own, Counter({b: 1, a: 2}))
+        assert inbox_order_1 == inbox_order_2
+
+
+class TestFssgaIntegration:
+    def test_runs_on_standard_simulator(self):
+        from repro.network import NetworkState
+        from repro.runtime.simulator import SynchronousSimulator
+
+        net = generators.cycle_graph(6)
+        algo = broadcast_algo()
+        aut = as_fssga(algo)
+        init = NetworkState(
+            {
+                v: algo.encode("informed", ["token"])
+                if v == 0
+                else algo.encode("idle")
+                for v in net
+            }
+        )
+        sim = SynchronousSimulator(net, aut, init)
+        sim.run_until_stable(max_steps=20)
+        assert all(sim.state[v][0] == "informed" for v in net)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.runtime.scheduler."""
+
+import numpy as np
+
+from repro.network import NetworkState, generators
+from repro.runtime.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    random_fair_rounds,
+)
+
+
+def _ctx(n=5):
+    net = generators.path_graph(n)
+    return net, NetworkState.uniform(net, 0), np.random.default_rng(0)
+
+
+class TestRandomScheduler:
+    def test_returns_live_nodes(self):
+        net, st, rng = _ctx()
+        s = RandomScheduler()
+        for _ in range(20):
+            assert s.next_node(net, st, 0, rng) in net
+
+    def test_empty_network(self):
+        from repro.network.graph import Network
+
+        s = RandomScheduler()
+        assert s.next_node(Network(), NetworkState(), 0, np.random.default_rng()) is None
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        net, st, rng = _ctx(3)
+        s = RoundRobinScheduler()
+        picks = [s.next_node(net, st, t, rng) for t in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_dead_nodes(self):
+        net, st, rng = _ctx(3)
+        s = RoundRobinScheduler()
+        s.next_node(net, st, 0, rng)
+        net.remove_node(1)
+        picks = [s.next_node(net, st, t, rng) for t in range(3)]
+        assert 1 not in picks
+
+    def test_explicit_order(self):
+        net, st, rng = _ctx(3)
+        s = RoundRobinScheduler(order=[2, 0, 1])
+        assert s.next_node(net, st, 0, rng) == 2
+
+
+class TestScripted:
+    def test_replays_and_exhausts(self):
+        net, st, rng = _ctx(3)
+        s = ScriptedScheduler([1, 1, 0])
+        assert [s.next_node(net, st, t, rng) for t in range(4)] == [1, 1, 0, None]
+        assert s.exhausted
+
+    def test_skips_dead(self):
+        net, st, rng = _ctx(3)
+        s = ScriptedScheduler([1, 2])
+        net.remove_node(1)
+        assert s.next_node(net, st, 0, rng) == 2
+
+
+class TestFairRounds:
+    def test_each_round_is_permutation(self):
+        net, _, _ = _ctx(6)
+        seq = random_fair_rounds(net, 4, rng=3)
+        assert len(seq) == 24
+        for r in range(4):
+            chunk = seq[r * 6 : (r + 1) * 6]
+            assert sorted(chunk) == list(range(6))
+
+    def test_deterministic(self):
+        net, _, _ = _ctx(5)
+        assert random_fair_rounds(net, 3, rng=9) == random_fair_rounds(net, 3, rng=9)

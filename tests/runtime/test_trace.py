@@ -1,0 +1,67 @@
+"""Unit tests for repro.runtime.trace."""
+
+from repro.core.automaton import FSSGA
+from repro.network import NetworkState, generators
+from repro.runtime.simulator import SynchronousSimulator
+from repro.runtime.trace import StepRecord, Trace
+
+
+class TestTrace:
+    def test_record_and_len(self):
+        tr = Trace()
+        tr.record(0, {1: ("a", "b")})
+        tr.record(1, {})
+        assert len(tr) == 2
+        assert tr.steps[0].changes == {1: ("a", "b")}
+
+    def test_quiescent_flag(self):
+        assert StepRecord(0, {}, []).quiescent
+        assert not StepRecord(0, {1: ("a", "b")}, []).quiescent
+        assert not StepRecord(0, {}, ["fault"]).quiescent
+
+    def test_changed_nodes_and_history(self):
+        tr = Trace()
+        tr.record(0, {1: ("a", "b")})
+        tr.record(1, {1: ("b", "c"), 2: ("a", "b")})
+        assert tr.changed_nodes() == {1, 2}
+        assert tr.history_of(1) == [(0, "a", "b"), (1, "b", "c")]
+        assert tr.history_of(9) == []
+
+    def test_total_state_changes(self):
+        tr = Trace()
+        tr.record(0, {1: ("a", "b"), 2: ("a", "b")})
+        tr.record(1, {1: ("b", "c")})
+        assert tr.total_state_changes() == 3
+
+    def test_snapshots(self):
+        net = generators.path_graph(4)
+        aut = FSSGA(
+            {0, 1}, lambda own, view: 1 if own == 1 or view.at_least(1, 1) else 0
+        )
+        init = NetworkState.uniform(net, 0)
+        init[0] = 1
+        tr = Trace(snapshots=True)
+        sim = SynchronousSimulator(net, aut, init, trace=tr)
+        sim.run(3)
+        assert len(tr.snapshots) == 3
+        # snapshots are copies: mutating one does not affect others
+        tr.snapshots[0].set(0, 99)
+        assert tr.snapshots[1][0] != 99 or tr.snapshots[1][0] == 1
+
+    def test_replayability(self):
+        """The trace determines the full state sequence given the init."""
+        net = generators.path_graph(5)
+        aut = FSSGA(
+            {0, 1}, lambda own, view: 1 if own == 1 or view.at_least(1, 1) else 0
+        )
+        init = NetworkState.uniform(net, 0)
+        init[0] = 1
+        tr = Trace()
+        sim = SynchronousSimulator(net, aut, init.copy(), trace=tr)
+        sim.run(5)
+        # replay
+        replayed = init.copy()
+        for rec in tr.steps:
+            for v, (_old, new) in rec.changes.items():
+                replayed.set(v, new)
+        assert replayed == sim.state

@@ -1,0 +1,149 @@
+"""Tests for the vectorized synchronous engine (experiment E15 substrate).
+
+The key property: step-for-step equivalence with the reference
+interpreter on mod-thresh automata, deterministic and probabilistic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import two_coloring as tc
+from repro.core.automaton import FSSGA
+from repro.core.modthresh import ModThreshProgram, at_least, count_is_mod
+from repro.network import NetworkState, generators
+from repro.runtime.simulator import SynchronousSimulator
+from repro.runtime.vectorized import VectorizedSynchronousEngine
+
+
+def epidemic_programs():
+    spread = ModThreshProgram(clauses=((at_least("i", 1), "i"),), default="s")
+    stay = ModThreshProgram(clauses=(), default="i")
+    return {"s": spread, "i": stay}
+
+
+class TestDeterministicEquivalence:
+    @pytest.mark.parametrize(
+        "net_fn",
+        [
+            lambda: generators.path_graph(12),
+            lambda: generators.cycle_graph(9),
+            lambda: generators.grid_graph(4, 5),
+            lambda: generators.connected_gnp_graph(25, 0.15, 3),
+        ],
+    )
+    def test_epidemic_stepwise(self, net_fn):
+        net = net_fn()
+        progs = epidemic_programs()
+        init = NetworkState.uniform(net, "s")
+        init[next(iter(net))] = "i"
+
+        ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(progs), init.copy())
+        vec = VectorizedSynchronousEngine(net, progs, init)
+        for _ in range(8):
+            ref.step()
+            vec.step()
+            assert vec.state == ref.state
+
+    def test_two_coloring_equivalence(self):
+        net = generators.cycle_graph(10)
+        progs = tc.sticky_programs()
+        init = NetworkState.from_function(
+            net, lambda v: tc.RED if v == 0 else tc.BLANK
+        )
+        ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(progs), init.copy())
+        vec = VectorizedSynchronousEngine(net, progs, init)
+        ref.run_until_stable()
+        vec.run_until_stable()
+        assert vec.state == ref.state
+        assert tc.succeeded(net, vec.state)
+
+    def test_mod_atoms_vectorized(self):
+        prog = ModThreshProgram(
+            clauses=((count_is_mod("a", 0, 2), "even"),), default="odd"
+        )
+        progs = {"a": prog, "even": prog, "odd": prog}
+        net = generators.star_graph(5)
+        init = NetworkState.uniform(net, "a")
+        vec = VectorizedSynchronousEngine(net, progs, init)
+        vec.step()
+        state = vec.state
+        assert state[0] == "odd"  # hub has 5 'a' neighbours
+        assert all(state[v] == "odd" for v in range(1, 6))  # leaves see 1
+
+    def test_isolated_nodes_keep_state(self):
+        from repro.network.graph import Network
+
+        net = Network(nodes=[0, 1], edges=[])
+        progs = epidemic_programs()
+        init = NetworkState({0: "i", 1: "s"})
+        vec = VectorizedSynchronousEngine(net, progs, init)
+        vec.step()
+        assert vec.state == init
+
+    def test_state_counts(self):
+        net = generators.path_graph(5)
+        progs = epidemic_programs()
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        vec = VectorizedSynchronousEngine(net, progs, init)
+        counts = vec.state_counts()
+        assert counts["i"] == 1 and counts["s"] == 4
+
+    def test_run_until_stable(self):
+        net = generators.path_graph(10)
+        progs = epidemic_programs()
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        vec = VectorizedSynchronousEngine(net, progs, init)
+        steps = vec.run_until_stable()
+        assert steps == 10
+        assert all(vec.state[v] == "i" for v in net)
+
+
+class TestProbabilisticEquivalence:
+    def test_distributional_agreement(self):
+        """Same seed streams differ in shape, so compare distributions:
+        fraction of nodes infected after k steps of a probabilistic
+        spreading rule."""
+        spread = ModThreshProgram(clauses=((at_least("i", 1), "i"),), default="s")
+        stay_s = ModThreshProgram(clauses=(), default="s")
+        stay_i = ModThreshProgram(clauses=(), default="i")
+        # infection spreads only when the coin says so (i = 1)
+        progs = {
+            ("s", 0): stay_s,
+            ("s", 1): spread,
+            ("i", 0): stay_i,
+            ("i", 1): stay_i,
+        }
+        net = generators.cycle_graph(30)
+
+        def run_vec(seed):
+            init = NetworkState.uniform(net, "s")
+            init[0] = "i"
+            vec = VectorizedSynchronousEngine(net, progs, init, randomness=2, rng=seed)
+            vec.run(15)
+            return vec.state_counts()["i"]
+
+        from repro.core.automaton import ProbabilisticFSSGA
+        from repro.runtime.simulator import SynchronousSimulator
+
+        aut = ProbabilisticFSSGA({"s", "i"}, 2, progs)
+
+        def run_ref(seed):
+            init = NetworkState.uniform(net, "s")
+            init[0] = "i"
+            sim = SynchronousSimulator(net.copy(), aut, init, rng=seed)
+            sim.run(15)
+            return sum(1 for v in net if sim.state[v] == "i")
+
+        vec_mean = np.mean([run_vec(s) for s in range(25)])
+        ref_mean = np.mean([run_ref(s) for s in range(25)])
+        # expected infected count ~ 1 + 2 * 15/2; allow generous tolerance
+        assert abs(vec_mean - ref_mean) < 5.0
+
+    def test_rule_based_rejected(self):
+        net = generators.path_graph(3)
+        aut = FSSGA({0, 1}, lambda own, view: own)
+        init = NetworkState.uniform(net, 0)
+        with pytest.raises(TypeError):
+            VectorizedSynchronousEngine(net, aut, init)

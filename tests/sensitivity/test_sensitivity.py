@@ -1,0 +1,132 @@
+"""Tests for the k-sensitivity framework (Section 2, experiment E14)."""
+
+import pytest
+
+from repro.algorithms.beta_synchronizer import BetaSynchronizer
+from repro.network import NetworkState, generators
+from repro.runtime.faults import FaultEvent, FaultPlan, random_fault_plan
+from repro.sensitivity import (
+    bridges_under_faults,
+    census_under_faults,
+    chi_agent,
+    chi_arm,
+    chi_beta_synchronizer,
+    chi_decentralized,
+    max_criticality,
+    shortest_paths_under_faults,
+    synchronizer_fault_comparison,
+)
+
+
+class TestChiMaps:
+    def test_decentralized_chi_empty(self):
+        net = generators.grid_graph(3, 3)
+        assert chi_decentralized(net) == set()
+
+    def test_agent_chi_single(self):
+        assert chi_agent(5) == {5}
+        assert chi_agent(None) == set()
+
+    def test_arm_chi_from_traversal_state(self):
+        st = NetworkState(
+            {
+                0: (True, "arm", "idle"),
+                1: (False, "hand", "flip"),
+                2: (False, "blank", "idle"),
+            }
+        )
+        net = generators.path_graph(3)
+        assert chi_arm(net, st) == {0, 1}
+
+    def test_beta_chi_matches_internal_nodes(self):
+        net = generators.path_graph(6)
+        sync = BetaSynchronizer(net, root=0)
+        assert chi_beta_synchronizer(sync) == sync.critical_nodes()
+
+    def test_max_criticality(self):
+        assert max_criticality([{1}, {1, 2}, set()]) == 2
+        assert max_criticality([]) == 0
+
+
+class TestSensitivityLadder:
+    """The paper's ranking: decentralized 0 < agent 1 < arm/tree Θ(n)."""
+
+    def test_ladder_on_path(self):
+        n = 12
+        net = generators.path_graph(n)
+        sync = BetaSynchronizer(net, root=0)
+        decentralized = 0
+        agent = 1
+        tree = len(chi_beta_synchronizer(sync))
+        assert decentralized < agent < tree
+        assert tree >= n // 2
+
+
+class TestCensusUnderFaults:
+    def test_edge_faults_keep_reasonable_correctness(self):
+        net = generators.theta_graph(3, 3, 4)
+        plan = FaultPlan([FaultEvent(2, "edge", net.edges()[0])])
+        res = census_under_faults(net, plan, k=8, rng=1)
+        assert res.reasonably_correct
+        assert res.faults_applied == 1
+
+    def test_random_fault_storm(self):
+        net = generators.connected_gnp_graph(25, 0.25, 4)
+        plan = random_fault_plan(net, 5, max_time=6, rng=4, kinds=("edge",))
+        res = census_under_faults(net, plan, k=10, rng=4)
+        assert res.reasonably_correct
+
+
+class TestShortestPathsUnderFaults:
+    def test_reconverges_to_survivor_distances(self):
+        net = generators.grid_graph(4, 4)
+        plan = FaultPlan(
+            [FaultEvent(4, "edge", (1, 2)), FaultEvent(7, "node", 10)]
+        )
+        res = shortest_paths_under_faults(net, [0], plan, rng=2)
+        assert res.reasonably_correct
+
+    def test_zero_sensitivity_over_many_seeds(self):
+        for seed in range(5):
+            net = generators.connected_gnp_graph(16, 0.25, seed)
+            plan = random_fault_plan(net, 3, max_time=8, rng=seed, kinds=("edge",), protect=(0,))
+            res = shortest_paths_under_faults(net, [0], plan, rng=seed)
+            assert res.reasonably_correct
+
+
+class TestBridgesUnderFaults:
+    def test_agent_survives_protected_plan(self):
+        net = generators.theta_graph(3, 3, 3)
+        # faults only on edges away from node 0 where the agent starts —
+        # the agent may wander, so protect a neighbourhood by using few
+        # faults late
+        plan = FaultPlan([FaultEvent(400, "edge", (1, 0))])
+        res = bridges_under_faults(net, 0, plan, walk_steps=300, rng=3)
+        assert res.reasonably_correct  # agent alive: no critical failure
+
+    def test_agent_death_flagged(self):
+        net = generators.cycle_graph(5)
+        plan = FaultPlan([FaultEvent(0, "node", 0)])
+        res = bridges_under_faults(net, 0, plan, walk_steps=100, rng=1)
+        assert not res.reasonably_correct
+        assert res.detail["agent_lost"]
+
+
+class TestSynchronizerComparison:
+    def test_beta_breaks_alpha_survives(self):
+        """The headline E14 contrast."""
+        net = generators.grid_graph(3, 3)
+        sync = BetaSynchronizer(net.copy(), root=0)
+        tree_edge = next(iter(sync._tree_edges))
+        plan = FaultPlan([FaultEvent(5, "edge", tree_edge)])
+        res = synchronizer_fault_comparison(net, plan, rounds=20, rng=0)
+        assert res["beta_broken"]
+        assert res["beta_rounds_completed"] <= 5
+        assert res["alpha_min_clock"] >= 18  # keeps ticking through the fault
+
+    def test_both_fine_without_faults(self):
+        net = generators.cycle_graph(6)
+        res = synchronizer_fault_comparison(net, FaultPlan([]), rounds=15, rng=1)
+        assert not res["beta_broken"]
+        assert res["beta_rounds_completed"] == 15
+        assert res["alpha_min_clock"] == 15

@@ -1,0 +1,45 @@
+"""Smoke tests for the ``python -m repro`` demo runner."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def _run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize(
+    "args,needle",
+    [
+        (["two-coloring", "8"], "2-coloured"),
+        (["two-coloring", "7"], "FAILED"),
+        (["census", "32"], "estimate"),
+        (["walk", "10"], "rounds/move"),
+        (["traversal", "8"], "hand moves"),
+        (["election", "6"], "leader"),
+        (["firing-squad", "6"], "F" * 6),
+        (["equivalence"], "all three agree"),
+    ],
+)
+def test_demo_output(args, needle):
+    result = _run(*args)
+    assert result.returncode == 0, result.stderr
+    assert needle in result.stdout
+
+
+def test_help():
+    result = _run("--help")
+    assert result.returncode == 0
+    assert "two-coloring" in result.stdout
+
+
+def test_unknown_demo():
+    result = _run("frobnicate")
+    assert result.returncode == 1
