@@ -1,0 +1,25 @@
+# Developer entry points.  `make check` is the gate a change must pass:
+# the tier-1 suite (fast; `slow`-marked sweeps excluded by pyproject
+# addopts) followed by the opt-in wide conformance sweep.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test slow check bench bench-batched demo
+
+test:
+	$(PYTHON) -m pytest tests/
+
+slow:
+	$(PYTHON) -m pytest tests/ -m slow
+
+check: test slow
+
+bench:
+	PYTHONPATH=src:benchmarks $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-batched:
+	PYTHONPATH=src:benchmarks $(PYTHON) -m pytest benchmarks/bench_batched.py -p no:cacheprovider -q -s
+
+demo:
+	$(PYTHON) examples/election_demo.py

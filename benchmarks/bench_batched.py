@@ -1,0 +1,97 @@
+"""E17 — batched replica engine vs R sequential vectorized runs.
+
+The DESIGN choice under test: replica statistics for probabilistic claims
+(election phases, census accuracy) should come from one stacked
+computation over an (R, n) state array — one sparse product over the
+horizontally-stacked one-hot block matrix per step — rather than R
+sequential single-replica engine runs that each repay the per-step Python
+overhead.  Target (ISSUE 1 acceptance): >= 5x at R = 64 on the
+leader-election workload.  Equivalence (replica i bitwise equal to the
+spawned single-replica run) is covered in tests/runtime/test_batched.py
+and the conformance suite.
+"""
+
+import time
+
+import numpy as np
+
+from repro.algorithms import election
+from repro.runtime.batched import BatchedSynchronousEngine
+from repro.runtime.vectorized import VectorizedSynchronousEngine
+from repro.network import generators
+
+from _benchlib import print_table
+
+STEPS = 30
+
+
+def _workload(n):
+    net = generators.complete_graph(n)
+    return net, election.coin_kernel_programs(), election.coin_kernel_init(net)
+
+
+def _time_sequential(net, programs, init, replicas, seed):
+    children = np.random.default_rng(seed).spawn(replicas)
+    t0 = time.perf_counter()
+    for child in children:
+        eng = VectorizedSynchronousEngine(
+            net, programs, init, randomness=2, rng=child
+        )
+        eng.run(STEPS)
+    return time.perf_counter() - t0
+
+
+def _time_batched(net, programs, init, replicas, seed):
+    t0 = time.perf_counter()
+    eng = BatchedSynchronousEngine(
+        net, programs, init, replicas=replicas, randomness=2, rng=seed
+    )
+    eng.run(STEPS)
+    return time.perf_counter() - t0
+
+
+def test_replica_speedup_series(benchmark):
+    def compute():
+        rows = []
+        speedups = {}
+        for n, replicas in ((64, 8), (64, 64), (256, 64)):
+            net, programs, init = _workload(n)
+            t_seq = _time_sequential(net, programs, init, replicas, seed=0)
+            t_bat = _time_batched(net, programs, init, replicas, seed=0)
+            speedups[(n, replicas)] = t_seq / t_bat
+            rows.append(
+                (
+                    n,
+                    replicas,
+                    f"{t_seq * 1e3:.1f}",
+                    f"{t_bat * 1e3:.1f}",
+                    f"{t_seq / t_bat:.1f}x",
+                )
+            )
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        f"E17: {STEPS} steps of the election coin kernel, "
+        "R sequential vectorized runs vs one batched engine (ms)",
+        ["n", "R", "sequential ms", "batched ms", "speedup"],
+        rows,
+    )
+    # the ISSUE 1 acceptance bar: >= 5x at R = 64 on the election workload
+    assert speedups[(64, 64)] >= 5.0
+
+
+def test_batched_smoke(benchmark):
+    """Timed smoke: one batched kernel run to a unique survivor at R=64."""
+    net = generators.complete_graph(64)
+
+    def run():
+        stats = election.kernel_phase_statistics(net, replicas=64, rng=7)
+        assert stats.survivor_counts == [1] * 64
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nR=64 kernel runs on K64: mean {stats.mean_rounds:.1f} phases "
+        f"(min {int(stats.rounds.min())}, max {int(stats.rounds.max())})"
+    )

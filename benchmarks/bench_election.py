@@ -141,6 +141,37 @@ def test_local_automaton_step_scaling(benchmark):
     assert ratios[-1] < 4 * ratios[0] + 10
 
 
+def test_kernel_phase_scaling_batched(benchmark):
+    """Claim 4.1 statistics from the executable mod-thresh coin kernel,
+    gathered over R = 64 replicas per size with the batched engine (one
+    stacked run per n instead of 64 sequential engine runs).  On K_n the
+    kernel's remaining-set halves in expectation per phase, so the mean
+    phase count to a unique survivor should track log2 n."""
+
+    def compute():
+        sizes = (8, 32, 128)
+        rows = []
+        means = []
+        for n in sizes:
+            net = generators.complete_graph(n)
+            stats = election.kernel_phase_statistics(net, replicas=64, rng=n)
+            assert stats.survivor_counts == [1] * 64
+            means.append(stats.mean_rounds)
+            rows.append((n, f"{stats.mean_rounds:.1f}", f"{math.log2(n):.1f}"))
+        return rows, means, sizes
+
+    rows, means, sizes = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E12f: coin-kernel phases to unique survivor on K_n (R=64, batched)",
+        ["n", "mean phases", "log2 n"],
+        rows,
+    )
+    # logarithmic shape: additive growth per 4x size increase stays bounded
+    increments = [b - a for a, b in zip(means, means[1:])]
+    assert all(inc < 6 for inc in increments)
+    assert means[-1] < 3 * math.log2(sizes[-1])
+
+
 def test_reference_election_benchmark(benchmark):
     net = generators.cycle_graph(128)
     benchmark(lambda: er.run_election(net, rng=3))

@@ -12,6 +12,7 @@ import time
 from repro.algorithms import two_coloring as tc
 from repro.core.automaton import FSSGA
 from repro.network import NetworkState, generators
+from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 
@@ -60,6 +61,59 @@ def test_speedup_series(benchmark):
     )
     # the vectorized engine must win at the largest size
     assert float(rows[-1][3].rstrip("x")) > 1.0
+
+
+def test_three_engine_comparison(benchmark):
+    """Reference vs vectorized vs batched on one deterministic workload.
+
+    The batched engine is built for R > 1, but even at R = 1 its per-step
+    cost should stay within a small constant of the vectorized engine —
+    this guards against the stacked one-hot layout regressing the
+    single-replica path.  The R = 16 column shows the amortized per-replica
+    cost the replica-statistics helpers actually pay (see also
+    bench_batched.py / E17 for the probabilistic workload).
+    """
+
+    def compute():
+        rows = []
+        for side in (10, 20):
+            net, progs, init = _setup(side)
+            steps = 10
+
+            t0 = time.perf_counter()
+            ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(progs), init.copy())
+            ref.run(steps)
+            t_ref = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            vec = VectorizedSynchronousEngine(net, progs, init)
+            vec.run(steps)
+            t_vec = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            bat = BatchedSynchronousEngine(net, progs, init, replicas=16)
+            bat.run(steps)
+            t_bat = time.perf_counter() - t0
+
+            rows.append(
+                (
+                    side * side,
+                    f"{t_ref * 1e3:.1f}",
+                    f"{t_vec * 1e3:.1f}",
+                    f"{t_bat * 1e3:.1f}",
+                    f"{t_bat / 16 * 1e3:.2f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "E15b: 10 steps — reference / vectorized / batched R=16 (ms)",
+        ["n", "reference ms", "vectorized ms", "batched ms", "batched ms per replica"],
+        rows,
+    )
+    # amortized per-replica batched cost must beat one vectorized run
+    assert all(float(r[4]) < float(r[2]) for r in rows)
 
 
 def test_reference_step_benchmark(benchmark):

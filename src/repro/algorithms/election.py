@@ -55,11 +55,13 @@ election coin).
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping
 from typing import NamedTuple, Optional, Union
 
 import numpy as np
 
 from repro.core.automaton import NeighborhoodView, ProbabilisticFSSGA
+from repro.core.modthresh import ModThreshProgram, at_least
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 from repro.runtime.simulator import SynchronousSimulator
@@ -73,6 +75,14 @@ __all__ = [
     "remaining",
     "run_until_elected",
     "LocalElectionResult",
+    "K_REMAIN0",
+    "K_REMAIN1",
+    "K_OUT",
+    "coin_kernel_programs",
+    "coin_kernel_init",
+    "kernel_remaining_count",
+    "KernelPhaseStats",
+    "kernel_phase_statistics",
 ]
 
 STAR = "*"
@@ -493,3 +503,106 @@ def run_until_elected(
                 return LocalElectionResult(lead[0], sim.time, phase_changes)
         else:
             quiet = 0
+
+
+# ----------------------------------------------------------------------
+# Claim 4.1 coin-elimination kernel (mod-thresh, engine-friendly)
+# ----------------------------------------------------------------------
+#
+# The full Algorithm 4.4 automaton above is rule-based over a huge
+# composite alphabet, which locks replica statistics into the per-node
+# reference interpreter.  The *probabilistic core* of its analysis —
+# Claim 4.1's per-phase coin elimination — is mod-thresh expressible over
+# three states, so distributions over runs (phases to a unique survivor,
+# per-phase elimination rates) can be batch-simulated on the vectorized
+# engines.  One synchronous step is one phase: every remaining node holds
+# this phase's label (r0 or r1); a label-0 remainer that detects a label-1
+# remainer among its neighbours is eliminated (the NP₁ evidence reaching
+# it), and every surviving remainer draws next phase's label from its
+# private coin (randomness r = 2).
+#
+# Detection here is neighbourhood-local.  On a complete graph every
+# remaining pair is adjacent, so detection is global exactly as in
+# Claim 4.1's broadcast argument and the kernel terminates with a unique
+# survivor in Θ(log n) expected phases (each label-0 remainer is
+# eliminated w.p. ≥ 1/4 whenever ≥ 2 remain).  On sparser graphs the
+# remaining set can become independent and stall — the full automaton's
+# NP broadcast is what relays the evidence — so run the kernel on K_n for
+# phase statistics, or read it as the one-hop detection model.
+
+K_REMAIN0 = "r0"  # remaining, this phase's label = 0
+K_REMAIN1 = "r1"  # remaining, this phase's label = 1
+K_OUT = "out"  # eliminated
+
+
+def coin_kernel_programs() -> dict:
+    """The Claim 4.1 phase kernel as probabilistic mod-thresh programs.
+
+    Keys are ``(own_state, draw)`` with r = 2; feed to any engine with
+    ``randomness=2``.
+    """
+    elim = (at_least(K_REMAIN1, 1), K_OUT)
+    return {
+        (K_REMAIN0, 0): ModThreshProgram(clauses=(elim,), default=K_REMAIN0),
+        (K_REMAIN0, 1): ModThreshProgram(clauses=(elim,), default=K_REMAIN1),
+        (K_REMAIN1, 0): ModThreshProgram(clauses=(), default=K_REMAIN0),
+        (K_REMAIN1, 1): ModThreshProgram(clauses=(), default=K_REMAIN1),
+        (K_OUT, 0): ModThreshProgram(clauses=(), default=K_OUT),
+        (K_OUT, 1): ModThreshProgram(clauses=(), default=K_OUT),
+    }
+
+
+def coin_kernel_init(net: Network) -> NetworkState:
+    """Everyone remaining with label 0: the first step is a pure label
+    draw (no r1 exists yet, so nothing can be eliminated), and phases
+    proper begin at step 2 — mirroring the fresh-phase reset of the full
+    automaton."""
+    return NetworkState.uniform(net, K_REMAIN0)
+
+
+def kernel_remaining_count(counts: Mapping) -> int:
+    """Remaining-candidate count from a ``{state: multiplicity}`` dict."""
+    return counts.get(K_REMAIN0, 0) + counts.get(K_REMAIN1, 0)
+
+
+class KernelPhaseStats(NamedTuple):
+    """Replica statistics of the coin-elimination kernel."""
+
+    replicas: int
+    rounds: np.ndarray  # per-replica phases until a unique survivor
+    mean_rounds: float
+    survivor_counts: list  # remaining candidates at termination (all 1s)
+
+
+def kernel_phase_statistics(
+    net: Network,
+    replicas: int = 64,
+    rng: Union[int, np.random.Generator, None] = None,
+    max_steps: int = 10_000,
+) -> KernelPhaseStats:
+    """Phases-to-unique-survivor over ``replicas`` independent kernel runs.
+
+    All replicas evolve in one :class:`~repro.runtime.batched.
+    BatchedSynchronousEngine` computation; replica ``i`` is bitwise
+    reproducible from ``np.random.default_rng(seed).spawn(replicas)[i]``.
+    Use a complete graph for Claim 4.1 statistics (see the kernel notes
+    above); expected phases there are Θ(log n).
+    """
+    from repro.runtime.batched import run_replicas
+
+    result = run_replicas(
+        net,
+        coin_kernel_programs(),
+        coin_kernel_init(net),
+        replicas,
+        stop=lambda counts: kernel_remaining_count(counts) <= 1,
+        max_steps=max_steps,
+        randomness=2,
+        rng=rng,
+    )
+    return KernelPhaseStats(
+        replicas=replicas,
+        rounds=result.rounds,
+        mean_rounds=float(np.mean(result.rounds)),
+        survivor_counts=[kernel_remaining_count(c) for c in result.state_counts],
+    )

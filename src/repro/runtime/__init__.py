@@ -8,11 +8,19 @@
   deletions at scheduled times).
 * :mod:`repro.runtime.vectorized` — a numpy/scipy synchronous engine for
   mod-thresh automata (one sparse mat-mat product per step).
+* :mod:`repro.runtime.batched` — R independent replicas of one automaton
+  evolved in a single stacked computation per step, with spawned
+  per-replica RNG streams and per-replica quiescence masks.
 * :mod:`repro.runtime.trace` — execution traces for replay and assertions.
 * :mod:`repro.runtime.message_passing` — the Section 3 remark made
   concrete: local-broadcast message passing simulated with outbox buffers.
 """
 
+from repro.runtime.batched import (
+    BatchedRunResult,
+    BatchedSynchronousEngine,
+    run_replicas,
+)
 from repro.runtime.faults import FaultEvent, FaultPlan, random_fault_plan
 from repro.runtime.scheduler import (
     RandomScheduler,
@@ -29,6 +37,9 @@ from repro.runtime.trace import Trace
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 
 __all__ = [
+    "BatchedRunResult",
+    "BatchedSynchronousEngine",
+    "run_replicas",
     "FaultEvent",
     "FaultPlan",
     "random_fault_plan",

@@ -1,0 +1,351 @@
+"""Batched multi-replica vectorized engine for mod-thresh automata.
+
+The paper's probabilistic results — randomized leader election terminating
+in O(n log n) expected rounds (Section 4.7), Flajolet–Martin census
+accuracy (Section 1) — are statements about *distributions over runs*, so
+EXPERIMENTS-grade statistics need many independent replicas of the same
+automaton on the same network.  Simulating them one at a time repays the
+per-step Python overhead R times; this engine evolves all R replicas in one
+stacked numpy computation per step:
+
+* state is an ``(R, n)`` int array;
+* neighbour counts for every replica come from **one** sparse mat-mat
+  product — the per-replica one-hot matrices are stacked horizontally into
+  an ``(n, R·s)`` block matrix ``H`` with ``H[v, r·s + σ_r(v)] = 1``, so
+  ``A @ H`` yields all R count tables at once, reshaped to ``(R, n, s)``;
+* mod-thresh clause cascades resolve with ``np.select`` across all
+  replicas simultaneously (the evaluators are shared with
+  :mod:`repro.runtime.vectorized`, so the two engines cannot drift);
+* each replica draws from its **own** ``np.random.Generator``, spawned
+  from the master seed via :meth:`numpy.random.Generator.spawn` — replica
+  ``i`` is bitwise identical to a single-replica
+  :class:`~repro.runtime.vectorized.VectorizedSynchronousEngine` run seeded
+  with the matching spawned child (``np.random.default_rng(seed).spawn(R)[i]``);
+* per-replica quiescence/termination masks deactivate converged replicas,
+  so finished runs stop paying for steps (and stop consuming randomness).
+
+The high-level :func:`run_replicas` wraps construction + termination and
+returns per-replica final states and round counts.  Cross-engine
+equivalence is property-tested in
+``tests/runtime/test_engine_conformance.py``; throughput against R
+sequential vectorized runs is measured in ``benchmarks/bench_batched.py``
+(experiment E17).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Callable, NamedTuple, Optional, Union
+
+import numpy as np
+
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.network.graph import Network
+from repro.network.state import NetworkState
+from repro.runtime.vectorized import (
+    _build_alphabet,
+    _normalize_programs,
+    _resolve_program,
+)
+
+__all__ = ["BatchedSynchronousEngine", "BatchedRunResult", "run_replicas"]
+
+#: Per-replica termination predicate: ``stop(state_counts_dict) -> bool``.
+StopPredicate = Callable[[dict], bool]
+
+
+class BatchedRunResult(NamedTuple):
+    """Outcome of :func:`run_replicas`.
+
+    ``rounds[i]`` is the number of synchronous steps replica ``i`` actually
+    executed; ``converged[i]`` tells whether it was deactivated by its
+    termination condition (fixed point or ``stop``) rather than by the step
+    budget.
+    """
+
+    final_states: list[NetworkState]
+    rounds: np.ndarray
+    converged: np.ndarray
+    state_counts: list[dict]
+
+
+class BatchedSynchronousEngine:
+    """R independent replicas of one automaton, evolved in lockstep.
+
+    Parameters
+    ----------
+    net:
+        The (static) shared network.  Like the single-replica vectorized
+        engine, mid-run faults are not supported.
+    programs:
+        ``{q: ModThreshProgram}`` or ``{(q, i): ModThreshProgram}`` (then
+        ``randomness`` is required), or an :class:`FSSGA` /
+        :class:`ProbabilisticFSSGA` built from programs.
+    init:
+        One :class:`NetworkState` shared by every replica, or a sequence of
+        ``replicas`` per-replica initial states.
+    replicas:
+        R.  May be omitted when ``init`` is a sequence (its length is used).
+    randomness:
+        ``r`` of Definition 3.11 for probabilistic program dicts.
+    rng:
+        Master seed or Generator — per-replica streams are spawned from it —
+        or an explicit sequence of R Generators (one per replica), used
+        verbatim (this is how the conformance tests share a stream with a
+        single-replica engine).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
+        init: Union[NetworkState, Sequence[NetworkState]],
+        replicas: Optional[int] = None,
+        randomness: Optional[int] = None,
+        rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
+    ) -> None:
+        programs, self._probabilistic, self.randomness = _normalize_programs(
+            programs, randomness
+        )
+        self.alphabet: list = _build_alphabet(programs, self._probabilistic)
+        self._code = {q: i for i, q in enumerate(self.alphabet)}
+        self._programs = programs
+
+        inits = self._normalize_init(init, replicas)
+        self.replicas = len(inits)
+
+        self.adjacency, self._order = net.to_csr()
+        self._n = len(self._order)
+        self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
+        self.rngs = self._spawn_streams(rng, self.replicas)
+        self.time = 0
+
+        sigma = np.empty((self.replicas, self._n), dtype=np.int64)
+        for r, state in enumerate(inits):
+            for idx, v in enumerate(self._order):
+                sigma[r, idx] = self._code[state[v]]
+        self._sigma = sigma
+
+        self._active = np.ones(self.replicas, dtype=bool)
+        self._rounds = np.zeros(self.replicas, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize_init(
+        init: Union[NetworkState, Sequence[NetworkState]],
+        replicas: Optional[int],
+    ) -> list[NetworkState]:
+        if isinstance(init, NetworkState):
+            if replicas is None or replicas < 1:
+                raise ValueError("a shared init needs replicas >= 1")
+            return [init] * replicas
+        inits = list(init)
+        if not inits:
+            raise ValueError("need at least one replica")
+        if replicas is not None and replicas != len(inits):
+            raise ValueError(
+                f"replicas={replicas} but {len(inits)} initial states given"
+            )
+        return inits
+
+    @staticmethod
+    def _spawn_streams(rng, replicas: int) -> list[np.random.Generator]:
+        if isinstance(rng, (Sequence, list, tuple)) and not isinstance(rng, (str, bytes)):
+            streams = list(rng)
+            if len(streams) != replicas:
+                raise ValueError(
+                    f"{len(streams)} generators given for {replicas} replicas"
+                )
+            if not all(isinstance(g, np.random.Generator) for g in streams):
+                raise TypeError("explicit streams must be numpy Generators")
+            return streams
+        master = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        return master.spawn(replicas)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def active(self) -> np.ndarray:
+        """Copy of the per-replica liveness mask (False = converged/stopped)."""
+        return self._active.copy()
+
+    @property
+    def rounds(self) -> np.ndarray:
+        """Per-replica count of synchronous steps actually executed."""
+        return self._rounds.copy()
+
+    def _neighbour_counts(self, sig: np.ndarray) -> np.ndarray:
+        """All replicas' count tables via one sparse product → ``(A, n, s)``."""
+        nrep, n = sig.shape
+        s = len(self.alphabet)
+        onehot = np.zeros((n, nrep * s), dtype=np.int64)
+        rows = np.broadcast_to(np.arange(n), (nrep, n))
+        cols = sig + (np.arange(nrep) * s)[:, None]
+        onehot[rows.ravel(), cols.ravel()] = 1
+        counts = self.adjacency @ onehot  # (n, A*s)
+        return np.ascontiguousarray(counts.reshape(n, nrep, s).transpose(1, 0, 2))
+
+    def step(self) -> np.ndarray:
+        """One synchronous step for every active replica.
+
+        Returns a boolean ``(R,)`` array: True where that replica changed
+        state this step.  Inactive replicas do not evolve, do not draw
+        randomness, and report False.
+        """
+        act = np.flatnonzero(self._active)
+        changed = np.zeros(self.replicas, dtype=bool)
+        self.time += 1
+        if act.size == 0:
+            return changed
+        sig = self._sigma[act]
+        counts = self._neighbour_counts(sig)
+        new_sig = sig.copy()  # isolated nodes keep their state
+        live = self._degrees > 0
+        if self._probabilistic:
+            draws = np.empty_like(sig)
+            for j, r in enumerate(act):
+                draws[j] = self.rngs[r].integers(self.randomness, size=self._n)
+            for q, code in self._code.items():
+                for i in range(self.randomness):
+                    prog = self._programs.get((q, i))
+                    if prog is None:
+                        continue
+                    mask = live & (sig == code) & (draws == i)
+                    if mask.any():
+                        _resolve_program(prog, counts, mask, new_sig, self._code)
+        else:
+            for q, prog in self._programs.items():
+                code = self._code[q]
+                mask = live & (sig == code)
+                if mask.any():
+                    _resolve_program(prog, counts, mask, new_sig, self._code)
+        changed[act] = (new_sig != sig).any(axis=1)
+        self._sigma[act] = new_sig
+        self._rounds[act] += 1
+        return changed
+
+    def run(self, steps: int) -> None:
+        """Run exactly ``steps`` steps (active replicas only)."""
+        for _ in range(steps):
+            self.step()
+
+    def run_until_stable(self, max_steps: int = 100_000) -> np.ndarray:
+        """Step each replica to its own fixed point (deterministic automata).
+
+        A replica is deactivated after its first no-change step, so
+        converged replicas stop paying for later steps.  Returns the
+        per-replica step counts (the no-change step included, matching
+        :meth:`VectorizedSynchronousEngine.run_until_stable`).  Raises if
+        any replica fails to converge within ``max_steps``.
+        """
+        for _ in range(max_steps):
+            if not self._active.any():
+                return self.rounds
+            changed = self.step()
+            self._active &= changed
+        if self._active.any():
+            raise RuntimeError(
+                f"{int(self._active.sum())}/{self.replicas} replicas reached "
+                f"no fixed point within {max_steps} steps"
+            )
+        return self.rounds
+
+    def run_until(
+        self, stop: StopPredicate, max_steps: int = 100_000
+    ) -> np.ndarray:
+        """Step until ``stop(counts)`` holds per replica; returns rounds.
+
+        ``stop`` receives a replica's ``{state: multiplicity}`` dict (the
+        cheap observable — computing it is one bincount over the batch) and
+        is checked *before* each step, so an initially satisfied replica
+        executes zero steps.  Replicas whose predicate holds are
+        deactivated; the remaining ones keep evolving.  Raises if any
+        replica is still unsatisfied after ``max_steps``.
+        """
+        for remaining in range(max_steps, -1, -1):
+            for r in np.flatnonzero(self._active):
+                if stop(self.replica_state_counts(int(r))):
+                    self._active[r] = False
+            if not self._active.any():
+                return self.rounds
+            if remaining:
+                self.step()
+        raise RuntimeError(
+            f"{int(self._active.sum())}/{self.replicas} replicas did not "
+            f"satisfy stop within {max_steps} steps"
+        )
+
+    # ------------------------------------------------------------------
+    def replica_state(self, r: int) -> NetworkState:
+        """Decode replica ``r``'s current σ back to a :class:`NetworkState`."""
+        row = self._sigma[r]
+        return NetworkState(
+            {v: self.alphabet[row[i]] for i, v in enumerate(self._order)}
+        )
+
+    @property
+    def states(self) -> list[NetworkState]:
+        """All replicas' decoded states."""
+        return [self.replica_state(r) for r in range(self.replicas)]
+
+    def replica_state_counts(self, r: int) -> dict:
+        """Multiplicity of each alphabet state over replica ``r``'s nodes."""
+        binc = np.bincount(self._sigma[r], minlength=len(self.alphabet))
+        return {q: int(binc[i]) for i, q in enumerate(self.alphabet)}
+
+    def state_counts(self) -> list[dict]:
+        """Per-replica state multiplicities, via one batched bincount."""
+        s = len(self.alphabet)
+        flat = (self._sigma + (np.arange(self.replicas) * s)[:, None]).ravel()
+        binc = np.bincount(flat, minlength=self.replicas * s).reshape(
+            self.replicas, s
+        )
+        return [
+            {q: int(binc[r, i]) for i, q in enumerate(self.alphabet)}
+            for r in range(self.replicas)
+        ]
+
+
+def run_replicas(
+    net: Network,
+    programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
+    init: Union[NetworkState, Sequence[NetworkState]],
+    replicas: Optional[int] = None,
+    *,
+    steps: Optional[int] = None,
+    stop: Optional[StopPredicate] = None,
+    max_steps: int = 100_000,
+    randomness: Optional[int] = None,
+    rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
+) -> BatchedRunResult:
+    """Evolve R replicas to termination and collect per-replica results.
+
+    Exactly one termination mode applies: ``steps`` runs a fixed horizon;
+    ``stop`` runs each replica until its state-count predicate holds;
+    neither runs each replica to a fixed point (deterministic automata
+    only).  Returns final states, per-replica executed rounds, a converged
+    mask, and final state counts.
+    """
+    engine = BatchedSynchronousEngine(
+        net, programs, init, replicas, randomness=randomness, rng=rng
+    )
+    if steps is not None and stop is not None:
+        raise ValueError("give either steps or stop, not both")
+    if steps is not None:
+        engine.run(steps)
+        converged = np.ones(engine.replicas, dtype=bool)
+    elif stop is not None:
+        engine.run_until(stop, max_steps=max_steps)
+        converged = ~engine.active
+    else:
+        engine.run_until_stable(max_steps=max_steps)
+        converged = ~engine.active
+    return BatchedRunResult(
+        final_states=engine.states,
+        rounds=engine.rounds,
+        converged=converged,
+        state_counts=engine.state_counts(),
+    )

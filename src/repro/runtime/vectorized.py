@@ -17,6 +17,12 @@ The engine accepts deterministic automata given as ``{own_state:
 ModThreshProgram}`` (or an :class:`~repro.core.automaton.FSSGA` built from
 programs), and probabilistic automata given as ``{(own_state, draw):
 ModThreshProgram}`` with a draw count ``r``.
+
+The proposition/cascade evaluators in this module are shape-generic: they
+operate on any counts tensor whose *last* axis indexes the alphabet, so
+:class:`~repro.runtime.batched.BatchedSynchronousEngine` reuses them on
+``(R, n, s)`` stacks of replica counts with no code divergence between the
+single-replica and batched paths.
 """
 
 from __future__ import annotations
@@ -42,6 +48,115 @@ from repro.network.graph import Network
 from repro.network.state import NetworkState
 
 __all__ = ["VectorizedSynchronousEngine"]
+
+
+# ----------------------------------------------------------------------
+# shared machinery (used by both the single-replica and batched engines)
+# ----------------------------------------------------------------------
+def _normalize_programs(
+    programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
+    randomness: Optional[int],
+) -> tuple[dict, bool, int]:
+    """Unpack automata/mappings into ``(programs, probabilistic, r)``."""
+    if isinstance(programs, FSSGA):
+        if programs.is_rule_based:
+            raise TypeError(
+                "vectorized engine needs explicit ModThreshPrograms; "
+                "compile rule-based automata with repro.core.compile first"
+            )
+        programs = programs._programs  # program dict
+    elif isinstance(programs, ProbabilisticFSSGA):
+        if programs.is_rule_based:
+            raise TypeError(
+                "vectorized engine needs explicit ModThreshPrograms; "
+                "compile rule-based automata with repro.core.compile first"
+            )
+        randomness = programs.randomness
+        programs = programs._programs
+
+    keys = list(programs.keys())
+    probabilistic = bool(keys) and isinstance(keys[0], tuple) and (
+        randomness is not None
+    )
+    if probabilistic:
+        if randomness is None or randomness < 1:
+            raise ValueError("probabilistic programs need randomness >= 1")
+        randomness = int(randomness)
+    else:
+        randomness = 1
+    return dict(programs), probabilistic, randomness
+
+
+def _build_alphabet(programs: Mapping, probabilistic: bool) -> list:
+    """Own states plus anything the programs can output, sorted by repr."""
+    if probabilistic:
+        own_states = {k[0] for k in programs}
+    else:
+        own_states = set(programs)
+    alphabet = set(own_states)
+    for prog in programs.values():
+        if not isinstance(prog, ModThreshProgram):
+            raise TypeError(f"expected ModThreshProgram, got {type(prog)!r}")
+        alphabet.update(prog.results())
+    return sorted(alphabet, key=repr)
+
+
+def _prop_bool(prop: Proposition, counts: np.ndarray, code: Mapping) -> np.ndarray:
+    """Evaluate a proposition over a counts tensor ``(..., s)`` → bool ``(...)``.
+
+    The leading shape is arbitrary: ``(n,)`` for the single-replica engine,
+    ``(R, n)`` for the batched one.
+    """
+    shape = counts.shape[:-1]
+    if isinstance(prop, ThreshAtom):
+        col = code.get(prop.state)
+        if col is None:
+            return np.ones(shape, dtype=bool)  # state never occurs
+        return counts[..., col] < prop.threshold
+    if isinstance(prop, ModAtom):
+        col = code.get(prop.state)
+        if col is None:
+            return np.full(shape, prop.residue == 0)
+        return counts[..., col] % prop.modulus == prop.residue
+    if isinstance(prop, And):
+        out = np.ones(shape, dtype=bool)
+        for c in prop.children:
+            out &= _prop_bool(c, counts, code)
+        return out
+    if isinstance(prop, Or):
+        out = np.zeros(shape, dtype=bool)
+        for c in prop.children:
+            out |= _prop_bool(c, counts, code)
+        return out
+    if isinstance(prop, Not):
+        return ~_prop_bool(prop.child, counts, code)
+    if isinstance(prop, _Const):
+        return np.full(shape, prop.evaluate(None))  # constant
+    raise TypeError(f"unexpected proposition {prop!r}")
+
+
+def _resolve_program(
+    prog: ModThreshProgram,
+    counts: np.ndarray,
+    mask: np.ndarray,
+    new_sigma: np.ndarray,
+    code: Mapping,
+) -> None:
+    """Resolve one cascade for the masked entries into ``new_sigma``.
+
+    ``np.select`` has exactly the first-match semantics of a Definition 3.6
+    cascade, evaluated for every entry of the leading shape at once.
+    """
+    if not prog.clauses:
+        new_sigma[mask] = code[prog.default]
+        return
+    conds = [_prop_bool(p, counts, code) for p, _ in prog.clauses]
+    out = np.select(
+        conds,
+        [np.int64(code[r]) for _, r in prog.clauses],
+        default=np.int64(code[prog.default]),
+    )
+    new_sigma[mask] = out[mask]
 
 
 class VectorizedSynchronousEngine:
@@ -73,44 +188,12 @@ class VectorizedSynchronousEngine:
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, None] = None,
     ) -> None:
-        if isinstance(programs, FSSGA):
-            if programs.is_rule_based:
-                raise TypeError(
-                    "vectorized engine needs explicit ModThreshPrograms; "
-                    "compile rule-based automata with repro.core.compile first"
-                )
-            programs = programs._programs  # program dict
-        elif isinstance(programs, ProbabilisticFSSGA):
-            if programs.is_rule_based:
-                raise TypeError(
-                    "vectorized engine needs explicit ModThreshPrograms; "
-                    "compile rule-based automata with repro.core.compile first"
-                )
-            randomness = programs.randomness
-            programs = programs._programs
-
-        keys = list(programs.keys())
-        self._probabilistic = bool(keys) and isinstance(keys[0], tuple) and (
-            randomness is not None
+        programs, self._probabilistic, self.randomness = _normalize_programs(
+            programs, randomness
         )
-        if self._probabilistic:
-            if randomness is None or randomness < 1:
-                raise ValueError("probabilistic programs need randomness >= 1")
-            self.randomness = int(randomness)
-            own_states = sorted({k[0] for k in keys}, key=repr)
-        else:
-            self.randomness = 1
-            own_states = sorted(keys, key=repr)
-
-        # alphabet = own states plus anything programs can output
-        alphabet = set(own_states)
-        for prog in programs.values():
-            if not isinstance(prog, ModThreshProgram):
-                raise TypeError(f"expected ModThreshProgram, got {type(prog)!r}")
-            alphabet.update(prog.results())
-        self.alphabet: list = sorted(alphabet, key=repr)
+        self.alphabet: list = _build_alphabet(programs, self._probabilistic)
         self._code = {q: i for i, q in enumerate(self.alphabet)}
-        self._programs = dict(programs)
+        self._programs = programs
 
         self.adjacency, self._order = net.to_csr()
         self._n = len(self._order)
@@ -135,52 +218,6 @@ class VectorizedSynchronousEngine:
             (data, (np.arange(n), self._sigma)), shape=(n, len(self.alphabet))
         )
 
-    def _prop_array(self, prop: Proposition, counts: np.ndarray) -> np.ndarray:
-        """Evaluate a proposition for all nodes at once → boolean vector."""
-        if isinstance(prop, ThreshAtom):
-            col = self._code.get(prop.state)
-            if col is None:
-                return np.ones(self._n, dtype=bool)  # state never occurs
-            return counts[:, col] < prop.threshold
-        if isinstance(prop, ModAtom):
-            col = self._code.get(prop.state)
-            if col is None:
-                return np.full(self._n, prop.residue == 0)
-            return counts[:, col] % prop.modulus == prop.residue
-        if isinstance(prop, And):
-            out = np.ones(self._n, dtype=bool)
-            for c in prop.children:
-                out &= self._prop_array(c, counts)
-            return out
-        if isinstance(prop, Or):
-            out = np.zeros(self._n, dtype=bool)
-            for c in prop.children:
-                out |= self._prop_array(c, counts)
-            return out
-        if isinstance(prop, Not):
-            return ~self._prop_array(prop.child, counts)
-        if isinstance(prop, _Const):
-            return np.full(self._n, prop.evaluate(None))  # constant
-        raise TypeError(f"unexpected proposition {prop!r}")
-
-    def _apply_program(
-        self,
-        prog: ModThreshProgram,
-        counts: np.ndarray,
-        mask: np.ndarray,
-        new_sigma: np.ndarray,
-    ) -> None:
-        """Resolve one cascade for the masked nodes into ``new_sigma``."""
-        undecided = mask.copy()
-        for prop, result in prog.clauses:
-            hit = undecided & self._prop_array(prop, counts)
-            if hit.any():
-                new_sigma[hit] = self._code[result]
-                undecided &= ~hit
-            if not undecided.any():
-                return
-        new_sigma[undecided] = self._code[prog.default]
-
     def step(self) -> bool:
         """One synchronous step; returns True iff any node changed."""
         counts = np.asarray((self.adjacency @ self._one_hot()).todense())
@@ -195,13 +232,15 @@ class VectorizedSynchronousEngine:
                         continue
                     mask = live & (self._sigma == code) & (draws == i)
                     if mask.any():
-                        self._apply_program(self._programs[key], counts, mask, new_sigma)
+                        _resolve_program(
+                            self._programs[key], counts, mask, new_sigma, self._code
+                        )
         else:
             for q, prog in self._programs.items():
                 code = self._code[q]
                 mask = live & (self._sigma == code)
                 if mask.any():
-                    self._apply_program(prog, counts, mask, new_sigma)
+                    _resolve_program(prog, counts, mask, new_sigma, self._code)
         changed = bool((new_sigma != self._sigma).any())
         self._sigma = new_sigma
         self.time += 1

@@ -1,0 +1,258 @@
+"""Tests for the batched multi-replica engine.
+
+Seed-determinism regression contract: replica ``i`` of a
+:class:`BatchedSynchronousEngine` seeded with master seed ``s`` is bitwise
+identical to a single-replica :class:`VectorizedSynchronousEngine` seeded
+with ``np.random.default_rng(s).spawn(R)[i]``, and reruns with the same
+master seed reproduce every trajectory exactly.  Covered workloads: the
+election coin kernel and the compiled Section 4.4 random-walk automaton.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import election
+from repro.core.modthresh import ModThreshProgram, at_least
+from repro.network import NetworkState, generators
+from repro.network.graph import Network
+from repro.runtime.batched import BatchedSynchronousEngine, run_replicas
+from repro.runtime.vectorized import VectorizedSynchronousEngine
+
+
+def epidemic_programs():
+    spread = ModThreshProgram(clauses=((at_least("i", 1), "i"),), default="s")
+    stay = ModThreshProgram(clauses=(), default="i")
+    return {"s": spread, "i": stay}
+
+
+def compiled_random_walk_programs():
+    """The Section 4.4 walk compiled to mod-thresh (tight atom bounds keep
+    the Lemma 3.9 enumeration small)."""
+    from repro.algorithms import random_walk as rw
+    from repro.core.compile import compile_rule
+
+    states = sorted(rw.ALPHABET)
+    return {
+        (q, i): compile_rule(
+            lambda own, view, i=i: rw.rule(own, view, i),
+            states,
+            q,
+            max_threshold=1,
+            modulus=1,
+            per_state_bounds={rw.TAILS: (2, 1)},
+        )
+        for q in states
+        for i in range(2)
+    }
+
+
+class TestEngineBasics:
+    def test_shared_init_deterministic_replicas_agree(self):
+        net = generators.grid_graph(3, 4)
+        progs = epidemic_programs()
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        bat = BatchedSynchronousEngine(net, progs, init, replicas=4)
+        bat.run(3)
+        states = bat.states
+        assert all(s == states[0] for s in states[1:])
+
+    def test_isolated_nodes_keep_state(self):
+        net = Network(nodes=[0, 1], edges=[])
+        bat = BatchedSynchronousEngine(
+            net, epidemic_programs(), NetworkState({0: "i", 1: "s"}), replicas=2
+        )
+        bat.step()
+        assert bat.replica_state(0) == {0: "i", 1: "s"}
+
+    def test_per_replica_inits(self):
+        net = generators.path_graph(4)
+        inits = []
+        for src in (0, 3):
+            st = NetworkState.uniform(net, "s")
+            st[src] = "i"
+            inits.append(st)
+        bat = BatchedSynchronousEngine(net, epidemic_programs(), inits)
+        assert bat.replicas == 2
+        bat.step()
+        assert bat.replica_state(0)[1] == "i" and bat.replica_state(0)[3] == "s"
+        assert bat.replica_state(1)[2] == "i" and bat.replica_state(1)[0] == "s"
+
+    def test_state_counts_batched_matches_per_replica(self):
+        net = generators.path_graph(5)
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        bat = BatchedSynchronousEngine(net, epidemic_programs(), init, replicas=3)
+        bat.run(2)
+        assert bat.state_counts() == [
+            bat.replica_state_counts(r) for r in range(3)
+        ]
+
+    def test_argument_validation(self):
+        net = generators.path_graph(3)
+        init = NetworkState.uniform(net, "s")
+        progs = epidemic_programs()
+        with pytest.raises(ValueError):
+            BatchedSynchronousEngine(net, progs, init)  # no replica count
+        with pytest.raises(ValueError):
+            BatchedSynchronousEngine(net, progs, [init, init], replicas=3)
+        with pytest.raises(ValueError):
+            BatchedSynchronousEngine(
+                net, progs, init, replicas=2, rng=[np.random.default_rng(0)]
+            )
+        with pytest.raises(ValueError):
+            run_replicas(net, progs, init, 2, steps=3, stop=lambda c: True)
+
+    def test_rule_based_rejected(self):
+        from repro.core.automaton import FSSGA
+
+        net = generators.path_graph(3)
+        aut = FSSGA({0, 1}, lambda own, view: own)
+        with pytest.raises(TypeError):
+            BatchedSynchronousEngine(
+                net, aut, NetworkState.uniform(net, 0), replicas=2
+            )
+
+
+class TestSeedDeterminism:
+    def test_kernel_replicas_match_spawned_single_runs(self):
+        net = generators.complete_graph(10)
+        programs = election.coin_kernel_programs()
+        init = election.coin_kernel_init(net)
+        R, seed = 6, 5
+        bat = BatchedSynchronousEngine(
+            net, programs, init, replicas=R, randomness=2, rng=seed
+        )
+        singles = [
+            VectorizedSynchronousEngine(net, programs, init, randomness=2, rng=g)
+            for g in np.random.default_rng(seed).spawn(R)
+        ]
+        for step in range(12):
+            bat.step()
+            for r, single in enumerate(singles):
+                single.step()
+                assert bat.replica_state(r) == single.state, (
+                    f"replica {r} diverged from its spawned stream at step {step}"
+                )
+
+    def test_random_walk_replicas_match_spawned_single_runs(self):
+        from repro.algorithms import random_walk as rw
+
+        programs = compiled_random_walk_programs()
+        net = generators.cycle_graph(7)
+        init = NetworkState.from_function(
+            net, lambda v: rw.FLIP if v == 0 else rw.BLANK
+        )
+        R, seed = 4, 11
+        bat = BatchedSynchronousEngine(
+            net, programs, init, replicas=R, randomness=2, rng=seed
+        )
+        singles = [
+            VectorizedSynchronousEngine(net, programs, init, randomness=2, rng=g)
+            for g in np.random.default_rng(seed).spawn(R)
+        ]
+        moved = set()
+        for step in range(30):
+            bat.step()
+            for r, single in enumerate(singles):
+                single.step()
+                assert bat.replica_state(r) == single.state, (
+                    f"replica {r} diverged at step {step}"
+                )
+            for r in range(R):
+                holders = bat.replica_state(r).nodes_in(rw.WALKER_STATES)
+                if holders and holders[0] != 0:
+                    moved.add(r)
+        assert moved, "no walker ever moved — workload degenerate"
+
+    def test_rerun_with_same_master_seed_is_bitwise_identical(self):
+        net = generators.complete_graph(12)
+        programs = election.coin_kernel_programs()
+        init = election.coin_kernel_init(net)
+
+        def trajectory():
+            bat = BatchedSynchronousEngine(
+                net, programs, init, replicas=8, randomness=2, rng=42
+            )
+            frames = []
+            for _ in range(10):
+                bat.step()
+                frames.append(bat._sigma.copy())
+            return frames
+
+        a, b = trajectory(), trajectory()
+        assert all((x == y).all() for x, y in zip(a, b))
+
+    def test_kernel_statistics_reproducible(self):
+        net = generators.complete_graph(16)
+        s1 = election.kernel_phase_statistics(net, replicas=16, rng=3)
+        s2 = election.kernel_phase_statistics(net, replicas=16, rng=3)
+        assert (s1.rounds == s2.rounds).all()
+        assert s1.survivor_counts == [1] * 16
+
+    def test_integer_seed_equals_generator_master(self):
+        net = generators.complete_graph(8)
+        programs = election.coin_kernel_programs()
+        init = election.coin_kernel_init(net)
+        a = BatchedSynchronousEngine(
+            net, programs, init, replicas=3, randomness=2, rng=9
+        )
+        b = BatchedSynchronousEngine(
+            net, programs, init, replicas=3, randomness=2,
+            rng=np.random.default_rng(9),
+        )
+        a.run(8)
+        b.run(8)
+        assert (a._sigma == b._sigma).all()
+
+
+class TestQuiescenceMasks:
+    def test_per_replica_rounds_match_single_runs(self):
+        net = generators.path_graph(12)
+        progs = epidemic_programs()
+        inits = []
+        for src in (0, 5, 11):
+            st = NetworkState.uniform(net, "s")
+            st[src] = "i"
+            inits.append(st)
+        result = run_replicas(net, progs, inits)
+        expected = [
+            VectorizedSynchronousEngine(net, progs, st).run_until_stable()
+            for st in inits
+        ]
+        assert list(result.rounds) == expected
+        assert result.converged.all()
+        assert all(
+            all(state[v] == "i" for v in net) for state in result.final_states
+        )
+
+    def test_converged_replica_stops_consuming_randomness(self):
+        net = generators.complete_graph(6)
+        programs = election.coin_kernel_programs()
+        # replica 0 starts already terminated (all eliminated but one)
+        done = NetworkState.uniform(net, election.K_OUT)
+        done[0] = election.K_REMAIN1
+        inits = [done, election.coin_kernel_init(net)]
+        bat = BatchedSynchronousEngine(net, programs, inits, randomness=2, rng=1)
+        untouched = np.random.default_rng(1).spawn(2)[0].bit_generator.state
+        bat.run_until(
+            lambda counts: election.kernel_remaining_count(counts) <= 1,
+            max_steps=500,
+        )
+        assert bat.rounds[0] == 0
+        assert bat.rounds[1] > 0
+        assert bat.rngs[0].bit_generator.state == untouched
+
+    def test_run_until_respects_max_steps(self):
+        net = generators.path_graph(4)
+        bat = BatchedSynchronousEngine(
+            net,
+            election.coin_kernel_programs(),
+            election.coin_kernel_init(net),
+            replicas=2,
+            randomness=2,
+            rng=0,
+        )
+        with pytest.raises(RuntimeError):
+            bat.run_until(lambda counts: False, max_steps=5)
+        assert bat.time == 5

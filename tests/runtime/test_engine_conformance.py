@@ -1,0 +1,237 @@
+"""Engine-conformance harness: a differential cross-engine oracle.
+
+Randomly generated mod-thresh automata (random alphabets, random clause
+cascades over random mod/thresh propositions) run on randomly generated
+networks through all three synchronous engines —
+:class:`SynchronousSimulator`, :class:`VectorizedSynchronousEngine`, and
+:class:`BatchedSynchronousEngine` — with shared seeds, asserting identical
+state trajectories step by step.
+
+Probabilistic runs can share streams bitwise because a numpy Generator
+yields the same values whether bounded integers are drawn one scalar at a
+time (the reference interpreter, one draw per node in network order) or as
+one ``size=n`` vector (the vectorized engines), and all engines agree on
+node order (``Network.to_csr`` uses insertion order, the same order the
+reference simulator iterates).
+
+The default parametrization keeps cases small; the ``slow`` marker adds a
+wider randomized sweep (opt-in: ``pytest -m slow``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.modthresh import (
+    And,
+    ModAtom,
+    ModThreshProgram,
+    Not,
+    Or,
+    ThreshAtom,
+)
+from repro.network import NetworkState, generators
+from repro.runtime.batched import BatchedSynchronousEngine
+from repro.runtime.simulator import SynchronousSimulator
+from repro.runtime.vectorized import VectorizedSynchronousEngine
+
+
+# ----------------------------------------------------------------------
+# random generators for automata, networks and initial states
+# ----------------------------------------------------------------------
+def random_proposition(rng, states, depth=2):
+    kind = int(rng.integers(5 if depth > 0 else 2))
+    q = states[int(rng.integers(len(states)))]
+    if kind == 0:
+        return ThreshAtom(q, int(rng.integers(1, 4)))
+    if kind == 1:
+        m = int(rng.integers(2, 4))
+        return ModAtom(q, int(rng.integers(m)), m)
+    if kind == 2:
+        return Not(random_proposition(rng, states, depth - 1))
+    children = tuple(random_proposition(rng, states, depth - 1) for _ in range(2))
+    return And(children) if kind == 3 else Or(children)
+
+
+def random_cascade(rng, states):
+    clauses = tuple(
+        (random_proposition(rng, states), states[int(rng.integers(len(states)))])
+        for _ in range(int(rng.integers(0, 4)))
+    )
+    return ModThreshProgram(
+        clauses=clauses, default=states[int(rng.integers(len(states)))]
+    )
+
+
+def random_deterministic_programs(rng, n_states):
+    states = [f"q{i}" for i in range(n_states)]
+    return states, {q: random_cascade(rng, states) for q in states}
+
+
+def random_probabilistic_programs(rng, n_states, randomness):
+    states = [f"q{i}" for i in range(n_states)]
+    return states, {
+        (q, i): random_cascade(rng, states)
+        for q in states
+        for i in range(randomness)
+    }
+
+
+def random_network(rng, scale=1):
+    pick = int(rng.integers(5))
+    if pick == 0:
+        return generators.path_graph(int(rng.integers(4, 8 * scale)))
+    if pick == 1:
+        return generators.cycle_graph(int(rng.integers(3, 10 * scale)))
+    if pick == 2:
+        return generators.grid_graph(
+            int(rng.integers(2, 3 + scale)), int(rng.integers(2, 3 + scale))
+        )
+    if pick == 3:
+        return generators.random_tree(int(rng.integers(3, 10 * scale)), rng)
+    # may be disconnected and contain isolated nodes — deliberately
+    return generators.gnp_random_graph(int(rng.integers(4, 10 * scale)), 0.3, rng)
+
+
+def random_init(rng, net, states):
+    return NetworkState.from_function(
+        net, lambda v: states[int(rng.integers(len(states)))]
+    )
+
+
+# ----------------------------------------------------------------------
+# the differential assertions
+# ----------------------------------------------------------------------
+def assert_deterministic_conformance(case_seed, scale=1, steps=6, replicas=3):
+    rng = np.random.default_rng(case_seed)
+    states, programs = random_deterministic_programs(rng, int(rng.integers(2, 5)))
+    net = random_network(rng, scale)
+    init = random_init(rng, net, states)
+
+    ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(programs), init.copy())
+    vec = VectorizedSynchronousEngine(net, programs, init)
+    bat = BatchedSynchronousEngine(net, programs, init, replicas=replicas)
+    for step in range(steps):
+        ref.step()
+        vec.step()
+        bat.step()
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+        for r in range(replicas):
+            assert bat.replica_state(r) == ref.state, (
+                f"batched replica {r} diverged at step {step}"
+            )
+
+
+def assert_probabilistic_conformance(case_seed, scale=1, steps=8):
+    rng = np.random.default_rng(case_seed)
+    randomness = int(rng.integers(2, 4))
+    states, programs = random_probabilistic_programs(
+        rng, int(rng.integers(2, 4)), randomness
+    )
+    net = random_network(rng, scale)
+    init = random_init(rng, net, states)
+    seed = int(rng.integers(2**32))
+
+    automaton = ProbabilisticFSSGA(set(states), randomness, programs)
+    ref = SynchronousSimulator(
+        net.copy(), automaton, init.copy(), rng=np.random.default_rng(seed)
+    )
+    vec = VectorizedSynchronousEngine(
+        net, programs, init, randomness=randomness, rng=np.random.default_rng(seed)
+    )
+    # one replica sharing the very same stream as the single-replica engines
+    bat = BatchedSynchronousEngine(
+        net,
+        programs,
+        init,
+        replicas=1,
+        randomness=randomness,
+        rng=[np.random.default_rng(seed)],
+    )
+    for step in range(steps):
+        ref.step()
+        vec.step()
+        bat.step()
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+        assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
+
+
+# ----------------------------------------------------------------------
+# default suite: small random cases
+# ----------------------------------------------------------------------
+class TestDeterministicConformance:
+    @pytest.mark.parametrize("case", range(10))
+    def test_random_automaton_trajectories(self, case):
+        assert_deterministic_conformance(1000 + case)
+
+
+class TestProbabilisticConformance:
+    @pytest.mark.parametrize("case", range(10))
+    def test_random_automaton_trajectories_shared_seed(self, case):
+        assert_probabilistic_conformance(2000 + case)
+
+
+class TestKnownAutomata:
+    """The harness applied to the repo's own mod-thresh workloads."""
+
+    def test_two_coloring(self):
+        from repro.algorithms import two_coloring as tc
+
+        net = generators.cycle_graph(10)
+        programs = tc.sticky_programs()
+        init = NetworkState.from_function(
+            net, lambda v: tc.RED if v == 0 else tc.BLANK
+        )
+        ref = SynchronousSimulator(
+            net.copy(), FSSGA.from_programs(programs), init.copy()
+        )
+        vec = VectorizedSynchronousEngine(net, programs, init)
+        bat = BatchedSynchronousEngine(net, programs, init, replicas=2)
+        for _ in range(12):
+            ref.step()
+            vec.step()
+            bat.step()
+            assert vec.state == ref.state
+            assert bat.replica_state(0) == ref.state
+            assert bat.replica_state(1) == ref.state
+
+    def test_election_coin_kernel(self):
+        from repro.algorithms import election
+
+        net = generators.complete_graph(9)
+        programs = election.coin_kernel_programs()
+        init = election.coin_kernel_init(net)
+        seed = 77
+        automaton = ProbabilisticFSSGA(
+            {election.K_REMAIN0, election.K_REMAIN1, election.K_OUT}, 2, programs
+        )
+        ref = SynchronousSimulator(
+            net.copy(), automaton, init.copy(), rng=np.random.default_rng(seed)
+        )
+        vec = VectorizedSynchronousEngine(
+            net, programs, init, randomness=2, rng=np.random.default_rng(seed)
+        )
+        bat = BatchedSynchronousEngine(
+            net, programs, init, replicas=1, randomness=2,
+            rng=[np.random.default_rng(seed)],
+        )
+        for _ in range(15):
+            ref.step()
+            vec.step()
+            bat.step()
+            assert vec.state == ref.state
+            assert bat.replica_state(0) == ref.state
+
+
+# ----------------------------------------------------------------------
+# opt-in wide sweep (pytest -m slow)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestConformanceSweep:
+    @pytest.mark.parametrize("case", range(40))
+    def test_deterministic_wide(self, case):
+        assert_deterministic_conformance(5000 + case, scale=4, steps=10, replicas=4)
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_probabilistic_wide(self, case):
+        assert_probabilistic_conformance(6000 + case, scale=4, steps=12)

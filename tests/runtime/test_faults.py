@@ -2,8 +2,17 @@
 
 import pytest
 
+from repro.core.automaton import FSSGA
+from repro.core.modthresh import ModThreshProgram, at_least
 from repro.network import NetworkState, generators
 from repro.runtime.faults import FaultEvent, FaultPlan, random_fault_plan
+from repro.runtime.simulator import AsynchronousSimulator, SynchronousSimulator
+
+
+def epidemic_automaton() -> FSSGA:
+    spread = ModThreshProgram(clauses=((at_least("i", 1), "i"),), default="s")
+    stay = ModThreshProgram(clauses=(), default="i")
+    return FSSGA.from_programs({"s": spread, "i": stay})
 
 
 class TestFaultEvent:
@@ -64,6 +73,104 @@ class TestFaultPlan:
         assert len(plan) == 2
         plan = FaultPlan.edge_faults({1: (0, 1)})
         assert plan.events()[0].kind == "edge"
+
+
+class TestFaultTimingEdgeCases:
+    """Faults striking on the final step and faults that isolate a node."""
+
+    def test_fault_on_the_would_be_final_step(self):
+        """A fault due exactly at the step where stability would otherwise
+        be declared must be applied before that step, and run_until_stable
+        must not return while the plan still has due events."""
+        net = generators.path_graph(5)
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        # fault-free: infection completes after step at time 3; stability
+        # is detected by the no-change step at time 4.
+        plan = FaultPlan.node_faults({4: 2})
+        sim = SynchronousSimulator(
+            net, epidemic_automaton(), init, fault_plan=plan
+        )
+        steps = sim.run_until_stable()
+        assert steps == 5
+        assert plan.exhausted and len(plan.applied) == 1
+        assert 2 not in sim.net and 2 not in sim.state
+        assert all(sim.state[v] == "i" for v in sim.net)
+
+    def test_fault_due_after_stability_still_fires(self):
+        """run_until_stable must keep stepping through an already-stable
+        network until pending fault events have fired."""
+        net = generators.path_graph(3)
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        plan = FaultPlan.node_faults({10: 1})
+        sim = SynchronousSimulator(
+            net, epidemic_automaton(), init, fault_plan=plan
+        )
+        steps = sim.run_until_stable()
+        assert steps == 11  # stable at 3, but the plan drains at time 10
+        assert plan.exhausted and 1 not in sim.net
+
+    def test_fault_applied_before_the_step_it_is_due(self):
+        """An edge fault at time t must shape the step computed at time t."""
+        net = generators.path_graph(3)
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        plan = FaultPlan.edge_faults({1: (1, 2)})
+        sim = SynchronousSimulator(
+            net, epidemic_automaton(), init, fault_plan=plan
+        )
+        sim.step()  # time 0: node 1 infected
+        sim.step()  # time 1: edge (1,2) dies first, node 2 must stay 's'
+        assert sim.state[1] == "i" and sim.state[2] == "s"
+        sim.run(3)
+        assert sim.state[2] == "s"  # permanently cut off
+
+    def test_node_fault_deletes_last_neighbour_mid_run(self):
+        """Killing a hub isolates every leaf; isolated nodes must freeze
+        (an SM function has no value on the empty neighbourhood)."""
+        net = generators.star_graph(4)  # hub 0, leaves 1..4
+        init = NetworkState.uniform(net, "s")
+        init[1] = "i"
+        plan = FaultPlan.node_faults({1: 0})
+        sim = SynchronousSimulator(
+            net, epidemic_automaton(), init, fault_plan=plan
+        )
+        steps = sim.run_until_stable()
+        assert steps >= 2
+        assert 0 not in sim.net and 0 not in sim.state
+        # leaf 1 keeps its infection; the others were never reached and
+        # stay 's' forever even as the run continues
+        assert sim.state[1] == "i"
+        assert all(sim.state[v] == "s" for v in (2, 3, 4))
+        assert all(sim.net.degree(v) == 0 for v in (1, 2, 3, 4))
+
+    def test_edge_faults_isolate_node_mid_run(self):
+        """Deleting the last incident edge of a node mid-run freezes it."""
+        net = generators.path_graph(3)
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        plan = FaultPlan.edge_faults({0: (0, 1), 1: (1, 2)})
+        sim = SynchronousSimulator(
+            net, epidemic_automaton(), init, fault_plan=plan
+        )
+        steps = sim.run_until_stable()
+        assert steps == 2
+        assert sim.state == {0: "i", 1: "s", 2: "s"}
+
+    def test_async_fault_deletes_scheduled_node(self):
+        """The asynchronous fair-rounds loop must skip a node deleted by a
+        fault earlier in the same round."""
+        net = generators.path_graph(4)
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        plan = FaultPlan.node_faults({0: 3})
+        sim = AsynchronousSimulator(
+            net, epidemic_automaton(), init, rng=1, fault_plan=plan
+        )
+        sim.run_fair_rounds(4)
+        assert 3 not in sim.net and 3 not in sim.state
+        assert plan.exhausted
 
 
 class TestRandomFaultPlan:
