@@ -1,5 +1,8 @@
 """Helpers shared by the benchmark/experiment modules."""
 
+import json
+from pathlib import Path
+
 import numpy as np
 
 
@@ -16,6 +19,34 @@ def print_table(title: str, header: list, rows: list) -> None:
     print("-" * len(line))
     for r in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def write_bench_json(benchmarks, out_dir=".") -> list:
+    """Write one ``BENCH_<module>.json`` per bench module that produced
+    timings, from pytest-benchmark's session records.
+
+    Each file holds a list of records ``{"name", "ns_per_op"}`` plus
+    whatever the benchmark put in ``benchmark.extra_info`` (by convention:
+    ``n``, ``engine``, ``speedup``), so downstream tooling can diff runs
+    without parsing pytest output.  Returns the paths written.
+    """
+    by_module: dict = {}
+    for meta in benchmarks:
+        stem = Path(meta.fullname.split("::")[0]).stem
+        module = stem[len("bench_"):] if stem.startswith("bench_") else stem
+        try:
+            ns_per_op = float(meta.stats.mean) * 1e9
+        except Exception:  # a benchmark that errored has no stats
+            continue
+        rec = {"name": meta.name, "ns_per_op": ns_per_op}
+        rec.update(meta.extra_info or {})
+        by_module.setdefault(module, []).append(rec)
+    paths = []
+    for module, recs in sorted(by_module.items()):
+        path = Path(out_dir) / f"BENCH_{module}.json"
+        path.write_text(json.dumps({"module": module, "benchmarks": recs}, indent=2))
+        paths.append(path)
+    return paths
 
 
 def fit_loglog_slope(xs, ys) -> float:

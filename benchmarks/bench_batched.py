@@ -77,6 +77,9 @@ def test_replica_speedup_series(benchmark):
         ["n", "R", "sequential ms", "batched ms", "speedup"],
         rows,
     )
+    benchmark.extra_info.update(
+        n=256, engine="batched", speedup=round(speedups[(256, 64)], 1)
+    )
     # the ISSUE 1 acceptance bar: >= 5x at R = 64 on the election workload
     assert speedups[(64, 64)] >= 5.0
 
@@ -91,6 +94,7 @@ def test_batched_smoke(benchmark):
         return stats
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(n=64, engine="batched")
     print(
         f"\nR=64 kernel runs on K64: mean {stats.mean_rounds:.1f} phases "
         f"(min {int(stats.rounds.min())}, max {int(stats.rounds.max())})"

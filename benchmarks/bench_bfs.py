@@ -79,3 +79,4 @@ def test_bfs_step_benchmark(benchmark):
         sim.run(10)
 
     benchmark(run)
+    benchmark.extra_info.update(n=225, engine="reference")

@@ -161,6 +161,7 @@ def test_kernel_phase_scaling_batched(benchmark):
         return rows, means, sizes
 
     rows, means, sizes = benchmark.pedantic(compute, rounds=1, iterations=1)
+    benchmark.extra_info.update(n=128, engine="batched")
     print_table(
         "E12f: coin-kernel phases to unique survivor on K_n (R=64, batched)",
         ["n", "mean phases", "log2 n"],
@@ -175,3 +176,4 @@ def test_kernel_phase_scaling_batched(benchmark):
 def test_reference_election_benchmark(benchmark):
     net = generators.cycle_graph(128)
     benchmark(lambda: er.run_election(net, rng=3))
+    benchmark.extra_info.update(n=128, engine="reference")

@@ -9,6 +9,10 @@ tests/runtime/test_vectorized.py).
 
 import time
 
+import numpy as np
+
+from repro import run
+from repro.algorithms import election
 from repro.algorithms import two_coloring as tc
 from repro.core.automaton import FSSGA
 from repro.network import NetworkState, generators
@@ -58,6 +62,10 @@ def test_speedup_series(benchmark):
         "E15: 10 synchronous steps, reference vs vectorized (ms)",
         ["n", "reference ms", "vectorized ms", "speedup"],
         rows,
+    )
+    benchmark.extra_info.update(
+        n=rows[-1][0], engine="vectorized",
+        speedup=float(rows[-1][3].rstrip("x")),
     )
     # the vectorized engine must win at the largest size
     assert float(rows[-1][3].rstrip("x")) > 1.0
@@ -112,6 +120,7 @@ def test_three_engine_comparison(benchmark):
         ["n", "reference ms", "vectorized ms", "batched ms", "batched ms per replica"],
         rows,
     )
+    benchmark.extra_info.update(n=rows[-1][0], engine="batched")
     # amortized per-replica batched cost must beat one vectorized run
     assert all(float(r[4]) < float(r[2]) for r in rows)
 
@@ -120,18 +129,63 @@ def test_reference_step_benchmark(benchmark):
     net, progs, init = _setup(25)
     aut = FSSGA.from_programs(progs)
 
-    def run():
+    def step5():
         sim = SynchronousSimulator(net, aut, init.copy())
         sim.run(5)
 
-    benchmark(run)
+    benchmark(step5)
+    benchmark.extra_info.update(n=625, engine="reference")
 
 
 def test_vectorized_step_benchmark(benchmark):
     net, progs, init = _setup(25)
 
-    def run():
+    def step5():
         vec = VectorizedSynchronousEngine(net, progs, init)
         vec.run(5)
 
-    benchmark(run)
+    benchmark(step5)
+    benchmark.extra_info.update(n=625, engine="vectorized")
+
+
+def test_front_door_election_kernel(benchmark):
+    """E15c — the run() front door on the Claim 4.1 coin kernel, n = 512.
+
+    Acceptance gate for the engine-interchangeability story: under a
+    shared seed the auto-selected vectorized engine must return the
+    bitwise-identical final state at >= 5x the reference's speed.
+    """
+    net = generators.complete_graph(512)
+    programs = election.coin_kernel_programs()
+    init = election.coin_kernel_init(net)
+    steps, seed = 15, 512
+
+    def compute():
+        t0 = time.perf_counter()
+        ref = run(
+            programs, net, init, engine="reference", randomness=2,
+            rng=np.random.default_rng(seed), until=steps,
+        )
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        vec = run(
+            programs, net, init, engine="auto", randomness=2,
+            rng=np.random.default_rng(seed), until=steps,
+        )
+        t_vec = time.perf_counter() - t0
+        return ref, vec, t_ref, t_vec
+
+    ref, vec, t_ref, t_vec = benchmark.pedantic(compute, rounds=1, iterations=1)
+    speedup = t_ref / t_vec
+    print_table(
+        "E15c: run() front door, coin kernel on K_512, 15 steps",
+        ["engine", "ms", "speedup"],
+        [
+            ("reference", f"{t_ref * 1e3:.1f}", ""),
+            (vec.engine, f"{t_vec * 1e3:.1f}", f"{speedup:.1f}x"),
+        ],
+    )
+    benchmark.extra_info.update(n=512, engine=vec.engine, speedup=round(speedup, 1))
+    assert vec.engine == "vectorized"  # auto-selection on a mod-thresh kernel
+    assert vec.final_state == ref.final_state  # bitwise under the shared seed
+    assert speedup >= 5.0

@@ -95,3 +95,4 @@ def test_relaxation_step_benchmark(benchmark):
         sim.run(10)
 
     benchmark(run)
+    benchmark.extra_info.update(n=400, engine="reference")

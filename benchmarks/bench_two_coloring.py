@@ -63,3 +63,4 @@ def test_vectorized_large_instance(benchmark):
         return vec
 
     vec = benchmark(run)
+    benchmark.extra_info.update(n=3000, engine="vectorized")

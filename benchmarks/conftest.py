@@ -9,9 +9,19 @@ claim predicts, in paper-style rows.
 
 import pytest
 
-from _benchlib import print_table
+from _benchlib import print_table, write_bench_json
 
 
 @pytest.fixture
 def table():
     return print_table
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one ``BENCH_<module>.json`` per bench module (ns/op plus any
+    ``benchmark.extra_info`` the module recorded: n, engine, speedup)."""
+    bs = getattr(session.config, "_benchmarksession", None)
+    if bs is None or not bs.benchmarks:
+        return
+    for path in write_bench_json(bs.benchmarks):
+        print(f"wrote {path}")

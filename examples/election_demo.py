@@ -14,30 +14,37 @@ import math
 
 import numpy as np
 
+from repro import run
 from repro.algorithms import election, election_reference
 from repro.network import generators
-from repro.runtime.simulator import SynchronousSimulator
 
 
 def main() -> None:
     # --- watch the local-rule automaton converge -----------------------
+    # driven through the run() front door: a stateful predicate both
+    # narrates the remaining-candidate set and decides termination.
     net = generators.connected_gnp_graph(9, 0.35, 3)
     gen = np.random.default_rng(2006)
     automaton, init = election.build(net, gen)
-    sim = SynchronousSimulator(net, automaton, init, rng=gen)
 
     print(f"electing a leader among {net.num_nodes} identical nodes…")
-    last_remaining: frozenset = frozenset()
-    for step in range(1, 20_000):
-        sim.step()
-        rem = frozenset(election.remaining(sim.state))
-        if rem != last_remaining:
-            print(f"  step {step:5d}: remaining = {sorted(rem)}")
-            last_remaining = rem
-        lead = election.leaders(sim.state)
-        if len(lead) == 1 and len(rem) == 1 and lead == list(rem):
-            print(f"  step {step:5d}: node {lead[0]} is the leader")
-            break
+    seen = {"remaining": None, "step": 0}
+
+    def elected(state) -> bool:
+        rem = frozenset(election.remaining(state))
+        if rem != seen["remaining"]:
+            print(f"  step {seen['step']:5d}: remaining = {sorted(rem)}")
+            seen["remaining"] = rem
+        seen["step"] += 1
+        lead = election.leaders(state)
+        return len(lead) == 1 and len(rem) == 1 and lead == list(rem)
+
+    res = run(
+        automaton, net, init, engine="reference", until=elected,
+        max_steps=20_000, rng=gen,
+    )
+    leader = election.leaders(res.final_state)[0]
+    print(f"  step {res.steps:5d}: node {leader} is the leader")
 
     # --- scaling shape via the reference model --------------------------
     print("\nphases to elect (reference model, mean of 20 seeds):")

@@ -8,7 +8,7 @@ synchronizer — the core workflow of the library.
 Run:  python examples/quickstart.py
 """
 
-from repro import AsynchronousSimulator, SynchronousSimulator
+from repro import AsynchronousSimulator, run
 from repro.algorithms import synchronizer as alpha
 from repro.algorithms import two_coloring
 from repro.network import generators
@@ -16,19 +16,23 @@ from repro.network import generators
 
 def main() -> None:
     # --- synchronous run on a bipartite graph -------------------------
+    # run() picks the fastest engine (here: vectorized, since the
+    # 2-colouring automaton is built from mod-thresh programs) and runs
+    # to the fixed point.
     net = generators.cycle_graph(8)
     automaton, init = two_coloring.build(net, origin=0)
-    sim = SynchronousSimulator(net, automaton, init)
-    steps = sim.run_until_stable()
-    print(f"C8 : stabilized in {steps} rounds -> {dict(sim.state.items())}")
-    assert two_coloring.succeeded(net, sim.state)
+    res = run(automaton, net, init)
+    print(
+        f"C8 : stabilized in {res.steps} rounds on the {res.engine} engine "
+        f"-> {dict(res.final_state.items())}"
+    )
+    assert two_coloring.succeeded(net, res.final_state)
 
     # --- synchronous run on an odd cycle: FAILED floods ----------------
     net = generators.cycle_graph(7)
     automaton, init = two_coloring.build(net, origin=0)
-    sim = SynchronousSimulator(net, automaton, init)
-    sim.run_until_stable()
-    verdict = "failed" if two_coloring.failed(sim.state) else "coloured"
+    res = run(automaton, net, init)
+    verdict = "failed" if two_coloring.failed(res.final_state) else "coloured"
     print(f"C7 : non-bipartite detected -> every node reports {verdict!r}")
 
     # --- the same algorithm, asynchronously, via the α synchronizer ----

@@ -12,7 +12,7 @@ Run:  python examples/sensor_census.py
 
 import numpy as np
 
-from repro import SynchronousSimulator
+from repro import run
 from repro.algorithms import census, shortest_paths
 from repro.network import generators
 from repro.runtime.faults import FaultEvent, FaultPlan
@@ -24,36 +24,39 @@ def main() -> None:
     print(f"sensor field: n={net.num_nodes}, m={net.num_edges}")
 
     # --- 1. census ------------------------------------------------------
-    automaton, init = census.build(net, rng=rng)
-    sim = SynchronousSimulator(net, automaton, init, rng=rng)
-    rounds = sim.run_until_stable()
-    est = census.estimate(sim.state[0])
-    print(f"census: diffused in {rounds} rounds; estimate ≈ {est:.0f} (true 80)")
+    # rule-based (semi-lattice OR), so run() falls back to the reference
+    # interpreter.
+    res = census.run_census(net, rng=rng)
+    est = census.estimate(res.final_state[0])
+    print(
+        f"census: diffused in {res.steps} rounds ({res.engine} engine); "
+        f"estimate ≈ {est:.0f} (true 80)"
+    )
 
     # --- 2. routing to sinks ---------------------------------------------
+    # program-based, so run() auto-selects the vectorized engine.
     sinks = [0, 40]
-    automaton, init = shortest_paths.build(net, sinks)
-    sim = SynchronousSimulator(net, automaton, init)
-    sim.run_until_stable()
+    res = shortest_paths.run_labels(net, sinks)
+    print(f"labels: converged in {res.steps} rounds ({res.engine} engine)")
     for source in (11, 33, 77):
-        path = shortest_paths.route_packet(net, sim.state, source, rng=rng)
+        path = shortest_paths.route_packet(net, res.final_state, source, rng=rng)
         print(f"routing: packet {source} -> sink {path[-1]} in {len(path) - 1} hops")
 
     # --- 3. faults strike -------------------------------------------------
+    # a fault plan forces the reference engine (the only one supporting
+    # mid-run topology changes) — run() handles the fallback.
     victims = [e for e in net.edges() if 0 not in e and 40 not in e][:6]
     plan = FaultPlan(
         [FaultEvent(2 + i, "edge", e) for i, e in enumerate(victims[:4])]
         + [FaultEvent(8, "node", 55)]
     )
-    automaton, init = shortest_paths.build(net, sinks)
-    sim = SynchronousSimulator(net, automaton, init, fault_plan=plan)
-    sim.run_until_stable(max_steps=500)
-    ok = shortest_paths.stabilized(net, sim.state, sinks, net.num_nodes)
+    res = shortest_paths.run_labels(net, sinks, fault_plan=plan, max_steps=500)
+    ok = shortest_paths.stabilized(net, res.final_state, sinks, net.num_nodes)
     print(
-        f"faults: applied {len(plan.applied)} deletions; "
+        f"faults: applied {len(plan.applied)} deletions ({res.engine} engine); "
         f"labels re-balanced to survivor distances = {ok}"
     )
-    path = shortest_paths.route_packet(net, sim.state, 77, rng=rng)
+    path = shortest_paths.route_packet(net, res.final_state, 77, rng=rng)
     print(f"routing after faults: packet 77 -> sink {path[-1]} in {len(path) - 1} hops")
 
 

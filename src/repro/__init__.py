@@ -11,15 +11,14 @@ equivalence.
 
 Quickstart::
 
-    from repro import SynchronousSimulator
+    from repro import run
     from repro.network import generators
     from repro.algorithms import two_coloring
 
     net = generators.cycle_graph(8)
     automaton, init = two_coloring.build(net, origin=0)
-    sim = SynchronousSimulator(net, automaton, init)
-    sim.run_until_stable()
-    print(sim.state.counts())
+    res = run(automaton, net, init)          # engine="auto", until="stable"
+    print(res.engine, res.steps, res.final_state.counts())
 """
 
 from repro.core import (
@@ -36,6 +35,11 @@ from repro.runtime import (
     SynchronousSimulator,
     AsynchronousSimulator,
     FaultPlan,
+    MetricsObserver,
+    RunResult,
+    StepObserver,
+    TraceObserver,
+    run,
 )
 
 __version__ = "1.0.0"
@@ -53,5 +57,10 @@ __all__ = [
     "SynchronousSimulator",
     "AsynchronousSimulator",
     "FaultPlan",
+    "run",
+    "RunResult",
+    "StepObserver",
+    "TraceObserver",
+    "MetricsObserver",
     "__version__",
 ]

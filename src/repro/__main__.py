@@ -22,28 +22,24 @@ import sys
 def _two_coloring(n: int = 8) -> None:
     from repro.algorithms import two_coloring
     from repro.network import generators
-    from repro.runtime.simulator import SynchronousSimulator
 
     net = generators.cycle_graph(n)
-    automaton, init = two_coloring.build(net, origin=0)
-    sim = SynchronousSimulator(net, automaton, init)
-    steps = sim.run_until_stable()
-    verdict = "FAILED (odd cycle)" if two_coloring.failed(sim.state) else "2-coloured"
-    print(f"C{n}: {verdict} in {steps} rounds")
-    print({v: sim.state[v] for v in net})
+    res = two_coloring.run_two_coloring(net, origin=0)
+    verdict = (
+        "FAILED (odd cycle)" if two_coloring.failed(res.final_state) else "2-coloured"
+    )
+    print(f"C{n}: {verdict} in {res.steps} rounds ({res.engine} engine)")
+    print({v: res.final_state[v] for v in net})
 
 
 def _census(n: int = 64) -> None:
     from repro.algorithms import census
     from repro.network import generators
-    from repro.runtime.simulator import SynchronousSimulator
 
     net = generators.connected_gnp_graph(n, min(0.9, 4.0 / n + 0.05), 1)
-    automaton, init = census.build(net, rng=1)
-    sim = SynchronousSimulator(net, automaton, init, rng=1)
-    rounds = sim.run_until_stable()
-    print(f"n = {n}; estimate = {census.estimate(sim.state[0]):.1f} "
-          f"(diffused in {rounds} rounds)")
+    res = census.run_census(net, rng=1)
+    print(f"n = {n}; estimate = {census.estimate(res.final_state[0]):.1f} "
+          f"(diffused in {res.steps} rounds, {res.engine} engine)")
 
 
 def _walk(moves: int = 25) -> None:

@@ -28,6 +28,7 @@ import itertools
 from typing import Iterable, Optional
 
 from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.core.modthresh import FALSE, ModThreshProgram, Not, Or, at_least
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 
@@ -40,6 +41,8 @@ __all__ = [
     "BFSState",
     "build",
     "rule",
+    "programs",
+    "run_search",
     "label_of",
     "status_of",
     "originator_status",
@@ -120,23 +123,99 @@ def rule(own: tuple, view: NeighborhoodView) -> tuple:
     return own
 
 
+def _any_of(states: tuple):
+    """``∨_q μ_q >= 1`` over a finite state group (FALSE when empty)."""
+    if not states:
+        return FALSE
+    return Or(tuple(at_least(q, 1) for q in states))
+
+
+def programs() -> dict[tuple, ModThreshProgram]:
+    """Algorithm 4.1 as one explicit mod-thresh cascade per own state.
+
+    Branch-for-branch equivalent to :func:`rule` (every query the rule
+    makes is a thresh atom over a precomputed state group); built once per
+    call over the full 48-state alphabet so ``repro.run`` can dispatch BFS
+    to the vectorized engine.
+    """
+    out: dict[tuple, ModThreshProgram] = {}
+    for own in ALPHABET:
+        orig, targ, label, status = own
+        name = f"bfs[{own!r}]"
+        if orig and label == STAR:
+            out[own] = ModThreshProgram(
+                clauses=(), default=(orig, targ, 0, status), name=name
+            )
+        elif label == STAR:
+            new_status = FOUND if targ else status
+            out[own] = ModThreshProgram(
+                clauses=tuple(
+                    (_any_of(_WITH_LABEL[x]), (orig, targ, (x + 1) % 3, new_status))
+                    for x in (0, 1, 2)
+                ),
+                default=own,
+                name=name,
+            )
+        elif status == WAITING:
+            succ = (label + 1) % 3
+            pred = (label - 1) % 3
+            all_succ_failed = ~_any_of(_WITH_LABEL[STAR]) & ~_any_of(
+                _WITH_LABEL_STATUS[(succ, WAITING)]
+                + _WITH_LABEL_STATUS[(succ, FOUND)]
+            )
+            out[own] = ModThreshProgram(
+                clauses=(
+                    (_any_of(_WITH_LABEL_STATUS[(pred, FOUND)]), own),
+                    (
+                        _any_of(_WITH_LABEL_STATUS[(succ, FOUND)]),
+                        (orig, targ, label, FOUND),
+                    ),
+                    (all_succ_failed, (orig, targ, label, FAILED)),
+                ),
+                default=own,
+                name=name,
+            )
+        else:
+            out[own] = ModThreshProgram(clauses=(), default=own, name=name)
+    return out
+
+
 def build(
     net: Network,
     originator: Node,
     targets: Iterable[Node] = (),
 ) -> tuple[FSSGA, NetworkState]:
-    """The BFS automaton with the given originator and target set."""
+    """The BFS automaton with the given originator and target set.
+
+    Built from the explicit :func:`programs` cascades (equivalent to
+    :func:`rule`), so ``repro.run`` auto-selects the vectorized engine.
+    """
     if originator not in net:
         raise KeyError(f"originator {originator!r} not in network")
     target_set = set(targets)
     missing = target_set - set(net.nodes())
     if missing:
         raise KeyError(f"targets not in network: {sorted(map(repr, missing))}")
-    automaton = FSSGA(ALPHABET, rule, name="bfs")
+    automaton = FSSGA(ALPHABET, programs(), name="bfs")
     init = NetworkState.from_function(
         net, lambda v: BFSState.initial(v == originator, v in target_set)
     )
     return automaton, init
+
+
+def run_search(
+    net: Network,
+    originator: Node,
+    targets: Iterable[Node] = (),
+    **kwargs,
+):
+    """Run the BFS search to its fixed point through :func:`repro.run` and
+    return the :class:`~repro.runtime.api.RunResult` (the verdict is
+    :func:`originator_status` of ``final_state``)."""
+    from repro.runtime.api import run
+
+    automaton, init = build(net, originator, targets)
+    return run(automaton, net, init, **kwargs)
 
 
 def originator_status(state: NetworkState, originator: Node) -> str:

@@ -34,6 +34,7 @@ __all__ = [
     "sample_sketch",
     "or_rule",
     "build",
+    "run_census",
     "build_averaged",
     "first_zero_index",
     "estimate",
@@ -88,6 +89,26 @@ def build(
     automaton = FSSGA(alphabet, or_rule, name=f"census[k={k}]")
     init = NetworkState.from_function(net, lambda v: sample_sketch(k, gen))
     return automaton, init
+
+
+def run_census(
+    net: Network,
+    k: Optional[int] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+    **kwargs,
+):
+    """Diffuse the sketches to their fixed point through :func:`repro.run`
+    and return the :class:`~repro.runtime.api.RunResult`.
+
+    The OR rule reads neighbours through :meth:`NeighborhoodView.support`,
+    which is not program-expressible, so ``engine="auto"`` selects the
+    reference interpreter (the intended fallback).  Read estimates off
+    ``final_state`` with :func:`component_estimates`.
+    """
+    from repro.runtime.api import run
+
+    automaton, init = build(net, k, rng)
+    return run(automaton, net, init, **kwargs)
 
 
 def first_zero_index(sketch: tuple) -> int:

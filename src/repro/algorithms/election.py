@@ -64,7 +64,6 @@ from repro.core.automaton import NeighborhoodView, ProbabilisticFSSGA
 from repro.core.modthresh import ModThreshProgram, at_least
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
-from repro.runtime.simulator import SynchronousSimulator
 
 __all__ = [
     "InnerState",
@@ -473,36 +472,51 @@ def run_until_elected(
     """
     if net.num_nodes < 2 or not net.is_connected():
         raise ValueError("election needs a connected network with >= 2 nodes")
+    from repro.runtime.api import run as _run
+
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     automaton, init = build(net, gen)
-    sim = SynchronousSimulator(net, automaton, init, rng=gen)
     n = net.num_nodes
     if max_steps is None:
         max_steps = max(6000, 1200 * n * max(1, math.ceil(math.log2(n))))
-    phase_changes = 0
-    last_phase_counts = None
-    quiet = 0
-    while True:
-        if sim.time >= max_steps:
-            raise RuntimeError(
-                f"election not finished after {max_steps} steps "
-                f"(remaining={len(remaining(sim.state))}, leaders={leaders(sim.state)})"
-            )
-        changes = sim.step()
-        counts = tuple(sorted(q.phase for q in sim.state.values()))
-        if counts != last_phase_counts:
-            phase_changes += 1
-            last_phase_counts = counts
-        lead = leaders(sim.state)
-        rem = remaining(sim.state)
+    threshold = 2 * n + 20
+    tracker = {"phase_changes": 0, "last": None, "quiet": 0, "state": init}
+
+    def settled(state: NetworkState) -> bool:
+        tracker["state"] = state
+        counts = tuple(sorted(q.phase for q in state.values()))
+        if counts != tracker["last"]:
+            tracker["phase_changes"] += 1
+            tracker["last"] = counts
+        lead = leaders(state)
+        rem = remaining(state)
         if len(lead) == 1 and len(rem) == 1 and lead == rem:
             # clocks keep cycling, so look for sustained stability of the
             # leadership configuration rather than a syntactic fixed point.
-            quiet += 1
-            if quiet >= 2 * n + 20:
-                return LocalElectionResult(lead[0], sim.time, phase_changes)
-        else:
-            quiet = 0
+            tracker["quiet"] += 1
+            return tracker["quiet"] >= threshold
+        tracker["quiet"] = 0
+        return False
+
+    try:
+        res = _run(
+            automaton,
+            net,
+            init,
+            engine="reference",
+            until=settled,
+            max_steps=max_steps,
+            rng=gen,
+        )
+    except RuntimeError:
+        state = tracker["state"]
+        raise RuntimeError(
+            f"election not finished after {max_steps} steps "
+            f"(remaining={len(remaining(state))}, leaders={leaders(state)})"
+        ) from None
+    return LocalElectionResult(
+        leaders(res.final_state)[0], res.steps, tracker["phase_changes"]
+    )
 
 
 # ----------------------------------------------------------------------
@@ -588,21 +602,24 @@ def kernel_phase_statistics(
     Use a complete graph for Claim 4.1 statistics (see the kernel notes
     above); expected phases there are Θ(log n).
     """
-    from repro.runtime.batched import run_replicas
+    from repro.runtime.api import run as _run
 
-    result = run_replicas(
-        net,
+    res = _run(
         coin_kernel_programs(),
+        net,
         coin_kernel_init(net),
-        replicas,
-        stop=lambda counts: kernel_remaining_count(counts) <= 1,
-        max_steps=max_steps,
+        replicas=replicas,
         randomness=2,
         rng=rng,
+        until=lambda s: sum(1 for q in s.values() if q != K_OUT) <= 1,
+        max_steps=max_steps,
     )
     return KernelPhaseStats(
         replicas=replicas,
-        rounds=result.rounds,
-        mean_rounds=float(np.mean(result.rounds)),
-        survivor_counts=[kernel_remaining_count(c) for c in result.state_counts],
+        rounds=res.replica_rounds,
+        mean_rounds=float(np.mean(res.replica_rounds)),
+        survivor_counts=[
+            sum(1 for q in st.values() if q != K_OUT)
+            for st in res.replica_states
+        ],
     )

@@ -27,10 +27,39 @@ from typing import Iterable, Optional, Union
 import numpy as np
 
 from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.core.modthresh import ModThreshProgram, at_least
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 
-__all__ = ["build", "labels", "route_packet", "stabilized"]
+__all__ = ["programs", "build", "run_labels", "labels", "route_packet", "stabilized"]
+
+
+def programs(cap: int) -> dict[tuple, ModThreshProgram]:
+    """The distance-labelling update as explicit mod-thresh cascades.
+
+    Targets pin their label to 0; every other node takes 1 + the least
+    label present among its neighbours (target flag irrelevant), capped.
+    One clause per candidate label — the min over a multiset, written as a
+    thresh-atom cascade.
+    """
+    out: dict[tuple, ModThreshProgram] = {}
+    non_target_clauses = tuple(
+        (
+            at_least((False, d), 1) | at_least((True, d), 1),
+            (False, min(d + 1, cap)),
+        )
+        for d in range(cap)
+    )
+    for d in range(cap + 1):
+        out[(True, d)] = ModThreshProgram(
+            clauses=(), default=(True, 0), name=f"shortest-paths[target,{d}]"
+        )
+        out[(False, d)] = ModThreshProgram(
+            clauses=non_target_clauses,
+            default=(False, cap),
+            name=f"shortest-paths[{d}]",
+        )
+    return out
 
 
 def build(
@@ -42,7 +71,8 @@ def build(
 
     States are pairs ``(is_target, label)`` with labels in ``{0..cap}``;
     non-target nodes start at the cap (the "practically, cap each label at
-    n" device from the paper).
+    n" device from the paper).  Built from the explicit :func:`programs`
+    cascades, so ``repro.run`` auto-selects the vectorized engine.
     """
     target_set = set(targets)
     missing = target_set - set(net.nodes())
@@ -53,24 +83,26 @@ def build(
     if cap < 1:
         raise ValueError("cap must be >= 1")
 
-    alphabet = {(t, d) for t in (False, True) for d in range(cap + 1)}
-
-    def rule(own: tuple, view: NeighborhoodView) -> tuple:
-        is_target, _label = own
-        if is_target:
-            return (True, 0)
-        # min over neighbour labels, found with thresh atoms: the least d
-        # such that some neighbour holds label d (target flag irrelevant).
-        for d in range(cap):
-            if view.any((False, d), (True, d)):
-                return (False, min(d + 1, cap))
-        return (False, cap)
-
-    automaton = FSSGA(alphabet, rule, name="shortest-paths")
+    automaton = FSSGA.from_programs(programs(cap), name="shortest-paths")
     init = NetworkState.from_function(
         net, lambda v: (True, 0) if v in target_set else (False, cap)
     )
     return automaton, init
+
+
+def run_labels(
+    net: Network,
+    targets: Iterable[Node],
+    cap: Optional[int] = None,
+    **kwargs,
+):
+    """Converge the distance labels through :func:`repro.run` and return
+    the :class:`~repro.runtime.api.RunResult` (read the labels off
+    ``final_state`` with :func:`labels`)."""
+    from repro.runtime.api import run
+
+    automaton, init = build(net, targets, cap)
+    return run(automaton, net, init, **kwargs)
 
 
 def labels(state: NetworkState) -> dict[Node, int]:

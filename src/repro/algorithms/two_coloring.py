@@ -49,6 +49,7 @@ __all__ = [
     "programs",
     "sticky_programs",
     "build",
+    "run_two_coloring",
     "succeeded",
     "failed",
     "coloring",
@@ -146,17 +147,34 @@ def build(
     """The 2-colouring automaton with ``origin`` initially RED.
 
     ``sticky=True`` (default) selects the converging variant; pass False
-    for the paper-verbatim oscillating cascade.
+    for the paper-verbatim oscillating cascade.  The automaton is built
+    from the explicit mod-thresh programs (equivalent to the rules above,
+    cross-checked in the tests), so ``repro.run`` auto-selects the
+    vectorized engine for it.
     """
     if origin not in net:
         raise KeyError(f"origin {origin!r} not in network")
     automaton = FSSGA(
-        ALPHABET, sticky_rule if sticky else rule, name="two-coloring"
+        ALPHABET,
+        sticky_programs() if sticky else programs(),
+        name="two-coloring",
     )
     init = NetworkState.from_function(
         net, lambda v: RED if v == origin else BLANK
     )
     return automaton, init
+
+
+def run_two_coloring(
+    net: Network, origin: Node, sticky: bool = True, **kwargs
+):
+    """2-colour ``net`` through the :func:`repro.run` front door and return
+    its :class:`~repro.runtime.api.RunResult` (fixed point; vectorized
+    engine under ``engine="auto"``)."""
+    from repro.runtime.api import run
+
+    automaton, init = build(net, origin, sticky=sticky)
+    return run(automaton, net, init, **kwargs)
 
 
 def failed(state: NetworkState) -> bool:

@@ -267,19 +267,20 @@ class Network:
         """
         order = self.nodes()
         index = {v: i for i, v in enumerate(order)}
-        rows: list[int] = []
-        cols: list[int] = []
-        for u, v in self.edges():
-            rows.append(index[u])
-            cols.append(index[v])
-            rows.append(index[v])
-            cols.append(index[u])
         n = len(order)
-        data = np.ones(len(rows), dtype=np.int64)
-        mat = sparse.csr_matrix(
-            (data, (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64))),
-            shape=(n, n),
-        )
+        # build the CSR arrays directly from the adjacency sets (each row's
+        # entries are distinct by construction, so no COO deduplication pass)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        cols = np.empty(2 * self._num_edges, dtype=np.int64)
+        k = 0
+        for i, v in enumerate(order):
+            for u in self._adj[v]:
+                cols[k] = index[u]
+                k += 1
+            indptr[i + 1] = k
+        data = np.ones(k, dtype=np.int64)
+        mat = sparse.csr_matrix((data, cols[:k], indptr), shape=(n, n))
+        mat.sort_indices()
         return mat, order
 
     def to_networkx(self):

@@ -14,8 +14,18 @@
 * :mod:`repro.runtime.trace` — execution traces for replay and assertions.
 * :mod:`repro.runtime.message_passing` — the Section 3 remark made
   concrete: local-broadcast message passing simulated with outbox buffers.
+* :mod:`repro.runtime.api` — the single front door :func:`run`: engine
+  auto-selection, one termination policy, pluggable step observers.
 """
 
+from repro.runtime.api import (
+    MetricsObserver,
+    RunResult,
+    StepObserver,
+    TraceObserver,
+    run,
+    supports_vectorized,
+)
 from repro.runtime.batched import (
     BatchedRunResult,
     BatchedSynchronousEngine,
@@ -37,6 +47,12 @@ from repro.runtime.trace import Trace
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 
 __all__ = [
+    "run",
+    "RunResult",
+    "StepObserver",
+    "TraceObserver",
+    "MetricsObserver",
+    "supports_vectorized",
     "BatchedRunResult",
     "BatchedSynchronousEngine",
     "run_replicas",

@@ -1,0 +1,512 @@
+"""One front door for every execution engine.
+
+Theorem 3.7 makes the three synchronous engines interchangeable on
+mod-thresh automata; this module is where the codebase exploits it.
+:func:`run` accepts any automaton, picks the fastest engine that can
+execute it (``engine="auto"``), applies one unified termination policy,
+streams per-step events to pluggable :class:`StepObserver` instances, and
+returns a structured :class:`RunResult`.
+
+Engine selection under ``engine="auto"``:
+
+* program-based automata (every FSM function an explicit
+  :class:`~repro.core.modthresh.ModThreshProgram`) go to the
+  :class:`~repro.runtime.vectorized.VectorizedSynchronousEngine` — or the
+  :class:`~repro.runtime.batched.BatchedSynchronousEngine` when
+  ``replicas=R`` is passed;
+* rule-based automata, and any run with a ``fault_plan``, fall back to the
+  reference :class:`~repro.runtime.simulator.SynchronousSimulator`;
+* ``engine="reference"`` forces the reference interpreter everywhere (the
+  conformance escape hatch): for a shared seed the reference and
+  vectorized paths produce bitwise-identical trajectories, probabilistic
+  draws included.
+
+Termination policy (one convention for every engine — ``RunResult.steps``
+always counts ``step()`` calls actually executed):
+
+* ``until=k`` (an int): exactly ``k`` synchronous steps; ``steps == k``.
+* ``until="stable"``: run to a fixed point.  The final no-change step *is*
+  executed and counted (so a network that is born stable reports
+  ``steps == 1``), matching the engines' ``run_until_stable``.  With a
+  ``fault_plan``, stability additionally requires the plan exhausted.
+* ``until=predicate`` (a callable ``NetworkState -> bool``): the predicate
+  is checked *before* each step, so an initially satisfied predicate
+  reports ``steps == 0``.  With ``replicas=R`` the predicate is evaluated
+  per replica and satisfied replicas are deactivated (they stop evolving
+  and stop consuming randomness).
+
+Both open-ended modes raise :class:`RuntimeError` at ``max_steps``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Optional, Protocol, Union
+
+import numpy as np
+
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.modthresh import ModThreshProgram
+from repro.network.graph import Network
+from repro.network.state import NetworkState
+from repro.runtime.batched import BatchedSynchronousEngine
+from repro.runtime.faults import FaultPlan
+from repro.runtime.simulator import SynchronousSimulator
+from repro.runtime.trace import Trace
+from repro.runtime.vectorized import (
+    VectorizedSynchronousEngine,
+    _build_alphabet,
+    _normalize_programs,
+)
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "StepObserver",
+    "TraceObserver",
+    "MetricsObserver",
+    "run",
+    "supports_vectorized",
+]
+
+Automaton = Union[FSSGA, ProbabilisticFSSGA, Mapping]
+Until = Union[int, str, Callable[[NetworkState], bool]]
+
+ENGINES = ("auto", "reference", "vectorized", "batched")
+
+
+class Engine(Protocol):
+    """What :func:`run` needs from an execution engine: one synchronous
+    ``step()`` plus a decodable ``state``.  All three engines satisfy it
+    structurally; the front door adapts their differing step/termination
+    signatures to the unified policy."""
+
+    def step(self): ...
+
+    @property
+    def state(self) -> NetworkState: ...
+
+
+# ----------------------------------------------------------------------
+# observers
+# ----------------------------------------------------------------------
+class StepObserver:
+    """Pluggable per-step hook.  Subclass and override what you need.
+
+    ``on_step(time, changes, faults)`` fires after every executed step:
+    ``time`` is the 0-based index of the completed step, ``changes`` maps
+    changed nodes to ``(old, new)`` pairs (for batched runs: changed
+    *replica indices* to ``True``), ``faults`` lists the fault events
+    applied immediately before the step (always empty on the vectorized
+    engines, which reject fault plans).
+    """
+
+    def on_run_start(self, net: Network, state: NetworkState) -> None:
+        pass
+
+    def on_step(self, time: int, changes: dict, faults: list) -> None:
+        pass
+
+    def on_run_end(self, result: "RunResult") -> None:
+        pass
+
+
+class TraceObserver(StepObserver):
+    """Adapts a :class:`~repro.runtime.trace.Trace` to the observer
+    interface, so existing trace-based assertions work unchanged through
+    :func:`run` on any engine."""
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self.trace = trace if trace is not None else Trace()
+
+    def on_step(self, time: int, changes: dict, faults: list) -> None:
+        self.trace.record(time, changes, faults)
+
+
+class MetricsObserver(StepObserver):
+    """Lightweight per-run metrics: wall time per step and the convergence
+    curve (changed-node count per step), cheap enough for benchmarks."""
+
+    def __init__(self) -> None:
+        self.step_times: list[float] = []
+        self.change_counts: list[int] = []
+        self._last: Optional[float] = None
+
+    def on_run_start(self, net: Network, state: NetworkState) -> None:
+        self._last = perf_counter()
+
+    def on_step(self, time: int, changes: dict, faults: list) -> None:
+        now = perf_counter()
+        if self._last is not None:
+            self.step_times.append(now - self._last)
+        self._last = now
+        self.change_counts.append(len(changes))
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.step_times)
+
+    def convergence_curve(self) -> list[int]:
+        """Changed-node count per step — flat at 0 once converged."""
+        return list(self.change_counts)
+
+
+class _FaultCapture:
+    """Minimal trace stand-in harvesting the faults of the latest step
+    (``SynchronousSimulator.step`` returns changes but not faults)."""
+
+    def __init__(self) -> None:
+        self.last_faults: list = []
+
+    def record(self, time, changes, faults=None, state=None) -> None:
+        self.last_faults = list(faults or [])
+
+
+# ----------------------------------------------------------------------
+# results and engine selection
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """Structured outcome of a :func:`run`.
+
+    ``steps`` counts executed ``step()`` calls under the module's unified
+    convention; ``change_counts[t]`` is the number of nodes that changed in
+    step ``t`` (for batched runs: the number of *replicas* that changed).
+    ``rng_draws`` counts the random draws consumed (0 for deterministic
+    automata).  Batched runs also populate ``replica_states`` /
+    ``replica_rounds`` and report ``final_state = replica_states[0]``,
+    ``steps = max(replica_rounds)``.
+    """
+
+    final_state: NetworkState
+    steps: int
+    engine: str
+    converged: bool
+    wall_time: float
+    rng_draws: int
+    change_counts: list[int]
+    replica_states: Optional[list[NetworkState]] = None
+    replica_rounds: Optional[np.ndarray] = None
+
+
+def supports_vectorized(automaton: Automaton) -> bool:
+    """True iff ``automaton`` can drive the vectorized engines directly:
+    an :class:`FSSGA`/:class:`ProbabilisticFSSGA` built from programs, or a
+    raw mapping whose values are all :class:`ModThreshProgram`."""
+    if isinstance(automaton, (FSSGA, ProbabilisticFSSGA)):
+        return not automaton.is_rule_based
+    if isinstance(automaton, Mapping):
+        return bool(automaton) and all(
+            isinstance(p, ModThreshProgram) for p in automaton.values()
+        )
+    return False
+
+
+def _select_engine(
+    engine: str,
+    automaton: Automaton,
+    replicas: Optional[int],
+    fault_plan: Optional[FaultPlan],
+) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "auto":
+        if fault_plan is not None:
+            chosen = "reference"
+        elif supports_vectorized(automaton):
+            chosen = "batched" if replicas is not None else "vectorized"
+        else:
+            chosen = "reference"
+    else:
+        chosen = engine
+    if chosen in ("vectorized", "batched") and fault_plan is not None:
+        raise ValueError(
+            f"engine {chosen!r} does not support mid-run faults; "
+            "use engine='reference' (or 'auto', which falls back) for "
+            "fault experiments"
+        )
+    if chosen == "batched" and replicas is None:
+        raise ValueError("engine='batched' needs replicas=R")
+    if chosen != "batched" and replicas is not None:
+        raise ValueError(
+            f"replicas={replicas} needs the batched engine, but "
+            f"{'rule-based automata cannot be batched' if not supports_vectorized(automaton) else f'engine={chosen!r} was requested'}"
+        )
+    return chosen
+
+
+def _as_reference_automaton(
+    automaton: Automaton, randomness: Optional[int]
+) -> Union[FSSGA, ProbabilisticFSSGA]:
+    """The reference simulator needs an automaton object; wrap raw program
+    mappings, padding result-only states with hold-state programs so the
+    semantics match the vectorized engines (unknown own state = no-op)."""
+    if isinstance(automaton, (FSSGA, ProbabilisticFSSGA)):
+        return automaton
+    programs, probabilistic, r = _normalize_programs(dict(automaton), randomness)
+    alphabet = _build_alphabet(programs, probabilistic)
+    if probabilistic:
+        full = {
+            (q, i): programs.get(
+                (q, i), ModThreshProgram(clauses=(), default=q)
+            )
+            for q in alphabet
+            for i in range(r)
+        }
+        return ProbabilisticFSSGA(frozenset(alphabet), r, full)
+    full = {
+        q: programs.get(q, ModThreshProgram(clauses=(), default=q))
+        for q in alphabet
+    }
+    return FSSGA(frozenset(alphabet), full)
+
+
+# ----------------------------------------------------------------------
+# the unified step driver
+# ----------------------------------------------------------------------
+def _drive(
+    step_once: Callable[[], bool],
+    current_state: Callable[[], NetworkState],
+    quiescent_ok: Callable[[], bool],
+    until: Until,
+    max_steps: int,
+) -> tuple[int, bool]:
+    """Run ``step_once`` under the unified termination policy; returns
+    ``(steps_executed, converged)``.  ``step_once`` returns whether any
+    node changed."""
+    if isinstance(until, bool):
+        raise TypeError("until must be an int, 'stable', or a predicate")
+    if isinstance(until, int):
+        if until < 0:
+            raise ValueError("until must be >= 0")
+        for _ in range(until):
+            step_once()
+        return until, True
+    if until == "stable":
+        for steps in range(1, max_steps + 1):
+            if not step_once() and quiescent_ok():
+                return steps, True
+        raise RuntimeError(f"no fixed point within {max_steps} steps")
+    if callable(until):
+        for steps in range(max_steps):
+            if until(current_state()):
+                return steps, True
+            step_once()
+        if until(current_state()):
+            return max_steps, True
+        raise RuntimeError(f"predicate not reached within {max_steps} steps")
+    raise TypeError(f"until must be an int, 'stable', or a predicate; got {until!r}")
+
+
+def _run_reference(
+    automaton, net, init, until, max_steps, randomness, rng, fault_plan, observers
+):
+    automaton = _as_reference_automaton(automaton, randomness)
+    capture = _FaultCapture()
+    sim = SynchronousSimulator(
+        net, automaton, init, rng=rng, fault_plan=fault_plan, trace=capture
+    )
+    probabilistic = isinstance(automaton, ProbabilisticFSSGA)
+    draws = [0]
+    change_counts: list[int] = []
+
+    def step_once() -> bool:
+        changes = sim.step()
+        if probabilistic:
+            draws[0] += len(sim.net)
+        change_counts.append(len(changes))
+        for ob in observers:
+            ob.on_step(sim.time - 1, changes, capture.last_faults)
+        return bool(changes)
+
+    def quiescent_ok() -> bool:
+        return fault_plan is None or fault_plan.exhausted
+
+    steps, converged = _drive(
+        step_once, lambda: sim.state, quiescent_ok, until, max_steps
+    )
+    return sim.state, steps, converged, draws[0], change_counts, None, None
+
+
+def _run_vectorized(automaton, net, init, until, max_steps, randomness, rng, observers):
+    eng = VectorizedSynchronousEngine(
+        net, automaton, init, randomness=randomness, rng=rng
+    )
+    draws = [0]
+    change_counts: list[int] = []
+
+    def step_once() -> bool:
+        old = eng._sigma  # step() replaces the array; this snapshot stays valid
+        changed = eng.step()
+        if eng._probabilistic:
+            draws[0] += eng._n
+        diff = np.flatnonzero(eng._sigma != old)
+        change_counts.append(len(diff))
+        if observers:
+            changes = {
+                eng._order[i]: (eng.alphabet[old[i]], eng.alphabet[eng._sigma[i]])
+                for i in diff
+            }
+            for ob in observers:
+                ob.on_step(eng.time - 1, changes, [])
+        return changed
+
+    steps, converged = _drive(
+        step_once, lambda: eng.state, lambda: True, until, max_steps
+    )
+    return eng.state, steps, converged, draws[0], change_counts, None, None
+
+
+def _run_batched(
+    automaton, net, init, until, max_steps, replicas, randomness, rng, observers
+):
+    eng = BatchedSynchronousEngine(
+        net, automaton, init, replicas, randomness=randomness, rng=rng
+    )
+    draws = [0]
+    change_counts: list[int] = []
+
+    def step_once() -> np.ndarray:
+        if eng._probabilistic:
+            draws[0] += int(eng._active.sum()) * eng._n
+        changed = eng.step()
+        change_counts.append(int(changed.sum()))
+        if observers:
+            rep_changes = {int(r): True for r in np.flatnonzero(changed)}
+            for ob in observers:
+                ob.on_step(eng.time - 1, rep_changes, [])
+        return changed
+
+    if isinstance(until, bool):
+        raise TypeError("until must be an int, 'stable', or a predicate")
+    if isinstance(until, int):
+        if until < 0:
+            raise ValueError("until must be >= 0")
+        for _ in range(until):
+            step_once()
+        converged = True
+    elif until == "stable":
+        # mirror BatchedSynchronousEngine.run_until_stable: a replica is
+        # deactivated after its first no-change step (which is counted).
+        for _ in range(max_steps):
+            if not eng._active.any():
+                break
+            eng._active &= step_once()
+        if eng._active.any():
+            raise RuntimeError(
+                f"{int(eng._active.sum())}/{eng.replicas} replicas reached "
+                f"no fixed point within {max_steps} steps"
+            )
+        converged = True
+    elif callable(until):
+        # predicate checked before each step, per replica; satisfied
+        # replicas deactivate and stop evolving/drawing.
+        for remaining in range(max_steps, -1, -1):
+            for r in np.flatnonzero(eng._active):
+                if until(eng.replica_state(int(r))):
+                    eng._active[r] = False
+            if not eng._active.any():
+                break
+            if remaining == 0:
+                raise RuntimeError(
+                    f"{int(eng._active.sum())}/{eng.replicas} replicas did "
+                    f"not satisfy the predicate within {max_steps} steps"
+                )
+            step_once()
+        converged = True
+    else:
+        raise TypeError(
+            f"until must be an int, 'stable', or a predicate; got {until!r}"
+        )
+
+    states = eng.states
+    rounds = eng.rounds
+    return (
+        states[0],
+        int(rounds.max()),
+        converged,
+        draws[0],
+        change_counts,
+        states,
+        rounds,
+    )
+
+
+# ----------------------------------------------------------------------
+# the front door
+# ----------------------------------------------------------------------
+def run(
+    automaton: Automaton,
+    net: Network,
+    init: Union[NetworkState, list],
+    *,
+    engine: str = "auto",
+    until: Until = "stable",
+    max_steps: int = 100_000,
+    replicas: Optional[int] = None,
+    randomness: Optional[int] = None,
+    rng: Union[int, np.random.Generator, None] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    observers: tuple = (),
+) -> RunResult:
+    """Execute ``automaton`` on ``net`` from ``init`` on the best engine.
+
+    Parameters
+    ----------
+    automaton:
+        :class:`FSSGA` / :class:`ProbabilisticFSSGA` (rule- or
+        program-based), or a raw ``{q: ModThreshProgram}`` /
+        ``{(q, i): ModThreshProgram}`` mapping (the latter with
+        ``randomness``).
+    engine:
+        ``"auto"`` (default — fastest applicable), ``"reference"``,
+        ``"vectorized"``, or ``"batched"`` (requires ``replicas``).
+    until:
+        Termination: an int (fixed steps), ``"stable"`` (fixed point), or
+        a ``NetworkState -> bool`` predicate.  See the module docstring for
+        the step-count convention.
+    replicas:
+        R independent replicas via the batched engine.  ``init`` may then
+        be one shared state or a list of R states.
+    fault_plan:
+        Mid-run decreasing benign faults (reference engine only; under
+        ``"auto"`` forces the reference fallback).
+    observers:
+        :class:`StepObserver` instances notified per executed step.
+    """
+    observers = tuple(observers)
+    chosen = _select_engine(engine, automaton, replicas, fault_plan)
+    start = perf_counter()
+    for ob in observers:
+        ob.on_run_start(net, init if isinstance(init, NetworkState) else init[0])
+    if chosen == "reference":
+        out = _run_reference(
+            automaton, net, init, until, max_steps, randomness, rng, fault_plan,
+            observers,
+        )
+    elif chosen == "vectorized":
+        out = _run_vectorized(
+            automaton, net, init, until, max_steps, randomness, rng, observers
+        )
+    else:
+        out = _run_batched(
+            automaton, net, init, until, max_steps, replicas, randomness, rng,
+            observers,
+        )
+    final_state, steps, converged, draws, change_counts, states, rounds = out
+    result = RunResult(
+        final_state=final_state,
+        steps=steps,
+        engine=chosen,
+        converged=converged,
+        wall_time=perf_counter() - start,
+        rng_draws=draws,
+        change_counts=change_counts,
+        replica_states=states,
+        replica_rounds=rounds,
+    )
+    for ob in observers:
+        ob.on_run_end(result)
+    return result

@@ -65,11 +65,13 @@ class RoundRobinScheduler(Scheduler):
         if self._order is None:
             self._order = net.nodes()
         n = len(self._order)
-        for _ in range(n):
-            v = self._order[self._pos % n]
-            self._pos += 1
+        for offset in range(n):
+            v = self._order[(self._pos + offset) % n]
             if v in net:
+                self._pos += offset + 1
                 return v
+        # no live node: leave _pos untouched so the round-robin order is
+        # stable across empty scans.
         return None
 
 

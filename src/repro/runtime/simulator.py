@@ -73,12 +73,20 @@ class _BaseSimulator:
     ) -> int:
         """Step until ``predicate(state)`` holds; returns steps taken.
 
-        Raises :class:`RuntimeError` after ``max_steps`` steps.
+        The predicate is checked *before* each step, so an initially
+        satisfied predicate returns 0; at most ``max_steps`` calls to
+        :meth:`step` are made before :class:`RuntimeError`.  The return
+        value counts executed steps — the same convention as
+        :func:`repro.runtime.api.run` (note that :meth:`run_until_stable`
+        also counts executed steps, its last one being the no-change step
+        that confirms the fixed point).
         """
-        for steps in range(max_steps + 1):
+        for steps in range(max_steps):
             if predicate(self.state):
                 return steps
             self.step()
+        if predicate(self.state):
+            return max_steps
         raise RuntimeError(f"predicate not reached within {max_steps} steps")
 
 

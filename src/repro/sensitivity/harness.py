@@ -24,8 +24,8 @@ from repro.core.automaton import FSSGA
 from repro.network.graph import Network, Node
 from repro.network.properties import bridges as true_bridges
 from repro.network.state import NetworkState
+from repro.runtime.api import StepObserver, run
 from repro.runtime.faults import FaultPlan
-from repro.runtime.simulator import SynchronousSimulator
 
 __all__ = [
     "FaultExperimentResult",
@@ -69,10 +69,12 @@ def census_under_faults(
     gen = _gen(rng)
     automaton, init = census_mod.build(net, k=k, rng=gen)
     initial_sketches = {v: init[v] for v in net}
-    sim = SynchronousSimulator(net, automaton, init, rng=gen, fault_plan=fault_plan)
     if settle_steps is None:
         settle_steps = 4 * net.num_nodes + 20
-    sim.run(settle_steps)
+    # fault_plan forces the reference engine under engine="auto"
+    final = run(
+        automaton, net, init, rng=gen, fault_plan=fault_plan, until=settle_steps
+    ).final_state
 
     ok = True
     estimates = {}
@@ -84,10 +86,10 @@ def census_under_faults(
                 a | b for a, b in zip(expected, s)
             )
         for v in comp:
-            if sim.state[v] != expected:
+            if final[v] != expected:
                 ok = False
         any_node = next(iter(comp))
-        estimates[any_node] = census_mod.estimate(sim.state[any_node])
+        estimates[any_node] = census_mod.estimate(final[any_node])
     return FaultExperimentResult(
         reasonably_correct=ok,
         faults_applied=len(fault_plan.applied),
@@ -108,13 +110,20 @@ def shortest_paths_under_faults(
     """
     cap = net.num_nodes
     automaton, init = sp_mod.build(net, targets, cap=cap)
-    sim = SynchronousSimulator(net, automaton, init, rng=_gen(rng), fault_plan=fault_plan)
-    sim.run_until_stable(max_steps=20 * cap + 200)
-    ok = sp_mod.stabilized(net, sim.state, targets, cap)
+    final = run(
+        automaton,
+        net,
+        init,
+        rng=_gen(rng),
+        fault_plan=fault_plan,
+        until="stable",
+        max_steps=20 * cap + 200,
+    ).final_state
+    ok = sp_mod.stabilized(net, final, targets, cap)
     return FaultExperimentResult(
         reasonably_correct=ok,
         faults_applied=len(fault_plan.applied),
-        detail={"labels": sp_mod.labels(sim.state)},
+        detail={"labels": sp_mod.labels(final)},
     )
 
 
@@ -189,23 +198,30 @@ def synchronizer_fault_comparison(
             beta_rounds += 1
 
     # --- α: a trivial inner automaton (single state) wrapped by the
-    # synchronizer; clocks advance whenever no neighbour lags.
+    # synchronizer; clocks advance whenever no neighbour lags.  Clock
+    # advances are read off the per-step change events via an observer.
     alpha_net = net.copy()
     inner = FSSGA({"idle"}, lambda own, view: "idle", name="noop")
     composite = alpha_wrap(inner)
     init = alpha_initial(NetworkState.uniform(alpha_net, "idle"))
-    sim = SynchronousSimulator(alpha_net, composite, init, rng=gen)
     unwrapped = {v: 0 for v in alpha_net}
-    for t in range(rounds):
-        for ev in plan_events:
-            if ev.time == t:
-                if ev.applies_to(alpha_net):
-                    ev.apply(alpha_net, sim.state)
-        before = {v: sim.state[v][2] for v in alpha_net}
-        sim.step()
-        for v in alpha_net:
-            if sim.state[v][2] != before.get(v, sim.state[v][2]):
-                unwrapped[v] += 1
+
+    class _ClockObserver(StepObserver):
+        def on_step(self, time, changes, faults):
+            for v, (old, new) in changes.items():
+                if old[2] != new[2]:
+                    unwrapped[v] += 1
+
+    alpha_plan = FaultPlan(plan_events)
+    run(
+        composite,
+        alpha_net,
+        init,
+        rng=gen,
+        fault_plan=alpha_plan,
+        until=rounds,
+        observers=(_ClockObserver(),),
+    )
     alpha_min_clock = min(unwrapped[v] for v in alpha_net) if len(alpha_net) else 0
 
     return {

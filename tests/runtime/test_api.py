@@ -1,0 +1,447 @@
+"""Tests for the :mod:`repro.runtime.api` front door.
+
+Covers engine auto-selection (every mod-thresh algorithm must land on the
+vectorized engine), the unified termination convention, the observer
+interface, argument validation, and the bitwise reference ≡ vectorized
+regression on seeded probabilistic automata — the front-door extension of
+the engine-conformance harness.
+"""
+
+import numpy as np
+import pytest
+from test_engine_conformance import (
+    random_init,
+    random_network,
+    random_probabilistic_programs,
+)
+
+from repro import MetricsObserver, StepObserver, TraceObserver, run
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.modthresh import ModThreshProgram
+from repro.network import NetworkState, generators
+from repro.runtime.api import supports_vectorized
+from repro.runtime.faults import FaultEvent, FaultPlan
+from repro.runtime.simulator import SynchronousSimulator
+from repro.runtime.trace import Trace
+
+
+def _hold_programs():
+    """Every state maps to itself: stable from birth."""
+    return {q: ModThreshProgram(clauses=(), default=q) for q in ("a", "b")}
+
+
+def _blinker_programs():
+    """a <-> b forever: no fixed point exists."""
+    return {
+        "a": ModThreshProgram(clauses=(), default="b"),
+        "b": ModThreshProgram(clauses=(), default="a"),
+    }
+
+
+def _two_state_net(n=5):
+    net = generators.path_graph(n)
+    init = NetworkState.from_function(net, lambda v: "a" if v % 2 else "b")
+    return net, init
+
+
+class _Recorder(StepObserver):
+    """Collects every on_step call for parity assertions."""
+
+    def __init__(self):
+        self.events = []
+        self.started = self.ended = False
+
+    def on_run_start(self, net, state):
+        self.started = True
+
+    def on_step(self, time, changes, faults):
+        self.events.append((time, dict(changes), list(faults)))
+
+    def on_run_end(self, result):
+        self.ended = True
+
+
+# ----------------------------------------------------------------------
+# engine auto-selection
+# ----------------------------------------------------------------------
+class TestAutoSelection:
+    def test_two_coloring_selects_vectorized(self):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(8)
+        automaton, init = two_coloring.build(net, origin=0)
+        assert run(automaton, net, init).engine == "vectorized"
+
+    def test_bfs_selects_vectorized(self):
+        from repro.algorithms import bfs
+
+        net = generators.grid_graph(3, 3)
+        automaton, init = bfs.build(net, originator=0, targets=[8])
+        assert run(automaton, net, init).engine == "vectorized"
+
+    def test_shortest_paths_selects_vectorized(self):
+        from repro.algorithms import shortest_paths
+
+        net = generators.grid_graph(3, 4)
+        automaton, init = shortest_paths.build(net, targets=[0])
+        assert run(automaton, net, init).engine == "vectorized"
+
+    def test_coin_kernel_with_replicas_selects_batched(self):
+        from repro.algorithms import election
+
+        net = generators.complete_graph(6)
+        res = run(
+            election.coin_kernel_programs(),
+            net,
+            election.coin_kernel_init(net),
+            replicas=3,
+            randomness=2,
+            rng=5,
+            until=lambda s: sum(q != election.K_OUT for q in s.values()) <= 1,
+            max_steps=500,
+        )
+        assert res.engine == "batched"
+        assert len(res.replica_states) == 3
+
+    def test_rule_based_census_falls_back_to_reference(self):
+        from repro.algorithms import census
+
+        net = generators.connected_gnp_graph(12, 0.4, 0)
+        automaton, init = census.build(net, rng=0)
+        assert automaton.is_rule_based
+        assert run(automaton, net, init).engine == "reference"
+
+    def test_fault_plan_forces_reference(self):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(8)
+        automaton, init = two_coloring.build(net, origin=0)
+        plan = FaultPlan([FaultEvent(2, "node", 4)])
+        res = run(automaton, net, init, fault_plan=plan, max_steps=200)
+        assert res.engine == "reference"
+        assert 4 not in res.final_state
+
+    def test_reference_escape_hatch(self):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(8)
+        automaton, init = two_coloring.build(net, origin=0)
+        res = run(automaton, net, init, engine="reference")
+        assert res.engine == "reference"
+
+    def test_supports_vectorized(self):
+        assert supports_vectorized(_hold_programs())
+        assert supports_vectorized(FSSGA.from_programs(_hold_programs()))
+        assert not supports_vectorized({})
+        assert not supports_vectorized({"a": lambda own, nbrs: own})
+        assert not supports_vectorized(
+            FSSGA({"a", "b"}, lambda own, nbrs: own)
+        )
+
+
+class TestValidation:
+    def test_unknown_engine(self):
+        net, init = _two_state_net()
+        with pytest.raises(ValueError, match="unknown engine"):
+            run(_hold_programs(), net, init, engine="warp")
+
+    def test_vectorized_rejects_fault_plan(self):
+        net, init = _two_state_net()
+        plan = FaultPlan([FaultEvent(1, "node", 0)])
+        with pytest.raises(ValueError, match="faults"):
+            run(_hold_programs(), net, init, engine="vectorized", fault_plan=plan)
+
+    def test_batched_needs_replicas(self):
+        net, init = _two_state_net()
+        with pytest.raises(ValueError, match="replicas"):
+            run(_hold_programs(), net, init, engine="batched")
+
+    def test_replicas_need_batched(self):
+        net, init = _two_state_net()
+        with pytest.raises(ValueError, match="replicas"):
+            run(_hold_programs(), net, init, engine="vectorized", replicas=2)
+
+    def test_replicas_reject_rule_based(self):
+        net, init = _two_state_net()
+        automaton = FSSGA({"a", "b"}, lambda own, nbrs: own)
+        with pytest.raises(ValueError, match="rule-based"):
+            run(automaton, net, init, replicas=2)
+
+    def test_until_bool_rejected(self):
+        net, init = _two_state_net()
+        with pytest.raises(TypeError):
+            run(_hold_programs(), net, init, until=True)
+
+    def test_until_negative_rejected(self):
+        net, init = _two_state_net()
+        with pytest.raises(ValueError):
+            run(_hold_programs(), net, init, until=-1)
+
+    def test_until_junk_rejected(self):
+        net, init = _two_state_net()
+        with pytest.raises(TypeError):
+            run(_hold_programs(), net, init, until="sideways")
+
+
+# ----------------------------------------------------------------------
+# the unified termination convention
+# ----------------------------------------------------------------------
+class TestTermination:
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_fixed_step_count_is_exact(self, engine):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(8)
+        automaton, init = two_coloring.build(net, origin=0)
+        res = run(automaton, net, init, engine=engine, until=3)
+        assert res.steps == 3
+        sim = SynchronousSimulator(net, automaton, init.copy())
+        sim.run(3)
+        assert res.final_state == sim.state
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_zero_steps(self, engine):
+        net, init = _two_state_net()
+        res = run(_hold_programs(), net, init, engine=engine, until=0)
+        assert res.steps == 0
+        assert res.final_state == init
+        assert res.change_counts == []
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_born_stable_counts_the_confirming_step(self, engine):
+        net, init = _two_state_net()
+        res = run(_hold_programs(), net, init, engine=engine, until="stable")
+        assert res.steps == 1
+        assert res.converged
+        assert res.final_state == init
+
+    def test_born_stable_batched(self):
+        net, init = _two_state_net()
+        res = run(_hold_programs(), net, init, until="stable", replicas=3)
+        assert res.steps == 1
+        assert list(res.replica_rounds) == [1, 1, 1]
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_initially_true_predicate_is_zero_steps(self, engine):
+        net, init = _two_state_net()
+        res = run(
+            _blinker_programs(), net, init, engine=engine, until=lambda s: True
+        )
+        assert res.steps == 0
+        assert res.final_state == init
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_stable_budget_raises(self, engine):
+        net, init = _two_state_net()
+        with pytest.raises(RuntimeError, match="fixed point"):
+            run(
+                _blinker_programs(), net, init, engine=engine,
+                until="stable", max_steps=10,
+            )
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_predicate_budget_raises_after_exactly_max_steps(self, engine):
+        net, init = _two_state_net()
+        rec = _Recorder()
+        with pytest.raises(RuntimeError, match="predicate"):
+            run(
+                _blinker_programs(), net, init, engine=engine,
+                until=lambda s: False, max_steps=7, observers=(rec,),
+            )
+        assert len(rec.events) == 7
+
+    def test_stable_engines_agree_on_step_count(self):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(10)
+        automaton, init = two_coloring.build(net, origin=0)
+        ref = run(automaton, net, init, engine="reference")
+        vec = run(automaton, net, init, engine="vectorized")
+        assert ref.steps == vec.steps
+        assert ref.final_state == vec.final_state
+        assert ref.change_counts == vec.change_counts
+
+    def test_stability_waits_for_fault_plan_exhaustion(self):
+        # a born-stable automaton with a fault at t=5 must keep stepping
+        # until the plan has fired, then count the confirming step.
+        net, init = _two_state_net(5)
+        plan = FaultPlan([FaultEvent(5, "node", 4)])
+        res = run(_hold_programs(), net, init, until="stable", fault_plan=plan)
+        assert res.steps == 6
+        assert 4 not in res.final_state
+
+    def test_run_until_budget_is_exact(self):
+        # regression: run_until used to allow max_steps + 1 steps.
+        net, init = _two_state_net()
+        sim = SynchronousSimulator(net, FSSGA.from_programs(_blinker_programs()), init)
+        with pytest.raises(RuntimeError):
+            sim.run_until(lambda s: False, max_steps=5)
+        assert sim.time == 5
+
+    def test_run_until_initially_true_is_zero(self):
+        net, init = _two_state_net()
+        sim = SynchronousSimulator(net, FSSGA.from_programs(_blinker_programs()), init)
+        assert sim.run_until(lambda s: True) == 0
+        assert sim.time == 0
+
+
+# ----------------------------------------------------------------------
+# observers
+# ----------------------------------------------------------------------
+class TestObservers:
+    def test_trace_observer_matches_reference_trace(self):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(8)
+        automaton, init = two_coloring.build(net, origin=0)
+        ob = TraceObserver()
+        res = run(automaton, net, init, engine="vectorized", observers=(ob,))
+        assert res.engine == "vectorized"
+
+        manual = Trace()
+        sim = SynchronousSimulator(net, automaton, init.copy(), trace=manual)
+        sim.run(res.steps)
+        assert len(ob.trace) == len(manual)
+        for got, want in zip(ob.trace.steps, manual.steps):
+            assert (got.time, got.changes, got.faults) == (
+                want.time, want.changes, want.faults,
+            )
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_metrics_observer(self, engine):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(8)
+        automaton, init = two_coloring.build(net, origin=0)
+        ob = MetricsObserver()
+        res = run(automaton, net, init, engine=engine, observers=(ob,))
+        assert len(ob.step_times) == res.steps
+        assert ob.change_counts == res.change_counts
+        assert ob.convergence_curve()[-1] == 0  # the confirming step
+        assert ob.total_time > 0
+
+    def test_observer_parity_across_engines(self):
+        from repro.algorithms import two_coloring
+
+        net = generators.cycle_graph(10)
+        automaton, init = two_coloring.build(net, origin=0)
+        ref, vec = _Recorder(), _Recorder()
+        run(automaton, net, init, engine="reference", observers=(ref,))
+        run(automaton, net, init, engine="vectorized", observers=(vec,))
+        assert ref.started and ref.ended and vec.started and vec.ended
+        assert ref.events == vec.events
+
+    def test_observer_sees_faults(self):
+        net, init = _two_state_net(5)
+        plan = FaultPlan([FaultEvent(2, "node", 4)])
+        rec = _Recorder()
+        run(
+            _hold_programs(), net, init, until="stable",
+            fault_plan=plan, observers=(rec,),
+        )
+        fault_times = [t for t, _, faults in rec.events if faults]
+        assert fault_times == [2]
+
+
+# ----------------------------------------------------------------------
+# bitwise reference ≡ vectorized through the front door
+# ----------------------------------------------------------------------
+class TestFrontDoorBitwiseConformance:
+    @pytest.mark.parametrize("case", range(6))
+    def test_seeded_probabilistic_runs_are_identical(self, case):
+        rng = np.random.default_rng(4000 + case)
+        randomness = int(rng.integers(2, 4))
+        states, programs = random_probabilistic_programs(
+            rng, int(rng.integers(2, 4)), randomness
+        )
+        net = random_network(rng)
+        init = random_init(rng, net, states)
+        seed = int(rng.integers(2**32))
+
+        kw = dict(randomness=randomness, until=8)
+        ref = run(
+            programs, net, init, engine="reference",
+            rng=np.random.default_rng(seed), **kw,
+        )
+        vec = run(
+            programs, net, init, engine="vectorized",
+            rng=np.random.default_rng(seed), **kw,
+        )
+        assert ref.final_state == vec.final_state
+        assert ref.change_counts == vec.change_counts
+        assert ref.rng_draws == vec.rng_draws == 8 * net.num_nodes
+
+    def test_batched_replica_shares_single_engine_stream(self):
+        rng = np.random.default_rng(4100)
+        states, programs = random_probabilistic_programs(rng, 3, 2)
+        net = generators.cycle_graph(7)
+        init = random_init(rng, net, states)
+        seed = 99
+
+        vec = run(
+            programs, net, init, engine="vectorized", randomness=2,
+            rng=np.random.default_rng(seed), until=6,
+        )
+        bat = run(
+            programs, net, init, engine="batched", replicas=1, randomness=2,
+            rng=[np.random.default_rng(seed)], until=6,
+        )
+        assert bat.replica_states[0] == vec.final_state
+
+    def test_coin_kernel_seeded(self):
+        from repro.algorithms import election
+
+        net = generators.complete_graph(9)
+        programs = election.coin_kernel_programs()
+        init = election.coin_kernel_init(net)
+        kw = dict(randomness=2, until=10)
+        ref = run(programs, net, init, engine="reference", rng=np.random.default_rng(31), **kw)
+        vec = run(programs, net, init, engine="vectorized", rng=np.random.default_rng(31), **kw)
+        assert ref.final_state == vec.final_state
+
+
+# ----------------------------------------------------------------------
+# programs ≡ rules for the migrated algorithms
+# ----------------------------------------------------------------------
+class TestProgramRuleEquivalence:
+    def test_bfs_programs_match_rule(self):
+        from repro.algorithms import bfs
+
+        net = generators.connected_gnp_graph(14, 0.25, 8)
+        automaton, init = bfs.build(net, originator=0, targets=[9, 13])
+        rule_based = FSSGA(bfs.ALPHABET, bfs.rule, name="bfs-rule")
+
+        sim = SynchronousSimulator(net, rule_based, init.copy())
+        for step in range(1, 2 * net.num_nodes):
+            sim.step()
+            res = run(automaton, net, init, engine="vectorized", until=step)
+            assert res.final_state == sim.state, f"diverged at step {step}"
+
+    def test_shortest_paths_labels_are_bfs_distances(self):
+        from repro.algorithms import shortest_paths
+
+        net = generators.grid_graph(4, 5)
+        sinks = [0, 19]
+        res = shortest_paths.run_labels(net, sinks)
+        assert res.engine == "vectorized"
+        assert shortest_paths.stabilized(net, res.final_state, sinks, net.num_nodes)
+
+    def test_batched_predicate_deactivates_per_replica(self):
+        from repro.algorithms import election
+
+        net = generators.complete_graph(8)
+        survivors = lambda s: sum(q != election.K_OUT for q in s.values())
+        res = run(
+            election.coin_kernel_programs(),
+            net,
+            election.coin_kernel_init(net),
+            replicas=4,
+            randomness=2,
+            rng=7,
+            until=lambda s: survivors(s) <= 1,
+            max_steps=500,
+        )
+        assert res.engine == "batched"
+        for state in res.replica_states:
+            assert survivors(state) <= 1
+        assert res.steps == int(res.replica_rounds.max())

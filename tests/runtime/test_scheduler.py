@@ -50,6 +50,29 @@ class TestRoundRobin:
         s = RoundRobinScheduler(order=[2, 0, 1])
         assert s.next_node(net, st, 0, rng) == 2
 
+    def test_empty_scan_leaves_position_unchanged(self):
+        """A full scan finding no live node must not advance the cursor,
+        so the round-robin order stays stable across empty scans."""
+        net, st, rng = _ctx(3)
+        s = RoundRobinScheduler()
+        assert s.next_node(net, st, 0, rng) == 0  # cursor now at node 1
+        for v in list(net.nodes()):
+            net.remove_node(v)
+        pos = s._pos
+        assert s.next_node(net, st, 1, rng) is None
+        assert s.next_node(net, st, 2, rng) is None
+        assert s._pos == pos
+
+    def test_mid_run_deletion_preserves_rotation(self):
+        """Deleting a node mid-run removes it from the rotation without
+        disturbing the relative order of the survivors."""
+        net, st, rng = _ctx(4)
+        s = RoundRobinScheduler()
+        assert s.next_node(net, st, 0, rng) == 0
+        net.remove_node(1)
+        picks = [s.next_node(net, st, t, rng) for t in range(1, 7)]
+        assert picks == [2, 3, 0, 2, 3, 0]
+
 
 class TestScripted:
     def test_replays_and_exhausts(self):
@@ -63,6 +86,18 @@ class TestScripted:
         s = ScriptedScheduler([1, 2])
         net.remove_node(1)
         assert s.next_node(net, st, 0, rng) == 2
+
+    def test_skips_nodes_deleted_mid_run(self):
+        """Entries for nodes deleted after construction are consumed (they
+        count toward exhaustion) but never returned."""
+        net, st, rng = _ctx(4)
+        s = ScriptedScheduler([0, 1, 1, 2, 3])
+        assert s.next_node(net, st, 0, rng) == 0
+        net.remove_node(1)
+        assert s.next_node(net, st, 1, rng) == 2
+        net.remove_node(3)
+        assert s.next_node(net, st, 2, rng) is None
+        assert s.exhausted
 
 
 class TestFairRounds:
