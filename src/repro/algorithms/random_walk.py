@@ -106,7 +106,12 @@ def build(
     """The random-walk automaton with the walker initially at ``start``."""
     if start not in net:
         raise KeyError(f"start node {start!r} not in network")
-    automaton = ProbabilisticFSSGA(ALPHABET, 2, rule, name="random-walk")
+    # the rule reads neighbours only through traced any/none/exactly
+    # queries (thresh atoms ≤ 2), so it is declared compilable: the
+    # Lemma 3.9 lowering gives it the vectorized fast path for free
+    automaton = ProbabilisticFSSGA(
+        ALPHABET, 2, rule, name="random-walk", compile_hints=True
+    )
     init = NetworkState.from_function(
         net, lambda v: FLIP if v == start else BLANK
     )

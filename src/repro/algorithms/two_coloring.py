@@ -26,15 +26,22 @@ Two implementations are provided:
   appears and floods.  A network state is a fixed point iff it is a proper
   2-colouring, under both synchronous and fair asynchronous schedules.
 
-The cascade is also given as explicit formal
-:class:`~repro.core.modthresh.ModThreshProgram` objects (cross-checked in
-the tests; they drive the vectorized engine).
+The formal :class:`~repro.core.modthresh.ModThreshProgram` cascades are no
+longer hand-written: :func:`programs` / :func:`sticky_programs` derive them
+from the rules by the checked Lemma 3.9 compiler
+(:func:`repro.core.compile.compile_rule` + cascade pruning), and
+:func:`build` returns the *rule-based* automaton itself, declaring
+``compile_hints`` so the runtime lowers it onto the vectorized engines —
+the single-source-of-truth arrangement every algorithm gets from the
+shared compiler IR (cross-checked against the rules in the tests).
 """
 
 from __future__ import annotations
 
 from repro.core.automaton import FSSGA, NeighborhoodView
-from repro.core.modthresh import ModThreshProgram, at_least
+from repro.core.compile import compile_rule
+from repro.core.modthresh import ModThreshProgram
+from repro.core.simplify import prune_cascade
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 
@@ -96,49 +103,34 @@ def sticky_rule(own: str, view: NeighborhoodView) -> str:
     return BLANK
 
 
+def _compiled(rule_fn) -> dict[str, ModThreshProgram]:
+    """Derive the formal per-own-state cascades from a rule (Lemma 3.9).
+
+    Both rules only ask ``at_least(q, 1)`` questions, so a threshold bound
+    of 1 suffices; the checked compiler would reject anything deeper.  The
+    enumeration emits one clause per multiplicity-class combination;
+    :func:`prune_cascade` removes the shadowed/default-equivalent ones
+    (exactly, over the bounded verification domain)."""
+    states = sorted(ALPHABET)
+    return {
+        q: prune_cascade(
+            compile_rule(rule_fn, states, q, max_threshold=1), states
+        )
+        for q in states
+    }
+
+
 def programs() -> dict[str, ModThreshProgram]:
-    """The paper's cascade as formal mod-thresh programs, one per own state
-    (all four identical, matching the paper's presentation)."""
-    cascade = ModThreshProgram(
-        clauses=(
-            (at_least(FAILED, 1), FAILED),
-            (at_least(RED, 1) & at_least(BLUE, 1), FAILED),
-            (at_least(RED, 1), BLUE),
-            (at_least(BLUE, 1), RED),
-        ),
-        default=BLANK,
-        name="two-coloring",
-    )
-    return {q: cascade for q in ALPHABET}
+    """The paper's cascade as formal mod-thresh programs, compiled from
+    :func:`rule` (one per own state; the rule ignores the own state, so all
+    four agree semantically)."""
+    return _compiled(rule)
 
 
 def sticky_programs() -> dict[str, ModThreshProgram]:
-    """The sticky variant as formal mod-thresh programs (f[q] differs by q)."""
-    fail_seen = at_least(FAILED, 1)
-    out: dict[str, ModThreshProgram] = {}
-    for colour in (RED, BLUE):
-        out[colour] = ModThreshProgram(
-            clauses=(
-                (fail_seen, FAILED),
-                (at_least(colour, 1), FAILED),
-            ),
-            default=colour,
-            name=f"two-coloring-sticky[{colour}]",
-        )
-    out[BLANK] = ModThreshProgram(
-        clauses=(
-            (fail_seen, FAILED),
-            (at_least(RED, 1) & at_least(BLUE, 1), FAILED),
-            (at_least(RED, 1), BLUE),
-            (at_least(BLUE, 1), RED),
-        ),
-        default=BLANK,
-        name="two-coloring-sticky[blank]",
-    )
-    out[FAILED] = ModThreshProgram(
-        clauses=(), default=FAILED, name="two-coloring-sticky[failed]"
-    )
-    return out
+    """The sticky variant's formal programs, compiled from
+    :func:`sticky_rule` (f[q] genuinely differs by q)."""
+    return _compiled(sticky_rule)
 
 
 def build(
@@ -147,17 +139,18 @@ def build(
     """The 2-colouring automaton with ``origin`` initially RED.
 
     ``sticky=True`` (default) selects the converging variant; pass False
-    for the paper-verbatim oscillating cascade.  The automaton is built
-    from the explicit mod-thresh programs (equivalent to the rules above,
-    cross-checked in the tests), so ``repro.run`` auto-selects the
-    vectorized engine for it.
+    for the paper-verbatim oscillating cascade.  The automaton is
+    *rule-based* — no hand-written programs — and declares
+    ``compile_hints``, so ``repro.run`` lowers it through the Lemma 3.9
+    compiler and auto-selects the vectorized engine for it.
     """
     if origin not in net:
         raise KeyError(f"origin {origin!r} not in network")
     automaton = FSSGA(
         ALPHABET,
-        sticky_programs() if sticky else programs(),
+        sticky_rule if sticky else rule,
         name="two-coloring",
+        compile_hints={"max_threshold": 1},
     )
     init = NetworkState.from_function(
         net, lambda v: RED if v == origin else BLANK

@@ -12,6 +12,8 @@ Public surface:
 * :mod:`repro.core.convert` — Lemmas 3.5/3.8/3.9, Theorem 3.7.
 * :mod:`repro.core.automaton` — Definitions 3.10/3.11 (FSSGA).
 * :mod:`repro.core.compile` — rule → formal mod-thresh compilation.
+* :mod:`repro.core.ir` — the shared engine IR (:class:`CompiledAutomaton`)
+  and the :func:`lower` pass from every front-end form onto it.
 * :mod:`repro.core.simplify` — cascade pruning and exact program
   equivalence over bounded verification domains.
 * :mod:`repro.core.bounded_degree` — the Section 3.1 ε-padding automata
@@ -58,7 +60,14 @@ from repro.core.automaton import (
     FSSGA,
     ProbabilisticFSSGA,
 )
-from repro.core.compile import compile_rule
+from repro.core.compile import compile_rule, CompilationError
+from repro.core.ir import (
+    CompiledAutomaton,
+    LoweringError,
+    lower,
+    lowering_cache_info,
+    clear_lowering_cache,
+)
 from repro.core.simplify import (
     programs_equivalent,
     propositions_equivalent,
@@ -101,6 +110,12 @@ __all__ = [
     "FSSGA",
     "ProbabilisticFSSGA",
     "compile_rule",
+    "CompilationError",
+    "CompiledAutomaton",
+    "LoweringError",
+    "lower",
+    "lowering_cache_info",
+    "clear_lowering_cache",
     "programs_equivalent",
     "propositions_equivalent",
     "prune_cascade",

@@ -207,6 +207,19 @@ class FSSGA:
         :class:`~repro.core.parallel.ParallelProgram`).
     name:
         Optional label.
+    compile_hints:
+        Opt-in declaration that a *rule-based* automaton is compilable by
+        the Lemma 3.9 clause enumeration (:mod:`repro.core.compile`), so
+        the lowering pipeline (:mod:`repro.core.ir`) may derive formal
+        mod-thresh programs from the rule and run it on the vectorized
+        engines.  ``True`` means "compile with inferred bounds"; a mapping
+        may pin ``max_threshold`` / ``modulus`` / ``per_state_bounds`` /
+        ``max_classes`` (the keyword arguments of
+        :func:`repro.core.compile.compile_rule`).  Only declare this for
+        rules that read the neighbourhood exclusively through the traced
+        thresh/mod queries — the compilation is checked, and rules using
+        untraced escape hatches (``support``, ``any_matching``,
+        ``group_at_least``, direct ``_counts`` access) must leave it unset.
     """
 
     def __init__(
@@ -214,6 +227,7 @@ class FSSGA:
         alphabet: Iterable[State],
         rule: Union[Rule, Mapping[State, object]],
         name: str = "",
+        compile_hints: Union[bool, Mapping, None] = None,
     ) -> None:
         # Accept either an iterable (materialized to a frozenset) or a
         # lazy set-like object with __contains__ — large composite
@@ -249,6 +263,9 @@ class FSSGA:
         else:
             self._programs = None
             self._rule = rule
+        self.compile_hints = dict(compile_hints) if isinstance(
+            compile_hints, Mapping
+        ) else ({} if compile_hints else None)
 
     @classmethod
     def from_programs(
@@ -306,6 +323,7 @@ class ProbabilisticFSSGA:
         randomness: int,
         rule: Union[ProbabilisticRule, Mapping[tuple, object]],
         name: str = "",
+        compile_hints: Union[bool, Mapping, None] = None,
     ) -> None:
         if isinstance(alphabet, (set, frozenset)):
             self.alphabet: object = frozenset(alphabet)
@@ -341,6 +359,9 @@ class ProbabilisticFSSGA:
         else:
             self._programs = None
             self._rule = rule
+        self.compile_hints = dict(compile_hints) if isinstance(
+            compile_hints, Mapping
+        ) else ({} if compile_hints else None)
 
     def transition(
         self,

@@ -33,7 +33,27 @@ __all__ = ["compile_rule", "CompilationError"]
 
 
 class CompilationError(ValueError):
-    """The rule queried an atom outside the declared bounds."""
+    """The rule queried an atom outside the declared bounds.
+
+    Carries the violation structurally so callers (the
+    :mod:`repro.core.ir` bounds-inference loop) can widen the bounds and
+    retry instead of parsing the message: ``kind`` is ``"thresh"`` /
+    ``"mod"`` (recoverable by raising the bound for ``state`` to
+    ``needed``) or ``"support"`` / ``"group"`` / ``"unknown-state"``
+    (not recoverable by bound widening).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "other",
+        state: State = None,
+        needed: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.state = state
+        self.needed = needed
 
 
 def compile_rule(
@@ -121,27 +141,37 @@ def _check_trace(
         if atom == ("support",):
             raise CompilationError(
                 f"rule for own={own!r} used NeighborhoodView.support(); "
-                f"support-based rules are not compilable"
+                f"support-based rules are not compilable",
+                kind="support",
             )
         kind, q, param = atom
         if kind == "group":
             raise CompilationError(
                 f"rule for own={own!r} used a group_at_least query; "
-                f"group thresholds are not compilable (expand them manually)"
+                f"group thresholds are not compilable (expand them manually)",
+                kind="group",
             )
         if q not in bounds:
             raise CompilationError(
-                f"rule for own={own!r} queried unknown state {q!r}"
+                f"rule for own={own!r} queried unknown state {q!r}",
+                kind="unknown-state",
+                state=q,
             )
         t_bound, m_bound = bounds[q]
         if kind == "thresh" and param > t_bound:
             raise CompilationError(
                 f"rule for own={own!r} used thresh atom t={param} on {q!r} "
-                f"but the declared bound is {t_bound}; raise max_threshold"
+                f"but the declared bound is {t_bound}; raise max_threshold",
+                kind="thresh",
+                state=q,
+                needed=param,
             )
         if kind == "mod" and m_bound % param != 0:
             raise CompilationError(
                 f"rule for own={own!r} used mod atom m={param} on {q!r} "
                 f"but the declared modulus {m_bound} is not a multiple; "
-                f"set modulus to a common multiple"
+                f"set modulus to a common multiple",
+                kind="mod",
+                state=q,
+                needed=param,
             )

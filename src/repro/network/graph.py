@@ -61,6 +61,7 @@ class Network:
     ) -> None:
         self._adj: dict[Node, set[Node]] = {}
         self._num_edges = 0
+        self._csr_cache: Optional[tuple] = None
         if nodes is not None:
             for v in nodes:
                 self.add_node(v)
@@ -75,6 +76,7 @@ class Network:
         """Add an isolated node (no-op if already present)."""
         if v not in self._adj:
             self._adj[v] = set()
+            self._csr_cache = None
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
@@ -86,6 +88,7 @@ class Network:
             self._adj[u].add(v)
             self._adj[v].add(u)
             self._num_edges += 1
+            self._csr_cache = None
 
     # ------------------------------------------------------------------
     # faults (deletions)
@@ -97,6 +100,7 @@ class Network:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._csr_cache = None
 
     def remove_node(self, v: Node) -> None:
         """Delete node ``v`` and all incident edges (a node fault)."""
@@ -105,6 +109,7 @@ class Network:
         for u in list(self._adj[v]):
             self.remove_edge(u, v)
         del self._adj[v]
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # queries
@@ -264,7 +269,15 @@ class Network:
         The matrix is symmetric 0/1 with an empty diagonal.  Used by the
         vectorized synchronous engine to count neighbour states via a single
         sparse mat-mat product per step.
+
+        The result is cached on the instance and invalidated by every
+        node/edge mutation, so fault lowering (which re-exports the CSR
+        only at topology changes) and repeated engine construction on a
+        static network pay the export once.  Callers must treat the
+        returned matrix and order as read-only snapshots.
         """
+        if self._csr_cache is not None:
+            return self._csr_cache
         order = self.nodes()
         index = {v: i for i, v in enumerate(order)}
         n = len(order)
@@ -281,7 +294,8 @@ class Network:
         data = np.ones(k, dtype=np.int64)
         mat = sparse.csr_matrix((data, cols[:k], indptr), shape=(n, n))
         mat.sort_indices()
-        return mat, order
+        self._csr_cache = (mat, order)
+        return self._csr_cache
 
     def to_networkx(self):
         """Export to a :class:`networkx.Graph` (for cross-validation only)."""

@@ -7,19 +7,25 @@ execute it (``engine="auto"``), applies one unified termination policy,
 streams per-step events to pluggable :class:`StepObserver` instances, and
 returns a structured :class:`RunResult`.
 
-Engine selection under ``engine="auto"``:
+Engine selection under ``engine="auto"`` is capability negotiation over
+the shared compiler IR (:mod:`repro.core.ir`), not isinstance checks:
 
-* program-based automata (every FSM function an explicit
-  :class:`~repro.core.modthresh.ModThreshProgram`) go to the
-  :class:`~repro.runtime.vectorized.VectorizedSynchronousEngine` — or the
+* any automaton :func:`repro.core.ir.lower` accepts — mod-thresh program
+  mappings, automata built from programs of any Theorem 3.7 form,
+  rule-based automata declaring ``compile_hints`` — goes to the
+  :class:`~repro.runtime.vectorized.VectorizedSynchronousEngine`, or the
   :class:`~repro.runtime.batched.BatchedSynchronousEngine` when
-  ``replicas=R`` is passed;
-* rule-based automata, and any run with a ``fault_plan``, fall back to the
-  reference :class:`~repro.runtime.simulator.SynchronousSimulator`;
+  ``replicas=R`` is passed.  A ``fault_plan`` no longer forces a
+  fallback: the plan is lowered into per-step live-node masks and the
+  faulted run stays vectorized;
+* automata the compiler rejects (no ``compile_hints``, untraced
+  neighbourhood queries, non-enumerable alphabets — see
+  ``docs/model.md`` for the genuine-fallback list) run on the reference
+  :class:`~repro.runtime.simulator.SynchronousSimulator`;
 * ``engine="reference"`` forces the reference interpreter everywhere (the
   conformance escape hatch): for a shared seed the reference and
   vectorized paths produce bitwise-identical trajectories, probabilistic
-  draws included.
+  draws included — with or without faults.
 
 Termination policy (one convention for every engine — ``RunResult.steps``
 always counts ``step()`` calls actually executed):
@@ -48,18 +54,14 @@ from typing import Callable, Optional, Protocol, Union
 import numpy as np
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
-from repro.core.modthresh import ModThreshProgram
+from repro.core.ir import LoweringError, lower
 from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultPlan
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.trace import Trace
-from repro.runtime.vectorized import (
-    VectorizedSynchronousEngine,
-    _build_alphabet,
-    _normalize_programs,
-)
+from repro.runtime.vectorized import VectorizedSynchronousEngine
 
 __all__ = [
     "Engine",
@@ -99,8 +101,7 @@ class StepObserver:
     ``time`` is the 0-based index of the completed step, ``changes`` maps
     changed nodes to ``(old, new)`` pairs (for batched runs: changed
     *replica indices* to ``True``), ``faults`` lists the fault events
-    applied immediately before the step (always empty on the vectorized
-    engines, which reject fault plans).
+    applied immediately before the step — on every engine.
     """
 
     def on_run_start(self, net: Network, state: NetworkState) -> None:
@@ -191,17 +192,31 @@ class RunResult:
     replica_rounds: Optional[np.ndarray] = None
 
 
-def supports_vectorized(automaton: Automaton) -> bool:
-    """True iff ``automaton`` can drive the vectorized engines directly:
-    an :class:`FSSGA`/:class:`ProbabilisticFSSGA` built from programs, or a
-    raw mapping whose values are all :class:`ModThreshProgram`."""
-    if isinstance(automaton, (FSSGA, ProbabilisticFSSGA)):
-        return not automaton.is_rule_based
-    if isinstance(automaton, Mapping):
-        return bool(automaton) and all(
-            isinstance(p, ModThreshProgram) for p in automaton.values()
-        )
-    return False
+def _negotiate(
+    automaton: Automaton, randomness: Optional[int]
+) -> tuple[bool, str]:
+    """Can the IR execute this automaton?  Returns ``(lowerable, reason)``.
+
+    ``reason`` is the compiler's own explanation of the blocking capability
+    when lowering fails (empty when it succeeds).  Lowering is cached, so
+    negotiation costs one dict lookup after the first call.
+    """
+    try:
+        lower(automaton, randomness)
+        return True, ""
+    except LoweringError as exc:
+        return False, str(exc)
+
+
+def supports_vectorized(
+    automaton: Automaton, randomness: Optional[int] = None
+) -> bool:
+    """True iff ``automaton`` lowers to the shared engine IR — i.e. the
+    vectorized/batched engines can execute it: a program mapping or a
+    program-built :class:`FSSGA`/:class:`ProbabilisticFSSGA` (programs of
+    any Theorem 3.7 form), or a rule-based automaton declaring
+    ``compile_hints``."""
+    return _negotiate(automaton, randomness)[0]
 
 
 def _select_engine(
@@ -209,30 +224,36 @@ def _select_engine(
     automaton: Automaton,
     replicas: Optional[int],
     fault_plan: Optional[FaultPlan],
+    randomness: Optional[int] = None,
 ) -> str:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    lowerable, reason = _negotiate(automaton, randomness)
     if engine == "auto":
-        if fault_plan is not None:
-            chosen = "reference"
-        elif supports_vectorized(automaton):
+        if lowerable:
             chosen = "batched" if replicas is not None else "vectorized"
         else:
             chosen = "reference"
     else:
         chosen = engine
-    if chosen in ("vectorized", "batched") and fault_plan is not None:
-        raise ValueError(
-            f"engine {chosen!r} does not support mid-run faults; "
-            "use engine='reference' (or 'auto', which falls back) for "
-            "fault experiments"
+    if chosen in ("vectorized", "batched") and not lowerable:
+        raise LoweringError(
+            f"engine {chosen!r} cannot execute this automaton: {reason}"
         )
     if chosen == "batched" and replicas is None:
         raise ValueError("engine='batched' needs replicas=R")
     if chosen != "batched" and replicas is not None:
+        # name the *actual* blocking capability: either the caller pinned a
+        # non-batched engine, or the automaton does not lower (the compiler
+        # says why) — never a guess based on unrelated arguments.
+        blocker = (
+            f"engine={chosen!r} was requested"
+            if engine != "auto"
+            else f"the automaton does not lower to the engine IR "
+            f"(rule-based fallback: {reason})"
+        )
         raise ValueError(
-            f"replicas={replicas} needs the batched engine, but "
-            f"{'rule-based automata cannot be batched' if not supports_vectorized(automaton) else f'engine={chosen!r} was requested'}"
+            f"replicas={replicas} needs the batched engine, but {blocker}"
         )
     return chosen
 
@@ -240,27 +261,19 @@ def _select_engine(
 def _as_reference_automaton(
     automaton: Automaton, randomness: Optional[int]
 ) -> Union[FSSGA, ProbabilisticFSSGA]:
-    """The reference simulator needs an automaton object; wrap raw program
-    mappings, padding result-only states with hold-state programs so the
-    semantics match the vectorized engines (unknown own state = no-op)."""
-    if isinstance(automaton, (FSSGA, ProbabilisticFSSGA)):
-        return automaton
-    programs, probabilistic, r = _normalize_programs(dict(automaton), randomness)
-    alphabet = _build_alphabet(programs, probabilistic)
-    if probabilistic:
-        full = {
-            (q, i): programs.get(
-                (q, i), ModThreshProgram(clauses=(), default=q)
-            )
-            for q in alphabet
-            for i in range(r)
-        }
-        return ProbabilisticFSSGA(frozenset(alphabet), r, full)
-    full = {
-        q: programs.get(q, ModThreshProgram(clauses=(), default=q))
-        for q in alphabet
-    }
-    return FSSGA(frozenset(alphabet), full)
+    """The reference simulator needs an automaton object.
+
+    Anything that lowers executes its compiled form
+    (:meth:`~repro.core.ir.CompiledAutomaton.as_automaton`, result-only
+    states padded with hold programs), so all three engines run the very
+    same IR-derived programs; only automata the compiler rejects run their
+    raw Python rule."""
+    try:
+        return lower(automaton, randomness).as_automaton()
+    except LoweringError:
+        if isinstance(automaton, (FSSGA, ProbabilisticFSSGA)):
+            return automaton
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -330,9 +343,12 @@ def _run_reference(
     return sim.state, steps, converged, draws[0], change_counts, None, None
 
 
-def _run_vectorized(automaton, net, init, until, max_steps, randomness, rng, observers):
+def _run_vectorized(
+    automaton, net, init, until, max_steps, randomness, rng, fault_plan, observers
+):
     eng = VectorizedSynchronousEngine(
-        net, automaton, init, randomness=randomness, rng=rng
+        net, automaton, init, randomness=randomness, rng=rng,
+        fault_plan=fault_plan,
     )
     draws = [0]
     change_counts: list[int] = []
@@ -341,7 +357,7 @@ def _run_vectorized(automaton, net, init, until, max_steps, randomness, rng, obs
         old = eng._sigma  # step() replaces the array; this snapshot stays valid
         changed = eng.step()
         if eng._probabilistic:
-            draws[0] += eng._n
+            draws[0] += eng.live_count  # one draw per live node, as reference
         diff = np.flatnonzero(eng._sigma != old)
         change_counts.append(len(diff))
         if observers:
@@ -350,33 +366,40 @@ def _run_vectorized(automaton, net, init, until, max_steps, randomness, rng, obs
                 for i in diff
             }
             for ob in observers:
-                ob.on_step(eng.time - 1, changes, [])
+                ob.on_step(eng.time - 1, changes, eng.last_faults)
         return changed
 
+    def quiescent_ok() -> bool:
+        return fault_plan is None or fault_plan.exhausted
+
     steps, converged = _drive(
-        step_once, lambda: eng.state, lambda: True, until, max_steps
+        step_once, lambda: eng.state, quiescent_ok, until, max_steps
     )
     return eng.state, steps, converged, draws[0], change_counts, None, None
 
 
 def _run_batched(
-    automaton, net, init, until, max_steps, replicas, randomness, rng, observers
+    automaton, net, init, until, max_steps, replicas, randomness, rng,
+    fault_plan, observers
 ):
     eng = BatchedSynchronousEngine(
-        net, automaton, init, replicas, randomness=randomness, rng=rng
+        net, automaton, init, replicas, randomness=randomness, rng=rng,
+        fault_plan=fault_plan,
     )
     draws = [0]
     change_counts: list[int] = []
 
     def step_once() -> np.ndarray:
-        if eng._probabilistic:
-            draws[0] += int(eng._active.sum()) * eng._n
+        active_before = int(eng._active.sum())
         changed = eng.step()
+        if eng._probabilistic:
+            # live_count reflects faults fired at the top of this step
+            draws[0] += active_before * eng.live_count
         change_counts.append(int(changed.sum()))
         if observers:
             rep_changes = {int(r): True for r in np.flatnonzero(changed)}
             for ob in observers:
-                ob.on_step(eng.time - 1, rep_changes, [])
+                ob.on_step(eng.time - 1, rep_changes, eng.last_faults)
         return changed
 
     if isinstance(until, bool):
@@ -389,11 +412,14 @@ def _run_batched(
         converged = True
     elif until == "stable":
         # mirror BatchedSynchronousEngine.run_until_stable: a replica is
-        # deactivated after its first no-change step (which is counted).
+        # deactivated after its first no-change step (which is counted),
+        # but never while fault events are still pending.
         for _ in range(max_steps):
             if not eng._active.any():
                 break
-            eng._active &= step_once()
+            changed = step_once()
+            if fault_plan is None or fault_plan.exhausted:
+                eng._active &= changed
         if eng._active.any():
             raise RuntimeError(
                 f"{int(eng._active.sum())}/{eng.replicas} replicas reached "
@@ -471,13 +497,15 @@ def run(
         R independent replicas via the batched engine.  ``init`` may then
         be one shared state or a list of R states.
     fault_plan:
-        Mid-run decreasing benign faults (reference engine only; under
-        ``"auto"`` forces the reference fallback).
+        Mid-run decreasing benign faults.  Lowered into per-step live-node
+        masks on the vectorized/batched engines, interpreted directly on
+        the reference engine — all with identical semantics (``net`` is
+        mutated as events fire, exactly as the reference simulator does).
     observers:
         :class:`StepObserver` instances notified per executed step.
     """
     observers = tuple(observers)
-    chosen = _select_engine(engine, automaton, replicas, fault_plan)
+    chosen = _select_engine(engine, automaton, replicas, fault_plan, randomness)
     start = perf_counter()
     for ob in observers:
         ob.on_run_start(net, init if isinstance(init, NetworkState) else init[0])
@@ -488,12 +516,13 @@ def run(
         )
     elif chosen == "vectorized":
         out = _run_vectorized(
-            automaton, net, init, until, max_steps, randomness, rng, observers
+            automaton, net, init, until, max_steps, randomness, rng, fault_plan,
+            observers,
         )
     else:
         out = _run_batched(
             automaton, net, init, until, max_steps, replicas, randomness, rng,
-            observers,
+            fault_plan, observers,
         )
     final_state, steps, converged, draws, change_counts, states, rounds = out
     result = RunResult(

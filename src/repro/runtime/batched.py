@@ -1,4 +1,4 @@
-"""Batched multi-replica vectorized engine for mod-thresh automata.
+"""Batched multi-replica vectorized engine over the shared compiler IR.
 
 The paper's probabilistic results — randomized leader election terminating
 in O(n log n) expected rounds (Section 4.7), Flajolet–Martin census
@@ -13,8 +13,10 @@ stacked numpy computation per step:
   product — the per-replica one-hot matrices are stacked horizontally into
   an ``(n, R·s)`` block matrix ``H`` with ``H[v, r·s + σ_r(v)] = 1``, so
   ``A @ H`` yields all R count tables at once, reshaped to ``(R, n, s)``;
-* mod-thresh clause cascades resolve with ``np.select`` across all
-  replicas simultaneously (the evaluators are shared with
+* the automaton executes as a :class:`~repro.core.ir.CompiledAutomaton`
+  (anything :func:`repro.core.ir.lower` accepts), its clause cascades
+  resolving with ``np.select`` across all replicas simultaneously over a
+  shared atom truth table (the evaluators are shared with
   :mod:`repro.runtime.vectorized`, so the two engines cannot drift);
 * each replica draws from its **own** ``np.random.Generator``, spawned
   from the master seed via :meth:`numpy.random.Generator.spawn` — replica
@@ -22,7 +24,11 @@ stacked numpy computation per step:
   :class:`~repro.runtime.vectorized.VectorizedSynchronousEngine` run seeded
   with the matching spawned child (``np.random.default_rng(seed).spawn(R)[i]``);
 * per-replica quiescence/termination masks deactivate converged replicas,
-  so finished runs stop paying for steps (and stop consuming randomness).
+  so finished runs stop paying for steps (and stop consuming randomness);
+* an optional :class:`~repro.runtime.faults.FaultPlan` is lowered into
+  live-node masks shared by every replica: one fault trajectory, R
+  independent random executions over it — the shape of a sensitivity
+  fault sweep.
 
 The high-level :func:`run_replicas` wraps construction + termination and
 returns per-replica final states and round counts.  Cross-engine
@@ -40,12 +46,14 @@ from typing import Callable, NamedTuple, Optional, Union
 import numpy as np
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.ir import CompiledAutomaton, lower
 from repro.network.graph import Network
 from repro.network.state import NetworkState
+from repro.runtime.faults import FaultPlan
 from repro.runtime.vectorized import (
-    _build_alphabet,
-    _normalize_programs,
-    _resolve_program,
+    _AtomTable,
+    _FaultMask,
+    _resolve_compiled,
 )
 
 __all__ = ["BatchedSynchronousEngine", "BatchedRunResult", "run_replicas"]
@@ -75,12 +83,17 @@ class BatchedSynchronousEngine:
     Parameters
     ----------
     net:
-        The (static) shared network.  Like the single-replica vectorized
-        engine, mid-run faults are not supported.
+        The shared network.  With a ``fault_plan`` it is mutated exactly as
+        the reference simulator would mutate it (events fire before the
+        step whose time has arrived); every replica sees the same fault
+        trajectory.
     programs:
-        ``{q: ModThreshProgram}`` or ``{(q, i): ModThreshProgram}`` (then
-        ``randomness`` is required), or an :class:`FSSGA` /
-        :class:`ProbabilisticFSSGA` built from programs.
+        Anything :func:`repro.core.ir.lower` accepts: ``{q:
+        ModThreshProgram}`` / ``{(q, i): ModThreshProgram}`` (then
+        ``randomness`` is required), an :class:`FSSGA` /
+        :class:`ProbabilisticFSSGA` built from programs of any Theorem 3.7
+        form, a rule-based automaton declaring ``compile_hints``, or a
+        pre-lowered :class:`~repro.core.ir.CompiledAutomaton`.
     init:
         One :class:`NetworkState` shared by every replica, or a sequence of
         ``replicas`` per-replica initial states.
@@ -93,27 +106,32 @@ class BatchedSynchronousEngine:
         or an explicit sequence of R Generators (one per replica), used
         verbatim (this is how the conformance tests share a stream with a
         single-replica engine).
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` lowered into
+        per-step live-node masks shared by all replicas.
     """
 
     def __init__(
         self,
         net: Network,
-        programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
+        programs: Union[Mapping, FSSGA, ProbabilisticFSSGA, CompiledAutomaton],
         init: Union[NetworkState, Sequence[NetworkState]],
         replicas: Optional[int] = None,
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
-        programs, self._probabilistic, self.randomness = _normalize_programs(
-            programs, randomness
-        )
-        self.alphabet: list = _build_alphabet(programs, self._probabilistic)
-        self._code = {q: i for i, q in enumerate(self.alphabet)}
-        self._programs = programs
+        self._ir = lower(programs, randomness)
+        self._probabilistic = self._ir.probabilistic
+        self.randomness = self._ir.randomness
+        self.alphabet: list = list(self._ir.alphabet)
+        self._code = dict(self._ir.code)
+        self._programs = dict(self._ir.source_programs)
 
         inits = self._normalize_init(init, replicas)
         self.replicas = len(inits)
 
+        self._net = net
         self.adjacency, self._order = net.to_csr()
         self._n = len(self._order)
         self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
@@ -128,6 +146,14 @@ class BatchedSynchronousEngine:
 
         self._active = np.ones(self.replicas, dtype=bool)
         self._rounds = np.zeros(self.replicas, dtype=np.int64)
+
+        self.fault_plan = fault_plan
+        self.last_faults: list = []
+        self._pos0 = {v: i for i, v in enumerate(self._order)}
+        self._fault_mask: Optional[_FaultMask] = None
+        self._live_pos: Optional[np.ndarray] = None  # None ⇒ no fault yet
+        self._live_adj = self.adjacency
+        self._live_deg = self._degrees
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -165,7 +191,13 @@ class BatchedSynchronousEngine:
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
+        """Node count at construction (dead nodes keep their columns)."""
         return self._n
+
+    @property
+    def live_count(self) -> int:
+        """Nodes currently alive (== rng draws per replica per step)."""
+        return self._n if self._live_pos is None else len(self._live_pos)
 
     @property
     def active(self) -> np.ndarray:
@@ -177,15 +209,25 @@ class BatchedSynchronousEngine:
         """Per-replica count of synchronous steps actually executed."""
         return self._rounds.copy()
 
+    def _refresh_topology(self, fired: list) -> None:
+        """Fold fired fault events into the incremental live masks."""
+        if self._fault_mask is None:
+            self._fault_mask = _FaultMask(self.adjacency, self._pos0)
+        self._fault_mask.apply(fired)
+        self._live_pos, self._live_adj, self._live_deg = (
+            self._fault_mask.live_view()
+        )
+
     def _neighbour_counts(self, sig: np.ndarray) -> np.ndarray:
-        """All replicas' count tables via one sparse product → ``(A, n, s)``."""
+        """All replicas' count tables via one sparse product → ``(A, m, s)``."""
         nrep, n = sig.shape
         s = len(self.alphabet)
+        adj = self.adjacency if self._live_pos is None else self._live_adj
         onehot = np.zeros((n, nrep * s), dtype=np.int64)
         rows = np.broadcast_to(np.arange(n), (nrep, n))
         cols = sig + (np.arange(nrep) * s)[:, None]
         onehot[rows.ravel(), cols.ravel()] = 1
-        counts = self.adjacency @ onehot  # (n, A*s)
+        counts = adj @ onehot  # (m, A*s)
         return np.ascontiguousarray(counts.reshape(n, nrep, s).transpose(1, 0, 2))
 
     def step(self) -> np.ndarray:
@@ -193,37 +235,48 @@ class BatchedSynchronousEngine:
 
         Returns a boolean ``(R,)`` array: True where that replica changed
         state this step.  Inactive replicas do not evolve, do not draw
-        randomness, and report False.
+        randomness, and report False.  Due fault events fire (once, shared
+        by all replicas) before the state update, matching the reference
+        simulator's application order.
         """
+        self.last_faults = []
+        if self.fault_plan is not None:
+            fired = self.fault_plan.apply_due(self._net, self.time)
+            if fired:
+                self.last_faults = fired
+                self._refresh_topology(fired)
         act = np.flatnonzero(self._active)
         changed = np.zeros(self.replicas, dtype=bool)
         self.time += 1
         if act.size == 0:
             return changed
-        sig = self._sigma[act]
+        if self._live_pos is None:
+            sig = self._sigma[act]
+        else:
+            sig = self._sigma[np.ix_(act, self._live_pos)]
+        m = sig.shape[1]
         counts = self._neighbour_counts(sig)
         new_sig = sig.copy()  # isolated nodes keep their state
-        live = self._degrees > 0
+        live = self._live_deg > 0
+        table = _AtomTable(self._ir.atoms, counts, self._code)
         if self._probabilistic:
             draws = np.empty_like(sig)
             for j, r in enumerate(act):
-                draws[j] = self.rngs[r].integers(self.randomness, size=self._n)
-            for q, code in self._code.items():
-                for i in range(self.randomness):
-                    prog = self._programs.get((q, i))
-                    if prog is None:
-                        continue
-                    mask = live & (sig == code) & (draws == i)
-                    if mask.any():
-                        _resolve_program(prog, counts, mask, new_sig, self._code)
-        else:
-            for q, prog in self._programs.items():
-                code = self._code[q]
-                mask = live & (sig == code)
+                draws[j] = self.rngs[r].integers(self.randomness, size=m)
+            for (qc, i), cprog in self._ir.table.items():
+                mask = live & (sig == qc) & (draws == i)
                 if mask.any():
-                    _resolve_program(prog, counts, mask, new_sig, self._code)
+                    _resolve_compiled(cprog, table, mask, new_sig)
+        else:
+            for (qc, _draw), cprog in self._ir.table.items():
+                mask = live & (sig == qc)
+                if mask.any():
+                    _resolve_compiled(cprog, table, mask, new_sig)
         changed[act] = (new_sig != sig).any(axis=1)
-        self._sigma[act] = new_sig
+        if self._live_pos is None:
+            self._sigma[act] = new_sig
+        else:
+            self._sigma[np.ix_(act, self._live_pos)] = new_sig
         self._rounds[act] += 1
         return changed
 
@@ -236,8 +289,10 @@ class BatchedSynchronousEngine:
         """Step each replica to its own fixed point (deterministic automata).
 
         A replica is deactivated after its first no-change step, so
-        converged replicas stop paying for later steps.  Returns the
-        per-replica step counts (the no-change step included, matching
+        converged replicas stop paying for later steps.  With a fault plan,
+        no replica is deactivated while events are still pending (a future
+        fault can destabilise a fixed point).  Returns the per-replica step
+        counts (the no-change step included, matching
         :meth:`VectorizedSynchronousEngine.run_until_stable`).  Raises if
         any replica fails to converge within ``max_steps``.
         """
@@ -245,7 +300,8 @@ class BatchedSynchronousEngine:
             if not self._active.any():
                 return self.rounds
             changed = self.step()
-            self._active &= changed
+            if self.fault_plan is None or self.fault_plan.exhausted:
+                self._active &= changed
         if self._active.any():
             raise RuntimeError(
                 f"{int(self._active.sum())}/{self.replicas} replicas reached "
@@ -258,12 +314,12 @@ class BatchedSynchronousEngine:
     ) -> np.ndarray:
         """Step until ``stop(counts)`` holds per replica; returns rounds.
 
-        ``stop`` receives a replica's ``{state: multiplicity}`` dict (the
-        cheap observable — computing it is one bincount over the batch) and
-        is checked *before* each step, so an initially satisfied replica
-        executes zero steps.  Replicas whose predicate holds are
-        deactivated; the remaining ones keep evolving.  Raises if any
-        replica is still unsatisfied after ``max_steps``.
+        ``stop`` receives a replica's ``{state: multiplicity}`` dict over
+        the *live* nodes (the cheap observable — computing it is one
+        bincount over the batch) and is checked *before* each step, so an
+        initially satisfied replica executes zero steps.  Replicas whose
+        predicate holds are deactivated; the remaining ones keep evolving.
+        Raises if any replica is still unsatisfied after ``max_steps``.
         """
         for remaining in range(max_steps, -1, -1):
             for r in np.flatnonzero(self._active):
@@ -280,10 +336,14 @@ class BatchedSynchronousEngine:
 
     # ------------------------------------------------------------------
     def replica_state(self, r: int) -> NetworkState:
-        """Decode replica ``r``'s current σ back to a :class:`NetworkState`."""
+        """Decode replica ``r``'s σ (live nodes only) to a :class:`NetworkState`."""
         row = self._sigma[r]
+        if self._live_pos is None:
+            return NetworkState(
+                {v: self.alphabet[row[i]] for i, v in enumerate(self._order)}
+            )
         return NetworkState(
-            {v: self.alphabet[row[i]] for i, v in enumerate(self._order)}
+            {v: self.alphabet[row[self._pos0[v]]] for v in self._net}
         )
 
     @property
@@ -292,14 +352,20 @@ class BatchedSynchronousEngine:
         return [self.replica_state(r) for r in range(self.replicas)]
 
     def replica_state_counts(self, r: int) -> dict:
-        """Multiplicity of each alphabet state over replica ``r``'s nodes."""
-        binc = np.bincount(self._sigma[r], minlength=len(self.alphabet))
+        """Multiplicity of each alphabet state over replica ``r``'s live nodes."""
+        row = self._sigma[r]
+        if self._live_pos is not None:
+            row = row[self._live_pos]
+        binc = np.bincount(row, minlength=len(self.alphabet))
         return {q: int(binc[i]) for i, q in enumerate(self.alphabet)}
 
     def state_counts(self) -> list[dict]:
         """Per-replica state multiplicities, via one batched bincount."""
         s = len(self.alphabet)
-        flat = (self._sigma + (np.arange(self.replicas) * s)[:, None]).ravel()
+        sig = self._sigma
+        if self._live_pos is not None:
+            sig = sig[:, self._live_pos]
+        flat = (sig + (np.arange(self.replicas) * s)[:, None]).ravel()
         binc = np.bincount(flat, minlength=self.replicas * s).reshape(
             self.replicas, s
         )
@@ -311,7 +377,7 @@ class BatchedSynchronousEngine:
 
 def run_replicas(
     net: Network,
-    programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
+    programs: Union[Mapping, FSSGA, ProbabilisticFSSGA, CompiledAutomaton],
     init: Union[NetworkState, Sequence[NetworkState]],
     replicas: Optional[int] = None,
     *,
@@ -320,17 +386,20 @@ def run_replicas(
     max_steps: int = 100_000,
     randomness: Optional[int] = None,
     rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> BatchedRunResult:
     """Evolve R replicas to termination and collect per-replica results.
 
     Exactly one termination mode applies: ``steps`` runs a fixed horizon;
     ``stop`` runs each replica until its state-count predicate holds;
     neither runs each replica to a fixed point (deterministic automata
-    only).  Returns final states, per-replica executed rounds, a converged
-    mask, and final state counts.
+    only).  A ``fault_plan`` mutates ``net`` (pass a copy to keep the
+    original).  Returns final states, per-replica executed rounds, a
+    converged mask, and final state counts.
     """
     engine = BatchedSynchronousEngine(
-        net, programs, init, replicas, randomness=randomness, rng=rng
+        net, programs, init, replicas,
+        randomness=randomness, rng=rng, fault_plan=fault_plan,
     )
     if steps is not None and stop is not None:
         raise ValueError("give either steps or stop, not both")

@@ -1,4 +1,4 @@
-"""Vectorized synchronous engine for mod-thresh automata.
+"""Vectorized synchronous engine over the shared compiler IR.
 
 The hot loop of a synchronous FSSGA step is, for every node, counting the
 multiplicity of each state among its neighbours.  With states encoded as
@@ -7,16 +7,27 @@ table is a single sparse mat-mat product::
 
     counts = A @ one_hot(σ)        # (n × s), counts[v, q] = μ_q(Γ(v))
 
-Mod-thresh propositions then evaluate as numpy boolean arrays over
-``counts`` columns, and each own-state's clause cascade resolves with
-``np.select``.  This follows the HPC guides' vectorize-the-hot-loop advice
-and is benchmarked against the reference interpreter in
-``benchmarks/bench_engines.py`` (experiment E15).
+The engine executes a :class:`~repro.core.ir.CompiledAutomaton` — anything
+:func:`repro.core.ir.lower` accepts (mod-thresh program mappings, automata
+built from programs of any Theorem 3.7 form, rule-based automata declaring
+``compile_hints``) runs here.  Each unique mod/thresh feature atom in the
+IR evaluates exactly once per step into a shared truth table; the compiled
+clause cascades resolve over it with ``np.select`` (first-match semantics,
+exactly Definition 3.6).  This follows the HPC guides'
+vectorize-the-hot-loop advice and is benchmarked against the reference
+interpreter in ``benchmarks/bench_engines.py`` (experiment E15).
 
-The engine accepts deterministic automata given as ``{own_state:
-ModThreshProgram}`` (or an :class:`~repro.core.automaton.FSSGA` built from
-programs), and probabilistic automata given as ``{(own_state, draw):
-ModThreshProgram}`` with a draw count ``r``.
+Fault plans are lowered rather than interpreted: events fire against the
+live :class:`~repro.network.graph.Network` *before* the step whose time has
+arrived (the reference contract), and each topology change updates an
+incremental :class:`_FaultMask` over the construction-time CSR — node
+faults flip alive flags, edge faults zero the two stored entries — so a
+fault costs O(faults + nnz) slicing instead of an O(n + m) Python re-export
+of the whole adjacency.  Between fault firings the step kernel runs on the
+live-compacted arrays at full vector speed; dead nodes are excluded from
+counts, draws and decoding, so probabilistic executions stay
+bitwise-identical to the reference interpreter, which draws once per live
+node in insertion order.
 
 The proposition/cascade evaluators in this module are shape-generic: they
 operate on any counts tensor whose *last* axis indexes the alphabet, so
@@ -27,13 +38,14 @@ single-replica and batched paths.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from typing import Optional, Union
 
 import numpy as np
 from scipy import sparse
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.ir import CompiledAutomaton, CompiledProgram, lower
 from repro.core.modthresh import (
     And,
     ModAtom,
@@ -46,6 +58,7 @@ from repro.core.modthresh import (
 )
 from repro.network.graph import Network
 from repro.network.state import NetworkState
+from repro.runtime.faults import FaultPlan
 
 __all__ = ["VectorizedSynchronousEngine"]
 
@@ -57,19 +70,25 @@ def _normalize_programs(
     programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
     randomness: Optional[int],
 ) -> tuple[dict, bool, int]:
-    """Unpack automata/mappings into ``(programs, probabilistic, r)``."""
+    """Unpack automata/mappings into ``(programs, probabilistic, r)``.
+
+    Retained for callers that want the raw program dict; the engines
+    themselves now go through :func:`repro.core.ir.lower`.
+    """
     if isinstance(programs, FSSGA):
         if programs.is_rule_based:
             raise TypeError(
                 "vectorized engine needs explicit ModThreshPrograms; "
-                "compile rule-based automata with repro.core.compile first"
+                "declare compile_hints on rule-based automata (or compile "
+                "them with repro.core.compile) first"
             )
         programs = programs._programs  # program dict
     elif isinstance(programs, ProbabilisticFSSGA):
         if programs.is_rule_based:
             raise TypeError(
                 "vectorized engine needs explicit ModThreshPrograms; "
-                "compile rule-based automata with repro.core.compile first"
+                "declare compile_hints on rule-based automata (or compile "
+                "them with repro.core.compile) first"
             )
         randomness = programs.randomness
         programs = programs._programs
@@ -142,7 +161,7 @@ def _resolve_program(
     new_sigma: np.ndarray,
     code: Mapping,
 ) -> None:
-    """Resolve one cascade for the masked entries into ``new_sigma``.
+    """Resolve one source-form cascade for the masked entries into ``new_sigma``.
 
     ``np.select`` has exactly the first-match semantics of a Definition 3.6
     cascade, evaluated for every entry of the leading shape at once.
@@ -159,42 +178,162 @@ def _resolve_program(
     new_sigma[mask] = out[mask]
 
 
+class _AtomTable:
+    """Per-step truth table over the IR's unique feature atoms.
+
+    Each atom evaluates lazily, exactly once, into a boolean array shared by
+    every cascade that references it — the common-subexpression payoff of
+    the atom-table IR.
+    """
+
+    __slots__ = ("atoms", "counts", "code", "shape", "_memo")
+
+    def __init__(self, atoms: tuple, counts: np.ndarray, code: Mapping) -> None:
+        self.atoms = atoms
+        self.counts = counts
+        self.code = code
+        self.shape = counts.shape[:-1]
+        self._memo: dict[int, np.ndarray] = {}
+
+    def truth(self, idx: int) -> np.ndarray:
+        arr = self._memo.get(idx)
+        if arr is None:
+            arr = _prop_bool(self.atoms[idx], self.counts, self.code)
+            self._memo[idx] = arr
+        return arr
+
+
+def _ctree_bool(tree: tuple, table: _AtomTable) -> np.ndarray:
+    """Evaluate a compiled proposition tree against the atom truth table."""
+    op = tree[0]
+    if op == "atom":
+        return table.truth(tree[1])
+    if op == "not":
+        return ~_ctree_bool(tree[1], table)
+    if op == "and":
+        out = np.ones(table.shape, dtype=bool)
+        for c in tree[1]:
+            out &= _ctree_bool(c, table)
+        return out
+    if op == "or":
+        out = np.zeros(table.shape, dtype=bool)
+        for c in tree[1]:
+            out |= _ctree_bool(c, table)
+        return out
+    return np.full(table.shape, tree[1])  # ("const", bool)
+
+
+def _resolve_compiled(
+    cprog: CompiledProgram,
+    table: _AtomTable,
+    mask: np.ndarray,
+    new_sigma: np.ndarray,
+) -> None:
+    """Resolve one IR cascade for the masked entries into ``new_sigma``."""
+    if not cprog.clauses:
+        new_sigma[mask] = cprog.default
+        return
+    conds = [_ctree_bool(t, table) for t, _ in cprog.clauses]
+    out = np.select(
+        conds,
+        [np.int64(c) for _, c in cprog.clauses],
+        default=np.int64(cprog.default),
+    )
+    new_sigma[mask] = out[mask]
+
+
+class _FaultMask:
+    """A fault plan lowered to alive-node / alive-edge masks over the
+    construction-time CSR.
+
+    Node faults flip an alive flag; edge faults zero the edge's two stored
+    entries (the matrix is copy-on-first-edge-fault, so fault-free and
+    node-fault-only runs never duplicate the adjacency).  ``live_view``
+    slices the masked matrix down to the surviving rows/columns — stored
+    zeros contribute nothing to neighbour counts or degree sums, so the
+    sliced view is numerically identical to re-exporting the mutated
+    network, at O(nnz) array cost instead of an O(n + m) Python rebuild.
+    Live positions stay in construction order (ascending original row),
+    preserving the cross-engine draw-order contract.
+    """
+
+    __slots__ = ("_A", "_alive", "_pos0", "_copied")
+
+    def __init__(self, adjacency: sparse.csr_matrix, pos0: Mapping) -> None:
+        self._A = adjacency
+        self._alive = np.ones(adjacency.shape[0], dtype=bool)
+        self._pos0 = pos0
+        self._copied = False
+
+    def apply(self, fired: list) -> None:
+        """Fold applied fault events into the masks."""
+        for ev in fired:
+            if ev.kind == "node":
+                self._alive[self._pos0[ev.target]] = False
+            else:
+                if not self._copied:
+                    self._A = self._A.copy()
+                    self._copied = True
+                u, v = ev.target
+                for a, b in ((u, v), (v, u)):
+                    i, j = self._pos0[a], self._pos0[b]
+                    lo, hi = self._A.indptr[i], self._A.indptr[i + 1]
+                    hit = np.nonzero(self._A.indices[lo:hi] == j)[0]
+                    self._A.data[lo + hit] = 0
+
+    def live_view(self) -> tuple[np.ndarray, sparse.csr_matrix, np.ndarray]:
+        """``(live_positions, live_adjacency, live_degrees)``."""
+        live = np.flatnonzero(self._alive)
+        sub = self._A[live][:, live]
+        deg = np.asarray(sub.sum(axis=1)).ravel()
+        return live, sub, deg
+
+
 class VectorizedSynchronousEngine:
     """Synchronous FSSGA evolution with numpy/scipy inner loops.
 
     Parameters
     ----------
     net:
-        The (static) network.  The vectorized engine does not support mid-run
-        faults; use the reference simulator for fault experiments.
+        The network.  With a ``fault_plan`` the engine mutates ``net``
+        exactly as the reference simulator does (events fire before the
+        step whose time has arrived) and recomputes its live-node arrays
+        at each topology change.
     programs:
-        ``{q: ModThreshProgram}`` for deterministic automata, or
-        ``{(q, i): ModThreshProgram}`` for probabilistic ones (then
-        ``randomness`` must be given).  An :class:`FSSGA` built from programs
-        is also accepted.
+        Anything :func:`repro.core.ir.lower` accepts: ``{q:
+        ModThreshProgram}``, ``{(q, i): ModThreshProgram}`` (then
+        ``randomness`` must be given), an :class:`FSSGA` /
+        :class:`ProbabilisticFSSGA` built from programs of any Theorem 3.7
+        form, a rule-based automaton declaring ``compile_hints``, or a
+        pre-lowered :class:`~repro.core.ir.CompiledAutomaton`.
     init:
         Initial :class:`~repro.network.state.NetworkState`.
     randomness:
-        ``r`` of Definition 3.11 for probabilistic automata.
+        ``r`` of Definition 3.11 for probabilistic program mappings.
     rng:
         Seed or Generator for probabilistic draws.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` lowered into
+        per-step live-node masks.
     """
 
     def __init__(
         self,
         net: Network,
-        programs: Union[Mapping, FSSGA, ProbabilisticFSSGA],
+        programs: Union[Mapping, FSSGA, ProbabilisticFSSGA, CompiledAutomaton],
         init: NetworkState,
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, None] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
-        programs, self._probabilistic, self.randomness = _normalize_programs(
-            programs, randomness
-        )
-        self.alphabet: list = _build_alphabet(programs, self._probabilistic)
-        self._code = {q: i for i, q in enumerate(self.alphabet)}
-        self._programs = programs
+        self._ir = lower(programs, randomness)
+        self._probabilistic = self._ir.probabilistic
+        self.randomness = self._ir.randomness
+        self.alphabet: list = list(self._ir.alphabet)
+        self._code = dict(self._ir.code)
+        self._programs = dict(self._ir.source_programs)
 
+        self._net = net
         self.adjacency, self._order = net.to_csr()
         self._n = len(self._order)
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -206,10 +345,25 @@ class VectorizedSynchronousEngine:
         self._sigma = sigma
         self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
 
+        self.fault_plan = fault_plan
+        self.last_faults: list = []
+        # original row of each node, for scattering live-subset results back
+        self._pos0 = {v: i for i, v in enumerate(self._order)}
+        self._fault_mask: Optional[_FaultMask] = None
+        self._live_pos: Optional[np.ndarray] = None  # None ⇒ no fault yet
+        self._live_adj = self.adjacency
+        self._live_deg = self._degrees
+
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
+        """Node count at construction (dead nodes keep their rows)."""
         return self._n
+
+    @property
+    def live_count(self) -> int:
+        """Nodes currently alive (== rng draws consumed per step)."""
+        return self._n if self._live_pos is None else len(self._live_pos)
 
     def _one_hot(self) -> sparse.csr_matrix:
         n = self._n
@@ -218,31 +372,62 @@ class VectorizedSynchronousEngine:
             (data, (np.arange(n), self._sigma)), shape=(n, len(self.alphabet))
         )
 
+    def _refresh_topology(self, fired: list) -> None:
+        """Fold fired fault events into the incremental live masks."""
+        if self._fault_mask is None:
+            self._fault_mask = _FaultMask(self.adjacency, self._pos0)
+        self._fault_mask.apply(fired)
+        self._live_pos, self._live_adj, self._live_deg = (
+            self._fault_mask.live_view()
+        )
+
     def step(self) -> bool:
-        """One synchronous step; returns True iff any node changed."""
-        counts = np.asarray((self.adjacency @ self._one_hot()).todense())
-        new_sigma = self._sigma.copy()  # isolated nodes keep their state
-        live = self._degrees > 0
-        if self._probabilistic:
-            draws = self.rng.integers(self.randomness, size=self._n)
-            for q, code in self._code.items():
-                for i in range(self.randomness):
-                    key = (q, i)
-                    if key not in self._programs:
-                        continue
-                    mask = live & (self._sigma == code) & (draws == i)
-                    if mask.any():
-                        _resolve_program(
-                            self._programs[key], counts, mask, new_sigma, self._code
-                        )
+        """One synchronous step; returns True iff any live node changed."""
+        self.last_faults = []
+        if self.fault_plan is not None:
+            fired = self.fault_plan.apply_due(self._net, self.time)
+            if fired:
+                self.last_faults = fired
+                self._refresh_topology(fired)
+
+        if self._live_pos is None:
+            sig = self._sigma
+            adj, deg = self.adjacency, self._degrees
         else:
-            for q, prog in self._programs.items():
-                code = self._code[q]
-                mask = live & (self._sigma == code)
+            sig = self._sigma[self._live_pos]
+            adj, deg = self._live_adj, self._live_deg
+        m = sig.shape[0]
+        s = len(self.alphabet)
+        if m:
+            one_hot = sparse.csr_matrix(
+                (np.ones(m, dtype=np.int64), (np.arange(m), sig)), shape=(m, s)
+            )
+            counts = np.asarray((adj @ one_hot).todense())
+        else:
+            counts = np.zeros((0, s), dtype=np.int64)
+        new_sig = sig.copy()  # isolated nodes keep their state
+        live = deg > 0
+        table = _AtomTable(self._ir.atoms, counts, self._code)
+        if self._probabilistic:
+            # one draw per live node, matching the reference interpreter's
+            # per-node draw order (insertion order == CSR row order)
+            draws = self.rng.integers(self.randomness, size=m)
+            for (qc, i), cprog in self._ir.table.items():
+                mask = live & (sig == qc) & (draws == i)
                 if mask.any():
-                    _resolve_program(prog, counts, mask, new_sigma, self._code)
-        changed = bool((new_sigma != self._sigma).any())
-        self._sigma = new_sigma
+                    _resolve_compiled(cprog, table, mask, new_sig)
+        else:
+            for (qc, _draw), cprog in self._ir.table.items():
+                mask = live & (sig == qc)
+                if mask.any():
+                    _resolve_compiled(cprog, table, mask, new_sig)
+        changed = bool((new_sig != sig).any())
+        if self._live_pos is None:
+            self._sigma = new_sig
+        else:
+            full = self._sigma.copy()
+            full[self._live_pos] = new_sig
+            self._sigma = full
         self.time += 1
         return changed
 
@@ -251,21 +436,32 @@ class VectorizedSynchronousEngine:
             self.step()
 
     def run_until_stable(self, max_steps: int = 100_000) -> int:
-        """Step to a fixed point; returns steps taken (deterministic only)."""
+        """Step to a fixed point; returns steps taken (deterministic only).
+
+        With a fault plan, stability additionally requires the plan to be
+        exhausted (a pending fault can destabilise a fixed point)."""
         for steps in range(1, max_steps + 1):
-            if not self.step():
+            changed = self.step()
+            if not changed and (
+                self.fault_plan is None or self.fault_plan.exhausted
+            ):
                 return steps
         raise RuntimeError(f"no fixed point within {max_steps} steps")
 
     # ------------------------------------------------------------------
     @property
     def state(self) -> NetworkState:
-        """Decode the current σ back to a :class:`NetworkState`."""
+        """Decode the current σ (live nodes only) to a :class:`NetworkState`."""
+        if self._live_pos is None:
+            return NetworkState(
+                {v: self.alphabet[self._sigma[i]] for i, v in enumerate(self._order)}
+            )
         return NetworkState(
-            {v: self.alphabet[self._sigma[i]] for i, v in enumerate(self._order)}
+            {v: self.alphabet[self._sigma[self._pos0[v]]] for v in self._net}
         )
 
     def state_counts(self) -> dict:
-        """Multiplicity of each alphabet state over all nodes (vectorized)."""
-        binc = np.bincount(self._sigma, minlength=len(self.alphabet))
+        """Multiplicity of each alphabet state over live nodes (vectorized)."""
+        sig = self._sigma if self._live_pos is None else self._sigma[self._live_pos]
+        binc = np.bincount(sig, minlength=len(self.alphabet))
         return {q: int(binc[i]) for i, q in enumerate(self.alphabet)}

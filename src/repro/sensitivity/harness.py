@@ -16,6 +16,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.algorithms import census as census_mod
+from repro.algorithms import election as election_mod
 from repro.algorithms import shortest_paths as sp_mod
 from repro.algorithms.beta_synchronizer import BetaSynchronizer
 from repro.algorithms.bridges import BridgeFinder
@@ -25,12 +26,14 @@ from repro.network.graph import Network, Node
 from repro.network.properties import bridges as true_bridges
 from repro.network.state import NetworkState
 from repro.runtime.api import StepObserver, run
+from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultPlan
 
 __all__ = [
     "FaultExperimentResult",
     "census_under_faults",
     "shortest_paths_under_faults",
+    "kernel_fault_sweep",
     "bridges_under_faults",
     "synchronizer_fault_comparison",
 ]
@@ -71,10 +74,13 @@ def census_under_faults(
     initial_sketches = {v: init[v] for v in net}
     if settle_steps is None:
         settle_steps = 4 * net.num_nodes + 20
-    # fault_plan forces the reference engine under engine="auto"
-    final = run(
+    # census reads neighbourhoods through ``view.support()`` — a genuinely
+    # non-mod-thresh observable — so capability negotiation keeps it on the
+    # reference engine (the fault plan itself no longer forces a fallback).
+    res = run(
         automaton, net, init, rng=gen, fault_plan=fault_plan, until=settle_steps
-    ).final_state
+    )
+    final = res.final_state
 
     ok = True
     estimates = {}
@@ -93,7 +99,7 @@ def census_under_faults(
     return FaultExperimentResult(
         reasonably_correct=ok,
         faults_applied=len(fault_plan.applied),
-        detail={"estimates": estimates},
+        detail={"estimates": estimates, "engine": res.engine},
     )
 
 
@@ -110,7 +116,9 @@ def shortest_paths_under_faults(
     """
     cap = net.num_nodes
     automaton, init = sp_mod.build(net, targets, cap=cap)
-    final = run(
+    # the distance-label programs lower to the engine IR, so this faulted
+    # run executes on the vectorized engine under engine="auto".
+    res = run(
         automaton,
         net,
         init,
@@ -118,12 +126,68 @@ def shortest_paths_under_faults(
         fault_plan=fault_plan,
         until="stable",
         max_steps=20 * cap + 200,
-    ).final_state
+    )
+    final = res.final_state
     ok = sp_mod.stabilized(net, final, targets, cap)
     return FaultExperimentResult(
         reasonably_correct=ok,
         faults_applied=len(fault_plan.applied),
-        detail={"labels": sp_mod.labels(final)},
+        detail={"labels": sp_mod.labels(final), "engine": res.engine},
+    )
+
+
+def kernel_fault_sweep(
+    net: Network,
+    fault_plan: FaultPlan,
+    replicas: int = 8,
+    rng: RngLike = None,
+    max_steps: int = 5_000,
+) -> FaultExperimentResult:
+    """Election coin kernel under faults, swept over batched replicas (E14).
+
+    All replicas run the Section 4.3 elimination kernel on the *same*
+    network trajectory: the fault plan fires once inside the batched
+    engine and every replica sees the shrinking topology at the same
+    step.  Each replica stops once at most one contender remains among
+    the surviving nodes.  The kernel is 0-sensitive — elimination is
+    monotone and needs no recovery — so reasonable correctness is simply
+    that every replica still converges to ≤ 1 remaining contender on the
+    surviving graph (the G′ = G_f witness).  ``net`` is mutated by the
+    plan; pass a copy to keep the original.
+    """
+    gen = _gen(rng)
+    engine = BatchedSynchronousEngine(
+        net,
+        election_mod.coin_kernel_programs(),
+        election_mod.coin_kernel_init(net),
+        replicas,
+        randomness=2,
+        rng=gen,
+        fault_plan=fault_plan,
+    )
+    done = lambda counts: election_mod.kernel_remaining_count(counts) <= 1
+    try:
+        engine.run_until(done, max_steps=max_steps)
+        converged = np.ones(engine.replicas, dtype=bool)
+    except RuntimeError:
+        converged = np.fromiter(
+            (done(engine.replica_state_counts(r)) for r in range(engine.replicas)),
+            dtype=bool,
+            count=engine.replicas,
+        )
+    remaining = [
+        election_mod.kernel_remaining_count(c) for c in engine.state_counts()
+    ]
+    return FaultExperimentResult(
+        reasonably_correct=bool(converged.all()),
+        faults_applied=len(fault_plan.applied),
+        detail={
+            "engine": "batched",
+            "replicas": int(engine.replicas),
+            "rounds": [int(r) for r in engine.rounds],
+            "remaining": remaining,
+            "live_nodes": int(engine.live_count),
+        },
     )
 
 

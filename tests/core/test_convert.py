@@ -5,6 +5,8 @@ mod-thresh SM programs compute exactly the same function class, with
 explicit constructions in each direction.
 """
 
+import itertools
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -284,3 +286,81 @@ def test_mod3_conversion_on_random_multisets(counts):
     pp = modthresh_to_parallel(mt, ["a", "b"])
     ms = Multiset(counts)
     assert pp.evaluate(ms) == mt.evaluate(ms)
+
+
+# ----------------------------------------------------------------------
+# property-based round trips over RANDOM programs (not the fixed zoo)
+# ----------------------------------------------------------------------
+_RT_ALPHABET = ["a", "b"]
+
+
+@st.composite
+def counter_programs(draw):
+    """Random valid-by-construction sequential SM programs.
+
+    One independent saturating-mod counter per input symbol (tail ``t``,
+    period ``m``), folded through a *random* output table over the bounded
+    counter space.  Per-symbol counters commute, so every drawn program is
+    order-independent — exactly the Definition 3.2 validity the Theorem
+    3.7 constructions assume — while the random β makes the computed
+    function essentially arbitrary over the orbit classes.
+    """
+    bounds = [
+        (draw(st.integers(0, 2)), draw(st.integers(1, 3)))
+        for _ in _RT_ALPHABET
+    ]
+    working = list(
+        itertools.product(*(range(t + m) for t, m in bounds))
+    )
+    out = {
+        w: draw(st.sampled_from(["r0", "r1", "r2"])) for w in working
+    }
+
+    def p(w, q):
+        i = _RT_ALPHABET.index(q)
+        t, m = bounds[i]
+        c = w[i] + 1 if w[i] + 1 < t + m else t  # saturate into the cycle
+        return w[:i] + (c,) + w[i + 1:]
+
+    sp = SequentialProgram(
+        frozenset(working), working[0], p, out.__getitem__, name="rand-ctr"
+    )
+    return sp, bounds
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_random_program_full_theorem_37_cycle(data):
+    """sequential → mod-thresh → parallel → sequential on random programs:
+    all four formulations agree on random multisets."""
+    sp, _bounds = data.draw(counter_programs())
+    mt = sequential_to_modthresh(sp, _RT_ALPHABET)
+    pp = modthresh_to_parallel(mt, _RT_ALPHABET)
+    sp2 = parallel_to_sequential(pp)
+
+    counts = data.draw(
+        st.dictionaries(
+            st.sampled_from(_RT_ALPHABET),
+            st.integers(min_value=0, max_value=8),
+            min_size=1,
+        ).filter(lambda d: sum(d.values()) > 0)
+    )
+    ms = Multiset(counts)
+    expected = sp.evaluate(ms)
+    assert mt.evaluate(ms) == expected
+    assert pp.evaluate(ms) == expected
+    assert sp2.evaluate(ms) == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_random_program_cycle_agrees_exhaustively(data):
+    """The round-tripped program equals the original on *every* multiset up
+    to length 4, not just sampled ones."""
+    sp, _bounds = data.draw(counter_programs())
+    sp2 = parallel_to_sequential(
+        modthresh_to_parallel(
+            sequential_to_modthresh(sp, _RT_ALPHABET), _RT_ALPHABET
+        )
+    )
+    assert sp2.agrees_with(sp.evaluate, _RT_ALPHABET, max_len=4)

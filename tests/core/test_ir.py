@@ -1,0 +1,308 @@
+"""Tests for the shared engine IR (:mod:`repro.core.ir`).
+
+Lowering from all four front-end forms, bound inference for rule-based
+automata, the compile-once cache, and the LoweringError taxonomy that
+``api.py`` surfaces during capability negotiation.
+"""
+
+import pytest
+
+from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.ir import (
+    CompiledAutomaton,
+    LoweringError,
+    clear_lowering_cache,
+    lower,
+    lowering_cache_info,
+)
+from repro.core.modthresh import (
+    ModAtom,
+    ModThreshProgram,
+    ThreshAtom,
+    at_least,
+)
+from repro.core.multiset import Multiset, iter_multisets
+from repro.core.parallel import ParallelProgram
+from repro.core.sequential import SequentialProgram
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_lowering_cache()
+    yield
+    clear_lowering_cache()
+
+
+def _mt_programs():
+    return {
+        "a": ModThreshProgram(clauses=((at_least("b", 1), "b"),), default="a"),
+        "b": ModThreshProgram(clauses=(), default="b"),
+    }
+
+
+# ----------------------------------------------------------------------
+# lowering the four front-end forms
+# ----------------------------------------------------------------------
+class TestFrontEndForms:
+    def test_modthresh_mapping(self):
+        ca = lower(_mt_programs())
+        assert isinstance(ca, CompiledAutomaton)
+        assert ca.alphabet == ("a", "b")
+        assert not ca.probabilistic and ca.randomness == 1
+        assert all(isinstance(a, (ThreshAtom, ModAtom)) for a in ca.atoms)
+        prog = ca.program_for("a")
+        assert prog.clauses[0][1] == ca.code["b"]
+        assert prog.default == ca.code["a"]
+
+    def test_probabilistic_mapping(self):
+        programs = {
+            (q, i): ModThreshProgram(clauses=(), default=q)
+            for q in ("a", "b")
+            for i in range(3)
+        }
+        ca = lower(programs, randomness=3)
+        assert ca.probabilistic and ca.randomness == 3
+        assert len(ca.table) == 6
+
+    def test_sequential_program_values(self):
+        # Lemma 3.9 applied inside the mapping: a sequential threshold
+        # program lowers to an equivalent mod-thresh cascade
+        def p(w, q):
+            return min(w + (1 if q == "hot" else 0), 2)
+
+        sp = SequentialProgram(
+            frozenset({0, 1, 2}), 0, p, lambda w: "hot" if w >= 2 else "cold"
+        )
+        ca = lower({"cold": sp, "hot": sp})
+        mt = ca.source_programs["cold"]
+        for ms in iter_multisets(["hot", "cold"], 4):
+            assert mt.evaluate(ms) == sp.evaluate(ms)
+
+    def test_parallel_program_values(self):
+        # Lemma 3.5 ∘ 3.9: parallel OR over {0, 1}
+        pp = ParallelProgram(
+            frozenset({0, 1}), lambda q: q, lambda a, b: a | b, lambda w: w
+        )
+        ca = lower({0: pp, 1: pp})
+        mt = ca.source_programs[0]
+        for ms in iter_multisets([0, 1], 4):
+            assert mt.evaluate(ms) == pp.evaluate(ms)
+
+    def test_program_based_fssga(self):
+        aut = FSSGA.from_programs(_mt_programs())
+        ca = lower(aut)
+        assert ca.alphabet == ("a", "b")
+
+    def test_compiled_automaton_passes_through(self):
+        ca = lower(_mt_programs())
+        assert lower(ca) is ca
+
+    def test_atom_table_is_shared(self):
+        # the same proposition appearing in several cascades interns once
+        atom = at_least("x", 2)
+        programs = {
+            q: ModThreshProgram(clauses=((atom, "x"),), default=q)
+            for q in ("x", "y", "z")
+        }
+        ca = lower(programs)
+        assert len(ca.atoms) == 1
+
+
+# ----------------------------------------------------------------------
+# rule-based lowering with bound inference
+# ----------------------------------------------------------------------
+class TestRuleBased:
+    def test_hinted_rule_lowers(self):
+        def rule(own, view):
+            return "hit" if view.at_least("hit", 1) else own
+
+        aut = FSSGA(
+            frozenset({"hit", "miss"}), rule, compile_hints={"max_threshold": 1}
+        )
+        ca = lower(aut)
+        assert set(ca.alphabet) == {"hit", "miss"}
+
+    def test_bounds_inferred_from_true_hints(self):
+        # compile_hints=True means "infer everything": the checker's
+        # structured errors widen thresholds/moduli until the trace fits
+        def rule(own, view):
+            if view.at_least("a", 3):
+                return "b"
+            if view.count_mod("b", 2) == 0:
+                return own
+            return "a"
+
+        aut = FSSGA(frozenset({"a", "b"}), rule, compile_hints=True)
+        ca = lower(aut)
+        threshes = [a.threshold for a in ca.atoms if isinstance(a, ThreshAtom)]
+        mods = [a.modulus for a in ca.atoms if isinstance(a, ModAtom)]
+        assert max(threshes) >= 3
+        assert any(m % 2 == 0 for m in mods)
+
+    def test_probabilistic_rule_lowers_per_draw(self):
+        def rule(own, view, draw):
+            if view.any("on"):
+                return "on" if draw else "off"
+            return own
+
+        aut = ProbabilisticFSSGA(
+            frozenset({"on", "off"}), 2, rule, compile_hints=True
+        )
+        ca = lower(aut)
+        assert ca.probabilistic and ca.randomness == 2
+        assert len(ca.table) == 4
+
+    def test_rule_semantics_preserved(self):
+        # compiled cascade ≡ raw rule on every bounded multiset
+        def rule(own, view):
+            if view.at_least("r", 1) and view.at_least("b", 1):
+                return "f"
+            if view.at_least("r", 1):
+                return "b"
+            return own
+
+        states = ["b", "f", "r"]
+        aut = FSSGA(frozenset(states), rule, compile_hints=True)
+        ca = lower(aut)
+        for own in states:
+            mt = ca.source_programs[own]
+            for ms in iter_multisets(states, 3):
+                assert mt.evaluate(ms) == aut.transition(own, ms)
+
+    def test_unhinted_rule_rejected(self):
+        aut = FSSGA(frozenset({"a"}), lambda own, view: own)
+        with pytest.raises(LoweringError, match="compile_hints"):
+            lower(aut)
+
+    def test_support_query_rejected(self):
+        def rule(own, view):
+            return max(view.support(), default=own)
+
+        aut = FSSGA(frozenset({"a", "b"}), rule, compile_hints=True)
+        with pytest.raises(LoweringError, match="not compilable"):
+            lower(aut)
+
+    def test_group_query_rejected(self):
+        def rule(own, view):
+            return "a" if view.group_at_least({"a", "b"}, 1) else own
+
+        aut = FSSGA(frozenset({"a", "b"}), rule, compile_hints=True)
+        with pytest.raises(LoweringError, match="not compilable"):
+            lower(aut)
+
+    def test_lazy_alphabet_rejected(self):
+        class LazyQ:
+            def __contains__(self, q):
+                return True
+
+        aut = FSSGA.__new__(FSSGA)
+        aut.alphabet = LazyQ()
+        aut.name = "lazy"
+        aut._rule = lambda own, view: own
+        aut._programs = None
+        aut.compile_hints = {}
+        with pytest.raises(LoweringError, match="alphabet"):
+            lower(aut)
+
+    def test_class_blowup_rejected(self):
+        # 8 states × threshold 16 → 17^8 classes, far past max_classes
+        states = frozenset(f"q{i}" for i in range(8))
+
+        def rule(own, view):
+            return own
+
+        aut = FSSGA(
+            states, rule, compile_hints={"max_threshold": 16}
+        )
+        with pytest.raises(LoweringError, match="max_classes"):
+            lower(aut)
+
+    def test_widened_alphabet_spans_all_of_q(self):
+        # the rule never returns "spare", but nodes may start there: the
+        # compiled alphabet must still include it
+        def rule(own, view):
+            return "a"
+
+        aut = FSSGA(frozenset({"a", "spare"}), rule, compile_hints=True)
+        ca = lower(aut)
+        assert "spare" in ca.alphabet
+        assert ca.program_for("spare") is not None
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(LoweringError, match="empty"):
+            lower({})
+
+    def test_unsupported_object_rejected(self):
+        with pytest.raises(LoweringError, match="cannot lower"):
+            lower(42)
+
+    def test_non_program_mapping_value_rejected(self):
+        with pytest.raises(LoweringError, match="cannot lower program"):
+            lower({"a": lambda ms: "a"})
+
+
+# ----------------------------------------------------------------------
+# as_automaton: the reference engine runs the same IR
+# ----------------------------------------------------------------------
+class TestAsAutomaton:
+    def test_result_only_states_get_hold_programs(self):
+        programs = {
+            "a": ModThreshProgram(clauses=(), default="sink"),
+        }
+        ca = lower(programs)
+        ref = ca.as_automaton()
+        assert isinstance(ref, FSSGA)
+        assert ref.alphabet == frozenset({"a", "sink"})
+        # "sink" has no source cascade; the padded automaton holds it
+        assert ref.transition("sink", Multiset({"a": 2})) == "sink"
+
+    def test_probabilistic_round_trip(self):
+        programs = {
+            ("a", 0): ModThreshProgram(clauses=(), default="a"),
+            ("a", 1): ModThreshProgram(clauses=(), default="b"),
+        }
+        ca = lower(programs, randomness=2)
+        ref = ca.as_automaton()
+        assert isinstance(ref, ProbabilisticFSSGA)
+        assert ref.randomness == 2
+        assert ref.transition("a", Multiset({"a": 1}), 1) == "b"
+        # padded: "b" holds under every draw
+        assert ref.transition("b", Multiset({"a": 1}), 0) == "b"
+
+
+# ----------------------------------------------------------------------
+# the compile-once cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_automaton_identity_cache(self):
+        aut = FSSGA.from_programs(_mt_programs())
+        first = lower(aut)
+        again = lower(aut)
+        assert again is first
+        info = lowering_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["automata"] == 1
+
+    def test_mapping_value_cache(self):
+        first = lower(_mt_programs())
+        again = lower(_mt_programs())  # a *different* dict, equal by value
+        assert again is first
+        assert lowering_cache_info()["hits"] == 1
+
+    def test_randomness_distinguishes_mapping_entries(self):
+        programs = {
+            (q, i): ModThreshProgram(clauses=(), default=q)
+            for q in ("a",)
+            for i in range(2)
+        }
+        ca2 = lower(programs, randomness=2)
+        # no randomness: same dict reads as deterministic with tuple states
+        ca_det = lower(programs)
+        assert ca2 is not ca_det
+        assert ca2.probabilistic and not ca_det.probabilistic
+
+    def test_clear_resets_everything(self):
+        lower(_mt_programs())
+        clear_lowering_cache()
+        info = lowering_cache_info()
+        assert info == {"hits": 0, "misses": 0, "automata": 0, "mappings": 0}

@@ -159,6 +159,51 @@ class TestExport:
         degs = np.asarray(mat.sum(axis=1)).ravel()
         assert degs[idx[0]] == 4
 
+    def test_to_csr_is_cached(self):
+        net = generators.cycle_graph(6)
+        mat1, order1 = net.to_csr()
+        mat2, order2 = net.to_csr()
+        assert mat1 is mat2 and order1 is order2
+
+    def test_csr_cache_invalidated_on_mutation(self):
+        net = generators.cycle_graph(6)
+        mat, order = net.to_csr()
+
+        net.add_node(99)
+        mat2, order2 = net.to_csr()
+        assert mat2 is not mat
+        assert mat2.shape == (7, 7) and 99 in order2
+
+        net.add_edge(99, 0)
+        mat3, _ = net.to_csr()
+        assert mat3 is not mat2
+        assert mat3.sum() == 2 * net.num_edges
+
+        net.remove_edge(99, 0)
+        mat4, _ = net.to_csr()
+        assert mat4 is not mat3
+        assert mat4.sum() == 2 * net.num_edges
+
+        net.remove_node(99)
+        mat5, order5 = net.to_csr()
+        assert mat5 is not mat4
+        assert mat5.shape == (6, 6) and 99 not in order5
+
+    def test_csr_cache_no_op_mutations_keep_cache(self):
+        net = generators.cycle_graph(6)
+        mat, _ = net.to_csr()
+        net.add_node(0)  # already present: no invalidation
+        assert net.to_csr()[0] is mat
+
+    def test_copy_does_not_share_cache(self):
+        net = generators.cycle_graph(6)
+        net.to_csr()
+        clone = net.copy()
+        clone.remove_node(0)
+        mat, order = clone.to_csr()
+        assert mat.shape == (5, 5)
+        assert net.to_csr()[0].shape == (6, 6)
+
     def test_networkx_roundtrip(self):
         net = generators.petersen_graph()
         back = Network.from_networkx(net.to_networkx())

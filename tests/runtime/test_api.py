@@ -111,14 +111,16 @@ class TestAutoSelection:
         assert automaton.is_rule_based
         assert run(automaton, net, init).engine == "reference"
 
-    def test_fault_plan_forces_reference(self):
+    def test_fault_plan_stays_vectorized(self):
+        # fault plans are lowered into live-node masks, not interpreted:
+        # a faulted run of a lowerable automaton keeps the fast path
         from repro.algorithms import two_coloring
 
         net = generators.cycle_graph(8)
         automaton, init = two_coloring.build(net, origin=0)
         plan = FaultPlan([FaultEvent(2, "node", 4)])
         res = run(automaton, net, init, fault_plan=plan, max_steps=200)
-        assert res.engine == "reference"
+        assert res.engine == "vectorized"
         assert 4 not in res.final_state
 
     def test_reference_escape_hatch(self):
@@ -145,11 +147,16 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown engine"):
             run(_hold_programs(), net, init, engine="warp")
 
-    def test_vectorized_rejects_fault_plan(self):
+    def test_vectorized_executes_fault_plan(self):
         net, init = _two_state_net()
         plan = FaultPlan([FaultEvent(1, "node", 0)])
-        with pytest.raises(ValueError, match="faults"):
-            run(_hold_programs(), net, init, engine="vectorized", fault_plan=plan)
+        res = run(
+            _hold_programs(), net, init, engine="vectorized",
+            fault_plan=plan, max_steps=50,
+        )
+        assert res.engine == "vectorized"
+        assert 0 not in res.final_state
+        assert plan.exhausted
 
     def test_batched_needs_replicas(self):
         net, init = _two_state_net()
@@ -181,6 +188,93 @@ class TestValidation:
         net, init = _two_state_net()
         with pytest.raises(TypeError):
             run(_hold_programs(), net, init, until="sideways")
+
+
+# ----------------------------------------------------------------------
+# capability negotiation over the compiler IR
+# ----------------------------------------------------------------------
+class TestCapabilityNegotiation:
+    def test_rule_based_hinted_selects_vectorized(self):
+        # acceptance: a rule-based FSSGA with no hand-written programs
+        # lands on the vectorized engine under engine="auto"
+        from repro.algorithms import random_walk as rw
+
+        net = generators.cycle_graph(8)
+        automaton, init = rw.build(net, 0)
+        assert automaton.is_rule_based
+        assert supports_vectorized(automaton)
+        res = run(automaton, net, init, rng=3, until=20)
+        assert res.engine == "vectorized"
+
+    def test_rule_based_hinted_bitwise_matches_reference(self):
+        # the reference interprets the raw Python rule; the vectorized
+        # engine runs the compiled IR — seeded runs must agree bitwise
+        from repro.algorithms import random_walk as rw
+
+        net = generators.cycle_graph(8)
+        automaton, init = rw.build(net, 0)
+        ref = run(
+            automaton, net, init, engine="reference",
+            rng=np.random.default_rng(17), until=30,
+        )
+        vec = run(automaton, net, init, rng=np.random.default_rng(17), until=30)
+        assert vec.engine == "vectorized"
+        assert ref.final_state == vec.final_state
+        assert ref.change_counts == vec.change_counts
+        assert ref.rng_draws == vec.rng_draws
+
+    def test_supports_vectorized_respects_hints(self):
+        from repro.algorithms import census, random_walk, two_coloring
+
+        net = generators.cycle_graph(6)
+        assert supports_vectorized(two_coloring.build(net, 0)[0])
+        assert supports_vectorized(random_walk.build(net, 0)[0])
+        # census reads view.support(): genuinely outside the IR
+        assert not supports_vectorized(census.build(net, rng=0)[0])
+
+    def test_pinned_engine_reports_actual_blocker(self):
+        # regression: the old message blamed batching/faults for every
+        # incapacity; negotiation now names the blocking capability
+        net, init = _two_state_net()
+        automaton = FSSGA({"a", "b"}, lambda own, view: own)  # no hints
+        with pytest.raises(TypeError, match="compile_hints"):
+            run(automaton, net, init, engine="vectorized")
+
+    def test_modthresh_batched_faulted_runs(self):
+        # regression: fault_plan + engine="batched" on plain mod-thresh
+        # programs used to be rejected as "rule-based automata cannot be
+        # batched"; faults now lower to masks on every engine
+        net, init = _two_state_net(6)
+        plan = FaultPlan([FaultEvent(2, "node", 3)])
+        res = run(
+            _hold_programs(), net, init, engine="batched", replicas=2,
+            fault_plan=plan, until="stable",
+        )
+        assert res.engine == "batched"
+        for state in res.replica_states:
+            assert 3 not in state
+        assert plan.exhausted
+
+    def test_faulted_vectorized_matches_reference(self):
+        # acceptance: identical final states on a faulted run, fast path
+        from repro.algorithms import shortest_paths
+
+        net = generators.grid_graph(4, 4)
+        automaton, init = shortest_paths.build(net, targets=[0])
+        events = [FaultEvent(2, "node", 5), FaultEvent(3, "edge", (10, 11))]
+        kw = dict(until="stable", max_steps=500)
+        ref = run(
+            automaton, net.copy(), init, engine="reference",
+            fault_plan=FaultPlan(events), **kw,
+        )
+        vec = run(
+            automaton, net.copy(), init, engine="vectorized",
+            fault_plan=FaultPlan(events), **kw,
+        )
+        assert vec.engine == "vectorized"
+        assert ref.final_state == vec.final_state
+        assert ref.steps == vec.steps
+        assert ref.change_counts == vec.change_counts
 
 
 # ----------------------------------------------------------------------

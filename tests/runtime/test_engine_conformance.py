@@ -32,6 +32,7 @@ from repro.core.modthresh import (
 )
 from repro.network import NetworkState, generators
 from repro.runtime.batched import BatchedSynchronousEngine
+from repro.runtime.faults import FaultEvent, FaultPlan
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 
@@ -99,6 +100,24 @@ def random_init(rng, net, states):
     )
 
 
+def random_fault_events(rng, net, steps):
+    """1–3 node/edge deletions at random times within the horizon.
+
+    ``FaultEvent`` is frozen, so the same events parametrize a *fresh*
+    :class:`FaultPlan` per engine (plans hold a cursor)."""
+    nodes = list(net)
+    events = []
+    for _ in range(int(rng.integers(1, 4))):
+        t = int(rng.integers(1, max(2, steps - 1)))
+        v = nodes[int(rng.integers(len(nodes)))]
+        nbrs = list(net.neighbors(v))
+        if nbrs and rng.integers(2):
+            events.append(FaultEvent(t, "edge", (v, nbrs[int(rng.integers(len(nbrs)))])))
+        else:
+            events.append(FaultEvent(t, "node", v))
+    return events
+
+
 # ----------------------------------------------------------------------
 # the differential assertions
 # ----------------------------------------------------------------------
@@ -156,6 +175,71 @@ def assert_probabilistic_conformance(case_seed, scale=1, steps=8):
         assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
 
 
+def assert_faulted_conformance(case_seed, scale=1, steps=8, replicas=2):
+    """Mid-run faults lower to live-node masks on every engine: identical
+    trajectories over the surviving nodes, step by step."""
+    rng = np.random.default_rng(case_seed)
+    states, programs = random_deterministic_programs(rng, int(rng.integers(2, 5)))
+    net = random_network(rng, scale)
+    init = random_init(rng, net, states)
+    events = random_fault_events(rng, net, steps)
+
+    ref = SynchronousSimulator(
+        net.copy(), FSSGA.from_programs(programs), init.copy(),
+        fault_plan=FaultPlan(events),
+    )
+    vec = VectorizedSynchronousEngine(
+        net.copy(), programs, init, fault_plan=FaultPlan(events)
+    )
+    bat = BatchedSynchronousEngine(
+        net.copy(), programs, init, replicas=replicas,
+        fault_plan=FaultPlan(events),
+    )
+    for step in range(steps):
+        ref.step()
+        vec.step()
+        bat.step()
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+        for r in range(replicas):
+            assert bat.replica_state(r) == ref.state, (
+                f"batched replica {r} diverged at step {step}"
+            )
+
+
+def assert_faulted_probabilistic_conformance(case_seed, scale=1, steps=8):
+    """Faults + shared RNG streams: the live-compacted draw order must keep
+    matching the reference's per-node draws as nodes disappear."""
+    rng = np.random.default_rng(case_seed)
+    randomness = int(rng.integers(2, 4))
+    states, programs = random_probabilistic_programs(
+        rng, int(rng.integers(2, 4)), randomness
+    )
+    net = random_network(rng, scale)
+    init = random_init(rng, net, states)
+    events = random_fault_events(rng, net, steps)
+    seed = int(rng.integers(2**32))
+
+    automaton = ProbabilisticFSSGA(set(states), randomness, programs)
+    ref = SynchronousSimulator(
+        net.copy(), automaton, init.copy(), rng=np.random.default_rng(seed),
+        fault_plan=FaultPlan(events),
+    )
+    vec = VectorizedSynchronousEngine(
+        net.copy(), programs, init, randomness=randomness,
+        rng=np.random.default_rng(seed), fault_plan=FaultPlan(events),
+    )
+    bat = BatchedSynchronousEngine(
+        net.copy(), programs, init, replicas=1, randomness=randomness,
+        rng=[np.random.default_rng(seed)], fault_plan=FaultPlan(events),
+    )
+    for step in range(steps):
+        ref.step()
+        vec.step()
+        bat.step()
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+        assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
+
+
 # ----------------------------------------------------------------------
 # default suite: small random cases
 # ----------------------------------------------------------------------
@@ -169,6 +253,93 @@ class TestProbabilisticConformance:
     @pytest.mark.parametrize("case", range(10))
     def test_random_automaton_trajectories_shared_seed(self, case):
         assert_probabilistic_conformance(2000 + case)
+
+
+class TestFaultedConformance:
+    """Faulted trajectories execute identically on all three engines."""
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_deterministic_faulted(self, case):
+        assert_faulted_conformance(3000 + case)
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_probabilistic_faulted(self, case):
+        assert_faulted_probabilistic_conformance(4000 + case)
+
+
+class TestRuleBasedConformance:
+    """Rule-based automata with ``compile_hints`` lower through the Lemma
+    3.9 compiler; the vector engines run the compiled IR against the
+    reference interpreter executing the *raw Python rule* — a differential
+    check of the compiler itself, not just of the engines."""
+
+    def test_two_coloring_rule_based(self):
+        from repro.algorithms import two_coloring as tc
+
+        net = generators.cycle_graph(11)  # odd cycle: FAILED must flood
+        automaton, init = tc.build(net, 0)
+        assert automaton.is_rule_based
+        ref = SynchronousSimulator(net.copy(), automaton, init.copy())
+        vec = VectorizedSynchronousEngine(net, automaton, init)
+        bat = BatchedSynchronousEngine(net, automaton, init, replicas=2)
+        for step in range(14):
+            ref.step()
+            vec.step()
+            bat.step()
+            assert vec.state == ref.state, f"vectorized diverged at step {step}"
+            assert bat.replica_state(0) == ref.state
+            assert bat.replica_state(1) == ref.state
+
+    def test_random_walk_rule_based_shared_seed(self):
+        from repro.algorithms import random_walk as rw
+
+        net = generators.cycle_graph(8)
+        automaton, init = rw.build(net, 0)
+        assert automaton.is_rule_based
+        seed = 424242
+        ref = SynchronousSimulator(
+            net.copy(), automaton, init.copy(), rng=np.random.default_rng(seed)
+        )
+        vec = VectorizedSynchronousEngine(
+            net, automaton, init, rng=np.random.default_rng(seed)
+        )
+        bat = BatchedSynchronousEngine(
+            net, automaton, init, replicas=1,
+            rng=[np.random.default_rng(seed)],
+        )
+        for step in range(40):
+            ref.step()
+            vec.step()
+            bat.step()
+            assert vec.state == ref.state, f"vectorized diverged at step {step}"
+            assert bat.replica_state(0) == ref.state
+
+    def test_rule_based_faulted(self):
+        from repro.algorithms import two_coloring as tc
+
+        net = generators.grid_graph(4, 4)  # nodes are ints r*4+c
+        automaton, init = tc.build(net, 0)
+        events = [
+            FaultEvent(2, "node", 5),
+            FaultEvent(4, "edge", (10, 11)),
+        ]
+        ref = SynchronousSimulator(
+            net.copy(), automaton, init.copy(), fault_plan=FaultPlan(events)
+        )
+        vec = VectorizedSynchronousEngine(
+            net.copy(), automaton, init, fault_plan=FaultPlan(events)
+        )
+        bat = BatchedSynchronousEngine(
+            net.copy(), automaton, init, replicas=2,
+            fault_plan=FaultPlan(events),
+        )
+        for step in range(10):
+            ref.step()
+            vec.step()
+            bat.step()
+            assert vec.state == ref.state, f"vectorized diverged at step {step}"
+            assert bat.replica_state(0) == ref.state
+            assert bat.replica_state(1) == ref.state
 
 
 class TestKnownAutomata:
@@ -235,3 +406,11 @@ class TestConformanceSweep:
     @pytest.mark.parametrize("case", range(40))
     def test_probabilistic_wide(self, case):
         assert_probabilistic_conformance(6000 + case, scale=4, steps=12)
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_faulted_wide(self, case):
+        assert_faulted_conformance(7000 + case, scale=4, steps=12, replicas=4)
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_faulted_probabilistic_wide(self, case):
+        assert_faulted_probabilistic_conformance(8000 + case, scale=4, steps=12)
