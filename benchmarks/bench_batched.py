@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.algorithms import election
 from repro.runtime.batched import BatchedSynchronousEngine
+from repro.runtime.telemetry import MetricsRegistry
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 from repro.network import generators
 
@@ -77,8 +78,23 @@ def test_replica_speedup_series(benchmark):
         ["n", "R", "sequential ms", "batched ms", "speedup"],
         rows,
     )
+    # counter-level telemetry for BENCH_*.json — one metered rerun of the
+    # largest cell, outside the timed region
+    net, programs, init = _workload(256)
+    met = MetricsRegistry()
+    eng = BatchedSynchronousEngine(
+        net, programs, init, replicas=64, randomness=2, rng=0, metrics=met
+    )
+    eng.run(STEPS)
+    dens = met.series["active_fraction"]
     benchmark.extra_info.update(
-        n=256, engine="batched", speedup=round(speedups[(256, 64)], 1)
+        n=256,
+        engine="batched",
+        speedup=round(speedups[(256, 64)], 1),
+        steps=met.get("steps"),
+        node_updates=met.get("node_updates"),
+        rng_draws=met.get("rng_draws"),
+        final_active_fraction=round(dens[-1], 4),
     )
     # the ISSUE 1 acceptance bar: >= 5x at R = 64 on the election workload
     assert speedups[(64, 64)] >= 5.0

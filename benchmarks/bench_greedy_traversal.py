@@ -7,12 +7,10 @@ against Milgram's exactly-2n-2 moves but Θ(n) sensitivity.
 
 import math
 
-import numpy as np
-
 from repro.algorithms.greedy_traversal import run_greedy_traversal
 from repro.algorithms.traversal import run_traversal
 from repro.network import generators
-from repro.sensitivity.critical import chi_agent, chi_arm
+from repro.sensitivity.critical import chi_agent
 
 from _benchlib import print_table
 

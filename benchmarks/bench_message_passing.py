@@ -27,8 +27,6 @@ def _broadcast_mp():
 
 
 def _broadcast_direct():
-    informed = {("informed", (("token", 1),))}
-
     return FSSGA(
         {"idle", "informed"},
         lambda own, view: "informed"

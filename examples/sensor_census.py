@@ -12,7 +12,6 @@ Run:  python examples/sensor_census.py
 
 import numpy as np
 
-from repro import run
 from repro.algorithms import census, shortest_paths
 from repro.network import generators
 from repro.runtime.faults import FaultEvent, FaultPlan

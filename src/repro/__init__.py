@@ -36,9 +36,13 @@ from repro.runtime import (
     AsynchronousSimulator,
     FaultPlan,
     MetricsObserver,
+    MetricsRegistry,
+    ReplayMismatchError,
+    RunManifest,
     RunResult,
     StepObserver,
     TraceObserver,
+    replay,
     run,
 )
 
@@ -62,5 +66,9 @@ __all__ = [
     "StepObserver",
     "TraceObserver",
     "MetricsObserver",
+    "MetricsRegistry",
+    "RunManifest",
+    "ReplayMismatchError",
+    "replay",
     "__version__",
 ]

@@ -8,7 +8,7 @@ hitting-time argument on the lifted graph (see
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Union
 
 import numpy as np
 

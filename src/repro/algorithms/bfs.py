@@ -25,10 +25,10 @@ intended semantics.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.core.automaton import FSSGA, NeighborhoodView
-from repro.core.modthresh import FALSE, ModThreshProgram, Not, Or, at_least
+from repro.core.modthresh import FALSE, ModThreshProgram, Or, at_least
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 

@@ -17,7 +17,7 @@ as the paper notes for the "in transit" moments).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np

@@ -46,7 +46,7 @@ Signal conventions (derived so the meet lands exactly mid-segment):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["FiringSquadLine", "run_firing_squad", "space_time_diagram"]
@@ -209,9 +209,9 @@ class FiringSquadLine:
                 slow.add((d, ph + 1))
             # phase 2: hop (next cell accepts below) or die at wall /
             # crossing — nothing kept here either way.
-        if left.slow_phase(R) == 2 and not (L in me.fast):
+        if left.slow_phase(R) == 2 and L not in me.fast:
             slow.add((R, 0))
-        if right.slow_phase(L) == 2 and not (R in me.fast):
+        if right.slow_phase(L) == 2 and R not in me.fast:
             slow.add((L, 0))
 
         return Cell(role=Q, fast=frozenset(fast), slow=frozenset(slow))

@@ -26,7 +26,7 @@ from typing import Iterable, Optional, Union
 
 import numpy as np
 
-from repro.core.automaton import FSSGA, NeighborhoodView
+from repro.core.automaton import FSSGA
 from repro.core.modthresh import ModThreshProgram, at_least
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState

@@ -88,7 +88,6 @@ def _effective_counts(view: NeighborhoodView, clock: int) -> Union[Counter, None
     module docstring.
     """
     behind = (clock - 1) % 3
-    ahead = (clock + 1) % 3
     eff: Counter = Counter()
     for (q_c, q_p, i), count in view._counts.items():
         if i == behind:

@@ -24,11 +24,10 @@ alphabets.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Hashable, Iterable, Mapping, Sequence
+from collections.abc import Hashable, Iterable, Mapping
 from typing import Callable, Optional, Union
 
-from repro.core.modthresh import ModThreshProgram
-from repro.core.multiset import Multiset, as_multiset
+from repro.core.multiset import Multiset
 
 State = Hashable
 

@@ -21,7 +21,6 @@ restrict our attention to bounded-degree graphs" comparison executable:
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Hashable, Iterable
 from typing import Callable
 

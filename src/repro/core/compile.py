@@ -18,7 +18,6 @@ dividing ``M``); otherwise distinct inputs in one class could disagree and a
 from __future__ import annotations
 
 import itertools
-import math
 from collections import Counter
 from collections.abc import Hashable, Mapping, Sequence
 from typing import Optional

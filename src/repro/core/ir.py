@@ -39,6 +39,7 @@ of engines for one automaton compiles it once
 
 from __future__ import annotations
 
+import hashlib
 import math
 import weakref
 from collections.abc import Hashable, Mapping
@@ -159,8 +160,33 @@ class CompiledAutomaton:
         self.table = table
         self.source_programs = source_programs
         self.name = name
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable hex digest of the IR content — the automaton identity a
+        :class:`~repro.runtime.telemetry.RunManifest` records.
+
+        Covers the coded alphabet, the randomness parameters, the unique
+        atom table and every cascade (clauses + defaults); the cosmetic
+        ``name`` is excluded.  Computed once and cached on the instance,
+        so manifest capture after the first run is a dict lookup.
+        """
+        if self._content_hash is None:
+            h = hashlib.sha256()
+            h.update(repr(self.alphabet).encode())
+            h.update(
+                f"|prob={self.probabilistic}|r={self.randomness}".encode()
+            )
+            h.update(repr(self.atoms).encode())
+            for key in sorted(self.table):
+                prog = self.table[key]
+                h.update(
+                    f"|{key}:{prog.clauses!r}>{prog.default}".encode()
+                )
+            self._content_hash = h.hexdigest()
+        return self._content_hash
+
     def program_for(self, q: State, draw: int = 0) -> Optional[CompiledProgram]:
         """The compiled cascade for ``(q, draw)``, or None (hold state)."""
         return self.table.get((self.code[q], draw))

@@ -17,7 +17,7 @@ from collections.abc import Hashable, Sequence
 from dataclasses import dataclass, field
 from typing import Callable, Union
 
-from repro.core.multiset import Multiset, as_multiset, iter_multisets
+from repro.core.multiset import Multiset, iter_multisets
 
 State = Hashable
 Working = Hashable

@@ -24,7 +24,7 @@ coin-flip elimination among candidates, costing Θ(log #candidates) ≤
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

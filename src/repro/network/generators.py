@@ -8,7 +8,7 @@ or integer seed so that every experiment is replayable.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

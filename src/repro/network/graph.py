@@ -62,6 +62,9 @@ class Network:
         self._adj: dict[Node, set[Node]] = {}
         self._num_edges = 0
         self._csr_cache: Optional[tuple] = None
+        #: CSR exports actually built (cache misses) — telemetry reads the
+        #: delta across a run to report export-cache effectiveness
+        self.csr_rebuilds = 0
         if nodes is not None:
             for v in nodes:
                 self.add_node(v)
@@ -294,6 +297,7 @@ class Network:
         data = np.ones(k, dtype=np.int64)
         mat = sparse.csr_matrix((data, cols[:k], indptr), shape=(n, n))
         mat.sort_indices()
+        self.csr_rebuilds += 1
         self._csr_cache = (mat, order)
         return self._csr_cache
 

@@ -12,6 +12,9 @@
   evolved in a single stacked computation per step, with spawned
   per-replica RNG streams and per-replica quiescence masks.
 * :mod:`repro.runtime.trace` — execution traces for replay and assertions.
+* :mod:`repro.runtime.telemetry` — metrics registry, the typed event
+  stream every trace/observer is a view over, and run manifests with
+  bitwise deterministic :func:`~repro.runtime.telemetry.replay`.
 * :mod:`repro.runtime.message_passing` — the Section 3 remark made
   concrete: local-broadcast message passing simulated with outbox buffers.
 * :mod:`repro.runtime.api` — the single front door :func:`run`: engine
@@ -43,6 +46,14 @@ from repro.runtime.simulator import (
     SynchronousSimulator,
 )
 from repro.runtime.message_passing import MessagePassingAlgorithm
+from repro.runtime.telemetry import (
+    EventStream,
+    MetricsRegistry,
+    ReplayMismatchError,
+    RunManifest,
+    StepEvent,
+    replay,
+)
 from repro.runtime.trace import Trace
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 
@@ -68,4 +79,10 @@ __all__ = [
     "MessagePassingAlgorithm",
     "Trace",
     "VectorizedSynchronousEngine",
+    "EventStream",
+    "MetricsRegistry",
+    "StepEvent",
+    "RunManifest",
+    "ReplayMismatchError",
+    "replay",
 ]

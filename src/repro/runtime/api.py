@@ -54,12 +54,21 @@ from typing import Callable, Optional, Protocol, Union
 import numpy as np
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
-from repro.core.ir import LoweringError, lower
+from repro.core.ir import LoweringError, lower, lowering_cache_info
 from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultPlan
 from repro.runtime.simulator import SynchronousSimulator
+from repro.runtime.telemetry import (
+    EventStream,
+    MetricsRegistry,
+    RunEndedEvent,
+    RunManifest,
+    RunStartedEvent,
+    StepEvent,
+    capture_manifest,
+)
 from repro.runtime.trace import Trace
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 
@@ -128,22 +137,62 @@ class TraceObserver(StepObserver):
 
 class MetricsObserver(StepObserver):
     """Lightweight per-run metrics: wall time per step and the convergence
-    curve (changed-node count per step), cheap enough for benchmarks."""
+    curve (changed-node count per step), cheap enough for benchmarks.
 
-    def __init__(self) -> None:
-        self.step_times: list[float] = []
-        self.change_counts: list[int] = []
+    Since the telemetry unification this is a view over a
+    :class:`~repro.runtime.telemetry.EventStream`: every step becomes a
+    timed :class:`~repro.runtime.telemetry.StepEvent` (``change_count``
+    only, no per-node dict) and the run boundaries become
+    ``RunStartedEvent``/``RunEndedEvent``, so ``observer.stream`` can be
+    persisted with ``stream.to_jsonl(path)`` or shared with other
+    producers.  The historical accessors (``step_times``,
+    ``change_counts``, ``total_time``, ``convergence_curve``) are derived
+    from the stream and unchanged for callers.
+    """
+
+    def __init__(self, stream: Optional[EventStream] = None) -> None:
+        self.stream = stream if stream is not None else EventStream()
         self._last: Optional[float] = None
 
     def on_run_start(self, net: Network, state: NetworkState) -> None:
+        self.stream.emit(RunStartedEvent(n_nodes=len(net)))
         self._last = perf_counter()
 
     def on_step(self, time: int, changes: dict, faults: list) -> None:
         now = perf_counter()
-        if self._last is not None:
-            self.step_times.append(now - self._last)
+        duration = now - self._last if self._last is not None else None
         self._last = now
-        self.change_counts.append(len(changes))
+        self.stream.emit(
+            StepEvent(
+                time,
+                faults=list(faults),
+                change_count=len(changes),
+                duration=duration,
+            )
+        )
+
+    def on_run_end(self, result: "RunResult") -> None:
+        self.stream.emit(
+            RunEndedEvent(
+                steps=result.steps,
+                engine=result.engine,
+                converged=result.converged,
+                wall_time=result.wall_time,
+                rng_draws=result.rng_draws,
+            )
+        )
+
+    @property
+    def step_times(self) -> list[float]:
+        return [
+            e.duration
+            for e in self.stream.step_events()
+            if e.duration is not None
+        ]
+
+    @property
+    def change_counts(self) -> list[int]:
+        return [e.change_count for e in self.stream.step_events()]
 
     @property
     def total_time(self) -> float:
@@ -178,7 +227,10 @@ class RunResult:
     ``rng_draws`` counts the random draws consumed (0 for deterministic
     automata).  Batched runs also populate ``replica_states`` /
     ``replica_rounds`` and report ``final_state = replica_states[0]``,
-    ``steps = max(replica_rounds)``.
+    ``steps = max(replica_rounds)``.  ``manifest`` is the
+    :class:`~repro.runtime.telemetry.RunManifest` captured for this call —
+    pass it to :func:`repro.runtime.telemetry.replay` to re-execute the
+    run and assert a bitwise-identical outcome.
     """
 
     final_state: NetworkState
@@ -190,6 +242,7 @@ class RunResult:
     change_counts: list[int]
     replica_states: Optional[list[NetworkState]] = None
     replica_rounds: Optional[np.ndarray] = None
+    manifest: Optional[RunManifest] = None
 
 
 def _negotiate(
@@ -314,12 +367,14 @@ def _drive(
 
 
 def _run_reference(
-    automaton, net, init, until, max_steps, randomness, rng, fault_plan, observers
+    automaton, net, init, until, max_steps, randomness, rng, fault_plan,
+    observers, metrics,
 ):
     automaton = _as_reference_automaton(automaton, randomness)
     capture = _FaultCapture()
     sim = SynchronousSimulator(
-        net, automaton, init, rng=rng, fault_plan=fault_plan, trace=capture
+        net, automaton, init, rng=rng, fault_plan=fault_plan, trace=capture,
+        metrics=metrics,
     )
     probabilistic = isinstance(automaton, ProbabilisticFSSGA)
     draws = [0]
@@ -344,11 +399,12 @@ def _run_reference(
 
 
 def _run_vectorized(
-    automaton, net, init, until, max_steps, randomness, rng, fault_plan, observers
+    automaton, net, init, until, max_steps, randomness, rng, fault_plan,
+    observers, metrics,
 ):
     eng = VectorizedSynchronousEngine(
         net, automaton, init, randomness=randomness, rng=rng,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, metrics=metrics,
     )
     draws = [0]
     change_counts: list[int] = []
@@ -380,11 +436,11 @@ def _run_vectorized(
 
 def _run_batched(
     automaton, net, init, until, max_steps, replicas, randomness, rng,
-    fault_plan, observers
+    fault_plan, observers, metrics,
 ):
     eng = BatchedSynchronousEngine(
         net, automaton, init, replicas, randomness=randomness, rng=rng,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, metrics=metrics,
     )
     draws = [0]
     change_counts: list[int] = []
@@ -476,6 +532,7 @@ def run(
     rng: Union[int, np.random.Generator, None] = None,
     fault_plan: Optional[FaultPlan] = None,
     observers: tuple = (),
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Execute ``automaton`` on ``net`` from ``init`` on the best engine.
 
@@ -503,39 +560,71 @@ def run(
         mutated as events fire, exactly as the reference simulator does).
     observers:
         :class:`StepObserver` instances notified per executed step.
+    metrics:
+        Optional :class:`~repro.runtime.telemetry.MetricsRegistry` wired
+        into the chosen engine's hot loop (``steps``, ``node_updates``,
+        ``rng_draws``, ``fault_events``, and for batched runs the
+        ``active_fraction`` series) plus per-run cache counters
+        (``lowering_cache_hits``/``misses``, ``csr_rebuilds``).  ``None``
+        (default) keeps the hot loops branch-only.
     """
     observers = tuple(observers)
+    cache_before = lowering_cache_info() if metrics is not None else None
+    csr_before = net.csr_rebuilds if metrics is not None else 0
     chosen = _select_engine(engine, automaton, replicas, fault_plan, randomness)
+    # captured before the engine consumes rng or faults mutate net — both
+    # are snapshotted by value inside the manifest
+    manifest = capture_manifest(
+        automaton=automaton, net=net, init=init, engine=chosen, until=until,
+        max_steps=max_steps, replicas=replicas, randomness=randomness,
+        rng=rng, fault_plan=fault_plan,
+    )
+    if fault_plan is not None and fault_plan.consumed:
+        fault_plan.reset()  # a reused plan re-applies its full schedule
     start = perf_counter()
     for ob in observers:
         ob.on_run_start(net, init if isinstance(init, NetworkState) else init[0])
     if chosen == "reference":
         out = _run_reference(
             automaton, net, init, until, max_steps, randomness, rng, fault_plan,
-            observers,
+            observers, metrics,
         )
     elif chosen == "vectorized":
         out = _run_vectorized(
             automaton, net, init, until, max_steps, randomness, rng, fault_plan,
-            observers,
+            observers, metrics,
         )
     else:
         out = _run_batched(
             automaton, net, init, until, max_steps, replicas, randomness, rng,
-            fault_plan, observers,
+            fault_plan, observers, metrics,
         )
     final_state, steps, converged, draws, change_counts, states, rounds = out
+    wall_time = perf_counter() - start
+    if metrics is not None:
+        cache_after = lowering_cache_info()
+        metrics.inc(
+            "lowering_cache_hits", cache_after["hits"] - cache_before["hits"]
+        )
+        metrics.inc(
+            "lowering_cache_misses",
+            cache_after["misses"] - cache_before["misses"],
+        )
+        metrics.inc("csr_rebuilds", net.csr_rebuilds - csr_before)
+        metrics.observe("run_wall_time", wall_time)
     result = RunResult(
         final_state=final_state,
         steps=steps,
         engine=chosen,
         converged=converged,
-        wall_time=perf_counter() - start,
+        wall_time=wall_time,
         rng_draws=draws,
         change_counts=change_counts,
         replica_states=states,
         replica_rounds=rounds,
+        manifest=manifest,
     )
+    manifest.finalize(result)
     for ob in observers:
         ob.on_run_end(result)
     return result

@@ -50,6 +50,7 @@ from repro.core.ir import CompiledAutomaton, lower
 from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.runtime.faults import FaultPlan
+from repro.runtime.telemetry import MetricsRegistry
 from repro.runtime.vectorized import (
     _AtomTable,
     _FaultMask,
@@ -108,7 +109,12 @@ class BatchedSynchronousEngine:
         single-replica engine).
     fault_plan:
         Optional :class:`~repro.runtime.faults.FaultPlan` lowered into
-        per-step live-node masks shared by all replicas.
+        per-step live-node masks shared by all replicas.  A plan whose
+        cursor was already consumed by a previous run is auto-reset.
+    metrics:
+        Optional :class:`~repro.runtime.telemetry.MetricsRegistry`
+        receiving the engine-agnostic counters plus the per-step
+        ``active_fraction`` series (quiescence-mask density).
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class BatchedSynchronousEngine:
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
         fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._ir = lower(programs, randomness)
         self._probabilistic = self._ir.probabilistic
@@ -147,7 +154,10 @@ class BatchedSynchronousEngine:
         self._active = np.ones(self.replicas, dtype=bool)
         self._rounds = np.zeros(self.replicas, dtype=np.int64)
 
+        if fault_plan is not None and fault_plan.consumed:
+            fault_plan.reset()  # a reused plan re-applies its full schedule
         self.fault_plan = fault_plan
+        self.metrics = metrics
         self.last_faults: list = []
         self._pos0 = {v: i for i, v in enumerate(self._order)}
         self._fault_mask: Optional[_FaultMask] = None
@@ -248,6 +258,13 @@ class BatchedSynchronousEngine:
         act = np.flatnonzero(self._active)
         changed = np.zeros(self.replicas, dtype=bool)
         self.time += 1
+        met = self.metrics
+        if met is not None:
+            met.inc("steps")
+            # quiescence-mask density: fraction of replicas still evolving
+            met.observe("active_fraction", act.size / self.replicas)
+            if self.last_faults:
+                met.inc("fault_events", len(self.last_faults))
         if act.size == 0:
             return changed
         if self._live_pos is None:
@@ -273,6 +290,11 @@ class BatchedSynchronousEngine:
                 if mask.any():
                     _resolve_compiled(cprog, table, mask, new_sig)
         changed[act] = (new_sig != sig).any(axis=1)
+        if met is not None:
+            # state-cell changes: at R = 1 this equals the vectorized count
+            met.inc("node_updates", int((new_sig != sig).sum()))
+            if self._probabilistic:
+                met.inc("rng_draws", act.size * m)
         if self._live_pos is None:
             self._sigma[act] = new_sig
         else:

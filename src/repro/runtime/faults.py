@@ -8,7 +8,7 @@ time ``t`` *before* computing step ``t``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal, Optional, Union
 
 import numpy as np
@@ -55,7 +55,18 @@ class FaultEvent:
 
 
 class FaultPlan:
-    """A time-ordered schedule of fault events."""
+    """A time-ordered schedule of fault events.
+
+    A plan is a *stateful cursor* over its events: :meth:`apply_due`
+    advances it, so a consumed plan applies nothing on a second pass.  The
+    engines and :func:`repro.runtime.api.run` therefore auto-:meth:`reset`
+    a plan that was already :attr:`consumed` at construction/entry — reusing
+    one plan across several runs re-applies the full schedule each time
+    (sweep helpers relied on the silent no-op never happening; now it
+    can't).  Note that the events themselves are immutable: resetting
+    re-applies the same schedule, it does not resurrect deleted topology —
+    run each execution on a fresh copy of the network.
+    """
 
     def __init__(self, events: Optional[list[FaultEvent]] = None) -> None:
         self._events: list[FaultEvent] = sorted(
@@ -81,6 +92,11 @@ class FaultPlan:
     @property
     def exhausted(self) -> bool:
         return self._cursor >= len(self._events)
+
+    @property
+    def consumed(self) -> bool:
+        """True once any event has been cursor-passed (applied or skipped)."""
+        return self._cursor > 0
 
     def apply_due(
         self, net: Network, time: int, state: Optional[NetworkState] = None

@@ -34,7 +34,7 @@ Limits (inherent to the model, documented rather than hidden):
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Hashable, Iterable, Optional, Union
+from typing import Callable, Hashable, Iterable, Union
 
 import numpy as np
 

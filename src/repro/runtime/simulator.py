@@ -21,6 +21,7 @@ from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 from repro.runtime.faults import FaultPlan
 from repro.runtime.scheduler import RandomScheduler, Scheduler
+from repro.runtime.telemetry import MetricsRegistry
 from repro.runtime.trace import Trace
 
 Automaton = Union[FSSGA, ProbabilisticFSSGA]
@@ -37,6 +38,7 @@ class _BaseSimulator:
         rng: Union[int, np.random.Generator, None] = None,
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[Trace] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         missing = [v for v in net if v not in init]
         if missing:
@@ -45,8 +47,11 @@ class _BaseSimulator:
         self.automaton = automaton
         self.state = init.copy()
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        if fault_plan is not None and fault_plan.consumed:
+            fault_plan.reset()  # a reused plan re-applies its full schedule
         self.fault_plan = fault_plan
         self.trace = trace
+        self.metrics = metrics
         self.time = 0
 
     @property
@@ -107,6 +112,14 @@ class SynchronousSimulator(_BaseSimulator):
         self.state = new
         if self.trace is not None:
             self.trace.record(self.time, changes, faults, state=new)
+        met = self.metrics
+        if met is not None:
+            met.inc("steps")
+            met.inc("node_updates", len(changes))
+            if faults:
+                met.inc("fault_events", len(faults))
+            if self.probabilistic:
+                met.inc("rng_draws", len(self.net))
         self.time += 1
         return changes
 
@@ -147,8 +160,9 @@ class AsynchronousSimulator(_BaseSimulator):
         rng: Union[int, np.random.Generator, None] = None,
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[Trace] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(net, automaton, init, rng, fault_plan, trace)
+        super().__init__(net, automaton, init, rng, fault_plan, trace, metrics)
         self.scheduler = scheduler if scheduler is not None else RandomScheduler()
 
     def step(self) -> dict:
@@ -164,6 +178,14 @@ class AsynchronousSimulator(_BaseSimulator):
                 changes[v] = (old, new)
         if self.trace is not None:
             self.trace.record(self.time, changes, faults, state=self.state)
+        met = self.metrics
+        if met is not None:
+            met.inc("steps")
+            met.inc("node_updates", len(changes))
+            if faults:
+                met.inc("fault_events", len(faults))
+            if self.probabilistic and v is not None:
+                met.inc("rng_draws")
         self.time += 1
         return changes
 

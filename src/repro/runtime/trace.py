@@ -4,44 +4,54 @@ A :class:`Trace` records state deltas (which nodes changed, to what) plus
 fault events, so tests can assert on the *path* of an execution — e.g. "the
 walker occupied exactly one node at every step" — without storing full
 snapshots of large networks.
+
+Since the telemetry unification a trace is a thin view over a
+:class:`~repro.runtime.telemetry.EventStream`: every recorded step is a
+:class:`~repro.runtime.telemetry.StepEvent` (of which the historical
+``StepRecord`` name is an alias), the same record type
+:class:`~repro.runtime.api.MetricsObserver` emits — one schema for every
+consumer, JSONL-serializable via ``trace.stream.to_jsonl(path)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.network.state import NetworkState
+from repro.runtime.telemetry import EventStream, StepEvent
 
 __all__ = ["Trace", "StepRecord"]
 
-
-@dataclass
-class StepRecord:
-    """One step: the time, the nodes whose state changed (old → new), and
-    any faults applied immediately before the step."""
-
-    time: int
-    changes: dict
-    faults: list = field(default_factory=list)
-
-    @property
-    def quiescent(self) -> bool:
-        """True iff nothing changed in this step."""
-        return not self.changes and not self.faults
+#: One step: the time, the nodes whose state changed (old → new), and any
+#: faults applied immediately before the step.  The legacy name for the
+#: unified telemetry record (same constructor signature).
+StepRecord = StepEvent
 
 
 class Trace:
-    """An append-only log of :class:`StepRecord`.
+    """A step-indexed view over an append-only event stream.
 
     With ``snapshots=True`` a full copy of the state is kept per step
     (memory-heavy; meant for small-network debugging and visual demos).
+    ``snapshots[i]`` always aligns with ``steps[i]``: recording a step
+    without passing ``state`` appends a ``None`` placeholder rather than
+    silently desynchronizing the two lists.
+
+    Pass a shared :class:`~repro.runtime.telemetry.EventStream` to
+    interleave trace records with other producers' events.
     """
 
-    def __init__(self, snapshots: bool = False) -> None:
-        self.steps: list[StepRecord] = []
+    def __init__(
+        self, snapshots: bool = False, stream: Optional[EventStream] = None
+    ) -> None:
+        self.stream = stream if stream is not None else EventStream()
         self._snapshots_enabled = snapshots
-        self.snapshots: list[NetworkState] = []
+        self.snapshots: list[Optional[NetworkState]] = []
+
+    @property
+    def steps(self) -> list[StepEvent]:
+        """The recorded :class:`StepRecord` sequence (a fresh list)."""
+        return self.stream.step_events()
 
     def record(
         self,
@@ -50,12 +60,14 @@ class Trace:
         faults: Optional[list] = None,
         state: Optional[NetworkState] = None,
     ) -> None:
-        self.steps.append(StepRecord(time, dict(changes), list(faults or [])))
-        if self._snapshots_enabled and state is not None:
-            self.snapshots.append(state.copy())
+        self.stream.emit(StepEvent(time, dict(changes), list(faults or [])))
+        if self._snapshots_enabled:
+            # None placeholder keeps snapshots[i] aligned with steps[i] even
+            # when the producer has no state to offer for this step
+            self.snapshots.append(state.copy() if state is not None else None)
 
     def __len__(self) -> int:
-        return len(self.steps)
+        return len(self.stream.step_events())
 
     def changed_nodes(self) -> set:
         """Every node that changed state at least once."""

@@ -59,6 +59,7 @@ from repro.core.modthresh import (
 from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.runtime.faults import FaultPlan
+from repro.runtime.telemetry import MetricsRegistry
 
 __all__ = ["VectorizedSynchronousEngine"]
 
@@ -314,7 +315,13 @@ class VectorizedSynchronousEngine:
         Seed or Generator for probabilistic draws.
     fault_plan:
         Optional :class:`~repro.runtime.faults.FaultPlan` lowered into
-        per-step live-node masks.
+        per-step live-node masks.  A plan whose cursor was already
+        consumed by a previous run is auto-reset.
+    metrics:
+        Optional :class:`~repro.runtime.telemetry.MetricsRegistry`
+        receiving the engine-agnostic counters (``steps``,
+        ``node_updates``, ``rng_draws``, ``fault_events``).  ``None``
+        (default) costs one branch per step.
     """
 
     def __init__(
@@ -325,6 +332,7 @@ class VectorizedSynchronousEngine:
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, None] = None,
         fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._ir = lower(programs, randomness)
         self._probabilistic = self._ir.probabilistic
@@ -345,7 +353,10 @@ class VectorizedSynchronousEngine:
         self._sigma = sigma
         self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
 
+        if fault_plan is not None and fault_plan.consumed:
+            fault_plan.reset()  # a reused plan re-applies its full schedule
         self.fault_plan = fault_plan
+        self.metrics = metrics
         self.last_faults: list = []
         # original row of each node, for scattering live-subset results back
         self._pos0 = {v: i for i, v in enumerate(self._order)}
@@ -421,7 +432,18 @@ class VectorizedSynchronousEngine:
                 mask = live & (sig == qc)
                 if mask.any():
                     _resolve_compiled(cprog, table, mask, new_sig)
-        changed = bool((new_sig != sig).any())
+        met = self.metrics
+        if met is None:
+            changed = bool((new_sig != sig).any())
+        else:
+            updates = int((new_sig != sig).sum())
+            changed = updates > 0
+            met.inc("steps")
+            met.inc("node_updates", updates)
+            if self._probabilistic:
+                met.inc("rng_draws", m)
+            if self.last_faults:
+                met.inc("fault_events", len(self.last_faults))
         if self._live_pos is None:
             self._sigma = new_sig
         else:

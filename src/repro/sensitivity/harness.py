@@ -28,6 +28,7 @@ from repro.network.state import NetworkState
 from repro.runtime.api import StepObserver, run
 from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultPlan
+from repro.runtime.telemetry import MetricsRegistry
 
 __all__ = [
     "FaultExperimentResult",
@@ -142,6 +143,7 @@ def kernel_fault_sweep(
     replicas: int = 8,
     rng: RngLike = None,
     max_steps: int = 5_000,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FaultExperimentResult:
     """Election coin kernel under faults, swept over batched replicas (E14).
 
@@ -153,9 +155,13 @@ def kernel_fault_sweep(
     monotone and needs no recovery — so reasonable correctness is simply
     that every replica still converges to ≤ 1 remaining contender on the
     surviving graph (the G′ = G_f witness).  ``net`` is mutated by the
-    plan; pass a copy to keep the original.
+    plan; pass a copy to keep the original.  An optional ``metrics``
+    registry is wired into the batched engine (steps, rng draws, fault
+    events, quiescence-mask density).
     """
     gen = _gen(rng)
+    # a fault_plan reused from an earlier sweep is auto-reset by the engine
+    # constructor, so len(fault_plan.applied) below reflects *this* run
     engine = BatchedSynchronousEngine(
         net,
         election_mod.coin_kernel_programs(),
@@ -164,6 +170,7 @@ def kernel_fault_sweep(
         randomness=2,
         rng=gen,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     done = lambda counts: election_mod.kernel_remaining_count(counts) <= 1
     try:
@@ -208,6 +215,10 @@ def bridges_under_faults(
     happened.
     """
     finder = BridgeFinder(net, start, rng=_gen(rng))
+    if fault_plan.consumed:
+        # this harness drives apply_due itself (no engine construction to
+        # auto-reset the cursor), so rewind reused plans explicitly
+        fault_plan.reset()
     agent_lost = False
     for _ in range(walk_steps):
         fault_plan.apply_due(net, finder.steps)

@@ -26,8 +26,6 @@ class TestCounterInvariant:
         net = generators.path_graph(3)
         finder = BridgeFinder(net, 0, rng=0)
         crossings = {e: 0 for e in net.edges()}
-        pos = 0
-        rng_check = finder.agent
         for _ in range(200):
             before = finder.agent.position
             finder.step()

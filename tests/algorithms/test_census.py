@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms import census
-from repro.network import NetworkState, generators
+from repro.network import generators
 from repro.runtime.faults import FaultEvent, FaultPlan
 from repro.runtime.simulator import SynchronousSimulator
 

@@ -47,7 +47,6 @@ class TestElectionOutcome:
     def test_leader_choice_varies_with_randomness(self):
         """Symmetry: on a vertex-transitive graph every node must be able
         to win (here: at least two distinct winners across seeds)."""
-        net = generators.cycle_graph(5)
         winners = {
             election.run_until_elected(generators.cycle_graph(5), rng=s).leader
             for s in range(10)

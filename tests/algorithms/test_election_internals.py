@@ -8,13 +8,10 @@ end-to-end tests in test_election.py.
 
 from collections import Counter
 
-import pytest
-
 from repro.algorithms.election import (
     ElectionState,
     InnerState,
     STAR,
-    _fresh_phase_state,
     _np_evidence,
     rule,
 )

@@ -7,8 +7,6 @@ any single clause is caught at the clause.
 
 from collections import Counter
 
-import pytest
-
 from repro.algorithms import random_walk as rw
 from repro.algorithms import traversal as tr
 from repro.core.automaton import NeighborhoodView

@@ -65,7 +65,6 @@ class TestWrapperSemantics:
     def test_initial_state_lift(self):
         from repro.network import NetworkState, generators
 
-        net = generators.path_graph(3)
         init = alpha.initial_state(NetworkState({0: "a", 1: "b", 2: "c"}))
         assert init[1] == ("b", "b", 0)
         assert alpha.clock_of(init[0]) == 0

@@ -22,10 +22,9 @@ from repro.core.modthresh import (
     ModThreshProgram,
     at_least,
     count_is_mod,
-    exactly,
     fewer_than,
 )
-from repro.core.multiset import Multiset, iter_multisets
+from repro.core.multiset import Multiset
 from repro.core.parallel import ParallelProgram
 from repro.core.sequential import SequentialProgram
 

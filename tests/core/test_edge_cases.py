@@ -87,7 +87,6 @@ class TestBoundedDegreeProperty:
         from collections import Counter
 
         from repro.core.bounded_degree import (
-            EPSILON,
             BoundedDegreeAutomaton,
             as_fssga,
         )

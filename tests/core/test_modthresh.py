@@ -10,7 +10,6 @@ from repro.core.modthresh import (
     ModAtom,
     ModThreshProgram,
     Not,
-    Or,
     ThreshAtom,
     at_least,
     count_is_mod,

@@ -1,7 +1,5 @@
 """Tests for mod-thresh program minimization (repro.core.simplify)."""
 
-import pytest
-
 from repro.core.convert import sequential_to_modthresh
 from repro.core.modthresh import (
     FALSE,

@@ -1,7 +1,5 @@
 """Cross-module integration tests: compositions the paper relies on."""
 
-import numpy as np
-import pytest
 
 from repro.algorithms import bfs, census, shortest_paths, synchronizer as alpha
 from repro.algorithms import two_coloring as tc

@@ -9,7 +9,6 @@ guarantees on each.
 from collections import Counter
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.automaton import FSSGA, NeighborhoodView
@@ -24,13 +23,11 @@ from repro.core.modthresh import (
     ModThreshProgram,
     Not,
     Or,
-    Proposition,
     ThreshAtom,
 )
 from repro.core.multiset import Multiset, iter_multisets
 from repro.core.sequential import SequentialProgram
 from repro.network import NetworkState, generators
-from repro.network.graph import Network, canonical_edge
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 

@@ -1,7 +1,6 @@
 """A second round of property-based tests: conversions over 3-letter
 alphabets, graph metric consistency, and simulator determinism."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.convert import (

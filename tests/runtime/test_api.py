@@ -16,7 +16,7 @@ from test_engine_conformance import (
 )
 
 from repro import MetricsObserver, StepObserver, TraceObserver, run
-from repro.core.automaton import FSSGA, ProbabilisticFSSGA
+from repro.core.automaton import FSSGA
 from repro.core.modthresh import ModThreshProgram
 from repro.network import NetworkState, generators
 from repro.runtime.api import supports_vectorized

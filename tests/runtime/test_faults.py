@@ -1,7 +1,5 @@
 """Unit tests for repro.runtime.faults."""
 
-import pytest
-
 from repro.core.automaton import FSSGA
 from repro.core.modthresh import ModThreshProgram, at_least
 from repro.network import NetworkState, generators

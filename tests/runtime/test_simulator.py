@@ -1,6 +1,5 @@
 """Unit tests for the reference simulators (Section 3.4 semantics)."""
 
-import numpy as np
 import pytest
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA

@@ -48,6 +48,18 @@ class TestTrace:
         tr.snapshots[0].set(0, 99)
         assert tr.snapshots[1][0] != 99 or tr.snapshots[1][0] == 1
 
+    def test_stateless_record_keeps_snapshot_alignment(self):
+        """record(..., state=None) with snapshots on must not desync the
+        steps[i] / snapshots[i] pairing — a None placeholder is appended."""
+        tr = Trace(snapshots=True)
+        tr.record(0, {1: ("a", "b")}, state=NetworkState({1: "b"}))
+        tr.record(1, {2: ("a", "b")}, state=None)  # producer had no state
+        tr.record(2, {}, state=NetworkState({1: "b", 2: "b"}))
+        assert len(tr.snapshots) == len(tr.steps) == 3
+        assert tr.snapshots[0][1] == "b"
+        assert tr.snapshots[1] is None
+        assert tr.snapshots[2][2] == "b"
+
     def test_replayability(self):
         """The trace determines the full state sequence given the init."""
         net = generators.path_graph(5)

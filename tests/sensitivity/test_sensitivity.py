@@ -1,7 +1,5 @@
 """Tests for the k-sensitivity framework (Section 2, experiment E14)."""
 
-import pytest
-
 from repro.algorithms.beta_synchronizer import BetaSynchronizer
 from repro.network import NetworkState, generators
 from repro.runtime.faults import FaultEvent, FaultPlan, random_fault_plan
