@@ -1,0 +1,109 @@
+"""E19 — campaign orchestrator: sharded sweeps vs sequential execution.
+
+The DESIGN choice under test: replica sweeps over a parameter grid
+(election phase statistics across n × seeds) should run as a campaign of
+independent, spec-seeded jobs sharded over worker processes — target
+>= 3x wall-clock at 4 workers on a 4-core host — without costing
+determinism: the parallel campaign's ``summary.json`` must be
+byte-identical to the sequential (``workers=0``) one, and every conserved
+counter (steps, node updates, RNG draws) must sum to exactly the same
+total.  The speedup bar is asserted only when the host actually exposes
+>= 4 CPUs to this process (a 1-core container cannot demonstrate it);
+counter conservation and byte-identity are asserted everywhere.
+"""
+
+import os
+import time
+
+from repro.campaigns import ArtifactStore, CampaignSpec, run_campaign, write_summary
+
+from _benchlib import print_table
+
+SPEC = CampaignSpec(
+    name="bench-e19",
+    job="repro.algorithms.election.phase_statistics_job",
+    grid={"n": [128, 192]},
+    fixed={"replicas": 96, "max_steps": 5_000},
+    seeds=8,
+    entropy=19,
+    retries=0,
+)
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_campaign(tmp, workers):
+    t0 = time.perf_counter()
+    res = run_campaign(SPEC, tmp / f"w{workers}", workers=workers)
+    assert res.ok and res.executed == len(SPEC)
+    return time.perf_counter() - t0
+
+
+def test_campaign_speedup_and_conservation(benchmark, tmp_path):
+    def compute():
+        t_seq = _timed_campaign(tmp_path, 0)
+        t_par = _timed_campaign(tmp_path, 4)
+        return t_seq, t_par
+
+    t_seq, t_par = benchmark.pedantic(compute, rounds=1, iterations=1)
+    speedup = t_seq / t_par
+
+    seq_bytes = write_summary(ArtifactStore(tmp_path / "w0")).read_bytes()
+    par_bytes = write_summary(ArtifactStore(tmp_path / "w4")).read_bytes()
+    assert par_bytes == seq_bytes  # sharding is invisible in the artifact
+
+    import json
+
+    summary = json.loads(seq_bytes)
+    counters = summary["metrics"]["counters"]
+    per_job_totals = {}
+    for artifact in summary["artifacts"]:
+        for name, value in artifact["metrics"]["counters"].items():
+            per_job_totals[name] = per_job_totals.get(name, 0) + value
+    assert per_job_totals == counters  # conserved under sharding
+
+    print_table(
+        f"E19: campaign of {len(SPEC)} phase-statistics jobs "
+        f"(grid n={SPEC.grid['n']}, seeds={SPEC.seeds}), "
+        "sequential vs 4 workers",
+        ["cpus", "sequential s", "4 workers s", "speedup", "summary"],
+        [
+            (
+                _cpus(),
+                f"{t_seq:.2f}",
+                f"{t_par:.2f}",
+                f"{speedup:.2f}x",
+                "byte-identical",
+            )
+        ],
+    )
+    benchmark.extra_info.update(
+        jobs=len(SPEC),
+        cpus=_cpus(),
+        speedup=round(speedup, 2),
+        summaries_byte_identical=True,
+        steps=counters.get("steps"),
+        node_updates=counters.get("node_updates"),
+        rng_draws=counters.get("rng_draws"),
+    )
+    # the E19 acceptance bar needs real parallel hardware to show up
+    if _cpus() >= 4:
+        assert speedup >= 3.0
+
+
+def test_campaign_resume_overhead(benchmark, tmp_path):
+    """Resuming a completed campaign is a set lookup, not a re-run."""
+    run_campaign(SPEC, tmp_path / "store", workers=0)
+
+    def resume():
+        res = run_campaign(SPEC, tmp_path / "store", workers=0)
+        assert res.skipped == len(SPEC) and res.executed == 0
+        return res
+
+    benchmark.pedantic(resume, rounds=3, iterations=1)
+    benchmark.extra_info.update(jobs=len(SPEC), mode="resume-noop")

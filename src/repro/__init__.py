@@ -21,6 +21,12 @@ Quickstart::
     print(res.engine, res.steps, res.final_state.counts())
 """
 
+from repro.campaigns import (
+    ArtifactStore,
+    CampaignSpec,
+    run_campaign,
+    write_summary,
+)
 from repro.core import (
     FSSGA,
     ProbabilisticFSSGA,
@@ -70,5 +76,9 @@ __all__ = [
     "RunManifest",
     "ReplayMismatchError",
     "replay",
+    "CampaignSpec",
+    "ArtifactStore",
+    "run_campaign",
+    "write_summary",
     "__version__",
 ]

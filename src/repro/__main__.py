@@ -1,9 +1,9 @@
-"""Command-line demo runner: ``python -m repro <demo> [args]``.
+"""Command-line runner: ``python -m repro <demo|campaign> [args]``.
 
-A minimal text UI over the example scenarios, so the library can be
-poked without writing code — the role the paper's Java applet played.
+A minimal text UI over the example scenarios — the role the paper's Java
+applet played — plus the campaign orchestrator front end.
 
-Demos:
+Demos (append ``--seed S`` to re-seed the randomized ones):
 
 * ``two-coloring [n]``     — 2-colour a cycle of n nodes (default 8)
 * ``census [n]``           — Flajolet–Martin estimate on G(n, p)
@@ -12,14 +12,35 @@ Demos:
 * ``election [n]``         — local-rule leader election
 * ``firing-squad [n]``     — space-time diagram of the path firing squad
 * ``equivalence``          — a Theorem 3.7 conversion round trip
+
+Campaigns (sharded parallel experiment sweeps, ``repro.campaigns``):
+
+* ``campaign run    (--spec FILE | --preset NAME) --store DIR [--jobs N]
+  [--no-resume]`` — execute a campaign into an artifact store
+* ``campaign resume --store DIR [--jobs N]`` — continue an interrupted
+  campaign from its own stored spec
+* ``campaign status --store DIR`` — completion census of a store
+* ``campaign presets`` — list the built-in campaign presets
+
+``--jobs N`` sets the worker-process count (``0`` = in-process
+sequential; default = the scheduler-visible CPU count).
+
+Exit codes:
+
+* ``0`` — success (campaign: every job completed)
+* ``1`` — usage error: unknown demo/subcommand, bad flags, missing or
+  mismatched spec/store
+* ``2`` — the campaign finished but some jobs exhausted their retry
+  budget (completed work is in the store; rerun to retry the rest)
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Optional
 
 
-def _two_coloring(n: int = 8) -> None:
+def _two_coloring(n: int = 8, seed: Optional[int] = None) -> None:
     from repro.algorithms import two_coloring
     from repro.network import generators
 
@@ -32,53 +53,56 @@ def _two_coloring(n: int = 8) -> None:
     print({v: res.final_state[v] for v in net})
 
 
-def _census(n: int = 64) -> None:
+def _census(n: int = 64, seed: Optional[int] = None) -> None:
     from repro.algorithms import census
     from repro.network import generators
 
-    net = generators.connected_gnp_graph(n, min(0.9, 4.0 / n + 0.05), 1)
-    res = census.run_census(net, rng=1)
+    seed = 1 if seed is None else seed
+    net = generators.connected_gnp_graph(n, min(0.9, 4.0 / n + 0.05), seed)
+    res = census.run_census(net, rng=seed)
     print(f"n = {n}; estimate = {census.estimate(res.final_state[0]):.1f} "
           f"(diffused in {res.steps} rounds, {res.engine} engine)")
 
 
-def _walk(moves: int = 25) -> None:
+def _walk(moves: int = 25, seed: Optional[int] = None) -> None:
     from repro.algorithms.random_walk import run_walk
     from repro.network import generators
 
     net = generators.petersen_graph()
-    obs = run_walk(net, 0, moves=moves, rng=0)
+    obs = run_walk(net, 0, moves=moves, rng=0 if seed is None else seed)
     print(" -> ".join(map(str, obs.positions)))
     print(f"mean rounds/move: {sum(obs.steps_per_move) / len(obs.steps_per_move):.1f}")
 
 
-def _traversal(n: int = 12) -> None:
+def _traversal(n: int = 12, seed: Optional[int] = None) -> None:
     from repro.algorithms.traversal import run_traversal
     from repro.network import generators
 
-    net = generators.connected_gnp_graph(n, min(0.9, 4.0 / n + 0.1), 2)
-    run = run_traversal(net, 0, rng=2)
+    seed = 2 if seed is None else seed
+    net = generators.connected_gnp_graph(n, min(0.9, 4.0 / n + 0.1), seed)
+    run = run_traversal(net, 0, rng=seed)
     print(f"hand moves: {run.hand_moves} (2n-2 = {2 * n - 2}); steps: {run.steps}")
     print(" -> ".join(map(str, run.hand_positions)))
 
 
-def _election(n: int = 8) -> None:
+def _election(n: int = 8, seed: Optional[int] = None) -> None:
     from repro.algorithms.election import run_until_elected
     from repro.network import generators
 
-    net = generators.connected_gnp_graph(n, min(0.9, 5.0 / n), 3)
-    res = run_until_elected(net, rng=3)
+    seed = 3 if seed is None else seed
+    net = generators.connected_gnp_graph(n, min(0.9, 5.0 / n), seed)
+    res = run_until_elected(net, rng=seed)
     print(f"leader: node {res.leader} after {res.steps} synchronous steps")
 
 
-def _firing_squad(n: int = 12) -> None:
+def _firing_squad(n: int = 12, seed: Optional[int] = None) -> None:
     from repro.algorithms.firing_squad import space_time_diagram
 
     for t, frame in enumerate(space_time_diagram(n)):
         print(f"t={t:3d}  {frame}")
 
 
-def _equivalence() -> None:
+def _equivalence(seed: Optional[int] = None) -> None:
     from repro.core.convert import (
         modthresh_to_parallel,
         sequential_to_modthresh,
@@ -112,13 +136,221 @@ _DEMOS = {
 }
 
 
+# ----------------------------------------------------------------------
+# campaign subcommand
+# ----------------------------------------------------------------------
+def _campaign_presets() -> dict:
+    from repro.campaigns import CampaignSpec
+
+    return {
+        # tiny grid for CI smoke runs: ~8 jobs, seconds of work
+        "smoke": CampaignSpec(
+            name="smoke",
+            job="repro.algorithms.election.phase_statistics_job",
+            grid={"n": [8, 16]},
+            fixed={"replicas": 8, "max_steps": 2_000},
+            seeds=2,
+            entropy=2006,
+            timeout=300.0,
+            retries=2,
+        ),
+        # the Claim 4.1 ~log2(n) phase sweep (E19's workload)
+        "election-phases": CampaignSpec(
+            name="election-phases",
+            job="repro.algorithms.election.phase_statistics_job",
+            grid={"n": [32, 64, 128, 256]},
+            fixed={"replicas": 64, "max_steps": 10_000},
+            seeds=4,
+            entropy=2006,
+            timeout=600.0,
+            retries=2,
+        ),
+        # k-sensitivity kernel sweep under random decreasing faults (E14)
+        "fault-sweep": CampaignSpec(
+            name="fault-sweep",
+            job="repro.sensitivity.harness.fault_sweep_job",
+            grid={"n": [16, 24, 32], "num_faults": [2, 4, 8]},
+            fixed={"replicas": 8, "fault_window": 6},
+            seeds=4,
+            entropy=14,
+            timeout=600.0,
+            retries=2,
+        ),
+    }
+
+
+def _print_progress(event: str, info: dict) -> None:
+    if event == "campaign_start":
+        print(
+            f"campaign: {info['total']} jobs "
+            f"({info['skipped']} already done, {info['pending']} to run, "
+            f"{info['workers']} workers)"
+        )
+    elif event == "job_done":
+        print(f"  done   {info['job_hash'][:12]}")
+    elif event == "job_retry":
+        print(
+            f"  retry  {info['job_hash'][:12]} "
+            f"(attempt {info['attempt']}: {info.get('error')})"
+        )
+    elif event == "job_failed":
+        print(f"  FAILED {info['job_hash'][:12]}")
+    elif event == "campaign_end":
+        print(
+            f"campaign: {info['executed']} executed, {info['failed']} failed "
+            f"in {info['wall_time']:.2f}s"
+        )
+
+
+def _campaign_main(argv: list[str]) -> int:
+    import argparse
+    import json
+
+    from repro.campaigns import (
+        ArtifactStore,
+        CampaignSpec,
+        StoreMismatchError,
+        run_campaign,
+        write_summary,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Sharded parallel experiment sweeps (repro.campaigns).",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    p_run = sub.add_parser("run", help="execute a campaign into a store")
+    src = p_run.add_mutually_exclusive_group(required=True)
+    src.add_argument("--spec", help="path to a CampaignSpec JSON file")
+    src.add_argument("--preset", help="built-in campaign name (see presets)")
+    p_run.add_argument("--store", required=True, help="artifact directory")
+    p_run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (0 = in-process sequential; default: CPUs)",
+    )
+    p_run.add_argument(
+        "--no-resume", action="store_true",
+        help="re-execute jobs even if a completed artifact exists",
+    )
+    p_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
+    p_resume = sub.add_parser(
+        "resume", help="continue an interrupted campaign from its stored spec"
+    )
+    p_resume.add_argument("--store", required=True)
+    p_resume.add_argument("--jobs", type=int, default=None)
+    p_resume.add_argument("--quiet", action="store_true")
+
+    p_status = sub.add_parser("status", help="completion census of a store")
+    p_status.add_argument("--store", required=True)
+
+    sub.add_parser("presets", help="list built-in campaigns")
+
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 1 if exc.code else 0
+
+    if args.action == "presets":
+        for name, spec in _campaign_presets().items():
+            print(
+                f"{name}: {spec.job} — {len(spec)} jobs "
+                f"(grid {spec.grid}, seeds={spec.seeds})"
+            )
+        return 0
+
+    if args.action == "status":
+        store = ArtifactStore(args.store)
+        if store.load_spec() is None:
+            print(f"no campaign at {args.store} (missing campaign.json)",
+                  file=sys.stderr)
+            return 1
+        print(json.dumps(store.status(), indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "resume":
+        store = ArtifactStore(args.store)
+        spec = store.load_spec()
+        if spec is None:
+            print(f"no campaign at {args.store} (missing campaign.json)",
+                  file=sys.stderr)
+            return 1
+    else:  # run
+        if args.preset is not None:
+            presets = _campaign_presets()
+            if args.preset not in presets:
+                print(
+                    f"unknown preset {args.preset!r}; "
+                    f"available: {', '.join(presets)}",
+                    file=sys.stderr,
+                )
+                return 1
+            spec = presets[args.preset]
+        else:
+            try:
+                with open(args.spec, "r", encoding="utf-8") as fh:
+                    spec = CampaignSpec.from_json(fh.read())
+            except (OSError, ValueError, TypeError, KeyError) as exc:
+                print(f"cannot load spec {args.spec}: {exc}", file=sys.stderr)
+                return 1
+
+    progress = None if getattr(args, "quiet", False) else _print_progress
+    try:
+        result = run_campaign(
+            spec,
+            args.store,
+            workers=args.jobs,
+            resume=not getattr(args, "no_resume", False),
+            progress=progress,
+        )
+    except StoreMismatchError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    summary_path = write_summary(result.store, spec)
+    print(f"summary: {summary_path}")
+    if result.failed:
+        print(
+            f"{len(result.failed)} job(s) failed after retries; "
+            f"completed artifacts are kept — rerun to retry",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+# dispatcher
+# ----------------------------------------------------------------------
 def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help") or argv[0] not in _DEMOS:
+    if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
-        return 0 if argv and argv[0] in ("-h", "--help") else 1
+        return 0 if argv else 1
+    if argv[0] == "campaign":
+        return _campaign_main(argv[1:])
+    if argv[0] not in _DEMOS:
+        print(__doc__)
+        return 1
     demo = _DEMOS[argv[0]]
-    args = [int(a) for a in argv[1:]]
-    demo(*args)
+    seed: Optional[int] = None
+    positional: list[int] = []
+    rest = argv[1:]
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg == "--seed":
+            if i + 1 >= len(rest):
+                print("--seed needs an integer argument", file=sys.stderr)
+                return 1
+            seed, i = int(rest[i + 1]), i + 2
+        elif arg.startswith("--seed="):
+            seed, i = int(arg.split("=", 1)[1]), i + 1
+        else:
+            positional.append(int(arg))
+            i += 1
+    demo(*positional, seed=seed)
     return 0
 
 

@@ -80,8 +80,10 @@ __all__ = [
     "coin_kernel_programs",
     "coin_kernel_init",
     "kernel_remaining_count",
+    "kernel_unique_survivor",
     "KernelPhaseStats",
     "kernel_phase_statistics",
+    "phase_statistics_job",
 ]
 
 STAR = "*"
@@ -579,6 +581,16 @@ def kernel_remaining_count(counts: Mapping) -> int:
     return counts.get(K_REMAIN0, 0) + counts.get(K_REMAIN1, 0)
 
 
+def kernel_unique_survivor(state: Mapping) -> bool:
+    """Termination predicate: at most one remaining candidate.
+
+    A top-level function (not a closure) so batched kernel runs — and the
+    campaign jobs that shard them across worker processes — stay
+    picklable.
+    """
+    return sum(1 for q in state.values() if q != K_OUT) <= 1
+
+
 class KernelPhaseStats(NamedTuple):
     """Replica statistics of the coin-elimination kernel."""
 
@@ -593,7 +605,8 @@ def kernel_phase_statistics(
     replicas: int = 64,
     rng: Union[int, np.random.Generator, None] = None,
     max_steps: int = 10_000,
-) -> KernelPhaseStats:
+    metrics=None,
+):
     """Phases-to-unique-survivor over ``replicas`` independent kernel runs.
 
     All replicas evolve in one :class:`~repro.runtime.batched.
@@ -601,7 +614,17 @@ def kernel_phase_statistics(
     reproducible from ``np.random.default_rng(seed).spawn(replicas)[i]``.
     Use a complete graph for Claim 4.1 statistics (see the kernel notes
     above); expected phases there are Θ(log n).
+
+    This is the in-process API (it takes a live network and returns a
+    :class:`KernelPhaseStats`); :func:`phase_statistics_job` is the same
+    computation in campaign-job form.
     """
+    stats, _ = _phase_statistics(net, replicas, rng, max_steps, metrics)
+    return stats
+
+
+def _phase_statistics(net, replicas, rng, max_steps, metrics):
+    """Shared core: returns ``(KernelPhaseStats, RunResult)``."""
     from repro.runtime.api import run as _run
 
     res = _run(
@@ -611,10 +634,11 @@ def kernel_phase_statistics(
         replicas=replicas,
         randomness=2,
         rng=rng,
-        until=lambda s: sum(1 for q in s.values() if q != K_OUT) <= 1,
+        until=kernel_unique_survivor,
         max_steps=max_steps,
+        metrics=metrics,
     )
-    return KernelPhaseStats(
+    stats = KernelPhaseStats(
         replicas=replicas,
         rounds=res.replica_rounds,
         mean_rounds=float(np.mean(res.replica_rounds)),
@@ -623,3 +647,39 @@ def kernel_phase_statistics(
             for st in res.replica_states
         ],
     )
+    return stats, res
+
+
+def phase_statistics_job(
+    rng=None,
+    metrics=None,
+    *,
+    family: str = "repro.network.generators.complete_graph",
+    n: int = 32,
+    replicas: int = 64,
+    max_steps: int = 10_000,
+) -> dict:
+    """Campaign-job form of :func:`kernel_phase_statistics`.
+
+    A pure top-level function under the ``repro.campaigns`` convention
+    (``fn(rng, metrics, **params) -> dict``): the network is built from a
+    dotted generator name + ``n`` so the job spec holds only JSON values,
+    and the result is plain data plus the run's
+    :func:`~repro.runtime.telemetry.manifest_content_hash` for
+    replay-level provenance.
+    """
+    from repro.campaigns.spec import resolve_dotted
+    from repro.runtime.telemetry import manifest_content_hash
+
+    net = resolve_dotted(family)(n)
+    stats, res = _phase_statistics(net, replicas, rng, max_steps, metrics)
+    return {
+        "family": family,
+        "n": n,
+        "replicas": stats.replicas,
+        "rounds": [int(r) for r in stats.rounds],
+        "mean_rounds": stats.mean_rounds,
+        "survivor_counts": [int(s) for s in stats.survivor_counts],
+        "log2_n": math.log2(n),
+        "manifest_hash": manifest_content_hash(res.manifest),
+    }

@@ -1,0 +1,58 @@
+"""Sharded, fault-tolerant, resumable experiment campaigns.
+
+The subsystem that turns the ad-hoc experiment loops (election phase
+statistics, fault-sensitivity sweeps, EXPERIMENTS.md drivers) into
+declarative parallel sweeps:
+
+* :mod:`repro.campaigns.spec` — :class:`CampaignSpec` grids over dotted
+  job names with spec-derived per-job RNG streams;
+* :mod:`repro.campaigns.runner` — :func:`run_campaign` on a process pool
+  with per-job timeouts, bounded retries and crash isolation;
+* :mod:`repro.campaigns.store` — the content-addressed JSONL
+  :class:`ArtifactStore` that makes interruption safe and resume a
+  set-difference;
+* :mod:`repro.campaigns.aggregate` — byte-deterministic summaries and
+  campaign-level telemetry merged from per-worker registries.
+
+Quickstart::
+
+    from repro.campaigns import CampaignSpec, run_campaign, write_summary
+
+    spec = CampaignSpec(
+        name="election-phases",
+        job="repro.algorithms.election.phase_statistics_job",
+        grid={"n": [32, 64, 128]},
+        fixed={"replicas": 32},
+        seeds=4,
+        entropy=2006,
+    )
+    result = run_campaign(spec, "campaign-out", workers=4)
+    print(write_summary(result.store).read_text())
+"""
+
+from repro.campaigns.aggregate import combined_metrics, summarize, write_summary
+from repro.campaigns.runner import CampaignRunResult, execute_job, run_campaign
+from repro.campaigns.spec import (
+    CampaignSpec,
+    JobSpec,
+    canonical_json,
+    content_hash,
+    resolve_dotted,
+)
+from repro.campaigns.store import ArtifactStore, StoreMismatchError
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "resolve_dotted",
+    "canonical_json",
+    "content_hash",
+    "ArtifactStore",
+    "StoreMismatchError",
+    "run_campaign",
+    "execute_job",
+    "CampaignRunResult",
+    "combined_metrics",
+    "summarize",
+    "write_summary",
+]

@@ -1,0 +1,121 @@
+"""Campaign-level aggregation: deterministic summaries and merged telemetry.
+
+The aggregate **summary** is the campaign's quotable artifact: every
+completed job's deterministic view (result, counters, manifest hash),
+ordered by job hash, plus campaign-wide counter totals and a content hash
+over the whole object.  Volatile execution data (wall times, retry
+counts, worker pids — see :data:`repro.campaigns.store.VOLATILE_KEYS`)
+never enters it, so
+
+* a campaign interrupted at any instant and resumed — at any worker
+  count — writes a **byte-identical** ``summary.json`` to an
+  uninterrupted run, and
+* counters are *conserved* under sharding: the campaign totals computed
+  from per-worker :class:`~repro.runtime.telemetry.MetricsRegistry`
+  snapshots equal the totals of the same jobs run sequentially in one
+  process (asserted in ``tests/campaigns`` and benchmarked in E19).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.campaigns.spec import CampaignSpec, content_hash
+from repro.campaigns.store import ArtifactStore, deterministic_view
+from repro.runtime.telemetry import MetricsRegistry
+
+__all__ = [
+    "combined_metrics",
+    "summarize",
+    "write_summary",
+]
+
+
+def combined_metrics(records: dict) -> MetricsRegistry:
+    """Merge per-job metric snapshots into one campaign-level registry.
+
+    Counters add (they are conserved quantities: steps, node updates,
+    RNG draws, fault events).  Series concatenate in job-hash order, so
+    the merged registry is independent of completion order.
+    """
+    merged = MetricsRegistry()
+    for job_hash in sorted(records):
+        rec = records[job_hash]
+        if rec.get("status") != "ok":
+            continue
+        snapshot = rec.get("metrics") or {}
+        for name, value in sorted((snapshot.get("counters") or {}).items()):
+            merged.inc(name, int(value))
+        for name, values in sorted((snapshot.get("series") or {}).items()):
+            for v in values:
+                merged.observe(name, v)
+    return merged
+
+
+def summarize(
+    store: ArtifactStore, spec: Optional[CampaignSpec] = None
+) -> dict:
+    """The deterministic campaign summary (see module docstring).
+
+    ``pending``/``failed`` counts are included (they describe the grid,
+    not the execution path to it: an interrupted-then-resumed campaign
+    ends with the same completion census as an uninterrupted one).
+    """
+    spec = spec or store.load_spec()
+    if spec is None:
+        raise ValueError(f"store {store.root} has no campaign.json")
+    records = store.records()
+    job_hashes = [j.job_hash for j in spec.expand()]
+    wanted = set(job_hashes)
+    ok_views = {
+        h: deterministic_view(records[h])
+        for h in records
+        if h in wanted and records[h].get("status") == "ok"
+    }
+    merged = combined_metrics(ok_views)
+    # each artifact entry carries its content address (the hash is itself
+    # a pure function of the deterministic view, so byte-identity holds)
+    artifacts = []
+    for h in sorted(ok_views):
+        entry = dict(ok_views[h])
+        entry["content_hash"] = records[h].get("content_hash")
+        artifacts.append(entry)
+    # series can be bulky and their determinism is already captured by the
+    # per-artifact views; the campaign level keeps the conserved counters
+    summary = {
+        "campaign": spec.name,
+        "spec_hash": spec.spec_hash,
+        "jobs": {
+            "total": len(job_hashes),
+            "ok": len(artifacts),
+            "failed": sum(
+                1
+                for h in wanted
+                if records.get(h, {}).get("status") == "failed"
+            ),
+            "pending": sum(
+                1
+                for h in job_hashes
+                if records.get(h, {}).get("status") != "ok"
+            ),
+        },
+        "metrics": {"counters": dict(sorted(merged.counters.items()))},
+        "artifacts": artifacts,
+    }
+    summary["content_hash"] = content_hash(summary)
+    return summary
+
+
+def write_summary(
+    store: ArtifactStore, spec: Optional[CampaignSpec] = None
+) -> Path:
+    """Write ``summary.json`` in canonical form; returns its path.
+
+    Canonical JSON (sorted keys, compact separators) over deterministic
+    content is what makes the kill-and-resume acceptance check literal:
+    equal campaigns produce equal *bytes*.
+    """
+    summary = summarize(store, spec)
+    store.write_canonical(store.summary_path, summary)
+    return store.summary_path

@@ -1,0 +1,377 @@
+"""Fault-tolerant parallel campaign execution.
+
+:func:`run_campaign` shards a :class:`~repro.campaigns.spec.CampaignSpec`
+across a :class:`concurrent.futures.ProcessPoolExecutor` with
+
+* **windowed submission** — at most ``workers`` jobs in flight, so a
+  submitted job starts immediately and its wall-clock timeout measures
+  actual execution;
+* **per-job timeouts** — a job exceeding ``spec.timeout`` has its worker
+  process killed (a hung worker cannot be cancelled cooperatively), the
+  pool is rebuilt, and innocent in-flight jobs are resubmitted with fresh
+  timers;
+* **bounded retries with exponential backoff** — errors, crashes and
+  timeouts all consume one of ``spec.retries + 1`` attempts; the backoff
+  clock never blocks other jobs;
+* **crash isolation** — a worker dying mid-job (segfault, ``os._exit``)
+  breaks the whole pool by :class:`ProcessPoolExecutor` semantics, so the
+  runner rebuilds it and retries the jobs that were in flight: one dying
+  worker fails (at most) one job's attempt, never the campaign;
+* **resume** — jobs whose hash already has a completed artifact in the
+  store are skipped before anything is submitted.
+
+Determinism: a job's RNG derives from its spec
+(:meth:`~repro.campaigns.spec.JobSpec.seed_sequence`), never from
+execution, so results are bitwise-identical at any worker count,
+scheduling order or retry history — which is what makes kill-and-resume
+aggregates byte-identical (see ``repro.campaigns.aggregate``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Optional
+
+from repro.campaigns.spec import CampaignSpec, JobSpec
+from repro.campaigns.store import ArtifactStore
+from repro.runtime.telemetry import MetricsRegistry, _jsonable
+
+__all__ = ["execute_job", "run_campaign", "CampaignRunResult"]
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one job inside a worker process; always returns a record.
+
+    The job function is resolved from its dotted name, handed a freshly
+    derived RNG and a private :class:`MetricsRegistry`, and its JSON-able
+    result is wrapped into an artifact record.  Ordinary exceptions are
+    caught and reported as ``status="error"`` records — they cost the job
+    an attempt but never poison the pool.  (Hard crashes and hangs are
+    the coordinator's problem, by design.)
+    """
+    job = JobSpec.from_payload(payload)
+    t0 = perf_counter()
+    try:
+        fn = job.resolve()
+        metrics = MetricsRegistry()
+        result = fn(rng=job.make_rng(), metrics=metrics, **job.params)
+        record = {
+            "job_hash": payload["job_hash"],
+            "status": "ok",
+            "job": job.job,
+            "params": job.params,
+            "seed_index": job.seed_index,
+            "index": job.index,
+            "result": _jsonable(result),
+            "metrics": _jsonable(metrics.snapshot()),
+            "wall_time": perf_counter() - t0,
+            "worker": os.getpid(),
+        }
+        if isinstance(result, dict) and "manifest_hash" in result:
+            record["manifest_hash"] = result["manifest_hash"]
+        return record
+    except Exception as exc:
+        return {
+            "job_hash": payload["job_hash"],
+            "status": "error",
+            "job": job.job,
+            "params": job.params,
+            "seed_index": job.seed_index,
+            "index": job.index,
+            "error": "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip(),
+            "wall_time": perf_counter() - t0,
+            "worker": os.getpid(),
+        }
+
+
+@dataclass
+class CampaignRunResult:
+    """What one :func:`run_campaign` invocation did."""
+
+    spec_hash: str
+    total: int
+    executed: int
+    skipped: int
+    failed: list = field(default_factory=list)
+    wall_time: float = 0.0
+    store: Optional[ArtifactStore] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def _kill_executor(executor: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose worker may be hung.
+
+    ``shutdown(cancel_futures=True)`` cannot interrupt a *running* call,
+    so the worker processes are killed first; the broken pool is then
+    discarded.  (``_processes`` is a CPython implementation detail, but it
+    is the only per-process handle the executor exposes and has been
+    stable across every supported version.)
+    """
+    for proc in list(getattr(executor, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - already-dead race
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _failure_record(payload: dict, attempts: int, error: str) -> dict:
+    return {
+        "job_hash": payload["job_hash"],
+        "status": "failed",
+        "job": payload["job"],
+        "params": payload["params"],
+        "seed_index": payload["seed_index"],
+        "index": payload["index"],
+        "attempts": attempts,
+        "error": error,
+    }
+
+
+def _notify(progress: Optional[Callable], event: str, **info) -> None:
+    if progress is not None:
+        progress(event, info)
+
+
+def _run_inline(
+    pending: list[dict],
+    spec: CampaignSpec,
+    store: ArtifactStore,
+    progress: Optional[Callable],
+) -> list[str]:
+    """workers=0: execute sequentially in-process (the baseline path —
+    same artifacts, no pool)."""
+    failed = []
+    for payload in pending:
+        record = None
+        for attempt in range(1, spec.retries + 2):
+            record = execute_job(payload)
+            record["attempts"] = attempt
+            if record["status"] == "ok":
+                break
+            _notify(
+                progress, "job_retry", job_hash=payload["job_hash"],
+                attempt=attempt, error=record.get("error"),
+            )
+            if attempt <= spec.retries and spec.backoff:
+                time.sleep(spec.backoff * (2 ** (attempt - 1)))
+        if record["status"] == "ok":
+            store.append(record)
+            _notify(progress, "job_done", job_hash=payload["job_hash"])
+        else:
+            store.append(
+                _failure_record(
+                    payload, record["attempts"], record.get("error", "?")
+                )
+            )
+            failed.append(payload["job_hash"])
+            _notify(progress, "job_failed", job_hash=payload["job_hash"])
+    return failed
+
+
+def _run_pooled(
+    pending: list[dict],
+    spec: CampaignSpec,
+    store: ArtifactStore,
+    workers: int,
+    progress: Optional[Callable],
+    poll_interval: float,
+) -> list[str]:
+    """The windowed executor loop (see module docstring)."""
+    failed: list[str] = []
+    attempts: dict[str, int] = {}
+    queue = deque(pending)
+    backoff_heap: list[tuple[float, int, dict]] = []  # (ready_at, tiebreak, payload)
+    tiebreak = 0
+    inflight: dict = {}  # future -> (payload, started_at)
+    executor = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(payload: dict) -> None:
+        fut = executor.submit(execute_job, payload)
+        inflight[fut] = (payload, time.monotonic())
+
+    def reschedule(payload: dict, error: str) -> None:
+        nonlocal tiebreak
+        n = attempts[payload["job_hash"]]
+        if n <= spec.retries:
+            _notify(
+                progress, "job_retry", job_hash=payload["job_hash"],
+                attempt=n, error=error,
+            )
+            delay = spec.backoff * (2 ** (n - 1)) if spec.backoff else 0.0
+            tiebreak += 1
+            heapq.heappush(
+                backoff_heap, (time.monotonic() + delay, tiebreak, payload)
+            )
+        else:
+            store.append(_failure_record(payload, n, error))
+            failed.append(payload["job_hash"])
+            _notify(progress, "job_failed", job_hash=payload["job_hash"])
+
+    def rebuild_pool() -> None:
+        nonlocal executor
+        _kill_executor(executor)
+        # innocent in-flight jobs go back to the head of the queue with
+        # fresh timers and no attempt charged — their worker was healthy
+        for payload, _ in inflight.values():
+            queue.appendleft(payload)
+        inflight.clear()
+        executor = ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while queue or inflight or backoff_heap:
+            now = time.monotonic()
+            while backoff_heap and backoff_heap[0][0] <= now:
+                queue.append(heapq.heappop(backoff_heap)[2])
+            while queue and len(inflight) < workers:
+                payload = queue.popleft()
+                try:
+                    submit(payload)
+                except BrokenProcessPool:
+                    # the pool broke under an earlier crash before wait()
+                    # could report it; this job never ran — no attempt
+                    queue.appendleft(payload)
+                    rebuild_pool()
+            if not inflight:
+                if backoff_heap:
+                    time.sleep(
+                        max(0.0, min(backoff_heap[0][0] - time.monotonic(), 0.2))
+                    )
+                continue
+
+            done, _ = wait(
+                inflight, timeout=poll_interval, return_when=FIRST_COMPLETED
+            )
+            pool_broken = False
+            for fut in done:
+                payload, _ = inflight.pop(fut)
+                key = payload["job_hash"]
+                attempts[key] = attempts.get(key, 0) + 1
+                try:
+                    record = fut.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    reschedule(payload, "worker process died (pool broken)")
+                    continue
+                except Exception as exc:  # pragma: no cover - defensive
+                    pool_broken = True
+                    reschedule(payload, f"executor failure: {exc!r}")
+                    continue
+                if record["status"] == "ok":
+                    record["attempts"] = attempts[key]
+                    store.append(record)
+                    _notify(progress, "job_done", job_hash=key)
+                else:
+                    reschedule(payload, record.get("error", "?"))
+            if pool_broken:
+                rebuild_pool()
+                continue
+
+            if spec.timeout is not None:
+                now = time.monotonic()
+                timed_out = [
+                    fut
+                    for fut, (_, started) in inflight.items()
+                    if now - started > spec.timeout
+                ]
+                if timed_out:
+                    # the hung workers can only be stopped by killing the
+                    # pool; charge the overdue jobs, spare the rest
+                    for fut in timed_out:
+                        payload, started = inflight.pop(fut)
+                        key = payload["job_hash"]
+                        attempts[key] = attempts.get(key, 0) + 1
+                        reschedule(
+                            payload,
+                            f"timeout after {now - started:.2f}s "
+                            f"(budget {spec.timeout}s)",
+                        )
+                    rebuild_pool()
+    except BaseException:
+        _kill_executor(executor)
+        raise
+    executor.shutdown(wait=True)
+    return failed
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_dir,
+    *,
+    workers: Optional[int] = None,
+    resume: bool = True,
+    progress: Optional[Callable] = None,
+    poll_interval: float = 0.05,
+) -> CampaignRunResult:
+    """Execute every job of ``spec`` into the store at ``store_dir``.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None`` uses the scheduler-visible CPU count;
+        ``0`` runs the jobs sequentially in-process (no pool — the
+        deterministic baseline the parallel path is conformance-tested
+        against).
+    resume:
+        Skip jobs that already have a completed artifact (default).
+        ``resume=False`` re-executes everything; completed artifacts are
+        still never displaced (append-only store, ok-wins merge).
+    progress:
+        Optional ``callback(event, info)`` for ``job_done`` /
+        ``job_retry`` / ``job_failed`` notifications.
+
+    Returns a :class:`CampaignRunResult`; inspect ``failed`` (or
+    ``result.ok``) for jobs that exhausted their retry budget.  Completed
+    work is in the store regardless — a failed campaign is resumable.
+    """
+    t0 = perf_counter()
+    if workers is None:
+        try:
+            workers = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            workers = os.cpu_count() or 1
+    store = ArtifactStore(store_dir)
+    store.write_spec(spec)
+    jobs = spec.expand()
+    done = store.completed_hashes() if resume else set()
+    pending = [j.payload() for j in jobs if j.job_hash not in done]
+    skipped = len(jobs) - len(pending)
+    _notify(
+        progress, "campaign_start", total=len(jobs), pending=len(pending),
+        skipped=skipped, workers=workers,
+    )
+    if not pending:
+        failed = []
+    elif workers == 0:
+        failed = _run_inline(pending, spec, store, progress)
+    else:
+        failed = _run_pooled(
+            pending, spec, store, workers, progress, poll_interval
+        )
+    result = CampaignRunResult(
+        spec_hash=spec.spec_hash,
+        total=len(jobs),
+        executed=len(pending) - len(failed),
+        skipped=skipped,
+        failed=failed,
+        wall_time=perf_counter() - t0,
+        store=store,
+    )
+    _notify(
+        progress, "campaign_end", executed=result.executed,
+        failed=len(failed), wall_time=result.wall_time,
+    )
+    return result

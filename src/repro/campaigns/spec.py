@@ -1,0 +1,316 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a sweep of independent, seeded experiment jobs — the shape
+of every quantitative claim in EXPERIMENTS.md (election phases over
+hundreds of runs, Flajolet–Martin accuracy, fault-sensitivity sweeps) and
+the same fan-out/aggregate decomposition the separable-function protocols
+of Mosk-Aoyama & Shah exploit.  A :class:`CampaignSpec` declares the grid
+*by value*: the job function is named by its dotted import path and every
+grid axis holds plain JSON values, so each expanded :class:`JobSpec` is
+picklable, hashable and reconstructible in any worker process.
+
+Determinism contract
+--------------------
+* :meth:`CampaignSpec.expand` enumerates the grid in a fixed order
+  (sorted axis names, declared value order, then seed replicates), so a
+  job's ``index`` is a pure function of the spec.
+* Each job's RNG is ``default_rng(SeedSequence(entropy, spawn_key=
+  (index,)))`` — bitwise-independent of worker count, scheduling order
+  and retries, because nothing about *execution* enters the derivation.
+* :attr:`JobSpec.job_hash` is a content hash of the job's identity
+  (campaign entropy, job function, parameters, seed replicate, index),
+  which is what the artifact store keys on: re-running an unchanged spec
+  skips every completed job, while changing any input re-executes exactly
+  the affected jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "resolve_dotted",
+    "canonical_json",
+    "content_hash",
+    "JobSpec",
+    "CampaignSpec",
+]
+
+
+def resolve_dotted(name: str) -> Any:
+    """Import ``pkg.module.attr`` and return the attribute.
+
+    The attribute part may be nested (``pkg.mod.Class.method``); the
+    longest importable module prefix wins.
+    """
+    parts = name.split(".")
+    if len(parts) < 2:
+        raise ValueError(f"not a dotted name: {name!r}")
+    last_err: Optional[Exception] = None
+    for cut in range(len(parts) - 1, 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj: Any = importlib.import_module(module_name)
+        except ImportError as exc:
+            last_err = exc
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError as exc:
+            raise ValueError(
+                f"module {module_name!r} has no attribute "
+                f"{'.'.join(parts[cut:])!r}"
+            ) from exc
+        return obj
+    raise ValueError(f"cannot import any module prefix of {name!r}") from last_err
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False, default=repr
+    )
+
+
+def content_hash(obj: Any) -> str:
+    """sha256 hex digest of the canonical JSON form of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One expanded grid point: everything a worker needs, by value.
+
+    ``params`` are the job function's keyword arguments; ``index`` is the
+    job's position in the deterministic grid enumeration and doubles as
+    the RNG spawn key; ``seed_index`` is the replicate number within the
+    grid point (also folded into ``index``).
+    """
+
+    campaign: str
+    job: str
+    params: dict = field(default_factory=dict)
+    seed_index: int = 0
+    index: int = 0
+    entropy: int = 0
+
+    @property
+    def job_hash(self) -> str:
+        """Content hash of the job's identity — the artifact-store key."""
+        return content_hash(
+            {
+                "campaign": self.campaign,
+                "job": self.job,
+                "params": self.params,
+                "seed_index": self.seed_index,
+                "index": self.index,
+                "entropy": self.entropy,
+            }
+        )
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """This job's root seed sequence (see the module determinism
+        contract)."""
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=(self.index,)
+        )
+
+    def make_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed_sequence())
+
+    def resolve(self) -> Callable:
+        """The job function this spec names."""
+        fn = resolve_dotted(self.job)
+        if not callable(fn):
+            raise TypeError(f"{self.job!r} resolved to a non-callable: {fn!r}")
+        return fn
+
+    def payload(self) -> dict:
+        """The picklable dict shipped to worker processes."""
+        return {
+            "campaign": self.campaign,
+            "job": self.job,
+            "params": dict(self.params),
+            "seed_index": self.seed_index,
+            "index": self.index,
+            "entropy": self.entropy,
+            "job_hash": self.job_hash,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobSpec":
+        return cls(
+            campaign=payload["campaign"],
+            job=payload["job"],
+            params=dict(payload["params"]),
+            seed_index=payload["seed_index"],
+            index=payload["index"],
+            entropy=payload["entropy"],
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative experiment sweep.
+
+    Parameters
+    ----------
+    name:
+        Human-readable campaign name (part of every job's identity hash).
+    job:
+        Dotted path of the job function.  The campaign convention: the
+        function accepts ``(rng, metrics, **params)`` where ``rng`` is a
+        pre-seeded :class:`numpy.random.Generator`, ``metrics`` a
+        :class:`~repro.runtime.telemetry.MetricsRegistry`, and returns a
+        JSON-able dict.  A ``"manifest_hash"`` key in the result is
+        lifted into the artifact record (see ``repro.campaigns.runner``).
+    grid:
+        ``{param_name: [values...]}``; the cartesian product over sorted
+        parameter names defines the grid points.  Values must be plain
+        JSON data.
+    fixed:
+        Parameters passed to every job unchanged (merged under the grid
+        point, which wins on collision).
+    seeds:
+        Seed replicates per grid point — each gets an independent RNG
+        stream but identical parameters.
+    entropy:
+        Campaign-level base entropy for :class:`numpy.random.SeedSequence`.
+    timeout:
+        Per-job wall-clock budget in seconds (``None`` = unlimited).
+    retries:
+        How many times a failed/crashed/timed-out job is re-attempted
+        (total attempts = ``retries + 1``).
+    backoff:
+        Base delay in seconds before re-attempting a failed job, doubled
+        per attempt.
+    """
+
+    name: str
+    job: str
+    grid: dict = field(default_factory=dict)
+    fixed: dict = field(default_factory=dict)
+    seeds: int = 1
+    entropy: int = 0
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)):
+                raise TypeError(
+                    f"grid axis {axis!r} must be a list of values, got "
+                    f"{type(values).__name__}"
+                )
+
+    def grid_points(self) -> list[dict]:
+        """The parameter dicts, in deterministic enumeration order."""
+        axes = sorted(self.grid)
+        points = []
+        for combo in itertools.product(*(self.grid[a] for a in axes)):
+            params = dict(self.fixed)
+            params.update(dict(zip(axes, combo)))
+            points.append(params)
+        return points
+
+    def expand(self) -> list[JobSpec]:
+        """All jobs: grid points × seed replicates, deterministically
+        indexed."""
+        jobs = []
+        index = 0
+        for params in self.grid_points():
+            for seed_index in range(self.seeds):
+                jobs.append(
+                    JobSpec(
+                        campaign=self.name,
+                        job=self.job,
+                        params=params,
+                        seed_index=seed_index,
+                        index=index,
+                        entropy=self.entropy,
+                    )
+                )
+                index += 1
+        return jobs
+
+    def __len__(self) -> int:
+        points = 1
+        for values in self.grid.values():
+            points *= len(values)
+        return points * self.seeds
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash of the identity-bearing fields.
+
+        Execution policy (timeout/retries/backoff/worker count) is *not*
+        identity: tightening a timeout must not invalidate completed
+        artifacts.
+        """
+        return content_hash(
+            {
+                "name": self.name,
+                "job": self.job,
+                "grid": self.grid,
+                "fixed": self.fixed,
+                "seeds": self.seeds,
+                "entropy": self.entropy,
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "job": self.job,
+            "grid": self.grid,
+            "fixed": self.fixed,
+            "seeds": self.seeds,
+            "entropy": self.entropy,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "spec_hash": self.spec_hash,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        spec = cls(**kwargs)
+        recorded = data.get("spec_hash")
+        if recorded is not None and recorded != spec.spec_hash:
+            raise ValueError(
+                f"spec_hash mismatch: recorded {recorded[:12]}…, "
+                f"recomputed {spec.spec_hash[:12]}…"
+            )
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def validate(self) -> None:
+        """Resolve the job function and sanity-check the convention."""
+        self.resolve_job()
+
+    def resolve_job(self) -> Callable:
+        fn = resolve_dotted(self.job)
+        if not callable(fn):
+            raise TypeError(f"{self.job!r} resolved to a non-callable: {fn!r}")
+        return fn

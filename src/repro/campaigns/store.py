@@ -1,0 +1,250 @@
+"""Content-addressed, resumable JSONL artifact store.
+
+One campaign = one directory::
+
+    <root>/
+      campaign.json     the CampaignSpec that owns this store
+      artifacts.jsonl   append-only job records, one JSON object per line
+      summary.json      deterministic aggregate (written by aggregate.py)
+
+Artifacts are keyed by :attr:`~repro.campaigns.spec.JobSpec.job_hash` —
+the content hash of the job's identity — and each ``"ok"`` record also
+carries its own ``content_hash`` over the *deterministic view* of the
+record (result, stripped metrics, manifest hash) plus the job's
+:class:`~repro.runtime.telemetry.RunManifest` content hash when the job
+reports one.  Resume therefore reduces to a set lookup: jobs whose hash
+already has an ``"ok"`` record are skipped, everything else re-runs.
+
+Only the coordinating process appends (workers return records over the
+executor), so the JSONL needs no locking; a half-written final line from
+a killed coordinator is detected and ignored on load, and the completed
+job simply re-runs — append-only storage makes interruption at any
+instant safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.campaigns.spec import CampaignSpec, canonical_json, content_hash
+
+__all__ = [
+    "StoreMismatchError",
+    "deterministic_view",
+    "ArtifactStore",
+    "VOLATILE_KEYS",
+    "NONDETERMINISTIC_SERIES",
+    "NONDETERMINISTIC_COUNTERS",
+]
+
+
+class StoreMismatchError(RuntimeError):
+    """The store belongs to a different campaign spec."""
+
+
+#: Record fields that legitimately differ between executions of the same
+#: job (timing, scheduling, retry history) — excluded from content hashes
+#: and from the aggregate summary so kill-and-resume stays byte-identical.
+VOLATILE_KEYS = ("wall_time", "attempts", "worker", "content_hash", "error")
+
+#: Metric series whose values are wall-clock measurements.
+NONDETERMINISTIC_SERIES = ("run_wall_time",)
+
+#: Metric counters that measure *process history*, not the job: a forked
+#: worker inherits its parent's warm lowering cache, so hit/miss splits
+#: depend on scheduling.  (``steps``/``node_updates``/``rng_draws``/
+#: ``fault_events``/``csr_rebuilds`` are conserved job quantities and
+#: stay.)
+NONDETERMINISTIC_COUNTERS = ("lowering_cache_hits", "lowering_cache_misses")
+
+
+def deterministic_view(record: dict) -> dict:
+    """The record minus every execution-dependent field.
+
+    Two executions of the same job (different worker counts, schedules,
+    retry histories, machines of the same software stack) produce equal
+    deterministic views — this is the object the ``content_hash`` signs
+    and the aggregate summary is built from.
+    """
+    view = {k: v for k, v in record.items() if k not in VOLATILE_KEYS}
+    metrics = view.get("metrics")
+    if isinstance(metrics, dict):
+        cleaned = dict(metrics)
+        if isinstance(metrics.get("series"), dict):
+            cleaned["series"] = {
+                k: v
+                for k, v in metrics["series"].items()
+                if k not in NONDETERMINISTIC_SERIES
+            }
+        if isinstance(metrics.get("counters"), dict):
+            cleaned["counters"] = {
+                k: v
+                for k, v in metrics["counters"].items()
+                if k not in NONDETERMINISTIC_COUNTERS
+            }
+        view["metrics"] = cleaned
+    return view
+
+
+class ArtifactStore:
+    """Append-only JSONL artifacts under one campaign directory."""
+
+    SPEC_FILE = "campaign.json"
+    ARTIFACTS_FILE = "artifacts.jsonl"
+    SUMMARY_FILE = "summary.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def spec_path(self) -> Path:
+        return self.root / self.SPEC_FILE
+
+    @property
+    def artifacts_path(self) -> Path:
+        return self.root / self.ARTIFACTS_FILE
+
+    @property
+    def summary_path(self) -> Path:
+        return self.root / self.SUMMARY_FILE
+
+    # -- spec ----------------------------------------------------------
+    def write_spec(self, spec: CampaignSpec) -> None:
+        """Bind this store to ``spec``; idempotent for the same spec.
+
+        A store already bound to a *different* spec raises
+        :class:`StoreMismatchError` — resuming under changed identity
+        would silently mix incompatible artifacts.
+        """
+        existing = self.load_spec()
+        if existing is not None:
+            if existing.spec_hash != spec.spec_hash:
+                raise StoreMismatchError(
+                    f"store {self.root} holds campaign "
+                    f"{existing.name!r} ({existing.spec_hash[:12]}…), "
+                    f"refusing to run {spec.name!r} "
+                    f"({spec.spec_hash[:12]}…) into it"
+                )
+            return
+        self.spec_path.write_text(spec.to_json() + "\n", encoding="utf-8")
+
+    def load_spec(self) -> Optional[CampaignSpec]:
+        if not self.spec_path.exists():
+            return None
+        return CampaignSpec.from_json(self.spec_path.read_text(encoding="utf-8"))
+
+    # -- artifacts -----------------------------------------------------
+    def append(self, record: dict) -> dict:
+        """Seal and append one job record; returns the sealed record.
+
+        ``record`` must carry ``job_hash``.  ``"ok"`` records get a
+        ``content_hash`` over their deterministic view.  The line is
+        flushed and fsynced before returning, so a record either exists
+        completely or (if the process dies mid-write) is dropped by the
+        tolerant reader.
+        """
+        if "job_hash" not in record:
+            raise ValueError("artifact record needs a job_hash")
+        sealed = dict(record)
+        if sealed.get("status") == "ok":
+            sealed["content_hash"] = content_hash(deterministic_view(sealed))
+        line = json.dumps(sealed, sort_keys=True, default=repr)
+        # a coordinator killed mid-append leaves a torn final line with no
+        # newline; start cleanly after it so the new record stays parseable
+        needs_newline = False
+        if self.artifacts_path.exists() and self.artifacts_path.stat().st_size:
+            with open(self.artifacts_path, "rb") as rf:
+                rf.seek(-1, os.SEEK_END)
+                needs_newline = rf.read(1) != b"\n"
+        with open(self.artifacts_path, "ab") as fh:
+            if needs_newline:
+                fh.write(b"\n")
+            fh.write(line.encode("utf-8") + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return sealed
+
+    def iter_records(self) -> Iterator[dict]:
+        """All parseable records in append order (torn tail lines are
+        skipped)."""
+        if not self.artifacts_path.exists():
+            return
+        with open(self.artifacts_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # a coordinator killed mid-append leaves at most one
+                    # torn line; the job it described simply re-runs
+                    continue
+
+    def records(self) -> dict:
+        """Latest record per job hash (an ``"ok"`` is never displaced by
+        a later failure — completed work is immutable)."""
+        latest: dict = {}
+        for rec in self.iter_records():
+            key = rec.get("job_hash")
+            if key is None:
+                continue
+            if latest.get(key, {}).get("status") == "ok" and rec.get("status") != "ok":
+                continue
+            latest[key] = rec
+        return latest
+
+    def completed_hashes(self) -> set:
+        """Hashes of jobs with a completed (``"ok"``) artifact."""
+        return {
+            h for h, rec in self.records().items() if rec.get("status") == "ok"
+        }
+
+    def verify(self) -> list:
+        """Re-hash every completed artifact; returns the corrupted hashes."""
+        bad = []
+        for h, rec in self.records().items():
+            if rec.get("status") != "ok":
+                continue
+            if rec.get("content_hash") != content_hash(deterministic_view(rec)):
+                bad.append(h)
+        return bad
+
+    # -- status --------------------------------------------------------
+    def status(self, spec: Optional[CampaignSpec] = None) -> dict:
+        """Completion summary against ``spec`` (default: the bound spec)."""
+        spec = spec or self.load_spec()
+        recs = self.records()
+        out = {
+            "root": str(self.root),
+            "artifacts": len(recs),
+            "ok": sum(1 for r in recs.values() if r.get("status") == "ok"),
+            "failed": sum(1 for r in recs.values() if r.get("status") == "failed"),
+        }
+        if spec is not None:
+            hashes = [j.job_hash for j in spec.expand()]
+            done = self.completed_hashes()
+            out.update(
+                campaign=spec.name,
+                spec_hash=spec.spec_hash,
+                total=len(hashes),
+                pending=sum(1 for h in hashes if h not in done),
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore({str(self.root)!r})"
+
+
+def _write_canonical(path: Path, obj: dict) -> None:
+    """Canonical (sorted, compact) JSON — byte-identical for equal
+    content."""
+    path.write_text(canonical_json(obj) + "\n", encoding="utf-8")
+
+
+# aggregate.py uses this; exported here so the store owns all file formats
+ArtifactStore.write_canonical = staticmethod(_write_canonical)

@@ -1,0 +1,75 @@
+"""Injectable campaign jobs for exercising the runner's failure paths.
+
+These live in the package (not under ``tests/``) because workers resolve
+jobs by dotted import path: a spawned/forked worker can always import
+``repro.campaigns.testing`` but has no guarantee the test tree is on its
+path.  They are also the documented way for downstream users to smoke
+their own campaign deployments (hang the pool, crash a worker, verify
+retry accounting) without writing throwaway modules.
+
+Every job follows the campaign convention ``fn(rng, metrics, **params)``
+and returns a JSON-able dict.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "ok_job",
+    "erroring_job",
+    "flaky_job",
+    "crashing_job",
+    "hanging_job",
+]
+
+
+def ok_job(rng=None, metrics=None, *, value=0, draws=4):
+    """Deterministic happy path: consume ``draws`` RNG values, count them."""
+    xs = rng.integers(0, 1000, size=draws) if draws else []
+    if metrics is not None:
+        metrics.inc("test_jobs", 1)
+        metrics.inc("test_draws", int(len(xs)))
+    return {"value": value, "draw_sum": int(sum(int(x) for x in xs))}
+
+
+def erroring_job(rng=None, metrics=None, *, value=0, fail_values=()):
+    """Raise (an ordinary exception) whenever ``value`` is listed."""
+    if value in tuple(fail_values):
+        raise ValueError(f"injected failure for value={value}")
+    return ok_job(rng=rng, metrics=metrics, value=value)
+
+
+def flaky_job(rng=None, metrics=None, *, value=0, fail_first=1, scratch_dir=None):
+    """Fail the first ``fail_first`` attempts, then succeed.
+
+    Cross-attempt state lives in ``scratch_dir`` (one counter file per
+    ``value``), which also gives tests an attempt count measured *inside*
+    the workers to check against the runner's accounting.
+    """
+    if scratch_dir is None:
+        raise ValueError("flaky_job needs scratch_dir")
+    marker = Path(scratch_dir) / f"attempts-{value}"
+    seen = int(marker.read_text()) if marker.exists() else 0
+    marker.write_text(str(seen + 1))
+    if seen < fail_first:
+        raise RuntimeError(f"injected flake {seen + 1}/{fail_first}")
+    return ok_job(rng=rng, metrics=metrics, value=value)
+
+
+def crashing_job(rng=None, metrics=None, *, value=0, crash_values=()):
+    """Kill the worker process outright (no exception, no cleanup) for
+    listed values — the BrokenProcessPool path."""
+    if value in tuple(crash_values):
+        os._exit(17)
+    return ok_job(rng=rng, metrics=metrics, value=value)
+
+
+def hanging_job(rng=None, metrics=None, *, value=0, hang_values=(), sleep=3600.0):
+    """Sleep far past any sane budget for listed values — the timeout-kill
+    path."""
+    if value in tuple(hang_values):
+        time.sleep(sleep)
+    return ok_job(rng=rng, metrics=metrics, value=value)

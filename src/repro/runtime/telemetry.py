@@ -38,6 +38,7 @@ import dataclasses
 import hashlib
 import json
 import platform
+import re
 from collections.abc import Mapping, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ __all__ = [
     "RunEndedEvent",
     "EventStream",
     "RunManifest",
+    "manifest_content_hash",
     "ReplayMismatchError",
     "replay",
     "capture_manifest",
@@ -190,6 +192,11 @@ _EVENT_TAGS = {
     "StepEvent": "step",
     "RunEndedEvent": "run_ended",
 }
+_TAG_CLASSES = {
+    "run_started": RunStartedEvent,
+    "step": StepEvent,
+    "run_ended": RunEndedEvent,
+}
 
 
 def _jsonable(x):
@@ -261,6 +268,42 @@ class EventStream:
         """Write the stream to ``path`` as JSON Lines."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "EventStream":
+        """Parse a :meth:`dumps` JSONL string back into typed events.
+
+        The inverse of :meth:`dumps` *at the JSONL level*: states and node
+        ids were projected to JSON when dumped (tuples became lists,
+        non-string dict keys became their ``repr``), so loaded events hold
+        that projection — but ``stream.loads(s).dumps() == s`` for any
+        dumped ``s``, which is what offline round-tripping needs.  Unknown
+        event tags raise ``ValueError`` (a stream is a typed log, not a
+        grab bag); unknown *fields* on known tags are dropped, so newer
+        streams load on older readers.
+        """
+        stream = cls()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {lineno} is not JSON: {exc}") from exc
+            tag = obj.pop("type", None)
+            event_cls = _TAG_CLASSES.get(tag)
+            if event_cls is None:
+                raise ValueError(f"line {lineno}: unknown event type {tag!r}")
+            names = {f.name for f in dataclasses.fields(event_cls)}
+            stream.emit(event_cls(**{k: v for k, v in obj.items() if k in names}))
+        return stream
+
+    @classmethod
+    def from_jsonl(cls, path) -> "EventStream":
+        """Load a stream previously written with :meth:`to_jsonl`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.loads(fh.read())
 
 
 # ----------------------------------------------------------------------
@@ -385,6 +428,31 @@ class ReplayMismatchError(AssertionError):
     """A replayed run diverged from its manifest's recorded outcome."""
 
 
+def _callable_name(fn) -> str:
+    """A process-independent name for a callable: ``module.qualname`` for
+    plain functions, a repr with any ``0x…`` address stripped otherwise
+    (lambdas and closures have no stable identity — their *qualname* is
+    still stable, their address is not)."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if module and qualname:
+        return f"{module}.{qualname}"
+    return re.sub(r" at 0x[0-9a-fA-F]+", "", repr(fn))
+
+
+def manifest_content_hash(manifest: "RunManifest") -> str:
+    """sha256 content hash of a manifest's serializable summary.
+
+    Deterministic across processes for spec-seeded runs: the JSON names
+    callables stably, RNG identity is entropy/spawn-key bookkeeping, and
+    topology/state enter as content fingerprints.  This is the hash the
+    campaign artifact store records next to each job, letting a finished
+    campaign cite — and :func:`replay`-verify — exactly which runs
+    produced its statistics.
+    """
+    return hashlib.sha256(manifest.to_json().encode("utf-8")).hexdigest()
+
+
 @dataclass
 class RunManifest:
     """Everything :func:`replay` needs to re-execute a :func:`run` call.
@@ -449,7 +517,12 @@ class RunManifest:
             ]
 
     def to_json(self) -> str:
-        """The serializable summary (live object references omitted)."""
+        """The serializable summary (live object references omitted).
+
+        Callables are named by module-qualified path rather than ``repr``
+        (which embeds a memory address), so the JSON — and therefore
+        :func:`manifest_content_hash` — is stable across processes.
+        """
         obj = {
             f.name: _jsonable(getattr(self, f.name))
             for f in dataclasses.fields(self)
@@ -457,7 +530,7 @@ class RunManifest:
         }
         obj["network"] = self.network
         if callable(self.until):
-            obj["until"] = repr(self.until)
+            obj["until"] = _callable_name(self.until)
         return json.dumps(obj, default=repr)
 
 

@@ -23,6 +23,8 @@ from repro.sensitivity.critical import (
 from repro.sensitivity.harness import (
     census_under_faults,
     shortest_paths_under_faults,
+    kernel_fault_sweep,
+    fault_sweep_job,
     bridges_under_faults,
     synchronizer_fault_comparison,
     FaultExperimentResult,
@@ -36,6 +38,8 @@ __all__ = [
     "max_criticality",
     "census_under_faults",
     "shortest_paths_under_faults",
+    "kernel_fault_sweep",
+    "fault_sweep_job",
     "bridges_under_faults",
     "synchronizer_fault_comparison",
     "FaultExperimentResult",

@@ -10,6 +10,7 @@ checks verify.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -35,6 +36,7 @@ __all__ = [
     "census_under_faults",
     "shortest_paths_under_faults",
     "kernel_fault_sweep",
+    "fault_sweep_job",
     "bridges_under_faults",
     "synchronizer_fault_comparison",
 ]
@@ -137,6 +139,11 @@ def shortest_paths_under_faults(
     )
 
 
+def _kernel_sweep_done(counts: Mapping) -> bool:
+    """Top-level (picklable) per-replica stop condition: ≤ 1 contender."""
+    return election_mod.kernel_remaining_count(counts) <= 1
+
+
 def kernel_fault_sweep(
     net: Network,
     fault_plan: FaultPlan,
@@ -158,6 +165,9 @@ def kernel_fault_sweep(
     plan; pass a copy to keep the original.  An optional ``metrics``
     registry is wired into the batched engine (steps, rng draws, fault
     events, quiescence-mask density).
+
+    This is the in-process API (live network + plan);
+    :func:`fault_sweep_job` is the same computation in campaign-job form.
     """
     gen = _gen(rng)
     # a fault_plan reused from an earlier sweep is auto-reset by the engine
@@ -172,13 +182,15 @@ def kernel_fault_sweep(
         fault_plan=fault_plan,
         metrics=metrics,
     )
-    done = lambda counts: election_mod.kernel_remaining_count(counts) <= 1
     try:
-        engine.run_until(done, max_steps=max_steps)
+        engine.run_until(_kernel_sweep_done, max_steps=max_steps)
         converged = np.ones(engine.replicas, dtype=bool)
     except RuntimeError:
         converged = np.fromiter(
-            (done(engine.replica_state_counts(r)) for r in range(engine.replicas)),
+            (
+                _kernel_sweep_done(engine.replica_state_counts(r))
+                for r in range(engine.replicas)
+            ),
             dtype=bool,
             count=engine.replicas,
         )
@@ -196,6 +208,55 @@ def kernel_fault_sweep(
             "live_nodes": int(engine.live_count),
         },
     )
+
+
+def fault_sweep_job(
+    rng=None,
+    metrics=None,
+    *,
+    family: str = "repro.network.generators.complete_graph",
+    n: int = 24,
+    replicas: int = 8,
+    num_faults: int = 4,
+    fault_window: int = 6,
+    fault_kinds: tuple = ("node", "edge"),
+    max_steps: int = 5_000,
+) -> dict:
+    """Campaign-job form of :func:`kernel_fault_sweep` (k-sensitivity
+    sweeps as sharded jobs).
+
+    Pure and picklable under the ``repro.campaigns`` convention: the
+    network comes from a dotted generator name + ``n`` and the fault plan
+    is drawn *inside* the job from the job's own RNG
+    (:func:`~repro.runtime.faults.random_fault_plan` over ``num_faults``
+    events in ``[0, fault_window]``), so the whole experiment — topology,
+    schedule, kernel trajectory — is a deterministic function of the job
+    spec.
+    """
+    from repro.campaigns.spec import resolve_dotted
+    from repro.runtime.faults import random_fault_plan
+
+    gen = _gen(rng)
+    net = resolve_dotted(family)(n)
+    plan = random_fault_plan(
+        net, num_faults, fault_window, rng=gen, kinds=tuple(fault_kinds)
+    )
+    res = kernel_fault_sweep(
+        net, plan, replicas=replicas, rng=gen, max_steps=max_steps,
+        metrics=metrics,
+    )
+    return {
+        "family": family,
+        "n": n,
+        "num_faults": num_faults,
+        "fault_window": fault_window,
+        "reasonably_correct": bool(res.reasonably_correct),
+        "faults_applied": int(res.faults_applied),
+        "replicas": int(res.detail["replicas"]),
+        "rounds": res.detail["rounds"],
+        "remaining": [int(r) for r in res.detail["remaining"]],
+        "live_nodes": int(res.detail["live_nodes"]),
+    }
 
 
 def bridges_under_faults(

@@ -134,3 +134,43 @@ class TestStability:
             for v, q in sim.state.items()
         }
         assert after == snapshot
+
+
+class TestPhaseStatisticsJob:
+    """Campaign-job form of the Claim 4.1 phase statistics."""
+
+    def test_matches_in_process_api(self):
+        import numpy as np
+
+        out = election.phase_statistics_job(
+            rng=np.random.default_rng(7), n=12, replicas=6, max_steps=2_000
+        )
+        stats = election.kernel_phase_statistics(
+            generators.complete_graph(12),
+            replicas=6,
+            rng=np.random.default_rng(7),
+            max_steps=2_000,
+        )
+        assert out["rounds"] == [int(r) for r in stats.rounds]
+        assert out["mean_rounds"] == stats.mean_rounds
+
+    def test_result_is_json_and_cites_manifest(self):
+        import json
+
+        out = election.phase_statistics_job(rng=3, n=8, replicas=4)
+        json.dumps(out)  # plain data, no numpy scalars
+        assert out["survivor_counts"] == [1] * 4
+        assert len(out["manifest_hash"]) == 64
+        # same spec, same hash (process-independent provenance)
+        again = election.phase_statistics_job(rng=3, n=8, replicas=4)
+        assert again == out
+
+    def test_is_picklable(self):
+        import pickle
+
+        fn = pickle.loads(pickle.dumps(election.phase_statistics_job))
+        assert fn is election.phase_statistics_job
+        assert (
+            pickle.loads(pickle.dumps(election.kernel_unique_survivor))
+            is election.kernel_unique_survivor
+        )

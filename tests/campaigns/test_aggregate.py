@@ -1,0 +1,96 @@
+"""Aggregation: counter conservation, summary determinism and ordering."""
+
+import json
+
+from repro.campaigns import CampaignSpec, run_campaign, summarize
+from repro.campaigns.aggregate import combined_metrics, write_summary
+from repro.campaigns.spec import content_hash
+
+
+def _records(*counter_dicts):
+    return {
+        f"h{i}": {
+            "job_hash": f"h{i}",
+            "status": "ok",
+            "metrics": {"counters": counters, "series": {"x": [float(i)]}},
+        }
+        for i, counters in enumerate(counter_dicts)
+    }
+
+
+class TestCombinedMetrics:
+    def test_counters_add(self):
+        merged = combined_metrics(
+            _records({"steps": 3, "draws": 10}, {"steps": 4}, {"draws": 1})
+        )
+        assert merged.counters == {"steps": 7, "draws": 11}
+
+    def test_series_concatenate_in_hash_order(self):
+        recs = _records({"a": 1}, {"a": 1}, {"a": 1})
+        merged = combined_metrics(recs)
+        assert merged.series["x"] == [0.0, 1.0, 2.0]
+        # insertion order of the dict must not matter
+        shuffled = {h: recs[h] for h in ["h2", "h0", "h1"]}
+        assert combined_metrics(shuffled).series["x"] == [0.0, 1.0, 2.0]
+
+    def test_non_ok_records_excluded(self):
+        recs = _records({"steps": 5})
+        recs["hbad"] = {"job_hash": "hbad", "status": "failed", "error": "x"}
+        assert combined_metrics(recs).counters == {"steps": 5}
+
+
+class TestSummary:
+    def _run(self, tmp_path, name):
+        spec = CampaignSpec(
+            name="agg",
+            job="repro.campaigns.testing.ok_job",
+            grid={"value": [0, 1], "draws": [2, 5]},
+            seeds=2,
+            entropy=7,
+        )
+        return spec, run_campaign(spec, tmp_path / name, workers=0)
+
+    def test_counters_conserved_across_jobs(self, tmp_path):
+        spec, res = self._run(tmp_path, "s")
+        summary = summarize(res.store, spec)
+        # test_draws counts rng draws per job: draws axis is [2, 5],
+        # 2 values x 2 seeds each -> (2+5) * 4 total
+        assert summary["metrics"]["counters"]["test_draws"] == (2 + 5) * 4
+        assert summary["metrics"]["counters"]["test_jobs"] == len(spec)
+
+    def test_artifacts_sorted_by_hash(self, tmp_path):
+        spec, res = self._run(tmp_path, "s")
+        hashes = [a["content_hash"] for a in summarize(res.store)["artifacts"]]
+        job_order = [a["job_hash"] for a in summarize(res.store)["artifacts"]]
+        assert job_order == sorted(job_order)
+        assert len(set(hashes)) == len(hashes)
+
+    def test_summary_content_hash_self_consistent(self, tmp_path):
+        spec, res = self._run(tmp_path, "s")
+        summary = summarize(res.store)
+        recorded = summary.pop("content_hash")
+        assert recorded == content_hash(summary)
+
+    def test_summary_excludes_volatile_fields(self, tmp_path):
+        spec, res = self._run(tmp_path, "s")
+        text = write_summary(res.store).read_text()
+        data = json.loads(text)
+        for artifact in data["artifacts"]:
+            assert "wall_time" not in artifact
+            assert "attempts" not in artifact
+            assert "worker" not in artifact
+
+    def test_summary_ignores_foreign_records(self, tmp_path):
+        """Records whose job hash is not in the spec's grid (e.g. from an
+        older grid) don't leak into the summary."""
+        spec, res = self._run(tmp_path, "s")
+        baseline = write_summary(res.store).read_bytes()
+        res.store.append(
+            {
+                "job_hash": "deadbeef",
+                "status": "ok",
+                "result": {"x": 1},
+                "metrics": {"counters": {"test_jobs": 99}, "series": {}},
+            }
+        )
+        assert write_summary(res.store).read_bytes() == baseline

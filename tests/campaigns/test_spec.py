@@ -1,0 +1,151 @@
+"""CampaignSpec / JobSpec: grid expansion, hashing, seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns.spec import (
+    CampaignSpec,
+    JobSpec,
+    canonical_json,
+    content_hash,
+    resolve_dotted,
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        name="t",
+        job="repro.campaigns.testing.ok_job",
+        grid={"value": [1, 2, 3]},
+        seeds=2,
+        entropy=99,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestResolveDotted:
+    def test_resolves_function(self):
+        from repro.campaigns.testing import ok_job
+
+        assert resolve_dotted("repro.campaigns.testing.ok_job") is ok_job
+
+    def test_resolves_nested_attribute(self):
+        fn = resolve_dotted("repro.campaigns.spec.CampaignSpec.from_json")
+        assert callable(fn)
+
+    def test_bad_module(self):
+        with pytest.raises(ValueError):
+            resolve_dotted("no.such.module.attr")
+
+    def test_bad_attribute(self):
+        with pytest.raises(ValueError):
+            resolve_dotted("repro.campaigns.testing.nope")
+
+    def test_undotted(self):
+        with pytest.raises(ValueError):
+            resolve_dotted("ok_job")
+
+
+class TestExpansion:
+    def test_grid_times_seeds(self):
+        spec = _spec()
+        jobs = spec.expand()
+        assert len(jobs) == len(spec) == 6
+        assert [j.index for j in jobs] == list(range(6))
+
+    def test_deterministic_order(self):
+        a = [j.job_hash for j in _spec().expand()]
+        b = [j.job_hash for j in _spec().expand()]
+        assert a == b
+
+    def test_axes_sorted_not_insertion_ordered(self):
+        s1 = _spec(grid={"a": [1, 2], "b": [10]})
+        s2 = _spec(grid={"b": [10], "a": [1, 2]})
+        assert [j.params for j in s1.expand()] == [j.params for j in s2.expand()]
+        assert s1.spec_hash == s2.spec_hash
+
+    def test_fixed_params_merged(self):
+        spec = _spec(fixed={"draws": 7})
+        assert all(j.params["draws"] == 7 for j in spec.expand())
+
+    def test_grid_point_wins_over_fixed(self):
+        spec = _spec(fixed={"value": 0})
+        assert sorted(j.params["value"] for j in spec.expand()) == [1, 1, 2, 2, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _spec(seeds=0)
+        with pytest.raises(ValueError):
+            _spec(retries=-1)
+        with pytest.raises(TypeError):
+            _spec(grid={"value": 3})
+
+
+class TestHashing:
+    def test_job_hashes_unique(self):
+        hashes = [j.job_hash for j in _spec().expand()]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_hash_depends_on_entropy(self):
+        a = _spec(entropy=1).expand()[0].job_hash
+        b = _spec(entropy=2).expand()[0].job_hash
+        assert a != b
+
+    def test_hash_ignores_execution_policy(self):
+        assert (
+            _spec(timeout=1.0, retries=0).spec_hash
+            == _spec(timeout=99.0, retries=5).spec_hash
+        )
+
+    def test_canonical_json_sorted(self):
+        assert canonical_json({"b": 1, "a": [2, {"z": 0, "y": 1}]}) == (
+            '{"a":[2,{"y":1,"z":0}],"b":1}'
+        )
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+
+class TestSeeds:
+    def test_rng_is_pure_function_of_spec(self):
+        job = _spec().expand()[3]
+        x = JobSpec.from_payload(job.payload()).make_rng().integers(0, 1 << 30, 8)
+        y = job.make_rng().integers(0, 1 << 30, 8)
+        assert (x == y).all()
+
+    def test_streams_differ_across_jobs_and_seeds(self):
+        jobs = _spec().expand()
+        draws = {tuple(j.make_rng().integers(0, 1 << 30, 4)) for j in jobs}
+        assert len(draws) == len(jobs)
+
+    def test_spawn_key_is_index(self):
+        job = _spec().expand()[4]
+        ss = job.seed_sequence()
+        assert ss.entropy == 99 and tuple(ss.spawn_key) == (4,)
+        direct = np.random.default_rng(
+            np.random.SeedSequence(entropy=99, spawn_key=(4,))
+        )
+        assert direct.integers(1 << 20) == job.make_rng().integers(1 << 20)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        spec = _spec(fixed={"draws": 2}, timeout=5.0, retries=1, backoff=0.2)
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash == spec.spec_hash
+
+    def test_tampered_hash_rejected(self):
+        data = _spec().to_dict()
+        data["grid"] = {"value": [9]}
+        with pytest.raises(ValueError, match="spec_hash mismatch"):
+            CampaignSpec.from_dict(data)
+
+    def test_payload_round_trip(self):
+        job = _spec().expand()[1]
+        assert JobSpec.from_payload(job.payload()) == job
+        assert JobSpec.from_payload(job.payload()).job_hash == job.job_hash
+
+    def test_resolve_job(self):
+        assert callable(_spec().resolve_job())
+        with pytest.raises(ValueError):
+            _spec(job="repro.no_such_module.fn").resolve_job()

@@ -1,0 +1,125 @@
+"""ArtifactStore: append-only JSONL, content addressing, torn-line
+tolerance, spec binding."""
+
+import json
+
+import pytest
+
+from repro.campaigns.spec import CampaignSpec, content_hash
+from repro.campaigns.store import (
+    ArtifactStore,
+    StoreMismatchError,
+    deterministic_view,
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        name="t", job="repro.campaigns.testing.ok_job", grid={"value": [1]}
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def _ok_record(h="h1", **extra):
+    rec = {
+        "job_hash": h,
+        "status": "ok",
+        "result": {"x": 1},
+        "metrics": {"counters": {"steps": 3}, "series": {}},
+        "wall_time": 0.5,
+        "attempts": 2,
+        "worker": 1234,
+    }
+    rec.update(extra)
+    return rec
+
+
+class TestAppendAndRead:
+    def test_append_seals_content_hash(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        sealed = store.append(_ok_record())
+        assert sealed["content_hash"] == content_hash(deterministic_view(sealed))
+        [rec] = store.iter_records()
+        assert rec == sealed
+
+    def test_needs_job_hash(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path).append({"status": "ok"})
+
+    def test_latest_record_wins(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append({"job_hash": "h", "status": "failed", "error": "x"})
+        store.append(_ok_record("h"))
+        assert store.records()["h"]["status"] == "ok"
+        assert store.completed_hashes() == {"h"}
+
+    def test_ok_never_displaced_by_failure(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(_ok_record("h"))
+        store.append({"job_hash": "h", "status": "failed", "error": "later"})
+        assert store.records()["h"]["status"] == "ok"
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.append(_ok_record("h1"))
+        with open(store.artifacts_path, "a") as fh:
+            fh.write('{"job_hash": "h2", "status": "o')  # killed mid-write
+        assert set(store.records()) == {"h1"}
+
+    def test_content_hash_ignores_volatile_fields(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        a = store.append(_ok_record("h1", wall_time=0.1, attempts=1, worker=1))
+        b = store.append(_ok_record("h1", wall_time=9.9, attempts=3, worker=42))
+        assert a["content_hash"] == b["content_hash"]
+
+    def test_deterministic_view_strips_cache_counters_and_time_series(self):
+        view = deterministic_view(
+            _ok_record(
+                metrics={
+                    "counters": {"steps": 3, "lowering_cache_hits": 7,
+                                 "lowering_cache_misses": 1},
+                    "series": {"active_fraction": [1.0], "run_wall_time": [0.2]},
+                }
+            )
+        )
+        assert view["metrics"]["counters"] == {"steps": 3}
+        assert view["metrics"]["series"] == {"active_fraction": [1.0]}
+        assert "wall_time" not in view and "attempts" not in view
+
+    def test_verify_detects_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        sealed = store.append(_ok_record("h1"))
+        assert store.verify() == []
+        tampered = dict(sealed, result={"x": 999})
+        with open(store.artifacts_path, "w") as fh:
+            fh.write(json.dumps(tampered) + "\n")
+        assert store.verify() == ["h1"]
+
+
+class TestSpecBinding:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load_spec() is None
+        spec = _spec()
+        store.write_spec(spec)
+        assert store.load_spec() == spec
+        store.write_spec(spec)  # idempotent
+
+    def test_mismatched_spec_refused(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write_spec(_spec())
+        with pytest.raises(StoreMismatchError):
+            store.write_spec(_spec(grid={"value": [1, 2]}))
+
+    def test_status(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        spec = _spec(grid={"value": [1, 2, 3]})
+        store.write_spec(spec)
+        jobs = spec.expand()
+        store.append(_ok_record(jobs[0].job_hash))
+        store.append({"job_hash": jobs[1].job_hash, "status": "failed",
+                      "error": "x"})
+        st = store.status()
+        assert st["total"] == 3 and st["ok"] == 1
+        assert st["failed"] == 1 and st["pending"] == 2

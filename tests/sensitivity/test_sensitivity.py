@@ -128,3 +128,39 @@ class TestSynchronizerComparison:
         assert not res["beta_broken"]
         assert res["beta_rounds_completed"] == 15
         assert res["alpha_min_clock"] == 15
+
+
+class TestFaultSweepJob:
+    """Campaign-job form of the kernel fault sweep (E14 sharding)."""
+
+    def test_deterministic_in_rng(self):
+        from repro.sensitivity import fault_sweep_job
+
+        a = fault_sweep_job(rng=11, n=10, replicas=3, num_faults=2)
+        b = fault_sweep_job(rng=11, n=10, replicas=3, num_faults=2)
+        assert a == b
+        c = fault_sweep_job(rng=12, n=10, replicas=3, num_faults=2)
+        assert c != a  # the fault plan is drawn from the job's own RNG
+
+    def test_result_shape(self):
+        import json
+
+        from repro.sensitivity import fault_sweep_job
+
+        out = fault_sweep_job(rng=5, n=10, replicas=3, num_faults=2)
+        json.dumps(out)
+        assert out["reasonably_correct"] is True
+        assert out["faults_applied"] <= 2
+        assert len(out["rounds"]) == 3
+        assert out["live_nodes"] <= 10
+
+    def test_is_picklable(self):
+        import pickle
+
+        from repro.sensitivity import fault_sweep_job
+        from repro.sensitivity.harness import _kernel_sweep_done
+
+        assert pickle.loads(pickle.dumps(fault_sweep_job)) is fault_sweep_job
+        assert (
+            pickle.loads(pickle.dumps(_kernel_sweep_done)) is _kernel_sweep_done
+        )

@@ -43,3 +43,120 @@ def test_help():
 def test_unknown_demo():
     result = _run("frobnicate")
     assert result.returncode == 1
+
+
+def test_seed_flag_reseeds_demo():
+    a = _run("election", "6", "--seed", "4")
+    b = _run("election", "6", "--seed=4")
+    assert a.returncode == b.returncode == 0
+    assert "leader" in a.stdout
+    assert a.stdout == b.stdout  # both spellings hit the same RNG
+
+
+def test_seed_flag_missing_value():
+    result = _run("census", "--seed")
+    assert result.returncode == 1
+    assert "--seed" in result.stderr
+
+
+# ----------------------------------------------------------------------
+# campaign subcommand (in-process: fast, and exit codes stay observable)
+# ----------------------------------------------------------------------
+import json  # noqa: E402
+
+from repro.__main__ import main  # noqa: E402
+from repro.campaigns import CampaignSpec  # noqa: E402
+
+
+def _spec_file(tmp_path, **overrides):
+    base = dict(
+        name="cli-test",
+        job="repro.campaigns.testing.ok_job",
+        grid={"value": [0, 1]},
+        seeds=2,
+        entropy=3,
+        retries=0,
+    )
+    base.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(CampaignSpec(**base).to_json())
+    return path
+
+
+class TestCampaignCLI:
+    def test_presets_listed(self, capsys):
+        assert main(["campaign", "presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "election-phases", "fault-sweep"):
+            assert name in out
+
+    def test_run_status_resume(self, tmp_path, capsys):
+        spec = _spec_file(tmp_path)
+        store = tmp_path / "store"
+        assert main(
+            ["campaign", "run", "--spec", str(spec), "--store", str(store),
+             "--jobs", "0"]
+        ) == 0
+        assert (store / "summary.json").exists()
+        capsys.readouterr()
+
+        assert main(["campaign", "status", "--store", str(store)]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["ok"] == 4 and status["pending"] == 0
+
+        assert main(
+            ["campaign", "resume", "--store", str(store), "--jobs", "0"]
+        ) == 0
+        assert "4 already done" in capsys.readouterr().out
+
+    def test_failed_jobs_exit_code_2(self, tmp_path, capsys):
+        spec = _spec_file(
+            tmp_path,
+            job="repro.campaigns.testing.erroring_job",
+            fixed={"fail_values": [1]},
+            seeds=1,
+        )
+        code = main(
+            ["campaign", "run", "--spec", str(spec),
+             "--store", str(tmp_path / "store"), "--jobs", "0", "--quiet"]
+        )
+        assert code == 2
+        assert "failed after retries" in capsys.readouterr().err
+
+    def test_usage_errors_exit_code_1(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--store", str(tmp_path / "no")]) == 1
+        assert main(["campaign", "resume", "--store", str(tmp_path / "no")]) == 1
+        assert main(
+            ["campaign", "run", "--preset", "nope",
+             "--store", str(tmp_path / "s")]
+        ) == 1
+        assert main(
+            ["campaign", "run", "--spec", str(tmp_path / "missing.json"),
+             "--store", str(tmp_path / "s")]
+        ) == 1
+        capsys.readouterr()
+
+    def test_mismatched_store_exit_code_1(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["campaign", "run", "--spec", str(_spec_file(tmp_path)),
+             "--store", str(store), "--jobs", "0", "--quiet"]
+        ) == 0
+        other = _spec_file(tmp_path, grid={"value": [5, 6, 7]})
+        assert main(
+            ["campaign", "run", "--spec", str(other), "--store", str(store),
+             "--jobs", "0", "--quiet"]
+        ) == 1
+        assert "refusing" in capsys.readouterr().err
+
+    def test_smoke_preset_with_workers(self, tmp_path, capsys):
+        # the CI smoke campaign: tiny grid, 2 workers, real process pool
+        store = tmp_path / "store"
+        assert main(
+            ["campaign", "run", "--preset", "smoke", "--store", str(store),
+             "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out and "summary:" in out
+        summary = json.loads((store / "summary.json").read_text())
+        assert summary["jobs"]["ok"] == 4
