@@ -36,11 +36,18 @@ from repro.core import (
     ModThreshProgram,
     Multiset,
 )
-from repro.network import Network, NetworkState
+from repro.network import (
+    AutomorphismGroup,
+    Network,
+    NetworkState,
+    SymmetryError,
+    detect_symmetry,
+)
 from repro.runtime import (
     SynchronousSimulator,
     AsynchronousSimulator,
     FaultPlan,
+    QuotientSynchronousEngine,
     MetricsObserver,
     MetricsRegistry,
     ReplayMismatchError,
@@ -64,6 +71,10 @@ __all__ = [
     "Multiset",
     "Network",
     "NetworkState",
+    "AutomorphismGroup",
+    "SymmetryError",
+    "detect_symmetry",
+    "QuotientSynchronousEngine",
     "SynchronousSimulator",
     "AsynchronousSimulator",
     "FaultPlan",

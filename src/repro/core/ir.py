@@ -68,6 +68,7 @@ __all__ = [
     "CompiledAutomaton",
     "CompiledProgram",
     "LoweringError",
+    "QuotientLoweringError",
     "lower",
     "lowering_cache_info",
     "clear_lowering_cache",
@@ -91,6 +92,22 @@ class LoweringError(TypeError):
     actual blocking capability (no compile hints, untraced queries,
     non-enumerable alphabet, class-table blowup, …).
     """
+
+
+class QuotientLoweringError(LoweringError):
+    """The run cannot take the symmetry-quotient execution path.
+
+    Raised when a quotient lowering is requested (``engine="quotient"``)
+    but a precondition fails; ``blocker`` is a stable machine-readable tag
+    (``"no-group"``, ``"stale-group"``, ``"init-not-orbit-constant"``,
+    ``"fault-plan"``, ``"replicas"``, …) naming the *actual* obstruction,
+    and the message spells it out.  ``engine="auto"`` catches these and
+    falls back to a full-graph engine instead of surfacing them.
+    """
+
+    def __init__(self, message: str, *, blocker: str) -> None:
+        super().__init__(message)
+        self.blocker = blocker
 
 
 class CompiledProgram:

@@ -10,5 +10,22 @@ from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.network import generators
 from repro.network import properties
+from repro.network import symmetry
+from repro.network.symmetry import (
+    AutomorphismGroup,
+    OrbitPartition,
+    SymmetryError,
+    detect_symmetry,
+)
 
-__all__ = ["Network", "NetworkState", "generators", "properties"]
+__all__ = [
+    "Network",
+    "NetworkState",
+    "generators",
+    "properties",
+    "symmetry",
+    "AutomorphismGroup",
+    "OrbitPartition",
+    "SymmetryError",
+    "detect_symmetry",
+]

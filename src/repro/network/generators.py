@@ -17,6 +17,7 @@ from repro.network.graph import Network
 __all__ = [
     "path_graph",
     "cycle_graph",
+    "circulant_graph",
     "complete_graph",
     "star_graph",
     "wheel_graph",
@@ -59,6 +60,28 @@ def cycle_graph(n: int) -> Network:
         raise ValueError("cycle_graph requires n >= 3")
     g = path_graph(n)
     g.add_edge(n - 1, 0)
+    return g
+
+
+def circulant_graph(n: int, offsets) -> Network:
+    """The circulant C_n(offsets): node i joined to i ± d for each offset d.
+
+    Circulants are vertex-transitive — the rotation ``i → i + 1 (mod n)``
+    is an automorphism whatever the offsets — which makes them the natural
+    multi-degree family for symmetry-quotient tests
+    (``C_n((1,))`` is the cycle, ``C_n(range(1, n//2 + 1))`` is K_n).
+    """
+    if n < 3:
+        raise ValueError("circulant_graph requires n >= 3")
+    offs = sorted({int(d) % n for d in offsets} - {0})
+    if not offs:
+        raise ValueError("circulant_graph needs at least one nonzero offset")
+    g = Network(nodes=range(n))
+    for i in range(n):
+        for d in offs:
+            j = (i + d) % n
+            if i != j and not g.has_edge(i, j):
+                g.add_edge(i, j)
     return g
 
 

@@ -65,6 +65,11 @@ class Network:
         #: CSR exports actually built (cache misses) — telemetry reads the
         #: delta across a run to report export-cache effectiveness
         self.csr_rebuilds = 0
+        self._symmetry = None
+        self._orbit_cache = None
+        #: orbit partitions actually computed (cache misses), mirroring
+        #: :attr:`csr_rebuilds` for the symmetry layer
+        self.orbit_rebuilds = 0
         if nodes is not None:
             for v in nodes:
                 self.add_node(v)
@@ -80,6 +85,7 @@ class Network:
         if v not in self._adj:
             self._adj[v] = set()
             self._csr_cache = None
+            self._orbit_cache = None
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
@@ -92,6 +98,7 @@ class Network:
             self._adj[v].add(u)
             self._num_edges += 1
             self._csr_cache = None
+            self._orbit_cache = None
 
     # ------------------------------------------------------------------
     # faults (deletions)
@@ -104,6 +111,7 @@ class Network:
         self._adj[v].discard(u)
         self._num_edges -= 1
         self._csr_cache = None
+        self._orbit_cache = None
 
     def remove_node(self, v: Node) -> None:
         """Delete node ``v`` and all incident edges (a node fault)."""
@@ -113,6 +121,7 @@ class Network:
             self.remove_edge(u, v)
         del self._adj[v]
         self._csr_cache = None
+        self._orbit_cache = None
 
     # ------------------------------------------------------------------
     # queries
@@ -229,12 +238,56 @@ class Network:
         return max(self.eccentricity(v) for v in self._adj)
 
     # ------------------------------------------------------------------
+    # symmetry
+    # ------------------------------------------------------------------
+    def declare_symmetry(self, group) -> None:
+        """Attach an :class:`~repro.network.symmetry.AutomorphismGroup`.
+
+        Every generator is verified against the current topology
+        (:class:`~repro.network.symmetry.SymmetryError` on failure) before
+        the declaration sticks.  The declaration is *not* revoked by later
+        mutations — consumers such as the quotient engine re-verify at
+        lowering time and report a stale group as their blocker — but the
+        cached orbit partition is invalidated exactly like the CSR cache.
+        Pass ``None`` to clear the declaration.
+        """
+        if group is not None:
+            group.verify(self)
+        self._symmetry = group
+        self._orbit_cache = None
+
+    @property
+    def symmetry(self):
+        """The declared automorphism group, or ``None``."""
+        return self._symmetry
+
+    def orbit_partition(self):
+        """The cached orbit partition under the declared group.
+
+        Raises :class:`ValueError` when no group is declared.  The result
+        is invalidated by every node/edge mutation (and by re-declaring),
+        mirroring :meth:`to_csr`; :attr:`orbit_rebuilds` counts actual
+        recomputations.
+        """
+        if self._symmetry is None:
+            raise ValueError(
+                "no automorphism group declared; call declare_symmetry() first"
+            )
+        if self._orbit_cache is None:
+            from repro.network.symmetry import orbit_partition
+
+            self._orbit_cache = orbit_partition(self, self._symmetry)
+            self.orbit_rebuilds += 1
+        return self._orbit_cache
+
+    # ------------------------------------------------------------------
     # derivation
     # ------------------------------------------------------------------
     def copy(self) -> "Network":
         g = Network()
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         g._num_edges = self._num_edges
+        g._symmetry = self._symmetry
         return g
 
     def subgraph(self, nodes: Iterable[Node]) -> "Network":

@@ -11,6 +11,9 @@
 * :mod:`repro.runtime.batched` — R independent replicas of one automaton
   evolved in a single stacked computation per step, with spawned
   per-replica RNG streams and per-replica quiescence masks.
+* :mod:`repro.runtime.quotient` — the symmetry-quotient engine: one
+  simulated representative per automorphism orbit, lifted back to full
+  states, at n/k cost on networks with a declared group.
 * :mod:`repro.runtime.trace` — execution traces for replay and assertions.
 * :mod:`repro.runtime.telemetry` — metrics registry, the typed event
   stream every trace/observer is a view over, and run manifests with
@@ -54,6 +57,7 @@ from repro.runtime.telemetry import (
     StepEvent,
     replay,
 )
+from repro.runtime.quotient import OrbitBroadcastRng, QuotientSynchronousEngine
 from repro.runtime.trace import Trace
 from repro.runtime.vectorized import VectorizedSynchronousEngine
 
@@ -79,6 +83,8 @@ __all__ = [
     "MessagePassingAlgorithm",
     "Trace",
     "VectorizedSynchronousEngine",
+    "QuotientSynchronousEngine",
+    "OrbitBroadcastRng",
     "EventStream",
     "MetricsRegistry",
     "StepEvent",

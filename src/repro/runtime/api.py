@@ -22,6 +22,20 @@ the shared compiler IR (:mod:`repro.core.ir`), not isinstance checks:
   neighbourhood queries, non-enumerable alphabets — see
   ``docs/model.md`` for the genuine-fallback list) run on the reference
   :class:`~repro.runtime.simulator.SynchronousSimulator`;
+* a **deterministic** lowerable automaton on a network with a declared
+  automorphism group (:meth:`~repro.network.graph.Network.declare_symmetry`),
+  an orbit-constant initial state and no fault plan goes to the
+  :class:`~repro.runtime.quotient.QuotientSynchronousEngine`, which
+  simulates one representative per orbit and lifts the trajectory back to
+  full-state views — bitwise identical results at n/k cost.  Any broken
+  precondition (fault plan, non-orbit-constant init, missing or stale
+  group) falls back to the full-graph path;
+  :func:`~repro.runtime.api._quotient_blocker` names the actual blocker,
+  and ``engine="quotient"`` surfaces it as a structured
+  :class:`~repro.core.ir.QuotientLoweringError`.  Probabilistic automata
+  are *never* auto-quotiented (the shared per-orbit draw convention is a
+  different stochastic process — symmetry can never break); request
+  ``engine="quotient"`` to opt in;
 * ``engine="reference"`` forces the reference interpreter everywhere (the
   conformance escape hatch): for a shared seed the reference and
   vectorized paths produce bitwise-identical trajectories, probabilistic
@@ -54,11 +68,18 @@ from typing import Callable, Optional, Protocol, Union
 import numpy as np
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
-from repro.core.ir import LoweringError, lower, lowering_cache_info
+from repro.core.ir import (
+    LoweringError,
+    QuotientLoweringError,
+    lower,
+    lowering_cache_info,
+)
 from repro.network.graph import Network
 from repro.network.state import NetworkState
+from repro.network.symmetry import SymmetryError
 from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultPlan
+from repro.runtime.quotient import QuotientSynchronousEngine
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.telemetry import (
     EventStream,
@@ -85,7 +106,7 @@ __all__ = [
 Automaton = Union[FSSGA, ProbabilisticFSSGA, Mapping]
 Until = Union[int, str, Callable[[NetworkState], bool]]
 
-ENGINES = ("auto", "reference", "vectorized", "batched")
+ENGINES = ("auto", "reference", "vectorized", "batched", "quotient")
 
 
 class Engine(Protocol):
@@ -272,21 +293,127 @@ def supports_vectorized(
     return _negotiate(automaton, randomness)[0]
 
 
+def _quotient_blocker(
+    automaton: Automaton,
+    net: Optional[Network],
+    init,
+    replicas: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    randomness: Optional[int],
+    *,
+    allow_probabilistic: bool,
+) -> Optional[tuple[str, str]]:
+    """Why this run cannot take the quotient path, or ``None`` if it can.
+
+    Returns ``(blocker_tag, message)`` naming the *actual* obstruction —
+    the same preconditions
+    :class:`~repro.runtime.quotient.QuotientSynchronousEngine` re-checks
+    at construction.  ``allow_probabilistic=False`` additionally blocks
+    probabilistic automata: the quotient's shared per-orbit draws are a
+    different stochastic process from the full-graph engines'
+    one-draw-per-node convention (symmetry can never break), so ``auto``
+    never switches a probabilistic run's semantics silently; opting in via
+    ``engine="quotient"`` is explicit.
+    """
+    lowerable, reason = _negotiate(automaton, randomness)
+    if not lowerable:
+        return (
+            "not-lowerable",
+            f"the automaton does not lower to the engine IR: {reason}",
+        )
+    if replicas is not None:
+        return (
+            "replicas",
+            f"replicas={replicas} needs the batched engine; the quotient "
+            f"path is single-replica",
+        )
+    if fault_plan is not None and len(fault_plan) > 0:
+        return (
+            "fault-plan",
+            "fault plans break symmetry: a deletion distinguishes the "
+            "faulted node's orbit members",
+        )
+    if net is None or net.symmetry is None:
+        return (
+            "no-group",
+            "network declares no automorphism group; call "
+            "net.declare_symmetry(...) to enable the quotient path",
+        )
+    if lower(automaton, randomness).probabilistic and not allow_probabilistic:
+        return (
+            "probabilistic",
+            "shared per-orbit draws change the stochastic process (symmetry "
+            "can never break), so auto keeps probabilistic runs on a "
+            "full-graph engine; request engine='quotient' to opt in",
+        )
+    try:
+        net.symmetry.verify(net)
+    except SymmetryError as exc:
+        return (
+            "stale-group",
+            f"declared automorphism group is stale for the current "
+            f"topology: {exc}",
+        )
+    if not isinstance(init, Mapping):
+        return (
+            "init-form",
+            f"quotient runs need a single NetworkState init, got "
+            f"{type(init).__name__}",
+        )
+    part = net.orbit_partition()
+    for v in net:
+        rep = part.reps[part.orbit_of[v]]
+        if init[v] != init[rep]:
+            return (
+                "init-not-orbit-constant",
+                f"initial state is not orbit-constant: node {v!r} has state "
+                f"{init[v]!r} but its orbit representative {rep!r} has "
+                f"{init[rep]!r}",
+            )
+    return None
+
+
 def _select_engine(
     engine: str,
     automaton: Automaton,
     replicas: Optional[int],
     fault_plan: Optional[FaultPlan],
     randomness: Optional[int] = None,
+    net: Optional[Network] = None,
+    init=None,
 ) -> str:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     lowerable, reason = _negotiate(automaton, randomness)
-    if engine == "auto":
-        if lowerable:
-            chosen = "batched" if replicas is not None else "vectorized"
-        else:
+    if engine == "quotient":
+        blocked = _quotient_blocker(
+            automaton, net, init, replicas, fault_plan, randomness,
+            allow_probabilistic=True,
+        )
+        if blocked is not None:
+            tag, msg = blocked
+            raise QuotientLoweringError(
+                f"engine 'quotient' cannot execute this run: {msg}",
+                blocker=tag,
+            )
+        chosen = "quotient"
+    elif engine == "auto":
+        if not lowerable:
             chosen = "reference"
+        elif replicas is not None:
+            chosen = "batched"
+        elif (
+            net is not None
+            and net.symmetry is not None
+            and _quotient_blocker(
+                automaton, net, init, replicas, fault_plan, randomness,
+                allow_probabilistic=False,
+            )
+            is None
+        ):
+            chosen = "quotient"
+        else:
+            chosen = "vectorized"
     else:
         chosen = engine
     if chosen in ("vectorized", "batched") and not lowerable:
@@ -434,6 +561,49 @@ def _run_vectorized(
     return eng.state, steps, converged, draws[0], change_counts, None, None
 
 
+def _run_quotient(
+    automaton, net, init, until, max_steps, randomness, rng, fault_plan,
+    observers, metrics,
+):
+    eng = QuotientSynchronousEngine(
+        net, automaton, init, randomness=randomness, rng=rng,
+        fault_plan=fault_plan, metrics=metrics,
+    )
+    part = eng.partition
+    sizes = np.asarray(part.sizes, dtype=np.int64)
+    members: Optional[list[list]] = None
+    if observers:
+        members = [[] for _ in part.reps]
+        for v, j in part.orbit_of.items():
+            members[j].append(v)
+    draws = [0]
+    change_counts: list[int] = []
+
+    def step_once() -> bool:
+        old = eng._sigma  # step() replaces the array; this snapshot stays valid
+        changed = eng.step()
+        if eng._probabilistic:
+            draws[0] += eng.orbit_count  # one shared draw per orbit
+        diff = np.flatnonzero(eng._sigma != old)
+        # lifted change count: every member of a changed orbit changed, so
+        # this equals the full-graph engines' per-step counts exactly
+        change_counts.append(int(sizes[diff].sum()))
+        if observers:
+            changes = {}
+            for i in diff:
+                pair = (eng.alphabet[old[i]], eng.alphabet[eng._sigma[i]])
+                for v in members[i]:
+                    changes[v] = pair
+            for ob in observers:
+                ob.on_step(eng.time - 1, changes, eng.last_faults)
+        return changed
+
+    steps, converged = _drive(
+        step_once, lambda: eng.state, lambda: True, until, max_steps
+    )
+    return eng.state, steps, converged, draws[0], change_counts, None, None
+
+
 def _run_batched(
     automaton, net, init, until, max_steps, replicas, randomness, rng,
     fault_plan, observers, metrics,
@@ -545,7 +715,11 @@ def run(
         ``randomness``).
     engine:
         ``"auto"`` (default — fastest applicable), ``"reference"``,
-        ``"vectorized"``, or ``"batched"`` (requires ``replicas``).
+        ``"vectorized"``, ``"batched"`` (requires ``replicas``), or
+        ``"quotient"`` (requires a declared automorphism group and an
+        orbit-constant init; raises
+        :class:`~repro.core.ir.QuotientLoweringError` naming the blocker
+        otherwise).
     until:
         Termination: an int (fixed steps), ``"stable"`` (fixed point), or
         a ``NetworkState -> bool`` predicate.  See the module docstring for
@@ -571,7 +745,9 @@ def run(
     observers = tuple(observers)
     cache_before = lowering_cache_info() if metrics is not None else None
     csr_before = net.csr_rebuilds if metrics is not None else 0
-    chosen = _select_engine(engine, automaton, replicas, fault_plan, randomness)
+    chosen = _select_engine(
+        engine, automaton, replicas, fault_plan, randomness, net, init
+    )
     # captured before the engine consumes rng or faults mutate net — both
     # are snapshotted by value inside the manifest
     manifest = capture_manifest(
@@ -591,6 +767,11 @@ def run(
         )
     elif chosen == "vectorized":
         out = _run_vectorized(
+            automaton, net, init, until, max_steps, randomness, rng, fault_plan,
+            observers, metrics,
+        )
+    elif chosen == "quotient":
+        out = _run_quotient(
             automaton, net, init, until, max_steps, randomness, rng, fault_plan,
             observers, metrics,
         )

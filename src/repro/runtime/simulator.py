@@ -21,7 +21,7 @@ from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 from repro.runtime.faults import FaultPlan
 from repro.runtime.scheduler import RandomScheduler, Scheduler
-from repro.runtime.telemetry import MetricsRegistry
+from repro.runtime.telemetry import MetricsRegistry, coerce_rng
 from repro.runtime.trace import Trace
 
 Automaton = Union[FSSGA, ProbabilisticFSSGA]
@@ -46,7 +46,7 @@ class _BaseSimulator:
         self.net = net
         self.automaton = automaton
         self.state = init.copy()
-        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.rng = coerce_rng(rng)
         if fault_plan is not None and fault_plan.consumed:
             fault_plan.reset()  # a reused plan re-applies its full schedule
         self.fault_plan = fault_plan

@@ -49,6 +49,7 @@ import numpy as np
 
 __all__ = [
     "MetricsRegistry",
+    "coerce_rng",
     "RunStartedEvent",
     "StepEvent",
     "RunEndedEvent",
@@ -62,6 +63,28 @@ __all__ = [
     "network_fingerprint",
     "library_versions",
 ]
+
+
+# ----------------------------------------------------------------------
+# RNG coercion
+# ----------------------------------------------------------------------
+def coerce_rng(rng) -> Any:
+    """Coerce an engine's ``rng`` argument to something with ``integers``.
+
+    Seeds (ints, ``None``, ``SeedSequence``…) become a fresh
+    ``np.random.Generator``; real Generators pass through; so does any
+    duck-typed draw source exposing ``integers`` — e.g.
+    :class:`~repro.runtime.quotient.OrbitBroadcastRng`, which lets the
+    full-graph engines consume the quotient engine's shared per-orbit draw
+    convention for bitwise cross-engine conformance.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    if hasattr(rng, "integers"):
+        return rng
+    return np.random.default_rng(rng)
 
 
 # ----------------------------------------------------------------------

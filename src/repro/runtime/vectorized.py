@@ -59,7 +59,7 @@ from repro.core.modthresh import (
 from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.runtime.faults import FaultPlan
-from repro.runtime.telemetry import MetricsRegistry
+from repro.runtime.telemetry import MetricsRegistry, coerce_rng
 
 __all__ = ["VectorizedSynchronousEngine"]
 
@@ -344,7 +344,7 @@ class VectorizedSynchronousEngine:
         self._net = net
         self.adjacency, self._order = net.to_csr()
         self._n = len(self._order)
-        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.rng = coerce_rng(rng)
         self.time = 0
 
         sigma = np.empty(self._n, dtype=np.int64)

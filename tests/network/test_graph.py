@@ -212,6 +212,82 @@ class TestExport:
         assert set(back.edges()) == set(net.edges())
 
 
+class TestOrbitCache:
+    """The cached orbit partition invalidates exactly like the CSR export
+    cache: every real topology mutation drops it, no-op mutations keep it,
+    and copies never share it."""
+
+    @staticmethod
+    def _declared_cycle(n=6):
+        from repro.network.symmetry import cyclic_rotation
+
+        net = generators.cycle_graph(n)
+        net.declare_symmetry(cyclic_rotation(n))
+        return net
+
+    def test_orbit_partition_is_cached(self):
+        net = self._declared_cycle()
+        part1 = net.orbit_partition()
+        part2 = net.orbit_partition()
+        assert part1 is part2
+        assert net.orbit_rebuilds == 1
+
+    def test_orbit_cache_invalidated_on_mutation(self):
+        net = self._declared_cycle()
+        part = net.orbit_partition()
+
+        net.add_node(99)
+        part2 = net.orbit_partition()  # group is now stale, but the cache
+        assert part2 is not part       # contract is mutation ⇒ recompute
+        assert net.orbit_rebuilds == 2
+
+        net.remove_node(99)
+        assert net.orbit_partition() is not part2
+        assert net.orbit_rebuilds == 3
+
+        net.remove_edge(0, 1)
+        net.orbit_partition()
+        assert net.orbit_rebuilds == 4
+
+        net.add_edge(0, 1)
+        net.orbit_partition()
+        assert net.orbit_rebuilds == 5
+
+    def test_orbit_cache_no_op_mutations_keep_cache(self):
+        net = self._declared_cycle()
+        part = net.orbit_partition()
+        net.add_node(0)  # already present: no invalidation
+        net.add_edge(0, 1)  # already present: no invalidation
+        assert net.orbit_partition() is part
+        assert net.orbit_rebuilds == 1
+
+    def test_redeclaring_invalidates(self):
+        from repro.network.symmetry import cyclic_rotation
+
+        net = self._declared_cycle(6)
+        part = net.orbit_partition()
+        net.declare_symmetry(cyclic_rotation(6, shift=2))
+        part2 = net.orbit_partition()
+        assert part2 is not part
+        assert part2.num_orbits == 2
+
+    def test_copy_carries_declaration_not_cache(self):
+        net = self._declared_cycle()
+        net.orbit_partition()
+        clone = net.copy()
+        assert clone.symmetry is net.symmetry
+        assert clone.orbit_rebuilds == 0  # fresh cache on the clone
+        assert clone.orbit_partition().num_orbits == 1
+
+    def test_clearing_declaration(self):
+        net = self._declared_cycle()
+        net.orbit_partition()
+        net.declare_symmetry(None)
+        assert net.symmetry is None
+        with pytest.raises(ValueError, match="no automorphism group"):
+            net.orbit_partition()
+
+
 @given(st.sets(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
 def test_edge_count_invariant(pairs):
     net = Network()

@@ -1,0 +1,234 @@
+"""Property-based tests for declared automorphism groups and orbits.
+
+Hypothesis generates random group *words* (products of declared
+generators), random relabelings, and deliberately corrupted generators,
+checking the algebraic properties the quotient engine depends on:
+
+* every element of the generated group — not just the declared
+  generators — is a verified automorphism;
+* the orbit partition is equivariant under relabeling the network
+  (orbits are a structural invariant, not an artifact of node names or
+  insertion order);
+* a wrong generator is rejected by :func:`verify_automorphism` /
+  :meth:`Network.declare_symmetry` with an error naming the precise
+  violation (the offending edge, the non-injective image, the domain
+  mismatch) — never a generic failure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import Network, generators
+from repro.network.symmetry import (
+    AutomorphismGroup,
+    SymmetryError,
+    cyclic_rotation,
+    detect_symmetry,
+    full_symmetric,
+    grid_reflections,
+    orbit_partition,
+    torus_translations,
+    verify_automorphism,
+)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def declared_network(draw):
+    """A ``(net, group)`` pair from the declared-group families."""
+    family = draw(st.sampled_from(
+        ["cycle", "subgroup-cycle", "complete", "torus", "circulant", "grid"]
+    ))
+    if family == "cycle":
+        n = draw(st.integers(3, 16))
+        return generators.cycle_graph(n), cyclic_rotation(n)
+    if family == "subgroup-cycle":
+        n = 2 * draw(st.integers(2, 8))
+        return generators.cycle_graph(n), cyclic_rotation(n, shift=2)
+    if family == "complete":
+        n = draw(st.integers(2, 10))
+        return generators.complete_graph(n), full_symmetric(range(n))
+    if family == "torus":
+        r, c = draw(st.integers(3, 5)), draw(st.integers(3, 5))
+        return generators.torus_graph(r, c), torus_translations(r, c)
+    if family == "circulant":
+        n = draw(st.integers(5, 16))
+        offs = draw(
+            st.sets(st.integers(1, n // 2), min_size=1, max_size=3)
+        )
+        return generators.circulant_graph(n, offs), cyclic_rotation(n)
+    r, c = draw(st.integers(2, 5)), draw(st.integers(2, 5))
+    return generators.grid_graph(r, c), grid_reflections(r, c)
+
+
+def compose_word(group: AutomorphismGroup, nodes, word) -> dict:
+    """The permutation that is the product of ``generators[i] for i in word``."""
+    return {v: group.apply(word, v) for v in nodes}
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+class TestGeneratedElementsAreAutomorphisms:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=declared_network(), data=st.data())
+    def test_random_group_word_is_verified_automorphism(self, pair, data):
+        net, group = pair
+        word = data.draw(
+            st.lists(
+                st.integers(0, len(group.generators) - 1), min_size=0,
+                max_size=6,
+            )
+        )
+        perm = compose_word(group, net.nodes(), word)
+        verify_automorphism(net, perm)  # must not raise
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=declared_network())
+    def test_declared_generators_verify(self, pair):
+        net, group = pair
+        group.verify(net)  # must not raise
+        net.declare_symmetry(group)
+        assert net.symmetry is group
+
+
+class TestOrbitPartitionInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=declared_network(), data=st.data())
+    def test_orbits_equivariant_under_relabeling(self, pair, data):
+        """Relabeling nodes by φ maps each orbit to an orbit: the partition
+        is a structural invariant, independent of names and insertion
+        order."""
+        net, group = pair
+        nodes = net.nodes()
+        n = len(nodes)
+        perm_order = data.draw(st.permutations(range(n)))
+        phi = {nodes[i]: f"n{perm_order[i]}" for i in range(n)}
+        relabeled = Network(
+            nodes=[phi[v] for v in nodes],
+            edges=[(phi[u], phi[v]) for u, v in net.edges()],
+        )
+        conj = AutomorphismGroup(
+            tuple({phi[v]: phi[g[v]] for v in nodes} for g in group.generators)
+        )
+        part = orbit_partition(net, group)
+        part_rel = orbit_partition(relabeled, conj)
+        orbits = {
+            frozenset(phi[v] for v, j in part.orbit_of.items() if j == jj)
+            for jj in range(part.num_orbits)
+        }
+        orbits_rel = {
+            frozenset(v for v, j in part_rel.orbit_of.items() if j == jj)
+            for jj in range(part_rel.num_orbits)
+        }
+        assert orbits == orbits_rel
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=declared_network())
+    def test_orbits_partition_the_node_set(self, pair):
+        net, group = pair
+        part = orbit_partition(net, group)
+        assert sorted(part.orbit_of) == sorted(net.nodes(), key=repr) or set(
+            part.orbit_of
+        ) == set(net.nodes())
+        assert sum(part.sizes) == net.num_nodes
+        for j, rep in enumerate(part.reps):
+            assert part.orbit_of[rep] == j
+        # representatives are each orbit's first node in insertion order
+        seen = set()
+        for v in net.nodes():
+            j = part.orbit_of[v]
+            if j not in seen:
+                seen.add(j)
+                assert part.reps[j] == v
+
+
+class TestWrongGeneratorsRejected:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(4, 12))
+    def test_rotation_on_path_names_the_broken_edge(self, n):
+        """The cycle rotation is *not* an automorphism of the open path:
+        the error must name the concrete edge mapped to a non-edge."""
+        net = generators.path_graph(n)
+        with pytest.raises(SymmetryError, match="non-edge"):
+            verify_automorphism(net, {i: (i + 1) % n for i in range(n)})
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(3, 12), data=st.data())
+    def test_non_injective_map_rejected(self, n, data):
+        net = generators.cycle_graph(n)
+        target = data.draw(st.integers(0, n - 1))
+        collapse = {i: target for i in range(n)}
+        with pytest.raises(SymmetryError, match="not injective"):
+            verify_automorphism(net, collapse)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(4, 12))
+    def test_wrong_domain_rejected(self, n):
+        net = generators.cycle_graph(n)
+        partial = {i: i for i in range(n - 1)}  # node n-1 missing
+        with pytest.raises(SymmetryError, match="domain"):
+            verify_automorphism(net, partial)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(4, 12))
+    def test_declare_symmetry_rejects_and_stays_unset(self, n):
+        net = generators.path_graph(n)
+        bad = AutomorphismGroup(
+            ({i: (i + 1) % n for i in range(n)},), name="bogus"
+        )
+        with pytest.raises(SymmetryError, match="generator 0 of 'bogus'"):
+            net.declare_symmetry(bad)
+        assert net.symmetry is None
+        with pytest.raises(ValueError, match="no automorphism group"):
+            net.orbit_partition()
+
+
+class TestDetector:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(3, 14))
+    def test_detects_cycles(self, n):
+        group = detect_symmetry(generators.cycle_graph(n))
+        assert group is not None
+        group.verify(generators.cycle_graph(n))
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 10))
+    def test_detects_complete(self, n):
+        net = generators.complete_graph(n)
+        group = detect_symmetry(net)
+        assert group is not None and group.name == f"S{n}"
+        assert orbit_partition(net, group).num_orbits == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(r=st.integers(3, 5), c=st.integers(3, 5))
+    def test_detects_torus_as_transitive(self, r, c):
+        net = generators.torus_graph(r, c)
+        group = detect_symmetry(net)
+        assert group is not None
+        assert orbit_partition(net, group).num_orbits == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(5, 14), data=st.data())
+    def test_detects_circulants(self, n, data):
+        offs = data.draw(st.sets(st.integers(1, n // 2), min_size=1, max_size=3))
+        net = generators.circulant_graph(n, offs)
+        group = detect_symmetry(net)
+        assert group is not None
+        assert orbit_partition(net, group).num_orbits == 1
+
+    def test_returns_none_on_asymmetric_families(self):
+        assert detect_symmetry(generators.path_graph(6)) is None
+        assert detect_symmetry(generators.star_graph(5)) is None
+        rng = np.random.default_rng(7)
+        assert detect_symmetry(generators.random_tree(9, rng)) is None
+
+    def test_detected_groups_are_always_verified(self):
+        """A near-miss (cycle plus a chord) must not be reported as
+        rotation-symmetric: the detector verifies before returning."""
+        net = generators.cycle_graph(8)
+        net.add_edge(0, 2)
+        assert detect_symmetry(net) is None

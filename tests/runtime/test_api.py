@@ -141,6 +141,139 @@ class TestAutoSelection:
         )
 
 
+class TestQuotientNegotiation:
+    """Quotient selection and its negative paths: every blocked run names
+    the *actual* obstruction (regression-proofing the misleading-error
+    class) — and ``auto`` falls back to a full-graph engine instead of
+    failing."""
+
+    @staticmethod
+    def _declared_cycle(n=8):
+        from repro.network.symmetry import cyclic_rotation
+
+        net = generators.cycle_graph(n)
+        net.declare_symmetry(cyclic_rotation(n))
+        return net
+
+    def test_auto_selects_quotient_when_eligible(self):
+        net = self._declared_cycle()
+        init = NetworkState.uniform(net, "a")
+        res = run(_blinker_programs(), net, init, until=5)
+        assert res.engine == "quotient"
+        ref = run(
+            _blinker_programs(), generators.cycle_graph(8), init, until=5,
+            engine="vectorized",
+        )
+        assert res.final_state == ref.final_state
+        assert res.change_counts == ref.change_counts
+
+    def test_non_orbit_constant_init_falls_back_naming_blocker(self):
+        from repro.core.ir import QuotientLoweringError
+
+        net = self._declared_cycle()
+        init = NetworkState.from_function(
+            net, lambda v: "a" if v == 0 else "b"
+        )
+        assert run(_hold_programs(), net, init, until=2).engine == "vectorized"
+        with pytest.raises(
+            QuotientLoweringError, match="not orbit-constant"
+        ) as exc:
+            run(_hold_programs(), net, init, until=2, engine="quotient")
+        assert exc.value.blocker == "init-not-orbit-constant"
+
+    def test_fault_plan_falls_back_naming_blocker(self):
+        from repro.core.ir import QuotientLoweringError
+
+        net = self._declared_cycle()
+        init = NetworkState.uniform(net, "a")
+        plan = FaultPlan([FaultEvent(1, "node", 3)])
+        res = run(_hold_programs(), net, init, until=3, fault_plan=plan)
+        assert res.engine == "vectorized"  # faults break symmetry
+        with pytest.raises(QuotientLoweringError, match="break symmetry") as exc:
+            run(
+                _hold_programs(), net, init, until=3,
+                fault_plan=FaultPlan([FaultEvent(1, "node", 3)]),
+                engine="quotient",
+            )
+        assert exc.value.blocker == "fault-plan"
+
+    def test_undeclared_group_falls_back_naming_blocker(self):
+        from repro.core.ir import QuotientLoweringError
+
+        net = generators.cycle_graph(8)  # no declare_symmetry
+        init = NetworkState.uniform(net, "a")
+        assert run(_hold_programs(), net, init, until=2).engine == "vectorized"
+        with pytest.raises(
+            QuotientLoweringError, match="no automorphism group"
+        ) as exc:
+            run(_hold_programs(), net, init, until=2, engine="quotient")
+        assert exc.value.blocker == "no-group"
+
+    def test_stale_group_after_mutation_names_blocker(self):
+        from repro.core.ir import QuotientLoweringError
+
+        net = self._declared_cycle()
+        net.remove_edge(0, 1)  # mutation does not revoke the declaration
+        init = NetworkState.uniform(net, "a")
+        assert run(_hold_programs(), net, init, until=2).engine == "vectorized"
+        with pytest.raises(QuotientLoweringError, match="stale") as exc:
+            run(_hold_programs(), net, init, until=2, engine="quotient")
+        assert exc.value.blocker == "stale-group"
+        assert "non-edge" in str(exc.value)  # the generator's actual failure
+
+    def test_probabilistic_auto_never_quotients(self):
+        """Shared per-orbit draws are a different stochastic process
+        (symmetry can never break), so ``auto`` keeps probabilistic runs on
+        the full-graph path even when every structural precondition holds;
+        ``engine='quotient'`` is the explicit opt-in."""
+        from repro.algorithms import election
+        from repro.network.symmetry import full_symmetric
+
+        net = generators.complete_graph(6)
+        net.declare_symmetry(full_symmetric(range(6)))
+        programs = election.coin_kernel_programs()
+        init = election.coin_kernel_init(net)
+        res = run(programs, net, init, randomness=2, rng=3, until=4)
+        assert res.engine == "vectorized"
+        opt_in = run(
+            programs, net, init, randomness=2, rng=3, until=4,
+            engine="quotient",
+        )
+        assert opt_in.engine == "quotient"
+        # on the quotient, a symmetric election can never elect: all nodes
+        # stay in lockstep (the semantic reason auto refuses to switch)
+        assert len(set(opt_in.final_state.values())) == 1
+
+    def test_replicas_block_quotient(self):
+        from repro.core.ir import QuotientLoweringError
+
+        net = self._declared_cycle()
+        init = NetworkState.uniform(net, "a")
+        with pytest.raises(QuotientLoweringError, match="replicas") as exc:
+            run(
+                _hold_programs(), net, init, until=2, engine="quotient",
+                replicas=3,
+            )
+        assert exc.value.blocker == "replicas"
+
+    def test_quotient_error_is_a_lowering_error(self):
+        from repro.core.ir import LoweringError, QuotientLoweringError
+
+        assert issubclass(QuotientLoweringError, LoweringError)
+        assert issubclass(QuotientLoweringError, TypeError)
+
+    def test_quotient_run_replays_bitwise(self):
+        from repro.runtime.telemetry import replay
+
+        net = self._declared_cycle()
+        init = NetworkState.uniform(net, "a")
+        res = run(_blinker_programs(), net, init, until=7)
+        assert res.engine == "quotient"
+        again = replay(res.manifest)
+        assert again.engine == "quotient"
+        assert again.final_state == res.final_state
+
+
 class TestValidation:
     def test_unknown_engine(self):
         net, init = _two_state_net()

@@ -14,6 +14,21 @@ one ``size=n`` vector (the vectorized engines), and all engines agree on
 node order (``Network.to_csr`` uses insertion order, the same order the
 reference simulator iterates).
 
+The **quotient axis** runs the same differential oracle against the
+:class:`~repro.runtime.quotient.QuotientSynchronousEngine` on networks
+with declared automorphism groups (cycle/circulant rotations, subgroup
+rotations with several orbits, full symmetric on complete graphs, torus
+translations, grid reflections) from orbit-constant initial states,
+asserting the *lifted* trajectory is bitwise identical to the full-graph
+engines step by step.  Probabilistic quotient runs use the shared
+per-orbit draw convention — one ``integers(r, size=k)`` vector per step,
+every node of an orbit sharing its representative's draw — which the
+full-graph engines consume through
+:class:`~repro.runtime.quotient.OrbitBroadcastRng`; that adapter is *the*
+documented convention for cross-engine probabilistic quotient
+conformance (stock per-node draws are a different stochastic process, so
+``engine="auto"`` never quotients probabilistic runs).
+
 The default parametrization keeps cases small; the ``slow`` marker adds a
 wider randomized sweep (opt-in: ``pytest -m slow``).
 """
@@ -31,8 +46,10 @@ from repro.core.modthresh import (
     ThreshAtom,
 )
 from repro.network import NetworkState, generators
+from repro.network import symmetry as sym
 from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultEvent, FaultPlan
+from repro.runtime.quotient import OrbitBroadcastRng, QuotientSynchronousEngine
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.telemetry import MetricsRegistry
 from repro.runtime.vectorized import VectorizedSynchronousEngine
@@ -117,6 +134,46 @@ def random_fault_events(rng, net, steps):
         else:
             events.append(FaultEvent(t, "node", v))
     return events
+
+
+def symmetric_network(rng, scale=1):
+    """A random network from the declared-group families, group attached.
+
+    Families: cycles under the full rotation (one orbit) and under the
+    shift-2 subgroup on even cycles (two orbits), complete graphs under
+    the full symmetric group, tori under translations, circulants under
+    rotation, and open grids under the reflection product group (many
+    small orbits) — every generator family the package emits a group for.
+    """
+    pick = int(rng.integers(6))
+    if pick == 0:
+        n = int(rng.integers(3, 8 * scale))
+        net, group = generators.cycle_graph(n), sym.cyclic_rotation(n)
+    elif pick == 1:
+        n = 2 * int(rng.integers(2, 4 * scale))  # even cycle, 2 orbits
+        net, group = generators.cycle_graph(n), sym.cyclic_rotation(n, shift=2)
+    elif pick == 2:
+        n = int(rng.integers(2, 6 * scale))
+        net, group = generators.complete_graph(n), sym.full_symmetric(range(n))
+    elif pick == 3:
+        r, c = int(rng.integers(3, 3 + 2 * scale)), int(rng.integers(3, 3 + 2 * scale))
+        net, group = generators.torus_graph(r, c), sym.torus_translations(r, c)
+    elif pick == 4:
+        n = int(rng.integers(5, 8 * scale))
+        offs = sorted({int(d) for d in rng.integers(1, n // 2 + 1, size=2)})
+        net, group = generators.circulant_graph(n, offs), sym.cyclic_rotation(n)
+    else:
+        r, c = int(rng.integers(2, 3 + scale)), int(rng.integers(2, 3 + scale))
+        net, group = generators.grid_graph(r, c), sym.grid_reflections(r, c)
+    net.declare_symmetry(group)
+    return net
+
+
+def orbit_constant_init(rng, net, states):
+    """A random initial state that is constant on each orbit."""
+    part = net.orbit_partition()
+    per_orbit = [states[int(rng.integers(len(states)))] for _ in part.reps]
+    return NetworkState({v: per_orbit[part.orbit_of[v]] for v in net})
 
 
 # ----------------------------------------------------------------------
@@ -241,6 +298,62 @@ def assert_faulted_probabilistic_conformance(case_seed, scale=1, steps=8):
         assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
 
 
+def assert_quotient_deterministic_conformance(case_seed, scale=1, steps=6):
+    """Quotient vs reference vs vectorized: bitwise-identical *lifted*
+    trajectories on a random declared-group network from an orbit-constant
+    initial state, step by step."""
+    rng = np.random.default_rng(case_seed)
+    states, programs = random_deterministic_programs(rng, int(rng.integers(2, 5)))
+    net = symmetric_network(rng, scale)
+    init = orbit_constant_init(rng, net, states)
+
+    quo = QuotientSynchronousEngine(net, programs, init)
+    ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(programs), init.copy())
+    vec = VectorizedSynchronousEngine(net.copy(), programs, init)
+    for step in range(steps):
+        quo.step()
+        ref.step()
+        vec.step()
+        assert quo.state == ref.state, f"quotient diverged at step {step}"
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+
+
+def assert_quotient_probabilistic_conformance(case_seed, scale=1, steps=8):
+    """The probabilistic quotient convention, cross-checked bitwise: the
+    quotient engine draws one value per orbit per step; the full-graph
+    engines consume the *same base stream* through ``OrbitBroadcastRng``
+    (one ``size=k`` vector per step, broadcast to nodes via orbit index) —
+    so all three lifted trajectories must agree exactly."""
+    rng = np.random.default_rng(case_seed)
+    randomness = int(rng.integers(2, 4))
+    states, programs = random_probabilistic_programs(
+        rng, int(rng.integers(2, 4)), randomness
+    )
+    net = symmetric_network(rng, scale)
+    init = orbit_constant_init(rng, net, states)
+    seed = int(rng.integers(2**32))
+
+    automaton = ProbabilisticFSSGA(set(states), randomness, programs)
+    quo = QuotientSynchronousEngine(
+        net, programs, init, randomness=randomness,
+        rng=np.random.default_rng(seed),
+    )
+    ref = SynchronousSimulator(
+        net.copy(), automaton, init.copy(),
+        rng=OrbitBroadcastRng(net, np.random.default_rng(seed)),
+    )
+    vec = VectorizedSynchronousEngine(
+        net.copy(), programs, init, randomness=randomness,
+        rng=OrbitBroadcastRng(net, np.random.default_rng(seed)),
+    )
+    for step in range(steps):
+        quo.step()
+        ref.step()
+        vec.step()
+        assert quo.state == ref.state, f"quotient diverged at step {step}"
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+
+
 # ----------------------------------------------------------------------
 # default suite: small random cases
 # ----------------------------------------------------------------------
@@ -266,6 +379,82 @@ class TestFaultedConformance:
     @pytest.mark.parametrize("case", range(10))
     def test_probabilistic_faulted(self, case):
         assert_faulted_probabilistic_conformance(4000 + case)
+
+
+class TestQuotientConformance:
+    """Orbit-representative simulation lifts back to the exact full-graph
+    trajectory on every declared-group family (acceptance criterion of the
+    symmetry-quotient tentpole)."""
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_deterministic_lifted_trajectories(self, case):
+        assert_quotient_deterministic_conformance(9000 + case)
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_probabilistic_shared_orbit_draws(self, case):
+        assert_quotient_probabilistic_conformance(9500 + case)
+
+    def test_named_families_deterministic(self):
+        """One explicit pass per family (not reliant on random picks)."""
+        from repro.algorithms import two_coloring as tc
+
+        programs = tc.sticky_programs()
+        cases = [
+            (generators.cycle_graph(9), sym.cyclic_rotation(9)),
+            (generators.cycle_graph(8), sym.cyclic_rotation(8, shift=2)),
+            (generators.complete_graph(7), sym.full_symmetric(range(7))),
+            (generators.torus_graph(3, 5), sym.torus_translations(3, 5)),
+            (generators.circulant_graph(10, (1, 3)), sym.cyclic_rotation(10)),
+            (generators.grid_graph(3, 4), sym.grid_reflections(3, 4)),
+        ]
+        for net, group in cases:
+            net.declare_symmetry(group)
+            init = NetworkState.uniform(net, tc.BLANK)
+            quo = QuotientSynchronousEngine(net, programs, init)
+            vec = VectorizedSynchronousEngine(net.copy(), programs, init)
+            for step in range(6):
+                quo.step()
+                vec.step()
+                assert quo.state == vec.state, (
+                    f"{group.name}: diverged at step {step}"
+                )
+
+    def test_quotient_counters_reflect_orbit_work(self):
+        """``node_updates``/``rng_draws`` count representatives (the work
+        actually done); ``node_updates_lifted`` matches the full-graph
+        engine's ``node_updates`` exactly."""
+        rng = np.random.default_rng(9900)
+        randomness = 2
+        states, programs = random_probabilistic_programs(rng, 3, randomness)
+        net = generators.torus_graph(4, 4)
+        net.declare_symmetry(sym.torus_translations(4, 4))
+        init = orbit_constant_init(rng, net, states)
+        seed = 20060730
+
+        met_quo, met_vec = MetricsRegistry(), MetricsRegistry()
+        quo = QuotientSynchronousEngine(
+            net, programs, init, randomness=randomness,
+            rng=np.random.default_rng(seed), metrics=met_quo,
+        )
+        vec = VectorizedSynchronousEngine(
+            net.copy(), programs, init, randomness=randomness,
+            rng=OrbitBroadcastRng(net, np.random.default_rng(seed)),
+            metrics=met_vec,
+        )
+        steps = 8
+        for _ in range(steps):
+            quo.step()
+            vec.step()
+        assert quo.state == vec.state
+        k, n = quo.orbit_count, net.num_nodes
+        assert k == 1 and n == 16  # torus translations are transitive
+        assert met_quo.get("steps") == met_vec.get("steps") == steps
+        assert met_quo.get("rng_draws") == steps * k
+        assert met_vec.get("rng_draws") == steps * n
+        assert met_quo.get("node_updates_lifted") == met_vec.get("node_updates")
+        assert met_quo.get("node_updates") * n == (
+            met_quo.get("node_updates_lifted") * k
+        )
 
 
 class TestCounterConformance:
@@ -493,3 +682,11 @@ class TestConformanceSweep:
     @pytest.mark.parametrize("case", range(40))
     def test_faulted_probabilistic_wide(self, case):
         assert_faulted_probabilistic_conformance(8000 + case, scale=4, steps=12)
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_quotient_deterministic_wide(self, case):
+        assert_quotient_deterministic_conformance(9000 + case, scale=4, steps=10)
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_quotient_probabilistic_wide(self, case):
+        assert_quotient_probabilistic_conformance(9500 + case, scale=4, steps=12)
