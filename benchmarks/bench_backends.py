@@ -1,0 +1,131 @@
+"""E21 — array-backend sweep: one step kernel, pluggable execution.
+
+The backend layer's bargain: every backend runs the *same* counts → atoms
+→ cascades step and must produce bitwise-identical trajectories, so any
+speed difference is pure execution strategy — sparse matvec + np.select
+(numpy), dense array-API calls (array-api), or the fused per-node JIT
+loop (numba, arXiv 0708.0580's n ≥ 10^5 scale target).  The sweep runs
+the Claim 4.1 coin election kernel on circulant graphs C_n(1,2,3) —
+constant degree, so n is the only scale axis — for n ∈ {2^12 … 2^17}.
+
+Backends join the sweep where their cost model allows: numpy covers every
+n; array-api stops at 2^12 (its dense adjacency is O(n^2) memory — the
+documented trade-off, restated here as data); the uncompiled bytecode
+kernel (``kernel-python``) stops at 2^13 (it exists for conformance, not
+speed); numba, when installed, covers every n and must beat numpy by
+**>= 3x** at n = 2^17.  Every backend that runs a given n must end in the
+bitwise-identical final state.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import election
+from repro.network import generators
+from repro.runtime.backends import HAS_NUMBA, NumbaBackend
+from repro.runtime.vectorized import VectorizedSynchronousEngine
+
+from _benchlib import print_table
+
+STEPS = 8
+SEED = 2117
+
+SIZES = [2**k for k in range(12, 18)]  # 4096 … 131072
+
+# (label, backend factory, max n this backend sweeps)
+AXIS = [
+    ("numpy", lambda: "numpy", SIZES[-1]),
+    ("array-api", lambda: "array-api", 2**12),
+    ("kernel-python", lambda: NumbaBackend(force_python=True), 2**13),
+]
+if HAS_NUMBA:
+    AXIS.append(("numba", lambda: "numba", SIZES[-1]))
+
+
+def _setup(n):
+    net = generators.circulant_graph(n, (1, 2, 3))
+    programs = election.coin_kernel_programs()
+    init = election.coin_kernel_init(net)
+    return net, programs, init
+
+
+def _time_backend(net, programs, init, backend, n):
+    eng = VectorizedSynchronousEngine(
+        net, programs, init, randomness=2,
+        rng=np.random.default_rng(SEED), backend=backend,
+    )
+    t0 = time.perf_counter()
+    eng.run(STEPS)
+    return time.perf_counter() - t0, eng._sigma.copy()
+
+
+def test_backend_sweep(benchmark):
+    def compute():
+        rows, finals = [], {}
+        for n in SIZES:
+            net, programs, init = _setup(n)
+            times = {}
+            for label, factory, n_max in AXIS:
+                if n > n_max:
+                    continue
+                elapsed, sigma = _time_backend(
+                    net, programs, init, factory(), n
+                )
+                times[label] = elapsed
+                finals.setdefault(n, sigma)
+                # identical RNG stream + identical kernel semantics
+                # => identical integer state vector, no tolerance
+                np.testing.assert_array_equal(sigma, finals[n])
+            row = [n] + [
+                f"{times[label] * 1e3:.1f}" if label in times else "—"
+                for label, _, _ in AXIS
+            ]
+            rows.append(tuple(row))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        f"E21: coin kernel on C_n(1,2,3), {STEPS} steps, per-backend ms",
+        ["n"] + [label for label, _, _ in AXIS],
+        rows,
+    )
+    benchmark.extra_info.update(
+        n=SIZES[-1], engine="vectorized", backend="numpy",
+        backends=[label for label, _, _ in AXIS],
+    )
+    # every size produced at least the numpy row
+    assert all(r[1] != "—" for r in rows)
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+def test_numba_speedup_gate(benchmark):
+    """Acceptance gate: the fused JIT loop >= 3x numpy at n = 2^17."""
+    n = 2**17
+    net, programs, init = _setup(n)
+
+    # warm the JIT outside the timed region (compile-once is the contract)
+    _time_backend(net, programs, init, "numba", n)
+
+    def compute():
+        t_np, sig_np = _time_backend(net, programs, init, "numpy", n)
+        t_nb, sig_nb = _time_backend(net, programs, init, "numba", n)
+        np.testing.assert_array_equal(sig_nb, sig_np)
+        return t_np, t_nb
+
+    t_np, t_nb = benchmark.pedantic(compute, rounds=1, iterations=1)
+    speedup = t_np / t_nb
+    print_table(
+        f"E21b: n = {n}, {STEPS} steps, numpy vs numba",
+        ["backend", "ms", "speedup"],
+        [
+            ("numpy", f"{t_np * 1e3:.1f}", ""),
+            ("numba", f"{t_nb * 1e3:.1f}", f"{speedup:.1f}x"),
+        ],
+    )
+    benchmark.extra_info.update(
+        n=n, engine="vectorized", backend="numba",
+        speedup=round(speedup, 1),
+    )
+    assert speedup >= 3.0

@@ -90,6 +90,7 @@ def test_replica_speedup_series(benchmark):
     benchmark.extra_info.update(
         n=256,
         engine="batched",
+        backend="numpy",
         speedup=round(speedups[(256, 64)], 1),
         steps=met.get("steps"),
         node_updates=met.get("node_updates"),
@@ -110,7 +111,7 @@ def test_batched_smoke(benchmark):
         return stats
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info.update(n=64, engine="batched")
+    benchmark.extra_info.update(n=64, engine="batched", backend="numpy")
     print(
         f"\nR=64 kernel runs on K64: mean {stats.mean_rounds:.1f} phases "
         f"(min {int(stats.rounds.min())}, max {int(stats.rounds.max())})"

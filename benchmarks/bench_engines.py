@@ -64,7 +64,7 @@ def test_speedup_series(benchmark):
         rows,
     )
     benchmark.extra_info.update(
-        n=rows[-1][0], engine="vectorized",
+        n=rows[-1][0], engine="vectorized", backend="numpy",
         speedup=float(rows[-1][3].rstrip("x")),
     )
     # the vectorized engine must win at the largest size
@@ -120,7 +120,7 @@ def test_three_engine_comparison(benchmark):
         ["n", "reference ms", "vectorized ms", "batched ms", "batched ms per replica"],
         rows,
     )
-    benchmark.extra_info.update(n=rows[-1][0], engine="batched")
+    benchmark.extra_info.update(n=rows[-1][0], engine="batched", backend="numpy")
     # amortized per-replica batched cost must beat one vectorized run
     assert all(float(r[4]) < float(r[2]) for r in rows)
 
@@ -134,7 +134,7 @@ def test_reference_step_benchmark(benchmark):
         sim.run(5)
 
     benchmark(step5)
-    benchmark.extra_info.update(n=625, engine="reference")
+    benchmark.extra_info.update(n=625, engine="reference", backend=None)
 
 
 def test_vectorized_step_benchmark(benchmark):
@@ -145,7 +145,7 @@ def test_vectorized_step_benchmark(benchmark):
         vec.run(5)
 
     benchmark(step5)
-    benchmark.extra_info.update(n=625, engine="vectorized")
+    benchmark.extra_info.update(n=625, engine="vectorized", backend="numpy")
 
 
 def test_front_door_election_kernel(benchmark):
@@ -196,6 +196,7 @@ def test_front_door_election_kernel(benchmark):
     benchmark.extra_info.update(
         n=512,
         engine=vec.engine,
+        backend=vec.backend,
         speedup=round(speedup, 1),
         steps=met.get("steps"),
         node_updates=met.get("node_updates"),

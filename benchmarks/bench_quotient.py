@@ -78,6 +78,7 @@ def test_quotient_node_update_reduction(benchmark):
     benchmark.extra_info.update(
         n=N,
         engine="quotient",
+        backend="numpy",
         orbits=1,
         steps=met_quo.get("steps"),
         node_updates=upd_quo,
@@ -137,7 +138,7 @@ def test_quotient_scaling_series(benchmark):
         ["n", "rep updates", "lifted updates", "ms"],
         rows,
     )
-    benchmark.extra_info.update(n=rows[-1][0], engine="quotient")
+    benchmark.extra_info.update(n=rows[-1][0], engine="quotient", backend="numpy")
     # rep updates are n-independent (same seed, same k=1 process) while
     # the lifted count scales with n
     assert rows[0][1] == rows[1][1] == rows[2][1]

@@ -69,6 +69,7 @@ __all__ = [
     "CompiledProgram",
     "LoweringError",
     "QuotientLoweringError",
+    "BackendLoweringError",
     "lower",
     "lowering_cache_info",
     "clear_lowering_cache",
@@ -103,6 +104,22 @@ class QuotientLoweringError(LoweringError):
     ``"fault-plan"``, ``"replicas"``, …) naming the *actual* obstruction,
     and the message spells it out.  ``engine="auto"`` catches these and
     falls back to a full-graph engine instead of surfacing them.
+    """
+
+    def __init__(self, message: str, *, blocker: str) -> None:
+        super().__init__(message)
+        self.blocker = blocker
+
+
+class BackendLoweringError(LoweringError):
+    """The run cannot execute on the requested array backend.
+
+    Raised when a backend is pinned (``backend="numba"`` & co.) but a
+    precondition fails; ``blocker`` is a stable machine-readable tag
+    (``"numba-unavailable"``, ``"reference-engine"``, …) naming the
+    *actual* obstruction, matching the quotient-engine convention.
+    ``backend="auto"`` never raises this — it only selects backends whose
+    preconditions hold.
     """
 
     def __init__(self, message: str, *, blocker: str) -> None:

@@ -8,6 +8,10 @@
   deletions at scheduled times).
 * :mod:`repro.runtime.vectorized` — a numpy/scipy synchronous engine for
   mod-thresh automata (one sparse mat-mat product per step).
+* :mod:`repro.runtime.backends` — the pluggable array-backend layer under
+  the engines: one shared counts → atoms → cascades step kernel with
+  numpy (default), array-API and optional numba-JIT implementations, all
+  bitwise-identical.
 * :mod:`repro.runtime.batched` — R independent replicas of one automaton
   evolved in a single stacked computation per step, with spawned
   per-replica RNG streams and per-replica quiescence masks.
@@ -31,6 +35,16 @@ from repro.runtime.api import (
     TraceObserver,
     run,
     supports_vectorized,
+)
+from repro.runtime.backends import (
+    BACKENDS,
+    DEFAULT_MAX_STEPS,
+    ArrayBackend,
+    ArrayApiBackend,
+    NumbaBackend,
+    NumpyBackend,
+    available_backends,
+    resolve_backend,
 )
 from repro.runtime.batched import (
     BatchedRunResult,
@@ -91,4 +105,12 @@ __all__ = [
     "RunManifest",
     "ReplayMismatchError",
     "replay",
+    "ArrayBackend",
+    "NumpyBackend",
+    "ArrayApiBackend",
+    "NumbaBackend",
+    "BACKENDS",
+    "DEFAULT_MAX_STEPS",
+    "available_backends",
+    "resolve_backend",
 ]

@@ -41,6 +41,13 @@ the shared compiler IR (:mod:`repro.core.ir`), not isinstance checks:
   vectorized paths produce bitwise-identical trajectories, probabilistic
   draws included — with or without faults.
 
+Orthogonal to engine selection, ``backend=`` chooses which
+:class:`~repro.runtime.backends.ArrayBackend` executes the array engines'
+step kernel (numpy — the default and bitwise reference — array-API, or
+the optional numba JIT).  Every array engine composes with every backend;
+a pinned backend that cannot run raises
+:class:`~repro.core.ir.BackendLoweringError` naming the blocker.
+
 Termination policy (one convention for every engine — ``RunResult.steps``
 always counts ``step()`` calls actually executed):
 
@@ -69,6 +76,7 @@ import numpy as np
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
 from repro.core.ir import (
+    BackendLoweringError,
     LoweringError,
     QuotientLoweringError,
     lower,
@@ -77,6 +85,12 @@ from repro.core.ir import (
 from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.network.symmetry import SymmetryError
+from repro.runtime.backends import (
+    BACKENDS,
+    DEFAULT_MAX_STEPS,
+    ArrayBackend,
+    resolve_backend,
+)
 from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultPlan
 from repro.runtime.quotient import QuotientSynchronousEngine
@@ -101,6 +115,8 @@ __all__ = [
     "MetricsObserver",
     "run",
     "supports_vectorized",
+    "ENGINES",
+    "BACKENDS",
 ]
 
 Automaton = Union[FSSGA, ProbabilisticFSSGA, Mapping]
@@ -264,6 +280,10 @@ class RunResult:
     replica_states: Optional[list[NetworkState]] = None
     replica_rounds: Optional[np.ndarray] = None
     manifest: Optional[RunManifest] = None
+    #: Resolved array-backend name for the array engines (``"numpy"``,
+    #: ``"array-api"``, ``"numba"``…); ``None`` for the reference
+    #: interpreter, which executes no array kernel.
+    backend: Optional[str] = None
 
 
 def _negotiate(
@@ -438,6 +458,44 @@ def _select_engine(
     return chosen
 
 
+def _select_backend(
+    backend: Union[str, ArrayBackend, None],
+    chosen_engine: str,
+    requested_engine: str,
+) -> Optional[ArrayBackend]:
+    """Resolve the ``backend=`` axis against the negotiated engine.
+
+    The reference interpreter executes no array kernel, so a *pinned*
+    backend (anything but ``"auto"``/``None``) on the reference path is an
+    unsatisfiable request — a structured
+    :class:`~repro.core.ir.BackendLoweringError` with blocker
+    ``"reference-engine"`` names it, whether the caller pinned
+    ``engine="reference"`` or ``engine="auto"`` fell back because the
+    automaton does not lower.  Array engines resolve through
+    :func:`repro.runtime.backends.resolve_backend` (which raises the
+    ``"numba-unavailable"`` blocker for a pinned-but-missing JIT backend).
+    Returns the live backend, or ``None`` on the reference path.
+    """
+    pinned = backend is not None and backend != "auto"
+    if chosen_engine == "reference":
+        if pinned:
+            name = backend.name if isinstance(backend, ArrayBackend) else backend
+            how = (
+                "engine='reference' was requested"
+                if requested_engine == "reference"
+                else "engine='auto' fell back to the reference interpreter "
+                "(the automaton does not lower to the engine IR)"
+            )
+            raise BackendLoweringError(
+                f"backend {name!r} was pinned but {how}; the reference "
+                f"interpreter executes no array kernel, so the pinned "
+                f"backend cannot take effect",
+                blocker="reference-engine",
+            )
+        return None
+    return resolve_backend(backend)
+
+
 def _as_reference_automaton(
     automaton: Automaton, randomness: Optional[int]
 ) -> Union[FSSGA, ProbabilisticFSSGA]:
@@ -527,11 +585,11 @@ def _run_reference(
 
 def _run_vectorized(
     automaton, net, init, until, max_steps, randomness, rng, fault_plan,
-    observers, metrics,
+    observers, metrics, backend,
 ):
     eng = VectorizedSynchronousEngine(
         net, automaton, init, randomness=randomness, rng=rng,
-        fault_plan=fault_plan, metrics=metrics,
+        fault_plan=fault_plan, metrics=metrics, backend=backend,
     )
     draws = [0]
     change_counts: list[int] = []
@@ -563,11 +621,11 @@ def _run_vectorized(
 
 def _run_quotient(
     automaton, net, init, until, max_steps, randomness, rng, fault_plan,
-    observers, metrics,
+    observers, metrics, backend,
 ):
     eng = QuotientSynchronousEngine(
         net, automaton, init, randomness=randomness, rng=rng,
-        fault_plan=fault_plan, metrics=metrics,
+        fault_plan=fault_plan, metrics=metrics, backend=backend,
     )
     part = eng.partition
     sizes = np.asarray(part.sizes, dtype=np.int64)
@@ -606,11 +664,11 @@ def _run_quotient(
 
 def _run_batched(
     automaton, net, init, until, max_steps, replicas, randomness, rng,
-    fault_plan, observers, metrics,
+    fault_plan, observers, metrics, backend,
 ):
     eng = BatchedSynchronousEngine(
         net, automaton, init, replicas, randomness=randomness, rng=rng,
-        fault_plan=fault_plan, metrics=metrics,
+        fault_plan=fault_plan, metrics=metrics, backend=backend,
     )
     draws = [0]
     change_counts: list[int] = []
@@ -696,13 +754,14 @@ def run(
     *,
     engine: str = "auto",
     until: Until = "stable",
-    max_steps: int = 100_000,
+    max_steps: int = DEFAULT_MAX_STEPS,
     replicas: Optional[int] = None,
     randomness: Optional[int] = None,
     rng: Union[int, np.random.Generator, None] = None,
     fault_plan: Optional[FaultPlan] = None,
     observers: tuple = (),
     metrics: Optional[MetricsRegistry] = None,
+    backend: Union[str, ArrayBackend, None] = "auto",
 ) -> RunResult:
     """Execute ``automaton`` on ``net`` from ``init`` on the best engine.
 
@@ -741,6 +800,20 @@ def run(
         ``active_fraction`` series) plus per-run cache counters
         (``lowering_cache_hits``/``misses``, ``csr_rebuilds``).  ``None``
         (default) keeps the hot loops branch-only.
+    backend:
+        Which :class:`~repro.runtime.backends.ArrayBackend` executes the
+        array engines' step kernel: ``"auto"`` (numpy, the bitwise
+        reference), ``"numpy"``, ``"array-api"``, ``"numba"``, or a live
+        backend instance.  Orthogonal to ``engine``: every array engine
+        accepts every backend, all bitwise-identical.  A pinned backend
+        that cannot run raises
+        :class:`~repro.core.ir.BackendLoweringError` with a
+        machine-readable ``blocker`` (``"numba-unavailable"`` when the
+        JIT backend is pinned without numba installed,
+        ``"reference-engine"`` when the run lands on the reference
+        interpreter, which executes no array kernel).  The resolved name
+        is recorded on the result and its manifest, so
+        :func:`~repro.runtime.telemetry.replay` re-pins it.
     """
     observers = tuple(observers)
     cache_before = lowering_cache_info() if metrics is not None else None
@@ -748,12 +821,14 @@ def run(
     chosen = _select_engine(
         engine, automaton, replicas, fault_plan, randomness, net, init
     )
+    backend_obj = _select_backend(backend, chosen, engine)
+    backend_name = backend_obj.name if backend_obj is not None else None
     # captured before the engine consumes rng or faults mutate net — both
     # are snapshotted by value inside the manifest
     manifest = capture_manifest(
         automaton=automaton, net=net, init=init, engine=chosen, until=until,
         max_steps=max_steps, replicas=replicas, randomness=randomness,
-        rng=rng, fault_plan=fault_plan,
+        rng=rng, fault_plan=fault_plan, backend=backend_name,
     )
     if fault_plan is not None and fault_plan.consumed:
         fault_plan.reset()  # a reused plan re-applies its full schedule
@@ -768,17 +843,17 @@ def run(
     elif chosen == "vectorized":
         out = _run_vectorized(
             automaton, net, init, until, max_steps, randomness, rng, fault_plan,
-            observers, metrics,
+            observers, metrics, backend_obj,
         )
     elif chosen == "quotient":
         out = _run_quotient(
             automaton, net, init, until, max_steps, randomness, rng, fault_plan,
-            observers, metrics,
+            observers, metrics, backend_obj,
         )
     else:
         out = _run_batched(
             automaton, net, init, until, max_steps, replicas, randomness, rng,
-            fault_plan, observers, metrics,
+            fault_plan, observers, metrics, backend_obj,
         )
     final_state, steps, converged, draws, change_counts, states, rounds = out
     wall_time = perf_counter() - start
@@ -804,6 +879,7 @@ def run(
         replica_states=states,
         replica_rounds=rounds,
         manifest=manifest,
+        backend=backend_name,
     )
     manifest.finalize(result)
     for ob in observers:

@@ -1,0 +1,405 @@
+"""Optional numba backend: the fused atom-eval + cascade loop, JIT-compiled.
+
+The :class:`~repro.core.ir.CompiledAutomaton` IR — integer-coded states,
+a unique-atom feature table, a ``(state, draw) → cascade`` transition
+table — is exactly the shape a JIT compiler wants, but numba cannot take
+Python objects (propositions, nested ctrees) into nopython mode.  So this
+module lowers the IR one level further, to :class:`KernelTables`: flat
+integer arrays encoding the atoms (kind/column/parameters), the per-clause
+ctrees as postfix bytecode, and the ``(state, draw)`` dispatch as a dense
+program-index matrix.  :func:`step_kernel` is then a single fused loop —
+per node: CSR neighbour counting into a length-``s`` scratch row, then
+first-match cascade resolution interpreting the bytecode — with no
+intermediate ``(n, s)`` count table, no boolean temporaries and no numpy
+dispatch per clause.  That is the many-small-kernel win motivating the
+backend (PAPERS.md, Mosk-Aoyama & Shah's gossip workloads) and the
+n ≥ 10^5 scale target of Pritchard's divide-and-conquer follow-up
+(arXiv 0708.0580): at those sizes the numpy path is dominated by
+allocating and traversing the per-step temporaries the fused loop never
+materializes.
+
+``step_kernel`` is deliberately written as *plain Python over numpy
+scalars*: with numba installed it is ``njit``-compiled on first use;
+without numba the very same function still executes (slowly) under the
+interpreter, which is how the conformance suite exercises the bytecode
+lowering on numba-free CI.  Table construction is cached per
+``CompiledAutomaton.content_hash`` (:func:`kernel_cache_info` /
+:func:`clear_kernel_cache`, mirroring
+:func:`repro.core.ir.lowering_cache_info`), so a sweep constructing many
+engines compiles each automaton's kernel tables once.
+
+Bytecode format — each token is an ``(op, arg)`` pair of int64s, postfix
+(operands before operators), evaluated with a small boolean stack:
+
+======  =====================  ==========================================
+op      arg                    effect
+======  =====================  ==========================================
+0       atom index             push the atom's truth value at this node
+1       (unused)               pop a; push ``not a``
+2       (unused)               pop b, a; push ``a and b``
+3       (unused)               pop b, a; push ``a or b``
+4       0 or 1                 push the constant
+======  =====================  ==========================================
+
+Variadic ``and``/``or`` ctrees are flattened to chains of binary ops;
+atoms whose queried state is outside the coded alphabet fold to constants
+(a threshold query over a state that never occurs is vacuously true, a
+mod query is true iff the residue is 0 — the same semantics as
+:func:`repro.runtime.backends.kernels.prop_bool`).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from repro.core.ir import BackendLoweringError
+from repro.runtime.backends.base import ArrayBackend
+
+try:  # optional dependency — everything here must import without it
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - exercised on numba-free CI
+    numba = None
+    HAS_NUMBA = False
+
+__all__ = [
+    "HAS_NUMBA",
+    "NumbaBackend",
+    "KernelTables",
+    "build_kernel_tables",
+    "kernel_tables_for",
+    "step_kernel",
+    "kernel_cache_info",
+    "clear_kernel_cache",
+]
+
+OP_ATOM, OP_NOT, OP_AND, OP_OR, OP_CONST = 0, 1, 2, 3, 4
+
+ATOM_THRESH, ATOM_MOD, ATOM_TRUE, ATOM_FALSE = 0, 1, 2, 3
+
+
+class KernelTables(NamedTuple):
+    """One automaton's IR flattened to numba-ready integer arrays."""
+
+    prog_of: np.ndarray  # (|Q|, r) int64 — program index or -1 (hold)
+    prog_ptr: np.ndarray  # (P+1,) clause-range pointers per program
+    prog_default: np.ndarray  # (P,) default result code per program
+    clause_result: np.ndarray  # (C,) result code per clause
+    clause_code_ptr: np.ndarray  # (C+1,) bytecode-range pointers per clause
+    bytecode: np.ndarray  # (2B,) flattened (op, arg) pairs
+    atom_kind: np.ndarray  # (A,) ATOM_* tag
+    atom_col: np.ndarray  # (A,) counts column (0 where folded constant)
+    atom_a: np.ndarray  # (A,) threshold / residue
+    atom_b: np.ndarray  # (A,) modulus (1 where unused)
+    stack_size: int  # deepest bytecode stack any clause needs
+    n_states: int
+
+
+def _emit_ctree(tree: tuple, out: list) -> int:
+    """Append postfix tokens for ``tree`` to ``out``; returns stack need."""
+    op = tree[0]
+    if op == "atom":
+        out.append((OP_ATOM, tree[1]))
+        return 1
+    if op == "not":
+        depth = _emit_ctree(tree[1], out)
+        out.append((OP_NOT, 0))
+        return depth
+    if op in ("and", "or"):
+        children = tree[1]
+        if not children:  # empty conjunction/disjunction: identity element
+            out.append((OP_CONST, 1 if op == "and" else 0))
+            return 1
+        binop = OP_AND if op == "and" else OP_OR
+        depth = _emit_ctree(children[0], out)
+        for child in children[1:]:
+            # child evaluates on top of the accumulated value: depth + 1
+            depth = max(depth, 1 + _emit_ctree(child, out))
+            out.append((binop, 0))
+        return depth
+    out.append((OP_CONST, 1 if tree[1] else 0))  # ("const", bool)
+    return 1
+
+
+def build_kernel_tables(ir) -> KernelTables:
+    """Flatten a :class:`~repro.core.ir.CompiledAutomaton` for the kernel."""
+    s = len(ir.alphabet)
+    r = ir.randomness
+    atoms = ir.atoms
+
+    atom_kind = np.empty(len(atoms), dtype=np.int64)
+    atom_col = np.zeros(len(atoms), dtype=np.int64)
+    atom_a = np.zeros(len(atoms), dtype=np.int64)
+    atom_b = np.ones(len(atoms), dtype=np.int64)
+    for i, atom in enumerate(atoms):
+        col = ir.code.get(atom.state)
+        if hasattr(atom, "threshold"):  # ThreshAtom
+            if col is None:
+                atom_kind[i] = ATOM_TRUE  # state never occurs
+            else:
+                atom_kind[i] = ATOM_THRESH
+                atom_col[i] = col
+                atom_a[i] = atom.threshold
+        else:  # ModAtom
+            if col is None:
+                atom_kind[i] = ATOM_TRUE if atom.residue == 0 else ATOM_FALSE
+            else:
+                atom_kind[i] = ATOM_MOD
+                atom_col[i] = col
+                atom_a[i] = atom.residue
+                atom_b[i] = atom.modulus
+
+    prog_of = np.full((s, r), -1, dtype=np.int64)
+    prog_ptr = [0]
+    prog_default = []
+    clause_result = []
+    clause_code_ptr = [0]
+    tokens: list = []
+    stack_size = 1
+    for (qc, draw), cprog in sorted(ir.table.items()):
+        prog_of[qc, draw] = len(prog_default)
+        for tree, result in cprog.clauses:
+            stack_size = max(stack_size, _emit_ctree(tree, tokens))
+            clause_code_ptr.append(2 * len(tokens))
+            clause_result.append(result)
+        prog_ptr.append(len(clause_result))
+        prog_default.append(cprog.default)
+
+    bytecode = np.asarray(
+        [x for pair in tokens for x in pair], dtype=np.int64
+    ).reshape(-1)
+    return KernelTables(
+        prog_of=prog_of,
+        prog_ptr=np.asarray(prog_ptr, dtype=np.int64),
+        prog_default=np.asarray(prog_default, dtype=np.int64),
+        clause_result=np.asarray(clause_result, dtype=np.int64),
+        clause_code_ptr=np.asarray(clause_code_ptr, dtype=np.int64),
+        bytecode=bytecode,
+        atom_kind=atom_kind,
+        atom_col=atom_col,
+        atom_a=atom_a,
+        atom_b=atom_b,
+        stack_size=int(stack_size),
+        n_states=s,
+    )
+
+
+# ----------------------------------------------------------------------
+# the per-content-hash table cache (mirrors repro.core.ir's lowering cache)
+# ----------------------------------------------------------------------
+_TABLE_CACHE: dict = {}
+_TABLE_CACHE_LIMIT = 128
+_STATS = {"hits": 0, "misses": 0}
+
+
+def kernel_tables_for(ir) -> KernelTables:
+    """Cached :func:`build_kernel_tables`, keyed by IR content hash."""
+    key = ir.content_hash()
+    tables = _TABLE_CACHE.get(key)
+    if tables is not None:
+        _STATS["hits"] += 1
+        return tables
+    _STATS["misses"] += 1
+    tables = build_kernel_tables(ir)
+    if len(_TABLE_CACHE) >= _TABLE_CACHE_LIMIT:
+        _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+    _TABLE_CACHE[key] = tables
+    return tables
+
+
+def kernel_cache_info() -> dict:
+    """Hit/miss counters and size of the kernel-table cache."""
+    return {
+        "hits": _STATS["hits"],
+        "misses": _STATS["misses"],
+        "kernels": len(_TABLE_CACHE),
+        "jit": HAS_NUMBA and _JITTED[0] is not None,
+    }
+
+
+def clear_kernel_cache() -> None:
+    """Drop the cached kernel tables and reset the counters."""
+    _TABLE_CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+# ----------------------------------------------------------------------
+# the fused step loop
+# ----------------------------------------------------------------------
+def step_kernel(
+    indptr,
+    indices,
+    data,
+    sig,
+    draws,
+    live,
+    prog_of,
+    prog_ptr,
+    prog_default,
+    clause_result,
+    clause_code_ptr,
+    bytecode,
+    atom_kind,
+    atom_col,
+    atom_a,
+    atom_b,
+    n_states,
+    stack_size,
+    new_sig,
+):
+    """One fused synchronous step over an ``(R, m)`` replica stack.
+
+    Per live node: count neighbour states straight off the CSR row into a
+    length-``s`` scratch (masked/zeroed entries contribute nothing, exactly
+    like the sparse product), then resolve the node's cascade first-match
+    by interpreting the clause bytecode — atoms evaluate as cheap scalar
+    ops against the scratch row.  Dead (``live=False``) nodes and
+    ``(state, draw)`` pairs without a program hold their state, matching
+    the numpy path bit for bit.
+
+    Plain Python by construction: :func:`_compiled_kernel` wraps it in
+    ``numba.njit`` when numba is importable; tests run it uncompiled.
+    """
+    n_rep, m = sig.shape
+    cnt = np.zeros(n_states, dtype=np.int64)
+    stack = np.zeros(stack_size, dtype=np.bool_)
+    for rep in range(n_rep):
+        for v in range(m):
+            q = sig[rep, v]
+            new_sig[rep, v] = q
+            if not live[v]:
+                continue
+            p = prog_of[q, draws[rep, v]]
+            if p < 0:
+                continue  # hold state
+            for t in range(n_states):
+                cnt[t] = 0
+            for e in range(indptr[v], indptr[v + 1]):
+                w = data[e]
+                if w != 0:  # fault-masked entries are stored zeros
+                    cnt[sig[rep, indices[e]]] += w
+            res = prog_default[p]
+            for c in range(prog_ptr[p], prog_ptr[p + 1]):
+                sp = 0
+                k = clause_code_ptr[c]
+                end = clause_code_ptr[c + 1]
+                while k < end:
+                    op = bytecode[k]
+                    arg = bytecode[k + 1]
+                    k += 2
+                    if op == 0:  # atom
+                        kind = atom_kind[arg]
+                        if kind == 0:
+                            val = cnt[atom_col[arg]] < atom_a[arg]
+                        elif kind == 1:
+                            val = cnt[atom_col[arg]] % atom_b[arg] == atom_a[arg]
+                        else:
+                            val = kind == 2
+                        stack[sp] = val
+                        sp += 1
+                    elif op == 1:  # not
+                        stack[sp - 1] = not stack[sp - 1]
+                    elif op == 2:  # and
+                        stack[sp - 2] = stack[sp - 2] and stack[sp - 1]
+                        sp -= 1
+                    elif op == 3:  # or
+                        stack[sp - 2] = stack[sp - 2] or stack[sp - 1]
+                        sp -= 1
+                    else:  # const
+                        stack[sp] = arg != 0
+                        sp += 1
+                if stack[0]:
+                    res = clause_result[c]
+                    break
+            new_sig[rep, v] = res
+    return new_sig
+
+
+_JITTED: list = [None]
+
+
+def _compiled_kernel():
+    """The ``njit``-compiled :func:`step_kernel` (compiled once, cached)."""
+    if _JITTED[0] is None:
+        _JITTED[0] = numba.njit(cache=False, nogil=True)(step_kernel)
+    return _JITTED[0]
+
+
+def run_step(
+    adj,
+    sig: np.ndarray,
+    live: np.ndarray,
+    draws: Optional[np.ndarray],
+    tables: KernelTables,
+    *,
+    force_python: bool = False,
+) -> np.ndarray:
+    """Execute one fused step; accepts ``(m,)`` or ``(R, m)`` state arrays.
+
+    ``draws=None`` (deterministic automata) dispatches every node through
+    draw 0 — the only column the deterministic transition table has.
+    """
+    sig2 = sig if sig.ndim == 2 else sig[np.newaxis, :]
+    if draws is None:
+        draws2 = np.zeros_like(sig2)
+    else:
+        draws2 = draws if draws.ndim == 2 else draws[np.newaxis, :]
+    new_sig = np.empty_like(sig2)
+    kernel = step_kernel if force_python or not HAS_NUMBA else _compiled_kernel()
+    kernel(
+        adj.indptr,
+        adj.indices,
+        np.asarray(adj.data, dtype=np.int64),
+        np.ascontiguousarray(sig2),
+        np.ascontiguousarray(draws2),
+        live,
+        tables.prog_of,
+        tables.prog_ptr,
+        tables.prog_default,
+        tables.clause_result,
+        tables.clause_code_ptr,
+        tables.bytecode,
+        tables.atom_kind,
+        tables.atom_col,
+        tables.atom_a,
+        tables.atom_b,
+        tables.n_states,
+        tables.stack_size,
+        new_sig,
+    )
+    return new_sig if sig.ndim == 2 else new_sig[0]
+
+
+class NumbaBackend(ArrayBackend):
+    """The fused JIT step loop (requires numba; pin via ``backend="numba"``).
+
+    ``force_python=True`` runs the *same* bytecode kernel under the plain
+    interpreter — orders of magnitude slower, but it lets the conformance
+    suite validate the bytecode lowering on hosts without numba (the
+    tests label such an instance ``"kernel-python"``).
+    """
+
+    name = "numba"
+
+    def __init__(self, force_python: bool = False) -> None:
+        if not HAS_NUMBA and not force_python:
+            raise BackendLoweringError(
+                "backend 'numba' is unavailable: the numba package is not "
+                "installed (it is an optional dependency; install it or use "
+                "backend='numpy')",
+                blocker="numba-unavailable",
+            )
+        self.force_python = force_python
+        if force_python:
+            self.name = "kernel-python"
+
+    def step(self, adj, sig: np.ndarray, live: np.ndarray,
+             draws: Optional[np.ndarray], ir) -> np.ndarray:
+        tables = kernel_tables_for(ir)
+        return run_step(
+            adj, sig, live, draws, tables, force_python=self.force_python
+        )

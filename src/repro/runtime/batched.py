@@ -15,9 +15,9 @@ stacked numpy computation per step:
   ``A @ H`` yields all R count tables at once, reshaped to ``(R, n, s)``;
 * the automaton executes as a :class:`~repro.core.ir.CompiledAutomaton`
   (anything :func:`repro.core.ir.lower` accepts), its clause cascades
-  resolving with ``np.select`` across all replicas simultaneously over a
-  shared atom truth table (the evaluators are shared with
-  :mod:`repro.runtime.vectorized`, so the two engines cannot drift);
+  resolving across all replicas simultaneously through the shared
+  :class:`~repro.runtime.backends.ArrayBackend` step kernel (one kernel
+  for every engine, so the engines cannot drift);
 * each replica draws from its **own** ``np.random.Generator``, spawned
   from the master seed via :meth:`numpy.random.Generator.spawn` — replica
   ``i`` is bitwise identical to a single-replica
@@ -49,13 +49,14 @@ from repro.core.automaton import FSSGA, ProbabilisticFSSGA
 from repro.core.ir import CompiledAutomaton, lower
 from repro.network.graph import Network
 from repro.network.state import NetworkState
+from repro.runtime.backends import (
+    DEFAULT_MAX_STEPS,
+    ArrayBackend,
+    resolve_backend,
+)
 from repro.runtime.faults import FaultPlan
 from repro.runtime.telemetry import MetricsRegistry
-from repro.runtime.vectorized import (
-    _AtomTable,
-    _FaultMask,
-    _resolve_compiled,
-)
+from repro.runtime.vectorized import _FaultMask
 
 __all__ = ["BatchedSynchronousEngine", "BatchedRunResult", "run_replicas"]
 
@@ -114,7 +115,13 @@ class BatchedSynchronousEngine:
     metrics:
         Optional :class:`~repro.runtime.telemetry.MetricsRegistry`
         receiving the engine-agnostic counters plus the per-step
-        ``active_fraction`` series (quiescence-mask density).
+        ``active_fraction`` series (quiescence-mask density).  The
+        resolved backend name is recorded as the ``backend`` tag.
+    backend:
+        Which :class:`~repro.runtime.backends.ArrayBackend` executes the
+        stacked counts → atoms → cascades hot loop (``"auto"`` = numpy,
+        the bitwise reference; see
+        :func:`repro.runtime.backends.resolve_backend`).
     """
 
     def __init__(
@@ -127,6 +134,7 @@ class BatchedSynchronousEngine:
         rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
         fault_plan: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
+        backend: Union[str, ArrayBackend, None] = "auto",
     ) -> None:
         self._ir = lower(programs, randomness)
         self._probabilistic = self._ir.probabilistic
@@ -157,7 +165,10 @@ class BatchedSynchronousEngine:
         if fault_plan is not None and fault_plan.consumed:
             fault_plan.reset()  # a reused plan re-applies its full schedule
         self.fault_plan = fault_plan
+        self.backend = resolve_backend(backend)
         self.metrics = metrics
+        if metrics is not None:
+            metrics.set_tag("backend", self.backend.name)
         self.last_faults: list = []
         self._pos0 = {v: i for i, v in enumerate(self._order)}
         self._fault_mask: Optional[_FaultMask] = None
@@ -228,18 +239,6 @@ class BatchedSynchronousEngine:
             self._fault_mask.live_view()
         )
 
-    def _neighbour_counts(self, sig: np.ndarray) -> np.ndarray:
-        """All replicas' count tables via one sparse product → ``(A, m, s)``."""
-        nrep, n = sig.shape
-        s = len(self.alphabet)
-        adj = self.adjacency if self._live_pos is None else self._live_adj
-        onehot = np.zeros((n, nrep * s), dtype=np.int64)
-        rows = np.broadcast_to(np.arange(n), (nrep, n))
-        cols = sig + (np.arange(nrep) * s)[:, None]
-        onehot[rows.ravel(), cols.ravel()] = 1
-        counts = adj @ onehot  # (m, A*s)
-        return np.ascontiguousarray(counts.reshape(n, nrep, s).transpose(1, 0, 2))
-
     def step(self) -> np.ndarray:
         """One synchronous step for every active replica.
 
@@ -272,27 +271,21 @@ class BatchedSynchronousEngine:
         else:
             sig = self._sigma[np.ix_(act, self._live_pos)]
         m = sig.shape[1]
-        counts = self._neighbour_counts(sig)
-        new_sig = sig.copy()  # isolated nodes keep their state
+        adj = self.adjacency if self._live_pos is None else self._live_adj
         live = self._live_deg > 0
-        table = _AtomTable(self._ir.atoms, counts, self._code)
         if self._probabilistic:
+            # per-replica streams, each drawn in the vectorized engine's
+            # per-node order, so replica i matches a solo run bitwise
             draws = np.empty_like(sig)
             for j, r in enumerate(act):
-                draws[j] = self.rngs[r].integers(self.randomness, size=m)
-            for (qc, i), cprog in self._ir.table.items():
-                mask = live & (sig == qc) & (draws == i)
-                if mask.any():
-                    _resolve_compiled(cprog, table, mask, new_sig)
+                draws[j] = self.backend.draw(self.rngs[r], self.randomness, m)
         else:
-            for (qc, _draw), cprog in self._ir.table.items():
-                mask = live & (sig == qc)
-                if mask.any():
-                    _resolve_compiled(cprog, table, mask, new_sig)
+            draws = None
+        new_sig = self.backend.step(adj, sig, live, draws, self._ir)
         changed[act] = (new_sig != sig).any(axis=1)
         if met is not None:
             # state-cell changes: at R = 1 this equals the vectorized count
-            met.inc("node_updates", int((new_sig != sig).sum()))
+            met.inc("node_updates", self.backend.updates(new_sig, sig))
             if self._probabilistic:
                 met.inc("rng_draws", act.size * m)
         if self._live_pos is None:
@@ -307,7 +300,7 @@ class BatchedSynchronousEngine:
         for _ in range(steps):
             self.step()
 
-    def run_until_stable(self, max_steps: int = 100_000) -> np.ndarray:
+    def run_until_stable(self, max_steps: int = DEFAULT_MAX_STEPS) -> np.ndarray:
         """Step each replica to its own fixed point (deterministic automata).
 
         A replica is deactivated after its first no-change step, so
@@ -332,7 +325,7 @@ class BatchedSynchronousEngine:
         return self.rounds
 
     def run_until(
-        self, stop: StopPredicate, max_steps: int = 100_000
+        self, stop: StopPredicate, max_steps: int = DEFAULT_MAX_STEPS
     ) -> np.ndarray:
         """Step until ``stop(counts)`` holds per replica; returns rounds.
 
@@ -405,10 +398,11 @@ def run_replicas(
     *,
     steps: Optional[int] = None,
     stop: Optional[StopPredicate] = None,
-    max_steps: int = 100_000,
+    max_steps: int = DEFAULT_MAX_STEPS,
     randomness: Optional[int] = None,
     rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
     fault_plan: Optional[FaultPlan] = None,
+    backend: Union[str, ArrayBackend, None] = "auto",
 ) -> BatchedRunResult:
     """Evolve R replicas to termination and collect per-replica results.
 
@@ -422,6 +416,7 @@ def run_replicas(
     engine = BatchedSynchronousEngine(
         net, programs, init, replicas,
         randomness=randomness, rng=rng, fault_plan=fault_plan,
+        backend=backend,
     )
     if steps is not None and stop is not None:
         raise ValueError("give either steps or stop, not both")

@@ -19,6 +19,7 @@ from typing import NamedTuple
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
 from repro.network.graph import Network
 from repro.network.state import NetworkState
+from repro.runtime.backends import DEFAULT_MAX_STEPS
 from repro.runtime.simulator import SynchronousSimulator
 
 __all__ = ["Orbit", "find_orbit"]
@@ -43,7 +44,7 @@ def find_orbit(
     net: Network,
     automaton: FSSGA,
     init: NetworkState,
-    max_steps: int = 100_000,
+    max_steps: int = DEFAULT_MAX_STEPS,
 ) -> Orbit:
     """The (transient, period) of the synchronous orbit from ``init``.
 

@@ -17,9 +17,9 @@ representative's true neighbour-state counts are exactly::
 
     counts = Q @ one_hot(σ_reps)        # (k × s)
 
-so the *same* atom-table / cascade-table machinery the full-graph
-vectorized engine runs (:class:`~repro.runtime.vectorized._AtomTable`,
-``_resolve_compiled``) executes unchanged on the quotient — mod-thresh
+so the *same* backend step kernel the full-graph vectorized engine runs
+(:class:`~repro.runtime.backends.ArrayBackend` — atom truth table plus
+cascade resolution) executes unchanged on the quotient — mod-thresh
 counting is exact, not approximated, and a step costs O(k·s + nnz(Q))
 instead of O(n·s + m).  Lifted views (:attr:`state`, observer change
 dicts in :func:`repro.runtime.api.run`) decode the representative vector
@@ -63,9 +63,13 @@ from repro.core.ir import CompiledAutomaton, QuotientLoweringError, lower
 from repro.network.graph import Network
 from repro.network.state import NetworkState
 from repro.network.symmetry import SymmetryError
+from repro.runtime.backends import (
+    DEFAULT_MAX_STEPS,
+    ArrayBackend,
+    resolve_backend,
+)
 from repro.runtime.faults import FaultPlan
 from repro.runtime.telemetry import MetricsRegistry, coerce_rng
-from repro.runtime.vectorized import _AtomTable, _resolve_compiled
 
 __all__ = ["QuotientSynchronousEngine", "OrbitBroadcastRng"]
 
@@ -97,6 +101,7 @@ class QuotientSynchronousEngine:
         rng: Union[int, np.random.Generator, None] = None,
         fault_plan: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
+        backend: Union[str, ArrayBackend, None] = "auto",
     ) -> None:
         if fault_plan is not None and len(fault_plan) > 0:
             raise QuotientLoweringError(
@@ -181,7 +186,10 @@ class QuotientSynchronousEngine:
         self._sigma = sigma
 
         self.rng = coerce_rng(rng)
+        self.backend = resolve_backend(backend)
         self.metrics = metrics
+        if metrics is not None:
+            metrics.set_tag("backend", self.backend.name)
         self.fault_plan = None
         self.last_faults: list = []
         self.time = 0
@@ -212,30 +220,17 @@ class QuotientSynchronousEngine:
         """One synchronous quotient step; True iff any orbit changed."""
         sig = self._sigma
         k = self._k
-        s = len(self.alphabet)
-        one_hot = sparse.csr_matrix(
-            (np.ones(k, dtype=np.int64), (np.arange(k), sig)), shape=(k, s)
-        )
-        counts = np.asarray((self.quotient @ one_hot).todense())
-        new_sig = sig.copy()  # isolated orbits keep their state
         live = self._degrees > 0
-        table = _AtomTable(self._ir.atoms, counts, self._code)
         if self._probabilistic:
             # one shared draw per orbit (see module docstring): the only
             # convention that keeps the trajectory orbit-constant
-            draws = self.rng.integers(self.randomness, size=k)
-            for (qc, i), cprog in self._ir.table.items():
-                mask = live & (sig == qc) & (draws == i)
-                if mask.any():
-                    _resolve_compiled(cprog, table, mask, new_sig)
+            draws = self.backend.draw(self.rng, self.randomness, k)
         else:
-            for (qc, _draw), cprog in self._ir.table.items():
-                mask = live & (sig == qc)
-                if mask.any():
-                    _resolve_compiled(cprog, table, mask, new_sig)
+            draws = None
+        new_sig = self.backend.step(self.quotient, sig, live, draws, self._ir)
         met = self.metrics
         if met is None:
-            changed = bool((new_sig != sig).any())
+            changed = self.backend.any_changed(new_sig, sig)
         else:
             diff = new_sig != sig
             updates = int(diff.sum())
@@ -253,7 +248,7 @@ class QuotientSynchronousEngine:
         for _ in range(steps):
             self.step()
 
-    def run_until_stable(self, max_steps: int = 100_000) -> int:
+    def run_until_stable(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
         """Step to a fixed point; returns steps taken (deterministic only)."""
         for steps in range(1, max_steps + 1):
             if not self.step():

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
+from repro.runtime.backends import DEFAULT_MAX_STEPS
 from repro.runtime.faults import FaultPlan
 from repro.runtime.scheduler import RandomScheduler, Scheduler
 from repro.runtime.telemetry import MetricsRegistry, coerce_rng
@@ -74,7 +75,7 @@ class _BaseSimulator:
     def run_until(
         self,
         predicate: Callable[[NetworkState], bool],
-        max_steps: int = 100_000,
+        max_steps: int = DEFAULT_MAX_STEPS,
     ) -> int:
         """Step until ``predicate(state)`` holds; returns steps taken.
 
@@ -128,7 +129,7 @@ class SynchronousSimulator(_BaseSimulator):
         for _ in range(steps):
             self.step()
 
-    def run_until_stable(self, max_steps: int = 100_000) -> int:
+    def run_until_stable(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
         """Step until a fixed point (no node changes); returns steps taken.
 
         Only meaningful for deterministic automata whose executions

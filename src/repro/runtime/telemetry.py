@@ -116,17 +116,28 @@ class MetricsRegistry:
     The batched engine additionally records the series
     ``active_fraction`` — the fraction of replicas still active at each
     step (the quiescence-mask density).
+
+    Besides counters and series, a registry carries string ``tags`` —
+    run-level labels rather than accumulating measurements.  Engines set
+    the ``backend`` tag to the resolved
+    :class:`~repro.runtime.backends.ArrayBackend` name, so stored
+    snapshots say which substrate produced the counters.
     """
 
-    __slots__ = ("counters", "series")
+    __slots__ = ("counters", "series", "tags")
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.series: dict[str, list] = {}
+        self.tags: dict[str, str] = {}
 
     def inc(self, name: str, value: int = 1) -> None:
         """Add ``value`` to counter ``name`` (created at 0)."""
         self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_tag(self, name: str, value: str) -> None:
+        """Attach a run-level label (last writer wins)."""
+        self.tags[name] = value
 
     def observe(self, name: str, value) -> None:
         """Append ``value`` to the series ``name``."""
@@ -150,6 +161,7 @@ class MetricsRegistry:
         return {
             "counters": dict(self.counters),
             "series": {k: list(v) for k, v in self.series.items()},
+            "tags": dict(self.tags),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -498,6 +510,7 @@ class RunManifest:
     ir_hash: Optional[str]
     rng: tuple
     fault_events: tuple
+    backend: Optional[str] = None
     versions: dict = field(default_factory=library_versions)
     automaton: Any = field(default=None, repr=False)
     net: Any = field(default=None, repr=False)
@@ -569,6 +582,7 @@ def capture_manifest(
     randomness: Optional[int],
     rng,
     fault_plan,
+    backend: Optional[str] = None,
 ) -> RunManifest:
     """Snapshot a :func:`run` call's inputs (called before any step runs).
 
@@ -597,6 +611,7 @@ def capture_manifest(
         ir_hash=ir_hash,
         rng=capture_rng(rng),
         fault_events=events,
+        backend=backend,
         automaton=automaton,
         net=net,
         init=init,
@@ -611,7 +626,7 @@ def replay(manifest: RunManifest, *, check: bool = True):
     Rebuilds the pre-fault network when the original run had faults (and a
     fresh :class:`~repro.runtime.faults.FaultPlan` from the recorded
     events), restores the RNG to its captured position, pins the engine
-    the original run selected, and re-runs.  With ``check=True`` (default)
+    *and array backend* the original run selected, and re-runs.  With ``check=True`` (default)
     the final-state fingerprint(s), executed steps and consumed draws must
     all match the manifest or :class:`ReplayMismatchError` is raised.
     Returns the fresh :class:`~repro.runtime.api.RunResult`.
@@ -647,6 +662,7 @@ def replay(manifest: RunManifest, *, check: bool = True):
         randomness=manifest.randomness,
         rng=restore_rng(manifest.rng),
         fault_plan=plan,
+        backend=manifest.backend or "auto",
     )
     if check:
         problems = []

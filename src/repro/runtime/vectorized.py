@@ -10,12 +10,15 @@ table is a single sparse mat-mat product::
 The engine executes a :class:`~repro.core.ir.CompiledAutomaton` — anything
 :func:`repro.core.ir.lower` accepts (mod-thresh program mappings, automata
 built from programs of any Theorem 3.7 form, rule-based automata declaring
-``compile_hints``) runs here.  Each unique mod/thresh feature atom in the
-IR evaluates exactly once per step into a shared truth table; the compiled
-clause cascades resolve over it with ``np.select`` (first-match semantics,
-exactly Definition 3.6).  This follows the HPC guides'
-vectorize-the-hot-loop advice and is benchmarked against the reference
-interpreter in ``benchmarks/bench_engines.py`` (experiment E15).
+``compile_hints``) runs here.  The counts → atom-table → cascade hot loop
+itself lives behind the pluggable
+:class:`~repro.runtime.backends.ArrayBackend` seam (``backend="auto"``
+selects the extracted numpy/scipy code, bitwise-identical to the historical
+inline loops); this module keeps everything around it: CSR construction,
+fault masking, live-node slicing, telemetry and state decoding.  It is
+benchmarked against the reference interpreter in
+``benchmarks/bench_engines.py`` (experiment E15) and across backends in
+``benchmarks/bench_backends.py`` (experiment E21).
 
 Fault plans are lowered rather than interpreted: events fire against the
 live :class:`~repro.network.graph.Network` *before* the step whose time has
@@ -29,11 +32,13 @@ counts, draws and decoding, so probabilistic executions stay
 bitwise-identical to the reference interpreter, which draws once per live
 node in insertion order.
 
-The proposition/cascade evaluators in this module are shape-generic: they
-operate on any counts tensor whose *last* axis indexes the alphabet, so
-:class:`~repro.runtime.batched.BatchedSynchronousEngine` reuses them on
-``(R, n, s)`` stacks of replica counts with no code divergence between the
-single-replica and batched paths.
+The proposition/cascade evaluators formerly defined here moved to
+:mod:`repro.runtime.backends.kernels`; the historical private names
+(``_prop_bool``, ``_AtomTable``, ``_ctree_bool``, ``_resolve_compiled``)
+remain as re-export shims for existing importers.  They stay shape-generic
+over any counts tensor whose *last* axis indexes the alphabet, so the
+batched engine reuses them on ``(R, n, s)`` replica stacks with no code
+divergence between the single-replica and batched paths.
 """
 
 from __future__ import annotations
@@ -45,23 +50,32 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.automaton import FSSGA, ProbabilisticFSSGA
-from repro.core.ir import CompiledAutomaton, CompiledProgram, lower
-from repro.core.modthresh import (
-    And,
-    ModAtom,
-    ModThreshProgram,
-    Not,
-    Or,
-    Proposition,
-    ThreshAtom,
-    _Const,
-)
+from repro.core.ir import CompiledAutomaton, lower
+from repro.core.modthresh import ModThreshProgram
 from repro.network.graph import Network
 from repro.network.state import NetworkState
+from repro.runtime.backends import (
+    DEFAULT_MAX_STEPS,
+    ArrayBackend,
+    resolve_backend,
+)
+from repro.runtime.backends.kernels import (
+    AtomTable,
+    ctree_bool,
+    prop_bool,
+    resolve_compiled,
+)
 from repro.runtime.faults import FaultPlan
 from repro.runtime.telemetry import MetricsRegistry, coerce_rng
 
 __all__ = ["VectorizedSynchronousEngine"]
+
+# Historical private names, now shared by all engines via the backends
+# package.  Kept as shims so pre-backend importers keep working.
+_AtomTable = AtomTable
+_prop_bool = prop_bool
+_ctree_bool = ctree_bool
+_resolve_compiled = resolve_compiled
 
 
 # ----------------------------------------------------------------------
@@ -121,40 +135,6 @@ def _build_alphabet(programs: Mapping, probabilistic: bool) -> list:
     return sorted(alphabet, key=repr)
 
 
-def _prop_bool(prop: Proposition, counts: np.ndarray, code: Mapping) -> np.ndarray:
-    """Evaluate a proposition over a counts tensor ``(..., s)`` → bool ``(...)``.
-
-    The leading shape is arbitrary: ``(n,)`` for the single-replica engine,
-    ``(R, n)`` for the batched one.
-    """
-    shape = counts.shape[:-1]
-    if isinstance(prop, ThreshAtom):
-        col = code.get(prop.state)
-        if col is None:
-            return np.ones(shape, dtype=bool)  # state never occurs
-        return counts[..., col] < prop.threshold
-    if isinstance(prop, ModAtom):
-        col = code.get(prop.state)
-        if col is None:
-            return np.full(shape, prop.residue == 0)
-        return counts[..., col] % prop.modulus == prop.residue
-    if isinstance(prop, And):
-        out = np.ones(shape, dtype=bool)
-        for c in prop.children:
-            out &= _prop_bool(c, counts, code)
-        return out
-    if isinstance(prop, Or):
-        out = np.zeros(shape, dtype=bool)
-        for c in prop.children:
-            out |= _prop_bool(c, counts, code)
-        return out
-    if isinstance(prop, Not):
-        return ~_prop_bool(prop.child, counts, code)
-    if isinstance(prop, _Const):
-        return np.full(shape, prop.evaluate(None))  # constant
-    raise TypeError(f"unexpected proposition {prop!r}")
-
-
 def _resolve_program(
     prog: ModThreshProgram,
     counts: np.ndarray,
@@ -170,75 +150,11 @@ def _resolve_program(
     if not prog.clauses:
         new_sigma[mask] = code[prog.default]
         return
-    conds = [_prop_bool(p, counts, code) for p, _ in prog.clauses]
+    conds = [prop_bool(p, counts, code) for p, _ in prog.clauses]
     out = np.select(
         conds,
         [np.int64(code[r]) for _, r in prog.clauses],
         default=np.int64(code[prog.default]),
-    )
-    new_sigma[mask] = out[mask]
-
-
-class _AtomTable:
-    """Per-step truth table over the IR's unique feature atoms.
-
-    Each atom evaluates lazily, exactly once, into a boolean array shared by
-    every cascade that references it — the common-subexpression payoff of
-    the atom-table IR.
-    """
-
-    __slots__ = ("atoms", "counts", "code", "shape", "_memo")
-
-    def __init__(self, atoms: tuple, counts: np.ndarray, code: Mapping) -> None:
-        self.atoms = atoms
-        self.counts = counts
-        self.code = code
-        self.shape = counts.shape[:-1]
-        self._memo: dict[int, np.ndarray] = {}
-
-    def truth(self, idx: int) -> np.ndarray:
-        arr = self._memo.get(idx)
-        if arr is None:
-            arr = _prop_bool(self.atoms[idx], self.counts, self.code)
-            self._memo[idx] = arr
-        return arr
-
-
-def _ctree_bool(tree: tuple, table: _AtomTable) -> np.ndarray:
-    """Evaluate a compiled proposition tree against the atom truth table."""
-    op = tree[0]
-    if op == "atom":
-        return table.truth(tree[1])
-    if op == "not":
-        return ~_ctree_bool(tree[1], table)
-    if op == "and":
-        out = np.ones(table.shape, dtype=bool)
-        for c in tree[1]:
-            out &= _ctree_bool(c, table)
-        return out
-    if op == "or":
-        out = np.zeros(table.shape, dtype=bool)
-        for c in tree[1]:
-            out |= _ctree_bool(c, table)
-        return out
-    return np.full(table.shape, tree[1])  # ("const", bool)
-
-
-def _resolve_compiled(
-    cprog: CompiledProgram,
-    table: _AtomTable,
-    mask: np.ndarray,
-    new_sigma: np.ndarray,
-) -> None:
-    """Resolve one IR cascade for the masked entries into ``new_sigma``."""
-    if not cprog.clauses:
-        new_sigma[mask] = cprog.default
-        return
-    conds = [_ctree_bool(t, table) for t, _ in cprog.clauses]
-    out = np.select(
-        conds,
-        [np.int64(c) for _, c in cprog.clauses],
-        default=np.int64(cprog.default),
     )
     new_sigma[mask] = out[mask]
 
@@ -321,7 +237,15 @@ class VectorizedSynchronousEngine:
         Optional :class:`~repro.runtime.telemetry.MetricsRegistry`
         receiving the engine-agnostic counters (``steps``,
         ``node_updates``, ``rng_draws``, ``fault_events``).  ``None``
-        (default) costs one branch per step.
+        (default) costs one branch per step.  The resolved backend name
+        is recorded as the registry's ``backend`` tag.
+    backend:
+        Which :class:`~repro.runtime.backends.ArrayBackend` executes the
+        counts → atoms → cascades hot loop: ``"auto"`` / ``"numpy"`` (the
+        bitwise-reference default), ``"array-api"``, ``"numba"`` (raises
+        :class:`~repro.core.ir.BackendLoweringError` with blocker
+        ``"numba-unavailable"`` when numba is missing), or a live
+        :class:`~repro.runtime.backends.ArrayBackend` instance.
     """
 
     def __init__(
@@ -333,6 +257,7 @@ class VectorizedSynchronousEngine:
         rng: Union[int, np.random.Generator, None] = None,
         fault_plan: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
+        backend: Union[str, ArrayBackend, None] = "auto",
     ) -> None:
         self._ir = lower(programs, randomness)
         self._probabilistic = self._ir.probabilistic
@@ -356,7 +281,10 @@ class VectorizedSynchronousEngine:
         if fault_plan is not None and fault_plan.consumed:
             fault_plan.reset()  # a reused plan re-applies its full schedule
         self.fault_plan = fault_plan
+        self.backend = resolve_backend(backend)
         self.metrics = metrics
+        if metrics is not None:
+            metrics.set_tag("backend", self.backend.name)
         self.last_faults: list = []
         # original row of each node, for scattering live-subset results back
         self._pos0 = {v: i for i, v in enumerate(self._order)}
@@ -408,35 +336,19 @@ class VectorizedSynchronousEngine:
             sig = self._sigma[self._live_pos]
             adj, deg = self._live_adj, self._live_deg
         m = sig.shape[0]
-        s = len(self.alphabet)
-        if m:
-            one_hot = sparse.csr_matrix(
-                (np.ones(m, dtype=np.int64), (np.arange(m), sig)), shape=(m, s)
-            )
-            counts = np.asarray((adj @ one_hot).todense())
-        else:
-            counts = np.zeros((0, s), dtype=np.int64)
-        new_sig = sig.copy()  # isolated nodes keep their state
         live = deg > 0
-        table = _AtomTable(self._ir.atoms, counts, self._code)
         if self._probabilistic:
             # one draw per live node, matching the reference interpreter's
             # per-node draw order (insertion order == CSR row order)
-            draws = self.rng.integers(self.randomness, size=m)
-            for (qc, i), cprog in self._ir.table.items():
-                mask = live & (sig == qc) & (draws == i)
-                if mask.any():
-                    _resolve_compiled(cprog, table, mask, new_sig)
+            draws = self.backend.draw(self.rng, self.randomness, m)
         else:
-            for (qc, _draw), cprog in self._ir.table.items():
-                mask = live & (sig == qc)
-                if mask.any():
-                    _resolve_compiled(cprog, table, mask, new_sig)
+            draws = None
+        new_sig = self.backend.step(adj, sig, live, draws, self._ir)
         met = self.metrics
         if met is None:
-            changed = bool((new_sig != sig).any())
+            changed = self.backend.any_changed(new_sig, sig)
         else:
-            updates = int((new_sig != sig).sum())
+            updates = self.backend.updates(new_sig, sig)
             changed = updates > 0
             met.inc("steps")
             met.inc("node_updates", updates)
@@ -457,7 +369,7 @@ class VectorizedSynchronousEngine:
         for _ in range(steps):
             self.step()
 
-    def run_until_stable(self, max_steps: int = 100_000) -> int:
+    def run_until_stable(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
         """Step to a fixed point; returns steps taken (deterministic only).
 
         With a fault plan, stability additionally requires the plan to be

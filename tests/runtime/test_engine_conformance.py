@@ -29,6 +29,15 @@ documented convention for cross-engine probabilistic quotient
 conformance (stock per-node draws are a different stochastic process, so
 ``engine="auto"`` never quotients probabilistic runs).
 
+The **backend axis** re-runs the differential oracle with every array
+engine executing through each selectable
+:class:`~repro.runtime.backends.ArrayBackend`: ``numpy`` (the extracted
+historical kernel), ``array-api`` (pure array-API calls over the numpy
+namespace), and the JIT backend's kernel — as ``kernel-python`` (the
+bytecode interpreter running un-jitted, so the lowering is validated on
+numba-free hosts) plus real ``numba`` when importable.  Trajectories must
+stay bitwise identical to the reference interpreter under every backend.
+
 The default parametrization keeps cases small; the ``slow`` marker adds a
 wider randomized sweep (opt-in: ``pytest -m slow``).
 """
@@ -47,12 +56,27 @@ from repro.core.modthresh import (
 )
 from repro.network import NetworkState, generators
 from repro.network import symmetry as sym
+from repro.runtime.backends import HAS_NUMBA, NumbaBackend, resolve_backend
 from repro.runtime.batched import BatchedSynchronousEngine
 from repro.runtime.faults import FaultEvent, FaultPlan
 from repro.runtime.quotient import OrbitBroadcastRng, QuotientSynchronousEngine
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.telemetry import MetricsRegistry
 from repro.runtime.vectorized import VectorizedSynchronousEngine
+
+#: Every backend testable on this host.  ``kernel-python`` is the JIT
+#: backend's fused kernel interpreted in plain Python — it validates the
+#: bytecode lowering even where numba is not installed.
+BACKEND_AXIS = ["numpy", "array-api", "kernel-python"] + (
+    ["numba"] if HAS_NUMBA else []
+)
+
+
+def make_backend(name):
+    """A fresh backend instance for a conformance case."""
+    if name == "kernel-python":
+        return NumbaBackend(force_python=True)
+    return resolve_backend(name)
 
 
 # ----------------------------------------------------------------------
@@ -179,15 +203,19 @@ def orbit_constant_init(rng, net, states):
 # ----------------------------------------------------------------------
 # the differential assertions
 # ----------------------------------------------------------------------
-def assert_deterministic_conformance(case_seed, scale=1, steps=6, replicas=3):
+def assert_deterministic_conformance(
+    case_seed, scale=1, steps=6, replicas=3, backend="auto"
+):
     rng = np.random.default_rng(case_seed)
     states, programs = random_deterministic_programs(rng, int(rng.integers(2, 5)))
     net = random_network(rng, scale)
     init = random_init(rng, net, states)
 
     ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(programs), init.copy())
-    vec = VectorizedSynchronousEngine(net, programs, init)
-    bat = BatchedSynchronousEngine(net, programs, init, replicas=replicas)
+    vec = VectorizedSynchronousEngine(net, programs, init, backend=backend)
+    bat = BatchedSynchronousEngine(
+        net, programs, init, replicas=replicas, backend=backend
+    )
     for step in range(steps):
         ref.step()
         vec.step()
@@ -199,7 +227,7 @@ def assert_deterministic_conformance(case_seed, scale=1, steps=6, replicas=3):
             )
 
 
-def assert_probabilistic_conformance(case_seed, scale=1, steps=8):
+def assert_probabilistic_conformance(case_seed, scale=1, steps=8, backend="auto"):
     rng = np.random.default_rng(case_seed)
     randomness = int(rng.integers(2, 4))
     states, programs = random_probabilistic_programs(
@@ -214,7 +242,8 @@ def assert_probabilistic_conformance(case_seed, scale=1, steps=8):
         net.copy(), automaton, init.copy(), rng=np.random.default_rng(seed)
     )
     vec = VectorizedSynchronousEngine(
-        net, programs, init, randomness=randomness, rng=np.random.default_rng(seed)
+        net, programs, init, randomness=randomness,
+        rng=np.random.default_rng(seed), backend=backend,
     )
     # one replica sharing the very same stream as the single-replica engines
     bat = BatchedSynchronousEngine(
@@ -224,6 +253,7 @@ def assert_probabilistic_conformance(case_seed, scale=1, steps=8):
         replicas=1,
         randomness=randomness,
         rng=[np.random.default_rng(seed)],
+        backend=backend,
     )
     for step in range(steps):
         ref.step()
@@ -233,7 +263,9 @@ def assert_probabilistic_conformance(case_seed, scale=1, steps=8):
         assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
 
 
-def assert_faulted_conformance(case_seed, scale=1, steps=8, replicas=2):
+def assert_faulted_conformance(
+    case_seed, scale=1, steps=8, replicas=2, backend="auto"
+):
     """Mid-run faults lower to live-node masks on every engine: identical
     trajectories over the surviving nodes, step by step."""
     rng = np.random.default_rng(case_seed)
@@ -247,11 +279,11 @@ def assert_faulted_conformance(case_seed, scale=1, steps=8, replicas=2):
         fault_plan=FaultPlan(events),
     )
     vec = VectorizedSynchronousEngine(
-        net.copy(), programs, init, fault_plan=FaultPlan(events)
+        net.copy(), programs, init, fault_plan=FaultPlan(events), backend=backend
     )
     bat = BatchedSynchronousEngine(
         net.copy(), programs, init, replicas=replicas,
-        fault_plan=FaultPlan(events),
+        fault_plan=FaultPlan(events), backend=backend,
     )
     for step in range(steps):
         ref.step()
@@ -264,7 +296,9 @@ def assert_faulted_conformance(case_seed, scale=1, steps=8, replicas=2):
             )
 
 
-def assert_faulted_probabilistic_conformance(case_seed, scale=1, steps=8):
+def assert_faulted_probabilistic_conformance(
+    case_seed, scale=1, steps=8, backend="auto"
+):
     """Faults + shared RNG streams: the live-compacted draw order must keep
     matching the reference's per-node draws as nodes disappear."""
     rng = np.random.default_rng(case_seed)
@@ -285,10 +319,12 @@ def assert_faulted_probabilistic_conformance(case_seed, scale=1, steps=8):
     vec = VectorizedSynchronousEngine(
         net.copy(), programs, init, randomness=randomness,
         rng=np.random.default_rng(seed), fault_plan=FaultPlan(events),
+        backend=backend,
     )
     bat = BatchedSynchronousEngine(
         net.copy(), programs, init, replicas=1, randomness=randomness,
         rng=[np.random.default_rng(seed)], fault_plan=FaultPlan(events),
+        backend=backend,
     )
     for step in range(steps):
         ref.step()
@@ -298,7 +334,9 @@ def assert_faulted_probabilistic_conformance(case_seed, scale=1, steps=8):
         assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
 
 
-def assert_quotient_deterministic_conformance(case_seed, scale=1, steps=6):
+def assert_quotient_deterministic_conformance(
+    case_seed, scale=1, steps=6, backend="auto"
+):
     """Quotient vs reference vs vectorized: bitwise-identical *lifted*
     trajectories on a random declared-group network from an orbit-constant
     initial state, step by step."""
@@ -307,9 +345,9 @@ def assert_quotient_deterministic_conformance(case_seed, scale=1, steps=6):
     net = symmetric_network(rng, scale)
     init = orbit_constant_init(rng, net, states)
 
-    quo = QuotientSynchronousEngine(net, programs, init)
+    quo = QuotientSynchronousEngine(net, programs, init, backend=backend)
     ref = SynchronousSimulator(net.copy(), FSSGA.from_programs(programs), init.copy())
-    vec = VectorizedSynchronousEngine(net.copy(), programs, init)
+    vec = VectorizedSynchronousEngine(net.copy(), programs, init, backend=backend)
     for step in range(steps):
         quo.step()
         ref.step()
@@ -318,7 +356,9 @@ def assert_quotient_deterministic_conformance(case_seed, scale=1, steps=6):
         assert vec.state == ref.state, f"vectorized diverged at step {step}"
 
 
-def assert_quotient_probabilistic_conformance(case_seed, scale=1, steps=8):
+def assert_quotient_probabilistic_conformance(
+    case_seed, scale=1, steps=8, backend="auto"
+):
     """The probabilistic quotient convention, cross-checked bitwise: the
     quotient engine draws one value per orbit per step; the full-graph
     engines consume the *same base stream* through ``OrbitBroadcastRng``
@@ -336,7 +376,7 @@ def assert_quotient_probabilistic_conformance(case_seed, scale=1, steps=8):
     automaton = ProbabilisticFSSGA(set(states), randomness, programs)
     quo = QuotientSynchronousEngine(
         net, programs, init, randomness=randomness,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(seed), backend=backend,
     )
     ref = SynchronousSimulator(
         net.copy(), automaton, init.copy(),
@@ -344,7 +384,7 @@ def assert_quotient_probabilistic_conformance(case_seed, scale=1, steps=8):
     )
     vec = VectorizedSynchronousEngine(
         net.copy(), programs, init, randomness=randomness,
-        rng=OrbitBroadcastRng(net, np.random.default_rng(seed)),
+        rng=OrbitBroadcastRng(net, np.random.default_rng(seed)), backend=backend,
     )
     for step in range(steps):
         quo.step()
@@ -660,6 +700,70 @@ class TestKnownAutomata:
             bat.step()
             assert vec.state == ref.state
             assert bat.replica_state(0) == ref.state
+
+
+class TestBackendConformance:
+    """The same harness swept across the array-backend axis.
+
+    Every backend must be bitwise-identical to the reference interpreter
+    (and hence to every other backend): counts are exact integers and the
+    RNG draw stream is consumed identically, so there is no tolerance —
+    equality is exact.  ``kernel-python`` exercises the numba bytecode
+    lowering without requiring numba; ``numba`` itself joins the axis
+    when installed.
+    """
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(3))
+    def test_deterministic(self, backend, case):
+        assert_deterministic_conformance(
+            13000 + case, backend=make_backend(backend)
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(3))
+    def test_probabilistic(self, backend, case):
+        assert_probabilistic_conformance(
+            13100 + case, backend=make_backend(backend)
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(2))
+    def test_faulted(self, backend, case):
+        assert_faulted_conformance(13200 + case, backend=make_backend(backend))
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(2))
+    def test_faulted_probabilistic(self, backend, case):
+        assert_faulted_probabilistic_conformance(
+            13300 + case, backend=make_backend(backend)
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(2))
+    def test_quotient_deterministic(self, backend, case):
+        assert_quotient_deterministic_conformance(
+            13400 + case, backend=make_backend(backend)
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(2))
+    def test_quotient_probabilistic(self, backend, case):
+        assert_quotient_probabilistic_conformance(
+            13500 + case, backend=make_backend(backend)
+        )
+
+    def test_backend_name_pass_through(self):
+        """Engines accept both a name and a prebuilt backend instance."""
+        rng = np.random.default_rng(0)
+        states, programs = random_deterministic_programs(rng, 3)
+        net = random_network(rng, 1)
+        init = random_init(rng, net, states)
+        by_name = VectorizedSynchronousEngine(net, programs, init,
+                                              backend="array-api")
+        by_obj = VectorizedSynchronousEngine(net, programs, init,
+                                             backend=make_backend("array-api"))
+        assert by_name.backend.name == by_obj.backend.name == "array-api"
 
 
 # ----------------------------------------------------------------------

@@ -81,7 +81,7 @@ class TestMetricsRegistry:
         snap = met.snapshot()
         met.inc("a")
         met.observe("s", 2)
-        assert snap == {"counters": {"a": 1}, "series": {"s": [1]}}
+        assert snap == {"counters": {"a": 1}, "series": {"s": [1]}, "tags": {}}
 
     def test_run_wires_engine_and_cache_counters(self):
         net, automaton, init = _distance_workload()
