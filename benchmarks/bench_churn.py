@@ -1,0 +1,119 @@
+"""E22 — churn stays on the fast path: mixed down/up schedules at n = 512.
+
+The topology-dynamics acceptance gate: a schedule that deletes, revives
+and *grows* topology mid-run must still execute on the vectorized engine
+(union-topology lowering — no reference fallback), bitwise-identical to
+the reference interpreter under a shared seed, at >= 3x its speed.  The
+resilience-curve half of E22 lives in the ``churn-resilience`` /
+``churn-smoke`` campaign presets (``python -m repro campaign run``).
+"""
+
+import time
+
+import numpy as np
+
+from repro import MetricsRegistry, run
+from repro.algorithms import election
+from repro.network import generators
+from repro.runtime.churn import ChurnPlan, TopologyEvent
+
+from _benchlib import print_table
+
+
+def _mixed_plan(net, init) -> list:
+    """A deterministic mixed schedule over K_n: outages, recoveries with
+    partial re-attachment, and fresh arrivals joining the election."""
+    events = []
+    # a regional outage: nodes 0..7 go down in staggered waves
+    for v in range(8):
+        events.append(TopologyEvent(1 + v % 3, "node-down", v))
+    # some edges die independently
+    for v in range(8, 12):
+        events.append(TopologyEvent(2, "edge-down", (v, v + 1)))
+    # half the outage recovers, re-attaching to a slice of old neighbours
+    for v in range(4):
+        events.append(
+            TopologyEvent(
+                6, "node-up", v,
+                state=init[v],
+                edges=tuple(range(20, 40)),
+            )
+        )
+    # growth: four brand-new contenders attach to the core
+    for i in range(4):
+        events.append(
+            TopologyEvent(
+                8 + i, "node-up", f"new{i}",
+                state=election.K_REMAIN0,
+                edges=tuple(range(50, 60)),
+            )
+        )
+    # and one severed edge comes back
+    events.append(TopologyEvent(10, "edge-up", (8, 9)))
+    return events
+
+
+def test_churn_vectorized_gate(benchmark):
+    """E22 — coin kernel on K_512 under 21 mixed churn events, 20 steps."""
+    n, steps, seed = 512, 20, 22
+    net = generators.complete_graph(n)
+    programs = election.coin_kernel_programs()
+    init = election.coin_kernel_init(net)
+    events = _mixed_plan(net, init)
+
+    def compute():
+        t0 = time.perf_counter()
+        ref = run(
+            programs, net.copy(), init, engine="reference", randomness=2,
+            rng=np.random.default_rng(seed), until=steps,
+            fault_plan=ChurnPlan(list(events)),
+        )
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        vec = run(
+            programs, net.copy(), init, engine="auto", randomness=2,
+            rng=np.random.default_rng(seed), until=steps,
+            fault_plan=ChurnPlan(list(events)),
+        )
+        t_vec = time.perf_counter() - t0
+        return ref, vec, t_ref, t_vec
+
+    ref, vec, t_ref, t_vec = benchmark.pedantic(compute, rounds=1, iterations=1)
+    speedup = t_ref / t_vec
+    print_table(
+        f"E22: coin kernel on K_{n} under {len(events)} churn events, "
+        f"{steps} steps",
+        ["engine", "ms", "speedup"],
+        [
+            ("reference", f"{t_ref * 1e3:.1f}", ""),
+            (vec.engine, f"{t_vec * 1e3:.1f}", f"{speedup:.1f}x"),
+        ],
+    )
+    # counter-level telemetry for the stored BENCH_*.json — metered rerun
+    # outside the timed region, checked bitwise-identical to the timed one
+    met = MetricsRegistry()
+    metered = run(
+        programs, net.copy(), init, engine="auto", randomness=2,
+        rng=np.random.default_rng(seed), until=steps, metrics=met,
+        fault_plan=ChurnPlan(list(events)),
+    )
+    assert metered.final_state == vec.final_state
+    benchmark.extra_info.update(
+        n=n,
+        engine=vec.engine,
+        backend=vec.backend,
+        speedup=round(speedup, 1),
+        steps=met.get("steps"),
+        churn_events=met.get("churn_events"),
+        fault_events=met.get("fault_events"),
+        node_updates=met.get("node_updates"),
+        rng_draws=met.get("rng_draws"),
+        updates_per_sec=round(met.get("node_updates") / t_vec),
+    )
+    # the gate: churn must not force a reference fallback …
+    assert vec.engine == "vectorized"
+    assert met.get("churn_events") == len(events)
+    # … must stay bitwise-equal to the oracle (arrivals included) …
+    assert vec.final_state == ref.final_state
+    # … and must keep a real speed margin over the interpreter
+    assert speedup >= 3.0

@@ -46,7 +46,9 @@ from repro.network import (
 from repro.runtime import (
     SynchronousSimulator,
     AsynchronousSimulator,
+    ChurnPlan,
     FaultPlan,
+    TopologyEvent,
     QuotientSynchronousEngine,
     MetricsObserver,
     MetricsRegistry,
@@ -78,6 +80,8 @@ __all__ = [
     "SynchronousSimulator",
     "AsynchronousSimulator",
     "FaultPlan",
+    "ChurnPlan",
+    "TopologyEvent",
     "run",
     "RunResult",
     "StepObserver",

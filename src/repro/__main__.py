@@ -176,6 +176,32 @@ def _campaign_presets() -> dict:
             timeout=600.0,
             retries=2,
         ),
+        # accuracy-vs-churn-rate resilience curve for the election kernel
+        # (E22): one grid column per curve point, aggregated by rate
+        "churn-resilience": CampaignSpec(
+            name="churn-resilience",
+            job="repro.sensitivity.harness.churn_resilience_job",
+            grid={"n": [16, 24, 32], "num_events": [0, 2, 4, 8]},
+            fixed={"replicas": 8, "churn_window": 8, "p_up": 0.4},
+            seeds=4,
+            entropy=22,
+            timeout=600.0,
+            retries=2,
+        ),
+        # tiny churn grid for the CI smoke-campaign step: ~6 jobs
+        "churn-smoke": CampaignSpec(
+            name="churn-smoke",
+            job="repro.sensitivity.harness.churn_resilience_job",
+            grid={"num_events": [0, 3, 6]},
+            fixed={
+                "n": 16, "replicas": 4, "churn_window": 6, "p_up": 0.4,
+                "max_steps": 2_000,
+            },
+            seeds=2,
+            entropy=22,
+            timeout=300.0,
+            retries=2,
+        ),
     }
 
 

@@ -1,11 +1,13 @@
-"""Simple undirected graphs with fault (deletion) support.
+"""Simple undirected graphs with fault (deletion) and churn support.
 
 The :class:`Network` class is the substrate for every simulation in this
 package.  It is deliberately small and dependency-free: adjacency sets over
 hashable node identifiers, with O(1) amortised edge insertion/removal and
 O(deg) node removal.  Deletions model the paper's *decreasing benign faults*
-(Section 1): a node or edge may permanently disappear, but nothing ever
-joins the network.
+(Section 1); the churn layer (:mod:`repro.runtime.churn`) additionally
+re-adds nodes and edges mid-run, using the batch :meth:`Network.add_nodes`
+/ :meth:`Network.add_edges` constructors, which amortise cache
+invalidation over the whole batch.
 
 For vectorized engines, :meth:`Network.to_csr` exports a
 ``scipy.sparse.csr_matrix`` adjacency plus a stable node ordering.
@@ -100,6 +102,50 @@ class Network:
             self._csr_cache = None
             self._orbit_cache = None
 
+    def add_nodes(self, nodes: Iterable[Node]) -> int:
+        """Add many nodes at once; returns how many were actually new.
+
+        Reserves the whole batch under a *single* CSR/orbit cache
+        invalidation (per-node :meth:`add_node` invalidates per call), so
+        lowering a churn plan's union topology stays O(batch) instead of
+        O(batch × cache churn).  Insertion order is preserved.
+        """
+        added = 0
+        for v in nodes:
+            if v not in self._adj:
+                self._adj[v] = set()
+                added += 1
+        if added:
+            self._csr_cache = None
+            self._orbit_cache = None
+        return added
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Add many edges at once; returns how many were actually new.
+
+        The batch counterpart of :meth:`add_edge` (endpoints are created
+        as needed), with one cache invalidation for the whole batch.
+        """
+        added = 0
+        for u, v in edges:
+            if u == v:
+                raise ValueError(
+                    f"self-loop {u!r} not allowed in a simple network"
+                )
+            for w in (u, v):
+                if w not in self._adj:
+                    self._adj[w] = set()
+                    added += 1  # a fresh endpoint also dirties the caches
+            if v not in self._adj[u]:
+                self._adj[u].add(v)
+                self._adj[v].add(u)
+                self._num_edges += 1
+                added += 1
+        if added:
+            self._csr_cache = None
+            self._orbit_cache = None
+        return added
+
     # ------------------------------------------------------------------
     # faults (deletions)
     # ------------------------------------------------------------------
@@ -150,15 +196,23 @@ class Network:
         return list(self._adj)
 
     def edges(self) -> list[Edge]:
-        """Each undirected edge exactly once, canonically oriented."""
+        """Each undirected edge exactly once, canonically oriented.
+
+        Dedup is by already-visited endpoint and orientation by a per-call
+        repr cache, so the export costs two dict probes per stored entry
+        rather than a ``sorted(key=repr)`` call per edge — this runs on
+        every manifest snapshot and union-topology build, where the
+        per-edge constant is the whole cost.
+        """
         out: list[Edge] = []
-        seen: set[Edge] = set()
+        done: set = set()
+        rep = {v: repr(v) for v in self._adj}
         for u in self._adj:
+            ru = rep[u]
             for v in self._adj[u]:
-                e = canonical_edge(u, v)
-                if e not in seen:
-                    seen.add(e)
-                    out.append(e)
+                if v not in done:
+                    out.append((u, v) if ru <= rep[v] else (v, u))
+            done.add(u)
         return out
 
     def has_edge(self, u: Node, v: Node) -> bool:

@@ -4,8 +4,12 @@
   interpreters (Section 3.4 evolution rules).
 * :mod:`repro.runtime.scheduler` — activation orders for the asynchronous
   model (random, round-robin, scripted/adversarial).
+* :mod:`repro.runtime.churn` — the topology-dynamics layer: typed
+  down/up events, :class:`~repro.runtime.churn.ChurnPlan` schedules, and
+  process generators (regional outages, adversarial targeting, growth).
 * :mod:`repro.runtime.faults` — decreasing benign fault plans (node/edge
-  deletions at scheduled times).
+  deletions at scheduled times), now the deletion-only subclass of the
+  churn layer.
 * :mod:`repro.runtime.vectorized` — a numpy/scipy synchronous engine for
   mod-thresh automata (one sparse mat-mat product per step).
 * :mod:`repro.runtime.backends` — the pluggable array-backend layer under
@@ -51,6 +55,14 @@ from repro.runtime.batched import (
     BatchedSynchronousEngine,
     run_replicas,
 )
+from repro.runtime.churn import (
+    ChurnPlan,
+    TopologyEvent,
+    adversarial_plan,
+    growth_plan,
+    random_churn_plan,
+    regional_outage_plan,
+)
 from repro.runtime.faults import FaultEvent, FaultPlan, random_fault_plan
 from repro.runtime.scheduler import (
     RandomScheduler,
@@ -88,6 +100,12 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "random_fault_plan",
+    "TopologyEvent",
+    "ChurnPlan",
+    "regional_outage_plan",
+    "adversarial_plan",
+    "growth_plan",
+    "random_churn_plan",
     "RandomScheduler",
     "RoundRobinScheduler",
     "ScriptedScheduler",

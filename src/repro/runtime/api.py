@@ -15,9 +15,11 @@ the shared compiler IR (:mod:`repro.core.ir`), not isinstance checks:
   rule-based automata declaring ``compile_hints`` — goes to the
   :class:`~repro.runtime.vectorized.VectorizedSynchronousEngine`, or the
   :class:`~repro.runtime.batched.BatchedSynchronousEngine` when
-  ``replicas=R`` is passed.  A ``fault_plan`` no longer forces a
-  fallback: the plan is lowered into per-step live-node masks and the
-  faulted run stays vectorized;
+  ``replicas=R`` is passed.  A ``fault_plan`` — including a general
+  :class:`~repro.runtime.churn.ChurnPlan` with ``node-up``/``edge-up``
+  arrivals — no longer forces a fallback: the plan is lowered into
+  per-step live-node masks (arrivals via the plan's union topology) and
+  the churned run stays vectorized;
 * automata the compiler rejects (no ``compile_hints``, untraced
   neighbourhood queries, non-enumerable alphabets — see
   ``docs/model.md`` for the genuine-fallback list) run on the reference
@@ -92,7 +94,7 @@ from repro.runtime.backends import (
     resolve_backend,
 )
 from repro.runtime.batched import BatchedSynchronousEngine
-from repro.runtime.faults import FaultPlan
+from repro.runtime.churn import ChurnPlan
 from repro.runtime.quotient import QuotientSynchronousEngine
 from repro.runtime.simulator import SynchronousSimulator
 from repro.runtime.telemetry import (
@@ -318,7 +320,7 @@ def _quotient_blocker(
     net: Optional[Network],
     init,
     replicas: Optional[int],
-    fault_plan: Optional[FaultPlan],
+    fault_plan: Optional[ChurnPlan],
     randomness: Optional[int],
     *,
     allow_probabilistic: bool,
@@ -348,6 +350,13 @@ def _quotient_blocker(
             f"path is single-replica",
         )
     if fault_plan is not None and len(fault_plan) > 0:
+        if getattr(fault_plan, "has_additions", False):
+            return (
+                "churn-plan",
+                "churn plans break symmetry: an arrival (node-up/edge-up) "
+                "changes the node or edge set, so no declared automorphism "
+                "group can remain valid across the run",
+            )
         return (
             "fault-plan",
             "fault plans break symmetry: a deletion distinguishes the "
@@ -397,7 +406,7 @@ def _select_engine(
     engine: str,
     automaton: Automaton,
     replicas: Optional[int],
-    fault_plan: Optional[FaultPlan],
+    fault_plan: Optional[ChurnPlan],
     randomness: Optional[int] = None,
     net: Optional[Network] = None,
     init=None,
@@ -758,7 +767,7 @@ def run(
     replicas: Optional[int] = None,
     randomness: Optional[int] = None,
     rng: Union[int, np.random.Generator, None] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    fault_plan: Optional[ChurnPlan] = None,
     observers: tuple = (),
     metrics: Optional[MetricsRegistry] = None,
     backend: Union[str, ArrayBackend, None] = "auto",
@@ -787,10 +796,18 @@ def run(
         R independent replicas via the batched engine.  ``init`` may then
         be one shared state or a list of R states.
     fault_plan:
-        Mid-run decreasing benign faults.  Lowered into per-step live-node
-        masks on the vectorized/batched engines, interpreted directly on
-        the reference engine — all with identical semantics (``net`` is
-        mutated as events fire, exactly as the reference simulator does).
+        Mid-run topology dynamics: a deletion-only
+        :class:`~repro.runtime.faults.FaultPlan` or a general
+        :class:`~repro.runtime.churn.ChurnPlan` mixing ``node-down`` /
+        ``edge-down`` / ``node-up`` / ``edge-up`` events.  Lowered into
+        per-step live-node masks on the vectorized/batched engines
+        (plans that add topology lower their *union* topology into the
+        construction-time CSR, so churn stays on the vector fast path),
+        interpreted directly on the reference engine — all with
+        identical semantics (``net`` is mutated as events fire, exactly
+        as the reference simulator does).  The quotient engine rejects
+        any non-empty plan with a structured blocker (``"churn-plan"``
+        when the plan adds topology, ``"fault-plan"`` otherwise).
     observers:
         :class:`StepObserver` instances notified per executed step.
     metrics:

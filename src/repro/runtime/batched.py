@@ -25,10 +25,14 @@ stacked numpy computation per step:
   with the matching spawned child (``np.random.default_rng(seed).spawn(R)[i]``);
 * per-replica quiescence/termination masks deactivate converged replicas,
   so finished runs stop paying for steps (and stop consuming randomness);
-* an optional :class:`~repro.runtime.faults.FaultPlan` is lowered into
-  live-node masks shared by every replica: one fault trajectory, R
-  independent random executions over it — the shape of a sensitivity
-  fault sweep.
+* an optional :class:`~repro.runtime.churn.ChurnPlan` (or its
+  deletion-only :class:`~repro.runtime.faults.FaultPlan` subclass) is
+  lowered into live-node masks shared by every replica: one topology
+  trajectory, R independent random executions over it — the shape of a
+  sensitivity churn sweep.  Plans that add topology lower their union
+  topology into the construction-time CSR exactly as the vectorized
+  engine does, and arriving nodes boot in their event's declared state
+  across all replicas.
 
 The high-level :func:`run_replicas` wraps construction + termination and
 returns per-replica final states and round counts.  Cross-engine
@@ -54,9 +58,13 @@ from repro.runtime.backends import (
     ArrayBackend,
     resolve_backend,
 )
-from repro.runtime.faults import FaultPlan
+from repro.runtime.churn import ChurnPlan, count_down_events
 from repro.runtime.telemetry import MetricsRegistry
-from repro.runtime.vectorized import _FaultMask
+from repro.runtime.vectorized import (
+    _build_churn_mask,
+    _FaultMask,
+    _lowered_topology,
+)
 
 __all__ = ["BatchedSynchronousEngine", "BatchedRunResult", "run_replicas"]
 
@@ -109,9 +117,14 @@ class BatchedSynchronousEngine:
         verbatim (this is how the conformance tests share a stream with a
         single-replica engine).
     fault_plan:
-        Optional :class:`~repro.runtime.faults.FaultPlan` lowered into
-        per-step live-node masks shared by all replicas.  A plan whose
-        cursor was already consumed by a previous run is auto-reset.
+        Optional :class:`~repro.runtime.faults.FaultPlan` or
+        :class:`~repro.runtime.churn.ChurnPlan` lowered into per-step
+        live-node masks shared by all replicas.  Plans that add topology
+        (``node-up`` / ``edge-up``) lower the plan's *union* topology
+        into the construction-time CSR with not-yet-arrived entries
+        masked dead; every ``node-up`` boot state must belong to the
+        automaton alphabet.  A plan whose cursor was already consumed by
+        a previous run is auto-reset.
     metrics:
         Optional :class:`~repro.runtime.telemetry.MetricsRegistry`
         receiving the engine-agnostic counters plus the per-step
@@ -132,7 +145,7 @@ class BatchedSynchronousEngine:
         replicas: Optional[int] = None,
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional[ChurnPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
         backend: Union[str, ArrayBackend, None] = "auto",
     ) -> None:
@@ -146,8 +159,12 @@ class BatchedSynchronousEngine:
         inits = self._normalize_init(init, replicas)
         self.replicas = len(inits)
 
+        if fault_plan is not None and fault_plan.consumed:
+            fault_plan.reset()  # a reused plan re-applies its full schedule
+        self.fault_plan = fault_plan
+
         self._net = net
-        self.adjacency, self._order = net.to_csr()
+        self.adjacency, self._order = _lowered_topology(net, fault_plan)
         self._n = len(self._order)
         self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
         self.rngs = self._spawn_streams(rng, self.replicas)
@@ -156,15 +173,14 @@ class BatchedSynchronousEngine:
         sigma = np.empty((self.replicas, self._n), dtype=np.int64)
         for r, state in enumerate(inits):
             for idx, v in enumerate(self._order):
-                sigma[r, idx] = self._code[state[v]]
+                # not-yet-arrived union rows hold a placeholder until
+                # their node-up event scatters the boot state in
+                sigma[r, idx] = self._code[state[v]] if v in net else 0
         self._sigma = sigma
 
         self._active = np.ones(self.replicas, dtype=bool)
         self._rounds = np.zeros(self.replicas, dtype=np.int64)
 
-        if fault_plan is not None and fault_plan.consumed:
-            fault_plan.reset()  # a reused plan re-applies its full schedule
-        self.fault_plan = fault_plan
         self.backend = resolve_backend(backend)
         self.metrics = metrics
         if metrics is not None:
@@ -175,6 +191,15 @@ class BatchedSynchronousEngine:
         self._live_pos: Optional[np.ndarray] = None  # None ⇒ no fault yet
         self._live_adj = self.adjacency
         self._live_deg = self._degrees
+        if fault_plan is not None and fault_plan.has_additions:
+            # arrivals need the eager mask: the t = 0 live view must
+            # already exclude not-yet-arrived rows and dead edge entries
+            self._fault_mask = _build_churn_mask(
+                net, fault_plan, self.adjacency, self._pos0, self._code
+            )
+            self._live_pos, self._live_adj, self._live_deg = (
+                self._fault_mask.live_view()
+            )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -212,7 +237,9 @@ class BatchedSynchronousEngine:
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
-        """Node count at construction (dead nodes keep their columns)."""
+        """Column count of the lowered topology: the construction-time
+        node count, plus any not-yet-arrived union rows when the plan
+        adds topology (dead and unarrived nodes keep their columns)."""
         return self._n
 
     @property
@@ -231,10 +258,14 @@ class BatchedSynchronousEngine:
         return self._rounds.copy()
 
     def _refresh_topology(self, fired: list) -> None:
-        """Fold fired fault events into the incremental live masks."""
+        """Fold fired topology events into the incremental live masks."""
         if self._fault_mask is None:
             self._fault_mask = _FaultMask(self.adjacency, self._pos0)
-        self._fault_mask.apply(fired)
+        boots = self._fault_mask.apply(fired)
+        for i, q in boots:
+            # an arriving node boots in its event's declared state, in
+            # every replica (the topology trajectory is shared)
+            self._sigma[:, i] = self._code[q]
         self._live_pos, self._live_adj, self._live_deg = (
             self._fault_mask.live_view()
         )
@@ -263,7 +294,10 @@ class BatchedSynchronousEngine:
             # quiescence-mask density: fraction of replicas still evolving
             met.observe("active_fraction", act.size / self.replicas)
             if self.last_faults:
-                met.inc("fault_events", len(self.last_faults))
+                downs = count_down_events(self.last_faults)
+                if downs:
+                    met.inc("fault_events", downs)
+                met.inc("churn_events", len(self.last_faults))
         if act.size == 0:
             return changed
         if self._live_pos is None:
@@ -401,7 +435,7 @@ def run_replicas(
     max_steps: int = DEFAULT_MAX_STEPS,
     randomness: Optional[int] = None,
     rng: Union[int, np.random.Generator, Sequence[np.random.Generator], None] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    fault_plan: Optional[ChurnPlan] = None,
     backend: Union[str, ArrayBackend, None] = "auto",
 ) -> BatchedRunResult:
     """Evolve R replicas to termination and collect per-replica results.

@@ -1,13 +1,21 @@
-"""Decreasing benign faults (paper, Section 1).
+"""Decreasing benign faults (paper, Section 1) — the deletion-only plan.
 
-A fault permanently deletes a node or an edge; nothing ever joins the
-network and there is no malicious behaviour.  A :class:`FaultPlan` is a
-time-ordered list of :class:`FaultEvent`; simulators apply all events due at
-time ``t`` *before* computing step ``t``.
+A fault permanently deletes a node or an edge; nothing joins the network
+and there is no malicious behaviour.  A :class:`FaultPlan` is a
+time-ordered list of :class:`FaultEvent`; simulators apply all events due
+at time ``t`` *before* computing step ``t``.
+
+Since the topology-dynamics generalization, :class:`FaultPlan` is the
+deletion-only subclass of :class:`~repro.runtime.churn.ChurnPlan` — the
+historical name and constructors are unchanged, and a ``FaultEvent``'s
+``"node"``/``"edge"`` kinds are the legacy spellings of the churn layer's
+``node-down``/``edge-down``.  Schedules that also *add* topology (regional
+recovery, growth) live in :mod:`repro.runtime.churn`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Literal, Optional, Union
 
@@ -15,6 +23,7 @@ import numpy as np
 
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
+from repro.runtime.churn import ChurnPlan
 
 __all__ = ["FaultEvent", "FaultPlan", "random_fault_plan"]
 
@@ -25,7 +34,10 @@ class FaultEvent:
 
     For node faults ``target`` is the node id; for edge faults it is the
     ``(u, v)`` pair.  ``time`` is the synchronous step (or asynchronous
-    activation index) at which the fault strikes.
+    activation index) at which the fault strikes.  These kinds are the
+    legacy spellings of the churn layer's ``node-down``/``edge-down``, so
+    fault events mix freely with
+    :class:`~repro.runtime.churn.TopologyEvent` in one plan.
     """
 
     time: int
@@ -54,77 +66,47 @@ class FaultEvent:
         return True
 
 
-class FaultPlan:
-    """A time-ordered schedule of fault events.
+def _pairs(schedule) -> list[tuple]:
+    """``{time: target}`` or ``[(time, target), …]`` → a pair list.
 
-    A plan is a *stateful cursor* over its events: :meth:`apply_due`
-    advances it, so a consumed plan applies nothing on a second pass.  The
-    engines and :func:`repro.runtime.api.run` therefore auto-:meth:`reset`
-    a plan that was already :attr:`consumed` at construction/entry — reusing
-    one plan across several runs re-applies the full schedule each time
-    (sweep helpers relied on the silent no-op never happening; now it
-    can't).  Note that the events themselves are immutable: resetting
-    re-applies the same schedule, it does not resurrect deleted topology —
-    run each execution on a fresh copy of the network.
+    The dict form predates the churn layer and cannot express two faults
+    at the same step (keys are unique); both forms are accepted, and the
+    list form preserves same-time ordering (plan sorting is stable).
+    """
+    if isinstance(schedule, Mapping):
+        return list(schedule.items())
+    return [(t, target) for t, target in schedule]
+
+
+class FaultPlan(ChurnPlan):
+    """A time-ordered schedule of deletion events.
+
+    The stateful-cursor semantics (``apply_due`` advances it; engines
+    auto-``reset`` a plan already ``consumed`` at construction; resetting
+    re-applies the schedule but never resurrects deleted topology) are
+    inherited from :class:`~repro.runtime.churn.ChurnPlan` — see that
+    class for the full contract.  This subclass exists for the historical
+    name and the deletion-only convenience constructors; it accepts any
+    event the churn layer accepts.
     """
 
-    def __init__(self, events: Optional[list[FaultEvent]] = None) -> None:
-        self._events: list[FaultEvent] = sorted(
-            events or [], key=lambda e: e.time
-        )
-        self._cursor = 0
-        self.applied: list[FaultEvent] = []
-        self.skipped: list[FaultEvent] = []
-
     @classmethod
-    def node_faults(cls, schedule: dict[int, Node]) -> "FaultPlan":
-        """Convenience: ``{time: node}`` → plan."""
-        return cls([FaultEvent(t, "node", v) for t, v in schedule.items()])
+    def node_faults(
+        cls, schedule: Union[dict[int, Node], list[tuple[int, Node]]]
+    ) -> "FaultPlan":
+        """Convenience: ``{time: node}`` or ``[(time, node), …]`` → plan.
 
-    @classmethod
-    def edge_faults(cls, schedule: dict[int, tuple]) -> "FaultPlan":
-        """Convenience: ``{time: (u, v)}`` → plan."""
-        return cls([FaultEvent(t, "edge", e) for t, e in schedule.items()])
-
-    def events(self) -> list[FaultEvent]:
-        return list(self._events)
-
-    @property
-    def exhausted(self) -> bool:
-        return self._cursor >= len(self._events)
-
-    @property
-    def consumed(self) -> bool:
-        """True once any event has been cursor-passed (applied or skipped)."""
-        return self._cursor > 0
-
-    def apply_due(
-        self, net: Network, time: int, state: Optional[NetworkState] = None
-    ) -> list[FaultEvent]:
-        """Apply every not-yet-applied event with ``event.time <= time``.
-
-        Returns the events that actually deleted something.  Events whose
-        target already vanished are recorded in :attr:`skipped`.
+        The list form allows several faults at the same step (the dict
+        form cannot — its keys are unique) and keeps their given order.
         """
-        fired: list[FaultEvent] = []
-        while self._cursor < len(self._events) and self._events[self._cursor].time <= time:
-            ev = self._events[self._cursor]
-            self._cursor += 1
-            if ev.apply(net, state):
-                fired.append(ev)
-                self.applied.append(ev)
-            else:
-                self.skipped.append(ev)
-        return fired
+        return cls([FaultEvent(t, "node", v) for t, v in _pairs(schedule)])
 
-    def reset(self) -> None:
-        """Rewind the plan for a fresh execution."""
-        self._cursor = 0
-        self.applied = []
-        self.skipped = []
-
-    def __len__(self) -> int:
-        return len(self._events)
+    @classmethod
+    def edge_faults(
+        cls, schedule: Union[dict[int, tuple], list[tuple[int, tuple]]]
+    ) -> "FaultPlan":
+        """Convenience: ``{time: (u, v)}`` or ``[(time, (u, v)), …]`` → plan."""
+        return cls([FaultEvent(t, "edge", e) for t, e in _pairs(schedule)])
 
 
 def random_fault_plan(
@@ -137,9 +119,12 @@ def random_fault_plan(
 ) -> FaultPlan:
     """A random fault plan over the current topology.
 
-    ``protect`` lists nodes that may never be deleted (and whose incident
-    edges are also spared) — useful for keeping an algorithm's critical
-    nodes alive, per the Section 2 sensitivity definition.
+    ``rng`` accepts a :class:`numpy.random.Generator` (used as-is) *or*
+    an int seed (``None`` seeds from entropy); equal seeds give identical
+    plans, so a sweep can reproduce its schedules from recorded seeds
+    alone.  ``protect`` lists nodes that may never be deleted (and whose
+    incident edges are also spared) — useful for keeping an algorithm's
+    critical nodes alive, per the Section 2 sensitivity definition.
     """
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     protected = set(protect)

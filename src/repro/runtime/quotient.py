@@ -45,9 +45,11 @@ Preconditions are re-checked at construction and violations raise
 generators still are automorphisms of the *current* topology
 (``"stale-group"`` — mutations do not revoke a declaration, so a faulted
 or hand-edited network is caught here), the initial state must be
-orbit-constant (``"init-not-orbit-constant"``), and fault plans are
-rejected outright (``"fault-plan"``): a deletion distinguishes the faulted
-node's orbit members and breaks the symmetry the quotient depends on.
+orbit-constant (``"init-not-orbit-constant"``), and fault/churn plans
+are rejected outright (``"churn-plan"`` when the plan adds topology,
+``"fault-plan"`` for deletion-only schedules): any topology event
+distinguishes the affected node's orbit members and breaks the symmetry
+the quotient depends on.
 """
 
 from __future__ import annotations
@@ -68,7 +70,7 @@ from repro.runtime.backends import (
     ArrayBackend,
     resolve_backend,
 )
-from repro.runtime.faults import FaultPlan
+from repro.runtime.churn import ChurnPlan
 from repro.runtime.telemetry import MetricsRegistry, coerce_rng
 
 __all__ = ["QuotientSynchronousEngine", "OrbitBroadcastRng"]
@@ -99,11 +101,19 @@ class QuotientSynchronousEngine:
         init: NetworkState,
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, None] = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional[ChurnPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
         backend: Union[str, ArrayBackend, None] = "auto",
     ) -> None:
         if fault_plan is not None and len(fault_plan) > 0:
+            if getattr(fault_plan, "has_additions", False):
+                raise QuotientLoweringError(
+                    "churn plans break symmetry: an arrival (node-up / "
+                    "edge-up) changes the node set or edge set, so no "
+                    "declared automorphism group can remain valid across "
+                    "the run — use a full-graph engine",
+                    blocker="churn-plan",
+                )
             raise QuotientLoweringError(
                 "fault plans break symmetry: a deletion distinguishes the "
                 "faulted node's orbit members, so the quotient path cannot "

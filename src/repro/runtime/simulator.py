@@ -3,10 +3,14 @@
 :class:`SynchronousSimulator` applies the successor rule to every node at
 once; :class:`AsynchronousSimulator` activates one node at a time under a
 pluggable :class:`~repro.runtime.scheduler.Scheduler`.  Both support fault
-plans (events applied before the step whose time has arrived), execution
-traces, deterministic seeding, and probabilistic automata (each activation
-draws ``i`` uniformly from ``{0, …, r-1}``, n independent draws per
-synchronous step, per Definition 3.11).
+and churn plans (events applied before the step whose time has arrived —
+down events delete topology, up events restore or grow it, with arriving
+nodes booting in their event's declared state), execution traces,
+deterministic seeding, and probabilistic automata (each activation draws
+``i`` uniformly from ``{0, …, r-1}``, n independent draws per synchronous
+step, per Definition 3.11).  These simulators *are* the conformance
+oracle: they mutate the dict-backed network directly, and the array
+engines must match them bitwise.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from repro.core.automaton import FSSGA, ProbabilisticFSSGA
 from repro.network.graph import Network, Node
 from repro.network.state import NetworkState
 from repro.runtime.backends import DEFAULT_MAX_STEPS
-from repro.runtime.faults import FaultPlan
+from repro.runtime.churn import ChurnPlan, count_down_events
 from repro.runtime.scheduler import RandomScheduler, Scheduler
 from repro.runtime.telemetry import MetricsRegistry, coerce_rng
 from repro.runtime.trace import Trace
@@ -37,7 +41,7 @@ class _BaseSimulator:
         automaton: Automaton,
         init: NetworkState,
         rng: Union[int, np.random.Generator, None] = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional[ChurnPlan] = None,
         trace: Optional[Trace] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -118,7 +122,10 @@ class SynchronousSimulator(_BaseSimulator):
             met.inc("steps")
             met.inc("node_updates", len(changes))
             if faults:
-                met.inc("fault_events", len(faults))
+                downs = count_down_events(faults)
+                if downs:
+                    met.inc("fault_events", downs)
+                met.inc("churn_events", len(faults))
             if self.probabilistic:
                 met.inc("rng_draws", len(self.net))
         self.time += 1
@@ -159,7 +166,7 @@ class AsynchronousSimulator(_BaseSimulator):
         init: NetworkState,
         scheduler: Optional[Scheduler] = None,
         rng: Union[int, np.random.Generator, None] = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional[ChurnPlan] = None,
         trace: Optional[Trace] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -184,7 +191,10 @@ class AsynchronousSimulator(_BaseSimulator):
             met.inc("steps")
             met.inc("node_updates", len(changes))
             if faults:
-                met.inc("fault_events", len(faults))
+                downs = count_down_events(faults)
+                if downs:
+                    met.inc("fault_events", downs)
+                met.inc("churn_events", len(faults))
             if self.probabilistic and v is not None:
                 met.inc("rng_draws")
         self.time += 1

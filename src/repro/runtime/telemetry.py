@@ -6,7 +6,8 @@ Three layers, all zero-dependency:
   Engines accept ``metrics=``; passing ``None`` (the default) keeps the hot
   loops untouched except for one ``is not None`` check per step, so the
   disabled overhead is unmeasurable.  Counter names are engine-agnostic
-  (``steps``, ``node_updates``, ``rng_draws``, ``fault_events``) so the
+  (``steps``, ``node_updates``, ``rng_draws``, ``fault_events``,
+  ``churn_events``) so the
   Theorem 3.7 interchangeability claim extends to the instrumentation: the
   conformance suite asserts the counters agree exactly across the
   reference, vectorized and batched engines.
@@ -109,7 +110,11 @@ class MetricsRegistry:
     ``rng_draws``
         random draws consumed (0 for deterministic automata).
     ``fault_events``
-        fault events that actually deleted something.
+        down events (deletions) that actually fired — the historical
+        decreasing-faults meaning.
+    ``churn_events``
+        all applied topology events, up events included; equals
+        ``fault_events`` for deletion-only plans.
     ``lowering_cache_hits`` / ``lowering_cache_misses`` / ``csr_rebuilds``
         compiler/export cache activity, recorded per :func:`run` call.
 
@@ -623,9 +628,10 @@ def capture_manifest(
 def replay(manifest: RunManifest, *, check: bool = True):
     """Re-execute a manifested run; assert the outcome is bitwise identical.
 
-    Rebuilds the pre-fault network when the original run had faults (and a
-    fresh :class:`~repro.runtime.faults.FaultPlan` from the recorded
-    events), restores the RNG to its captured position, pins the engine
+    Rebuilds the pre-churn network when the original run had topology
+    events (and a fresh :class:`~repro.runtime.churn.ChurnPlan` from the
+    recorded events — up events included, so churned runs replay
+    exactly), restores the RNG to its captured position, pins the engine
     *and array backend* the original run selected, and re-runs.  With ``check=True`` (default)
     the final-state fingerprint(s), executed steps and consumed draws must
     all match the manifest or :class:`ReplayMismatchError` is raised.
@@ -633,7 +639,7 @@ def replay(manifest: RunManifest, *, check: bool = True):
     """
     from repro.network.graph import Network
     from repro.runtime.api import run
-    from repro.runtime.faults import FaultPlan
+    from repro.runtime.churn import ChurnPlan
 
     if manifest.final_fingerprint is None:
         raise ValueError(
@@ -650,7 +656,7 @@ def replay(manifest: RunManifest, *, check: bool = True):
         net = manifest.net
     else:
         raise ValueError("manifest holds neither a network nor its snapshot")
-    plan = FaultPlan(list(manifest.fault_events)) if manifest.fault_events else None
+    plan = ChurnPlan(list(manifest.fault_events)) if manifest.fault_events else None
     result = run(
         manifest.automaton,
         net,

@@ -20,17 +20,22 @@ benchmarked against the reference interpreter in
 ``benchmarks/bench_engines.py`` (experiment E15) and across backends in
 ``benchmarks/bench_backends.py`` (experiment E21).
 
-Fault plans are lowered rather than interpreted: events fire against the
-live :class:`~repro.network.graph.Network` *before* the step whose time has
+Churn plans (and their deletion-only :class:`FaultPlan` subclass) are
+lowered rather than interpreted: events fire against the live
+:class:`~repro.network.graph.Network` *before* the step whose time has
 arrived (the reference contract), and each topology change updates an
-incremental :class:`_FaultMask` over the construction-time CSR — node
-faults flip alive flags, edge faults zero the two stored entries — so a
-fault costs O(faults + nnz) slicing instead of an O(n + m) Python re-export
-of the whole adjacency.  Between fault firings the step kernel runs on the
-live-compacted arrays at full vector speed; dead nodes are excluded from
-counts, draws and decoding, so probabilistic executions stay
-bitwise-identical to the reference interpreter, which draws once per live
-node in insertion order.
+incremental :class:`_ChurnMask` over the construction-time CSR — down
+events flip alive flags or zero the edge's two stored entries, up events
+flip them back — so a topology change costs O(events + nnz) slicing
+instead of an O(n + m) Python re-export of the whole adjacency.  Plans
+that *add* topology (``node-up`` / ``edge-up``) lower their **union**
+topology into the construction-time CSR with not-yet-arrived entries
+masked dead, so arrivals also stay on the vector fast path.  Between
+event firings the step kernel runs on the live-compacted arrays at full
+vector speed; dead nodes are excluded from counts, draws and decoding,
+and arrivals are drawn for in reference re-insertion order, so
+probabilistic executions stay bitwise-identical to the reference
+interpreter, which draws once per live node in insertion order.
 
 The proposition/cascade evaluators formerly defined here moved to
 :mod:`repro.runtime.backends.kernels`; the historical private names
@@ -65,7 +70,15 @@ from repro.runtime.backends.kernels import (
     prop_bool,
     resolve_compiled,
 )
-from repro.runtime.faults import FaultPlan
+from repro.runtime.churn import (
+    EDGE_DOWN,
+    EDGE_UP,
+    NODE_DOWN,
+    NODE_UP,
+    ChurnPlan,
+    canonical_kind,
+    count_down_events,
+)
 from repro.runtime.telemetry import MetricsRegistry, coerce_rng
 
 __all__ = ["VectorizedSynchronousEngine"]
@@ -159,51 +172,204 @@ def _resolve_program(
     new_sigma[mask] = out[mask]
 
 
-class _FaultMask:
-    """A fault plan lowered to alive-node / alive-edge masks over the
+class _ChurnMask:
+    """A churn plan lowered to alive-node / alive-edge masks over the
     construction-time CSR.
 
-    Node faults flip an alive flag; edge faults zero the edge's two stored
-    entries (the matrix is copy-on-first-edge-fault, so fault-free and
-    node-fault-only runs never duplicate the adjacency).  ``live_view``
+    For deletion-only plans this is the historical fault mask: node-down
+    flips an alive flag, edge-down zeros the edge's two stored entries
+    (the matrix is copy-on-first-data-mutation, so fault-free and
+    node-fault-only runs never duplicate the adjacency), and ``live_view``
     slices the masked matrix down to the surviving rows/columns — stored
     zeros contribute nothing to neighbour counts or degree sums, so the
     sliced view is numerically identical to re-exporting the mutated
     network, at O(nnz) array cost instead of an O(n + m) Python rebuild.
-    Live positions stay in construction order (ascending original row),
-    preserving the cross-engine draw-order contract.
+
+    Plans that *add* topology lower through the same representation: the
+    engine exports the plan's **union topology** (every node and edge the
+    schedule can ever produce) as the construction-time CSR, not-yet-
+    arrived rows start with ``initial_alive`` False and their edge entries
+    stored as explicit zeros, and up events flip flags/entries back on —
+    so arrivals never leave the vector fast path.  Two extra pieces make
+    resurrection exact: ``track_edges`` (on whenever the plan has node
+    arrivals) makes node-down also zero the node's incident stored
+    entries, because a returning node re-attaches only the edges its
+    ``node-up`` event lists; and an insertion *stamp* per row reproduces
+    the reference network's dict order — initial nodes keep ascending
+    construction order, (re)arrivals move to the back in firing order —
+    which is exactly the order the reference interpreter draws in, so
+    probabilistic churn runs stay bitwise identical.
     """
 
-    __slots__ = ("_A", "_alive", "_pos0", "_copied")
+    __slots__ = (
+        "_A", "_alive", "_pos0", "_copied", "_stamp", "_next_stamp",
+        "_track_edges",
+    )
 
-    def __init__(self, adjacency: sparse.csr_matrix, pos0: Mapping) -> None:
+    def __init__(
+        self,
+        adjacency: sparse.csr_matrix,
+        pos0: Mapping,
+        initial_alive: Optional[np.ndarray] = None,
+        track_edges: bool = False,
+        dead_edges: tuple = (),
+    ) -> None:
+        n = adjacency.shape[0]
         self._A = adjacency
-        self._alive = np.ones(adjacency.shape[0], dtype=bool)
+        self._alive = (
+            np.ones(n, dtype=bool)
+            if initial_alive is None
+            else np.asarray(initial_alive, dtype=bool).copy()
+        )
         self._pos0 = pos0
         self._copied = False
+        self._stamp = np.arange(n, dtype=np.int64)
+        self._next_stamp = n
+        self._track_edges = track_edges
+        if track_edges:
+            # arrivals always mutate stored data, and sharing the union
+            # pattern with a cached CSR would leak masked values — copy up
+            # front instead of lazily
+            self._A = self._A.copy()
+            self._copied = True
+        for i, j in dead_edges:
+            # union-pattern edges not present at t = 0 (a not-yet-arrived
+            # endpoint, or a future edge-up) start as explicit zeros
+            self._set_pair(i, j, 0)
 
-    def apply(self, fired: list) -> None:
-        """Fold applied fault events into the masks."""
+    def _ensure_copied(self) -> None:
+        if not self._copied:
+            self._A = self._A.copy()
+            self._copied = True
+
+    def _set_pair(self, i: int, j: int, value: int) -> None:
+        """Set the stored entries (i, j) and (j, i) to ``value`` (no-op for
+        pattern-absent pairs, mirroring a preempted event)."""
+        for a, b in ((i, j), (j, i)):
+            lo, hi = self._A.indptr[a], self._A.indptr[a + 1]
+            hit = np.nonzero(self._A.indices[lo:hi] == b)[0]
+            self._A.data[lo + hit] = value
+
+    def _zero_incident(self, i: int) -> None:
+        """Zero every stored entry of row ``i`` and its mirrors (a downed
+        node's edges die with it; a later ``node-up`` re-attaches only the
+        edges it lists)."""
+        lo, hi = self._A.indptr[i], self._A.indptr[i + 1]
+        for j in self._A.indices[lo:hi]:
+            self._set_pair(i, int(j), 0)
+
+    def apply(self, fired: list) -> list:
+        """Fold applied topology events into the masks.
+
+        Returns ``(row, boot_state)`` pairs for node arrivals — the engine
+        scatters these into its σ array (all replicas, for the batched
+        engine) before computing the step the events precede.
+        """
+        boots: list = []
         for ev in fired:
-            if ev.kind == "node":
-                self._alive[self._pos0[ev.target]] = False
-            else:
-                if not self._copied:
-                    self._A = self._A.copy()
-                    self._copied = True
+            kind = canonical_kind(ev.kind)
+            if kind == NODE_DOWN:
+                i = self._pos0[ev.target]
+                self._alive[i] = False
+                if self._track_edges:
+                    self._zero_incident(i)
+            elif kind == EDGE_DOWN:
+                self._ensure_copied()
                 u, v = ev.target
-                for a, b in ((u, v), (v, u)):
-                    i, j = self._pos0[a], self._pos0[b]
-                    lo, hi = self._A.indptr[i], self._A.indptr[i + 1]
-                    hit = np.nonzero(self._A.indices[lo:hi] == j)[0]
-                    self._A.data[lo + hit] = 0
+                self._set_pair(self._pos0[u], self._pos0[v], 0)
+            elif kind == NODE_UP:
+                i = self._pos0[ev.target]
+                self._alive[i] = True
+                self._stamp[i] = self._next_stamp  # re-insertion at the back
+                self._next_stamp += 1
+                for u in ev.edges:
+                    j = self._pos0.get(u)
+                    if j is not None and self._alive[j] and j != i:
+                        self._set_pair(i, j, 1)
+                boots.append((i, ev.state))
+            else:  # EDGE_UP
+                u, v = ev.target
+                self._set_pair(self._pos0[u], self._pos0[v], 1)
+        return boots
 
     def live_view(self) -> tuple[np.ndarray, sparse.csr_matrix, np.ndarray]:
-        """``(live_positions, live_adjacency, live_degrees)``."""
+        """``(live_positions, live_adjacency, live_degrees)``.
+
+        Live positions follow the insertion stamps (identical to ascending
+        original row until the first arrival fires), preserving the
+        cross-engine draw-order contract.
+        """
         live = np.flatnonzero(self._alive)
+        if self._next_stamp != self._stamp.shape[0]:
+            live = live[np.argsort(self._stamp[live], kind="stable")]
         sub = self._A[live][:, live]
         deg = np.asarray(sub.sum(axis=1)).ravel()
         return live, sub, deg
+
+
+#: Historical name for the deletion-only mask, kept for importers.
+_FaultMask = _ChurnMask
+
+
+def _lowered_topology(net: Network, plan: Optional[ChurnPlan]) -> tuple:
+    """The construction-time CSR for a (possibly churned) run.
+
+    Deletion-only (or absent) plans export the live network exactly as
+    before; plans that add topology export the plan's **union topology**
+    — every node and edge the schedule can ever produce — so arrivals are
+    pre-allocated rows/entries that later just flip alive.
+    """
+    if plan is not None and plan.has_additions:
+        return plan.union_topology(net).to_csr()
+    return net.to_csr()
+
+
+def _build_churn_mask(
+    net: Network,
+    plan: ChurnPlan,
+    adjacency: sparse.csr_matrix,
+    pos0: Mapping,
+    code: Mapping,
+) -> _ChurnMask:
+    """The eager mask for a plan with arrivals, over the union CSR.
+
+    Rows of nodes absent at t = 0 start dead, as do union-pattern edges
+    not present at t = 0 (either a not-yet-arrived endpoint or a future
+    ``edge-up``).  Node-up boot states are validated against the
+    automaton alphabet here — at construction, not mid-run.
+    """
+    for v, q in plan.boot_states().items():
+        if q not in code:
+            raise ValueError(
+                f"node-up boot state {q!r} for {v!r} is not in the "
+                f"automaton alphabet {sorted(map(repr, code))}"
+            )
+    alive0 = np.fromiter(
+        (v in net for v in pos0), dtype=bool, count=len(pos0)
+    )
+    # union-pattern entries absent at t = 0 are exactly the pairs the
+    # events contribute (union = net ∪ event additions), so collect them
+    # from the event list in O(event edges) instead of scanning the nnz
+    dead: set = set()
+    for ev in plan.events():
+        kind = canonical_kind(ev.kind)
+        if kind == NODE_UP:
+            i = pos0.get(ev.target)
+            if i is None:
+                continue
+            for u in ev.edges:
+                j = pos0.get(u)
+                if j is not None and j != i and not net.has_edge(ev.target, u):
+                    dead.add((i, j))
+        elif kind == EDGE_UP:
+            u, v = ev.target
+            i, j = pos0.get(u), pos0.get(v)
+            if i is not None and j is not None and not net.has_edge(u, v):
+                dead.add((i, j))
+    return _ChurnMask(
+        adjacency, pos0,
+        initial_alive=alive0, track_edges=True, dead_edges=sorted(dead),
+    )
 
 
 class VectorizedSynchronousEngine:
@@ -230,9 +396,14 @@ class VectorizedSynchronousEngine:
     rng:
         Seed or Generator for probabilistic draws.
     fault_plan:
-        Optional :class:`~repro.runtime.faults.FaultPlan` lowered into
-        per-step live-node masks.  A plan whose cursor was already
-        consumed by a previous run is auto-reset.
+        Optional :class:`~repro.runtime.faults.FaultPlan` or
+        :class:`~repro.runtime.churn.ChurnPlan` lowered into per-step
+        live-node masks.  Plans that add topology (``node-up`` /
+        ``edge-up``) lower the plan's *union* topology into the
+        construction-time CSR with not-yet-arrived entries masked dead,
+        so churn runs keep the vector fast path; every ``node-up`` boot
+        state must belong to the automaton alphabet.  A plan whose
+        cursor was already consumed by a previous run is auto-reset.
     metrics:
         Optional :class:`~repro.runtime.telemetry.MetricsRegistry`
         receiving the engine-agnostic counters (``steps``,
@@ -255,7 +426,7 @@ class VectorizedSynchronousEngine:
         init: NetworkState,
         randomness: Optional[int] = None,
         rng: Union[int, np.random.Generator, None] = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional[ChurnPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
         backend: Union[str, ArrayBackend, None] = "auto",
     ) -> None:
@@ -266,21 +437,24 @@ class VectorizedSynchronousEngine:
         self._code = dict(self._ir.code)
         self._programs = dict(self._ir.source_programs)
 
+        if fault_plan is not None and fault_plan.consumed:
+            fault_plan.reset()  # a reused plan re-applies its full schedule
+        self.fault_plan = fault_plan
+
         self._net = net
-        self.adjacency, self._order = net.to_csr()
+        self.adjacency, self._order = _lowered_topology(net, fault_plan)
         self._n = len(self._order)
         self.rng = coerce_rng(rng)
         self.time = 0
 
         sigma = np.empty(self._n, dtype=np.int64)
         for idx, v in enumerate(self._order):
-            sigma[idx] = self._code[init[v]]
+            # not-yet-arrived union rows hold a placeholder until their
+            # node-up event scatters the boot state in
+            sigma[idx] = self._code[init[v]] if v in net else 0
         self._sigma = sigma
         self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
 
-        if fault_plan is not None and fault_plan.consumed:
-            fault_plan.reset()  # a reused plan re-applies its full schedule
-        self.fault_plan = fault_plan
         self.backend = resolve_backend(backend)
         self.metrics = metrics
         if metrics is not None:
@@ -288,15 +462,26 @@ class VectorizedSynchronousEngine:
         self.last_faults: list = []
         # original row of each node, for scattering live-subset results back
         self._pos0 = {v: i for i, v in enumerate(self._order)}
-        self._fault_mask: Optional[_FaultMask] = None
+        self._fault_mask: Optional[_ChurnMask] = None
         self._live_pos: Optional[np.ndarray] = None  # None ⇒ no fault yet
         self._live_adj = self.adjacency
         self._live_deg = self._degrees
+        if fault_plan is not None and fault_plan.has_additions:
+            # arrivals need the eager mask: the t = 0 live view must
+            # already exclude not-yet-arrived rows and dead edge entries
+            self._fault_mask = _build_churn_mask(
+                net, fault_plan, self.adjacency, self._pos0, self._code
+            )
+            self._live_pos, self._live_adj, self._live_deg = (
+                self._fault_mask.live_view()
+            )
 
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
-        """Node count at construction (dead nodes keep their rows)."""
+        """Row count of the lowered topology: the construction-time node
+        count, plus any not-yet-arrived union rows when the plan adds
+        topology (dead and unarrived nodes keep their rows)."""
         return self._n
 
     @property
@@ -312,10 +497,13 @@ class VectorizedSynchronousEngine:
         )
 
     def _refresh_topology(self, fired: list) -> None:
-        """Fold fired fault events into the incremental live masks."""
+        """Fold fired topology events into the incremental live masks."""
         if self._fault_mask is None:
             self._fault_mask = _FaultMask(self.adjacency, self._pos0)
-        self._fault_mask.apply(fired)
+        boots = self._fault_mask.apply(fired)
+        for i, q in boots:
+            # an arriving node boots in its event's declared state
+            self._sigma[i] = self._code[q]
         self._live_pos, self._live_adj, self._live_deg = (
             self._fault_mask.live_view()
         )
@@ -355,7 +543,10 @@ class VectorizedSynchronousEngine:
             if self._probabilistic:
                 met.inc("rng_draws", m)
             if self.last_faults:
-                met.inc("fault_events", len(self.last_faults))
+                downs = count_down_events(self.last_faults)
+                if downs:
+                    met.inc("fault_events", downs)
+                met.inc("churn_events", len(self.last_faults))
         if self._live_pos is None:
             self._sigma = new_sig
         else:

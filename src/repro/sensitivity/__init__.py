@@ -10,7 +10,12 @@ whose fault-free execution yields the same answer.
 algorithms (∅ for decentralized, the agent position for agent algorithms,
 the spanning-tree internals for the β synchronizer);
 :mod:`repro.sensitivity.harness` runs fault-injected executions and checks
-reasonable correctness for the concrete experiments (E14).
+reasonable correctness for the concrete experiments (E14), and extends
+the framework past deletions: :func:`~repro.sensitivity.harness.kernel_churn_sweep`
+stresses the Section 4 election kernel under general topology dynamics
+(outages *and* arrivals) and
+:func:`~repro.sensitivity.harness.resilience_curve` aggregates it into an
+accuracy-vs-churn-rate curve (E22).
 """
 
 from repro.sensitivity.critical import (
@@ -25,6 +30,9 @@ from repro.sensitivity.harness import (
     shortest_paths_under_faults,
     kernel_fault_sweep,
     fault_sweep_job,
+    kernel_churn_sweep,
+    churn_resilience_job,
+    resilience_curve,
     bridges_under_faults,
     synchronizer_fault_comparison,
     FaultExperimentResult,
@@ -40,6 +48,9 @@ __all__ = [
     "shortest_paths_under_faults",
     "kernel_fault_sweep",
     "fault_sweep_job",
+    "kernel_churn_sweep",
+    "churn_resilience_job",
+    "resilience_curve",
     "bridges_under_faults",
     "synchronizer_fault_comparison",
     "FaultExperimentResult",

@@ -28,6 +28,7 @@ from repro.network.properties import bridges as true_bridges
 from repro.network.state import NetworkState
 from repro.runtime.api import StepObserver, run
 from repro.runtime.batched import BatchedSynchronousEngine
+from repro.runtime.churn import is_down_event
 from repro.runtime.faults import FaultPlan
 from repro.runtime.telemetry import MetricsRegistry
 
@@ -37,6 +38,9 @@ __all__ = [
     "shortest_paths_under_faults",
     "kernel_fault_sweep",
     "fault_sweep_job",
+    "kernel_churn_sweep",
+    "churn_resilience_job",
+    "resilience_curve",
     "bridges_under_faults",
     "synchronizer_fault_comparison",
 ]
@@ -257,6 +261,193 @@ def fault_sweep_job(
         "remaining": [int(r) for r in res.detail["remaining"]],
         "live_nodes": int(res.detail["live_nodes"]),
     }
+
+
+def kernel_churn_sweep(
+    net: Network,
+    churn_plan,
+    replicas: int = 8,
+    rng: RngLike = None,
+    max_steps: int = 5_000,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FaultExperimentResult:
+    """Election coin kernel under general churn, over batched replicas (E22).
+
+    The Section 2 sensitivity framework only deletes; this sweep extends
+    it to the full topology-dynamics layer: the
+    :class:`~repro.runtime.churn.ChurnPlan` may revive downed nodes or
+    grow the network mid-election, and an arriving node boots in its
+    event's declared state — booting as a *contender* re-opens a settled
+    election, which is exactly the stress the resilience curve measures.
+    All replicas share one topology trajectory (the plan fires once
+    inside the batched engine, which keeps churn on the vector fast path
+    via union-topology lowering).  A replica only counts as converged
+    once the plan is exhausted *and* at most one contender remains: a
+    pending arrival can re-add contenders, so nothing is settled while
+    events are still due.  ``net`` is mutated by the plan; pass a copy to
+    keep the original.
+    """
+    gen = _gen(rng)
+    engine = BatchedSynchronousEngine(
+        net,
+        election_mod.coin_kernel_programs(),
+        election_mod.coin_kernel_init(net),
+        replicas,
+        randomness=2,
+        rng=gen,
+        fault_plan=churn_plan,
+        metrics=metrics,
+    )
+
+    def done(counts: Mapping) -> bool:
+        return churn_plan.exhausted and _kernel_sweep_done(counts)
+
+    try:
+        engine.run_until(done, max_steps=max_steps)
+        converged = np.ones(engine.replicas, dtype=bool)
+    except RuntimeError:
+        converged = np.fromiter(
+            (
+                done(engine.replica_state_counts(r))
+                for r in range(engine.replicas)
+            ),
+            dtype=bool,
+            count=engine.replicas,
+        )
+    remaining = [
+        election_mod.kernel_remaining_count(c) for c in engine.state_counts()
+    ]
+    ups = len(churn_plan.applied) - sum(
+        1 for ev in churn_plan.applied if is_down_event(ev)
+    )
+    return FaultExperimentResult(
+        reasonably_correct=bool(converged.all()),
+        faults_applied=len(churn_plan.applied),
+        detail={
+            "engine": "batched",
+            "replicas": int(engine.replicas),
+            "rounds": [int(r) for r in engine.rounds],
+            "remaining": remaining,
+            "live_nodes": int(engine.live_count),
+            "up_events": int(ups),
+            "converged": [bool(c) for c in converged],
+        },
+    )
+
+
+def churn_resilience_job(
+    rng=None,
+    metrics=None,
+    *,
+    family: str = "repro.network.generators.complete_graph",
+    n: int = 24,
+    replicas: int = 8,
+    num_events: int = 4,
+    churn_window: int = 8,
+    p_up: float = 0.4,
+    max_steps: int = 5_000,
+) -> dict:
+    """Campaign-job form of :func:`kernel_churn_sweep` — one point of the
+    accuracy-vs-churn-rate resilience curve (E22).
+
+    Pure and picklable under the ``repro.campaigns`` convention: the
+    network comes from a dotted generator name + ``n`` and the churn
+    schedule is drawn inside the job from the job's own RNG
+    (:func:`~repro.runtime.churn.random_churn_plan`, ``num_events``
+    events over ``[0, churn_window]`` with an up-event fraction of
+    ``p_up``; arrivals boot as fresh contenders).  ``churn_rate`` in the
+    result is events per step of the churn window, the curve's x-axis.
+    """
+    from repro.campaigns.spec import resolve_dotted
+    from repro.runtime.churn import random_churn_plan
+
+    gen = _gen(rng)
+    net = resolve_dotted(family)(n)
+    plan = random_churn_plan(
+        net,
+        num_events,
+        churn_window,
+        rng=gen,
+        p_up=p_up,
+        boot_state=election_mod.K_REMAIN0,
+    )
+    res = kernel_churn_sweep(
+        net, plan, replicas=replicas, rng=gen, max_steps=max_steps,
+        metrics=metrics,
+    )
+    return {
+        "family": family,
+        "n": n,
+        "num_events": num_events,
+        "churn_window": churn_window,
+        "churn_rate": num_events / max(churn_window, 1),
+        "p_up": p_up,
+        "reasonably_correct": bool(res.reasonably_correct),
+        "events_applied": int(res.faults_applied),
+        "up_events": int(res.detail["up_events"]),
+        "replicas": int(res.detail["replicas"]),
+        "rounds": res.detail["rounds"],
+        "remaining": [int(r) for r in res.detail["remaining"]],
+        "live_nodes": int(res.detail["live_nodes"]),
+        "converged_fraction": float(np.mean(res.detail["converged"])),
+    }
+
+
+def resilience_curve(
+    event_counts=(0, 2, 4, 8),
+    *,
+    family: str = "repro.network.generators.complete_graph",
+    n: int = 24,
+    replicas: int = 8,
+    seeds: int = 4,
+    churn_window: int = 8,
+    p_up: float = 0.4,
+    max_steps: int = 5_000,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Accuracy vs churn rate for the Section 4 election kernel (E22).
+
+    In-process convenience over :func:`churn_resilience_job`: one curve
+    point per entry of ``event_counts``, each aggregated over ``seeds``
+    independently seeded jobs (spawned from ``rng``, so the whole curve
+    is reproducible from one seed).  Points report the fraction of
+    (seed, replica) runs that converged — the resilience measure — plus
+    the mean rounds-to-convergence.  The campaign preset
+    ``churn-resilience`` shards the same jobs across workers with
+    resumable storage instead.
+    """
+    master = _gen(rng)
+    streams = master.spawn(len(tuple(event_counts)) * seeds)
+    curve = []
+    for i, num_events in enumerate(event_counts):
+        results = [
+            churn_resilience_job(
+                rng=streams[i * seeds + s],
+                family=family,
+                n=n,
+                replicas=replicas,
+                num_events=num_events,
+                churn_window=churn_window,
+                p_up=p_up,
+                max_steps=max_steps,
+            )
+            for s in range(seeds)
+        ]
+        rounds = [r for res in results for r in res["rounds"]]
+        curve.append(
+            {
+                "num_events": int(num_events),
+                "churn_rate": num_events / max(churn_window, 1),
+                "accuracy": float(
+                    np.mean([res["converged_fraction"] for res in results])
+                ),
+                "mean_rounds": float(np.mean(rounds)),
+                "seeds": seeds,
+                "replicas": replicas,
+                "n": n,
+            }
+        )
+    return curve
 
 
 def bridges_under_faults(

@@ -197,6 +197,33 @@ class TestQuotientNegotiation:
             )
         assert exc.value.blocker == "fault-plan"
 
+    def test_churn_plan_names_its_own_blocker(self):
+        """A plan that *adds* topology gets the dedicated ``churn-plan``
+        blocker (an arrival changes the node set itself, which no orbit
+        partition of the original network describes); ``auto`` falls back
+        to the full-graph path, which runs the arrival end to end."""
+        from repro.core.ir import QuotientLoweringError
+        from repro.runtime.churn import ChurnPlan, TopologyEvent
+
+        net = self._declared_cycle()
+        init = NetworkState.uniform(net, "a")
+        events = [
+            TopologyEvent(1, "node-down", 3),
+            TopologyEvent(2, "node-up", "x", state="b", edges=(0, 1)),
+        ]
+        res = run(
+            _hold_programs(), net, init, until=4,
+            fault_plan=ChurnPlan(list(events)),
+        )
+        assert res.engine == "vectorized"
+        assert res.final_state["x"] == "b"  # the arrival joined and held
+        with pytest.raises(QuotientLoweringError, match="arrival") as exc:
+            run(
+                _hold_programs(), net, init, until=4,
+                fault_plan=ChurnPlan(list(events)), engine="quotient",
+            )
+        assert exc.value.blocker == "churn-plan"
+
     def test_undeclared_group_falls_back_naming_blocker(self):
         from repro.core.ir import QuotientLoweringError
 

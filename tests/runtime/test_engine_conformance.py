@@ -14,6 +14,15 @@ one ``size=n`` vector (the vectorized engines), and all engines agree on
 node order (``Network.to_csr`` uses insertion order, the same order the
 reference simulator iterates).
 
+The **churn axis** widens the faulted cases to the full topology-dynamics
+event algebra: coherent mixed down/up schedules (deletions, resurrections,
+edge restorations, plus fresh growth arrivals) run through the array
+engines' union-topology lowering against the reference interpreter
+mutating the live network — trajectories and telemetry counters must stay
+bitwise identical, including the RNG draw order as resurrected and
+arriving nodes re-enter the live ordering at the end (insertion-stamp
+order on the array side).
+
 The **quotient axis** runs the same differential oracle against the
 :class:`~repro.runtime.quotient.QuotientSynchronousEngine` on networks
 with declared automorphism groups (cycle/circulant rotations, subgroup
@@ -58,6 +67,12 @@ from repro.network import NetworkState, generators
 from repro.network import symmetry as sym
 from repro.runtime.backends import HAS_NUMBA, NumbaBackend, resolve_backend
 from repro.runtime.batched import BatchedSynchronousEngine
+from repro.runtime.churn import (
+    ChurnPlan,
+    TopologyEvent,
+    growth_plan,
+    random_churn_plan,
+)
 from repro.runtime.faults import FaultEvent, FaultPlan
 from repro.runtime.quotient import OrbitBroadcastRng, QuotientSynchronousEngine
 from repro.runtime.simulator import SynchronousSimulator
@@ -158,6 +173,27 @@ def random_fault_events(rng, net, steps):
         else:
             events.append(FaultEvent(t, "node", v))
     return events
+
+
+def random_churn_events(rng, net, steps, states):
+    """A coherent mixed topology-dynamics schedule for a conformance case:
+    random deletions with resurrections and edge restorations
+    (:func:`random_churn_plan` against a scratch copy, so every event is
+    feasible when it fires) plus one or two *fresh* arrivals joining
+    mid-run (:func:`growth_plan`).  Boot states are drawn from the case's
+    alphabet.  Like :func:`random_fault_events`, the same event list
+    parametrizes a fresh :class:`ChurnPlan` per engine."""
+    boot = states[int(rng.integers(len(states)))]
+    base = random_churn_plan(
+        net, int(rng.integers(2, 6)), max_time=max(1, steps - 2),
+        rng=rng, p_up=0.5, boot_state=boot,
+    ).events()
+    growth = growth_plan(
+        net, int(rng.integers(1, 3)), attach=2,
+        start=int(rng.integers(1, steps)), rng=rng,
+        state=states[int(rng.integers(len(states)))],
+    ).events()
+    return base + growth
 
 
 def symmetric_network(rng, scale=1):
@@ -334,6 +370,84 @@ def assert_faulted_probabilistic_conformance(
         assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
 
 
+def assert_churn_conformance(
+    case_seed, scale=1, steps=8, replicas=2, backend="auto"
+):
+    """Mixed down/up churn lowers to the union topology + incremental
+    masks on the array engines: trajectories bitwise-identical to the
+    reference interpreter mutating the live network, step by step —
+    deletions, resurrections, edge restorations and fresh arrivals all
+    included."""
+    rng = np.random.default_rng(case_seed)
+    states, programs = random_deterministic_programs(rng, int(rng.integers(2, 5)))
+    net = random_network(rng, scale)
+    init = random_init(rng, net, states)
+    events = random_churn_events(rng, net, steps, states)
+
+    ref = SynchronousSimulator(
+        net.copy(), FSSGA.from_programs(programs), init.copy(),
+        fault_plan=ChurnPlan(list(events)),
+    )
+    vec = VectorizedSynchronousEngine(
+        net.copy(), programs, init, fault_plan=ChurnPlan(list(events)),
+        backend=backend,
+    )
+    bat = BatchedSynchronousEngine(
+        net.copy(), programs, init, replicas=replicas,
+        fault_plan=ChurnPlan(list(events)), backend=backend,
+    )
+    for step in range(steps):
+        ref.step()
+        vec.step()
+        bat.step()
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+        for r in range(replicas):
+            assert bat.replica_state(r) == ref.state, (
+                f"batched replica {r} diverged at step {step}"
+            )
+
+
+def assert_churn_probabilistic_conformance(
+    case_seed, scale=1, steps=8, backend="auto"
+):
+    """Churn + shared RNG streams: the reference draws per node in live
+    insertion order (a resurrected or arriving node re-enters at the
+    *end* of the dict), so the array engines' live views must present
+    rows in the same stamped order for the draw streams to stay aligned
+    — the strictest check of the arrival lowering."""
+    rng = np.random.default_rng(case_seed)
+    randomness = int(rng.integers(2, 4))
+    states, programs = random_probabilistic_programs(
+        rng, int(rng.integers(2, 4)), randomness
+    )
+    net = random_network(rng, scale)
+    init = random_init(rng, net, states)
+    events = random_churn_events(rng, net, steps, states)
+    seed = int(rng.integers(2**32))
+
+    automaton = ProbabilisticFSSGA(set(states), randomness, programs)
+    ref = SynchronousSimulator(
+        net.copy(), automaton, init.copy(), rng=np.random.default_rng(seed),
+        fault_plan=ChurnPlan(list(events)),
+    )
+    vec = VectorizedSynchronousEngine(
+        net.copy(), programs, init, randomness=randomness,
+        rng=np.random.default_rng(seed), fault_plan=ChurnPlan(list(events)),
+        backend=backend,
+    )
+    bat = BatchedSynchronousEngine(
+        net.copy(), programs, init, replicas=1, randomness=randomness,
+        rng=[np.random.default_rng(seed)], fault_plan=ChurnPlan(list(events)),
+        backend=backend,
+    )
+    for step in range(steps):
+        ref.step()
+        vec.step()
+        bat.step()
+        assert vec.state == ref.state, f"vectorized diverged at step {step}"
+        assert bat.replica_state(0) == ref.state, f"batched diverged at step {step}"
+
+
 def assert_quotient_deterministic_conformance(
     case_seed, scale=1, steps=6, backend="auto"
 ):
@@ -421,6 +535,64 @@ class TestFaultedConformance:
         assert_faulted_probabilistic_conformance(4000 + case)
 
 
+class TestChurnConformance:
+    """Mixed down/up schedules (the topology-dynamics generalization)
+    execute identically on all three engines — the acceptance criterion of
+    the churn tentpole: no reference fallback, bitwise-equal trajectories
+    through deletions, resurrections, restorations and fresh arrivals."""
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_deterministic_churn(self, case):
+        assert_churn_conformance(15000 + case)
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_probabilistic_churn(self, case):
+        assert_churn_probabilistic_conformance(16000 + case)
+
+    def test_arrival_boots_and_attaches_on_every_engine(self):
+        """An explicit hand-built schedule (not reliant on random picks):
+        a node dies, a fresh node arrives and attaches to the epidemic,
+        the dead node resurrects with a trimmed neighbourhood, and a
+        severed edge comes back."""
+        from repro.core.modthresh import ModThreshProgram, at_least
+
+        programs = {
+            "s": ModThreshProgram(clauses=((at_least("i", 1), "i"),), default="s"),
+            "i": ModThreshProgram(clauses=(), default="i"),
+        }
+        net = generators.cycle_graph(6)
+        init = NetworkState.uniform(net, "s")
+        init[0] = "i"
+        events = [
+            TopologyEvent(1, "node-down", 3),
+            TopologyEvent(2, "edge-down", (4, 5)),
+            TopologyEvent(3, "node-up", "x", state="s", edges=(0, 4)),
+            TopologyEvent(4, "node-up", 3, state="s", edges=(2,)),
+            TopologyEvent(5, "edge-up", (4, 5)),
+        ]
+        ref = SynchronousSimulator(
+            net.copy(), FSSGA.from_programs(programs), init.copy(),
+            fault_plan=ChurnPlan(list(events)),
+        )
+        vec = VectorizedSynchronousEngine(
+            net.copy(), programs, init, fault_plan=ChurnPlan(list(events))
+        )
+        bat = BatchedSynchronousEngine(
+            net.copy(), programs, init, replicas=2,
+            fault_plan=ChurnPlan(list(events)),
+        )
+        for step in range(10):
+            ref.step()
+            vec.step()
+            bat.step()
+            assert vec.state == ref.state, f"vectorized diverged at step {step}"
+            assert bat.replica_state(0) == ref.state
+            assert bat.replica_state(1) == ref.state
+        # the arrival caught the infection through its edge to node 0,
+        # and the resurrected node through its single kept edge to node 2
+        assert ref.state["x"] == "i" and ref.state[3] == "i"
+
+
 class TestQuotientConformance:
     """Orbit-representative simulation lifts back to the exact full-graph
     trajectory on every declared-group family (acceptance criterion of the
@@ -499,12 +671,16 @@ class TestQuotientConformance:
 
 class TestCounterConformance:
     """Theorem 3.7 extended to the instrumentation: the telemetry counters
-    (steps, node updates, RNG draws, fault events) agree exactly across
-    reference/vectorized/batched on shared-seed trajectories."""
+    (steps, node updates, RNG draws, fault/churn events) agree exactly
+    across reference/vectorized/batched on shared-seed trajectories.
+    ``fault_events`` keeps its historical deletions-only meaning;
+    ``churn_events`` counts every applied topology event."""
 
-    COUNTERS = ("steps", "node_updates", "rng_draws", "fault_events")
+    COUNTERS = (
+        "steps", "node_updates", "rng_draws", "fault_events", "churn_events"
+    )
 
-    def _counters_for_case(self, case_seed, steps=8):
+    def _counters_for_case(self, case_seed, steps=8, churn=False):
         rng = np.random.default_rng(case_seed)
         randomness = int(rng.integers(2, 4))
         states, programs = random_probabilistic_programs(
@@ -512,25 +688,29 @@ class TestCounterConformance:
         )
         net = random_network(rng)
         init = random_init(rng, net, states)
-        events = random_fault_events(rng, net, steps)
+        events = (
+            random_churn_events(rng, net, steps, states)
+            if churn
+            else random_fault_events(rng, net, steps)
+        )
         seed = int(rng.integers(2**32))
 
         automaton = ProbabilisticFSSGA(set(states), randomness, programs)
         met_ref, met_vec, met_bat = (MetricsRegistry() for _ in range(3))
         ref = SynchronousSimulator(
             net.copy(), automaton, init.copy(),
-            rng=np.random.default_rng(seed), fault_plan=FaultPlan(events),
-            metrics=met_ref,
+            rng=np.random.default_rng(seed),
+            fault_plan=ChurnPlan(list(events)), metrics=met_ref,
         )
         vec = VectorizedSynchronousEngine(
             net.copy(), programs, init, randomness=randomness,
-            rng=np.random.default_rng(seed), fault_plan=FaultPlan(events),
-            metrics=met_vec,
+            rng=np.random.default_rng(seed),
+            fault_plan=ChurnPlan(list(events)), metrics=met_vec,
         )
         bat = BatchedSynchronousEngine(
             net.copy(), programs, init, replicas=1, randomness=randomness,
-            rng=[np.random.default_rng(seed)], fault_plan=FaultPlan(events),
-            metrics=met_bat,
+            rng=[np.random.default_rng(seed)],
+            fault_plan=ChurnPlan(list(events)), metrics=met_bat,
         )
         for _ in range(steps):
             ref.step()
@@ -545,6 +725,21 @@ class TestCounterConformance:
             assert met_vec.get(name) == met_ref.get(name), name
             assert met_bat.get(name) == met_ref.get(name), name
         assert met_ref.get("rng_draws") > 0
+        # deletion-only schedules: the two event counters coincide
+        assert met_ref.get("churn_events") == met_ref.get("fault_events")
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_churn_counters_agree(self, case):
+        """Mixed schedules: ``churn_events`` counts every applied event,
+        ``fault_events`` only the deletions — identically on all engines."""
+        met_ref, met_vec, met_bat = self._counters_for_case(
+            7700 + case, churn=True
+        )
+        for name in self.COUNTERS:
+            assert met_vec.get(name) == met_ref.get(name), name
+            assert met_bat.get(name) == met_ref.get(name), name
+        assert met_ref.get("churn_events") >= met_ref.get("fault_events")
+        assert met_ref.get("churn_events") > 0
 
     @pytest.mark.parametrize("case", range(4))
     def test_deterministic_counters_agree(self, case):
@@ -741,6 +936,18 @@ class TestBackendConformance:
 
     @pytest.mark.parametrize("backend", BACKEND_AXIS)
     @pytest.mark.parametrize("case", range(2))
+    def test_churn(self, backend, case):
+        assert_churn_conformance(13600 + case, backend=make_backend(backend))
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(2))
+    def test_churn_probabilistic(self, backend, case):
+        assert_churn_probabilistic_conformance(
+            13700 + case, backend=make_backend(backend)
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_AXIS)
+    @pytest.mark.parametrize("case", range(2))
     def test_quotient_deterministic(self, backend, case):
         assert_quotient_deterministic_conformance(
             13400 + case, backend=make_backend(backend)
@@ -786,6 +993,14 @@ class TestConformanceSweep:
     @pytest.mark.parametrize("case", range(40))
     def test_faulted_probabilistic_wide(self, case):
         assert_faulted_probabilistic_conformance(8000 + case, scale=4, steps=12)
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_churn_wide(self, case):
+        assert_churn_conformance(15500 + case, scale=4, steps=12, replicas=4)
+
+    @pytest.mark.parametrize("case", range(40))
+    def test_churn_probabilistic_wide(self, case):
+        assert_churn_probabilistic_conformance(16500 + case, scale=4, steps=12)
 
     @pytest.mark.parametrize("case", range(40))
     def test_quotient_deterministic_wide(self, case):

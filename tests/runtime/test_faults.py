@@ -72,6 +72,27 @@ class TestFaultPlan:
         plan = FaultPlan.edge_faults({1: (0, 1)})
         assert plan.events()[0].kind == "edge"
 
+    def test_list_of_pairs_allows_same_step_faults(self):
+        """The dict form cannot express two faults at one step (keys are
+        unique); the list form can, and keeps the given order (the plan's
+        time sort is stable)."""
+        plan = FaultPlan.node_faults([(2, "a"), (2, "b"), (1, "c")])
+        assert [(e.time, e.target) for e in plan.events()] == [
+            (1, "c"), (2, "a"), (2, "b")
+        ]
+        net = generators.complete_graph(3)
+        plan2 = FaultPlan.edge_faults([(0, (0, 1)), (0, (1, 2))])
+        fired = plan2.apply_due(net, 0)
+        assert len(fired) == 2
+        assert not net.has_edge(0, 1) and not net.has_edge(1, 2)
+
+    def test_dict_and_pair_list_forms_agree(self):
+        by_dict = FaultPlan.node_faults({1: "x", 3: "y"})
+        by_list = FaultPlan.node_faults([(1, "x"), (3, "y")])
+        assert [(e.time, e.kind, e.target) for e in by_dict.events()] == [
+            (e.time, e.kind, e.target) for e in by_list.events()
+        ]
+
 
 class TestFaultTimingEdgeCases:
     """Faults striking on the final step and faults that isolate a node."""
@@ -186,6 +207,19 @@ class TestRandomFaultPlan:
         a = random_fault_plan(net, 5, 10, rng=42)
         b = random_fault_plan(net, 5, 10, rng=42)
         assert [e.target for e in a.events()] == [e.target for e in b.events()]
+
+    def test_generator_and_int_seed_agree(self):
+        """``rng`` accepts a Generator or an int seed; a fresh Generator
+        seeded with the same int yields the identical plan, so a sweep can
+        reproduce its schedules from recorded seeds alone."""
+        import numpy as np
+
+        net = generators.complete_graph(6)
+        a = random_fault_plan(net, 5, 10, rng=42)
+        b = random_fault_plan(net, 5, 10, rng=np.random.default_rng(42))
+        assert [(e.time, e.kind, e.target) for e in a.events()] == [
+            (e.time, e.kind, e.target) for e in b.events()
+        ]
 
     def test_no_duplicate_targets(self):
         net = generators.complete_graph(5)

@@ -164,3 +164,112 @@ class TestFaultSweepJob:
         assert (
             pickle.loads(pickle.dumps(_kernel_sweep_done)) is _kernel_sweep_done
         )
+
+
+class TestKernelChurnSweep:
+    """Election under general churn (E22): revivals and growth mid-run."""
+
+    def test_growth_arrivals_reopen_and_still_converge(self):
+        from repro.algorithms import election
+        from repro.runtime.churn import growth_plan
+        from repro.sensitivity import kernel_churn_sweep
+
+        net = generators.complete_graph(12)
+        # attach to every node present, so the network stays complete and
+        # the kernel can always whittle the re-opened contest back down
+        plan = growth_plan(
+            net, 3, attach=net.num_nodes + 3, start=2, rng=1,
+            state=election.K_REMAIN0,
+        )
+        res = kernel_churn_sweep(net.copy(), plan, replicas=4, rng=7)
+        assert res.reasonably_correct
+        assert res.faults_applied == 3  # every arrival fired
+        assert res.detail["up_events"] == 3
+        assert res.detail["live_nodes"] == 15
+        assert all(r <= 1 for r in res.detail["remaining"])
+
+    def test_not_converged_while_plan_pending(self):
+        """A plan whose last arrival lies beyond max_steps keeps every
+        replica unconverged: a pending arrival can re-add contenders."""
+        from repro.algorithms import election
+        from repro.runtime.churn import ChurnPlan, TopologyEvent
+        from repro.sensitivity import kernel_churn_sweep
+
+        net = generators.complete_graph(8)
+        plan = ChurnPlan(
+            [TopologyEvent(10_000, "node-up", "late",
+                           state=election.K_REMAIN0, edges=(0, 1))]
+        )
+        res = kernel_churn_sweep(net.copy(), plan, replicas=3, rng=3,
+                                 max_steps=40)
+        assert not res.reasonably_correct
+        assert res.detail["converged"] == [False, False, False]
+
+    def test_mixed_churn_metrics(self):
+        from repro.algorithms import election
+        from repro.runtime.churn import random_churn_plan
+        from repro.runtime.telemetry import MetricsRegistry
+        from repro.sensitivity import kernel_churn_sweep
+
+        net = generators.complete_graph(16)
+        plan = random_churn_plan(
+            net, 6, max_time=6, rng=2, p_up=0.5,
+            boot_state=election.K_REMAIN0,
+        )
+        met = MetricsRegistry()
+        res = kernel_churn_sweep(
+            net.copy(), plan, replicas=4, rng=9, metrics=met
+        )
+        assert met.get("churn_events") == res.faults_applied
+        assert met.get("fault_events") == (
+            res.faults_applied - res.detail["up_events"]
+        )
+
+
+class TestChurnResilience:
+    """The accuracy-vs-churn-rate curve and its campaign-job form (E22)."""
+
+    def test_job_deterministic_and_json_safe(self):
+        import json
+
+        from repro.sensitivity import churn_resilience_job
+
+        a = churn_resilience_job(rng=21, n=12, replicas=3, num_events=3)
+        b = churn_resilience_job(rng=21, n=12, replicas=3, num_events=3)
+        assert a == b
+        json.dumps(a)
+        assert a["churn_rate"] == 3 / 8
+        assert 0.0 <= a["converged_fraction"] <= 1.0
+        assert a["events_applied"] <= 3
+
+    def test_zero_events_is_the_fault_free_baseline(self):
+        from repro.sensitivity import churn_resilience_job
+
+        out = churn_resilience_job(rng=4, n=12, replicas=3, num_events=0)
+        assert out["churn_rate"] == 0.0
+        assert out["events_applied"] == 0
+        assert out["reasonably_correct"] is True
+        assert out["converged_fraction"] == 1.0
+
+    def test_curve_shape(self):
+        from repro.sensitivity import resilience_curve
+
+        curve = resilience_curve(
+            (0, 4), n=10, replicas=2, seeds=2, rng=13, max_steps=2_000
+        )
+        assert [pt["num_events"] for pt in curve] == [0, 4]
+        assert curve[0]["churn_rate"] == 0.0 and curve[0]["accuracy"] == 1.0
+        for pt in curve:
+            assert 0.0 <= pt["accuracy"] <= 1.0
+            assert pt["mean_rounds"] > 0
+            assert pt["seeds"] == 2 and pt["replicas"] == 2
+
+    def test_job_is_picklable(self):
+        import pickle
+
+        from repro.sensitivity import churn_resilience_job
+
+        assert (
+            pickle.loads(pickle.dumps(churn_resilience_job))
+            is churn_resilience_job
+        )
