@@ -1,0 +1,128 @@
+"""E23 — service front door: gossip-aggregation load under quotas.
+
+The DESIGN choice under test: serving the campaign layer over an asyncio
+HTTP front door (``repro.service``) must sustain the Mosk-Aoyama–Shah
+gossip workload — >= 100 small gossip jobs through the worker pool — with
+per-tenant token-bucket quotas enforced, dedupe intact (a replayed prefix
+is answered entirely from the store, zero extra executions) and zero torn
+lines in the shared ``artifacts.jsonl`` (``store.verify()`` clean).
+Reported: throughput (jobs/s) and client-observed latency percentiles.
+
+The server runs in-process on a loopback socket with the real HTTP layer
+and the real (spawn) process pool — the same path ``repro serve``
+exposes; the load generator is ``repro.service.loadgen`` itself.
+"""
+
+import asyncio
+
+from repro.campaigns.store import ArtifactStore
+from repro.service.http import serve
+from repro.service.jobs import JobManager
+from repro.service.loadgen import run_loadgen
+
+from _benchlib import print_table
+
+JOBS = 100
+CONCURRENCY = 16
+N, K = 20, 4
+
+
+async def _serve_load(store_dir, *, quota_burst=None, quota_rate=0.0):
+    manager = JobManager(
+        store_dir,
+        workers=4,
+        queue_limit=2 * CONCURRENCY,
+        quota_burst=quota_burst,
+        quota_rate=quota_rate,
+    )
+    manager.start()
+    server = await serve(manager, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        report = await run_loadgen(
+            "127.0.0.1", port,
+            jobs=JOBS, concurrency=CONCURRENCY, n=N, k=K,
+            repeat_fraction=0.2,
+        )
+        report["counters"] = dict(manager.metrics.counters)
+        return report
+    finally:
+        server.close()
+        await server.wait_closed()
+        await manager.close()
+
+
+def test_service_gossip_load(benchmark, tmp_path):
+    report = benchmark.pedantic(
+        lambda: asyncio.run(_serve_load(tmp_path / "store")),
+        rounds=1, iterations=1,
+    )
+
+    # every job answered 200, all first-round submissions executed
+    assert report["statuses"] == {200: JOBS}
+    assert report["outcomes"]["accepted"] == JOBS
+    # the replayed prefix is pure cache: zero extra executions
+    assert report["repeat_outcomes"] == {"cached": int(JOBS * 0.2)}
+    assert report["counters"]["jobs_executed"] == JOBS
+    assert report["counters"]["cache_hits"] == int(JOBS * 0.2)
+
+    # the concurrent-writer guarantee: nothing torn, nothing corrupted
+    store = ArtifactStore(tmp_path / "store")
+    assert store.verify() == []
+    assert len(store.completed_hashes()) == JOBS
+
+    print_table(
+        f"E23: {JOBS} gossip jobs (n={N}, k={K}) through repro.service, "
+        f"{CONCURRENCY} concurrent clients",
+        ["jobs/s", "p50 ms", "p90 ms", "p99 ms", "replay", "torn lines"],
+        [
+            (
+                f"{report['throughput_jobs_per_s']:.1f}",
+                f"{1e3 * report['latency_p50']:.1f}",
+                f"{1e3 * report['latency_p90']:.1f}",
+                f"{1e3 * report['latency_p99']:.1f}",
+                "all cached",
+                0,
+            )
+        ],
+    )
+    benchmark.extra_info.update(
+        jobs=JOBS,
+        concurrency=CONCURRENCY,
+        throughput_jobs_per_s=round(report["throughput_jobs_per_s"], 2),
+        latency_p50_ms=round(1e3 * report["latency_p50"], 2),
+        latency_p99_ms=round(1e3 * report["latency_p99"], 2),
+        cache_hits=report["counters"]["cache_hits"],
+        torn_lines=0,
+    )
+
+
+def test_service_quota_enforcement(benchmark, tmp_path):
+    """A burst above the tenant budget is clipped by 429s, not queued."""
+    report = benchmark.pedantic(
+        lambda: asyncio.run(
+            _serve_load(
+                tmp_path / "store", quota_burst=JOBS // 2, quota_rate=0.0
+            )
+        ),
+        rounds=1, iterations=1,
+    )
+    accepted = report["outcomes"].get("accepted", 0)
+    rejected = report["outcomes"].get("quota_rejected", 0)
+    assert accepted == JOBS // 2
+    assert rejected == JOBS - JOBS // 2
+    assert report["counters"]["quota_rejections"] == rejected
+    # rejected jobs never reached the pool or the store
+    assert report["counters"]["jobs_executed"] == accepted
+    store = ArtifactStore(tmp_path / "store")
+    assert len(store.completed_hashes()) == accepted
+    assert store.verify() == []
+    print_table(
+        f"E23b: tenant quota burst={JOBS // 2} against {JOBS} submissions",
+        ["accepted", "429 quota", "executed", "store ok"],
+        [(accepted, rejected, report["counters"]["jobs_executed"], "yes")],
+    )
+    benchmark.extra_info.update(
+        jobs=JOBS, quota_burst=JOBS // 2,
+        accepted=accepted, quota_rejected=rejected,
+    )

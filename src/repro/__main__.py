@@ -25,13 +25,23 @@ Campaigns (sharded parallel experiment sweeps, ``repro.campaigns``):
 ``--jobs N`` sets the worker-process count (``0`` = in-process
 sequential; default = the scheduler-visible CPU count).
 
+Serving (asyncio HTTP/SSE front door, ``repro.service``):
+
+* ``serve --store DIR [--host H] [--port P] [--workers N]
+  [--queue-limit N] [--quota-burst B --quota-rate R]`` — accept
+  JobSpec/CampaignSpec submissions over HTTP, dedupe them against the
+  artifact store, and stream job progress as Server-Sent Events
+
 Exit codes:
 
 * ``0`` — success (campaign: every job completed)
-* ``1`` — usage error: unknown demo/subcommand, bad flags, missing or
-  mismatched spec/store
-* ``2`` — the campaign finished but some jobs exhausted their retry
-  budget (completed work is in the store; rerun to retry the rest)
+* ``1`` — usage error: unknown demo/subcommand, bad flags, unknown
+  preset, unreadable spec file
+* ``2`` — campaign failure: the store directory is missing, belongs to a
+  different campaign (identity mismatch), or holds a corrupt/tampered
+  spec — always a one-line message, never a traceback — or the campaign
+  finished but some jobs exhausted their retry budget (completed work is
+  in the store; rerun to retry the rest)
 """
 
 from __future__ import annotations
@@ -288,22 +298,40 @@ def _campaign_main(argv: list[str]) -> int:
             )
         return 0
 
-    if args.action == "status":
-        store = ArtifactStore(args.store)
-        if store.load_spec() is None:
-            print(f"no campaign at {args.store} (missing campaign.json)",
+    def open_store(path):
+        """An existing store and its bound spec, or (None, None) after a
+        one-line stderr message — store problems are exit code 2, and they
+        must never escape as tracebacks."""
+        import os
+
+        if not os.path.isdir(path):
+            print(f"no campaign at {path} (no such store directory)",
                   file=sys.stderr)
-            return 1
+            return None, None
+        store = ArtifactStore(path)
+        try:
+            spec = store.load_spec()
+        except (ValueError, OSError) as exc:
+            # tampered/corrupt campaign.json (e.g. spec_hash mismatch)
+            print(f"unusable campaign.json at {path}: {exc}", file=sys.stderr)
+            return None, None
+        if spec is None:
+            print(f"no campaign at {path} (missing campaign.json)",
+                  file=sys.stderr)
+            return None, None
+        return store, spec
+
+    if args.action == "status":
+        store, _ = open_store(args.store)
+        if store is None:
+            return 2
         print(json.dumps(store.status(), indent=2, sort_keys=True))
         return 0
 
     if args.action == "resume":
-        store = ArtifactStore(args.store)
-        spec = store.load_spec()
-        if spec is None:
-            print(f"no campaign at {args.store} (missing campaign.json)",
-                  file=sys.stderr)
-            return 1
+        store, spec = open_store(args.store)
+        if store is None:
+            return 2
     else:  # run
         if args.preset is not None:
             presets = _campaign_presets()
@@ -334,7 +362,11 @@ def _campaign_main(argv: list[str]) -> int:
         )
     except StoreMismatchError as exc:
         print(str(exc), file=sys.stderr)
-        return 1
+        return 2
+    except ValueError as exc:
+        # the target store holds a corrupt/tampered campaign.json
+        print(f"unusable store at {args.store}: {exc}", file=sys.stderr)
+        return 2
     summary_path = write_summary(result.store, spec)
     print(f"summary: {summary_path}")
     if result.failed:
@@ -348,6 +380,84 @@ def _campaign_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve subcommand
+# ----------------------------------------------------------------------
+def _serve_main(argv: list[str]) -> int:
+    import argparse
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="asyncio HTTP/SSE front door for the campaign layer "
+                    "(repro.service)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument(
+        "--store", required=True,
+        help="artifact store directory (created if missing; completed "
+             "artifacts in it are served as cache hits)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max admitted-but-unfinished jobs before 503 backpressure",
+    )
+    parser.add_argument(
+        "--quota-burst", type=float, default=None,
+        help="per-tenant token-bucket burst (default: no quotas)",
+    )
+    parser.add_argument(
+        "--quota-rate", type=float, default=0.0,
+        help="per-tenant token refill per second",
+    )
+    parser.add_argument("--retries", type=int, default=0)
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job wait budget (s)"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 1 if exc.code else 0
+
+    from repro.service.http import serve
+    from repro.service.jobs import JobManager
+
+    async def _serve_forever() -> None:
+        manager = JobManager(
+            args.store,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            quota_burst=args.quota_burst,
+            quota_rate=args.quota_rate,
+            retries=args.retries,
+            timeout=args.timeout,
+        )
+        manager.start()
+        server = await serve(manager, args.host, args.port)
+        addr = server.sockets[0].getsockname()
+        print(
+            f"repro.service on http://{addr[0]}:{addr[1]} "
+            f"(store {args.store}, {manager.workers} workers)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await manager.close()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+# ----------------------------------------------------------------------
 # dispatcher
 # ----------------------------------------------------------------------
 def main(argv: list[str]) -> int:
@@ -356,6 +466,8 @@ def main(argv: list[str]) -> int:
         return 0 if argv else 1
     if argv[0] == "campaign":
         return _campaign_main(argv[1:])
+    if argv[0] == "serve":
+        return _serve_main(argv[1:])
     if argv[0] not in _DEMOS:
         print(__doc__)
         return 1

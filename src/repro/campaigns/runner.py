@@ -44,7 +44,12 @@ from repro.campaigns.spec import CampaignSpec, JobSpec
 from repro.campaigns.store import ArtifactStore
 from repro.runtime.telemetry import MetricsRegistry, _jsonable
 
-__all__ = ["execute_job", "run_campaign", "CampaignRunResult"]
+__all__ = [
+    "execute_job",
+    "execute_job_async",
+    "run_campaign",
+    "CampaignRunResult",
+]
 
 
 def execute_job(payload: dict) -> dict:
@@ -92,6 +97,71 @@ def execute_job(payload: dict) -> dict:
             "wall_time": perf_counter() - t0,
             "worker": os.getpid(),
         }
+
+
+async def execute_job_async(
+    executor: ProcessPoolExecutor,
+    payload: dict,
+    *,
+    retries: int = 0,
+    backoff: float = 0.0,
+    timeout: Optional[float] = None,
+    on_retry: Optional[Callable] = None,
+) -> dict:
+    """Async-submittable facade over :func:`execute_job`.
+
+    The batch runner above owns its own event loop (``wait`` +
+    ``time.sleep``); an asyncio host like ``repro.service`` must never
+    block its loop that way, so this coroutine runs the job on
+    ``executor`` via ``run_in_executor`` and does every retry backoff
+    with ``asyncio.sleep``.  Semantics mirror one job's slice of the
+    pooled runner: errors, crashes and timeouts each cost one of
+    ``retries + 1`` attempts, backoff doubles per attempt, and the
+    returned record always carries ``attempts``.  A broken pool is
+    reported in the record (``pool_broken=True``) rather than raised —
+    the caller owns the executor and decides whether to rebuild it.
+
+    ``timeout`` bounds the *wait*, not the worker: a timed-out worker
+    process keeps running until the caller rebuilds the pool (the same
+    hung-worker reality the batch runner handles with a pool kill).
+    """
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    attempt = 0
+    while True:
+        attempt += 1
+        pool_broken = False
+        try:
+            fut = loop.run_in_executor(executor, execute_job, payload)
+            record = await (
+                asyncio.wait_for(fut, timeout) if timeout is not None else fut
+            )
+        except asyncio.TimeoutError:
+            record = _failure_record(
+                payload, attempt, f"timeout after {timeout}s (wait budget)"
+            )
+            record["status"] = "error"
+            pool_broken = True  # the worker is still occupied — unusable
+        except BrokenProcessPool:
+            record = _failure_record(
+                payload, attempt, "worker process died (pool broken)"
+            )
+            record["status"] = "error"
+            pool_broken = True
+        record["attempts"] = attempt
+        if pool_broken:
+            # retrying on this executor is futile — every submit would
+            # fail instantly; hand the record back so the caller can
+            # rebuild the pool and decide about the remaining budget
+            record["pool_broken"] = True
+            return record
+        if record["status"] == "ok" or attempt > retries:
+            return record
+        if on_retry is not None:
+            on_retry(attempt, record.get("error"))
+        if backoff:
+            await asyncio.sleep(backoff * (2 ** (attempt - 1)))
 
 
 @dataclass

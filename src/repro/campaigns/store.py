@@ -15,11 +15,15 @@ record (result, stripped metrics, manifest hash) plus the job's
 reports one.  Resume therefore reduces to a set lookup: jobs whose hash
 already has an ``"ok"`` record are skipped, everything else re-runs.
 
-Only the coordinating process appends (workers return records over the
-executor), so the JSONL needs no locking; a half-written final line from
-a killed coordinator is detected and ignored on load, and the completed
-job simply re-runs — append-only storage makes interruption at any
-instant safe.
+Appends are safe under *concurrent writers*: each record goes down as a
+single ``os.write`` of the full line on an ``O_APPEND`` file descriptor
+(the kernel serializes the offset) under an advisory ``flock``, which
+also gates the torn-tail repair.  One campaign coordinator, several
+service workers (``repro.service``), or a mix can therefore share one
+``artifacts.jsonl`` without interleaving partial lines.  A half-written
+final line from a killed writer is detected and ignored on load, and the
+completed job simply re-runs — append-only storage makes interruption at
+any instant safe.
 """
 
 from __future__ import annotations
@@ -28,6 +32,11 @@ import json
 import os
 from pathlib import Path
 from typing import Iterator, Optional
+
+try:  # advisory append lock; absent off-POSIX (appends fall back to O_APPEND only)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.campaigns.spec import CampaignSpec, canonical_json, content_hash
 
@@ -142,30 +151,37 @@ class ArtifactStore:
         """Seal and append one job record; returns the sealed record.
 
         ``record`` must carry ``job_hash``.  ``"ok"`` records get a
-        ``content_hash`` over their deterministic view.  The line is
-        flushed and fsynced before returning, so a record either exists
-        completely or (if the process dies mid-write) is dropped by the
-        tolerant reader.
+        ``content_hash`` over their deterministic view.  The line (plus,
+        when a killed writer left a torn tail, the repairing newline) goes
+        down as one ``os.write`` on an ``O_APPEND`` descriptor and is
+        fsynced before returning, so a record either exists completely or
+        (if the process dies mid-write) is dropped by the tolerant reader.
+        An advisory ``flock`` serializes concurrent writers — several
+        processes appending to one store never interleave partial lines.
         """
         if "job_hash" not in record:
             raise ValueError("artifact record needs a job_hash")
         sealed = dict(record)
         if sealed.get("status") == "ok":
             sealed["content_hash"] = content_hash(deterministic_view(sealed))
-        line = json.dumps(sealed, sort_keys=True, default=repr)
-        # a coordinator killed mid-append leaves a torn final line with no
-        # newline; start cleanly after it so the new record stays parseable
-        needs_newline = False
-        if self.artifacts_path.exists() and self.artifacts_path.stat().st_size:
-            with open(self.artifacts_path, "rb") as rf:
-                rf.seek(-1, os.SEEK_END)
-                needs_newline = rf.read(1) != b"\n"
-        with open(self.artifacts_path, "ab") as fh:
-            if needs_newline:
-                fh.write(b"\n")
-            fh.write(line.encode("utf-8") + b"\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        line = json.dumps(sealed, sort_keys=True, default=repr).encode("utf-8")
+        # O_RDWR (not O_WRONLY): the torn-tail check reads the last byte
+        fd = os.open(self.artifacts_path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            # a writer killed mid-append leaves a torn final line with no
+            # newline; start cleanly after it so the new record stays
+            # parseable (checked under the lock — the tail is stable)
+            size = os.fstat(fd).st_size
+            torn_tail = size > 0 and os.pread(fd, 1, size - 1) != b"\n"
+            payload = (b"\n" if torn_tail else b"") + line + b"\n"
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
         return sealed
 
     def iter_records(self) -> Iterator[dict]:

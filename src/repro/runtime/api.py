@@ -847,8 +847,8 @@ def run(
         max_steps=max_steps, replicas=replicas, randomness=randomness,
         rng=rng, fault_plan=fault_plan, backend=backend_name,
     )
-    if fault_plan is not None and fault_plan.consumed:
-        fault_plan.reset()  # a reused plan re-applies its full schedule
+    if fault_plan is not None:
+        fault_plan.ensure_fresh()  # cursor contract: full schedule re-applies
     start = perf_counter()
     for ob in observers:
         ob.on_run_start(net, init if isinstance(init, NetworkState) else init[0])

@@ -159,8 +159,8 @@ class BatchedSynchronousEngine:
         inits = self._normalize_init(init, replicas)
         self.replicas = len(inits)
 
-        if fault_plan is not None and fault_plan.consumed:
-            fault_plan.reset()  # a reused plan re-applies its full schedule
+        if fault_plan is not None:
+            fault_plan.ensure_fresh()  # cursor contract: full schedule re-applies
         self.fault_plan = fault_plan
 
         self._net = net

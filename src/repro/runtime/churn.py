@@ -248,6 +248,20 @@ class ChurnPlan:
         self.applied = []
         self.skipped = []
 
+    def ensure_fresh(self) -> "ChurnPlan":
+        """Uphold the cursor contract at an execution boundary.
+
+        Engines (and :func:`~repro.runtime.telemetry.replay`) call this on
+        the plan they are handed: a plan already :attr:`consumed` — e.g.
+        reused after a manual :meth:`apply_due` or a previous run — is
+        :meth:`reset` so the full schedule re-applies from the top instead
+        of silently continuing from the stale cursor position.  Returns
+        ``self`` for call-site chaining.
+        """
+        if self.consumed:
+            self.reset()
+        return self
+
     # ------------------------------------------------------------------
     # lowering support
     # ------------------------------------------------------------------

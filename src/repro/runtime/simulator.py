@@ -52,8 +52,8 @@ class _BaseSimulator:
         self.automaton = automaton
         self.state = init.copy()
         self.rng = coerce_rng(rng)
-        if fault_plan is not None and fault_plan.consumed:
-            fault_plan.reset()  # a reused plan re-applies its full schedule
+        if fault_plan is not None:
+            fault_plan.ensure_fresh()  # cursor contract: full schedule re-applies
         self.fault_plan = fault_plan
         self.trace = trace
         self.metrics = metrics

@@ -54,6 +54,7 @@ __all__ = [
     "RunStartedEvent",
     "StepEvent",
     "RunEndedEvent",
+    "JobEvent",
     "EventStream",
     "RunManifest",
     "manifest_content_hash",
@@ -227,15 +228,39 @@ class RunEndedEvent:
     rng_draws: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class JobEvent:
+    """One lifecycle transition of a service-submitted job.
+
+    Emitted by :class:`repro.service.jobs.JobManager` into the per-job
+    :class:`EventStream` that backs the SSE feed: ``status`` walks
+    ``queued → started → (retry…) → done | failed``, with ``cached`` for
+    submissions answered straight from the artifact store.  ``detail``
+    carries status-specific context (attempt number, error text, the
+    sealed record's ``content_hash``).
+    """
+
+    job_hash: str
+    status: str
+    detail: Optional[dict] = None
+
+    @property
+    def terminal(self) -> bool:
+        """True iff no further events can follow for this job."""
+        return self.status in ("done", "failed", "cached")
+
+
 _EVENT_TAGS = {
     "RunStartedEvent": "run_started",
     "StepEvent": "step",
     "RunEndedEvent": "run_ended",
+    "JobEvent": "job",
 }
 _TAG_CLASSES = {
     "run_started": RunStartedEvent,
     "step": StepEvent,
     "run_ended": RunEndedEvent,
+    "job": JobEvent,
 }
 
 
@@ -656,7 +681,16 @@ def replay(manifest: RunManifest, *, check: bool = True):
         net = manifest.net
     else:
         raise ValueError("manifest holds neither a network nor its snapshot")
-    plan = ChurnPlan(list(manifest.fault_events)) if manifest.fault_events else None
+    # a fresh plan is rebuilt from the recorded events and passed through
+    # ensure_fresh(), so replay always re-applies the schedule from the
+    # top — never from a stale cursor position, even if a caller-held plan
+    # object was partially consumed by a manual apply_due in the meantime
+    # (the churn.py cursor contract, same as engine construction)
+    plan = (
+        ChurnPlan(list(manifest.fault_events)).ensure_fresh()
+        if manifest.fault_events
+        else None
+    )
     result = run(
         manifest.automaton,
         net,

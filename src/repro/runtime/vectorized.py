@@ -437,8 +437,8 @@ class VectorizedSynchronousEngine:
         self._code = dict(self._ir.code)
         self._programs = dict(self._ir.source_programs)
 
-        if fault_plan is not None and fault_plan.consumed:
-            fault_plan.reset()  # a reused plan re-applies its full schedule
+        if fault_plan is not None:
+            fault_plan.ensure_fresh()  # cursor contract: full schedule re-applies
         self.fault_plan = fault_plan
 
         self._net = net

@@ -1,0 +1,34 @@
+"""Asyncio HTTP front door for the campaign layer.
+
+``repro.service`` turns the content-addressed campaign machinery into a
+small serving stack, all stdlib + numpy:
+
+* :mod:`repro.service.jobs` — :class:`~repro.service.jobs.JobManager`:
+  store-backed dedupe (a repeated submission is a cache hit returning the
+  stored artifact), in-flight dedupe (concurrent identical submissions
+  share one execution), per-tenant token-bucket quotas, bounded
+  backpressure, and an async bridge onto the campaign worker pool.
+* :mod:`repro.service.http` — a minimal HTTP/1.1 + SSE layer over
+  ``asyncio.start_server`` (no frameworks); job progress streams as
+  Server-Sent Events backed by the typed
+  :class:`~repro.runtime.telemetry.EventStream`.
+* :mod:`repro.service.workload` — the Mosk-Aoyama–Shah gossip
+  aggregation job the load generator replays.
+* :mod:`repro.service.loadgen` — an asyncio load generator reporting
+  throughput and latency percentiles.
+
+Start a server with ``python -m repro serve --store DIR`` and submit
+specs with ``POST /jobs`` / ``POST /campaigns``; see ``docs/model.md``
+("Serving") for the wire contract.
+"""
+
+from repro.service.http import ServiceConfig, serve
+from repro.service.jobs import JobManager, Submission, TokenBucket
+
+__all__ = [
+    "JobManager",
+    "Submission",
+    "TokenBucket",
+    "ServiceConfig",
+    "serve",
+]

@@ -1,0 +1,405 @@
+"""Job admission, dedupe, quotas and the async bridge to the worker pool.
+
+:class:`JobManager` is the service's brain; the HTTP layer is a thin
+codec over it.  One submission flows through four gates, in order:
+
+1. **store dedupe** — the job's content hash already has a completed
+   artifact: answer it from the store (``cache_hits``).  No quota is
+   charged; cached reads are free by design, so replaying a finished
+   campaign against the service costs zero executions.
+2. **in-flight dedupe** — an identical job is executing right now: the
+   submission shares that execution's future (``inflight_dedups``).
+   N concurrent identical submissions perform exactly one execution.
+3. **per-tenant quota** — a token-bucket (burst ``quota_burst``, refill
+   ``quota_rate``/s) per ``X-Tenant`` value (``quota_rejections``).
+4. **backpressure** — at most ``queue_limit`` jobs admitted-but-
+   unfinished; beyond that, submissions are rejected immediately
+   (``backpressure_rejections``) rather than queued without bound.
+
+Admitted jobs run on a :class:`~concurrent.futures.ProcessPoolExecutor`
+through :func:`repro.campaigns.runner.execute_job_async` — the asyncio
+facade whose retry backoff is ``asyncio.sleep``, never a blocking
+``time.sleep`` on the event loop.  Completed records are sealed into the
+same :class:`~repro.campaigns.store.ArtifactStore` the batch runner
+uses (whose append is concurrent-writer safe), so service and batch
+executions of one spec are interchangeable and byte-identical.
+
+Progress is observable per job: every lifecycle transition is a typed
+:class:`~repro.runtime.telemetry.JobEvent` emitted into a per-job
+:class:`~repro.runtime.telemetry.EventStream` and fanned out to any
+number of SSE subscriber queues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.campaigns.runner import execute_job_async
+from repro.campaigns.spec import JobSpec
+from repro.campaigns.store import ArtifactStore
+from repro.runtime.telemetry import EventStream, JobEvent, MetricsRegistry
+
+__all__ = ["TokenBucket", "Submission", "JobManager"]
+
+#: Submission outcomes (``Submission.outcome`` / ``X-Repro-Outcome``).
+OUTCOMES = (
+    "cached",
+    "deduplicated",
+    "accepted",
+    "quota_rejected",
+    "backpressure_rejected",
+)
+
+
+class TokenBucket:
+    """A per-tenant request budget: ``burst`` tokens, ``rate``/s refill.
+
+    Lazy refill on a monotonic clock — no timers, no background task.
+    ``rate=0`` means a fixed budget of ``burst`` requests; a ``None``
+    bucket (see :class:`JobManager`) means no quota at all.
+    """
+
+    __slots__ = ("burst", "rate", "tokens", "stamp", "clock")
+
+    def __init__(self, burst: float, rate: float, clock=time.monotonic) -> None:
+        if burst <= 0:
+            raise ValueError("burst must be > 0")
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        self.burst = float(burst)
+        self.rate = float(rate)
+        self.tokens = float(burst)
+        self.clock = clock
+        self.stamp = clock()
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; never blocks."""
+        now = self.clock()
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+@dataclass
+class Submission:
+    """What :meth:`JobManager.submit` decided about one request.
+
+    ``record`` is the sealed artifact for ``cached`` outcomes;
+    ``future`` resolves to the sealed (or failure) record for
+    ``accepted``/``deduplicated`` ones.  Rejections carry neither.
+    """
+
+    job_hash: str
+    outcome: str
+    record: Optional[dict] = None
+    future: Optional[asyncio.Future] = None
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome.endswith("_rejected")
+
+    async def result(self) -> Optional[dict]:
+        """The sealed record, waiting for execution if necessary."""
+        if self.record is not None:
+            return self.record
+        if self.future is not None:
+            # shield: the future may be shared by deduplicated
+            # submissions, and a task cancelled mid-await (an HTTP
+            # client disconnecting) would otherwise cancel the shared
+            # future out from under every other waiter
+            return await asyncio.shield(self.future)
+        return None
+
+
+class JobManager:
+    """Admission control + execution for service-submitted jobs.
+
+    Single-threaded by construction: every method runs on the event
+    loop, so the gate checks in :meth:`submit` are atomic without locks.
+    The only concurrency is the worker pool, reached exclusively through
+    ``run_in_executor``.
+    """
+
+    def __init__(
+        self,
+        store_dir,
+        *,
+        workers: int = 2,
+        queue_limit: int = 64,
+        quota_burst: Optional[float] = None,
+        quota_rate: float = 0.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        timeout: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.store = ArtifactStore(store_dir)
+        self.workers = max(1, int(workers))
+        self.queue_limit = int(queue_limit)
+        self.quota_burst = quota_burst
+        self.quota_rate = quota_rate
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.timeout = timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock = clock
+        self._completed: dict[str, dict] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._streams: dict[str, EventStream] = {}
+        self._subscribers: dict[str, set[asyncio.Queue]] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def _make_executor(self) -> ProcessPoolExecutor:
+        # spawn, not fork: pool workers are created lazily at first
+        # submit, i.e. while client connections are accepted — a forked
+        # worker would inherit every open socket fd and keep clients'
+        # connections from ever seeing EOF after the server closes them
+        # (and forking a live event loop is its own trouble)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+
+    def start(self) -> None:
+        """Warm the completed-job cache from the store, start the pool."""
+        for job_hash, record in self.store.records().items():
+            if record.get("status") == "ok":
+                self._completed[job_hash] = record
+        self._executor = self._make_executor()
+        self.metrics.set_tag("service", "jobs")
+
+    async def close(self) -> None:
+        """Cancel in-flight work and shut the pool down."""
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def _rebuild_executor(self) -> None:
+        from repro.campaigns.runner import _kill_executor
+
+        if self._executor is not None:
+            _kill_executor(self._executor)
+        self._executor = self._make_executor()
+        self.metrics.inc("pool_rebuilds")
+
+    # -- events --------------------------------------------------------
+    def _emit(self, job_hash: str, status: str, detail: Optional[dict] = None):
+        event = JobEvent(job_hash=job_hash, status=status, detail=detail)
+        stream = self._streams.setdefault(job_hash, EventStream())
+        stream.emit(event)
+        for queue in self._subscribers.get(job_hash, ()):
+            queue.put_nowait(event)
+        if event.terminal:
+            for queue in self._subscribers.get(job_hash, ()):
+                queue.put_nowait(None)  # end-of-stream sentinel
+        return event
+
+    def subscribe(self, job_hash: str) -> asyncio.Queue:
+        """An event queue for one job, pre-loaded with its history.
+
+        Yields :class:`~repro.runtime.telemetry.JobEvent` items followed
+        by a ``None`` sentinel once the job reaches a terminal status.
+        Pair with :meth:`unsubscribe` (a disconnected SSE client must
+        not leak its queue).
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        history = self._streams.get(job_hash)
+        terminal = False
+        if history is not None:
+            for event in history:
+                queue.put_nowait(event)
+                terminal = terminal or event.terminal
+        elif job_hash in self._completed:
+            # completed before this process started — synthesize the
+            # cached terminal event so late subscribers still terminate
+            record = self._completed[job_hash]
+            queue.put_nowait(
+                JobEvent(
+                    job_hash=job_hash,
+                    status="cached",
+                    detail={"content_hash": record.get("content_hash")},
+                )
+            )
+            terminal = True
+        if terminal:
+            queue.put_nowait(None)
+        else:
+            self._subscribers.setdefault(job_hash, set()).add(queue)
+        return queue
+
+    def unsubscribe(self, job_hash: str, queue: asyncio.Queue) -> None:
+        subs = self._subscribers.get(job_hash)
+        if subs is not None:
+            subs.discard(queue)
+            if not subs:
+                del self._subscribers[job_hash]
+
+    def stream(self, job_hash: str) -> Optional[EventStream]:
+        """The full typed event history of one job, if any."""
+        return self._streams.get(job_hash)
+
+    # -- admission -----------------------------------------------------
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.quota_burst is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.quota_burst, self.quota_rate, self.clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def submit(self, payload: dict, tenant: str = "anonymous") -> Submission:
+        """Admit one job payload; never blocks, never raises for policy.
+
+        ``payload`` is a :meth:`~repro.campaigns.spec.JobSpec.payload`
+        dict (its ``job_hash`` is recomputed here — the store key is
+        what the server derives, not what the client claims).
+        """
+        if self._executor is None:
+            raise RuntimeError("JobManager.start() was not called")
+        spec = JobSpec.from_payload(payload)
+        job_hash = spec.job_hash
+        self.metrics.inc("jobs_submitted")
+        self.metrics.observe("queue_depth", len(self._inflight))
+
+        record = self._completed.get(job_hash)
+        if record is not None:
+            self.metrics.inc("cache_hits")
+            return Submission(job_hash, "cached", record=record)
+
+        future = self._inflight.get(job_hash)
+        if future is not None:
+            self.metrics.inc("inflight_dedups")
+            return Submission(job_hash, "deduplicated", future=future)
+
+        bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            self.metrics.inc("quota_rejections")
+            return Submission(job_hash, "quota_rejected")
+
+        if len(self._inflight) >= self.queue_limit:
+            self.metrics.inc("backpressure_rejections")
+            return Submission(job_hash, "backpressure_rejected")
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[job_hash] = future
+        self.metrics.inc("jobs_admitted")
+        self._emit(job_hash, "queued", {"tenant": tenant})
+        task = asyncio.get_running_loop().create_task(
+            self._run_job(spec.payload(), future)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return Submission(job_hash, "accepted", future=future)
+
+    # -- execution -----------------------------------------------------
+    async def _run_job(self, payload: dict, future: asyncio.Future) -> None:
+        job_hash = payload["job_hash"]
+        try:
+            record = await self._execute_with_rebuilds(payload)
+            if record.get("status") == "ok":
+                sealed = await asyncio.get_running_loop().run_in_executor(
+                    None, self.store.append, record
+                )
+                self._completed[job_hash] = sealed
+                self.metrics.inc("jobs_executed")
+                self._emit(
+                    job_hash, "done",
+                    {"content_hash": sealed.get("content_hash")},
+                )
+            else:
+                sealed = await asyncio.get_running_loop().run_in_executor(
+                    None, self.store.append, record
+                )
+                self.metrics.inc("jobs_failed")
+                self._emit(job_hash, "failed", {"error": sealed.get("error")})
+            if not future.done():
+                future.set_result(sealed)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.cancel()
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            self.metrics.inc("jobs_failed")
+            self._emit(job_hash, "failed", {"error": repr(exc)})
+            if not future.done():
+                future.set_exception(exc)
+        finally:
+            self._inflight.pop(job_hash, None)
+
+    async def _execute_with_rebuilds(self, payload: dict) -> dict:
+        """Run one job, rebuilding the pool after crashes/timeouts.
+
+        The retry budget spans rebuilds: ``retries + 1`` total attempts
+        whether the failures were job errors or pool deaths.
+        """
+        job_hash = payload["job_hash"]
+        attempts_used = 0
+        while True:
+            self._emit(job_hash, "started", {"attempt": attempts_used + 1})
+            record = await execute_job_async(
+                self._executor,
+                payload,
+                retries=self.retries - attempts_used,
+                backoff=self.backoff,
+                timeout=self.timeout,
+                on_retry=lambda attempt, error: self._emit(
+                    job_hash, "retry",
+                    {"attempt": attempts_used + attempt, "error": error},
+                ),
+            )
+            attempts_used += record.get("attempts", 1)
+            if record.pop("pool_broken", False):
+                self._rebuild_executor()
+                if attempts_used <= self.retries:
+                    self._emit(
+                        job_hash, "retry",
+                        {"attempt": attempts_used, "error": record.get("error")},
+                    )
+                    if self.backoff:
+                        await asyncio.sleep(
+                            self.backoff * (2 ** (attempts_used - 1))
+                        )
+                    continue
+                record["status"] = "failed"
+            elif record.get("status") not in ("ok",):
+                record["status"] = "failed"
+            record["attempts"] = attempts_used
+            return record
+
+    # -- introspection -------------------------------------------------
+    def record(self, job_hash: str) -> Optional[dict]:
+        """The completed artifact for ``job_hash``, if any."""
+        return self._completed.get(job_hash)
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        """Service counters/series plus live gauges, for ``/metrics``."""
+        snap = self.metrics.snapshot()
+        snap["gauges"] = {
+            "inflight": len(self._inflight),
+            "completed": len(self._completed),
+            "subscribers": sum(len(s) for s in self._subscribers.values()),
+            "tenants": len(self._buckets),
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+        }
+        return snap

@@ -1,0 +1,190 @@
+"""Gossip-workload load generator for the service front door.
+
+Replays the Mosk-Aoyama–Shah gossip aggregation campaign
+(:func:`repro.service.workload.gossip_campaign_spec`) against a running
+``repro serve`` instance as individual ``POST /jobs?wait=1``
+submissions, bounded by a client-side concurrency window, and reports
+throughput plus latency percentiles.  A ``repeat_fraction`` re-submits a
+slice of the jobs afterwards to measure the cache-hit path (those must
+all come back ``X-Repro-Outcome: cached``).
+
+The client is raw ``asyncio.open_connection`` — the same no-framework
+discipline as the server — so the benchmark measures the service, not a
+client library.
+
+Run standalone::
+
+    python -m repro.service.loadgen --port 8765 --jobs 100 --concurrency 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from time import perf_counter
+from typing import Optional
+
+from repro.campaigns.spec import canonical_json
+from repro.service.workload import gossip_campaign_spec
+
+__all__ = ["http_request", "run_loadgen", "main"]
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    headers: Optional[dict] = None,
+    timeout: float = 120.0,
+):
+    """One HTTP/1.1 request; returns ``(status, headers, body_bytes)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        head.append(f"Content-Length: {len(body or b'')}")
+        head.append("Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        if body:
+            writer.write(body)
+        await writer.drain()
+
+        async def read_all():
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            resp_headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                resp_headers[name.strip().lower()] = value.strip()
+            # read exactly Content-Length — never wait for EOF, which a
+            # forked worker process holding a duplicate of this socket
+            # could postpone indefinitely
+            length = resp_headers.get("content-length")
+            if length is not None:
+                payload = await reader.readexactly(int(length))
+            else:
+                payload = await reader.read()
+            return status, resp_headers, payload
+
+        return await asyncio.wait_for(read_all(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - teardown race
+            pass
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[int(idx)]
+
+
+async def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    jobs: int = 100,
+    concurrency: int = 16,
+    n: int = 24,
+    k: int = 8,
+    entropy: int = 2006,
+    tenant: str = "loadgen",
+    repeat_fraction: float = 0.1,
+) -> dict:
+    """Drive ``jobs`` gossip submissions; returns the report dict."""
+    spec = gossip_campaign_spec(jobs=jobs, n=n, k=k, entropy=entropy)
+    payloads = [job.payload() for job in spec.expand()]
+    window = asyncio.Semaphore(max(1, concurrency))
+    latencies: list[float] = []
+    outcomes: dict[str, int] = {}
+    statuses: dict[int, int] = {}
+
+    async def submit(payload: dict) -> None:
+        body = canonical_json(
+            {key: value for key, value in payload.items() if key != "job_hash"}
+        ).encode("utf-8")
+        async with window:
+            t0 = perf_counter()
+            status, resp_headers, _ = await http_request(
+                host, port, "POST", "/jobs?wait=1", body,
+                headers={"X-Tenant": tenant, "Content-Type": "application/json"},
+            )
+            latencies.append(perf_counter() - t0)
+        outcome = resp_headers.get("x-repro-outcome", "?")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        statuses[status] = statuses.get(status, 0) + 1
+
+    t_start = perf_counter()
+    await asyncio.gather(*(submit(p) for p in payloads))
+    wall_time = perf_counter() - t_start
+
+    # replay a prefix: every one must be answered from the store
+    n_repeat = int(len(payloads) * repeat_fraction)
+    repeat_outcomes: dict[str, int] = {}
+    for payload in payloads[:n_repeat]:
+        body = canonical_json(
+            {key: value for key, value in payload.items() if key != "job_hash"}
+        ).encode("utf-8")
+        status, resp_headers, _ = await http_request(
+            host, port, "POST", "/jobs?wait=1", body,
+            headers={"X-Tenant": tenant},
+        )
+        outcome = resp_headers.get("x-repro-outcome", "?")
+        repeat_outcomes[outcome] = repeat_outcomes.get(outcome, 0) + 1
+
+    latencies.sort()
+    return {
+        "jobs": jobs,
+        "concurrency": concurrency,
+        "n": n,
+        "k": k,
+        "wall_time": wall_time,
+        "throughput_jobs_per_s": jobs / wall_time if wall_time else 0.0,
+        "latency_p50": _percentile(latencies, 0.50),
+        "latency_p90": _percentile(latencies, 0.90),
+        "latency_p99": _percentile(latencies, 0.99),
+        "statuses": statuses,
+        "outcomes": outcomes,
+        "repeat_outcomes": repeat_outcomes,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="gossip-aggregation load generator for repro serve",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--jobs", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--n", type=int, default=24, help="gossip graph size")
+    parser.add_argument("--k", type=int, default=8, help="samples per node")
+    parser.add_argument("--entropy", type=int, default=2006)
+    parser.add_argument("--tenant", default="loadgen")
+    args = parser.parse_args(argv)
+    report = asyncio.run(
+        run_loadgen(
+            args.host, args.port,
+            jobs=args.jobs, concurrency=args.concurrency,
+            n=args.n, k=args.k, entropy=args.entropy, tenant=args.tenant,
+        )
+    )
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0 if report["statuses"].get(200, 0) == args.jobs else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

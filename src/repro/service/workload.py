@@ -1,0 +1,130 @@
+"""The gossip-aggregation service workload.
+
+One campaign-convention job (``(rng, metrics, **params) -> dict``)
+implementing the separable-function gossip of Mosk-Aoyama & Shah
+("Computing separable functions via gossip", PODC'06 — see PAPERS.md):
+to estimate :math:`\\sum_i x_i`, every node draws ``k`` exponential
+samples :math:`W_i^\\ell \\sim \\mathrm{Exp}(x_i)` and the network runs
+synchronous *minimum diffusion* — each round every node replaces each of
+its ``k`` values with the minimum over its closed neighbourhood.  Minima
+spread like BFS, so after diameter-many rounds every node holds
+:math:`\\bar W^\\ell = \\min_i W_i^\\ell`, which is
+:math:`\\mathrm{Exp}(\\sum_i x_i)`-distributed; the estimator is
+:math:`k / \\sum_\\ell \\bar W^\\ell`.
+
+Min-diffusion is a symmetric network computation in the paper's sense —
+every node runs the identical min-kernel — and it is separable, which is
+exactly why it shards into the independent, seeded jobs the service
+schedules.  The job is numpy-vectorized over a CSR adjacency and sized
+(n ≈ tens of nodes) so the load generator can push hundreds of them
+through the worker pool in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network import generators
+
+__all__ = ["gossip_sum_job", "gossip_campaign_spec"]
+
+
+def gossip_sum_job(
+    rng=None,
+    metrics=None,
+    *,
+    n: int = 24,
+    p: float | None = None,
+    k: int = 8,
+    max_rounds: int | None = None,
+) -> dict:
+    """Estimate a sum of node values by exponential-minimum gossip.
+
+    Parameters
+    ----------
+    n:
+        Node count of the connected G(n, p) communication graph.
+    p:
+        Edge probability; ``None`` picks ``~4/n`` extra mass above the
+        connectivity threshold.
+    k:
+        Exponential samples per node — the estimator's accuracy knob
+        (relative error ~ :math:`1/\\sqrt{k}`).
+    max_rounds:
+        Safety bound on diffusion rounds (default ``4 n``; the true
+        requirement is the graph diameter).
+
+    Returns a JSON-able dict with the estimate, the true sum, the
+    relative error and the rounds-to-convergence; emits ``gossip_rounds``
+    and ``gossip_draws`` counters into ``metrics``.
+    """
+    rng = np.random.default_rng(rng) if not hasattr(rng, "random") else rng
+    if n < 2:
+        raise ValueError("gossip needs at least 2 nodes")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if p is None:
+        p = min(0.9, np.log(n) / n + 4.0 / n)
+    graph_seed = int(rng.integers(2**31 - 1))
+    net = generators.connected_gnp_graph(n, p, graph_seed)
+
+    # node values and the per-node exponential samples W_i^l ~ Exp(x_i)
+    values = 1.0 + rng.random(n)  # x_i in [1, 2): sums are O(n), rates sane
+    draws = rng.exponential(1.0, size=(n, k)) / values[:, None]
+
+    adjacency, order = net.to_csr()
+    indptr = np.asarray(adjacency.indptr)
+    indices = np.asarray(adjacency.indices)
+    rows = np.repeat(np.arange(n), np.diff(indptr))
+
+    # synchronous min-diffusion over closed neighbourhoods
+    minima = draws.copy()
+    target = minima.min(axis=0)
+    limit = max_rounds if max_rounds is not None else 4 * n
+    rounds = 0
+    while rounds < limit and not np.all(minima == target):
+        incoming = minima.copy()
+        np.minimum.at(incoming, rows, minima[indices])
+        minima = incoming
+        rounds += 1
+    converged = bool(np.all(minima == target))
+
+    estimate = float(k / target.sum())
+    true_sum = float(values.sum())
+    if metrics is not None:
+        metrics.inc("gossip_rounds", rounds)
+        metrics.inc("gossip_draws", n * k)
+        metrics.set_tag("workload", "gossip_sum")
+    return {
+        "n": n,
+        "k": k,
+        "edges": int(net.num_edges),
+        "rounds": rounds,
+        "converged": converged,
+        "estimate": estimate,
+        "true_sum": true_sum,
+        "rel_error": abs(estimate - true_sum) / true_sum,
+    }
+
+
+def gossip_campaign_spec(
+    *,
+    jobs: int = 100,
+    n: int = 24,
+    k: int = 8,
+    entropy: int = 2006,
+    name: str = "gossip-loadgen",
+):
+    """A :class:`~repro.campaigns.spec.CampaignSpec` of ``jobs`` seeded
+    gossip replicates — the load generator's (and the CI smoke test's)
+    canonical workload."""
+    from repro.campaigns.spec import CampaignSpec
+
+    return CampaignSpec(
+        name=name,
+        job="repro.service.workload.gossip_sum_job",
+        fixed={"n": n, "k": k},
+        seeds=jobs,
+        entropy=entropy,
+        retries=0,
+    )

@@ -1,7 +1,8 @@
 """ArtifactStore: append-only JSONL, content addressing, torn-line
-tolerance, spec binding."""
+tolerance, concurrent-writer safety, spec binding."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -87,6 +88,17 @@ class TestAppendAndRead:
         assert view["metrics"]["series"] == {"active_fraction": [1.0]}
         assert "wall_time" not in view and "attempts" not in view
 
+    def test_torn_tail_repaired_under_concurrent_append_path(self, tmp_path):
+        # the O_APPEND writer must start cleanly after a torn tail, in one
+        # write — the next record parses and only the torn line is lost
+        store = ArtifactStore(tmp_path)
+        with open(store.artifacts_path, "w") as fh:
+            fh.write('{"job_hash": "dead", "status": "o')  # killed mid-write
+        store.append(_ok_record("h1"))
+        assert set(store.records()) == {"h1"}
+        with open(store.artifacts_path, "rb") as fh:
+            assert fh.read().endswith(b"}\n")
+
     def test_verify_detects_corruption(self, tmp_path):
         store = ArtifactStore(tmp_path)
         sealed = store.append(_ok_record("h1"))
@@ -95,6 +107,52 @@ class TestAppendAndRead:
         with open(store.artifacts_path, "w") as fh:
             fh.write(json.dumps(tampered) + "\n")
         assert store.verify() == ["h1"]
+
+
+def _hammer_worker(root, writer_id, count, payload):
+    """Append ``count`` long records from one process (hammer helper)."""
+    store = ArtifactStore(root)
+    for i in range(count):
+        store.append(
+            {
+                "job_hash": f"w{writer_id}-r{i}",
+                "status": "ok",
+                "result": {"writer": writer_id, "i": i, "payload": payload},
+            }
+        )
+
+
+class TestConcurrentWriters:
+    def test_multiprocess_append_hammer_no_torn_lines(self, tmp_path):
+        # several processes hammer one artifacts.jsonl with multi-KB lines;
+        # every line must parse and every record must survive intact —
+        # the regression the single-write + flock append guards against
+        writers, per_writer = 4, 25
+        payload = "x" * 16384  # well past any stdio buffer boundary
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_worker,
+                args=(str(tmp_path), w, per_writer, payload),
+            )
+            for w in range(writers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        store = ArtifactStore(tmp_path)
+        with open(store.artifacts_path, "rb") as fh:
+            lines = fh.read().split(b"\n")
+        assert lines[-1] == b""  # file ends on a record boundary
+        parsed = [json.loads(line) for line in lines[:-1]]  # no torn lines
+        assert len(parsed) == writers * per_writer
+        assert {rec["job_hash"] for rec in parsed} == {
+            f"w{w}-r{i}" for w in range(writers) for i in range(per_writer)
+        }
+        for rec in parsed:
+            assert rec["result"]["payload"] == payload
+        assert store.verify() == []
 
 
 class TestSpecBinding:

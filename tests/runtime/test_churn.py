@@ -277,6 +277,38 @@ class TestGrowthPlan:
         assert [e.target for e in plan.events()] == ["new1", "new2"]
 
 
+class TestCursorContract:
+    def test_ensure_fresh_resets_a_consumed_plan(self):
+        net = generators.cycle_graph(6)
+        st = NetworkState.uniform(net, "s")
+        plan = ChurnPlan(
+            [TopologyEvent(0, NODE_DOWN, 1), TopologyEvent(5, NODE_DOWN, 2)]
+        )
+        plan.apply_due(net, 0, st)
+        assert plan.consumed and len(plan.applied) == 1
+        assert plan.ensure_fresh() is plan  # chainable
+        assert not plan.consumed
+        assert plan.applied == [] and plan.skipped == []
+
+    def test_ensure_fresh_is_a_noop_on_a_fresh_plan(self):
+        plan = ChurnPlan([TopologyEvent(0, NODE_DOWN, 1)])
+        applied = plan.applied
+        plan.ensure_fresh()
+        assert plan.applied is applied  # untouched, not rebuilt
+
+    def test_engine_construction_resets_via_ensure_fresh(self):
+        from repro.runtime.simulator import SynchronousSimulator
+        from repro.algorithms import two_coloring as tc
+
+        net = generators.cycle_graph(6)
+        automaton, init = tc.build(net, 0)
+        plan = ChurnPlan([TopologyEvent(1, NODE_DOWN, 3)])
+        plan.apply_due(net.copy(), 99)
+        assert plan.consumed
+        SynchronousSimulator(net, automaton, init, fault_plan=plan)
+        assert not plan.consumed
+
+
 class TestRandomChurnPlan:
     def test_deterministic_and_feasible(self):
         net = generators.complete_graph(8)

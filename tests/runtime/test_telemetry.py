@@ -521,6 +521,47 @@ class TestManifestReplay:
         replayed = replay(res.manifest)
         assert replayed.final_state == res.final_state
 
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_replay_after_manual_plan_consumption(self, engine):
+        # regression: a plan partially consumed by a manual apply_due (and
+        # kept alive by the caller) must not make the run — or its replay —
+        # start from the stale cursor position; both re-apply the full
+        # remaining schedule per the churn.py cursor contract
+        from repro.runtime.churn import NODE_UP, ChurnPlan, TopologyEvent
+
+        net, automaton, init = _distance_workload(10)
+        events = [
+            TopologyEvent(1, "node", 7),
+            TopologyEvent(2, "edge", (3, 4)),
+        ]
+        if engine != "batched":  # batched boots scatter; keep dets simple
+            events.append(
+                TopologyEvent(3, NODE_UP, "x", state=init.get(0), edges=(5, 6))
+            )
+        plan = ChurnPlan(events)
+        plan.apply_due(net, 1, init)  # caller consumes the first event
+        assert plan.consumed
+        kwargs = {"replicas": 2} if engine == "batched" else {"engine": engine}
+        res = run(
+            automaton, net, init, fault_plan=plan, until=8, max_steps=20,
+            **kwargs,
+        )
+        replayed = replay(res.manifest)  # raises ReplayMismatchError on drift
+        assert replayed.final_state == res.final_state
+        assert replayed.steps == res.steps
+
+    def test_replay_is_immune_to_caller_consuming_the_plan_later(self):
+        # the manifest snapshots events by value; replay rebuilds a fresh
+        # plan, so advancing the original plan object after the run cannot
+        # shift the replay cursor
+        net, automaton, init = _distance_workload(8)
+        plan = FaultPlan.node_faults({1: 6, 3: 2})
+        res = run(automaton, net, init, fault_plan=plan, until="stable")
+        plan.apply_due(net.copy(), 99)  # caller keeps (ab)using the plan
+        assert plan.consumed
+        replayed = replay(res.manifest)
+        assert replayed.final_state == res.final_state
+
     def test_replay_mismatch_raises(self):
         net, automaton, init = _distance_workload()
         res = run(automaton, net, init, until="stable")

@@ -124,8 +124,6 @@ class TestCampaignCLI:
         assert "failed after retries" in capsys.readouterr().err
 
     def test_usage_errors_exit_code_1(self, tmp_path, capsys):
-        assert main(["campaign", "status", "--store", str(tmp_path / "no")]) == 1
-        assert main(["campaign", "resume", "--store", str(tmp_path / "no")]) == 1
         assert main(
             ["campaign", "run", "--preset", "nope",
              "--store", str(tmp_path / "s")]
@@ -136,7 +134,50 @@ class TestCampaignCLI:
         ) == 1
         capsys.readouterr()
 
-    def test_mismatched_store_exit_code_1(self, tmp_path, capsys):
+    def test_missing_store_exit_code_2(self, tmp_path, capsys):
+        # resume/status against a store that does not exist: documented
+        # code 2, one-line message, and — regression — no directory is
+        # created as a side effect of just *looking*
+        missing = tmp_path / "no-such-store"
+        assert main(["campaign", "status", "--store", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "no campaign at" in err and "\n" == err[-1]
+        assert len(err.strip().splitlines()) == 1
+        assert not missing.exists()
+        assert main(["campaign", "resume", "--store", str(missing)]) == 2
+        assert "no campaign at" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_store_without_spec_exit_code_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty-store"
+        empty.mkdir()
+        assert main(["campaign", "status", "--store", str(empty)]) == 2
+        assert "missing campaign.json" in capsys.readouterr().err
+        assert main(["campaign", "resume", "--store", str(empty)]) == 2
+        assert "missing campaign.json" in capsys.readouterr().err
+
+    def test_tampered_spec_exit_code_2_not_traceback(self, tmp_path, capsys):
+        # an identity-mismatched campaign.json (recorded spec_hash does not
+        # recompute) used to escape as a ValueError traceback
+        store = tmp_path / "store"
+        assert main(
+            ["campaign", "run", "--spec", str(_spec_file(tmp_path)),
+             "--store", str(store), "--jobs", "0", "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        spec_file = store / "campaign.json"
+        data = json.loads(spec_file.read_text())
+        data["spec_hash"] = "0" * 64
+        spec_file.write_text(json.dumps(data))
+        for action in (["status"], ["resume"]):
+            assert main(
+                ["campaign", *action, "--store", str(store)]
+            ) == 2
+            err = capsys.readouterr().err
+            assert "unusable campaign.json" in err
+            assert "Traceback" not in err
+
+    def test_mismatched_store_exit_code_2(self, tmp_path, capsys):
         store = tmp_path / "store"
         assert main(
             ["campaign", "run", "--spec", str(_spec_file(tmp_path)),
@@ -146,7 +187,7 @@ class TestCampaignCLI:
         assert main(
             ["campaign", "run", "--spec", str(other), "--store", str(store),
              "--jobs", "0", "--quiet"]
-        ) == 1
+        ) == 2
         assert "refusing" in capsys.readouterr().err
 
     def test_smoke_preset_with_workers(self, tmp_path, capsys):
