@@ -1,0 +1,139 @@
+"""E24 — cluster serving: throughput scaling across replicas.
+
+The DESIGN choice under test: coordinating N ``repro serve`` replicas
+purely through the shared store (claim leases in ``claims.jsonl``, event
+spools, one ``artifacts.jsonl``) must let a cluster *scale* — two
+replicas behind round-robin load must beat one replica by >= 1.5x
+throughput on hosts with >= 4 CPUs (each replica runs its own worker
+pool; below 4 CPUs the pools contend and the gate is informational) —
+while keeping the cluster-wide execute-once invariant: with all-unique
+jobs, the summed ``jobs_executed`` equals the job count exactly, and a
+replayed prefix round-robined across *both* replicas is answered
+entirely from the shared store, whichever replica executed it.
+
+Both sides run real subprocess replicas under
+:class:`repro.cluster.ClusterSupervisor` and real HTTP load from
+``repro.service.loadgen`` with multi-target round-robin — the same
+traffic shape as the CI cluster smoke, measured instead of asserted.
+"""
+
+import asyncio
+import os
+import socket
+
+from repro.campaigns.store import ArtifactStore
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.service.loadgen import run_loadgen
+
+from _benchlib import print_table
+
+JOBS = 60
+CONCURRENCY = 16
+N, K = 20, 4
+WORKERS = 2  # per replica
+REPEAT_FRACTION = 0.2
+SPEEDUP_GATE = 1.5  # enforced only on >= 4-CPU hosts
+_GATED = len(os.sched_getaffinity(0)) >= 4
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+async def _cluster_load(store_dir, replicas: int) -> dict:
+    supervisor = ClusterSupervisor(
+        str(store_dir), replicas=replicas, port=_free_port(),
+        workers=WORKERS, queue_limit=2 * CONCURRENCY, lease_ttl=5.0,
+    )
+    supervisor.start()
+    try:
+        assert await supervisor.wait_healthy(60.0), "replicas never came up"
+        targets = [
+            ("127.0.0.1", supervisor.replica_port(i)) for i in range(replicas)
+        ]
+        report = await run_loadgen(
+            jobs=JOBS, concurrency=CONCURRENCY, n=N, k=K,
+            repeat_fraction=REPEAT_FRACTION, targets=targets,
+        )
+        metrics = await supervisor.cluster_metrics()
+        report["counters"] = metrics["counters"]
+        return report
+    finally:
+        supervisor.stop()
+
+
+def _check(report: dict, store_dir) -> None:
+    assert report["statuses"] == {200: JOBS}, report["statuses"]
+    assert report["outcomes"]["accepted"] == JOBS, report["outcomes"]
+    # the replayed prefix hit every replica yet cost zero executions:
+    # whichever front door got it answered from the one shared store
+    n_repeat = int(JOBS * REPEAT_FRACTION)
+    assert report["repeat_outcomes"] == {"cached": n_repeat}, (
+        report["repeat_outcomes"]
+    )
+    # cluster-wide execute-once: summed executions == unique jobs
+    assert report["counters"]["jobs_executed"] == JOBS, report["counters"]
+    assert report["counters"].get("cache_hits", 0) == n_repeat
+    store = ArtifactStore(store_dir)
+    assert store.verify() == []
+    assert len(store.completed_hashes()) == JOBS
+
+
+def test_cluster_throughput_scaling(benchmark, tmp_path):
+    baseline = asyncio.run(_cluster_load(tmp_path / "store-1r", 1))
+    clustered = benchmark.pedantic(
+        lambda: asyncio.run(_cluster_load(tmp_path / "store-2r", 2)),
+        rounds=1, iterations=1,
+    )
+    _check(baseline, tmp_path / "store-1r")
+    _check(clustered, tmp_path / "store-2r")
+
+    speedup = (
+        clustered["throughput_jobs_per_s"] / baseline["throughput_jobs_per_s"]
+    )
+    if _GATED:
+        assert speedup >= SPEEDUP_GATE, (
+            f"2 replicas gave {speedup:.2f}x over 1 replica "
+            f"(gate {SPEEDUP_GATE}x on a {len(os.sched_getaffinity(0))}-CPU "
+            "host)"
+        )
+
+    accepted = clustered["per_outcome"]["accepted"]
+    print_table(
+        f"E24: {JOBS} gossip jobs (n={N}, k={K}), {WORKERS} workers/replica, "
+        f"round-robin targets, {CONCURRENCY} concurrent clients",
+        ["replicas", "jobs/s", "p50 ms", "p99 ms", "speedup", "gate"],
+        [
+            (
+                1,
+                f"{baseline['throughput_jobs_per_s']:.1f}",
+                f"{1e3 * baseline['latency_p50']:.1f}",
+                f"{1e3 * baseline['latency_p99']:.1f}",
+                "1.00x",
+                "-",
+            ),
+            (
+                2,
+                f"{clustered['throughput_jobs_per_s']:.1f}",
+                f"{1e3 * clustered['latency_p50']:.1f}",
+                f"{1e3 * clustered['latency_p99']:.1f}",
+                f"{speedup:.2f}x",
+                f">={SPEEDUP_GATE}x" if _GATED else "off (<4 CPUs)",
+            ),
+        ],
+    )
+    benchmark.extra_info.update(
+        jobs=JOBS,
+        concurrency=CONCURRENCY,
+        workers_per_replica=WORKERS,
+        cpus=len(os.sched_getaffinity(0)),
+        gate_enforced=_GATED,
+        baseline_jobs_per_s=round(baseline["throughput_jobs_per_s"], 2),
+        cluster_jobs_per_s=round(clustered["throughput_jobs_per_s"], 2),
+        speedup=round(speedup, 3),
+        accepted_p50_ms=round(1e3 * accepted["latency_p50"], 2),
+        accepted_p99_ms=round(1e3 * accepted["latency_p99"], 2),
+        cache_hits=clustered["counters"].get("cache_hits", 0),
+    )

@@ -30,7 +30,17 @@ Serving (asyncio HTTP/SSE front door, ``repro.service``):
 * ``serve --store DIR [--host H] [--port P] [--workers N]
   [--queue-limit N] [--quota-burst B --quota-rate R]`` — accept
   JobSpec/CampaignSpec submissions over HTTP, dedupe them against the
-  artifact store, and stream job progress as Server-Sent Events
+  artifact store, and stream job progress as Server-Sent Events.
+  Cluster flags (``--replica-id R``) add store-level claim leases,
+  per-step event spooling (``--progress-stride``), a shared tenant
+  quota file (``--tenants``) and SO_REUSEPORT binding (``--reuse-port``)
+
+Cluster (multi-replica serving over one store, ``repro.cluster``):
+
+* ``cluster --store DIR --replicas N [--port P] [--lease-ttl S]
+  [--tenants FILE] [--reuse-port]`` — spawn N ``serve`` replicas over
+  one shared store (supervisor on P, replicas on P+1…), aggregate
+  their metrics at ``/cluster/metrics``, and tear them down on Ctrl-C
 
 Exit codes:
 
@@ -417,6 +427,33 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument(
         "--timeout", type=float, default=None, help="per-job wait budget (s)"
     )
+    parser.add_argument(
+        "--replica-id", default=None,
+        help="cluster mode: this replica's name; enables store-level "
+             "claim leases and event spooling",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=10.0,
+        help="cluster mode: lease seconds before a silent replica's "
+             "in-flight jobs become claimable by survivors",
+    )
+    parser.add_argument(
+        "--progress-stride", type=int, default=1,
+        help="cluster mode: spool a StepProgressEvent every N job steps",
+    )
+    parser.add_argument(
+        "--tenants", default=None,
+        help="path to a JSON/TOML tenant quota file (mtime-reloaded; "
+             "overrides --quota-burst/--quota-rate)",
+    )
+    parser.add_argument(
+        "--sse-keepalive", type=float, default=15.0,
+        help="idle seconds between ': keep-alive' SSE comment frames",
+    )
+    parser.add_argument(
+        "--reuse-port", action="store_true",
+        help="bind with SO_REUSEPORT so replicas can share one port",
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
@@ -424,6 +461,12 @@ def _serve_main(argv: list[str]) -> int:
 
     from repro.service.http import serve
     from repro.service.jobs import JobManager
+
+    tenant_config = None
+    if args.tenants is not None:
+        from repro.cluster.config import TenantQuotaConfig
+
+        tenant_config = TenantQuotaConfig(args.tenants)
 
     async def _serve_forever() -> None:
         manager = JobManager(
@@ -434,13 +477,21 @@ def _serve_main(argv: list[str]) -> int:
             quota_rate=args.quota_rate,
             retries=args.retries,
             timeout=args.timeout,
+            replica_id=args.replica_id,
+            lease_ttl=args.lease_ttl,
+            progress_stride=args.progress_stride,
+            tenant_config=tenant_config,
+            sse_keepalive=args.sse_keepalive,
         )
         manager.start()
-        server = await serve(manager, args.host, args.port)
+        server = await serve(
+            manager, args.host, args.port, reuse_port=args.reuse_port
+        )
         addr = server.sockets[0].getsockname()
+        replica = f", replica {args.replica_id}" if args.replica_id else ""
         print(
             f"repro.service on http://{addr[0]}:{addr[1]} "
-            f"(store {args.store}, {manager.workers} workers)",
+            f"(store {args.store}, {manager.workers} workers{replica})",
             flush=True,
         )
         try:
@@ -458,6 +509,70 @@ def _serve_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# cluster subcommand
+# ----------------------------------------------------------------------
+def _cluster_main(argv: list[str]) -> int:
+    import argparse
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="run N repro.service replicas over one shared store "
+                    "(repro.cluster)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8870,
+        help="supervisor port; replicas take port+1.. (or share port+1 "
+             "with --reuse-port)",
+    )
+    parser.add_argument("--store", required=True, help="shared store dir")
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes per replica"
+    )
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--lease-ttl", type=float, default=10.0)
+    parser.add_argument("--progress-stride", type=int, default=1)
+    parser.add_argument(
+        "--tenants", default=None, help="shared tenant quota file (JSON/TOML)"
+    )
+    parser.add_argument("--sse-keepalive", type=float, default=15.0)
+    parser.add_argument("--reuse-port", action="store_true")
+    parser.add_argument("--retries", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=None)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 1 if exc.code else 0
+
+    from repro.cluster.supervisor import ClusterSupervisor
+
+    supervisor = ClusterSupervisor(
+        args.store,
+        replicas=args.replicas,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        lease_ttl=args.lease_ttl,
+        progress_stride=args.progress_stride,
+        tenants=args.tenants,
+        sse_keepalive=args.sse_keepalive,
+        reuse_port=args.reuse_port,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    try:
+        asyncio.run(supervisor.run_forever())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
+    return 0
+
+
+# ----------------------------------------------------------------------
 # dispatcher
 # ----------------------------------------------------------------------
 def main(argv: list[str]) -> int:
@@ -468,6 +583,8 @@ def main(argv: list[str]) -> int:
         return _campaign_main(argv[1:])
     if argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv[0] == "cluster":
+        return _cluster_main(argv[1:])
     if argv[0] not in _DEMOS:
         print(__doc__)
         return 1

@@ -30,6 +30,7 @@ aggregates byte-identical (see ``repro.campaigns.aggregate``).
 from __future__ import annotations
 
 import heapq
+import inspect
 import os
 import time
 import traceback
@@ -52,7 +53,41 @@ __all__ = [
 ]
 
 
-def execute_job(payload: dict) -> dict:
+def _accepts_progress(fn) -> bool:
+    """True iff ``fn`` takes a ``progress`` keyword (explicit or **kwargs
+    is *not* enough — silently swallowing the callback would hide a wiring
+    mistake)."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return False
+    param = params.get("progress")
+    return param is not None and param.kind in (
+        inspect.Parameter.KEYWORD_ONLY,
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+    )
+
+
+def _progress_callback(payload: dict, context: dict):
+    """Build the per-step progress callback a cluster context asks for.
+
+    ``context`` carries ``store_root`` (+ optional ``stride``/``replica``)
+    and turns into a :class:`~repro.cluster.spool.SpoolProgress` that
+    appends :class:`~repro.runtime.telemetry.StepProgressEvent` frames to
+    the job's event spool.  Imported lazily — batch campaigns (context
+    ``None``) never touch the cluster package.
+    """
+    from repro.cluster.spool import SpoolProgress
+
+    return SpoolProgress(
+        context["store_root"],
+        payload["job_hash"],
+        stride=int(context.get("stride", 1)),
+        replica=context.get("replica"),
+    )
+
+
+def execute_job(payload: dict, context: Optional[dict] = None) -> dict:
     """Run one job inside a worker process; always returns a record.
 
     The job function is resolved from its dotted name, handed a freshly
@@ -61,13 +96,21 @@ def execute_job(payload: dict) -> dict:
     caught and reported as ``status="error"`` records — they cost the job
     an attempt but never poison the pool.  (Hard crashes and hangs are
     the coordinator's problem, by design.)
+
+    ``context`` (cluster mode only) requests per-step progress streaming:
+    jobs whose function accepts a ``progress`` keyword get a spool-backed
+    callback; jobs that don't are run exactly as before — progress is an
+    observability channel, never part of the job's identity or result.
     """
     job = JobSpec.from_payload(payload)
     t0 = perf_counter()
     try:
         fn = job.resolve()
         metrics = MetricsRegistry()
-        result = fn(rng=job.make_rng(), metrics=metrics, **job.params)
+        kwargs = dict(job.params)
+        if context is not None and _accepts_progress(fn):
+            kwargs["progress"] = _progress_callback(payload, context)
+        result = fn(rng=job.make_rng(), metrics=metrics, **kwargs)
         record = {
             "job_hash": payload["job_hash"],
             "status": "ok",
@@ -107,6 +150,7 @@ async def execute_job_async(
     backoff: float = 0.0,
     timeout: Optional[float] = None,
     on_retry: Optional[Callable] = None,
+    context: Optional[dict] = None,
 ) -> dict:
     """Async-submittable facade over :func:`execute_job`.
 
@@ -133,7 +177,7 @@ async def execute_job_async(
         attempt += 1
         pool_broken = False
         try:
-            fut = loop.run_in_executor(executor, execute_job, payload)
+            fut = loop.run_in_executor(executor, execute_job, payload, context)
             record = await (
                 asyncio.wait_for(fut, timeout) if timeout is not None else fut
             )

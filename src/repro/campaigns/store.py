@@ -104,10 +104,12 @@ class ArtifactStore:
     SPEC_FILE = "campaign.json"
     ARTIFACTS_FILE = "artifacts.jsonl"
     SUMMARY_FILE = "summary.json"
+    IDENTITY_FILE = "identity"
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._identity: Optional[str] = None
 
     @property
     def spec_path(self) -> Path:
@@ -120,6 +122,51 @@ class ArtifactStore:
     @property
     def summary_path(self) -> Path:
         return self.root / self.SUMMARY_FILE
+
+    # -- identity ------------------------------------------------------
+    def identity(self) -> str:
+        """A stable random token naming this store *instance*.
+
+        Created once and then immutable: replicas of one cluster report
+        it from ``/healthz``, which is how an operator — or the cluster
+        smoke test — confirms N processes really share one store rather
+        than each talking to a private directory that happens to have the
+        same path string on a different mount.
+
+        Publication is atomic: the token is fully written to a private
+        temp file first and then ``os.link``ed into place (link fails
+        with ``FileExistsError`` if a sibling won, giving ``O_EXCL``
+        semantics).  A plain ``O_CREAT | O_EXCL`` open-then-write would
+        let a concurrent reader observe the file created but not yet
+        written and cache an empty token — exactly the state a second
+        replica races into on startup.
+        """
+        if self._identity is not None:
+            return self._identity
+        path = self.root / self.IDENTITY_FILE
+        token = self._read_identity(path)
+        if token is None:
+            import uuid
+
+            token = uuid.uuid4().hex
+            tmp = self.root / f".{self.IDENTITY_FILE}.{os.getpid()}.{id(self):x}.tmp"
+            tmp.write_text(token + "\n", encoding="utf-8")
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                token = self._read_identity(path) or ""
+            finally:
+                tmp.unlink(missing_ok=True)
+        self._identity = token
+        return token
+
+    @staticmethod
+    def _read_identity(path: Path) -> Optional[str]:
+        try:
+            token = path.read_text(encoding="utf-8").strip()
+        except FileNotFoundError:
+            return None
+        return token or None
 
     # -- spec ----------------------------------------------------------
     def write_spec(self, spec: CampaignSpec) -> None:
@@ -200,6 +247,36 @@ class ArtifactStore:
                     # a coordinator killed mid-append leaves at most one
                     # torn line; the job it described simply re-runs
                     continue
+
+    def tail_records(self, offset: int = 0) -> tuple[list, int]:
+        """Records appended at or after byte ``offset``; incremental read.
+
+        Returns ``(records, new_offset)`` where ``new_offset`` points just
+        past the last *complete* line — an in-progress append (no trailing
+        newline yet) is left for the next call, so pollers never observe a
+        torn record and never re-parse the same line twice.  This is what
+        lets a cluster replica watch a store other replicas are writing
+        at ``O(new bytes)`` instead of ``O(file)`` per poll.
+        """
+        path = self.artifacts_path
+        if not path.exists():
+            return [], offset
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+        end = data.rfind(b"\n")
+        if end < 0:
+            return [], offset
+        records = []
+        for line in data[:end].split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a repaired torn tail from a killed writer
+        return records, offset + end + 1
 
     def records(self) -> dict:
         """Latest record per job hash (an ``"ok"`` is never displaced by

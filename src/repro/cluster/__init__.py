@@ -1,0 +1,40 @@
+"""Multi-replica serving over one shared artifact store.
+
+``repro.cluster`` turns the single-process front door of
+``repro.service`` into a horizontally replicated one.  The shared
+:class:`~repro.campaigns.store.ArtifactStore` directory is the *only*
+coordination point — no message bus, no consensus service — extended by
+two sidecar structures that follow the store's flock + ``O_APPEND``
+append discipline:
+
+* ``claims.jsonl`` (:class:`~repro.cluster.claims.ClaimLedger`) — a
+  lease ledger replicas consult before executing a job, upgrading the
+  per-process in-flight dedupe of ``repro.service.jobs.JobManager`` to
+  cluster-wide execute-once with heartbeat renewal and stale-lease
+  takeover after a replica dies;
+* ``spool/<job_hash>.jsonl`` (:class:`~repro.cluster.spool.EventSpool`)
+  — per-job typed event logs that workers and the executing replica
+  append to and *any* replica tails to serve SSE, including per-step
+  :class:`~repro.runtime.telemetry.StepProgressEvent` frames emitted
+  from inside running jobs.
+
+:class:`~repro.cluster.supervisor.ClusterSupervisor` (``python -m repro
+cluster --replicas N``) spawns and monitors the replica processes and
+aggregates their ``/metrics`` into ``/cluster/metrics``;
+:class:`~repro.cluster.config.TenantQuotaConfig` replaces quota CLI
+flags with a persistent JSON/TOML file reloaded on mtime change.
+"""
+
+from repro.cluster.claims import ClaimLedger, Lease
+from repro.cluster.config import TenantQuotaConfig
+from repro.cluster.spool import EventSpool, SpoolProgress
+from repro.cluster.supervisor import ClusterSupervisor
+
+__all__ = [
+    "ClaimLedger",
+    "Lease",
+    "EventSpool",
+    "SpoolProgress",
+    "TenantQuotaConfig",
+    "ClusterSupervisor",
+]

@@ -1,0 +1,285 @@
+"""Store-level claim records: cluster-wide execute-once via leases.
+
+The ledger is one append-only JSONL sidecar, ``claims.jsonl``, living
+next to ``artifacts.jsonl`` in the shared store directory and written
+with the exact same discipline (single ``os.write`` on an ``O_APPEND``
+descriptor under an advisory ``flock``, torn-tail repair under the
+lock).  Three record kinds form a tiny lease state machine per job
+hash::
+
+    claim      {"kind","job_hash","lease","replica","pid","deadline"}
+    heartbeat  {"kind","job_hash","lease","deadline"}
+    release    {"kind","job_hash","lease","outcome"}
+
+A *live* lease is the latest claim for a hash that has not been released
+and whose deadline (as renewed by heartbeats) is in the future.  Because
+every mutation happens under the exclusive flock *after* replaying the
+ledger tail, append order is authoritative: at most one replica can
+observe "no live lease" and append a claim, which is what makes the
+cross-process execute-once guarantee hold without any server-side
+coordinator.
+
+Liveness uses the wall clock (``time.time``) — deadlines must be
+comparable across processes — so the usual lease caveat applies: a
+replica paused longer than its TTL (e.g. a stop-the-world debugger) can
+lose a lease it thinks it holds and a survivor may re-execute the job.
+That is safe here by construction: jobs are deterministic functions of
+their spec, so a duplicated execution appends a byte-identical record
+and the store's ok-wins merge keeps exactly one logical artifact.
+
+State replay is incremental: each :class:`ClaimLedger` remembers the
+byte offset it has parsed and, under the lock, reads only the new tail —
+``O(new records)`` per operation, not ``O(ledger)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+try:  # advisory lock; absent off-POSIX (appends fall back to O_APPEND only)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
+__all__ = ["Lease", "ClaimLedger", "append_jsonl_line"]
+
+CLAIMS_FILE = "claims.jsonl"
+
+
+def append_jsonl_line(
+    fd: int, payload: bytes, *, fsync: bool = True
+) -> None:
+    """Append one JSONL line on an already-locked ``O_APPEND`` fd.
+
+    Repairs a torn tail (a writer killed mid-append leaves a final line
+    with no newline) by prefixing a newline, exactly like
+    :meth:`repro.campaigns.store.ArtifactStore.append` — the caller must
+    hold the exclusive flock so the tail is stable while we look at it.
+    """
+    size = os.fstat(fd).st_size
+    torn_tail = size > 0 and os.pread(fd, 1, size - 1) != b"\n"
+    os.write(fd, (b"\n" if torn_tail else b"") + payload + b"\n")
+    if fsync:
+        os.fsync(fd)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One replica's right to execute one job, until ``deadline``."""
+
+    job_hash: str
+    lease_id: str
+    replica: str
+    deadline: float
+
+
+class ClaimLedger:
+    """The claim sidecar of one shared store, seen by one replica.
+
+    All public methods are synchronous file operations (open, flock,
+    pread tail, one append) — microseconds of IO under no contention,
+    bounded by the longest concurrent append under contention.  An
+    asyncio host should treat them like any other small blocking call.
+    """
+
+    def __init__(
+        self,
+        root,
+        replica_id: str,
+        *,
+        ttl: float = 10.0,
+        clock=time.time,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be > 0")
+        self.path = Path(root) / CLAIMS_FILE
+        self.replica_id = str(replica_id)
+        self.ttl = float(ttl)
+        self.clock = clock
+        self._offset = 0
+        self._seq = 0
+        # job_hash -> {"lease","replica","deadline","released"}
+        self._state: dict[str, dict] = {}
+
+    # -- ledger replay -------------------------------------------------
+    def _refresh(self, fd: int) -> None:
+        """Fold the unread ledger tail into ``_state`` (lock held)."""
+        size = os.fstat(fd).st_size
+        if size <= self._offset:
+            return
+        data = os.pread(fd, size - self._offset, self._offset)
+        end = data.rfind(b"\n")
+        if end < 0:
+            return  # only a torn tail so far; re-read once it is repaired
+        for line in data[:end].split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # repaired torn tail
+            self._apply(rec)
+        self._offset += end + 1
+
+    def _apply(self, rec: dict) -> None:
+        kind = rec.get("kind")
+        job_hash = rec.get("job_hash")
+        if not job_hash:
+            return
+        cur = self._state.get(job_hash)
+        if kind == "claim":
+            # appends only happen after observing no live lease, so a new
+            # claim always supersedes whatever came before it
+            self._state[job_hash] = {
+                "lease": rec.get("lease"),
+                "replica": rec.get("replica"),
+                "deadline": float(rec.get("deadline", 0.0)),
+                "released": False,
+            }
+        elif kind == "heartbeat":
+            if cur is not None and cur["lease"] == rec.get("lease"):
+                cur["deadline"] = float(rec.get("deadline", cur["deadline"]))
+        elif kind == "release":
+            if cur is not None and cur["lease"] == rec.get("lease"):
+                cur["released"] = True
+
+    def _live(self, job_hash: str, now: float) -> Optional[dict]:
+        cur = self._state.get(job_hash)
+        if cur is None or cur["released"] or cur["deadline"] <= now:
+            return None
+        return cur
+
+    # -- locked file access --------------------------------------------
+    def _locked_fd(self) -> int:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        return fd
+
+    def _unlock(self, fd: int) -> None:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+    def _append(self, fd: int, rec: dict) -> None:
+        append_jsonl_line(
+            fd, json.dumps(rec, sort_keys=True).encode("utf-8")
+        )
+
+    # -- lease operations ----------------------------------------------
+    def acquire(self, job_hash: str) -> Optional[Lease]:
+        """Lease ``job_hash`` for this replica, or ``None`` if another
+        replica holds a live lease.
+
+        A stale or released lease is silently superseded — this is both
+        first-claim and takeover; callers distinguish them by whether
+        :meth:`peek` reported a holder beforehand.
+        """
+        fd = self._locked_fd()
+        try:
+            self._refresh(fd)
+            now = self.clock()
+            cur = self._live(job_hash, now)
+            if cur is not None and cur["replica"] != self.replica_id:
+                return None
+            self._seq += 1
+            lease_id = (
+                f"{self.replica_id}-{os.getpid()}-{self._seq}-"
+                f"{uuid.uuid4().hex[:8]}"
+            )
+            deadline = now + self.ttl
+            self._append(
+                fd,
+                {
+                    "kind": "claim",
+                    "job_hash": job_hash,
+                    "lease": lease_id,
+                    "replica": self.replica_id,
+                    "pid": os.getpid(),
+                    "deadline": deadline,
+                    "ts": now,
+                },
+            )
+            self._state[job_hash] = {
+                "lease": lease_id,
+                "replica": self.replica_id,
+                "deadline": deadline,
+                "released": False,
+            }
+            return Lease(job_hash, lease_id, self.replica_id, deadline)
+        finally:
+            self._unlock(fd)
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Renew ``lease``; ``False`` means it was lost to a takeover
+        (the holder should expect a duplicate, byte-identical execution
+        to land — not an error, but worth a counter)."""
+        fd = self._locked_fd()
+        try:
+            self._refresh(fd)
+            now = self.clock()
+            cur = self._state.get(lease.job_hash)
+            if cur is None or cur["released"] or cur["lease"] != lease.lease_id:
+                return False
+            deadline = now + self.ttl
+            self._append(
+                fd,
+                {
+                    "kind": "heartbeat",
+                    "job_hash": lease.job_hash,
+                    "lease": lease.lease_id,
+                    "deadline": deadline,
+                    "ts": now,
+                },
+            )
+            cur["deadline"] = deadline
+            return True
+        finally:
+            self._unlock(fd)
+
+    def release(self, lease: Lease, outcome: str = "done") -> None:
+        """Close ``lease``; idempotent if it was already superseded."""
+        fd = self._locked_fd()
+        try:
+            self._refresh(fd)
+            cur = self._state.get(lease.job_hash)
+            self._append(
+                fd,
+                {
+                    "kind": "release",
+                    "job_hash": lease.job_hash,
+                    "lease": lease.lease_id,
+                    "outcome": outcome,
+                    "ts": self.clock(),
+                },
+            )
+            if cur is not None and cur["lease"] == lease.lease_id:
+                cur["released"] = True
+        finally:
+            self._unlock(fd)
+
+    def peek(self, job_hash: str) -> Optional[dict]:
+        """The live lease for ``job_hash`` (holder info dict), or ``None``.
+
+        Read-only: refreshes under the lock, appends nothing.
+        """
+        fd = self._locked_fd()
+        try:
+            self._refresh(fd)
+            cur = self._live(job_hash, self.clock())
+            return dict(cur) if cur is not None else None
+        finally:
+            self._unlock(fd)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClaimLedger({str(self.path)!r}, replica={self.replica_id!r}, "
+            f"ttl={self.ttl})"
+        )

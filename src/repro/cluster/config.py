@@ -1,0 +1,152 @@
+"""Persistent tenant/quota configuration with mtime-based hot reload.
+
+Cluster quotas can't live in CLI flags: N replicas each get their own
+command line, and an operator changing a tenant's budget should not have
+to restart the fleet.  :class:`TenantQuotaConfig` reads one JSON or TOML
+file shared by every replica::
+
+    {"default": {"burst": 20, "rate": 2.0},
+     "tenants": {"alice": {"burst": 100, "rate": 10.0},
+                 "batch":  {"burst": 5,  "rate": 0.0}}}
+
+or the TOML spelling (Python 3.11+, via stdlib ``tomllib``)::
+
+    [default]
+    burst = 20
+    rate = 2.0
+    [tenants.alice]
+    burst = 100
+    rate = 10.0
+
+``lookup(tenant)`` returns the ``(burst, rate)`` pair for a tenant —
+its own entry, else ``default``, else ``None`` meaning *no quota* —
+re-reading the file first whenever its mtime (or existence) changed.
+Each successful reload bumps ``generation``, which is how a
+:class:`~repro.service.jobs.JobManager` knows to drop its cached token
+buckets so new budgets take effect immediately rather than when a
+bucket happens to drain.  A malformed edit never takes down admission:
+the previous config stays live and the error is kept on ``last_error``
+for ``/healthz`` to surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+try:  # stdlib since 3.11; the JSON spelling works everywhere
+    import tomllib
+except ImportError:  # pragma: no cover - Python < 3.11
+    tomllib = None
+
+__all__ = ["TenantQuotaConfig"]
+
+
+def _parse_quota(entry) -> tuple[float, float]:
+    if not isinstance(entry, dict):
+        raise ValueError(f"quota entry must be a table/object, got {entry!r}")
+    burst = float(entry["burst"])
+    rate = float(entry.get("rate", 0.0))
+    if burst <= 0:
+        raise ValueError("burst must be > 0")
+    if rate < 0:
+        raise ValueError("rate must be >= 0")
+    return burst, rate
+
+
+class TenantQuotaConfig:
+    """One quota file, watched by mtime, shared by all replicas."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.generation = 0
+        self.last_error: Optional[str] = None
+        self._stamp: Optional[tuple] = None
+        self._default: Optional[tuple[float, float]] = None
+        self._tenants: dict[str, tuple[float, float]] = {}
+        self.reload()
+
+    # -- loading -------------------------------------------------------
+    def _read(self) -> dict:
+        if self.path.suffix == ".toml":
+            if tomllib is None:
+                raise RuntimeError(
+                    "TOML quota config needs Python >= 3.11 (tomllib); "
+                    "use the JSON spelling instead"
+                )
+            with open(self.path, "rb") as fh:
+                return tomllib.load(fh)
+        return json.loads(self.path.read_text(encoding="utf-8"))
+
+    def reload(self) -> bool:
+        """Re-read the file; ``True`` iff a new config took effect.
+
+        Parse or validation errors leave the previous config (and
+        ``generation``) untouched and record the failure on
+        ``last_error`` — a fat-fingered edit must not strip quotas off a
+        live cluster.
+        """
+        try:
+            raw = self._read()
+            if not isinstance(raw, dict):
+                raise ValueError("quota config must be a table/object")
+            default = (
+                _parse_quota(raw["default"]) if "default" in raw else None
+            )
+            tenants = {
+                str(name): _parse_quota(entry)
+                for name, entry in (raw.get("tenants") or {}).items()
+            }
+        except FileNotFoundError:
+            self.last_error = f"{self.path} does not exist"
+            return False
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            return False
+        self._default = default
+        self._tenants = tenants
+        self.last_error = None
+        self.generation += 1
+        self._stamp = self._current_stamp()
+        return True
+
+    def _current_stamp(self) -> Optional[tuple]:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def maybe_reload(self) -> bool:
+        """Reload iff the file changed since the last load; ``True`` iff
+        a new config took effect.  Cheap (one ``stat``) — callers run it
+        on the admission path."""
+        stamp = self._current_stamp()
+        if stamp == self._stamp:
+            return False
+        self._stamp = stamp
+        return self.reload()
+
+    # -- queries -------------------------------------------------------
+    def lookup(self, tenant: str) -> Optional[tuple[float, float]]:
+        """``(burst, rate)`` for ``tenant``; ``None`` means unmetered."""
+        self.maybe_reload()
+        return self._tenants.get(tenant, self._default)
+
+    def snapshot(self) -> dict:
+        """Config state for ``/healthz``/``/metrics`` surfaces."""
+        return {
+            "path": str(self.path),
+            "generation": self.generation,
+            "tenants": sorted(self._tenants),
+            "default": list(self._default) if self._default else None,
+            "last_error": self.last_error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TenantQuotaConfig({str(self.path)!r}, "
+            f"generation={self.generation})"
+        )

@@ -1,0 +1,229 @@
+"""End-to-end cluster smoke check (the CI gate for ``repro.cluster``).
+
+Boots a real 2-replica cluster (``ClusterSupervisor`` spawning
+``python -m repro serve`` subprocesses) over one temporary store, then
+asserts the cluster contract:
+
+1. ``GET /cluster/healthz`` on the supervisor reports every replica ok
+   and ``shared_store: true`` (all replicas see one store identity).
+2. Duplicate submissions of one job to *different* replicas execute
+   exactly once cluster-wide: every response is ``200`` with a
+   byte-identical sealed record, summed counters show
+   ``jobs_executed == 1`` and
+   ``cache_hits + inflight_dedups + lease_waits == N - 1``.
+3. A paced job submitted to replica 0 streams ``step_progress`` SSE
+   frames from replica 1 — per-step progress is visible from a replica
+   that is *not* executing the job.
+4. SIGKILL of the executing replica mid-job: the surviving replica's
+   duplicate submission takes the lease over, re-executes, and answers
+   ``200`` with an ``ok`` record whose result is identical to a clean
+   single-process execution; the store verifies clean.
+
+Run it locally with ``python -m repro.cluster.smoke``; exit code 0 means
+the cluster clusters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import tempfile
+import time
+from pathlib import Path
+
+from repro.campaigns.runner import execute_job
+from repro.campaigns.spec import JobSpec, canonical_json
+from repro.campaigns.store import ArtifactStore
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.service.loadgen import http_request
+
+__all__ = ["run_smoke", "main"]
+
+HOST = "127.0.0.1"
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind((HOST, 0))
+        return sock.getsockname()[1]
+
+
+def _payload(campaign: str, **params) -> dict:
+    merged = {"n": 16, "k": 4}
+    merged.update(params)
+    return {
+        "campaign": campaign,
+        "job": "repro.service.workload.gossip_sum_job",
+        "params": merged,
+        "seed_index": 0,
+        "index": 0,
+        "entropy": 2006,
+        "job_hash": "",
+    }
+
+
+def _body(payload: dict) -> bytes:
+    return canonical_json(
+        {k: v for k, v in payload.items() if k != "job_hash"}
+    ).encode("utf-8")
+
+
+async def _submit(port: int, payload: dict, *, timeout: float = 120.0):
+    """POST one job with wait=1; ``None`` if the replica died mid-talk."""
+    try:
+        return await http_request(
+            HOST, port, "POST", "/jobs?wait=1", _body(payload),
+            headers={"X-Tenant": "cluster-smoke"}, timeout=timeout,
+        )
+    except (OSError, asyncio.IncompleteReadError, IndexError, ValueError):
+        return None
+
+
+async def _sse_frames(port: int, path: str, *, timeout: float = 60.0):
+    """Every ``data:`` frame of one SSE response, until the end frame."""
+    reader, writer = await asyncio.open_connection(HOST, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {HOST}\r\nConnection: close"
+            "\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+
+        async def read_frames():
+            status_line = await reader.readline()
+            assert b"200" in status_line, status_line
+            frames = []
+            while True:
+                line = await reader.readline()
+                if not line or line.startswith(b"event: end"):
+                    return frames
+                if line.startswith(b"data: "):
+                    frames.append(json.loads(line[len(b"data: "):]))
+
+        return await asyncio.wait_for(read_frames(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def run_smoke(store_dir: str) -> dict:
+    """The checks; returns a small report dict, raises on any failure."""
+    supervisor = ClusterSupervisor(
+        store_dir, replicas=2, host=HOST, port=_free_port(),
+        workers=2, lease_ttl=2.0, progress_stride=1, sse_keepalive=5.0,
+    )
+    supervisor.start()
+    server = None
+    try:
+        server = await supervisor.serve()
+        assert await supervisor.wait_healthy(60.0), "replicas never came up"
+        ports = [supervisor.replica_port(0), supervisor.replica_port(1)]
+
+        # 1. aggregate health: both replicas up, one shared store
+        status, _, health_body = await http_request(
+            HOST, supervisor.port, "GET", "/cluster/healthz"
+        )
+        assert status == 200, status
+        health = json.loads(health_body)
+        assert health["ok"] and health["shared_store"], health
+
+        # 2. duplicate submissions across replicas: execute-once
+        dup = _payload("cluster-smoke-dup")
+        answers = await asyncio.gather(
+            _submit(ports[0], dup), _submit(ports[1], dup)
+        )
+        answers += await asyncio.gather(
+            _submit(ports[0], dup), _submit(ports[1], dup)
+        )
+        bodies = set()
+        for answer in answers:
+            assert answer is not None, "a healthy replica dropped a request"
+            status, _, body = answer
+            assert status == 200, (status, body)
+            bodies.add(body)
+        assert len(bodies) == 1, "responses were not byte-identical"
+        metrics = await supervisor.cluster_metrics()
+        counters = metrics["counters"]
+        assert counters.get("jobs_executed", 0) == 1, counters
+        dedupes = (
+            counters.get("cache_hits", 0)
+            + counters.get("inflight_dedups", 0)
+            + counters.get("lease_waits", 0)
+        )
+        assert dedupes == len(answers) - 1, counters
+
+        # 3. per-step SSE from the replica that is NOT executing
+        paced = _payload(
+            "cluster-smoke-sse", pace=0.02, extra_rounds=30
+        )
+        paced_hash = JobSpec.from_payload(paced).job_hash
+        status, headers, _ = await http_request(
+            HOST, ports[0], "POST", "/jobs", _body(paced),
+            headers={"X-Tenant": "cluster-smoke"},
+        )
+        assert status == 202, status
+        assert headers.get("x-repro-outcome") == "accepted", headers
+        frames = await _sse_frames(ports[1], f"/jobs/{paced_hash}/events")
+        step_frames = [f for f in frames if f.get("type") == "step_progress"]
+        assert step_frames, "no step_progress frames from the peer replica"
+        terminal = [
+            f for f in frames
+            if f.get("type") == "job"
+            and f.get("status") in ("done", "failed", "cached")
+        ]
+        assert terminal and terminal[-1]["status"] in ("done", "cached"), frames
+
+        # 4. SIGKILL the executor mid-job; the duplicate waiter takes over
+        doomed = _payload("cluster-smoke-kill", pace=0.05, extra_rounds=80)
+        task_victim = asyncio.ensure_future(_submit(ports[0], doomed))
+        await asyncio.sleep(1.0)  # replica 0 claims + starts executing
+        task_survivor = asyncio.ensure_future(_submit(ports[1], doomed))
+        await asyncio.sleep(1.0)
+        supervisor.kill_replica(0)
+        answer = await asyncio.wait_for(task_survivor, 120.0)
+        await task_victim
+        assert answer is not None, "survivor never answered"
+        status, _, body = answer
+        assert status == 200, (status, body)
+        record = json.loads(body)
+        assert record["status"] == "ok", record
+        metrics = await supervisor.cluster_metrics()
+        assert metrics["alive"] == 1, metrics
+        assert metrics["counters"].get("lease_takeovers", 0) >= 1, (
+            metrics["counters"]
+        )
+        # the takeover's re-execution equals a clean single-process run
+        local = execute_job(JobSpec.from_payload(doomed).payload())
+        assert local["status"] == "ok"
+        assert local["result"] == record["result"], "takeover diverged"
+
+        bad = ArtifactStore(store_dir).verify()
+        assert bad == [], f"corrupted artifacts: {bad}"
+        return {
+            "duplicate_answers": len(answers),
+            "step_frames": len(step_frames),
+            "takeovers": metrics["counters"].get("lease_takeovers", 0),
+            "counters": metrics["counters"],
+        }
+    finally:
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        supervisor.stop()
+
+
+def main() -> int:
+    t0 = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as tmp:
+        report = asyncio.run(run_smoke(str(Path(tmp) / "store")))
+    report["seconds"] = round(time.monotonic() - t0, 2)
+    print("cluster smoke OK:", json.dumps(report, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

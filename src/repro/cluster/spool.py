@@ -1,0 +1,184 @@
+"""Per-job event spools: SSE from any replica, for any job.
+
+A spool is one append-only JSONL file per job hash,
+``spool/<job_hash>.jsonl`` under the shared store root, holding the same
+tagged event encoding as :meth:`repro.runtime.telemetry.EventStream.dumps`
+(one ``{"type": tag, ...fields}`` object per line).  The *executing*
+replica appends its :class:`~repro.runtime.telemetry.JobEvent` lifecycle
+transitions, and its worker processes append
+:class:`~repro.runtime.telemetry.StepProgressEvent` frames at a stride
+from inside the running job; *every* replica can then serve ``GET
+/jobs/<hash>/events`` by tailing the spool with the same byte-offset
+cursor discipline as :meth:`ArtifactStore.tail_records` — no cross-replica
+RPC, the filesystem is the bus.
+
+Spool appends reuse the claim ledger's locked ``O_APPEND`` write but skip
+the fsync: progress frames are advisory (a lost frame means a subscriber
+sees the next stride instead), while claims and artifacts are correctness
+state.  The spool of a finished job is small and static; callers that
+re-execute a job after takeover simply keep appending — readers tolerate
+a restarted lifecycle mid-stream, and the terminal event still arrives
+exactly once per *observed* completion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+try:  # advisory lock; absent off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
+from repro.cluster.claims import append_jsonl_line
+from repro.runtime.telemetry import (
+    StepProgressEvent,
+    _EVENT_TAGS,
+    _TAG_CLASSES,
+    _jsonable,
+)
+
+__all__ = ["EventSpool", "SpoolProgress"]
+
+SPOOL_DIR = "spool"
+
+
+def encode_event(event) -> bytes:
+    """One tagged JSONL payload, exactly the ``EventStream.dumps`` line."""
+    obj = {"type": _EVENT_TAGS.get(type(event).__name__, type(event).__name__)}
+    obj.update(_jsonable(event))
+    return json.dumps(obj, default=repr).encode("utf-8")
+
+
+def decode_event(line: bytes):
+    """The typed event for one spool line, or ``None`` if unparseable or
+    of an unknown tag (newer writers must not break older readers)."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    tag = obj.pop("type", None)
+    event_cls = _TAG_CLASSES.get(tag)
+    if event_cls is None:
+        return None
+    names = {f.name for f in dataclasses.fields(event_cls)}
+    return event_cls(**{k: v for k, v in obj.items() if k in names})
+
+
+class EventSpool:
+    """The spool directory of one shared store."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root) / SPOOL_DIR
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, job_hash: str) -> Path:
+        return self.root / f"{job_hash}.jsonl"
+
+    def append(self, job_hash: str, event) -> None:
+        """Append one typed event to the job's spool (no fsync — progress
+        is advisory)."""
+        fd = os.open(
+            self.path(job_hash), os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            append_jsonl_line(fd, encode_event(event), fsync=False)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def read(self, job_hash: str, offset: int = 0) -> tuple[list, int]:
+        """Typed events at or after byte ``offset``; ``(events,
+        new_offset)`` with the same complete-lines-only cursor contract as
+        :meth:`ArtifactStore.tail_records`."""
+        path = self.path(job_hash)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return [], offset
+        end = data.rfind(b"\n")
+        if end < 0:
+            return [], offset
+        events = []
+        for line in data[:end].split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            event = decode_event(line)
+            if event is not None:
+                events.append(event)
+        return events, offset + end + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventSpool({str(self.root)!r})"
+
+
+class SpoolProgress:
+    """A picklable per-job progress callback for worker processes.
+
+    Jobs that accept a ``progress=`` keyword call it as
+    ``progress(step, active_fraction=..., counters=...)``; every
+    ``stride``-th call (plus the first) appends a
+    :class:`StepProgressEvent` to the job's spool.  Holds only the store
+    root path and scalars, so it crosses the ``ProcessPoolExecutor``
+    pickle boundary — the worker opens the spool file itself.
+    """
+
+    __slots__ = ("store_root", "job_hash", "stride", "replica", "_calls")
+
+    def __init__(
+        self, store_root, job_hash: str, *, stride: int = 1, replica=None
+    ) -> None:
+        if stride < 1:
+            raise ValueError("progress stride must be >= 1")
+        self.store_root = str(store_root)
+        self.job_hash = job_hash
+        self.stride = int(stride)
+        self.replica = replica
+        self._calls = 0
+
+    def __call__(self, step: int, active_fraction=None, counters=None) -> None:
+        emit = self._calls % self.stride == 0
+        self._calls += 1
+        if not emit:
+            return
+        EventSpool(self.store_root).append(
+            self.job_hash,
+            StepProgressEvent(
+                job_hash=self.job_hash,
+                step=int(step),
+                active_fraction=(
+                    float(active_fraction)
+                    if active_fraction is not None
+                    else None
+                ),
+                counters=dict(counters) if counters else None,
+                replica=self.replica,
+            ),
+        )
+
+    def __getstate__(self):
+        return (
+            self.store_root,
+            self.job_hash,
+            self.stride,
+            self.replica,
+            self._calls,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.store_root,
+            self.job_hash,
+            self.stride,
+            self.replica,
+            self._calls,
+        ) = state

@@ -1,0 +1,325 @@
+"""Replica process supervision and cluster-level aggregation endpoints.
+
+:class:`ClusterSupervisor` is deliberately *not* a coordinator: replicas
+coordinate through the shared store (claims + spool), so the supervisor
+only (a) spawns and watches N ``repro serve`` processes over one store
+directory, and (b) serves read-only aggregate views over their
+``/metrics``:
+
+``GET /cluster/healthz``
+    supervisor liveness + per-replica health probes (pool state, store
+    identity — which must agree across replicas, or the cluster is
+    misconfigured).
+``GET /cluster/metrics``
+    the element-wise **sum** of every replica's counters (cluster-wide
+    ``cache_hits + inflight_dedups + lease_waits`` is how the
+    execute-once invariant is audited), plus each replica's raw
+    snapshot under ``per_replica``.
+``GET /cluster/replicas``
+    pid/port/alive for each spawned replica.
+
+Replicas get per-replica ports (``base+1 … base+N``) by default, or all
+share ``base+1`` via SO_REUSEPORT (``reuse_port=True``, Linux) and let
+the kernel spread accepts.  Each replica is its own session
+(``start_new_session=True``) so killing one — as the takeover torture
+test does with ``SIGKILL`` to the process group — takes down its worker
+pool with it, emulating machine death rather than a polite shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Optional
+
+from repro.campaigns.spec import canonical_json
+
+__all__ = ["ClusterSupervisor"]
+
+
+async def _fetch_json(host: str, port: int, path: str, timeout: float = 5.0):
+    """GET ``path`` from one replica; parsed JSON or ``None`` on any
+    failure (a dead replica must not take the aggregate endpoint down)."""
+    from repro.service.loadgen import http_request
+
+    try:
+        status, _, body = await http_request(
+            host, port, "GET", path, timeout=timeout
+        )
+        if status != 200:
+            return None
+        return json.loads(body.decode("utf-8"))
+    except (OSError, asyncio.TimeoutError, ValueError):
+        return None
+
+
+class ClusterSupervisor:
+    """N ``repro serve`` replicas over one store, plus aggregate views."""
+
+    def __init__(
+        self,
+        store_dir,
+        *,
+        replicas: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 8870,
+        workers: int = 2,
+        queue_limit: int = 64,
+        lease_ttl: float = 10.0,
+        progress_stride: int = 1,
+        tenants: Optional[str] = None,
+        sse_keepalive: float = 15.0,
+        reuse_port: bool = False,
+        retries: int = 0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a cluster needs at least 1 replica")
+        self.store_dir = str(store_dir)
+        self.replicas = int(replicas)
+        self.host = host
+        self.port = int(port)
+        self.workers = int(workers)
+        self.queue_limit = int(queue_limit)
+        self.lease_ttl = float(lease_ttl)
+        self.progress_stride = int(progress_stride)
+        self.tenants = tenants
+        self.sse_keepalive = float(sse_keepalive)
+        self.reuse_port = bool(reuse_port)
+        self.retries = int(retries)
+        self.timeout = timeout
+        self._procs: list[subprocess.Popen] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- replica processes ---------------------------------------------
+    def replica_port(self, index: int) -> int:
+        """The port replica ``index`` listens on (all the same under
+        SO_REUSEPORT)."""
+        return self.port + 1 if self.reuse_port else self.port + 1 + index
+
+    def replica_id(self, index: int) -> str:
+        return f"r{index}"
+
+    def _replica_argv(self, index: int) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--store", self.store_dir,
+            "--host", self.host,
+            "--port", str(self.replica_port(index)),
+            "--workers", str(self.workers),
+            "--queue-limit", str(self.queue_limit),
+            "--replica-id", self.replica_id(index),
+            "--lease-ttl", str(self.lease_ttl),
+            "--progress-stride", str(self.progress_stride),
+            "--sse-keepalive", str(self.sse_keepalive),
+            "--retries", str(self.retries),
+        ]
+        if self.tenants is not None:
+            argv += ["--tenants", self.tenants]
+        if self.reuse_port:
+            argv += ["--reuse-port"]
+        if self.timeout is not None:
+            argv += ["--timeout", str(self.timeout)]
+        return argv
+
+    def start(self) -> None:
+        """Spawn the replica processes (each in its own session, so a
+        SIGKILL to its process group also reaps its pool workers —
+        machine-death semantics for the takeover tests)."""
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        )
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        for index in range(self.replicas):
+            self._procs.append(
+                subprocess.Popen(
+                    self._replica_argv(index),
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                    start_new_session=True,
+                    env=env,
+                )
+            )
+
+    def kill_replica(self, index: int, sig: int = signal.SIGKILL) -> None:
+        """Signal one replica's whole process group (replica + its pool
+        workers) — the torture tests' SIGKILL entry point."""
+        proc = self._procs[index]
+        if proc.poll() is not None:
+            return
+        try:
+            os.killpg(proc.pid, sig)
+        except ProcessLookupError:  # pragma: no cover - exit race
+            pass
+
+    def stop(self) -> None:
+        """Tear every replica down (TERM, then KILL stragglers)."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                try:
+                    os.killpg(proc.pid, signal.SIGTERM)
+                except ProcessLookupError:
+                    continue
+        deadline = time.monotonic() + 3.0
+        for proc in self._procs:
+            while proc.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.02)
+            if proc.poll() is None:
+                try:
+                    os.killpg(proc.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                proc.wait()
+
+    def replica_states(self) -> list[dict]:
+        return [
+            {
+                "replica": self.replica_id(index),
+                "port": self.replica_port(index),
+                "pid": proc.pid,
+                "alive": proc.poll() is None,
+            }
+            for index, proc in enumerate(self._procs)
+        ]
+
+    async def wait_healthy(self, timeout: float = 30.0) -> bool:
+        """Poll every live replica's ``/healthz`` until all answer ok."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            healths = await asyncio.gather(
+                *(
+                    _fetch_json(self.host, state["port"], "/healthz")
+                    for state in self.replica_states()
+                    if state["alive"]
+                )
+            )
+            if healths and all(
+                h is not None and h.get("ok") for h in healths
+            ):
+                return True
+            await asyncio.sleep(0.1)
+        return False
+
+    # -- aggregation ---------------------------------------------------
+    async def cluster_metrics(self) -> dict:
+        """Summed counters across live replicas + raw per-replica views."""
+        states = self.replica_states()
+        snapshots = await asyncio.gather(
+            *(
+                _fetch_json(self.host, state["port"], "/metrics")
+                if state["alive"]
+                else asyncio.sleep(0, result=None)
+                for state in states
+            )
+        )
+        counters: dict[str, int] = {}
+        per_replica: dict[str, Optional[dict]] = {}
+        for state, snap in zip(states, snapshots):
+            per_replica[state["replica"]] = snap
+            if snap is None:
+                continue
+            for name, value in (snap.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+        return {
+            "replicas": len(states),
+            "alive": sum(1 for s in states if s["alive"]),
+            "counters": counters,
+            "per_replica": per_replica,
+        }
+
+    async def cluster_healthz(self) -> dict:
+        states = self.replica_states()
+        healths = await asyncio.gather(
+            *(
+                _fetch_json(self.host, state["port"], "/healthz")
+                if state["alive"]
+                else asyncio.sleep(0, result=None)
+                for state in states
+            )
+        )
+        identities = {
+            h.get("store_identity") for h in healths if h is not None
+        }
+        return {
+            "ok": all(h is not None and h.get("ok") for h in healths),
+            "store": self.store_dir,
+            "shared_store": len(identities) == 1,
+            "replicas": [
+                dict(state, health=health)
+                for state, health in zip(states, healths)
+            ],
+        }
+
+    # -- the supervisor's own HTTP endpoint ----------------------------
+    async def _handle(self, reader, writer) -> None:
+        from repro.service.http import _error, _json_response, _read_request
+
+        try:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                return
+            method, target, _headers, _body = parsed
+            path = target.split("?", 1)[0].rstrip("/") or "/"
+            if method != "GET":
+                _error(writer, 405, f"{method} not allowed on {path}")
+            elif path == "/cluster/metrics":
+                _json_response(writer, 200, await self.cluster_metrics())
+            elif path == "/cluster/healthz":
+                _json_response(writer, 200, await self.cluster_healthz())
+            elif path == "/cluster/replicas":
+                _json_response(
+                    writer, 200, {"replicas": self.replica_states()}
+                )
+            else:
+                _error(writer, 404, f"no route for {path!r}")
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                if not writer.is_closing():
+                    await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def serve(self) -> asyncio.AbstractServer:
+        """Bind the supervisor's aggregate endpoint on the base port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        return self._server
+
+    async def run_forever(self) -> None:
+        """``repro cluster``'s main loop: spawn, bind, serve until
+        cancelled, then tear everything down."""
+        self.start()
+        try:
+            await self.serve()
+            healthy = await self.wait_healthy()
+            banner = {
+                "cluster": f"http://{self.host}:{self.port}/cluster/metrics",
+                "replicas": [
+                    f"http://{self.host}:{s['port']}"
+                    for s in self.replica_states()
+                ],
+                "store": self.store_dir,
+                "healthy": healthy,
+            }
+            print(canonical_json(banner), flush=True)
+            await self._server.serve_forever()
+        finally:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            self.stop()

@@ -55,6 +55,7 @@ __all__ = [
     "StepEvent",
     "RunEndedEvent",
     "JobEvent",
+    "StepProgressEvent",
     "EventStream",
     "RunManifest",
     "manifest_content_hash",
@@ -250,17 +251,38 @@ class JobEvent:
         return self.status in ("done", "failed", "cached")
 
 
+@dataclass(frozen=True)
+class StepProgressEvent:
+    """Progress from *inside* a running service job, at a stride.
+
+    Emitted by worker processes through the cluster event spool (see
+    ``repro.cluster.spool``): every ``stride`` synchronous steps the job
+    reports its step index, the fraction of state still in motion and a
+    small counter delta, so SSE subscribers — on any replica, not just
+    the executing one — see progress at step granularity instead of
+    job-lifecycle granularity only.  Never terminal.
+    """
+
+    job_hash: str
+    step: int
+    active_fraction: Optional[float] = None
+    counters: Optional[dict] = None
+    replica: Optional[str] = None
+
+
 _EVENT_TAGS = {
     "RunStartedEvent": "run_started",
     "StepEvent": "step",
     "RunEndedEvent": "run_ended",
     "JobEvent": "job",
+    "StepProgressEvent": "step_progress",
 }
 _TAG_CLASSES = {
     "run_started": RunStartedEvent,
     "step": StepEvent,
     "run_ended": RunEndedEvent,
     "job": JobEvent,
+    "step_progress": StepProgressEvent,
 }
 
 

@@ -3,7 +3,10 @@
 The wire contract (see ``docs/model.md``, "Serving"):
 
 ``GET /healthz``
-    ``200`` with ``{"ok":true,...}`` — liveness plus worker/store info.
+    ``200`` with ``{"ok":true,...}`` — liveness plus pool state
+    (``ok``/``rebuilding``/``down``), the store's identity token (how a
+    cluster operator confirms replicas really share one store), the
+    replica id, and worker/inflight gauges.
 ``GET /metrics``
     ``200`` with the service :class:`~repro.runtime.telemetry.
     MetricsRegistry` snapshot plus live gauges.
@@ -11,8 +14,11 @@ The wire contract (see ``docs/model.md``, "Serving"):
     Body: a :meth:`~repro.campaigns.spec.JobSpec.payload`-shaped JSON
     object (``job_hash`` optional — the server recomputes it).  Tenant
     comes from the ``X-Tenant`` header.  Outcomes map to status codes:
-    cached ``200``, accepted/deduplicated ``202`` (or ``200`` with the
-    sealed record when ``wait=1``), quota ``429``, backpressure ``503``.
+    cached ``200``, accepted/deduplicated/lease_wait ``202`` (or ``200``
+    with the sealed record when ``wait=1``), quota ``429``, backpressure
+    ``503``.  ``lease_wait`` is cluster mode's sixth outcome: another
+    replica holds the execution lease, and this replica's response waits
+    on the shared store (taking the work over if the executor dies).
     The outcome is always in the ``X-Repro-Outcome`` response header,
     and every body holding a sealed record is its *canonical JSON* — so
     responses for one job are byte-identical whether the record was
@@ -25,11 +31,17 @@ The wire contract (see ``docs/model.md``, "Serving"):
 ``GET /jobs/<hash>``
     ``200`` canonical record, or ``404``.
 ``GET /jobs/<hash>/events``
-    ``200`` ``text/event-stream``: one ``data:`` frame per typed
-    :class:`~repro.runtime.telemetry.JobEvent` (the same JSONL encoding
-    ``EventStream.dumps`` uses), closing after the terminal event.  A
-    client disconnect mid-stream unsubscribes cleanly — it never
-    cancels the job it was watching.
+    ``200`` ``text/event-stream``: one ``data:`` frame per typed event
+    (the same JSONL encoding ``EventStream.dumps`` uses), closing after
+    the terminal :class:`~repro.runtime.telemetry.JobEvent`.  In cluster
+    mode the frames come from the job's shared event spool, so they
+    include per-step
+    :class:`~repro.runtime.telemetry.StepProgressEvent`\\ s and the
+    stream works from replicas that are *not* executing the job.  Idle
+    streams emit ``: keep-alive`` comment frames every
+    ``sse_keepalive`` seconds (default 15) so intermediaries don't drop
+    quiet subscribers.  A client disconnect mid-stream unsubscribes
+    cleanly — it never cancels the job it was watching.
 
 Error codes: ``400`` undecodable/invalid body, ``404`` unknown path or
 job, ``405`` wrong method, ``413`` oversized body.
@@ -66,6 +78,7 @@ _OUTCOME_STATUS = {
     "cached": 200,
     "accepted": 202,
     "deduplicated": 202,
+    "lease_wait": 202,
     "quota_rejected": 429,
     "backpressure_rejected": 503,
 }
@@ -90,6 +103,13 @@ class ServiceConfig:
     retries: int = 0
     backoff: float = 0.05
     timeout: Optional[float] = None
+    # cluster-mode knobs (replica_id None = single-process service)
+    replica_id: Optional[str] = None
+    lease_ttl: float = 10.0
+    progress_stride: int = 1
+    tenants: Optional[str] = None  # path to a TenantQuotaConfig file
+    sse_keepalive: float = 15.0
+    reuse_port: bool = False
 
 
 def _event_line(event) -> str:
@@ -159,11 +179,18 @@ def _error(writer, status: int, message: str) -> None:
 async def _stream_events(manager: JobManager, job_hash: str, writer) -> None:
     """The SSE loop: replay history, then follow until terminal/EOF.
 
-    Client disconnects surface as write errors; the ``finally`` always
-    unsubscribes, so a vanished client costs nothing and — crucially —
-    never cancels the job it was watching.
+    Single-process managers feed the queue from the in-memory event
+    stream; cluster managers tail the job's shared spool (see
+    :meth:`~repro.service.jobs.JobManager.subscribe_any`) — the wire
+    format is identical either way.  An idle wait longer than the
+    manager's ``sse_keepalive`` emits a ``: keep-alive`` SSE comment so
+    proxies and LBs don't reap the quiet connection.  Client disconnects
+    surface as write errors; the ``finally`` always cleans up, so a
+    vanished client costs nothing and — crucially — never cancels the
+    job it was watching.
     """
-    queue = manager.subscribe(job_hash)
+    queue, cleanup = manager.subscribe_any(job_hash)
+    keepalive = getattr(manager, "sse_keepalive", 15.0)
     head = (
         "HTTP/1.1 200 OK\r\n"
         "Content-Type: text/event-stream\r\n"
@@ -174,7 +201,14 @@ async def _stream_events(manager: JobManager, job_hash: str, writer) -> None:
         writer.write(head.encode("latin-1"))
         await writer.drain()
         while True:
-            event = await queue.get()
+            try:
+                event = await asyncio.wait_for(
+                    queue.get(), timeout=keepalive if keepalive > 0 else None
+                )
+            except asyncio.TimeoutError:
+                writer.write(b": keep-alive\n\n")
+                await writer.drain()
+                continue
             if event is None:
                 writer.write(b"event: end\r\ndata: {}\n\n")
                 await writer.drain()
@@ -182,7 +216,7 @@ async def _stream_events(manager: JobManager, job_hash: str, writer) -> None:
             writer.write(f"data: {_event_line(event)}\n\n".encode("utf-8"))
             await writer.drain()
     finally:
-        manager.unsubscribe(job_hash, queue)
+        cleanup()
 
 
 def _parse_job_payload(body: bytes) -> dict:
@@ -251,11 +285,18 @@ async def _handle(
         tenant = headers.get("x-tenant", "anonymous")
 
         if path == "/healthz" and method == "GET":
-            _json_response(
-                writer, 200,
-                {"ok": True, "store": str(manager.store.root),
-                 "workers": manager.workers, "inflight": manager.inflight()},
-            )
+            health = {
+                "ok": True,
+                "pool": manager.pool_state,
+                "store": str(manager.store.root),
+                "store_identity": manager.store.identity(),
+                "replica": manager.replica_id,
+                "workers": manager.workers,
+                "inflight": manager.inflight(),
+            }
+            if manager.tenant_config is not None:
+                health["tenant_config"] = manager.tenant_config.snapshot()
+            _json_response(writer, 200, health)
         elif path == "/metrics" and method == "GET":
             _json_response(writer, 200, manager.snapshot())
         elif path == "/jobs" and method == "POST":
@@ -304,10 +345,7 @@ async def _handle(
             rest = path[len("/jobs/"):]
             if rest.endswith("/events"):
                 job_hash = rest[: -len("/events")]
-                if (
-                    manager.record(job_hash) is None
-                    and manager.stream(job_hash) is None
-                ):
+                if not manager.knows_job(job_hash):
                     _error(writer, 404, f"unknown job {job_hash!r}")
                 else:
                     await _stream_events(manager, job_hash, writer)
@@ -343,14 +381,22 @@ async def _handle(
 
 
 async def serve(
-    manager: JobManager, host: str = "127.0.0.1", port: int = 8765
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    reuse_port: bool = False,
 ):
     """Bind and return an :class:`asyncio.Server` routing to ``manager``.
 
     The manager must already be :meth:`~repro.service.jobs.JobManager.
     start`-ed.  Callers own both lifecycles: close the server, then
-    ``await manager.close()``.
+    ``await manager.close()``.  ``reuse_port=True`` sets SO_REUSEPORT so
+    several cluster replicas can share one listening port and let the
+    kernel spread connections across them (Linux; per-replica ports are
+    the portable alternative).
     """
     return await asyncio.start_server(
-        lambda r, w: _handle(manager, r, w), host, port
+        lambda r, w: _handle(manager, r, w), host, port,
+        reuse_port=reuse_port or None,
     )

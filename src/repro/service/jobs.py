@@ -28,6 +28,28 @@ Progress is observable per job: every lifecycle transition is a typed
 :class:`~repro.runtime.telemetry.JobEvent` emitted into a per-job
 :class:`~repro.runtime.telemetry.EventStream` and fanned out to any
 number of SSE subscriber queues.
+
+**Cluster mode** (``replica_id`` set) adds two gates and swaps the event
+fan-out substrate, making the shared store directory the coordination
+point between N replicas (see ``repro.cluster``):
+
+* after the in-flight check, a live *lease* held by another replica on
+  the job's hash (``claims.jsonl``) short-circuits admission into a
+  ``lease_wait``: the submission gets a future resolved by a poller that
+  tails the shared store for the remote replica's sealed record — and,
+  if the lease goes stale (the executor was SIGKILLed), takes the lease
+  over and executes the job here (``lease_takeovers``).  Executing
+  replicas renew their leases on a heartbeat task at ``ttl/3``.
+* lifecycle events of leased jobs are mirrored into a per-job *event
+  spool* (``spool/<hash>.jsonl``) that worker processes also append
+  :class:`~repro.runtime.telemetry.StepProgressEvent` frames to; SSE
+  subscribers on **any** replica tail the spool
+  (:meth:`JobManager.subscribe_any`), so progress of a job is visible
+  from replicas that are not executing it.
+
+Tenant quotas in cluster mode come from a shared
+:class:`~repro.cluster.config.TenantQuotaConfig` file (mtime-reloaded)
+instead of constructor arguments, so one edit retunes every replica.
 """
 
 from __future__ import annotations
@@ -51,6 +73,7 @@ OUTCOMES = (
     "cached",
     "deduplicated",
     "accepted",
+    "lease_wait",
     "quota_rejected",
     "backpressure_rejected",
 )
@@ -86,6 +109,12 @@ class TokenBucket:
             self.tokens -= cost
             return True
         return False
+
+    def refund(self, cost: float = 1.0) -> None:
+        """Return tokens taken by an admission that didn't execute (a
+        cluster claim lost to another replica must not charge the
+        tenant)."""
+        self.tokens = min(self.burst, self.tokens + cost)
 
 
 @dataclass
@@ -141,6 +170,12 @@ class JobManager:
         timeout: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
         clock=time.monotonic,
+        replica_id: Optional[str] = None,
+        lease_ttl: float = 10.0,
+        progress_stride: int = 1,
+        tenant_config=None,
+        sse_keepalive: float = 15.0,
+        poll_interval: float = 0.05,
     ) -> None:
         self.store = ArtifactStore(store_dir)
         self.workers = max(1, int(workers))
@@ -152,13 +187,40 @@ class JobManager:
         self.timeout = timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.clock = clock
+        self.replica_id = replica_id
+        self.lease_ttl = float(lease_ttl)
+        self.progress_stride = max(1, int(progress_stride))
+        self.tenant_config = tenant_config
+        self.sse_keepalive = float(sse_keepalive)
+        self.poll_interval = float(poll_interval)
+        self.pool_state = "down"
         self._completed: dict[str, dict] = {}
         self._inflight: dict[str, asyncio.Future] = {}
         self._tasks: set[asyncio.Task] = set()
         self._streams: dict[str, EventStream] = {}
         self._subscribers: dict[str, set[asyncio.Queue]] = {}
         self._buckets: dict[str, TokenBucket] = {}
+        self._bucket_generation = 0
         self._executor: Optional[ProcessPoolExecutor] = None
+        # cluster-mode state (all None/empty when replica_id is unset)
+        self.claims = None
+        self.spool = None
+        self._leases: dict = {}
+        self._store_offset = 0
+        self._latest: dict[str, dict] = {}
+        if replica_id is not None:
+            from repro.cluster.claims import ClaimLedger
+            from repro.cluster.spool import EventSpool
+
+            self.claims = ClaimLedger(
+                self.store.root, replica_id, ttl=self.lease_ttl
+            )
+            self.spool = EventSpool(self.store.root)
+
+    @property
+    def cluster(self) -> bool:
+        """True iff this manager coordinates through a shared store."""
+        return self.claims is not None
 
     # -- lifecycle -----------------------------------------------------
     def _make_executor(self) -> ProcessPoolExecutor:
@@ -174,11 +236,12 @@ class JobManager:
 
     def start(self) -> None:
         """Warm the completed-job cache from the store, start the pool."""
-        for job_hash, record in self.store.records().items():
-            if record.get("status") == "ok":
-                self._completed[job_hash] = record
+        self._refresh_store()
         self._executor = self._make_executor()
+        self.pool_state = "ok"
         self.metrics.set_tag("service", "jobs")
+        if self.replica_id is not None:
+            self.metrics.set_tag("replica", self.replica_id)
 
     async def close(self) -> None:
         """Cancel in-flight work and shut the pool down."""
@@ -189,14 +252,42 @@ class JobManager:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        self.pool_state = "down"
 
     def _rebuild_executor(self) -> None:
         from repro.campaigns.runner import _kill_executor
 
+        self.pool_state = "rebuilding"
         if self._executor is not None:
             _kill_executor(self._executor)
         self._executor = self._make_executor()
+        self.pool_state = "ok"
         self.metrics.inc("pool_rebuilds")
+
+    # -- shared-store view ---------------------------------------------
+    def _refresh_store(self) -> None:
+        """Fold records other writers appended into the local caches.
+
+        Incremental (byte-offset cursor, complete lines only) so calling
+        it on the admission path in cluster mode costs ``O(new records)``.
+        The merge keeps the store's ok-wins rule: a completed artifact is
+        never displaced by a later failure record.
+        """
+        records, self._store_offset = self.store.tail_records(
+            self._store_offset
+        )
+        for rec in records:
+            job_hash = rec.get("job_hash")
+            if job_hash is None:
+                continue
+            if (
+                self._latest.get(job_hash, {}).get("status") == "ok"
+                and rec.get("status") != "ok"
+            ):
+                continue
+            self._latest[job_hash] = rec
+            if rec.get("status") == "ok":
+                self._completed[job_hash] = rec
 
     # -- events --------------------------------------------------------
     def _emit(self, job_hash: str, status: str, detail: Optional[dict] = None):
@@ -208,6 +299,14 @@ class JobManager:
         if event.terminal:
             for queue in self._subscribers.get(job_hash, ()):
                 queue.put_nowait(None)  # end-of-stream sentinel
+        if self.spool is not None and job_hash in self._leases:
+            # mirror the lifecycle of jobs *we* execute into the spool so
+            # other replicas' SSE subscribers see it; spool loss is an
+            # observability gap, never a correctness problem
+            try:
+                self.spool.append(job_hash, event)
+            except OSError:  # pragma: no cover - disk trouble
+                pass
         return event
 
     def subscribe(self, job_hash: str) -> asyncio.Queue:
@@ -254,8 +353,117 @@ class JobManager:
         """The full typed event history of one job, if any."""
         return self._streams.get(job_hash)
 
+    def subscribe_any(self, job_hash: str):
+        """An event queue for one job plus its cleanup callable.
+
+        Single-process mode delegates to :meth:`subscribe`.  Cluster mode
+        instead tails the job's shared event spool, which carries the
+        executing replica's lifecycle events *and* the worker processes'
+        :class:`~repro.runtime.telemetry.StepProgressEvent` frames — so
+        the same SSE contract is served whether or not this replica is
+        the executor, at step granularity.  The returned queue yields
+        typed events then a ``None`` sentinel; ``cleanup()`` must be
+        called when the consumer goes away.
+        """
+        if not self.cluster:
+            queue = self.subscribe(job_hash)
+            return queue, lambda: self.unsubscribe(job_hash, queue)
+        queue: asyncio.Queue = asyncio.Queue()
+        task = asyncio.get_running_loop().create_task(
+            self._pump_spool(job_hash, queue)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return queue, task.cancel
+
+    async def _pump_spool(self, job_hash: str, queue: asyncio.Queue) -> None:
+        """Tail one job's spool into ``queue`` until a terminal event.
+
+        A job that finished without ever spooling (completed before this
+        cluster existed, or cached) gets a synthesized terminal event
+        from the store record, so subscribers always terminate.
+        """
+        offset = 0
+        while True:
+            events, offset = self.spool.read(job_hash, offset)
+            for event in events:
+                queue.put_nowait(event)
+                if isinstance(event, JobEvent) and event.terminal:
+                    queue.put_nowait(None)
+                    return
+            if not events:
+                record = self._completed.get(job_hash)
+                if record is None:
+                    self._refresh_store()
+                    record = self._completed.get(job_hash)
+                if record is not None:
+                    # the executor seals the store record *before* spooling
+                    # its terminal event, so the record can become visible
+                    # a beat ahead of the "done"/"failed" frame.  If a
+                    # spool exists the executor was streaming: give its
+                    # terminal append a bounded grace so subscribers see
+                    # the real frame; synthesize only if it never lands
+                    # (executor died between the two appends) or the job
+                    # never spooled at all (cached / pre-cluster record).
+                    grace = 10 if self.spool.path(job_hash).exists() else 1
+                    for _ in range(grace):
+                        events, offset = self.spool.read(job_hash, offset)
+                        for event in events:
+                            queue.put_nowait(event)
+                            if isinstance(event, JobEvent) and event.terminal:
+                                queue.put_nowait(None)
+                                return
+                        if grace > 1:
+                            await asyncio.sleep(self.poll_interval)
+                    queue.put_nowait(
+                        JobEvent(
+                            job_hash=job_hash,
+                            status="cached",
+                            detail={
+                                "content_hash": record.get("content_hash")
+                            },
+                        )
+                    )
+                    queue.put_nowait(None)
+                    return
+            await asyncio.sleep(self.poll_interval)
+
+    def knows_job(self, job_hash: str) -> bool:
+        """True iff this replica can say anything about ``job_hash`` —
+        local record/stream, a shared-store record, a spool, or a live
+        lease somewhere in the cluster."""
+        if (
+            job_hash in self._completed
+            or job_hash in self._streams
+            or job_hash in self._inflight
+        ):
+            return True
+        if not self.cluster:
+            return False
+        self._refresh_store()
+        if job_hash in self._latest:
+            return True
+        if self.spool.path(job_hash).exists():
+            return True
+        return self.claims.peek(job_hash) is not None
+
     # -- admission -----------------------------------------------------
     def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.tenant_config is not None:
+            quota = self.tenant_config.lookup(tenant)  # mtime-checked
+            if self.tenant_config.generation != self._bucket_generation:
+                # new config: drop every cached bucket so fresh budgets
+                # apply now, not when old buckets happen to drain
+                self._buckets.clear()
+                self._bucket_generation = self.tenant_config.generation
+            if quota is None:
+                return None
+            burst, rate = quota
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(burst, rate, self.clock)
+                self._buckets[tenant] = bucket
+            return bucket
         if self.quota_burst is None:
             return None
         bucket = self._buckets.get(tenant)
@@ -263,6 +471,21 @@ class JobManager:
             bucket = TokenBucket(self.quota_burst, self.quota_rate, self.clock)
             self._buckets[tenant] = bucket
         return bucket
+
+    def _lease_wait(self, payload: dict) -> Submission:
+        """Admit a job another replica is executing: free (no quota — the
+        executor's tenant paid), resolved by a poller that tails the
+        shared store and takes the lease over if it goes stale."""
+        job_hash = payload["job_hash"]
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[job_hash] = future
+        self.metrics.inc("lease_waits")
+        task = asyncio.get_running_loop().create_task(
+            self._remote_poll(payload, future)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return Submission(job_hash, "lease_wait", future=future)
 
     def submit(self, payload: dict, tenant: str = "anonymous") -> Submission:
         """Admit one job payload; never blocks, never raises for policy.
@@ -277,6 +500,10 @@ class JobManager:
         job_hash = spec.job_hash
         self.metrics.inc("jobs_submitted")
         self.metrics.observe("queue_depth", len(self._inflight))
+        if self.cluster:
+            # fold other replicas' completions in first, so their work
+            # is answered as cache hits, not re-admitted
+            self._refresh_store()
 
         record = self._completed.get(job_hash)
         if record is not None:
@@ -288,6 +515,11 @@ class JobManager:
             self.metrics.inc("inflight_dedups")
             return Submission(job_hash, "deduplicated", future=future)
 
+        if self.cluster:
+            holder = self.claims.peek(job_hash)
+            if holder is not None and holder["replica"] != self.replica_id:
+                return self._lease_wait(spec.payload())
+
         bucket = self._bucket(tenant)
         if bucket is not None and not bucket.try_acquire():
             self.metrics.inc("quota_rejections")
@@ -296,6 +528,16 @@ class JobManager:
         if len(self._inflight) >= self.queue_limit:
             self.metrics.inc("backpressure_rejections")
             return Submission(job_hash, "backpressure_rejected")
+
+        if self.cluster:
+            lease = self.claims.acquire(job_hash)
+            if lease is None:
+                # lost the peek→acquire race to another replica; the
+                # tenant shouldn't pay for work that runs elsewhere
+                if bucket is not None:
+                    bucket.refund()
+                return self._lease_wait(spec.payload())
+            self._leases[job_hash] = lease
 
         future = asyncio.get_running_loop().create_future()
         self._inflight[job_hash] = future
@@ -309,8 +551,33 @@ class JobManager:
         return Submission(job_hash, "accepted", future=future)
 
     # -- execution -----------------------------------------------------
+    async def _heartbeat_loop(self, lease) -> None:
+        """Renew one lease at ``ttl/3`` until cancelled or lost.
+
+        Losing a lease (a peer judged us dead and took over) does *not*
+        abort our execution — a duplicated deterministic job appends a
+        byte-identical record and ok-wins merging keeps one artifact —
+        but it is counted (``lease_lost``) and the renewals stop.
+        """
+        interval = max(self.lease_ttl / 3.0, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            alive = await asyncio.get_running_loop().run_in_executor(
+                None, self.claims.heartbeat, lease
+            )
+            if not alive:
+                self.metrics.inc("lease_lost")
+                return
+
     async def _run_job(self, payload: dict, future: asyncio.Future) -> None:
         job_hash = payload["job_hash"]
+        lease = self._leases.get(job_hash)
+        heartbeat: Optional[asyncio.Task] = None
+        if lease is not None:
+            heartbeat = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop(lease)
+            )
+        outcome = "failed"
         try:
             record = await self._execute_with_rebuilds(payload)
             if record.get("status") == "ok":
@@ -319,6 +586,7 @@ class JobManager:
                 )
                 self._completed[job_hash] = sealed
                 self.metrics.inc("jobs_executed")
+                outcome = "done"
                 self._emit(
                     job_hash, "done",
                     {"content_hash": sealed.get("content_hash")},
@@ -342,6 +610,70 @@ class JobManager:
                 future.set_exception(exc)
         finally:
             self._inflight.pop(job_hash, None)
+            if heartbeat is not None:
+                heartbeat.cancel()
+            if lease is not None and self._leases.pop(job_hash, None):
+                # release *after* the store append above: a peer that
+                # sees no live lease will find the record when it
+                # re-reads the store before attempting takeover
+                try:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self.claims.release, lease, outcome
+                    )
+                except OSError:  # pragma: no cover - disk trouble
+                    pass
+
+    async def _remote_poll(self, payload: dict, future: asyncio.Future) -> None:
+        """Resolve a ``lease_wait`` submission from the shared store.
+
+        Polls the store tail for the remote executor's sealed record;
+        when the lease disappears *without* a record the executor died —
+        re-read the store once more (release follows append, so a clean
+        finish can't be mistaken for a death) and then race the other
+        replicas to take the lease over and execute here.
+        """
+        job_hash = payload["job_hash"]
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                await asyncio.sleep(self.poll_interval)
+                if future.done():
+                    return
+                self._refresh_store()
+                sealed = self._latest.get(job_hash)
+                if sealed is not None and sealed.get("status") in (
+                    "ok", "failed",
+                ):
+                    self._inflight.pop(job_hash, None)
+                    if not future.done():
+                        future.set_result(sealed)
+                    return
+                holder = await loop.run_in_executor(
+                    None, self.claims.peek, job_hash
+                )
+                if holder is not None:
+                    continue  # still executing (or a peer took over)
+                self._refresh_store()
+                if job_hash in self._latest:
+                    continue  # record landed between peek and refresh
+                lease = await loop.run_in_executor(
+                    None, self.claims.acquire, job_hash
+                )
+                if lease is None:
+                    continue  # another waiter won the takeover race
+                self.metrics.inc("lease_takeovers")
+                self._leases[job_hash] = lease
+                self._emit(
+                    job_hash, "queued",
+                    {"takeover": True, "replica": self.replica_id},
+                )
+                await self._run_job(payload, future)
+                return
+        except asyncio.CancelledError:
+            self._inflight.pop(job_hash, None)
+            if not future.done():
+                future.cancel()
+            raise
 
     async def _execute_with_rebuilds(self, payload: dict) -> dict:
         """Run one job, rebuilding the pool after crashes/timeouts.
@@ -350,6 +682,13 @@ class JobManager:
         whether the failures were job errors or pool deaths.
         """
         job_hash = payload["job_hash"]
+        context = None
+        if self.cluster and job_hash in self._leases:
+            context = {
+                "store_root": str(self.store.root),
+                "stride": self.progress_stride,
+                "replica": self.replica_id,
+            }
         attempts_used = 0
         while True:
             self._emit(job_hash, "started", {"attempt": attempts_used + 1})
@@ -363,6 +702,7 @@ class JobManager:
                     job_hash, "retry",
                     {"attempt": attempts_used + attempt, "error": error},
                 ),
+                context=context,
             )
             attempts_used += record.get("attempts", 1)
             if record.pop("pool_broken", False):
@@ -385,8 +725,13 @@ class JobManager:
 
     # -- introspection -------------------------------------------------
     def record(self, job_hash: str) -> Optional[dict]:
-        """The completed artifact for ``job_hash``, if any."""
-        return self._completed.get(job_hash)
+        """The completed artifact for ``job_hash``, if any (in cluster
+        mode, including records other replicas appended)."""
+        rec = self._completed.get(job_hash)
+        if rec is None and self.cluster:
+            self._refresh_store()
+            rec = self._completed.get(job_hash)
+        return rec
 
     def inflight(self) -> int:
         return len(self._inflight)
@@ -402,4 +747,9 @@ class JobManager:
             "workers": self.workers,
             "queue_limit": self.queue_limit,
         }
+        if self.cluster:
+            snap["gauges"]["leases_held"] = len(self._leases)
+            snap["replica"] = self.replica_id
+            if self.tenant_config is not None:
+                snap["tenant_config"] = self.tenant_config.snapshot()
         return snap

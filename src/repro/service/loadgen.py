@@ -90,6 +90,12 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[int(idx)]
 
 
+def _parse_target(target: str, default_host: str = "127.0.0.1") -> tuple:
+    """``host:port`` or bare ``port`` → ``(host, port)``."""
+    host, _, port = target.rpartition(":")
+    return (host or default_host, int(port))
+
+
 async def run_loadgen(
     host: str = "127.0.0.1",
     port: int = 8765,
@@ -101,61 +107,89 @@ async def run_loadgen(
     entropy: int = 2006,
     tenant: str = "loadgen",
     repeat_fraction: float = 0.1,
+    targets: Optional[list] = None,
 ) -> dict:
-    """Drive ``jobs`` gossip submissions; returns the report dict."""
+    """Drive ``jobs`` gossip submissions; returns the report dict.
+
+    ``targets`` (a list of ``(host, port)`` pairs) round-robins the
+    submissions across several replicas — the cluster bench's traffic
+    shape, where duplicate hashes land on different front doors.  The
+    report carries a ``per_outcome`` breakdown (count + latency
+    percentiles keyed by ``X-Repro-Outcome``), so the executed path and
+    the dedupe/cache paths are measured separately instead of being
+    averaged into one latency number.
+    """
     spec = gossip_campaign_spec(jobs=jobs, n=n, k=k, entropy=entropy)
     payloads = [job.payload() for job in spec.expand()]
+    if not targets:
+        targets = [(host, port)]
+    targets = [tuple(t) for t in targets]
     window = asyncio.Semaphore(max(1, concurrency))
     latencies: list[float] = []
-    outcomes: dict[str, int] = {}
+    by_outcome: dict[str, list[float]] = {}
     statuses: dict[int, int] = {}
 
-    async def submit(payload: dict) -> None:
+    async def submit(index: int, payload: dict) -> None:
+        t_host, t_port = targets[index % len(targets)]
         body = canonical_json(
             {key: value for key, value in payload.items() if key != "job_hash"}
         ).encode("utf-8")
         async with window:
             t0 = perf_counter()
             status, resp_headers, _ = await http_request(
-                host, port, "POST", "/jobs?wait=1", body,
+                t_host, t_port, "POST", "/jobs?wait=1", body,
                 headers={"X-Tenant": tenant, "Content-Type": "application/json"},
             )
-            latencies.append(perf_counter() - t0)
+            elapsed = perf_counter() - t0
+        latencies.append(elapsed)
         outcome = resp_headers.get("x-repro-outcome", "?")
-        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        by_outcome.setdefault(outcome, []).append(elapsed)
         statuses[status] = statuses.get(status, 0) + 1
 
     t_start = perf_counter()
-    await asyncio.gather(*(submit(p) for p in payloads))
+    await asyncio.gather(*(submit(i, p) for i, p in enumerate(payloads)))
     wall_time = perf_counter() - t_start
 
-    # replay a prefix: every one must be answered from the store
+    # replay a prefix (still round-robin): every one must be answered
+    # from the store, whichever replica executed it
     n_repeat = int(len(payloads) * repeat_fraction)
     repeat_outcomes: dict[str, int] = {}
-    for payload in payloads[:n_repeat]:
+    for index, payload in enumerate(payloads[:n_repeat]):
+        t_host, t_port = targets[index % len(targets)]
         body = canonical_json(
             {key: value for key, value in payload.items() if key != "job_hash"}
         ).encode("utf-8")
         status, resp_headers, _ = await http_request(
-            host, port, "POST", "/jobs?wait=1", body,
+            t_host, t_port, "POST", "/jobs?wait=1", body,
             headers={"X-Tenant": tenant},
         )
         outcome = resp_headers.get("x-repro-outcome", "?")
         repeat_outcomes[outcome] = repeat_outcomes.get(outcome, 0) + 1
 
     latencies.sort()
+    per_outcome = {}
+    for outcome, values in sorted(by_outcome.items()):
+        values.sort()
+        per_outcome[outcome] = {
+            "count": len(values),
+            "latency_p50": _percentile(values, 0.50),
+            "latency_p90": _percentile(values, 0.90),
+            "latency_p99": _percentile(values, 0.99),
+        }
     return {
         "jobs": jobs,
         "concurrency": concurrency,
         "n": n,
         "k": k,
+        "targets": [f"{h}:{p}" for h, p in targets],
         "wall_time": wall_time,
         "throughput_jobs_per_s": jobs / wall_time if wall_time else 0.0,
         "latency_p50": _percentile(latencies, 0.50),
         "latency_p90": _percentile(latencies, 0.90),
         "latency_p99": _percentile(latencies, 0.99),
         "statuses": statuses,
-        "outcomes": outcomes,
+        "outcomes": {o: d["count"] for o, d in per_outcome.items()},
+        "per_outcome": per_outcome,
         "repeat_outcomes": repeat_outcomes,
     }
 
@@ -167,6 +201,11 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument(
+        "--target", action="append", default=None, metavar="HOST:PORT",
+        help="replica address; repeat to round-robin across a cluster "
+             "(overrides --host/--port)",
+    )
     parser.add_argument("--jobs", type=int, default=100)
     parser.add_argument("--concurrency", type=int, default=16)
     parser.add_argument("--n", type=int, default=24, help="gossip graph size")
@@ -174,11 +213,17 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--entropy", type=int, default=2006)
     parser.add_argument("--tenant", default="loadgen")
     args = parser.parse_args(argv)
+    targets = (
+        [_parse_target(t, args.host) for t in args.target]
+        if args.target
+        else None
+    )
     report = asyncio.run(
         run_loadgen(
             args.host, args.port,
             jobs=args.jobs, concurrency=args.concurrency,
             n=args.n, k=args.k, entropy=args.entropy, tenant=args.tenant,
+            targets=targets,
         )
     )
     json.dump(report, sys.stdout, indent=2, sort_keys=True)

@@ -22,6 +22,8 @@ through the worker pool in seconds.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.network import generators
@@ -32,11 +34,14 @@ __all__ = ["gossip_sum_job", "gossip_campaign_spec"]
 def gossip_sum_job(
     rng=None,
     metrics=None,
+    progress=None,
     *,
     n: int = 24,
     p: float | None = None,
     k: int = 8,
     max_rounds: int | None = None,
+    pace: float = 0.0,
+    extra_rounds: int = 0,
 ) -> dict:
     """Estimate a sum of node values by exponential-minimum gossip.
 
@@ -53,10 +58,24 @@ def gossip_sum_job(
     max_rounds:
         Safety bound on diffusion rounds (default ``4 n``; the true
         requirement is the graph diameter).
+    pace:
+        Seconds slept per diffusion round.  Purely a wall-clock knob for
+        cluster tests and demos (a paced job can be SIGKILLed mid-run or
+        watched over SSE) — it never touches the estimator, and wall time
+        is a volatile field, so paced and unpaced *records of the same
+        params* stay byte-identical.
+    extra_rounds:
+        Additional (paced, progress-reporting) no-op diffusion rounds run
+        after convergence.  The minima are already global, so these change
+        nothing but the job's duration; unlike ``pace`` this *is* a spec
+        param, so jobs that want to be long-running get their own hash.
 
     Returns a JSON-able dict with the estimate, the true sum, the
     relative error and the rounds-to-convergence; emits ``gossip_rounds``
-    and ``gossip_draws`` counters into ``metrics``.
+    and ``gossip_draws`` counters into ``metrics``.  ``progress`` (the
+    campaign-convention per-step callback, injected by cluster mode) is
+    called once per round with the fraction of cells still above the
+    global minimum.
     """
     rng = np.random.default_rng(rng) if not hasattr(rng, "random") else rng
     if n < 2:
@@ -77,6 +96,14 @@ def gossip_sum_job(
     indices = np.asarray(adjacency.indices)
     rows = np.repeat(np.arange(n), np.diff(indptr))
 
+    def _report(step: int) -> None:
+        if progress is not None:
+            progress(
+                step,
+                active_fraction=float(np.mean(minima != target)),
+                counters={"gossip_rounds": step},
+            )
+
     # synchronous min-diffusion over closed neighbourhoods
     minima = draws.copy()
     target = minima.min(axis=0)
@@ -87,7 +114,20 @@ def gossip_sum_job(
         np.minimum.at(incoming, rows, minima[indices])
         minima = incoming
         rounds += 1
+        _report(rounds)
+        if pace > 0:
+            time.sleep(pace)
     converged = bool(np.all(minima == target))
+
+    # post-convergence padding: the minima are global, so these rounds
+    # are pure duration (and progress frames) with no numeric effect
+    for extra in range(extra_rounds):
+        incoming = minima.copy()
+        np.minimum.at(incoming, rows, minima[indices])
+        minima = incoming
+        _report(rounds + extra + 1)
+        if pace > 0:
+            time.sleep(pace)
 
     estimate = float(k / target.sum())
     true_sum = float(values.sum())

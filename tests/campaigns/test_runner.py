@@ -212,15 +212,18 @@ class TestFailurePaths:
         different crash interleavings) — broken pools don't perturb
         surviving results.
 
-        retries=1 because a pool break charges an attempt to every job
-        that was in flight (the culprit is indistinguishable from its
-        siblings), so innocents need one retry to recover.  The crash for
-        value 2 is deterministic, so there is no inline baseline — the
-        job would take down the coordinator itself."""
+        A pool break charges an attempt to every job that was in flight
+        (the culprit is indistinguishable from its siblings), and the
+        crasher breaks the pool retries+1 times, so an innocent sibling
+        can be caught in more than one break — retries=3 gives innocents
+        enough headroom to recover under any interleaving (an innocent
+        only fails if it is in flight during all four breaks).  The crash
+        for value 2 is deterministic, so there is no inline baseline —
+        the job would take down the coordinator itself."""
         spec = _spec(
             job="repro.campaigns.testing.crashing_job",
             fixed={"crash_values": [2]},
-            retries=1,
+            retries=3,
         )
         a = run_campaign(spec, tmp_path / "a", workers=2)
         b = run_campaign(spec, tmp_path / "b", workers=3)

@@ -181,3 +181,65 @@ class TestSpecBinding:
         st = store.status()
         assert st["total"] == 3 and st["ok"] == 1
         assert st["failed"] == 1 and st["pending"] == 2
+
+
+def _identity_worker(root, barrier, queue):
+    """First-call ``identity()`` from one process (race helper)."""
+    barrier.wait()
+    queue.put(ArtifactStore(root).identity())
+
+
+class TestStoreIdentity:
+    def test_identity_is_stable_and_nonempty(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        token = store.identity()
+        assert token and len(token) == 32
+        assert store.identity() == token  # cached
+        assert ArtifactStore(tmp_path).identity() == token  # persisted
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_loser_of_publish_race_reads_complete_token(self, tmp_path, monkeypatch):
+        # a sibling replica publishes between our read and our link: the
+        # link must fail and we must adopt the sibling's token in full —
+        # never a torn/empty read.  (The old O_CREAT|O_EXCL open-then-write
+        # published an *empty* file first, and a concurrent reader cached
+        # "" forever, breaking /cluster/healthz shared_store agreement.)
+        import os as _os
+
+        path = tmp_path / ArtifactStore.IDENTITY_FILE
+        real_link = _os.link
+
+        def racing_link(src, dst, *args, **kwargs):
+            path.write_text("cafebabe" * 4 + "\n", encoding="utf-8")
+            return real_link(src, dst, *args, **kwargs)  # FileExistsError
+
+        monkeypatch.setattr(_os, "link", racing_link)
+        assert ArtifactStore(tmp_path).identity() == "cafebabe" * 4
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_concurrent_first_callers_agree_on_one_token(self, tmp_path):
+        # N processes race the very first identity() on a fresh store —
+        # exactly the cluster-startup pattern where the bug was observed
+        # (replica r1 reading the winner's file before its token landed)
+        ctx = multiprocessing.get_context("fork")
+        n = 8
+        barrier = ctx.Barrier(n)
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_identity_worker, args=(str(tmp_path), barrier, queue))
+            for _ in range(n)
+        ]
+        for p in procs:
+            p.start()
+        tokens = [queue.get(timeout=60) for _ in range(n)]
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert len(set(tokens)) == 1
+        assert tokens[0] and len(tokens[0]) == 32
